@@ -1,0 +1,97 @@
+"""Figure 7 / Tables VII-VIII: Spark-on-YARN container auto-tuning.
+
+Simulated part: the three container shapes of Table VIII (equal aggregate
+resources) on the 36-node Table VII cluster -- runtimes must be nearly
+identical, as in Fig. 7.  Live part: the LiveTuner probes real engine runs
+across partition counts / block sizes, the engine-level analogue of the
+paper's "prototype and evaluate selected auto-tuning capabilities".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENT_C, FIG7_ITERATIONS
+from repro.bench.tables import format_series_table
+from repro.cluster.nodes import emr_cluster
+from repro.cluster.yarn import ResourceManager
+from repro.config import EngineConfig
+from repro.core.autotune import PAPER_CONTAINER_SHAPES, LiveTuner, ModelTuner
+from repro.core.perfmodel import SparkScorePerfModel, WorkloadSpec
+
+
+class TestPaperScaleSimulation:
+    def test_simulate_fig7(self, benchmark, paper_tables):
+        tuner = ModelTuner(SparkScorePerfModel())
+        workload = WorkloadSpec(
+            EXPERIMENT_C.n_patients, EXPERIMENT_C.n_snps, EXPERIMENT_C.n_snpsets,
+            "monte_carlo",
+        )
+        sweep = tuner.sweep_containers(
+            workload, emr_cluster(EXPERIMENT_C.n_nodes), PAPER_CONTAINER_SHAPES
+        )
+        benchmark(lambda: [run.total_at(100) for run in sweep.values()])
+        paper_tables.append(format_series_table(
+            "Tables VII-VIII / Fig. 7 -- container shapes on 36 nodes, 1M SNPs",
+            "iterations", list(FIG7_ITERATIONS),
+            {
+                f"{s.num_containers} containers": [run.total_at(b) for b in FIG7_ITERATIONS]
+                for s, run in sweep.items()
+            },
+        ))
+        totals = [run.total_at(100) for run in sweep.values()]
+        spread = max(totals) / min(totals) - 1
+        paper_tables.append(
+            f"   (spread across container shapes: {spread:.1%}; "
+            "paper: 'almost negligible')"
+        )
+        assert spread < 0.10
+
+    def test_equal_aggregate_resources(self, benchmark):
+        rm = ResourceManager(emr_cluster(36))
+        cores = {
+            rm.allocate(s.num_containers, s.memory_gib, s.cores).total_cores
+            for s in PAPER_CONTAINER_SHAPES
+        }
+        benchmark(lambda: None)
+        assert len(cores) == 1  # 252 vcores in every configuration
+
+    def test_model_recommender(self, benchmark):
+        tuner = ModelTuner(SparkScorePerfModel())
+        workload = WorkloadSpec(1000, 100_000, 1000, "monte_carlo", iterations=1000)
+        shape, run = benchmark.pedantic(
+            tuner.recommend,
+            args=(workload, emr_cluster(12)),
+            kwargs=dict(
+                container_counts=[12, 24, 36],
+                memories_gib=[3.0, 5.0, 10.0],
+                cores_options=[2, 3, 6],
+            ),
+            rounds=2,
+            iterations=1,
+        )
+        assert run.total_seconds > 0
+
+
+class TestLiveTuning:
+    @pytest.fixture(scope="class")
+    def tuner(self, live_dataset_small):
+        return LiveTuner(
+            live_dataset_small,
+            config=EngineConfig(backend="serial", num_executors=2, executor_cores=2),
+            probe_iterations=10,
+        )
+
+    def test_partition_sweep(self, benchmark, tuner):
+        probes = benchmark.pedantic(tuner.sweep, args=([2, 8], [64]), rounds=2, iterations=1)
+        assert len(probes) == 2
+
+    def test_block_size_sweep(self, benchmark, tuner):
+        probes = benchmark.pedantic(
+            tuner.sweep, args=([4], [8, 256]), rounds=2, iterations=1
+        )
+        assert len(probes) == 2
+
+    def test_best_probe_selected(self, benchmark, tuner):
+        best = benchmark.pedantic(tuner.best, args=([2, 4], [64]), rounds=1, iterations=1)
+        assert best.wall_seconds > 0

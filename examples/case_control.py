@@ -1,0 +1,86 @@
+"""Case/control study with the binomial efficient score.
+
+Figure 1 of the paper lists "Score Statistics (Cox, Binomial, Gaussian,
+etc.)" as pluggable.  This example runs a case/control (logistic) analysis
+on the distributed engine with a confounding covariate, showing:
+
+- the binomial score model with IRLS null fit and covariate projection,
+- the cost of ignoring a confounder (inflated null statistics),
+- the distributed run matching the local reference exactly.
+
+Run:  python examples/case_control.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EngineConfig, SparkScoreAnalysis
+from repro.genomics.genotypes import GenotypeMatrix
+from repro.genomics.snpsets import SnpSetCollection
+from repro.genomics.synthetic import Dataset
+from repro.stats.score.base import BinaryPhenotype, SurvivalPhenotype
+from repro.stats.score.binomial import BinomialScoreModel
+
+
+def main() -> None:
+    rng = np.random.default_rng(77)
+    n, n_snps, n_sets = 500, 1200, 24
+
+    # population structure: a "north/south" axis that shifts both allele
+    # frequencies and disease risk -- the classic GWAS confounder
+    ancestry = rng.normal(size=n)
+    maf = rng.uniform(0.1, 0.4, n_snps)
+    shift = 0.08 * np.sign(ancestry)[None, :]
+    probs = np.clip(maf[:, None] + shift, 0.01, 0.99)
+    G = rng.binomial(2, probs).astype(np.int8)
+    genotypes = GenotypeMatrix(np.arange(n_snps), G)
+
+    causal = np.arange(5)  # first set harbors the real signal
+    eta = 0.9 * ancestry + 0.5 * G[causal].astype(float).sum(axis=0) - 1.0
+    y = rng.binomial(1, 1.0 / (1.0 + np.exp(-eta))).astype(float)
+    print(f"cohort: {int(y.sum())} cases / {int((1-y).sum())} controls")
+
+    set_ids = np.repeat(np.arange(n_sets), n_snps // n_sets)
+    snpsets = SnpSetCollection(set_ids)
+    placeholder = SurvivalPhenotype(np.ones(n), np.ones(n))
+    data = Dataset(genotypes, placeholder, np.ones(n_snps), snpsets)
+
+    adjusted_model = BinomialScoreModel(BinaryPhenotype(y, ancestry[:, None]))
+    naive_model = BinomialScoreModel(BinaryPhenotype(y))
+
+    # local vs distributed cross-check with the adjusted model
+    local = SparkScoreAnalysis.from_dataset(data, model=adjusted_model)
+    mc_local = local.monte_carlo(iterations=1000, seed=1)
+    with SparkScoreAnalysis.from_dataset(
+        data,
+        model=adjusted_model,
+        engine="distributed",
+        config=EngineConfig(backend="threads", num_executors=3, executor_cores=2,
+                            default_parallelism=6),
+        flavor="vectorized",
+    ) as dist:
+        mc_dist = dist.monte_carlo(iterations=1000, seed=1)
+    assert np.array_equal(mc_local.exceed_counts, mc_dist.exceed_counts)
+    print("distributed == local: exceedance counts identical")
+
+    naive = SparkScoreAnalysis.from_dataset(data, model=naive_model).monte_carlo(
+        iterations=1000, seed=1
+    )
+
+    print("\n              adjusted      unadjusted")
+    causal_set = 0
+    print(f"causal set    p={mc_local.pvalues()[causal_set]:<10.4g} "
+          f"p={naive.pvalues()[causal_set]:<10.4g}")
+    null_adj = np.delete(mc_local.pvalues(), causal_set)
+    null_nai = np.delete(naive.pvalues(), causal_set)
+    print(f"null sets     small-p rate (p<0.05): "
+          f"{(null_adj < 0.05).mean():.2%} vs {(null_nai < 0.05).mean():.2%} "
+          "(confounding inflates the unadjusted test)")
+
+    print("\nTop sets (covariate-adjusted):")
+    print(mc_local.to_table(max_rows=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Cluster planning with the calibrated performance model (Experiment C).
+
+Uses the discrete-event simulator + cost model (calibrated against the
+paper's Tables III and V) to answer the operational questions the paper's
+auto-tuning section raises:
+
+- How does runtime scale with cluster size for a 1M-SNP study?  (Fig. 6)
+- Does the container shape matter at fixed hardware?            (Fig. 7)
+- What is the cheapest configuration for a target analysis?
+
+Run:  python examples/cluster_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_series_table
+from repro.cluster.nodes import emr_cluster
+from repro.core.autotune import PAPER_CONTAINER_SHAPES, ModelTuner
+from repro.core.perfmodel import SparkScorePerfModel, WorkloadSpec
+
+
+def main() -> None:
+    model = SparkScorePerfModel()
+    tuner = ModelTuner(model)
+
+    # --- strong scaling (Fig. 6): 1M SNPs, Monte Carlo -------------------------
+    workload = WorkloadSpec(
+        n_patients=1000, n_snps=1_000_000, n_snpsets=1000, method="monte_carlo"
+    )
+    runs = tuner.strong_scaling(workload, [6, 12, 18, 24, 36])
+    iteration_grid = [0, 10, 20]
+    series = {
+        f"{n} nodes": [runs[n].total_at(b) for b in iteration_grid] for n in sorted(runs)
+    }
+    print(format_series_table(
+        "Predicted runtime vs cluster size (1M SNPs, Monte Carlo)",
+        "iterations", iteration_grid, series,
+    ))
+    print()
+    for n, run in sorted(runs.items()):
+        note = "U RDD fits in cache" if run.cache_fits else "cache THRASHES -> per-iteration recompute"
+        print(f"  {n:>2} nodes: per-iteration {run.per_iteration_seconds:8.1f}s  ({note})")
+
+    # --- container-shape sweep (Fig. 7): 36 nodes ---------------------------------
+    sweep = tuner.sweep_containers(workload, emr_cluster(36), PAPER_CONTAINER_SHAPES)
+    print()
+    print(format_series_table(
+        "Container shape sweep on 36 nodes (equal aggregate resources)",
+        "iterations", [0, 10, 100],
+        {str(shape): [run.total_at(b) for b in (0, 10, 100)] for shape, run in sweep.items()},
+    ))
+    totals = [run.total_at(100) for run in sweep.values()]
+    print(f"\nspread across shapes at 100 iterations: "
+          f"{(max(totals)/min(totals)-1)*100:.1f}% (the paper: 'almost negligible')")
+
+    # --- recommendation ----------------------------------------------------------------
+    target = WorkloadSpec(
+        n_patients=1000, n_snps=1_000_000, n_snpsets=1000,
+        method="monte_carlo", iterations=10_000,
+    )
+    shape, run = tuner.recommend(
+        target,
+        emr_cluster(18),
+        container_counts=[18, 36, 54, 90],
+        memories_gib=[3.0, 5.0, 10.0],
+        cores_options=[2, 3, 6],
+    )
+    print(f"\nrecommended shape for 10k-replicate study on 18 nodes: {shape}")
+    print(f"predicted total: {run.total_seconds:,.0f}s "
+          f"(startup {run.startup_seconds:.0f}s + observed {run.observed_seconds:.0f}s "
+          f"+ {target.iterations} x {run.per_iteration_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""eQTL-style analysis: quantitative phenotype, gene-based SNP sets, covariates.
+
+The paper's abstract notes SparkScore "can be readily extended to analysis
+of DNA and RNA sequencing data, including expression quantitative trait
+loci (eQTL) ... studies".  This example does exactly that:
+
+- the phenotype is a continuous expression level driven by a cis gene plus
+  age/sex covariates,
+- SNP-sets come from gene annotations ((chr, start, end) triplets mapped
+  over (chr, pos) SNPs, as in Section II),
+- the Gaussian efficient score with covariate adjustment feeds the same
+  SKAT + Monte Carlo machinery.
+
+Run:  python examples/eqtl_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SparkScoreAnalysis
+from repro.genomics.genotypes import GenotypeMatrix
+from repro.genomics.snpsets import SnpSetCollection
+from repro.genomics.synthetic import Dataset
+from repro.genomics.variants import Gene, Snp
+from repro.stats.score.base import QuantitativePhenotype, SurvivalPhenotype
+from repro.stats.score.gaussian import GaussianScoreModel
+from repro.stats.weights import beta_maf_weights, estimate_maf
+
+
+def build_cohort(rng: np.random.Generator, n: int = 400, n_snps: int = 800):
+    """SNPs on two chromosomes with real coordinates + gene annotations."""
+    half = n_snps // 2
+    chr1_pos = np.sort(rng.integers(1, 1_000_000, size=half))
+    chr2_pos = np.sort(rng.integers(1, 1_500_000, size=n_snps - half))
+    snps = [Snp("chr1", int(p), f"rs{i}") for i, p in enumerate(chr1_pos)]
+    snps += [Snp("chr2", int(p), f"rs{half + i}") for i, p in enumerate(chr2_pos)]
+    genes = [
+        Gene("chr1", 0, 250_000, "GENE_A"),
+        Gene("chr1", 250_001, 900_000, "GENE_B"),
+        Gene("chr2", 0, 600_000, "GENE_C"),
+        Gene("chr2", 600_001, 1_500_000, "GENE_D"),
+    ]
+    snpsets = SnpSetCollection.from_genes(snps, genes)
+
+    maf = rng.uniform(0.02, 0.5, size=n_snps)
+    G = rng.binomial(2, maf[:, None], size=(n_snps, n)).astype(np.int8)
+    genotypes = GenotypeMatrix(np.arange(n_snps), G)
+    return snps, genes, snpsets, genotypes
+
+
+def main() -> None:
+    rng = np.random.default_rng(314)
+    snps, genes, snpsets, genotypes = build_cohort(rng)
+    n = genotypes.n_patients
+
+    # covariates: age and sex affect expression; a cis-eQTL in GENE_C adds
+    # a genetic effect on top
+    age = rng.normal(55, 10, n)
+    sex = rng.binomial(1, 0.5, n).astype(float)
+    covariates = np.column_stack([age, sex])
+    gene_c_rows = snpsets.members(2)
+    causal = gene_c_rows[:3]
+    expression = (
+        0.03 * age
+        - 0.4 * sex
+        + genotypes.matrix[causal].astype(float).sum(axis=0) * 0.55
+        + rng.normal(0, 1.0, n)
+    )
+    phenotype = QuantitativePhenotype(expression, covariates)
+
+    # rare variants up-weighted with the standard SKAT Beta(1, 25) weights
+    weights = beta_maf_weights(estimate_maf(genotypes.matrix))
+
+    # Dataset carries a survival phenotype slot by default; for eQTL we
+    # supply the Gaussian model explicitly and a placeholder survival slot.
+    placeholder = SurvivalPhenotype(np.ones(n), np.ones(n))
+    data = Dataset(genotypes, placeholder, weights, snpsets)
+    model = GaussianScoreModel(phenotype, adjust_genotypes=True)
+
+    analysis = SparkScoreAnalysis.from_dataset(data, model=model)
+    mc = analysis.monte_carlo(iterations=3000, seed=5)
+    asym = analysis.asymptotic(method="liu")
+
+    print("gene-level eQTL association (Monte Carlo, covariate-adjusted):")
+    for k, name in enumerate(snpsets.names):
+        n_members = len(snpsets.members(k))
+        print(f"  {name:<12} ({n_members:4d} SNPs)  "
+              f"p_mc = {mc.pvalues()[k]:8.4g}   p_asym = {asym.pvalues()[k]:8.4g}")
+
+    top = mc.top(1)[0]
+    print(f"\ntop hit: {top.name} (true cis gene: GENE_C)")
+
+    # covariate adjustment matters: the unadjusted analysis is confounded
+    unadjusted = SparkScoreAnalysis.from_dataset(
+        data, model=GaussianScoreModel(QuantitativePhenotype(expression), adjust_genotypes=True)
+    ).monte_carlo(iterations=1500, seed=5)
+    print("\nwithout covariate adjustment the null genes drift "
+          f"(mean null p adjusted {np.mean(np.delete(mc.pvalues(), top.set_index)):.2f} "
+          f"vs unadjusted {np.mean(np.delete(unadjusted.pvalues(), top.set_index)):.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: SNP-set association testing on synthetic GWAS data.
+
+Generates a small survival-phenotype dataset with a planted causal gene,
+runs Monte Carlo resampling (Algorithm 3) through the high-level API, and
+cross-checks against permutation resampling and the asymptotic
+approximation.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SparkScoreAnalysis, SyntheticConfig, generate_dataset
+
+
+def main() -> None:
+    # 1. Synthetic cohort: 300 patients, 1000 SNPs in 25 gene-like sets,
+    #    with 5 causal SNPs (log hazard ratio 0.9 per allele).
+    config = SyntheticConfig(
+        n_patients=300,
+        n_snps=1000,
+        n_snpsets=25,
+        n_causal_snps=5,
+        effect_size=0.9,
+        seed=2024,
+    )
+    data = generate_dataset(config)
+    causal_sets = sorted(set(data.snpsets.set_ids[data.causal_rows]))
+    print(f"dataset: {data.n_snps} SNPs x {data.n_patients} patients, "
+          f"{data.n_sets} SNP-sets; causal sets: {causal_sets}")
+
+    # 2. Monte Carlo resampling (the paper's fast path: cached contributions).
+    analysis = SparkScoreAnalysis.from_dataset(data)
+    mc = analysis.monte_carlo(iterations=2000, seed=7)
+    print("\nTop SNP-sets by Monte Carlo p-value:")
+    for row in mc.top(5):
+        print("  ", row)
+
+    # 3. Cross-check with permutation resampling (slower, fewer replicates)
+    #    and the asymptotic mixture-of-chi-square approximation.
+    perm = analysis.permutation(iterations=300, seed=7)
+    asym = analysis.asymptotic(method="liu")
+    print("\nmethod agreement on the top hit:")
+    top = mc.top(1)[0].set_index
+    print(f"   monte carlo  p = {mc.pvalues()[top]:.4g}")
+    print(f"   permutation  p = {perm.pvalues()[top]:.4g}")
+    print(f"   asymptotic   p = {asym.pvalues()[top]:.4g}")
+
+    # 4. The planted gene should surface at or near the top.
+    hits = {row.set_index for row in mc.top(len(causal_sets))}
+    recovered = sorted(hits & set(causal_sets))
+    print(f"\ncausal sets recovered in top-{len(causal_sets)}: {recovered}")
+
+    # 5. Per-SNP marginal scores are also available (variant-by-variant view).
+    scores = analysis.marginal_scores()
+    best_snp = int(np.argmax(np.abs(scores)))
+    print(f"largest marginal |score|: SNP row {best_snp} "
+          f"(causal: {best_snp in set(data.causal_rows.tolist())})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Distributed survival GWAS: the paper's full pipeline, end to end.
+
+Reproduces the flow of Figure 1 / Algorithms 1-3 at laptop scale:
+
+1. generate the Section III synthetic dataset,
+2. write the four input text files into a simulated HDFS,
+3. run the distributed engine with the genotype parse happening in map
+   tasks (exactly the paper's stage 0),
+4. compare Monte Carlo (cached U RDD) against permutation resampling, and
+5. report the engine's cache/shuffle metrics showing *why* MC wins.
+
+Run:  python examples/survival_gwas.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import EngineConfig, SparkScoreAnalysis, SyntheticConfig, generate_dataset
+from repro.engine.context import Context
+from repro.genomics.io.dataset_io import write_dataset
+from repro.hdfs.filesystem import MiniHDFS
+
+
+def main() -> None:
+    data = generate_dataset(
+        SyntheticConfig(n_patients=200, n_snps=3000, n_snpsets=60, seed=99)
+    )
+
+    # --- stage the inputs on (simulated) HDFS --------------------------------
+    fs = MiniHDFS(num_datanodes=4, block_size=256 * 1024, replication=2)
+    write_dataset(data, "/gwas/run1", hdfs=fs)
+    status = fs.status("/gwas/run1/genotypes.txt")
+    print(f"genotype file on HDFS: {status.size/1e6:.2f} MB in {status.num_blocks} "
+          f"blocks (replication {status.replication})")
+
+    config = EngineConfig(
+        backend="threads", num_executors=4, executor_cores=2, default_parallelism=8
+    )
+    with Context(config, hdfs=fs) as ctx:
+        analysis = SparkScoreAnalysis.from_files(
+            "/gwas/run1", hdfs=fs, parse_with_engine=True,
+            engine="distributed", ctx=ctx, flavor="vectorized", block_size=256,
+        )
+
+        # --- Algorithm 3: Monte Carlo with the U RDD cached -------------------
+        start = time.perf_counter()
+        mc = analysis.monte_carlo(iterations=500, seed=3, batch_size=50)
+        mc_seconds = time.perf_counter() - start
+        print(f"\nMonte Carlo (500 replicates, cached U): {mc_seconds:.2f}s  "
+              f"[cache hits {mc.info['cache_hits']}, misses {mc.info['cache_misses']}, "
+              f"jobs {mc.info['jobs_run']}]")
+
+        # --- Algorithm 2: permutation, full recompute per replicate ------------
+        start = time.perf_counter()
+        perm = analysis.permutation(iterations=50, seed=3)
+        perm_seconds = time.perf_counter() - start
+        per_iter_mc = mc_seconds / 500
+        per_iter_perm = perm_seconds / 50
+        print(f"permutation  (50 replicates, recompute): {perm_seconds:.2f}s")
+        print(f"per-replicate cost: MC {per_iter_mc*1000:.1f} ms vs "
+              f"permutation {per_iter_perm*1000:.1f} ms "
+              f"({per_iter_perm/per_iter_mc:.1f}x, the paper's Experiment A contrast)")
+
+        # --- results agree between the two resampling schemes ------------------
+        disagreement = np.max(np.abs(mc.pvalues() - perm.pvalues()))
+        print(f"max |p_mc - p_perm| over {data.n_sets} sets: {disagreement:.3f}")
+
+        print("\nTop sets (Monte Carlo):")
+        print(mc.to_table(max_rows=5))
+
+
+if __name__ == "__main__":
+    main()

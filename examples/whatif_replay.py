@@ -1,0 +1,64 @@
+"""What-if replay: measure once, extrapolate to any cluster.
+
+Runs a real SparkScore job on the local engine with an event log attached,
+reloads the log (as a "history server" would), and replays the measured
+task graph on simulated clusters of increasing size -- answering the
+paper's Figure 6 question from one laptop measurement instead of renting
+EMR three times.
+
+Run:  python examples/whatif_replay.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import EngineConfig, SyntheticConfig, generate_dataset
+from repro.core.algorithms import DistributedSparkScore
+from repro.core.replay import capture_job, replay, what_if_scaling
+from repro.engine.context import Context
+from repro.engine.eventlog import read_event_log
+
+
+def main() -> None:
+    data = generate_dataset(
+        SyntheticConfig(n_patients=200, n_snps=4000, n_snpsets=80, seed=17)
+    )
+    log_path = os.path.join(tempfile.mkdtemp(prefix="sparkscore-"), "events.jsonl")
+
+    # --- measure: run the observed-statistic job with many partitions ------------
+    config = EngineConfig(
+        backend="serial", num_executors=2, executor_cores=2, default_parallelism=32
+    )
+    with Context(config, event_log_path=log_path) as ctx:
+        scorer = DistributedSparkScore(ctx, data, flavor="vectorized", block_size=128)
+        scorer.observed_statistics()
+    print(f"event log written: {log_path}")
+
+    # --- reload the log (different 'process' in spirit) -----------------------------
+    jobs = read_event_log(log_path)
+    recorded = capture_job(jobs[0])
+    print(f"recorded job: {recorded.n_tasks} tasks over {len(recorded.stages)} stages, "
+          f"{recorded.total_task_seconds*1000:.0f} ms of task time")
+
+    # --- what-if: replay at various slot counts ----------------------------------------
+    print("\nreplayed makespan vs slots (measured durations, simulated placement):")
+    scaling = what_if_scaling(recorded, [1, 2, 4, 8, 16, 32])
+    base = scaling[1]
+    for slots, makespan in scaling.items():
+        bar = "#" * max(1, int(40 * makespan / base))
+        print(f"  {slots:>3} slots: {makespan*1000:8.1f} ms  "
+              f"(speedup {base/makespan:5.2f}x)  {bar}")
+
+    # --- what-if: faster cores + scheduling overhead --------------------------------------
+    faster = replay(recorded, 8, core_speedup=2.0)
+    overheady = replay(recorded, 8, task_overhead_s=0.01)
+    print(f"\n8 slots with 2x faster cores: {faster.makespan*1000:.1f} ms")
+    print(f"8 slots with 10ms task launch overhead: {overheady.makespan*1000:.1f} ms "
+          "(per-task overhead dominates small tasks -- the reason the paper-"
+          "faithful record-per-SNP flavor loses to the block-vectorized one)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Benchmark harness: the paper's experiment registry and table printers.
+
+The ``benchmarks/`` suite imports this package to (a) run *live* scaled-down
+workloads on the real engine with pytest-benchmark, and (b) replay the
+*paper-scale* workloads through the calibrated simulator, printing rows
+side by side with the numbers the paper reports.
+"""
+
+from repro.bench.experiments import (
+    EXPERIMENT_A,
+    EXPERIMENT_C,
+    EXPERIMENT_B_10K,
+    EXPERIMENT_B_1M,
+    FIG3_CONFIGS,
+    FIG6_ITERATIONS,
+    FIG6_NODES,
+    FIG7_ITERATIONS,
+    LIVE_SCALE,
+    PAPER_TABLE_III,
+    PAPER_TABLE_V,
+    ExperimentSpec,
+)
+from repro.bench.tables import format_comparison_table, format_series_table
+
+__all__ = [
+    "EXPERIMENT_A",
+    "EXPERIMENT_C",
+    "EXPERIMENT_B_10K",
+    "EXPERIMENT_B_1M",
+    "ExperimentSpec",
+    "FIG3_CONFIGS",
+    "FIG6_ITERATIONS",
+    "FIG6_NODES",
+    "FIG7_ITERATIONS",
+    "LIVE_SCALE",
+    "PAPER_TABLE_III",
+    "PAPER_TABLE_V",
+    "format_comparison_table",
+    "format_series_table",
+]

@@ -1,0 +1,87 @@
+"""The paper's experiment parameters and published measurements.
+
+Input parameter tables (II, IV, VI, VII, VIII) define the workloads; result
+tables (III, V) provide the numbers our simulated replays are compared
+against.  ``LIVE_SCALE`` defines reduced-size versions of the same shapes
+that run on a laptop with the real engine, preserving the ratios the paper
+claims (MC vs permutation, cached vs uncached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.genomics.synthetic import SyntheticConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One row of an input-parameter table."""
+
+    name: str
+    n_patients: int
+    n_snps: int
+    n_snpsets: int
+    n_nodes: int
+
+    @property
+    def avg_snps_per_set(self) -> float:
+        return self.n_snps / self.n_snpsets
+
+    def synthetic_config(self, seed: int = 0, **overrides) -> SyntheticConfig:
+        params = dict(
+            n_patients=self.n_patients,
+            n_snps=self.n_snps,
+            n_snpsets=self.n_snpsets,
+            seed=seed,
+        )
+        params.update(overrides)
+        return SyntheticConfig(**params)
+
+
+#: Table II -- Experiment A (scalability/sensitivity), 6 nodes.
+EXPERIMENT_A = ExperimentSpec("A", 1000, 100_000, 1000, 6)
+
+#: Table IV -- Experiment B (caching), 18 nodes, two data scales.
+EXPERIMENT_B_10K = ExperimentSpec("B-10K", 1000, 10_000, 1000, 18)
+EXPERIMENT_B_1M = ExperimentSpec("B-1M", 1000, 1_000_000, 1000, 18)
+
+#: Table VI -- strong scaling, 1M SNPs.
+FIG6_NODES = (6, 12, 18)
+FIG6_ITERATIONS = (0, 10, 20)
+
+#: Table VII -- auto-tuning cluster: 36 nodes; Fig. 7 iteration grid.
+EXPERIMENT_C = ExperimentSpec("C", 1000, 1_000_000, 1000, 36)
+FIG7_ITERATIONS = (0, 10, 100)
+
+#: Figure 3 -- sensitivity: iterations x SNPs held constant at 1e7.
+FIG3_CONFIGS = (
+    (1000, 10_000),
+    (100, 100_000),
+    (10, 1_000_000),
+)
+
+#: Table III -- published Experiment A runtimes (seconds).
+PAPER_TABLE_III = {
+    "iterations": (0, 2, 4, 8, 16, 100, 1000, 10000),
+    "monte_carlo_avg": (509.4, 532.2, 532.4, 516.4, 542.8, 590.4, 1170.8, 7036.6),
+    "monte_carlo_stdv": (9.65, 23.15, 19.26, 17.54, 12.23, 16.89, 54.1, 40.29),
+    "permutation_avg": (509.4, 1535.2, 2594.4, 4628.4, 8818.6, None, None, None),
+    "permutation_stdv": (9.65, 74.77, 48.64, 132.67, 344.61, None, None, None),
+}
+
+#: Table V -- published Experiment B (10K SNPs) runtimes (seconds).
+PAPER_TABLE_V = {
+    "iterations": (0, 10, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 10000),
+    "caching_avg": (94, 101, 132, 140.4, 163.6, 178.4, 188.2, 214.8, 225.5, 241.8, 257.4, 283, 1928.6),
+    "caching_stdv": (8.51, 4.89, 24.28, 3.64, 9.09, 7.53, 6.76, 12.29, 7.25, 7.66, 10.21, 13.58, 138.35),
+    "nocache_avg": (94, 641.4, 5418, 10709, None, None, None, None, None, None, None, None, None),
+    "nocache_stdv": (8.51, 34.88, 78.19, 62.14, None, None, None, None, None, None, None, None, None),
+}
+
+#: Reduced-size live workloads preserving each experiment's shape.
+LIVE_SCALE = {
+    "A": ExperimentSpec("A-live", 200, 2000, 50, 1),
+    "B": ExperimentSpec("B-live", 200, 2000, 50, 1),
+    "quick": ExperimentSpec("quick-live", 100, 500, 20, 1),
+}

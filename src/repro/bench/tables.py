@@ -1,0 +1,58 @@
+"""Plain-text table rendering for benchmark output.
+
+The goal is rows a reader can lay next to the paper's tables: iteration
+counts down the side, our (simulated or live) seconds next to the paper's
+published seconds with a ratio column.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float | None]],
+    unit: str = "s",
+) -> str:
+    """Columns: x value then one column per series."""
+    names = list(series)
+    width = max(12, max(len(n) for n in names) + 2)
+    lines = [f"== {title} ==", ""]
+    header = f"{x_label:>12}" + "".join(f"{n:>{width}}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_values):
+        row = f"{x!s:>12}"
+        for name in names:
+            value = series[name][i]
+            row += f"{'-':>{width}}" if value is None else f"{value:>{width -len(unit) -1}.1f} {unit}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    ours: Sequence[float | None],
+    paper: Sequence[float | None],
+    ours_label: str = "simulated",
+    paper_label: str = "paper",
+) -> str:
+    """Ours vs paper with a ratio column (shape check at a glance)."""
+    lines = [f"== {title} ==", ""]
+    header = f"{x_label:>12}{ours_label:>14}{paper_label:>14}{'ratio':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x, mine, theirs in zip(x_values, ours, paper):
+        mine_s = "-" if mine is None else f"{mine:12.1f} s"
+        theirs_s = "-" if theirs is None else f"{theirs:12.1f} s"
+        if mine is None or theirs is None or theirs == 0:
+            ratio = "-"
+        else:
+            ratio = f"{mine / theirs:9.2f}x"
+        lines.append(f"{x!s:>12}{mine_s:>14}{theirs_s:>14}{ratio:>10}")
+    return "\n".join(lines)

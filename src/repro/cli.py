@@ -1,0 +1,249 @@
+"""Command-line interface: ``sparkscore <command>``.
+
+Commands:
+
+- ``generate`` -- write a Section III synthetic dataset as the four input
+  text files;
+- ``analyze`` -- run a SparkScore analysis (observed / monte-carlo /
+  permutation / asymptotic) over a dataset directory;
+- ``maxt`` -- variant-level Westfall-Young adjusted p-values;
+- ``plan`` -- predicted runtimes on simulated EMR clusters (the paper's
+  strong-scaling question);
+- ``tune`` -- recommend a container shape for a workload (Experiment C).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="write a synthetic dataset (paper Section III)")
+    p.add_argument("output_dir")
+    p.add_argument("--patients", type=int, default=1000)
+    p.add_argument("--snps", type=int, default=10_000)
+    p.add_argument("--snpsets", type=int, default=100)
+    p.add_argument("--event-rate", type=float, default=0.85)
+    p.add_argument("--mean-survival", type=float, default=12.0)
+    p.add_argument("--causal-snps", type=int, default=0)
+    p.add_argument("--effect-size", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_analyze(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("analyze", help="run a SparkScore analysis on a dataset directory")
+    p.add_argument("dataset_dir")
+    p.add_argument("--method", choices=["observed", "monte-carlo", "permutation", "asymptotic"],
+                   default="monte-carlo")
+    p.add_argument("--iterations", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["local", "distributed"], default="local")
+    p.add_argument("--backend", choices=["serial", "threads", "processes"], default="threads")
+    p.add_argument("--executors", type=int, default=2)
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--flavor", choices=["paper", "vectorized"], default="vectorized")
+    p.add_argument("--top", type=int, default=10, help="rows to print")
+    p.add_argument("--output", help="write full per-set results as TSV")
+
+
+def _add_maxt(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("maxt", help="variant-level Westfall-Young adjusted p-values")
+    p.add_argument("dataset_dir")
+    p.add_argument("--iterations", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--alpha", type=float, default=0.05)
+    p.add_argument("--single-step", action="store_true")
+    p.add_argument("--top", type=int, default=10)
+
+
+def _add_plan(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("plan", help="predict runtimes on simulated EMR clusters")
+    p.add_argument("--patients", type=int, default=1000)
+    p.add_argument("--snps", type=int, default=1_000_000)
+    p.add_argument("--snpsets", type=int, default=1000)
+    p.add_argument("--method", choices=["monte_carlo", "permutation"], default="monte_carlo")
+    p.add_argument("--iterations", type=int, nargs="+", default=[0, 10, 100, 1000])
+    p.add_argument("--nodes", type=int, nargs="+", default=[6, 12, 18])
+    p.add_argument("--no-cache", action="store_true")
+
+
+def _add_tune(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("tune", help="recommend a YARN container shape")
+    p.add_argument("--patients", type=int, default=1000)
+    p.add_argument("--snps", type=int, default=100_000)
+    p.add_argument("--snpsets", type=int, default=1000)
+    p.add_argument("--iterations", type=int, default=10_000)
+    p.add_argument("--nodes", type=int, default=18)
+    p.add_argument("--containers", type=int, nargs="+", default=None)
+    p.add_argument("--memories", type=float, nargs="+", default=[3.0, 5.0, 10.0])
+    p.add_argument("--cores", type=int, nargs="+", default=[2, 3, 6])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sparkscore",
+        description="SparkScore reproduction: distributed genomic inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_analyze(sub)
+    _add_maxt(sub)
+    _add_plan(sub)
+    _add_tune(sub)
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.genomics.io.dataset_io import write_dataset
+    from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+
+    config = SyntheticConfig(
+        n_patients=args.patients,
+        n_snps=args.snps,
+        n_snpsets=args.snpsets,
+        event_rate=args.event_rate,
+        mean_survival_months=args.mean_survival,
+        n_causal_snps=args.causal_snps,
+        effect_size=args.effect_size,
+        seed=args.seed,
+    )
+    dataset = generate_dataset(config)
+    paths = write_dataset(dataset, args.output_dir)
+    print(f"wrote {dataset.n_snps} SNPs x {dataset.n_patients} patients, "
+          f"{dataset.n_sets} SNP-sets:")
+    for kind, path in paths.items():
+        print(f"  {kind:<10} {path}")
+    return 0
+
+
+def _load_analysis(args: argparse.Namespace):
+    from repro.config import EngineConfig
+    from repro.core.sparkscore import SparkScoreAnalysis
+
+    kwargs: dict = {"engine": args.engine}
+    if args.engine == "distributed":
+        kwargs["config"] = EngineConfig(
+            backend=args.backend,
+            num_executors=args.executors,
+            executor_cores=args.cores,
+            default_parallelism=args.executors * args.cores,
+        )
+        kwargs["flavor"] = args.flavor
+    return SparkScoreAnalysis.from_files(args.dataset_dir, **kwargs)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    with _load_analysis(args) as analysis:
+        if args.method == "observed":
+            result = analysis.observed()
+        elif args.method == "monte-carlo":
+            result = analysis.monte_carlo(args.iterations, seed=args.seed)
+        elif args.method == "permutation":
+            result = analysis.permutation(args.iterations, seed=args.seed)
+        else:
+            result = analysis.asymptotic()
+        print(result.to_table(max_rows=args.top))
+        wall = result.info.get("wall_seconds")
+        if wall is not None:
+            print(f"\nwall time: {wall:.2f}s  (engine: {result.info.get('engine')})")
+        if args.output:
+            _write_results_tsv(result, args.output)
+            print(f"full results written to {args.output}")
+    return 0
+
+
+def _write_results_tsv(result, path: str) -> None:
+    pvalues = result.pvalues()
+    with open(path, "w") as fh:
+        fh.write("set\tn_snps\tstatistic\texceed_count\tpvalue\n")
+        for k in range(result.n_sets):
+            fh.write(
+                f"{result.set_names[k]}\t{result.set_sizes[k]}\t"
+                f"{result.observed[k]:.6g}\t{result.exceed_counts[k]}\t{pvalues[k]:.6g}\n"
+            )
+
+
+def cmd_maxt(args: argparse.Namespace) -> int:
+    from repro.core.sparkscore import SparkScoreAnalysis
+
+    analysis = SparkScoreAnalysis.from_files(args.dataset_dir)
+    result = analysis.variant_maxt(
+        args.iterations, seed=args.seed, step_down=not args.single_step
+    )
+    snp_ids = analysis.dataset.genotypes.snp_ids
+    order = np.argsort(result.adjusted_pvalues, kind="stable")
+    print(f"# {result.method}, {result.n_resamples} resamples")
+    print(f"{'snp':>10}{'|T|':>10}{'raw p':>12}{'adjusted p':>12}")
+    for row in order[: args.top]:
+        print(f"{int(snp_ids[row]):>10}{result.statistics[row]:>10.3f}"
+              f"{result.raw_pvalues[row]:>12.4g}{result.adjusted_pvalues[row]:>12.4g}")
+    hits = result.significant(args.alpha)
+    print(f"\n{len(hits)} SNPs significant at FWER {args.alpha:g}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.bench.tables import format_series_table
+    from repro.cluster.nodes import emr_cluster
+    from repro.core.perfmodel import SparkScorePerfModel, WorkloadSpec
+
+    model = SparkScorePerfModel()
+    workload = WorkloadSpec(
+        args.patients, args.snps, args.snpsets, args.method, cache=not args.no_cache
+    )
+    runs = {n: model.predict(workload, emr_cluster(n)) for n in args.nodes}
+    print(format_series_table(
+        f"Predicted runtime -- {args.snps} SNPs x {args.patients} patients, {args.method}",
+        "iterations",
+        args.iterations,
+        {f"{n} nodes": [runs[n].total_at(b) for b in args.iterations] for n in args.nodes},
+    ))
+    for n in args.nodes:
+        fits = "fits" if runs[n].cache_fits else "THRASHES"
+        print(f"  {n:>3} nodes: per-iteration {runs[n].per_iteration_seconds:.2f}s, cache {fits}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.cluster.nodes import emr_cluster
+    from repro.core.autotune import ModelTuner
+    from repro.core.perfmodel import WorkloadSpec
+
+    tuner = ModelTuner()
+    workload = WorkloadSpec(
+        args.patients, args.snps, args.snpsets, "monte_carlo", iterations=args.iterations
+    )
+    containers = args.containers or [args.nodes, 2 * args.nodes, 3 * args.nodes]
+    shape, run = tuner.recommend(
+        workload, emr_cluster(args.nodes),
+        container_counts=containers,
+        memories_gib=args.memories,
+        cores_options=args.cores,
+    )
+    print(f"recommended: {shape} on {args.nodes} nodes")
+    print(f"predicted total {run.total_seconds:,.0f}s = startup {run.startup_seconds:.0f}s"
+          f" + observed {run.observed_seconds:.0f}s"
+          f" + {args.iterations} x {run.per_iteration_seconds:.3f}s")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "analyze": cmd_analyze,
+    "maxt": cmd_maxt,
+    "plan": cmd_plan,
+    "tune": cmd_tune,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

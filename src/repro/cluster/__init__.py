@@ -1,0 +1,21 @@
+"""Cluster substrate: instance specs, YARN container allocation, network
+topology, and a discrete-event simulator with a cost model calibrated
+against the paper's own tables (see EXPERIMENTS.md for the fit)."""
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.nodes import M3_2XLARGE, ClusterSpec, InstanceSpec
+from repro.cluster.simulation import ClusterSimulator, SimReport, SimStage, SimTask
+from repro.cluster.yarn import ContainerAllocation, ResourceManager
+
+__all__ = [
+    "ClusterSimulator",
+    "ClusterSpec",
+    "ContainerAllocation",
+    "CostModel",
+    "InstanceSpec",
+    "M3_2XLARGE",
+    "ResourceManager",
+    "SimReport",
+    "SimStage",
+    "SimTask",
+]

@@ -1,0 +1,64 @@
+"""EC2 instance and cluster specifications.
+
+Table I of the paper describes the experimental hardware; it is encoded
+here as :data:`M3_2XLARGE` and consumed by the YARN model and cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One machine type."""
+
+    name: str
+    processor: str
+    vcpus: int
+    memory_gib: float
+    storage_gb: float
+    network_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1 or self.memory_gib <= 0 or self.storage_gb < 0:
+            raise ValueError("invalid instance spec")
+
+
+#: Table I: the m3.2xlarge Amazon EC2 instance used in every experiment.
+M3_2XLARGE = InstanceSpec(
+    name="m3.2xlarge",
+    processor="Intel Xeon E5-2670 v2 (Ivy Bridge)",
+    vcpus=8,
+    memory_gib=30.0,
+    storage_gb=2 * 80.0,
+    network_gbps=1.0,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``n_nodes`` instances."""
+
+    instance: InstanceSpec
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def total_vcpus(self) -> int:
+        return self.instance.vcpus * self.n_nodes
+
+    @property
+    def total_memory_gib(self) -> float:
+        return self.instance.memory_gib * self.n_nodes
+
+    def __str__(self) -> str:
+        return f"{self.n_nodes} x {self.instance.name}"
+
+
+def emr_cluster(n_nodes: int) -> ClusterSpec:
+    """The paper's EMR cluster shape at a given node count."""
+    return ClusterSpec(M3_2XLARGE, n_nodes)

@@ -1,0 +1,84 @@
+"""Cluster network topology (networkx) for transfer-cost estimation.
+
+A simple two-level model: nodes hang off rack switches, racks hang off a
+core switch.  Transfers within a node are free, within a rack pay the NIC
+bandwidth, across racks pay the min of NIC and (oversubscribed) uplink.
+The cost model uses :meth:`Topology.broadcast_seconds` and
+:meth:`Topology.shuffle_seconds` as its network terms.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cluster.nodes import ClusterSpec
+
+
+class Topology:
+    """A rack-aware star-of-stars network."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        nodes_per_rack: int = 20,
+        uplink_oversubscription: float = 4.0,
+    ) -> None:
+        if nodes_per_rack < 1:
+            raise ValueError("nodes_per_rack must be >= 1")
+        if uplink_oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+        self.cluster = cluster
+        self.nodes_per_rack = nodes_per_rack
+        self.nic_gbps = cluster.instance.network_gbps
+        self.uplink_gbps = self.nic_gbps * nodes_per_rack / uplink_oversubscription
+        self.graph = nx.Graph()
+        self.graph.add_node("core", kind="switch")
+        n_racks = -(-cluster.n_nodes // nodes_per_rack)
+        for r in range(n_racks):
+            rack = f"rack-{r}"
+            self.graph.add_node(rack, kind="switch")
+            self.graph.add_edge("core", rack, gbps=self.uplink_gbps)
+        for i in range(cluster.n_nodes):
+            rack = f"rack-{i // nodes_per_rack}"
+            node = f"node-{i}"
+            self.graph.add_node(node, kind="host")
+            self.graph.add_edge(rack, node, gbps=self.nic_gbps)
+
+    @property
+    def n_racks(self) -> int:
+        return sum(1 for _, d in self.graph.nodes(data=True) if d["kind"] == "switch") - 1
+
+    def rack_of(self, node_index: int) -> int:
+        return node_index // self.nodes_per_rack
+
+    def path_bandwidth_gbps(self, src: int, dst: int) -> float:
+        """Bottleneck bandwidth between two hosts."""
+        if src == dst:
+            return float("inf")
+        path = nx.shortest_path(self.graph, f"node-{src}", f"node-{dst}")
+        gbps = min(
+            self.graph.edges[a, b]["gbps"] for a, b in zip(path, path[1:])
+        )
+        return gbps
+
+    def broadcast_seconds(self, payload_bytes: int) -> float:
+        """Time to fan a driver payload out to every node (BitTorrent-ish:
+        log2 rounds of NIC-limited transfers, as in Spark's TorrentBroadcast)."""
+        import math
+
+        n = self.cluster.n_nodes
+        if n <= 1 or payload_bytes <= 0:
+            return 0.0
+        rounds = math.ceil(math.log2(n + 1))
+        per_round = payload_bytes * 8 / (self.nic_gbps * 1e9)
+        return rounds * per_round
+
+    def shuffle_seconds(self, total_bytes: int) -> float:
+        """All-to-all shuffle time, NIC-bound per node (uniform traffic)."""
+        n = self.cluster.n_nodes
+        if n <= 1 or total_bytes <= 0:
+            return 0.0
+        per_node = total_bytes / n
+        # a fraction (n-1)/n of each node's data crosses its NIC
+        cross = per_node * (n - 1) / n
+        return cross * 8 / (self.nic_gbps * 1e9)

@@ -1,0 +1,123 @@
+"""YARN-style container allocation over a cluster.
+
+Experiment C varies three Spark-on-YARN knobs: number of executors
+(containers), memory per executor, and cores per executor (Tables VII and
+VIII).  :class:`ResourceManager` validates a requested allocation against
+node capacities and produces the per-node packing used by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.nodes import ClusterSpec
+
+
+class AllocationError(RuntimeError):
+    """The requested containers do not fit on the cluster."""
+
+
+@dataclass(frozen=True)
+class ContainerAllocation:
+    """A validated container layout."""
+
+    cluster: ClusterSpec
+    num_containers: int
+    memory_per_container_gib: float
+    cores_per_container: int
+    #: containers packed on each node (len == n_nodes)
+    per_node: tuple[int, ...]
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_containers * self.cores_per_container
+
+    @property
+    def total_memory_gib(self) -> float:
+        return self.num_containers * self.memory_per_container_gib
+
+    def slot_hosts(self) -> list[str]:
+        """One entry per task slot, naming its host (simulator input)."""
+        slots = []
+        for node_idx, count in enumerate(self.per_node):
+            for _ in range(count * self.cores_per_container):
+                slots.append(f"node-{node_idx}")
+        return slots
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_containers} containers x ({self.cores_per_container} cores, "
+            f"{self.memory_per_container_gib:g} GiB) on {self.cluster}"
+        )
+
+
+class ResourceManager:
+    """Validates and packs container requests (capacity scheduler, breadth-first).
+
+    ``strict_cores=False`` (the default) mirrors YARN's
+    ``DefaultResourceCalculator``, which schedules containers by memory
+    only and lets vcores oversubscribe -- this is how the paper's 42
+    six-core containers fit on 36 eight-vCPU nodes (Tables VII/VIII).
+    """
+
+    #: fraction of node memory YARN hands out (OS + daemons reserve the rest)
+    USABLE_MEMORY_FRACTION = 0.9
+    #: cores YARN keeps for the node manager / OS
+    RESERVED_CORES = 1
+
+    def __init__(self, cluster: ClusterSpec, strict_cores: bool = False) -> None:
+        self.cluster = cluster
+        self.strict_cores = strict_cores
+
+    @property
+    def usable_cores_per_node(self) -> int:
+        return max(1, self.cluster.instance.vcpus - self.RESERVED_CORES)
+
+    @property
+    def usable_memory_per_node_gib(self) -> float:
+        return self.cluster.instance.memory_gib * self.USABLE_MEMORY_FRACTION
+
+    def allocate(
+        self,
+        num_containers: int,
+        memory_per_container_gib: float,
+        cores_per_container: int,
+    ) -> ContainerAllocation:
+        """Pack containers breadth-first across nodes; raise if infeasible."""
+        if num_containers < 1 or cores_per_container < 1 or memory_per_container_gib <= 0:
+            raise AllocationError("container shape must be positive")
+        n = self.cluster.n_nodes
+        per_node_mem_cap = int(self.usable_memory_per_node_gib // memory_per_container_gib)
+        if self.strict_cores:
+            per_node_core_cap = self.usable_cores_per_node // cores_per_container
+            per_node_cap = min(per_node_core_cap, per_node_mem_cap)
+        else:
+            per_node_cap = per_node_mem_cap
+        if per_node_cap < 1:
+            raise AllocationError(
+                f"a ({cores_per_container} core, {memory_per_container_gib:g} GiB) container "
+                f"does not fit on a {self.cluster.instance.name}"
+            )
+        if per_node_cap * n < num_containers:
+            raise AllocationError(
+                f"{num_containers} containers exceed cluster capacity "
+                f"({per_node_cap}/node x {n} nodes)"
+            )
+        per_node = [num_containers // n] * n
+        for i in range(num_containers % n):
+            per_node[i] += 1
+        if max(per_node) > per_node_cap:
+            raise AllocationError("uneven packing exceeds per-node capacity")
+        return ContainerAllocation(
+            cluster=self.cluster,
+            num_containers=num_containers,
+            memory_per_container_gib=memory_per_container_gib,
+            cores_per_container=cores_per_container,
+            per_node=tuple(per_node),
+        )
+
+    def default_allocation(self) -> ContainerAllocation:
+        """One executor per node using all usable cores (EMR-ish default)."""
+        cores = self.usable_cores_per_node
+        memory = self.usable_memory_per_node_gib * 0.5  # half to executors, half to OS cache etc.
+        return self.allocate(self.cluster.n_nodes, memory, cores)

@@ -1,0 +1,153 @@
+"""Engine configuration, modelled on ``SparkConf``.
+
+A :class:`EngineConfig` carries every knob the engine, block manager and
+schedulers consult.  It is an immutable-ish dataclass with a ``set``/``get``
+string interface layered on top so that code ported from Spark idioms
+(``conf.set("spark.executor.memory", "10g")``) reads naturally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([kmgt]?)i?b?\s*$", re.IGNORECASE)
+
+_SIZE_FACTORS = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable byte size (``"10g"``, ``"512m"``, ``1024``).
+
+    Returns the size in bytes.  Raises :class:`ValueError` for malformed
+    strings so configuration errors surface at set-time rather than deep in
+    the block manager.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"negative size: {text!r}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse size {text!r}")
+    value, unit = match.groups()
+    return int(float(value) * _SIZE_FACTORS[unit.lower()])
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count using the largest whole unit (``"1.5 GiB"``)."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024 or unit == "TiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class EngineConfig:
+    """Configuration for a :class:`repro.engine.context.Context`.
+
+    Attributes mirror the Spark knobs the paper's Experiment C tunes
+    (executors/containers, memory per executor, cores per executor) plus
+    engine-internal settings (default parallelism, scheduler retry policy,
+    block-manager budget).
+    """
+
+    app_name: str = "sparkscore"
+    #: execution backend: "serial", "threads", or "processes"
+    backend: str = "serial"
+    #: number of executors (YARN containers); Experiment C varies this
+    num_executors: int = 2
+    #: cores (task slots) per executor
+    executor_cores: int = 2
+    #: memory per executor in bytes, used by the block manager for caching
+    executor_memory: int = 512 * 1024**2
+    #: default number of partitions for parallelize / shuffles
+    default_parallelism: int = 4
+    #: maximum automatic retries for a failed task before failing the job
+    max_task_retries: int = 3
+    #: maximum stage resubmissions on shuffle-fetch failure
+    max_stage_retries: int = 4
+    #: fraction of executor memory usable for cached blocks
+    storage_fraction: float = 0.6
+    #: deterministic seed for engine-internal tie-breaking
+    seed: int = 0
+    #: free-form extra options (string keyed, Spark style)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    _ALIASES = {
+        "spark.app.name": "app_name",
+        "spark.executor.instances": "num_executors",
+        "spark.executor.cores": "executor_cores",
+        "spark.executor.memory": "executor_memory",
+        "spark.default.parallelism": "default_parallelism",
+        "spark.task.maxFailures": "max_task_retries",
+        "spark.stage.maxConsecutiveAttempts": "max_stage_retries",
+        "spark.memory.storageFraction": "storage_fraction",
+    }
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
+        if self.backend not in ("serial", "threads", "processes"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.num_executors < 1:
+            raise ValueError("num_executors must be >= 1")
+        if self.executor_cores < 1:
+            raise ValueError("executor_cores must be >= 1")
+        if self.executor_memory < 0:
+            raise ValueError("executor_memory must be >= 0")
+        if self.default_parallelism < 1:
+            raise ValueError("default_parallelism must be >= 1")
+        if not 0.0 <= self.storage_fraction <= 1.0:
+            raise ValueError("storage_fraction must be in [0, 1]")
+        if self.max_task_retries < 0 or self.max_stage_retries < 0:
+            raise ValueError("retry counts must be >= 0")
+
+    # -- Spark-style string interface ------------------------------------
+
+    def set(self, key: str, value: Any) -> "EngineConfig":
+        """Set an option by Spark-style dotted key; returns self (chainable)."""
+        attr = self._ALIASES.get(key)
+        if attr is None:
+            self.extra[key] = value
+            return self
+        if attr == "executor_memory":
+            value = parse_size(value)
+        else:
+            current = getattr(self, attr)
+            if isinstance(current, int):
+                value = int(value)
+            elif isinstance(current, float):
+                value = float(value)
+        setattr(self, attr, value)
+        self.validate()
+        return self
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read an option by Spark-style dotted key."""
+        attr = self._ALIASES.get(key)
+        if attr is not None:
+            return getattr(self, attr)
+        return self.extra.get(key, default)
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        """Total task slots across the application."""
+        return self.num_executors * self.executor_cores
+
+    @property
+    def storage_memory_per_executor(self) -> int:
+        """Bytes of cache budget per executor block manager."""
+        return int(self.executor_memory * self.storage_fraction)
+
+    def copy(self, **overrides: Any) -> "EngineConfig":
+        """Return a copy with the given attribute overrides applied."""
+        return dataclasses.replace(self, extra=dict(self.extra), **overrides)

@@ -1,0 +1,7 @@
+"""SparkScore core: the paper's Algorithms 1-3 and the analysis API."""
+
+from repro.core.local import LocalSparkScore
+from repro.core.results import ResamplingResult, SnpSetResult
+from repro.core.sparkscore import SparkScoreAnalysis
+
+__all__ = ["LocalSparkScore", "ResamplingResult", "SnpSetResult", "SparkScoreAnalysis"]

@@ -1,0 +1,315 @@
+"""Algorithms 1-3 on the distributed engine.
+
+Two flavors of the same pipeline:
+
+- ``"paper"`` -- record-per-SNP RDDs and an explicit weights *join*,
+  transcribing Algorithm 1 step by step (including the filter against the
+  union of SNP-sets and the broadcast of the phenotype pairs);
+- ``"vectorized"`` -- record-per-block RDDs (:class:`~repro.core.blocks.SnpBlock`)
+  with broadcast weights, trading fidelity for NumPy batching.  Both
+  produce identical statistics.
+
+Monte Carlo (Algorithm 3) caches the contributions RDD and reuses it for
+every replicate batch; permutation (Algorithm 2) re-runs the scoring
+pipeline per replicate with a re-broadcast shuffled phenotype.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.blocks import SnpBlock, build_blocks
+from repro.core.results import ResamplingResult
+from repro.genomics.io.formats import parse_genotype_line, parse_weight_line
+from repro.genomics.synthetic import Dataset
+from repro.stats.resampling.streams import mc_multiplier_batches, permutation_stream
+from repro.stats.score.base import ScoreModel
+from repro.stats.score.cox import CoxScoreModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+    from repro.engine.rdd import RDD
+
+FLAVORS = ("paper", "vectorized")
+
+
+class DistributedSparkScore:
+    """SparkScore's Algorithms 1-3 running on a :class:`Context`.
+
+    Parameters
+    ----------
+    ctx:
+        The engine context (owns executors, shuffle state, caches).
+    dataset:
+        In-memory dataset; mutually exclusive with ``input_paths``.
+    input_paths:
+        ``{"genotypes": path, "weights": path}`` text files (local or
+        ``hdfs://``) to parse with the engine, plus ``dataset`` supplying
+        phenotype/sets/weights metadata for the driver side.  When given,
+        genotype records flow through the parse stage exactly as in the
+        paper (re-parsed on every uncached recomputation).
+    flavor:
+        ``"paper"`` or ``"vectorized"`` (see module docstring).
+    join_strategy:
+        ``"rdd_join"`` joins the weights RDD per the paper; ``"broadcast"``
+        ships a weight dict with the tasks instead (paper flavor only).
+    """
+
+    def __init__(
+        self,
+        ctx: "Context",
+        dataset: Dataset,
+        model: ScoreModel | None = None,
+        flavor: str = "vectorized",
+        block_size: int = 256,
+        num_partitions: int | None = None,
+        join_strategy: str = "rdd_join",
+        input_paths: dict[str, str] | None = None,
+        cache_genotypes: bool = False,
+    ) -> None:
+        if flavor not in FLAVORS:
+            raise ValueError(f"flavor must be one of {FLAVORS}")
+        if join_strategy not in ("rdd_join", "broadcast"):
+            raise ValueError("join_strategy must be 'rdd_join' or 'broadcast'")
+        self.ctx = ctx
+        self.dataset = dataset
+        self.model = model or CoxScoreModel(dataset.phenotype)
+        if self.model.n_patients != dataset.n_patients:
+            raise ValueError("model patients must match dataset")
+        self.flavor = flavor
+        self.block_size = block_size
+        self.join_strategy = join_strategy
+        self.num_partitions = num_partitions or ctx.config.default_parallelism
+        self._K = dataset.n_sets
+
+        snp_ids = dataset.genotypes.snp_ids
+        set_map = {int(s): int(k) for s, k in zip(snp_ids, dataset.snpsets.set_ids)}
+        w2_map = {int(s): float(w) ** 2 for s, w in zip(snp_ids, dataset.weights)}
+        # broadcast the SNP-set mapping and the phenotype pairs (Alg. 1 step 6)
+        self._set_map_bc = ctx.broadcast(set_map)
+        self._w2_map_bc = ctx.broadcast(w2_map)
+        self._union_set_bc = ctx.broadcast(frozenset(set_map))
+        self._model_bc = ctx.broadcast(self.model)
+        self._pairs_bc = ctx.broadcast(dataset.phenotype.pairs())
+
+        self._gm_rdd = self._build_genotype_rdd(input_paths, cache_genotypes)
+        self._weights_rdd = self._build_weights_rdd(input_paths)
+        self._u_rdd: "RDD | None" = None
+        self._u_cached = False
+
+    # -- input RDDs ------------------------------------------------------------
+
+    def _build_genotype_rdd(
+        self, input_paths: dict[str, str] | None, cache_genotypes: bool
+    ) -> "RDD":
+        ctx = self.ctx
+        if input_paths is not None:
+            lines = ctx.text_file(input_paths["genotypes"], self.num_partitions)
+            rows = lines.map_partitions(
+                lambda it: (parse_genotype_line(l) for l in it if l), name="parse_gm"
+            )
+        else:
+            rows = ctx.parallelize(list(self.dataset.genotypes.rows()), self.num_partitions)
+            rows.name = "gm_rows"
+        # Algorithm 1 step 5: filter against the union of the SNP-sets
+        union_bc = self._union_set_bc
+        filtered = rows.filter(lambda rec: rec[0] in union_bc.value)
+        filtered.name = "fgm"
+        if self.flavor == "vectorized":
+            set_bc, w2_bc = self._set_map_bc, self._w2_map_bc
+            n_sets, block_size = self._K, self.block_size
+            filtered = filtered.map_partitions(
+                lambda it: build_blocks(it, set_bc.value, w2_bc.value, n_sets, block_size),
+                name="gm_blocks",
+            )
+        if cache_genotypes:
+            filtered.cache()
+        return filtered
+
+    def _build_weights_rdd(self, input_paths: dict[str, str] | None) -> "RDD | None":
+        if self.flavor != "paper" or self.join_strategy != "rdd_join":
+            return None
+        ctx = self.ctx
+        if input_paths is not None and "weights" in input_paths:
+            lines = ctx.text_file(input_paths["weights"], self.num_partitions)
+            pairs = lines.map_partitions(
+                lambda it: (parse_weight_line(l) for l in it if l), name="parse_weights"
+            )
+            rdd = pairs.map(lambda kv: (kv[0], kv[1] ** 2))
+        else:
+            records = [
+                (int(s), float(w) ** 2)
+                for s, w in zip(self.dataset.genotypes.snp_ids, self.dataset.weights)
+            ]
+            rdd = ctx.parallelize(records, self.num_partitions)
+        rdd.name = "weights_sq"
+        return rdd
+
+    # -- U RDD (Algorithm 1 step 7) ------------------------------------------------
+
+    def contributions_rdd(self, cache: bool = True) -> "RDD":
+        """The per-patient contributions RDD; cached when requested."""
+        if self._u_rdd is not None and self._u_cached == cache:
+            return self._u_rdd
+        model_bc = self._model_bc
+        if self.flavor == "paper":
+            u = self._gm_rdd.map_values(
+                lambda g: model_bc.value.contributions(np.asarray(g, dtype=np.float64))[0]
+            )
+        else:
+            u = self._gm_rdd.map(
+                lambda block: SnpBlock(
+                    block.snp_ids,
+                    block.set_ids,
+                    block.weights_sq,
+                    model_bc.value.contributions(block.genotypes.astype(np.float64)),
+                    block.n_sets,
+                )
+            )
+        u.name = "U"
+        if cache:
+            u.cache()
+        self._u_rdd = u
+        self._u_cached = cache
+        return u
+
+    def _scores_to_set_stats(self, scored: "RDD", width: int) -> np.ndarray:
+        """Steps 8-12: inner sigma -> weight join -> per-set reduction.
+
+        ``scored`` carries per-SNP squared scores: paper flavor records are
+        ``(snp_id, value_or_vector)``; vectorized records are per-set
+        partial vectors already.  Returns (width, K) statistics.
+        """
+        K = self._K
+        if self.flavor == "vectorized":
+            partials = scored.collect()
+            total = np.zeros((width, K))
+            for partial in partials:
+                total += partial
+            return total
+        if self.join_strategy == "rdd_join":
+            joined = scored.join(self._weights_rdd, num_partitions=self.num_partitions)
+            snp_scores = joined.map_values(lambda uw: uw[0] * uw[1])
+        else:
+            w2_bc = self._w2_map_bc
+            snp_scores = scored.map(lambda kv: (kv[0], kv[1] * w2_bc.value[kv[0]]))
+        set_bc = self._set_map_bc
+        per_set = snp_scores.map(lambda kv: (set_bc.value[kv[0]], kv[1])).reduce_by_key(
+            lambda a, b: a + b, self.num_partitions
+        )
+        stats = np.zeros((width, K))
+        for set_idx, value in per_set.collect():
+            stats[:, set_idx] = value
+        return stats
+
+    # -- Algorithm 1: observed statistics ----------------------------------------------
+
+    def observed_statistics(self, cache_contributions: bool = True) -> np.ndarray:
+        u = self.contributions_rdd(cache_contributions)
+        if self.flavor == "paper":
+            inner = u.map_values(lambda row: float(np.sum(row)) ** 2)
+            return self._scores_to_set_stats(inner, 1)[0]
+        partial = u.map(lambda block: block.skat_partial(block.genotypes.sum(axis=1)))
+        return self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
+
+    def observed(self) -> ResamplingResult:
+        start = time.perf_counter()
+        stats = self.observed_statistics()
+        return self._result("observed", stats, np.zeros(self._K, dtype=np.int64), 0, start)
+
+    # -- Algorithm 3: Monte Carlo -----------------------------------------------------------
+
+    def monte_carlo(
+        self,
+        iterations: int,
+        seed: int = 0,
+        batch_size: int = 64,
+        cache_contributions: bool = True,
+    ) -> ResamplingResult:
+        start = time.perf_counter()
+        observed = self.observed_statistics(cache_contributions)
+        u = self.contributions_rdd(cache_contributions)
+        counts = np.zeros(self._K, dtype=np.int64)
+        n = self.dataset.n_patients
+        for z_batch in mc_multiplier_batches(n, iterations, seed, batch_size):
+            z_bc = self.ctx.broadcast(z_batch)
+            width = z_batch.shape[0]
+            if self.flavor == "paper":
+                inner = u.map_values(lambda row: np.square(z_bc.value @ row))
+                stats = self._scores_to_set_stats(inner, width)
+            else:
+                partial = u.map(
+                    lambda block: block.skat_partial(z_bc.value @ block.genotypes.T)
+                )
+                stats = self._scores_to_set_stats(partial, width)
+            counts += (stats >= observed[None, :]).sum(axis=0)
+            z_bc.destroy()
+        return self._result("monte_carlo", observed, counts, iterations, start)
+
+    # -- Algorithm 2: permutation ---------------------------------------------------------------
+
+    def permutation(self, iterations: int, seed: int = 0) -> ResamplingResult:
+        start = time.perf_counter()
+        observed = self.observed_statistics(cache_contributions=False)
+        counts = np.zeros(self._K, dtype=np.int64)
+        n = self.dataset.n_patients
+        for perm in permutation_stream(n, iterations, seed):
+            # re-broadcast the shuffled phenotype pairs (Alg. 2 step 2) and
+            # recompute steps 6-12 of Algorithm 1 from the genotype RDD
+            permuted_model = self.model.permuted(perm)
+            model_bc = self.ctx.broadcast(permuted_model)
+            if self.flavor == "paper":
+                u = self._gm_rdd.map_values(
+                    lambda g: permuted_contributions(model_bc, g)
+                )
+                inner = u.map_values(lambda row: float(np.sum(row)) ** 2)
+                stats = self._scores_to_set_stats(inner, 1)[0]
+            else:
+                partial = self._gm_rdd.map(
+                    lambda block: block.skat_partial(
+                        model_bc.value.scores(block.genotypes.astype(np.float64))
+                    )
+                )
+                stats = self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
+            counts += (stats >= observed).astype(np.int64)
+            model_bc.destroy()
+        return self._result("permutation", observed, counts, iterations, start)
+
+    # -- results -----------------------------------------------------------------------------------
+
+    def _result(
+        self,
+        method: str,
+        observed: np.ndarray,
+        counts: np.ndarray,
+        iterations: int,
+        start: float,
+    ) -> ResamplingResult:
+        elapsed = time.perf_counter() - start
+        jobs = self.ctx.metrics.jobs
+        totals = [j.totals() for j in jobs]
+        return ResamplingResult(
+            method=method,
+            set_names=list(self.dataset.snpsets.names),
+            set_sizes=self.dataset.snpsets.sizes(),
+            observed=observed,
+            exceed_counts=counts,
+            n_resamples=iterations,
+            info={
+                "wall_seconds": elapsed,
+                "engine": "distributed",
+                "flavor": self.flavor,
+                "jobs_run": len(jobs),
+                "cache_hits": sum(t.cache_hits for t in totals),
+                "cache_misses": sum(t.cache_misses for t in totals),
+                "shuffle_bytes": sum(t.shuffle_bytes_written for t in totals),
+            },
+        )
+
+
+def permuted_contributions(model_bc, genotype_row) -> np.ndarray:
+    """Per-row contributions under the broadcast permuted model."""
+    return model_bc.value.contributions(np.asarray(genotype_row, dtype=np.float64))[0]

@@ -1,0 +1,160 @@
+"""Auto-tuning (the paper's Experiment C), model-driven and live.
+
+Two complementary tuners:
+
+- :class:`ModelTuner` searches cluster/container configurations using the
+  calibrated performance model -- strong scaling over node counts
+  (Fig. 6) and container-shape sweeps at fixed hardware (Fig. 7,
+  Tables VII/VIII), plus a recommender that picks the cheapest predicted
+  configuration.
+- :class:`LiveTuner` probes *real* engine runs at reduced scale, sweeping
+  partition counts and block sizes, and returns the measured best -- the
+  "prototype and evaluate selected auto-tuning capabilities" part of the
+  paper, realized against this repo's engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.nodes import ClusterSpec, emr_cluster
+from repro.cluster.yarn import AllocationError, ContainerAllocation, ResourceManager
+from repro.core.perfmodel import PredictedRun, SparkScorePerfModel, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ContainerShape:
+    """One point of the Experiment C sweep."""
+
+    num_containers: int
+    memory_gib: float
+    cores: int
+
+    def __str__(self) -> str:
+        return f"{self.num_containers} x ({self.cores} cores, {self.memory_gib:g} GiB)"
+
+
+#: Tables VII/VIII: 36 nodes, three equal-aggregate-resource shapes.
+PAPER_CONTAINER_SHAPES = (
+    ContainerShape(42, 10.0, 6),
+    ContainerShape(84, 5.0, 3),
+    ContainerShape(126, 3.0, 2),
+)
+
+
+class ModelTuner:
+    """Configuration search over the calibrated performance model."""
+
+    def __init__(self, model: SparkScorePerfModel | None = None) -> None:
+        self.model = model or SparkScorePerfModel()
+
+    def strong_scaling(
+        self, workload: WorkloadSpec, node_counts: list[int]
+    ) -> dict[int, PredictedRun]:
+        """Fixed input, varying cluster size (Fig. 6 / Table VI)."""
+        return {n: self.model.predict(workload, emr_cluster(n)) for n in node_counts}
+
+    def sweep_containers(
+        self,
+        workload: WorkloadSpec,
+        cluster: ClusterSpec,
+        shapes: tuple[ContainerShape, ...] = PAPER_CONTAINER_SHAPES,
+    ) -> dict[ContainerShape, PredictedRun]:
+        """Fixed cluster, varying container shape (Fig. 7)."""
+        rm = ResourceManager(cluster)
+        out: dict[ContainerShape, PredictedRun] = {}
+        for shape in shapes:
+            allocation = rm.allocate(shape.num_containers, shape.memory_gib, shape.cores)
+            out[shape] = self.model.predict(workload, allocation)
+        return out
+
+    def feasible_shapes(
+        self,
+        cluster: ClusterSpec,
+        container_counts: list[int],
+        memories_gib: list[float],
+        cores_options: list[int],
+    ) -> list[tuple[ContainerShape, ContainerAllocation]]:
+        rm = ResourceManager(cluster)
+        out = []
+        for count in container_counts:
+            for memory in memories_gib:
+                for cores in cores_options:
+                    try:
+                        allocation = rm.allocate(count, memory, cores)
+                    except AllocationError:
+                        continue
+                    out.append((ContainerShape(count, memory, cores), allocation))
+        return out
+
+    def recommend(
+        self,
+        workload: WorkloadSpec,
+        cluster: ClusterSpec,
+        container_counts: list[int],
+        memories_gib: list[float],
+        cores_options: list[int],
+    ) -> tuple[ContainerShape, PredictedRun]:
+        """Cheapest predicted configuration among the feasible grid."""
+        candidates = self.feasible_shapes(cluster, container_counts, memories_gib, cores_options)
+        if not candidates:
+            raise AllocationError("no feasible container shape in the search grid")
+        best_shape, best_run = None, None
+        for shape, allocation in candidates:
+            run = self.model.predict(workload, allocation)
+            if best_run is None or run.total_seconds < best_run.total_seconds:
+                best_shape, best_run = shape, run
+        assert best_shape is not None and best_run is not None
+        return best_shape, best_run
+
+
+@dataclass
+class LiveProbe:
+    """One measured configuration probe."""
+
+    num_partitions: int
+    block_size: int
+    wall_seconds: float
+
+
+class LiveTuner:
+    """Measures real engine runs across partition/block-size settings."""
+
+    def __init__(self, dataset, config=None, probe_iterations: int = 20, seed: int = 0) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.probe_iterations = probe_iterations
+        self.seed = seed
+
+    def sweep(
+        self, partition_options: list[int], block_size_options: list[int]
+    ) -> list[LiveProbe]:
+        from repro.config import EngineConfig
+        from repro.core.algorithms import DistributedSparkScore
+        from repro.engine.context import Context
+
+        probes: list[LiveProbe] = []
+        for num_partitions in partition_options:
+            for block_size in block_size_options:
+                config = (self.config or EngineConfig()).copy(
+                    default_parallelism=num_partitions
+                )
+                with Context(config) as ctx:
+                    scorer = DistributedSparkScore(
+                        ctx,
+                        self.dataset,
+                        flavor="vectorized",
+                        block_size=block_size,
+                        num_partitions=num_partitions,
+                    )
+                    start = time.perf_counter()
+                    scorer.monte_carlo(self.probe_iterations, seed=self.seed)
+                    probes.append(
+                        LiveProbe(num_partitions, block_size, time.perf_counter() - start)
+                    )
+        return probes
+
+    def best(self, partition_options: list[int], block_size_options: list[int]) -> LiveProbe:
+        probes = self.sweep(partition_options, block_size_options)
+        return min(probes, key=lambda p: p.wall_seconds)

@@ -1,0 +1,105 @@
+"""SNP block records for the vectorized algorithm flavor.
+
+The paper's Algorithm 1 keys every RDD record by a single SNP.  That is
+faithful but pays per-record overhead for every genotype row; the
+``"vectorized"`` flavor instead carries *blocks* of SNP rows per record so
+each map task is a handful of NumPy kernel calls.  A block carries its
+members' weights and set assignments, resolved once at construction, plus a
+cached sparse membership matrix for set aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass
+class SnpBlock:
+    """A chunk of SNP rows with pre-resolved weights and set assignments."""
+
+    snp_ids: np.ndarray  # (m,) SNP identifiers
+    set_ids: np.ndarray  # (m,) SNP-set index per row
+    weights_sq: np.ndarray  # (m,) omega_j^2 per row
+    genotypes: np.ndarray  # (m, n) dosages (any numeric dtype)
+    n_sets: int
+    _membership: sparse.csr_matrix | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        m = self.genotypes.shape[0]
+        if not (self.snp_ids.shape == self.set_ids.shape == self.weights_sq.shape == (m,)):
+            raise ValueError("block arrays must align with genotype rows")
+
+    @property
+    def n_snps(self) -> int:
+        return self.genotypes.shape[0]
+
+    def membership(self) -> sparse.csr_matrix:
+        """(K, m) indicator matrix, built lazily and cached on the block."""
+        if self._membership is None:
+            m = self.n_snps
+            self._membership = sparse.csr_matrix(
+                (np.ones(m), (self.set_ids, np.arange(m))), shape=(self.n_sets, m)
+            )
+        return self._membership
+
+    def aggregate_per_snp(self, per_snp: np.ndarray) -> np.ndarray:
+        """Sum per-SNP values into per-set partials.
+
+        ``per_snp`` is ``(m,)`` or ``(b, m)``; returns ``(K,)`` or ``(b, K)``.
+        """
+        if per_snp.ndim == 1:
+            return np.bincount(self.set_ids, weights=per_snp, minlength=self.n_sets)
+        return np.asarray(per_snp @ self.membership().T)
+
+    def skat_partial(self, scores: np.ndarray) -> np.ndarray:
+        """Per-set SKAT partials from marginal scores for this block's SNPs."""
+        return self.aggregate_per_snp(self.weights_sq * np.square(scores))
+
+
+def build_blocks(
+    rows: Iterable[tuple[int, np.ndarray]],
+    set_map: Mapping[int, int],
+    weight_sq_map: Mapping[int, float],
+    n_sets: int,
+    block_size: int,
+) -> Iterator[SnpBlock]:
+    """Assemble per-SNP (id, vector) records into :class:`SnpBlock` chunks.
+
+    Records whose SNP id is absent from ``set_map`` are dropped -- this is
+    Algorithm 1's filter against the union of the SNP-sets.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    ids: list[int] = []
+    vectors: list[np.ndarray] = []
+    for snp_id, vector in rows:
+        if snp_id not in set_map:
+            continue
+        ids.append(snp_id)
+        vectors.append(vector)
+        if len(ids) >= block_size:
+            yield _finish_block(ids, vectors, set_map, weight_sq_map, n_sets)
+            ids, vectors = [], []
+    if ids:
+        yield _finish_block(ids, vectors, set_map, weight_sq_map, n_sets)
+
+
+def _finish_block(
+    ids: list[int],
+    vectors: list[np.ndarray],
+    set_map: Mapping[int, int],
+    weight_sq_map: Mapping[int, float],
+    n_sets: int,
+) -> SnpBlock:
+    snp_ids = np.asarray(ids, dtype=np.int64)
+    return SnpBlock(
+        snp_ids=snp_ids,
+        set_ids=np.array([set_map[i] for i in ids], dtype=np.int64),
+        weights_sq=np.array([weight_sq_map[i] for i in ids], dtype=np.float64),
+        genotypes=np.vstack(vectors),
+        n_sets=n_sets,
+    )

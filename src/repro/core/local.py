@@ -1,0 +1,145 @@
+"""Single-node vectorized reference implementation.
+
+This is the validation oracle for the distributed algorithms (given the
+same seed both paths consume identical resampling streams, see
+:mod:`repro.stats.resampling.streams`) and the single-node baseline for
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.results import ResamplingResult
+from repro.genomics.synthetic import Dataset
+from repro.stats.asymptotic import skat_asymptotic_pvalues
+from repro.stats.resampling.montecarlo import MonteCarloResampler
+from repro.stats.resampling.permutation import PermutationResampler
+from repro.stats.resampling.streams import mc_multiplier_batches, permutation_stream
+from repro.stats.score.base import ScoreModel
+from repro.stats.score.cox import CoxScoreModel
+from repro.stats.skat import skat_statistics
+
+
+class LocalSparkScore:
+    """Pure-NumPy SparkScore: same analyses, no engine.
+
+    The Monte Carlo path keeps the (J, n) contribution matrix resident
+    ("caching"); passing ``cache_contributions=False`` recomputes it for
+    every batch, mirroring Experiment B's no-cache arm.
+    """
+
+    def __init__(self, dataset: Dataset, model: ScoreModel | None = None) -> None:
+        self.dataset = dataset
+        self.model = model or CoxScoreModel(dataset.phenotype)
+        if self.model.n_patients != dataset.n_patients:
+            raise ValueError("model patients must match dataset")
+        self._G = dataset.genotypes.matrix.astype(np.float64)
+        self._weights = dataset.weights
+        self._set_ids = dataset.snpsets.set_ids
+        self._K = dataset.n_sets
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def observed(self) -> ResamplingResult:
+        start = time.perf_counter()
+        scores = self.model.scores(self._G)
+        stats = skat_statistics(scores, self._weights, self._set_ids, self._K)
+        elapsed = time.perf_counter() - start
+        return self._result("observed", stats, np.zeros(self._K, dtype=np.int64), 0, elapsed)
+
+    def observed_statistics(self) -> np.ndarray:
+        scores = self.model.scores(self._G)
+        return skat_statistics(scores, self._weights, self._set_ids, self._K)
+
+    def contributions(self) -> np.ndarray:
+        """The (J, n) U matrix Algorithm 3 caches."""
+        return self.model.contributions(self._G)
+
+    # -- Algorithm 3 (Monte Carlo) ----------------------------------------------
+
+    def monte_carlo(
+        self,
+        iterations: int,
+        seed: int = 0,
+        batch_size: int = 64,
+        cache_contributions: bool = True,
+    ) -> ResamplingResult:
+        start = time.perf_counter()
+        if cache_contributions:
+            sampler = MonteCarloResampler(
+                self.contributions(), self._weights, self._set_ids, self._K
+            )
+            outcome = sampler.run(iterations, seed, batch_size)
+            observed, counts = outcome.observed, outcome.exceed_counts
+        else:
+            # no-cache arm: re-derive U from genotypes for every batch,
+            # exactly what Spark does when the U RDD is not persisted
+            observed = self.observed_statistics()
+            counts = np.zeros(self._K, dtype=np.int64)
+            n = self.dataset.n_patients
+            for z_batch in mc_multiplier_batches(n, iterations, seed, batch_size):
+                U = self.model.contributions(self._G)  # recomputed!
+                scores = z_batch @ U.T
+                stats = skat_statistics(scores, self._weights, self._set_ids, self._K)
+                counts += (stats >= observed[None, :]).sum(axis=0)
+        elapsed = time.perf_counter() - start
+        return self._result("monte_carlo", observed, counts, iterations, elapsed)
+
+    # -- Algorithm 2 (permutation) --------------------------------------------------
+
+    def permutation(self, iterations: int, seed: int = 0) -> ResamplingResult:
+        start = time.perf_counter()
+        sampler = PermutationResampler(
+            self.model, self._G, self._weights, self._set_ids, self._K
+        )
+        outcome = sampler.run(iterations, seed)
+        elapsed = time.perf_counter() - start
+        return self._result(
+            "permutation", outcome.observed, outcome.exceed_counts, iterations, elapsed
+        )
+
+    def permutation_statistics(self, iterations: int, seed: int = 0) -> np.ndarray:
+        """(B, K) replicate statistics (diagnostics / QQ plots)."""
+        out = np.empty((iterations, self._K))
+        for b, perm in enumerate(permutation_stream(self.dataset.n_patients, iterations, seed)):
+            scores = self.model.permuted(perm).scores(self._G)
+            out[b] = skat_statistics(scores, self._weights, self._set_ids, self._K)
+        return out
+
+    # -- asymptotics ----------------------------------------------------------------------
+
+    def asymptotic(self, method: str = "liu") -> ResamplingResult:
+        start = time.perf_counter()
+        U = self.contributions()
+        observed = skat_statistics(U.sum(axis=1), self._weights, self._set_ids, self._K)
+        pvals = skat_asymptotic_pvalues(
+            U, self._weights, self._set_ids, self._K, observed, method
+        )
+        elapsed = time.perf_counter() - start
+        result = self._result("asymptotic", observed, np.zeros(self._K, dtype=np.int64), 0, elapsed)
+        result.explicit_pvalues = pvals
+        result.info["approximation"] = method
+        return result
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _result(
+        self,
+        method: str,
+        observed: np.ndarray,
+        counts: np.ndarray,
+        iterations: int,
+        elapsed: float,
+    ) -> ResamplingResult:
+        return ResamplingResult(
+            method=method,
+            set_names=list(self.dataset.snpsets.names),
+            set_sizes=self.dataset.snpsets.sizes(),
+            observed=observed,
+            exceed_counts=counts,
+            n_resamples=iterations,
+            info={"wall_seconds": elapsed, "engine": "local"},
+        )

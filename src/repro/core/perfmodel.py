@@ -1,0 +1,249 @@
+"""Performance model: SparkScore workloads -> simulated cluster runtimes.
+
+Combines the calibrated :class:`~repro.cluster.costmodel.CostModel` with
+the discrete-event :class:`~repro.cluster.simulation.ClusterSimulator` to
+predict wall-clock time for a workload on an arbitrary EMR cluster.  This
+is the machinery behind every paper-scale benchmark figure: the observed
+job and one resampling iteration are simulated in full (task placement,
+stragglers, stage barriers), and iterations are composed linearly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.nodes import ClusterSpec
+from repro.cluster.simulation import ClusterSimulator, SimStage, even_tasks
+from repro.cluster.yarn import ContainerAllocation, ResourceManager
+
+HDFS_BLOCK_BYTES = 128 * 1024**2
+
+METHODS = ("monte_carlo", "permutation")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A SparkScore run: data shape + resampling method."""
+
+    n_patients: int
+    n_snps: int
+    n_snpsets: int
+    method: str = "monte_carlo"
+    iterations: int = 0
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}")
+        if min(self.n_patients, self.n_snps, self.n_snpsets) < 1:
+            raise ValueError("workload dimensions must be positive")
+        if self.iterations < 0:
+            raise ValueError("iterations must be >= 0")
+
+
+@dataclass
+class PredictedRun:
+    """Predicted wall-clock decomposition for one workload."""
+
+    workload: WorkloadSpec
+    allocation: ContainerAllocation
+    startup_seconds: float
+    observed_seconds: float
+    per_iteration_seconds: float
+    cache_fits: bool
+    breakdown: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.startup_seconds
+            + self.observed_seconds
+            + self.workload.iterations * self.per_iteration_seconds
+        )
+
+    def total_at(self, iterations: int) -> float:
+        """Total for a different iteration count (same workload shape)."""
+        return self.startup_seconds + self.observed_seconds + iterations * self.per_iteration_seconds
+
+
+class SparkScorePerfModel:
+    """Predicts SparkScore runtimes on simulated EMR clusters."""
+
+    def __init__(self, cost: CostModel | None = None, seed: int = 0) -> None:
+        self.cost = cost or CostModel()
+        self.seed = seed
+
+    # -- public API ------------------------------------------------------------
+
+    def predict(
+        self,
+        workload: WorkloadSpec,
+        cluster: ClusterSpec | ContainerAllocation,
+    ) -> PredictedRun:
+        allocation = (
+            cluster
+            if isinstance(cluster, ContainerAllocation)
+            else ResourceManager(cluster).default_allocation()
+        )
+        cost = self.cost
+        cluster_spec = allocation.cluster
+        # vcores may oversubscribe under YARN's default calculator, but
+        # physical cores bound actual throughput
+        slots = self._slots(allocation)
+        simulator = ClusterSimulator(
+            slots,
+            task_overhead_s=cost.task_overhead_s,
+            straggler_sigma=cost.straggler_sigma,
+            seed=self.seed,
+        )
+
+        observed = simulator.run(self._observed_stages(workload, allocation)).makespan
+        cache_fits = cost.contributions_fit_in_cache(
+            cluster_spec, workload.n_snps, workload.n_patients
+        )
+        effective_cache = workload.cache and cache_fits and workload.method == "monte_carlo"
+        iter_stages = self._iteration_stages(workload, allocation, effective_cache)
+        per_iteration = simulator.run(iter_stages).makespan
+        startup = cost.startup_seconds(allocation.num_containers)
+
+        return PredictedRun(
+            workload=workload,
+            allocation=allocation,
+            startup_seconds=startup,
+            observed_seconds=observed,
+            per_iteration_seconds=per_iteration,
+            cache_fits=cache_fits,
+            breakdown={
+                "slots": slots,
+                "parse_score_core_seconds": cost.parse_score_core_seconds(
+                    workload.n_snps, workload.n_patients
+                ),
+                "mc_update_core_seconds": cost.mc_update_core_seconds(
+                    workload.n_snps, workload.n_patients
+                ),
+                "cache_requested": workload.cache,
+                "cache_effective": effective_cache,
+                "u_cached_bytes": cost.contributions_cached_bytes(
+                    workload.n_snps, workload.n_patients
+                ),
+                "aggregate_cache_bytes": cost.aggregate_cache_bytes(cluster_spec),
+            },
+        )
+
+    def predict_grid(
+        self,
+        workload: WorkloadSpec,
+        cluster: ClusterSpec | ContainerAllocation,
+        iteration_grid: list[int],
+    ) -> dict[int, float]:
+        """Total runtime at each iteration count (single simulation reused)."""
+        run = self.predict(workload, cluster)
+        return {b: run.total_at(b) for b in iteration_grid}
+
+    # -- stage construction ----------------------------------------------------------
+
+    @staticmethod
+    def _slots(allocation: ContainerAllocation) -> int:
+        return min(allocation.total_cores, allocation.cluster.total_vcpus)
+
+    def _n_parse_tasks(self, workload: WorkloadSpec, slots: int) -> int:
+        text_bytes = self.cost.genotype_text_bytes(workload.n_snps, workload.n_patients)
+        blocks = max(1, math.ceil(text_bytes / HDFS_BLOCK_BYTES))
+        return max(slots, blocks)
+
+    def _observed_stages(
+        self, workload: WorkloadSpec, allocation: ContainerAllocation
+    ) -> list[SimStage]:
+        """Algorithm 1: cold parse+score stage, then join/aggregate stage."""
+        cost = self.cost
+        slots = self._slots(allocation)
+        n_tasks = self._n_parse_tasks(workload, slots)
+        parse_work = cost.parse_score_core_seconds(workload.n_snps, workload.n_patients)
+        agg_work = cost.aggregate_core_seconds(workload.n_snps)
+        broadcast = cost.broadcast_seconds(allocation.cluster, workload.n_patients * 16)
+        shuffle = cost.shuffle_seconds(allocation.cluster, workload.n_snps * 24)
+        return [
+            SimStage(
+                0,
+                even_tasks(parse_work, n_tasks),
+                name="parse+score",
+                launch_overhead=cost.stage_cold_s + broadcast,
+            ),
+            SimStage(
+                1,
+                even_tasks(agg_work, slots),
+                parent_ids=(0,),
+                name="join+aggregate",
+                launch_overhead=cost.stage_cold_s + shuffle,
+            ),
+        ]
+
+    def _iteration_stages(
+        self,
+        workload: WorkloadSpec,
+        allocation: ContainerAllocation,
+        cached: bool,
+    ) -> list[SimStage]:
+        cost = self.cost
+        slots = self._slots(allocation)
+        agg_work = cost.aggregate_core_seconds(workload.n_snps)
+        shuffle = cost.shuffle_seconds(allocation.cluster, workload.n_snps * 24)
+        if workload.method == "permutation":
+            # re-broadcast shuffled pairs, recompute Algorithm 1 steps 6-12
+            n_tasks = self._n_parse_tasks(workload, slots)
+            work = cost.parse_score_core_seconds(workload.n_snps, workload.n_patients)
+            broadcast = cost.broadcast_seconds(allocation.cluster, workload.n_patients * 16)
+            return [
+                SimStage(
+                    0,
+                    even_tasks(work, n_tasks),
+                    name="perm:recompute",
+                    launch_overhead=cost.stage_cold_s + broadcast,
+                ),
+                SimStage(
+                    1,
+                    even_tasks(agg_work, slots),
+                    parent_ids=(0,),
+                    name="perm:aggregate",
+                    launch_overhead=cost.stage_cold_s + shuffle,
+                ),
+            ]
+        mc_work = cost.mc_update_core_seconds(workload.n_snps, workload.n_patients)
+        broadcast = cost.broadcast_seconds(allocation.cluster, workload.n_patients * 8)
+        if cached:
+            return [
+                SimStage(
+                    0,
+                    even_tasks(mc_work, slots),
+                    name="mc:update(cached)",
+                    launch_overhead=cost.stage_warm_s + broadcast,
+                ),
+                SimStage(
+                    1,
+                    even_tasks(agg_work, slots),
+                    parent_ids=(0,),
+                    name="mc:aggregate",
+                    launch_overhead=cost.stage_warm_s + shuffle,
+                ),
+            ]
+        # uncached: the U RDD lineage is recomputed from the genotype text;
+        # nothing is warm, so both stages pay cold launches
+        n_tasks = self._n_parse_tasks(workload, slots)
+        recompute = cost.parse_score_core_seconds(workload.n_snps, workload.n_patients)
+        return [
+            SimStage(
+                0,
+                even_tasks(recompute + mc_work, n_tasks),
+                name="mc:recompute+update",
+                launch_overhead=cost.stage_cold_s + broadcast,
+            ),
+            SimStage(
+                1,
+                even_tasks(agg_work, slots),
+                parent_ids=(0,),
+                name="mc:aggregate",
+                launch_overhead=cost.stage_cold_s + shuffle,
+            ),
+        ]

@@ -1,0 +1,107 @@
+"""What-if replay: measured job -> simulated cluster of any size.
+
+Every engine job records its stage DAG and per-task wall times
+(:class:`~repro.engine.metrics.JobMetrics`).  This module converts that
+record into the simulator's stage graph, so a job measured once on a
+laptop can be replayed on a hypothetical cluster: "what would this exact
+task mix look like on 6 vs 18 nodes?" -- the same question the paper's
+strong-scaling experiment buys EMR time to answer.
+
+Replay uses *measured* durations (optionally rescaled for faster/slower
+cores), so it complements the a-priori cost model in
+:mod:`repro.core.perfmodel`: one extrapolates from parameters, the other
+from observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.simulation import ClusterSimulator, SimReport, SimStage, SimTask
+from repro.engine.metrics import JobMetrics
+
+
+@dataclass(frozen=True)
+class RecordedJob:
+    """A job's task graph with measured durations."""
+
+    description: str
+    stages: tuple[SimStage, ...]
+    total_task_seconds: float
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(len(s.tasks) for s in self.stages)
+
+
+def capture_job(job: JobMetrics, include_failed_attempts: bool = False) -> RecordedJob:
+    """Convert recorded job metrics into a replayable stage graph.
+
+    Stage dependencies come from the scheduler's parent-stage bookkeeping;
+    task durations are the measured per-attempt wall times.  Stages that
+    ran more than once (resubmissions) contribute all their successful
+    attempts' tasks.
+    """
+    by_stage: dict[int, list[float]] = {}
+    parents: dict[int, tuple[int, ...]] = {}
+    names: dict[int, str] = {}
+    for stage in job.stages:
+        durations = by_stage.setdefault(stage.stage_id, [])
+        for record in stage.tasks:
+            if record.succeeded or include_failed_attempts:
+                durations.append(record.duration_seconds)
+        parents.setdefault(stage.stage_id, stage.parent_stage_ids)
+        names.setdefault(stage.stage_id, stage.name)
+    known = set(by_stage)
+    stages = tuple(
+        SimStage(
+            stage_id=sid,
+            tasks=[SimTask(d) for d in durations],
+            # drop dangling parents (e.g. map stages satisfied by reused
+            # shuffle output from an earlier job, which never ran here)
+            parent_ids=tuple(p for p in parents[sid] if p in known),
+            name=names[sid],
+        )
+        for sid, durations in sorted(by_stage.items())
+    )
+    total = sum(t.duration for s in stages for t in s.tasks)
+    return RecordedJob(job.description, stages, total)
+
+
+def replay(
+    recorded: RecordedJob,
+    n_slots: int,
+    core_speedup: float = 1.0,
+    task_overhead_s: float = 0.0,
+    straggler_sigma: float = 0.0,
+    seed: int = 0,
+) -> SimReport:
+    """Replay a recorded job on ``n_slots`` simulated task slots.
+
+    ``core_speedup`` > 1 models faster cores (durations divide by it).
+    """
+    if core_speedup <= 0:
+        raise ValueError("core_speedup must be positive")
+    stages = [
+        SimStage(
+            stage_id=s.stage_id,
+            tasks=[SimTask(t.duration / core_speedup) for t in s.tasks],
+            parent_ids=s.parent_ids,
+            name=s.name,
+        )
+        for s in recorded.stages
+    ]
+    simulator = ClusterSimulator(
+        n_slots,
+        task_overhead_s=task_overhead_s,
+        straggler_sigma=straggler_sigma,
+        seed=seed,
+    )
+    return simulator.run(stages)
+
+
+def what_if_scaling(
+    recorded: RecordedJob, slot_counts: list[int], **replay_kwargs
+) -> dict[int, float]:
+    """Makespan at each hypothetical slot count."""
+    return {n: replay(recorded, n, **replay_kwargs).makespan for n in slot_counts}

@@ -1,0 +1,119 @@
+"""Accumulators: write-only shared variables merged at the driver.
+
+Matches Spark semantics: task-side ``add`` calls buffer locally and are
+merged into the driver value exactly once per *successfully completed*
+partition, so retried tasks do not double count.
+"""
+
+from __future__ import annotations
+
+import operator
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """Driver-side accumulator handle.
+
+    ``op`` must be associative and commutative; defaults to ``+``.
+    """
+
+    def __init__(self, acc_id: int, initial: T, op: Callable[[T, T], T] = operator.add, zero: T | None = None) -> None:
+        self.id = acc_id
+        self._value = initial
+        self._op = op
+        #: identity element used to seed per-task buffers; defaults to the
+        #: type's zero for int/float/list, else ``initial``-shaped copies
+        #: must be supplied explicitly.
+        if zero is not None:
+            self.zero = zero
+        elif isinstance(initial, bool):
+            self.zero = False  # type: ignore[assignment]
+        elif isinstance(initial, (int, float)):
+            self.zero = type(initial)(0)  # type: ignore[assignment]
+        elif isinstance(initial, list):
+            self.zero = []  # type: ignore[assignment]
+        else:
+            raise ValueError("zero element required for non-numeric accumulator")
+        self._lock = threading.Lock()
+        #: (stage_id, partition) pairs already merged -- retry dedup
+        self._merged: set[tuple[int, int]] = set()
+
+    @property
+    def value(self) -> T:
+        return self._value
+
+    def add(self, update: T) -> None:
+        """Add an update: buffered inside a running task, direct on the driver.
+
+        Task-side updates are merged into the driver value only when the
+        task attempt *succeeds*, so retried tasks never double count.
+        """
+        from repro.engine.task import current_task_context
+
+        tc = current_task_context()
+        if tc is not None:
+            tc.accumulators.add(self, update)
+        else:
+            with self._lock:
+                self._value = self._op(self._value, update)
+
+    def _merge(self, stage_id: int, partition: int, local: T) -> None:
+        """Merge a completed task's buffered updates (idempotent per task)."""
+        with self._lock:
+            key = (stage_id, partition)
+            if key in self._merged:
+                return
+            self._merged.add(key)
+            self._value = self._op(self._value, local)
+
+    def reset(self, value: T) -> None:
+        """Reset the accumulator between jobs (clears the dedup record)."""
+        with self._lock:
+            self._value = value
+            self._merged.clear()
+
+    def __getstate__(self) -> dict:
+        # process backend ships accumulator *definitions* to workers; the
+        # lock and the driver-side dedup record stay home
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_merged"] = set()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"Accumulator(id={self.id}, value={self._value!r})"
+
+
+class AccumulatorBuffer:
+    """Task-local buffer of accumulator updates, merged on task success."""
+
+    def __init__(self, accumulators: dict[int, Accumulator]) -> None:
+        self._accs = accumulators
+        self._local: dict[int, Any] = {}
+
+    def add(self, acc: Accumulator, update: Any) -> None:
+        if acc.id not in self._accs:
+            raise KeyError(f"accumulator {acc.id} not registered with this context")
+        if acc.id in self._local:
+            self._local[acc.id] = acc._op(self._local[acc.id], update)
+        else:
+            # seed from the identity so driver merge is a single op
+            self._local[acc.id] = acc._op(acc.zero, update)
+
+    def merge_into_driver(self, stage_id: int, partition: int) -> None:
+        for acc_id, local in self._local.items():
+            self._accs[acc_id]._merge(stage_id, partition, local)
+
+    def snapshot(self) -> dict[int, Any]:
+        """Local updates keyed by accumulator id (for the process backend)."""
+        return dict(self._local)
+
+    def restore(self, snap: dict[int, Any]) -> None:
+        self._local = dict(snap)

@@ -1,0 +1,156 @@
+"""Execution backends: where task attempts actually run.
+
+- :class:`SerialBackend` -- deterministic in-line execution (default; the
+  reference for correctness tests).
+- :class:`ThreadBackend` -- a thread pool sized to the configured total
+  cores.  NumPy kernels release the GIL, so the score-statistic workload
+  gets real parallelism.
+- :class:`ProcessBackend` -- process pool for CPU-bound pure-Python tasks.
+  Tasks are made self-contained before dispatch (shuffle input pre-fetched,
+  relevant cached blocks attached); results, new cache blocks, and
+  accumulator updates ship back to the driver.  Closures must be picklable.
+
+All backends expose ``submit(fn, *args) -> concurrent.futures.Future``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import EngineConfig
+
+
+class _ImmediateFuture(concurrent.futures.Future):
+    """A future that is resolved at construction (serial backend)."""
+
+    def __init__(self, fn: Callable, args: tuple) -> None:
+        super().__init__()
+        try:
+            self.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirrors Future semantics
+            self.set_exception(exc)
+
+
+class SerialBackend:
+    """Runs every task inline on submit; fully deterministic ordering."""
+
+    name = "serial"
+    supports_shared_state = True
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self.parallelism = 1
+
+    def submit(self, fn: Callable, *args: Any) -> concurrent.futures.Future:
+        return _ImmediateFuture(fn, args)
+
+    def shutdown(self) -> None:
+        pass
+
+
+class ThreadBackend:
+    """Thread pool; shares the driver-side managers directly."""
+
+    name = "threads"
+    supports_shared_state = True
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self.parallelism = max(1, config.total_cores)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="repro-task"
+        )
+
+    def submit(self, fn: Callable, *args: Any) -> concurrent.futures.Future:
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _run_pickled_task(payload: bytes) -> bytes:
+    """Worker-side entry point: run one self-contained task attempt.
+
+    Receives a pickled dict with the task, pre-fetched shuffle input, and
+    pre-attached cache blocks; returns a pickled dict with the result, any
+    shuffle output written, newly cached blocks, and accumulator updates.
+    """
+    from repro.engine.accumulator import AccumulatorBuffer
+    from repro.engine.blockmanager import BlockManager
+    from repro.engine.shuffle import ShuffleManager
+    from repro.engine.task import ShuffleMapTask, TaskContext
+
+    spec = pickle.loads(payload)
+    task = spec["task"]
+    tc = TaskContext(
+        stage_id=task.stage_id,
+        partition=task.partition,
+        attempt=spec["attempt"],
+        executor_id=spec["executor_id"],
+        shuffle_manager=ShuffleManager(track_bytes=False),
+        block_manager=BlockManager(spec["executor_id"], memory_budget=1 << 62),
+        block_master=None,
+        accumulators=AccumulatorBuffer(spec["accumulators"]),
+    )
+    tc.prefetched_shuffle = spec["prefetched_shuffle"]
+    for block_id, data in spec["cached_blocks"].items():
+        from repro.engine.storage import StorageLevel
+
+        tc.block_manager.put(block_id, data, StorageLevel.MEMORY)
+    result = task.run(tc)
+
+    shuffle_output = None
+    if isinstance(task, ShuffleMapTask):
+        sid = task.shuffle_dep.shuffle_id
+        shuffle_output = {
+            key: buckets
+            for key, buckets in tc.shuffle_manager._outputs.items()  # noqa: SLF001
+            if key[0] == sid
+        }
+        result = None  # MapStatus rebuilt by the driver
+    new_blocks = {}
+    for block_id in tc.block_manager.block_ids():
+        if block_id not in spec["cached_blocks"]:
+            new_blocks[block_id] = tc.block_manager.get(block_id)
+    out = {
+        "result": result,
+        "shuffle_output": shuffle_output,
+        "new_blocks": new_blocks,
+        "accumulator_updates": tc.accumulators.snapshot(),
+        "metrics": tc.metrics,
+    }
+    return pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class ProcessBackend:
+    """Process pool running self-contained pickled tasks."""
+
+    name = "processes"
+    supports_shared_state = False
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self.parallelism = max(1, config.total_cores)
+        self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.parallelism)
+
+    def submit(self, fn: Callable, *args: Any) -> concurrent.futures.Future:
+        # fn here is the driver-side wrapper; it decides to call
+        # submit_pickled for the actual remote hop.
+        return _ImmediateFuture(fn, args)
+
+    def submit_pickled(self, payload: bytes) -> concurrent.futures.Future:
+        return self._pool.submit(_run_pickled_task, payload)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_backend(config: "EngineConfig"):
+    """Instantiate the backend named in ``config.backend``."""
+    if config.backend == "serial":
+        return SerialBackend(config)
+    if config.backend == "threads":
+        return ThreadBackend(config)
+    if config.backend == "processes":
+        return ProcessBackend(config)
+    raise ValueError(f"unknown backend {config.backend!r}")

@@ -1,0 +1,254 @@
+"""Per-executor block managers with LRU eviction and optional disk spill.
+
+A cached RDD partition is a *block*, keyed ``(rdd_id, partition)``.  Each
+executor owns a :class:`BlockManager` with a memory budget; the driver-side
+:class:`BlockManagerMaster` tracks which executors hold which blocks so
+tasks scheduled elsewhere can fetch remotely (counted in metrics, and
+charged as network transfer by the cost model).
+
+Sizes are estimated with :func:`estimate_size`, which understands NumPy
+arrays exactly and falls back to pickled length for other objects.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.engine.storage import StorageLevel
+
+BlockId = tuple[int, int]  # (rdd_id, partition)
+
+
+def estimate_size(obj: Any) -> int:
+    """Approximate in-memory footprint of a block payload in bytes."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 128
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 48
+    if isinstance(obj, str):
+        return len(obj) + 56
+    if isinstance(obj, (int, float)):
+        return 32
+    if isinstance(obj, (list, tuple)):
+        return 64 + sum(estimate_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 64 + sum(estimate_size(k) + estimate_size(v) for k, v in obj.items())
+    if hasattr(obj, "nbytes"):
+        try:
+            return int(obj.nbytes) + 128
+        except TypeError:
+            pass
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 64
+    except Exception:
+        return 256
+
+
+@dataclass
+class _Block:
+    data: list
+    size: int
+    level: StorageLevel
+    serialized: bytes | None = None
+
+
+class BlockManager:
+    """One executor's cache: memory LRU with optional spill-to-disk."""
+
+    def __init__(self, executor_id: str, memory_budget: int, spill_dir: str | None = None) -> None:
+        self.executor_id = executor_id
+        self.memory_budget = memory_budget
+        self._lock = threading.RLock()
+        self._blocks: "OrderedDict[BlockId, _Block]" = OrderedDict()
+        self._memory_used = 0
+        self._spill_dir = spill_dir
+        self._spilled: dict[BlockId, str] = {}
+        self.evictions = 0
+        self.spills = 0
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def memory_used(self) -> int:
+        with self._lock:
+            return self._memory_used
+
+    def contains(self, block_id: BlockId) -> bool:
+        with self._lock:
+            return block_id in self._blocks or block_id in self._spilled
+
+    def block_ids(self) -> list[BlockId]:
+        with self._lock:
+            return list(self._blocks) + list(self._spilled)
+
+    # -- put / get ----------------------------------------------------------
+
+    def put(self, block_id: BlockId, data: Iterable, level: StorageLevel) -> list:
+        """Materialize ``data``, cache it under ``level``, return the list.
+
+        If the block does not fit even after evicting everything else, it is
+        *not* cached (Spark drops oversized blocks the same way) but the
+        materialized list is still returned so the task can proceed.
+        """
+        materialized = data if isinstance(data, list) else list(data)
+        if level is StorageLevel.NONE:
+            return materialized
+        serialized = None
+        if level.serialized:
+            serialized = pickle.dumps(materialized, protocol=pickle.HIGHEST_PROTOCOL)
+            size = len(serialized) + 64
+        else:
+            size = 64 + sum(estimate_size(item) for item in materialized)
+        with self._lock:
+            if block_id in self._blocks:
+                return materialized
+            if size > self.memory_budget:
+                # cannot ever fit in memory: spill directly if allowed
+                if level.spills_to_disk:
+                    self._spill(block_id, materialized)
+                return materialized
+            self._evict_until_fits(size, protect=block_id)
+            self._blocks[block_id] = _Block(
+                data=materialized, size=size, level=level, serialized=serialized
+            )
+            self._memory_used += size
+            self._blocks.move_to_end(block_id)
+        return materialized
+
+    def get(self, block_id: BlockId) -> list | None:
+        """Return the cached partition, or None.  Touches LRU recency."""
+        with self._lock:
+            block = self._blocks.get(block_id)
+            if block is not None:
+                self._blocks.move_to_end(block_id)
+                if block.level.serialized and block.serialized is not None:
+                    return pickle.loads(block.serialized)
+                return block.data
+            path = self._spilled.get(block_id)
+        if path is not None:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        return None
+
+    def was_spilled(self, block_id: BlockId) -> bool:
+        with self._lock:
+            return block_id in self._spilled
+
+    def remove(self, block_id: BlockId) -> None:
+        with self._lock:
+            block = self._blocks.pop(block_id, None)
+            if block is not None:
+                self._memory_used -= block.size
+            path = self._spilled.pop(block_id, None)
+        if path is not None and os.path.exists(path):
+            os.unlink(path)
+
+    def clear(self) -> None:
+        for block_id in self.block_ids():
+            self.remove(block_id)
+
+    # -- internals ----------------------------------------------------------
+
+    def _evict_until_fits(self, size: int, protect: BlockId) -> None:
+        """LRU-evict blocks until ``size`` fits in the budget (lock held)."""
+        while self._memory_used + size > self.memory_budget and self._blocks:
+            victim_id = next(iter(self._blocks))
+            if victim_id == protect:
+                break
+            victim = self._blocks.pop(victim_id)
+            self._memory_used -= victim.size
+            self.evictions += 1
+            if victim.level.spills_to_disk:
+                self._spill(victim_id, victim.data)
+
+    def _spill(self, block_id: BlockId, data: list) -> None:
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix=f"repro-spill-{self.executor_id}-")
+        os.makedirs(self._spill_dir, exist_ok=True)
+        path = os.path.join(self._spill_dir, f"block_{block_id[0]}_{block_id[1]}.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump(data, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._spilled[block_id] = path
+        self.spills += 1
+
+
+class BlockManagerMaster:
+    """Driver-side registry: block id -> executor ids holding it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._locations: dict[BlockId, set[str]] = {}
+        self._managers: dict[str, BlockManager] = {}
+
+    def register_manager(self, manager: BlockManager) -> None:
+        with self._lock:
+            self._managers[manager.executor_id] = manager
+
+    def register_block(self, block_id: BlockId, executor_id: str) -> None:
+        with self._lock:
+            self._locations.setdefault(block_id, set()).add(executor_id)
+
+    def locations(self, block_id: BlockId) -> list[str]:
+        with self._lock:
+            return sorted(self._locations.get(block_id, ()))
+
+    def get_remote(self, block_id: BlockId, excluding: str) -> tuple[list, str] | None:
+        """Fetch a block from any executor other than ``excluding``."""
+        with self._lock:
+            holders = [e for e in sorted(self._locations.get(block_id, ())) if e != excluding]
+            managers = {e: self._managers[e] for e in holders if e in self._managers}
+        for executor_id in holders:
+            manager = managers.get(executor_id)
+            if manager is None:
+                continue
+            data = manager.get(block_id)
+            if data is not None:
+                return data, executor_id
+            # registry was stale (block evicted): repair it
+            self.unregister_block(block_id, executor_id)
+        return None
+
+    def unregister_block(self, block_id: BlockId, executor_id: str) -> None:
+        with self._lock:
+            holders = self._locations.get(block_id)
+            if holders is not None:
+                holders.discard(executor_id)
+                if not holders:
+                    del self._locations[block_id]
+
+    def remove_executor(self, executor_id: str) -> list[BlockId]:
+        """Drop all block registrations for a dead executor; return lost ids."""
+        lost: list[BlockId] = []
+        with self._lock:
+            manager = self._managers.pop(executor_id, None)
+            for block_id in list(self._locations):
+                holders = self._locations[block_id]
+                if executor_id in holders:
+                    holders.discard(executor_id)
+                    if not holders:
+                        lost.append(block_id)
+                        del self._locations[block_id]
+        if manager is not None:
+            manager.clear()
+        return lost
+
+    def executors_holding_rdd(self, rdd_id: int) -> set[str]:
+        with self._lock:
+            out: set[str] = set()
+            for (rid, _), holders in self._locations.items():
+                if rid == rdd_id:
+                    out.update(holders)
+            return out
+
+    def cached_partitions(self, rdd_id: int) -> set[int]:
+        with self._lock:
+            return {part for (rid, part) in self._locations if rid == rdd_id}

@@ -1,0 +1,56 @@
+"""Broadcast variables.
+
+A broadcast wraps a read-only value shipped once to every executor rather
+than with every task closure.  In this single-process engine the win is
+semantic fidelity plus metrics: the context records broadcast sizes so the
+cost model can charge network transfer, and ``unpersist``/``destroy``
+lifecycle matches Spark's.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class BroadcastDestroyedError(RuntimeError):
+    """Raised when ``.value`` is read after ``destroy()``."""
+
+
+class Broadcast(Generic[T]):
+    """Handle to a value broadcast to all executors."""
+
+    def __init__(self, broadcast_id: int, value: T) -> None:
+        self.id = broadcast_id
+        self._value: T | None = value
+        self._destroyed = False
+        self._size_bytes: int | None = None
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise BroadcastDestroyedError(f"broadcast {self.id} was destroyed")
+        return self._value  # type: ignore[return-value]
+
+    @property
+    def size_bytes(self) -> int:
+        """Pickled size of the payload (computed lazily, cached)."""
+        if self._size_bytes is None:
+            if self._destroyed:
+                raise BroadcastDestroyedError(f"broadcast {self.id} was destroyed")
+            self._size_bytes = len(pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL))
+        return self._size_bytes
+
+    def unpersist(self) -> None:
+        """Release executor copies (no-op here beyond semantics)."""
+
+    def destroy(self) -> None:
+        """Release the value entirely; further ``.value`` reads raise."""
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else "live"
+        return f"Broadcast(id={self.id}, {state})"

@@ -1,0 +1,207 @@
+"""The driver context: entry point to the engine (Spark's ``SparkContext``)."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.config import EngineConfig
+from repro.engine.accumulator import Accumulator
+from repro.engine.backends import make_backend
+from repro.engine.blockmanager import BlockManagerMaster
+from repro.engine.broadcast import Broadcast
+from repro.engine.executor import build_executors
+from repro.engine.faults import FaultInjector
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.shuffle import ShuffleManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.rdd import RDD
+    from repro.hdfs.filesystem import MiniHDFS
+
+
+class Context:
+    """Driver-side handle owning executors, shuffle state, and metrics.
+
+    Use as a context manager to guarantee backend shutdown::
+
+        with Context(EngineConfig(backend="threads", num_executors=4)) as ctx:
+            ctx.parallelize(range(10)).map(str).collect()
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        fault_injector: FaultInjector | None = None,
+        hdfs: "MiniHDFS | None" = None,
+        event_log_path: str | None = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        #: when set, all job metrics are flushed here on stop() (JSONL)
+        self.event_log_path = event_log_path
+        self.backend = make_backend(self.config)
+        self.executors = build_executors(
+            self.config.num_executors,
+            self.config.executor_cores,
+            self.config.storage_memory_per_executor,
+        )
+        self.block_master = BlockManagerMaster()
+        for executor in self.executors:
+            self.block_master.register_manager(executor.block_manager)
+        self.shuffle_manager = ShuffleManager()
+        self.metrics = MetricsRegistry()
+        self.fault_injector = fault_injector
+        self.hdfs = hdfs
+
+        self._rdd_ids = itertools.count()
+        self._shuffle_ids = itertools.count()
+        self._stage_ids = itertools.count()
+        self._job_ids = itertools.count()
+        self._broadcast_ids = itertools.count()
+        self._accumulator_ids = itertools.count()
+        self._accumulators: dict[int, Accumulator] = {}
+        self._lock = threading.Lock()
+        self._stopped = False
+
+        # deferred import to avoid a cycle (scheduler -> context typing)
+        from repro.engine.scheduler import DAGScheduler
+
+        self._dag_scheduler = DAGScheduler(self)
+
+    # -- id assignment ------------------------------------------------------
+
+    def _new_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    def _new_shuffle_id(self) -> int:
+        return next(self._shuffle_ids)
+
+    # -- RDD creation ----------------------------------------------------------
+
+    def parallelize(self, data: Iterable, num_partitions: int | None = None) -> "RDD":
+        """Distribute a local collection into an RDD."""
+        from repro.engine.rdd import ParallelCollectionRDD
+
+        self._check_alive()
+        if num_partitions is not None and num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        n = num_partitions if num_partitions is not None else self.config.default_parallelism
+        return ParallelCollectionRDD(self, data, n)
+
+    def range(self, start: int, end: int | None = None, step: int = 1, num_partitions: int | None = None) -> "RDD":
+        if end is None:
+            start, end = 0, start
+        return self.parallelize(range(start, end, step), num_partitions)
+
+    def text_file(self, path: str, min_partitions: int | None = None) -> "RDD":
+        """Read a text file into an RDD of lines.
+
+        ``hdfs://`` paths read from the attached simulated HDFS (one
+        partition per block, with datanode locality hints); other paths read
+        from the local filesystem with Hadoop-style line splits.
+        """
+        from repro.engine.rdd import LocalTextFileRDD
+
+        self._check_alive()
+        n = min_partitions or self.config.default_parallelism
+        if path.startswith("hdfs://"):
+            if self.hdfs is None:
+                raise RuntimeError("context has no HDFS attached; pass hdfs= to Context()")
+            from repro.hdfs.rdd import HdfsTextFileRDD
+
+            return HdfsTextFileRDD(self, self.hdfs, path)
+        return LocalTextFileRDD(self, path, n)
+
+    def union(self, rdds: list["RDD"]) -> "RDD":
+        from repro.engine.rdd import UnionRDD
+
+        return UnionRDD(self, rdds)
+
+    def empty_rdd(self) -> "RDD":
+        return self.parallelize([], 1)
+
+    # -- shared variables ----------------------------------------------------------
+
+    def broadcast(self, value: Any) -> Broadcast:
+        self._check_alive()
+        return Broadcast(next(self._broadcast_ids), value)
+
+    def accumulator(self, initial: Any, op: Callable | None = None, zero: Any | None = None) -> Accumulator:
+        self._check_alive()
+        acc_id = next(self._accumulator_ids)
+        if op is None:
+            acc = Accumulator(acc_id, initial, zero=zero)
+        else:
+            acc = Accumulator(acc_id, initial, op, zero=zero)
+        self._accumulators[acc_id] = acc
+        return acc
+
+    # -- execution ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[Iterator], Any],
+        partitions: list[int] | None = None,
+        description: str = "",
+    ) -> list[Any]:
+        """Run ``func`` over the requested partitions; returns per-partition values."""
+        self._check_alive()
+        return self._dag_scheduler.run_job(rdd, func, partitions, description)
+
+    # -- cache management ------------------------------------------------------------
+
+    def _drop_cached_rdd(self, rdd_id: int) -> None:
+        for executor in self.executors:
+            for block_id in executor.block_manager.block_ids():
+                if block_id[0] == rdd_id:
+                    executor.block_manager.remove(block_id)
+                    self.block_master.unregister_block(block_id, executor.executor_id)
+
+    def cached_partition_count(self, rdd: "RDD") -> int:
+        """How many of an RDD's partitions are currently cached somewhere."""
+        return len(self.block_master.cached_partitions(rdd.id))
+
+    # -- fault injection ------------------------------------------------------------
+
+    def set_fault_injector(self, injector: FaultInjector | None) -> None:
+        self.fault_injector = injector
+
+    def kill_executor(self, executor_id: str) -> None:
+        """Immediately kill an executor (blocks + shuffle outputs lost)."""
+        for executor in self.executors:
+            if executor.executor_id == executor_id:
+                executor.kill()
+                break
+        else:
+            raise KeyError(f"no executor {executor_id!r}")
+        self.block_master.remove_executor(executor_id)
+        self.shuffle_manager.remove_outputs_on_executor(executor_id)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def stop(self) -> None:
+        if not self._stopped:
+            if self.event_log_path is not None:
+                from repro.engine.eventlog import write_event_log
+
+                write_event_log(self.metrics.jobs, self.event_log_path)
+            self.backend.shutdown()
+            self._stopped = True
+
+    def _check_alive(self) -> None:
+        if self._stopped:
+            raise RuntimeError("context is stopped")
+
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"Context(backend={self.config.backend}, executors={self.config.num_executors}"
+            f"x{self.config.executor_cores} cores)"
+        )

@@ -1,0 +1,134 @@
+"""Event log: persist job/stage/task metrics as JSON lines.
+
+The analogue of Spark's event log + history server: every completed job's
+stage DAG and per-task measurements can be written to a ``.jsonl`` file
+and reloaded later -- including in a different process -- for offline
+inspection or what-if replay through :mod:`repro.core.replay`.
+
+Format: one JSON object per line, ``{"event": "job", ...}``, versioned so
+future fields can be added compatibly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import IO, Iterable
+
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
+
+FORMAT_VERSION = 1
+
+
+def _job_to_dict(job: JobMetrics) -> dict:
+    return {
+        "event": "job",
+        "version": FORMAT_VERSION,
+        "job_id": job.job_id,
+        "description": job.description,
+        "wall_seconds": job.wall_seconds,
+        "num_task_failures": job.num_task_failures,
+        "num_stage_resubmissions": job.num_stage_resubmissions,
+        "num_executor_failures_observed": job.num_executor_failures_observed,
+        "stages": [
+            {
+                "stage_id": stage.stage_id,
+                "name": stage.name,
+                "num_tasks": stage.num_tasks,
+                "attempt": stage.attempt,
+                "parent_stage_ids": list(stage.parent_stage_ids),
+                "is_shuffle_map": stage.is_shuffle_map,
+                "wall_seconds": stage.wall_seconds,
+                "tasks": [
+                    {
+                        "stage_id": rec.stage_id,
+                        "partition": rec.partition,
+                        "attempt": rec.attempt,
+                        "executor_id": rec.executor_id,
+                        "duration_seconds": rec.duration_seconds,
+                        "succeeded": rec.succeeded,
+                        "error": rec.error,
+                        "metrics": asdict(rec.metrics),
+                    }
+                    for rec in stage.tasks
+                ],
+            }
+            for stage in job.stages
+        ],
+    }
+
+
+def _job_from_dict(data: dict) -> JobMetrics:
+    if data.get("event") != "job":
+        raise ValueError(f"not a job event: {data.get('event')!r}")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported event-log version {version!r}")
+    job = JobMetrics(
+        job_id=data["job_id"],
+        description=data["description"],
+        wall_seconds=data["wall_seconds"],
+        num_task_failures=data["num_task_failures"],
+        num_stage_resubmissions=data["num_stage_resubmissions"],
+        num_executor_failures_observed=data["num_executor_failures_observed"],
+    )
+    for stage_data in data["stages"]:
+        stage = StageMetrics(
+            stage_id=stage_data["stage_id"],
+            name=stage_data["name"],
+            num_tasks=stage_data["num_tasks"],
+            attempt=stage_data["attempt"],
+            parent_stage_ids=tuple(stage_data["parent_stage_ids"]),
+            is_shuffle_map=stage_data["is_shuffle_map"],
+            wall_seconds=stage_data["wall_seconds"],
+        )
+        for rec in stage_data["tasks"]:
+            stage.tasks.append(
+                TaskRecord(
+                    stage_id=rec["stage_id"],
+                    partition=rec["partition"],
+                    attempt=rec["attempt"],
+                    executor_id=rec["executor_id"],
+                    duration_seconds=rec["duration_seconds"],
+                    metrics=TaskMetrics(**rec["metrics"]),
+                    succeeded=rec["succeeded"],
+                    error=rec["error"],
+                )
+            )
+        job.stages.append(stage)
+    return job
+
+
+def write_event_log(jobs: Iterable[JobMetrics], path_or_file: str | IO[str]) -> int:
+    """Append one JSON line per job; returns the number written."""
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file, "a") if own else path_or_file  # type: ignore[assignment]
+    count = 0
+    try:
+        for job in jobs:
+            fh.write(json.dumps(_job_to_dict(job), separators=(",", ":")) + "\n")
+            count += 1
+    finally:
+        if own:
+            fh.close()
+    return count
+
+
+def read_event_log(path_or_file: str | IO[str]) -> list[JobMetrics]:
+    """Load all job records from an event log."""
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        jobs = []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                jobs.append(_job_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(f"event log line {lineno} is corrupt: {exc}") from exc
+        return jobs
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,80 @@
+"""Executor model: a named worker with task slots and a block manager."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.blockmanager import BlockManager
+
+
+class ExecutorLostError(RuntimeError):
+    """Raised when a task attempts to run on (or fetch from) a dead executor."""
+
+    def __init__(self, executor_id: str) -> None:
+        super().__init__(f"executor {executor_id} lost")
+        self.executor_id = executor_id
+
+
+class Executor:
+    """A simulated executor (YARN container): identity, slots, cache."""
+
+    def __init__(
+        self,
+        executor_id: str,
+        host: str,
+        cores: int,
+        memory_budget: int,
+        spill_dir: str | None = None,
+    ) -> None:
+        self.executor_id = executor_id
+        self.host = host
+        self.cores = cores
+        self.block_manager = BlockManager(executor_id, memory_budget, spill_dir)
+        self._lock = threading.Lock()
+        self._alive = True
+        self.tasks_run = 0
+        self.tasks_failed = 0
+
+    @property
+    def alive(self) -> bool:
+        with self._lock:
+            return self._alive
+
+    def kill(self) -> None:
+        """Mark dead and drop all cached blocks (simulated node loss)."""
+        with self._lock:
+            self._alive = False
+        self.block_manager.clear()
+
+    def revive(self) -> None:
+        """Bring the executor back (fresh, empty cache) -- YARN relaunch."""
+        with self._lock:
+            self._alive = True
+
+    def note_task(self, succeeded: bool) -> None:
+        with self._lock:
+            self.tasks_run += 1
+            if not succeeded:
+                self.tasks_failed += 1
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"Executor({self.executor_id}@{self.host}, cores={self.cores}, {state})"
+
+
+def build_executors(
+    num_executors: int,
+    cores: int,
+    memory_budget: int,
+    hosts_per_executor: int = 1,
+) -> list[Executor]:
+    """Construct the executor fleet, distributing executors over hosts.
+
+    ``hosts_per_executor`` > 1 packs multiple executors per host (the
+    paper's Experiment C runs 42/84/126 containers on 36 nodes).
+    """
+    executors = []
+    for i in range(num_executors):
+        host = f"host-{i // max(1, hosts_per_executor)}"
+        executors.append(Executor(f"exec-{i}", host, cores, memory_budget))
+    return executors

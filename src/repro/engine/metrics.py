@@ -1,0 +1,144 @@
+"""Task / stage / job metrics, plus task-graph capture for simulator replay.
+
+Every job records enough structure (stages, per-task wall times, shuffle
+volumes) that :mod:`repro.cluster.simulation` can replay the same task graph
+on a *simulated* cluster of arbitrary size -- this is how the benchmarks
+extrapolate laptop runs to the paper's 6/12/18/36-node EMR clusters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Counters recorded by a single task attempt."""
+
+    records_read: int = 0
+    records_written: int = 0
+    shuffle_bytes_read: int = 0
+    shuffle_bytes_written: int = 0
+    shuffle_records_read: int = 0
+    shuffle_records_written: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    remote_cache_hits: int = 0
+    disk_blocks_read: int = 0
+    compute_seconds: float = 0.0
+
+
+@dataclass
+class TaskRecord:
+    """One completed task attempt, as seen by the driver."""
+
+    stage_id: int
+    partition: int
+    attempt: int
+    executor_id: str
+    duration_seconds: float
+    metrics: TaskMetrics
+    succeeded: bool
+    error: str | None = None
+
+
+@dataclass
+class StageMetrics:
+    """Aggregated metrics for one stage execution."""
+
+    stage_id: int
+    name: str
+    num_tasks: int
+    attempt: int = 0
+    parent_stage_ids: tuple[int, ...] = ()
+    is_shuffle_map: bool = False
+    tasks: list[TaskRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(t.duration_seconds for t in self.tasks if t.succeeded)
+
+    def totals(self) -> TaskMetrics:
+        """Element-wise sum of task metrics over successful attempts."""
+        out = TaskMetrics()
+        for rec in self.tasks:
+            if not rec.succeeded:
+                continue
+            m = rec.metrics
+            out.records_read += m.records_read
+            out.records_written += m.records_written
+            out.shuffle_bytes_read += m.shuffle_bytes_read
+            out.shuffle_bytes_written += m.shuffle_bytes_written
+            out.shuffle_records_read += m.shuffle_records_read
+            out.shuffle_records_written += m.shuffle_records_written
+            out.cache_hits += m.cache_hits
+            out.cache_misses += m.cache_misses
+            out.remote_cache_hits += m.remote_cache_hits
+            out.disk_blocks_read += m.disk_blocks_read
+            out.compute_seconds += m.compute_seconds
+        return out
+
+
+@dataclass
+class JobMetrics:
+    """Metrics for one action (job) execution."""
+
+    job_id: int
+    description: str = ""
+    wall_seconds: float = 0.0
+    stages: list[StageMetrics] = field(default_factory=list)
+    num_task_failures: int = 0
+    num_stage_resubmissions: int = 0
+    num_executor_failures_observed: int = 0
+
+    def totals(self) -> TaskMetrics:
+        out = TaskMetrics()
+        for stage in self.stages:
+            s = stage.totals()
+            out.records_read += s.records_read
+            out.records_written += s.records_written
+            out.shuffle_bytes_read += s.shuffle_bytes_read
+            out.shuffle_bytes_written += s.shuffle_bytes_written
+            out.shuffle_records_read += s.shuffle_records_read
+            out.shuffle_records_written += s.shuffle_records_written
+            out.cache_hits += s.cache_hits
+            out.cache_misses += s.cache_misses
+            out.remote_cache_hits += s.remote_cache_hits
+            out.disk_blocks_read += s.disk_blocks_read
+            out.compute_seconds += s.compute_seconds
+        return out
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(s.total_task_seconds for s in self.stages)
+
+
+class MetricsRegistry:
+    """Thread-safe collection of job metrics held by the context."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs: list[JobMetrics] = []
+
+    def add_job(self, job: JobMetrics) -> None:
+        with self._lock:
+            self.jobs.append(job)
+
+    @property
+    def last_job(self) -> JobMetrics | None:
+        with self._lock:
+            return self.jobs[-1] if self.jobs else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self.jobs.clear()
+
+    def total_cache_hits(self) -> int:
+        with self._lock:
+            return sum(j.totals().cache_hits for j in self.jobs)
+
+    def total_cache_misses(self) -> int:
+        with self._lock:
+            return sum(j.totals().cache_misses for j in self.jobs)

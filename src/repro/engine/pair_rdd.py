@@ -1,0 +1,312 @@
+"""Key-value RDD operations: shuffles, joins, aggregation by key.
+
+All functions here operate on RDDs of ``(key, value)`` pairs.  They are
+attached to the :class:`~repro.engine.rdd.RDD` class by :func:`install`,
+called from ``rdd.py`` at import time, so users write
+``rdd.reduce_by_key(op)`` exactly as in PySpark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.engine.dependencies import Aggregator, ShuffleDependency
+from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.task import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+    from repro.engine.rdd import RDD
+
+
+def _default_partitions(rdd: "RDD", num_partitions: int | None) -> int:
+    if num_partitions is not None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        return num_partitions
+    if rdd.context is not None:
+        return rdd.context.config.default_parallelism
+    return rdd.num_partitions()
+
+
+# ---------------------------------------------------------------------------
+# operations (become RDD methods)
+# ---------------------------------------------------------------------------
+
+
+def _first_of(kv):
+    return kv[0]
+
+
+def _second_of(kv):
+    return kv[1]
+
+
+def _identity(value):
+    return value
+
+
+class _MapValuesFn:
+    """Picklable value-mapper keeping keys (and hence partitioning)."""
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, it: Iterator) -> Iterator:
+        return ((k, self.func(v)) for k, v in it)
+
+
+class _FlatMapValuesFn:
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, it: Iterator) -> Iterator:
+        return ((k, u) for k, v in it for u in self.func(v))
+
+
+class _LocalCombineFn:
+    """Picklable in-partition combiner for co-partitioned inputs."""
+
+    def __init__(self, create_combiner: Callable, merge_value: Callable) -> None:
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+
+    def __call__(self, it: Iterator) -> Iterator:
+        merged: dict = {}
+        for k, v in it:
+            if k in merged:
+                merged[k] = self.merge_value(merged[k], v)
+            else:
+                merged[k] = self.create_combiner(v)
+        return iter(merged.items())
+
+
+def keys(self: "RDD") -> "RDD":
+    return self.map(_first_of)
+
+
+def values(self: "RDD") -> "RDD":
+    return self.map(_second_of)
+
+
+def map_values(self: "RDD", func: Callable) -> "RDD":
+    return self.map_partitions(
+        _MapValuesFn(func), name="map_values", preserves_partitioning=True
+    )
+
+
+def flat_map_values(self: "RDD", func: Callable) -> "RDD":
+    return self.map_partitions(
+        _FlatMapValuesFn(func), name="flat_map_values", preserves_partitioning=True
+    )
+
+
+def combine_by_key(
+    self: "RDD",
+    create_combiner: Callable,
+    merge_value: Callable,
+    merge_combiners: Callable,
+    num_partitions: int | None = None,
+    map_side_combine: bool = True,
+) -> "RDD":
+    """The general shuffle aggregation underlying reduce/fold/aggregate-by-key."""
+    agg = Aggregator(create_combiner, merge_value, merge_combiners, map_side_combine)
+    partitioner = HashPartitioner(_default_partitions(self, num_partitions))
+    if self.partitioner is not None and self.partitioner == partitioner:
+        # already co-partitioned: aggregate within partitions, no shuffle
+        return self.map_partitions(
+            _LocalCombineFn(create_combiner, merge_value),
+            name="combine_by_key(local)",
+            preserves_partitioning=True,
+        )
+    from repro.engine.rdd import ShuffledRDD
+
+    return ShuffledRDD(self.context, self, partitioner, agg, "combine_by_key")
+
+
+def reduce_by_key(self: "RDD", op: Callable, num_partitions: int | None = None) -> "RDD":
+    return combine_by_key(self, _identity, op, op, num_partitions)
+
+
+def fold_by_key(self: "RDD", zero: Any, op: Callable, num_partitions: int | None = None) -> "RDD":
+    return combine_by_key(self, lambda v: op(zero, v), op, op, num_partitions)
+
+
+def aggregate_by_key(
+    self: "RDD",
+    zero: Any,
+    seq_op: Callable,
+    comb_op: Callable,
+    num_partitions: int | None = None,
+) -> "RDD":
+    return combine_by_key(self, lambda v: seq_op(zero, v), seq_op, comb_op, num_partitions)
+
+
+def group_by_key(self: "RDD", num_partitions: int | None = None) -> "RDD":
+    return combine_by_key(
+        self,
+        lambda v: [v],
+        lambda acc, v: acc + [v],
+        lambda a, b: a + b,
+        num_partitions,
+        map_side_combine=False,
+    )
+
+
+def group_by(self: "RDD", func: Callable, num_partitions: int | None = None) -> "RDD":
+    return group_by_key(self.map(lambda x: (func(x), x)), num_partitions)
+
+
+def partition_by(self: "RDD", partitioner: Partitioner | int) -> "RDD":
+    if isinstance(partitioner, int):
+        partitioner = HashPartitioner(partitioner)
+    if self.partitioner is not None and self.partitioner == partitioner:
+        return self
+    from repro.engine.rdd import ShuffledRDD
+
+    return ShuffledRDD(self.context, self, partitioner, None, "partition_by")
+
+
+def cogroup(self: "RDD", *others: "RDD", num_partitions: int | None = None) -> "RDD":
+    partitioner = HashPartitioner(_default_partitions(self, num_partitions))
+    for rdd in (self, *others):
+        if rdd.partitioner is not None and isinstance(rdd.partitioner, HashPartitioner):
+            partitioner = rdd.partitioner
+            break
+    from repro.engine.rdd import CoGroupedRDD
+
+    return CoGroupedRDD(self.context, [self, *others], partitioner)
+
+
+def join(self: "RDD", other: "RDD", num_partitions: int | None = None) -> "RDD":
+    """Inner join: (k, (v, w)) for every pairing of values under k."""
+    return cogroup(self, other, num_partitions=num_partitions).flat_map(
+        lambda kv: [(kv[0], (v, w)) for v in kv[1][0] for w in kv[1][1]]
+    )
+
+
+def left_outer_join(self: "RDD", other: "RDD", num_partitions: int | None = None) -> "RDD":
+    return cogroup(self, other, num_partitions=num_partitions).flat_map(
+        lambda kv: [
+            (kv[0], (v, w))
+            for v in kv[1][0]
+            for w in (kv[1][1] if kv[1][1] else [None])
+        ]
+    )
+
+
+def right_outer_join(self: "RDD", other: "RDD", num_partitions: int | None = None) -> "RDD":
+    return cogroup(self, other, num_partitions=num_partitions).flat_map(
+        lambda kv: [
+            (kv[0], (v, w))
+            for w in kv[1][1]
+            for v in (kv[1][0] if kv[1][0] else [None])
+        ]
+    )
+
+
+def full_outer_join(self: "RDD", other: "RDD", num_partitions: int | None = None) -> "RDD":
+    def expand(kv):
+        key, (left, right) = kv
+        return [
+            (key, (v, w))
+            for v in (left if left else [None])
+            for w in (right if right else [None])
+        ]
+
+    return cogroup(self, other, num_partitions=num_partitions).flat_map(expand)
+
+
+def count_by_key(self: "RDD") -> dict:
+    ones = self.map(lambda kv: (kv[0], 1))
+    return dict(reduce_by_key(ones, lambda a, b: a + b).collect())
+
+
+def collect_as_map(self: "RDD") -> dict:
+    return dict(self.collect())
+
+
+def lookup(self: "RDD", key: Any) -> list:
+    """All values for ``key``; narrow scan unless partitioned, then 1 task."""
+    if self.partitioner is not None:
+        split = self.partitioner.partition(key)
+        part = self.context.run_job(
+            self, lambda it: [v for k, v in it if k == key], [split]
+        )
+        return part[0]
+    return self.filter(lambda kv: kv[0] == key).values().collect()
+
+
+class _ReversedRangePartitioner(RangePartitioner):
+    """Range partitioner with reversed partition order, for descending sorts."""
+
+    def partition(self, key: Any) -> int:
+        return self.num_partitions - 1 - super().partition(key)
+
+
+def sort_by_key(self: "RDD", ascending: bool = True, num_partitions: int | None = None) -> "RDD":
+    """Range-partition by sampled key bounds, then sort within partitions.
+
+    The output's partitions are globally ordered (ascending or descending),
+    so ``collect()`` yields a fully sorted sequence.
+    """
+    target = _default_partitions(self, num_partitions)
+    total = self.count()
+    fraction = min(1.0, 20.0 * target / max(1, total))
+    sample_keys = sorted(k for k, _ in self.sample(fraction, seed=17).collect())
+    if not sample_keys:
+        sample_keys = sorted(k for k, _ in self.collect())
+    if target > 1 and sample_keys:
+        step = max(1, len(sample_keys) // target)
+        bounds = sample_keys[step::step][: target - 1]
+        bounds = sorted(set(bounds))
+    else:
+        bounds = []
+    partitioner: RangePartitioner = (
+        RangePartitioner(bounds) if ascending else _ReversedRangePartitioner(bounds)
+    )
+    from repro.engine.rdd import ShuffledRDD
+
+    shuffled = ShuffledRDD(self.context, self, partitioner, None, "sort_by_key")
+
+    def sort_partition(it: Iterator) -> Iterator:
+        return iter(sorted(it, key=lambda kv: kv[0], reverse=not ascending))
+
+    out = shuffled.map_partitions(sort_partition, name="sorted")
+    out.partitioner = partitioner
+    return out
+
+
+def sort_by(self: "RDD", key_func: Callable, ascending: bool = True, num_partitions: int | None = None) -> "RDD":
+    return sort_by_key(
+        self.map(lambda x: (key_func(x), x)), ascending, num_partitions
+    ).values()
+
+
+def install(rdd_cls: type) -> None:
+    """Attach the pair operations as methods of ``RDD``."""
+    for func in (
+        keys,
+        values,
+        map_values,
+        flat_map_values,
+        combine_by_key,
+        reduce_by_key,
+        fold_by_key,
+        aggregate_by_key,
+        group_by_key,
+        group_by,
+        partition_by,
+        cogroup,
+        join,
+        left_outer_join,
+        right_outer_join,
+        full_outer_join,
+        count_by_key,
+        collect_as_map,
+        lookup,
+        sort_by_key,
+        sort_by,
+    ):
+        setattr(rdd_cls, func.__name__, func)

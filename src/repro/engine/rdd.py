@@ -1,0 +1,763 @@
+"""Resilient Distributed Datasets: lazy, partitioned, lineage-tracked.
+
+This module defines the :class:`RDD` base class, the narrow
+transformations, and the actions.  Key-value (shuffle) operations live in
+:mod:`repro.engine.pair_rdd` and are attached to :class:`RDD` at import
+time so ``rdd.reduce_by_key(...)`` works as in Spark.
+
+Naming follows Python convention (``flat_map``); camelCase aliases
+(``flatMap``) are provided for people porting Spark code.
+
+RDDs hold a reference to their driver :class:`~repro.engine.context.Context`
+for action execution; the reference is dropped on pickling (process
+backend) because workers never run actions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import operator
+import os
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, TypeVar
+
+from repro.engine.dependencies import (
+    Dependency,
+    ManyToOneDependency,
+    NarrowDependency,
+    OneToOneDependency,
+    RangeDependency,
+    ShuffleDependency,
+)
+from repro.engine.storage import StorageLevel
+from repro.engine.task import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class RDD:
+    """A lazy, immutable, partitioned collection with lineage."""
+
+    def __init__(self, ctx: "Context", dependencies: list[Dependency], name: str | None = None) -> None:
+        self.context = ctx
+        self.id = ctx._new_rdd_id()
+        self.dependencies = dependencies
+        self.storage_level = StorageLevel.NONE
+        self.name = name or type(self).__name__
+        #: set when the RDD's output is co-partitioned by a known partitioner
+        self.partitioner = None
+
+    # -- core interface -----------------------------------------------------
+
+    def num_partitions(self) -> int:
+        raise NotImplementedError
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        """Compute partition ``split`` from parents (no cache involvement)."""
+        raise NotImplementedError
+
+    def preferred_locations(self, split: int) -> list[str]:
+        """Host/executor hints for this partition (locality scheduling)."""
+        for dep in self.dependencies:
+            if isinstance(dep, NarrowDependency):
+                for parent_split in dep.parents(split):
+                    locs = dep.rdd.preferred_locations(parent_split)
+                    if locs:
+                        return locs
+        return []
+
+    def iterator(self, split: int, tc: TaskContext) -> Iterator:
+        """Cache-aware access: local cache, remote cache, else compute."""
+        if self.storage_level is StorageLevel.NONE:
+            return self.compute(split, tc)
+        block_id = (self.id, split)
+        manager = tc.block_manager
+        if manager is not None:
+            spilled = manager.was_spilled(block_id)
+            data = manager.get(block_id)
+            if data is not None:
+                tc.metrics.cache_hits += 1
+                if spilled:
+                    tc.metrics.disk_blocks_read += 1
+                return iter(data)
+        if tc.block_master is not None:
+            remote = tc.block_master.get_remote(block_id, excluding=tc.executor_id)
+            if remote is not None:
+                data, _holder = remote
+                tc.metrics.cache_hits += 1
+                tc.metrics.remote_cache_hits += 1
+                return iter(data)
+        tc.metrics.cache_misses += 1
+        computed = self.compute(split, tc)
+        if manager is not None:
+            stored = manager.put(block_id, computed, self.storage_level)
+            if manager.contains(block_id) and tc.block_master is not None:
+                tc.block_master.register_block(block_id, tc.executor_id)
+            return iter(stored)
+        return iter(list(computed))
+
+    # -- persistence ----------------------------------------------------------
+
+    def persist(self, level: StorageLevel = StorageLevel.MEMORY) -> "RDD":
+        """Mark for caching at the given storage level.  Returns self."""
+        if not isinstance(level, StorageLevel):
+            raise TypeError(f"expected StorageLevel, got {type(level).__name__}")
+        self.storage_level = level
+        return self
+
+    def cache(self) -> "RDD":
+        """Shorthand for ``persist(StorageLevel.MEMORY)``."""
+        return self.persist(StorageLevel.MEMORY)
+
+    def unpersist(self) -> "RDD":
+        """Drop the persistence flag and evict any cached blocks."""
+        self.storage_level = StorageLevel.NONE
+        if self.context is not None:
+            self.context._drop_cached_rdd(self.id)
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        return self.storage_level is not StorageLevel.NONE
+
+    # -- pickling (process backend) ---------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["context"] = None
+        return state
+
+    # -- narrow transformations ---------------------------------------------
+
+    def map_partitions_with_index(
+        self,
+        func: Callable[[int, Iterator], Iterator],
+        name: str | None = None,
+        preserves_partitioning: bool = False,
+    ) -> "RDD":
+        """The fundamental narrow transform: ``func(split, iter) -> iter``."""
+        return MappedPartitionsRDD(
+            self.context, self, func, name or "map_partitions_with_index", preserves_partitioning
+        )
+
+    def map_partitions(
+        self,
+        func: Callable[[Iterator], Iterator],
+        name: str | None = None,
+        preserves_partitioning: bool = False,
+    ) -> "RDD":
+        return MappedPartitionsRDD(
+            self.context, self, _IndexlessFn(func), name or "map_partitions",
+            preserves_partitioning,
+        )
+
+    def map(self, func: Callable[[T], U]) -> "RDD":
+        return MappedPartitionsRDD(self.context, self, _MapFn(func), "map")
+
+    def filter(self, predicate: Callable[[T], bool]) -> "RDD":
+        # filtering never changes keys, so partitioning survives
+        return MappedPartitionsRDD(
+            self.context, self, _FilterFn(predicate), "filter",
+            preserves_partitioning=True,
+        )
+
+    def flat_map(self, func: Callable[[T], Iterable[U]]) -> "RDD":
+        return MappedPartitionsRDD(self.context, self, _FlatMapFn(func), "flat_map")
+
+    def glom(self) -> "RDD":
+        """Each partition becomes a single list element."""
+        return MappedPartitionsRDD(self.context, self, _glom_fn, "glom")
+
+    def key_by(self, func: Callable[[T], Any]) -> "RDD":
+        return self.map(lambda item: (func(item), item))
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self.context, [self, other])
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Reduce partition count without a shuffle."""
+        return CoalescedRDD(self.context, self, num_partitions)
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Bernoulli sample of elements, deterministic per (seed, partition)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+        def sampler(split: int, it: Iterator) -> Iterator:
+            import numpy as np
+
+            rng = np.random.default_rng(np.random.SeedSequence([seed, split]))
+            return (item for item in it if rng.random() < fraction)
+
+        return MappedPartitionsRDD(self.context, self, sampler, "sample")
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each element with its global index (triggers a size job)."""
+        sizes = self.context.run_job(self, lambda it: sum(1 for _ in it))
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+
+        def indexer(split: int, it: Iterator) -> Iterator:
+            return ((item, offsets[split] + i) for i, item in enumerate(it))
+
+        return MappedPartitionsRDD(self.context, self, indexer, "zip_with_index")
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        """Deduplicate via a shuffle (elements must be hashable)."""
+        return (
+            self.map(lambda item: (item, None))
+            .reduce_by_key(lambda a, _b: a, num_partitions)
+            .map(lambda kv: kv[0])
+        )
+
+    # -- actions ----------------------------------------------------------------
+
+    def collect(self) -> list:
+        return [item for part in self.context.run_job(self, list) for item in part]
+
+    def collect_partitions(self) -> list[list]:
+        return self.context.run_job(self, list)
+
+    def count(self) -> int:
+        return sum(self.context.run_job(self, _count_iter))
+
+    def first(self) -> Any:
+        taken = self.take(1)
+        if not taken:
+            raise ValueError("RDD is empty")
+        return taken[0]
+
+    def take(self, n: int) -> list:
+        """Collect the first ``n`` elements scanning partitions in order."""
+        if n <= 0:
+            return []
+        out: list = []
+        for split in range(self.num_partitions()):
+            part = self.context.run_job(self, lambda it: list(itertools.islice(it, n - len(out))), [split])[0]
+            out.extend(part)
+            if len(out) >= n:
+                break
+        return out[:n]
+
+    def take_ordered(self, n: int, key: Callable | None = None) -> list:
+        """Smallest ``n`` elements (by ``key``) across the RDD."""
+        parts = self.context.run_job(self, lambda it: heapq.nsmallest(n, it, key=key))
+        return heapq.nsmallest(n, itertools.chain.from_iterable(parts), key=key)
+
+    def reduce(self, op: Callable[[T, T], T]) -> T:
+        partials = [
+            p for part in self.context.run_job(self, _ReduceFn(op)) for p in part
+        ]
+        if not partials:
+            raise ValueError("reduce() of empty RDD")
+        acc = partials[0]
+        for item in partials[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def fold(self, zero: T, op: Callable[[T, T], T]) -> T:
+        partials = self.context.run_job(self, _FoldFn(zero, op))
+        acc = zero
+        for item in partials:
+            acc = op(acc, item)
+        return acc
+
+    def aggregate(self, zero: U, seq_op: Callable[[U, T], U], comb_op: Callable[[U, U], U]) -> U:
+        partials = self.context.run_job(self, _FoldFn(zero, seq_op))
+        acc = zero
+        for item in partials:
+            acc = comb_op(acc, item)
+        return acc
+
+    def sum(self) -> Any:
+        return self.fold(0, operator.add)
+
+    def min(self) -> Any:
+        return self.reduce(_min2)
+
+    def max(self) -> Any:
+        return self.reduce(_max2)
+
+    def mean(self) -> float:
+        total, count = self.aggregate((0.0, 0), _mean_seq, _mean_comb)
+        if count == 0:
+            raise ValueError("mean() of empty RDD")
+        return total / count
+
+    def count_by_value(self) -> dict:
+        out: dict = {}
+        for partial in self.context.run_job(self, _count_values):
+            for key, count in partial.items():
+                out[key] = out.get(key, 0) + count
+        return out
+
+    def foreach(self, func: Callable[[T], None]) -> None:
+        def apply_all(it: Iterator) -> None:
+            for item in it:
+                func(item)
+
+        self.context.run_job(self, apply_all)
+
+    def foreach_partition(self, func: Callable[[Iterator], None]) -> None:
+        self.context.run_job(self, lambda it: func(it))
+
+    def save_as_text_file(self, path: str) -> None:
+        """Write one ``part-NNNNN`` file per partition (local or hdfs://)."""
+        parts = self.context.run_job(self, lambda it: [str(x) for x in it])
+        if path.startswith("hdfs://"):
+            fs = self.context.hdfs
+            if fs is None:
+                raise RuntimeError("context has no HDFS attached")
+            for i, lines in enumerate(parts):
+                fs.write_text(f"{path.rstrip('/')}/part-{i:05d}", "\n".join(lines) + ("\n" if lines else ""))
+        else:
+            os.makedirs(path, exist_ok=True)
+            for i, lines in enumerate(parts):
+                with open(os.path.join(path, f"part-{i:05d}"), "w") as fh:
+                    for line in lines:
+                        fh.write(line + "\n")
+
+    # -- introspection ---------------------------------------------------------
+
+    def lineage(self) -> list["RDD"]:
+        """All ancestor RDDs (self included), deduplicated, parents first."""
+        seen: dict[int, RDD] = {}
+
+        def visit(rdd: "RDD") -> None:
+            if rdd.id in seen:
+                return
+            for dep in rdd.dependencies:
+                visit(dep.rdd)
+            seen[rdd.id] = rdd
+
+        visit(self)
+        return list(seen.values())
+
+    def to_debug_string(self) -> str:
+        """Spark-style indented lineage dump."""
+        lines: list[str] = []
+
+        def visit(rdd: "RDD", depth: int) -> None:
+            marker = "*" if rdd.is_cached else " "
+            lines.append(f"{'  ' * depth}({rdd.num_partitions()}){marker} {rdd.name} [{rdd.id}]")
+            for dep in rdd.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    lines.append(f"{'  ' * (depth + 1)}+-- shuffle {dep.shuffle_id} --")
+                    visit(dep.rdd, depth + 2)
+                else:
+                    visit(dep.rdd, depth + 1)
+
+        visit(self, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.id}, name={self.name!r}, partitions={self.num_partitions()})"
+
+
+class _MapFn:
+    """Picklable per-partition wrapper for ``map`` (process backend)."""
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, _split: int, it: Iterator) -> Iterator:
+        return map(self.func, it)
+
+
+class _FilterFn:
+    def __init__(self, predicate: Callable) -> None:
+        self.predicate = predicate
+
+    def __call__(self, _split: int, it: Iterator) -> Iterator:
+        return filter(self.predicate, it)
+
+
+class _FlatMapFn:
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, _split: int, it: Iterator) -> Iterator:
+        return itertools.chain.from_iterable(map(self.func, it))
+
+
+class _IndexlessFn:
+    """Adapts ``func(iterator)`` to the ``func(split, iterator)`` interface."""
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, _split: int, it: Iterator) -> Iterator:
+        return self.func(it)
+
+
+def _glom_fn(_split: int, it: Iterator) -> Iterator:
+    return iter([list(it)])
+
+
+def _count_iter(it: Iterator) -> int:
+    return sum(1 for _ in it)
+
+
+def _count_values(it: Iterator) -> dict:
+    counts: dict = {}
+    for item in it:
+        counts[item] = counts.get(item, 0) + 1
+    return counts
+
+
+def _min2(a: Any, b: Any) -> Any:
+    return a if a <= b else b
+
+
+def _max2(a: Any, b: Any) -> Any:
+    return a if a >= b else b
+
+
+def _mean_seq(acc: tuple, x: Any) -> tuple:
+    return (acc[0] + x, acc[1] + 1)
+
+
+def _mean_comb(a: tuple, b: tuple) -> tuple:
+    return (a[0] + b[0], a[1] + b[1])
+
+
+class _FoldFn:
+    """Picklable per-partition fold (also serves aggregate's seq phase)."""
+
+    def __init__(self, zero: Any, op: Callable) -> None:
+        self.zero = zero
+        self.op = op
+
+    def __call__(self, it: Iterator) -> Any:
+        acc = self.zero
+        for item in it:
+            acc = self.op(acc, item)
+        return acc
+
+
+class _ReduceFn:
+    """Picklable per-partition reduce returning [] for empty partitions."""
+
+    def __init__(self, op: Callable) -> None:
+        self.op = op
+
+    def __call__(self, it: Iterator) -> list:
+        it = iter(it)
+        try:
+            acc = next(it)
+        except StopIteration:
+            return []
+        for item in it:
+            acc = self.op(acc, item)
+        return [acc]
+
+
+class ParallelCollectionRDD(RDD):
+    """An in-memory collection sliced into partitions at the driver."""
+
+    def __init__(self, ctx: "Context", data: Iterable, num_partitions: int, name: str = "parallelize") -> None:
+        super().__init__(ctx, [], name)
+        items = data if isinstance(data, list) else list(data)
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self._slices = _slice_collection(items, num_partitions)
+
+    def num_partitions(self) -> int:
+        return len(self._slices)
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        tc.metrics.records_read += len(self._slices[split])
+        return iter(self._slices[split])
+
+
+def _slice_collection(items: list, num_partitions: int) -> list[list]:
+    """Evenly slice a list, matching Spark's contiguous-range slicing."""
+    n = len(items)
+    slices = []
+    for i in range(num_partitions):
+        start = (i * n) // num_partitions
+        end = ((i + 1) * n) // num_partitions
+        slices.append(items[start:end])
+    return slices
+
+
+class MappedPartitionsRDD(RDD):
+    """Applies ``func(split, iterator)`` to the single parent partition.
+
+    ``preserves_partitioning`` must only be set when ``func`` does not
+    change element keys (mapValues, filter); a key-changing map that kept
+    the parent's partitioner would let ``reduce_by_key`` skip a required
+    shuffle and silently produce per-partition partial results.
+    """
+
+    def __init__(
+        self,
+        ctx: "Context",
+        parent: RDD,
+        func: Callable[[int, Iterator], Iterator],
+        name: str,
+        preserves_partitioning: bool = False,
+    ) -> None:
+        super().__init__(ctx, [OneToOneDependency(parent)], name)
+        self._parent = parent
+        self._func = func
+        if preserves_partitioning:
+            self.partitioner = parent.partitioner
+
+    def num_partitions(self) -> int:
+        return self._parent.num_partitions()
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        return iter(self._func(split, self._parent.iterator(split, tc)))
+
+
+class UnionRDD(RDD):
+    """Concatenation of parents' partitions (narrow; no shuffle)."""
+
+    def __init__(self, ctx: "Context", parents: list[RDD]) -> None:
+        deps: list[Dependency] = []
+        offset = 0
+        self._ranges: list[tuple[RDD, int]] = []
+        for parent in parents:
+            n = parent.num_partitions()
+            deps.append(RangeDependency(parent, 0, offset, n))
+            self._ranges.append((parent, offset))
+            offset += n
+        self._total = offset
+        super().__init__(ctx, deps, "union")
+
+    def num_partitions(self) -> int:
+        return self._total
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        for dep in self.dependencies:
+            assert isinstance(dep, RangeDependency)
+            parents = dep.parents(split)
+            if parents:
+                return dep.rdd.iterator(parents[0], tc)
+        raise IndexError(f"partition {split} out of range for union of {self._total}")
+
+
+class CoalescedRDD(RDD):
+    """Merges parent partitions into fewer partitions without shuffling."""
+
+    def __init__(self, ctx: "Context", parent: RDD, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        parent_count = parent.num_partitions()
+        target = min(num_partitions, parent_count)
+        mapping: list[list[int]] = []
+        for i in range(target):
+            start = (i * parent_count) // target
+            end = ((i + 1) * parent_count) // target
+            mapping.append(list(range(start, end)))
+        super().__init__(ctx, [ManyToOneDependency(parent, mapping)], "coalesce")
+        self._parent = parent
+        self._mapping = mapping
+
+    def num_partitions(self) -> int:
+        return len(self._mapping)
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        return itertools.chain.from_iterable(
+            self._parent.iterator(p, tc) for p in self._mapping[split]
+        )
+
+
+class LocalTextFileRDD(RDD):
+    """Reads a local text file (or directory of part files), one partition per chunk.
+
+    The file is split into ``min_partitions`` byte ranges aligned to line
+    boundaries at read time, mimicking HDFS block splits.
+    """
+
+    def __init__(self, ctx: "Context", path: str, min_partitions: int) -> None:
+        super().__init__(ctx, [], f"text:{os.path.basename(path)}")
+        if os.path.isdir(path):
+            self._files = sorted(
+                os.path.join(path, f) for f in os.listdir(path) if not f.startswith((".", "_"))
+            )
+        else:
+            self._files = [path]
+        if not self._files:
+            raise FileNotFoundError(f"no input files under {path}")
+        # one or more splits per file, proportional to size
+        total = sum(os.path.getsize(f) for f in self._files)
+        self._splits: list[tuple[str, int, int]] = []  # (file, start, end)
+        for filename in self._files:
+            size = os.path.getsize(filename)
+            if total > 0:
+                share = max(1, round(min_partitions * size / total))
+            else:
+                share = 1
+            chunk = max(1, -(-size // share))
+            start = 0
+            while start < size or (start == 0 and size == 0):
+                end = min(size, start + chunk)
+                self._splits.append((filename, start, end))
+                if end >= size:
+                    break
+                start = end
+            if size == 0:
+                continue
+
+    def num_partitions(self) -> int:
+        return len(self._splits)
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        # Hadoop line-split semantics: this split owns every line whose
+        # starting byte offset s satisfies start <= s < end.  Seeking to
+        # start-1 and discarding one readline() leaves the file positioned
+        # at the first owned line regardless of whether `start` falls
+        # mid-line or exactly on a line boundary.
+        filename, start, end = self._splits[split]
+        lines = []
+        with open(filename, "rb") as fh:
+            if start > 0:
+                fh.seek(start - 1)
+                fh.readline()
+            pos = fh.tell()
+            while pos < end:
+                line = fh.readline()
+                if not line:
+                    break
+                lines.append(line.decode("utf-8").rstrip("\n"))
+                pos = fh.tell()
+        tc.metrics.records_read += len(lines)
+        return iter(lines)
+
+
+class ShuffledRDD(RDD):
+    """Reduce side of a shuffle: one partition per reducer.
+
+    Reads merged map output for its partition from the shuffle manager (or
+    from pre-fetched input shipped with the task under the process
+    backend) and applies the dependency's aggregator.
+    """
+
+    def __init__(self, ctx, parent: RDD, partitioner, aggregator, name: str) -> None:
+        shuffle_id = ctx._new_shuffle_id()
+        dep = ShuffleDependency(parent, partitioner, shuffle_id, aggregator)
+        super().__init__(ctx, [dep], name)
+        self.shuffle_dep = dep
+        self.partitioner = partitioner
+
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    def preferred_locations(self, split: int) -> list[str]:
+        return []
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        dep = self.shuffle_dep
+        key = (dep.shuffle_id, split)
+        if key in tc.prefetched_shuffle:
+            records: Iterator = iter(tc.prefetched_shuffle[key])
+        else:
+            if tc.shuffle_manager is None:
+                raise RuntimeError("no shuffle manager available to reduce task")
+            records = tc.shuffle_manager.fetch(dep.shuffle_id, split, tc.metrics)
+        agg = dep.aggregator
+        if agg is None:
+            return records
+        merged: dict = {}
+        if agg.map_side_combine:
+            # map outputs are already combiners; merge them across maps
+            for k, combiner in records:
+                if k in merged:
+                    merged[k] = agg.merge_combiners(merged[k], combiner)
+                else:
+                    merged[k] = combiner
+        else:
+            for k, value in records:
+                if k in merged:
+                    merged[k] = agg.merge_value(merged[k], value)
+                else:
+                    merged[k] = agg.create_combiner(value)
+        return iter(merged.items())
+
+
+class CoGroupedRDD(RDD):
+    """Groups several pair-RDDs by key: ``(k, (values_0, values_1, ...))``.
+
+    Parents already partitioned compatibly contribute through a narrow
+    dependency; the rest are shuffled.
+    """
+
+    def __init__(self, ctx, parents: list[RDD], partitioner) -> None:
+        deps: list[Dependency] = []
+        self._dep_kinds: list[tuple[str, Any]] = []
+        for parent in parents:
+            if parent.partitioner is not None and parent.partitioner == partitioner:
+                deps.append(OneToOneDependency(parent))
+                self._dep_kinds.append(("narrow", parent))
+            else:
+                shuffle_id = ctx._new_shuffle_id()
+                dep = ShuffleDependency(parent, partitioner, shuffle_id, None)
+                deps.append(dep)
+                self._dep_kinds.append(("shuffle", dep))
+        super().__init__(ctx, deps, "cogroup")
+        self.partitioner = partitioner
+        self._num_parents = len(parents)
+
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    def compute(self, split: int, tc: TaskContext) -> Iterator:
+        grouped: dict[Any, tuple[list, ...]] = {}
+
+        def bucket_for(key: Any) -> tuple[list, ...]:
+            entry = grouped.get(key)
+            if entry is None:
+                entry = tuple([] for _ in range(self._num_parents))
+                grouped[key] = entry
+            return entry
+
+        for idx, (kind, source) in enumerate(self._dep_kinds):
+            if kind == "narrow":
+                records: Iterator = source.iterator(split, tc)
+            else:
+                fetch_key = (source.shuffle_id, split)
+                if fetch_key in tc.prefetched_shuffle:
+                    records = iter(tc.prefetched_shuffle[fetch_key])
+                else:
+                    if tc.shuffle_manager is None:
+                        raise RuntimeError("no shuffle manager available to cogroup task")
+                    records = tc.shuffle_manager.fetch(source.shuffle_id, split, tc.metrics)
+            for key, value in records:
+                bucket_for(key)[idx].append(value)
+        return iter(grouped.items())
+
+
+# Attach pair-RDD operations (reduce_by_key, join, ...) and extended ops
+# (tree_aggregate, checkpoint, stats_summary, ...) to RDD.
+from repro.engine import ops as _ops  # noqa: E402  (intentional late import)
+from repro.engine import pair_rdd as _pair_rdd  # noqa: E402
+
+_pair_rdd.install(RDD)
+_ops.install(RDD)
+
+# Spark camelCase aliases for users porting code.
+RDD.flatMap = RDD.flat_map  # type: ignore[attr-defined]
+RDD.mapPartitions = RDD.map_partitions  # type: ignore[attr-defined]
+RDD.mapPartitionsWithIndex = RDD.map_partitions_with_index  # type: ignore[attr-defined]
+RDD.reduceByKey = RDD.reduce_by_key  # type: ignore[attr-defined]
+RDD.groupByKey = RDD.group_by_key  # type: ignore[attr-defined]
+RDD.combineByKey = RDD.combine_by_key  # type: ignore[attr-defined]
+RDD.aggregateByKey = RDD.aggregate_by_key  # type: ignore[attr-defined]
+RDD.countByKey = RDD.count_by_key  # type: ignore[attr-defined]
+RDD.countByValue = RDD.count_by_value  # type: ignore[attr-defined]
+RDD.mapValues = RDD.map_values  # type: ignore[attr-defined]
+RDD.flatMapValues = RDD.flat_map_values  # type: ignore[attr-defined]
+RDD.sortByKey = RDD.sort_by_key  # type: ignore[attr-defined]
+RDD.partitionBy = RDD.partition_by  # type: ignore[attr-defined]
+RDD.collectAsMap = RDD.collect_as_map  # type: ignore[attr-defined]
+RDD.zipWithIndex = RDD.zip_with_index  # type: ignore[attr-defined]
+RDD.keyBy = RDD.key_by  # type: ignore[attr-defined]
+RDD.takeOrdered = RDD.take_ordered  # type: ignore[attr-defined]
+RDD.saveAsTextFile = RDD.save_as_text_file  # type: ignore[attr-defined]

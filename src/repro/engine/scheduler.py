@@ -1,0 +1,437 @@
+"""DAG scheduler and task scheduler.
+
+The :class:`DAGScheduler` turns an action into a :class:`StageGraph`,
+executes stages whose parents' shuffle outputs are available, and handles
+shuffle-fetch failures by letting the missing map partitions be recomputed
+(Spark's stage-resubmission path).  The :class:`TaskScheduler` places task
+attempts on alive executors (locality-aware), retries transient failures up
+to ``max_task_retries``, and converts executor loss into block/shuffle
+invalidation plus rescheduling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import pickle
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.engine.accumulator import AccumulatorBuffer
+from repro.engine.backends import ProcessBackend
+from repro.engine.dag import Stage, StageGraph
+from repro.engine.dependencies import ShuffleDependency
+from repro.engine.executor import Executor, ExecutorLostError
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
+from repro.engine.shuffle import FetchFailedError
+from repro.engine.task import ResultTask, ShuffleMapTask, Task, TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+    from repro.engine.rdd import RDD
+
+
+class JobFailedError(RuntimeError):
+    """The job could not complete within the configured retry budgets."""
+
+
+class _FetchFailedSignal(Exception):
+    """Internal: a reduce task hit a missing map output; resubmit parents."""
+
+    def __init__(self, shuffle_id: int, map_partition: int) -> None:
+        super().__init__(f"fetch failed: shuffle {shuffle_id} map {map_partition}")
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+
+
+def stage_shuffle_inputs(rdd: "RDD", split: int) -> set[tuple[int, int]]:
+    """(shuffle_id, reduce_partition) pairs read by this task's stage slice."""
+    out: set[tuple[int, int]] = set()
+    seen: set[tuple[int, int]] = set()
+
+    def visit(node: "RDD", s: int) -> None:
+        if (node.id, s) in seen:
+            return
+        seen.add((node.id, s))
+        for dep in node.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                out.add((dep.shuffle_id, s))
+            else:
+                for parent_split in dep.parents(s):
+                    visit(dep.rdd, parent_split)
+
+    visit(rdd, split)
+    return out
+
+
+def stage_cached_rdd_blocks(rdd: "RDD", split: int) -> set[tuple[int, int]]:
+    """(rdd_id, partition) block ids of persisted RDDs in this task's slice."""
+    out: set[tuple[int, int]] = set()
+    seen: set[tuple[int, int]] = set()
+
+    def visit(node: "RDD", s: int) -> None:
+        if (node.id, s) in seen:
+            return
+        seen.add((node.id, s))
+        if node.is_cached:
+            out.add((node.id, s))
+        for dep in node.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                continue
+            for parent_split in dep.parents(s):
+                visit(dep.rdd, parent_split)
+
+    visit(rdd, split)
+    return out
+
+
+class TaskScheduler:
+    """Runs one stage's task set with retries and executor management."""
+
+    def __init__(self, ctx: "Context") -> None:
+        self.ctx = ctx
+        self._round_robin = itertools.count()
+        self._lock = threading.Lock()
+
+    # -- placement ------------------------------------------------------------
+
+    def _alive_executors(self) -> list[Executor]:
+        return [e for e in self.ctx.executors if e.alive]
+
+    def _choose_executor(self, task: Task, exclude: set[str]) -> Executor:
+        alive = [e for e in self._alive_executors() if e.executor_id not in exclude]
+        if not alive:
+            alive = self._alive_executors()
+        if not alive:
+            raise JobFailedError("no alive executors remain")
+        # 1) prefer executors already holding this partition's cached block
+        if task.rdd.is_cached:
+            holders = set(self.ctx.block_master.locations((task.rdd.id, task.partition)))
+            for executor in alive:
+                if executor.executor_id in holders:
+                    return executor
+        # 2) honor RDD-provided locality hints (HDFS block locations)
+        preferred = set(task.preferred_locations())
+        if preferred:
+            for executor in alive:
+                if executor.executor_id in preferred or executor.host in preferred:
+                    return executor
+        # 3) round robin
+        with self._lock:
+            index = next(self._round_robin)
+        return alive[index % len(alive)]
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_task_set(
+        self,
+        stage: Stage,
+        tasks: list[Task],
+        job: JobMetrics,
+        stage_metrics: StageMetrics,
+    ) -> dict[int, Any]:
+        """Run all tasks; returns {partition: result}.
+
+        Raises :class:`_FetchFailedSignal` on an unrecoverable-in-stage fetch
+        failure and :class:`JobFailedError` when retry budgets are exhausted.
+        """
+        config = self.ctx.config
+        backend = self.ctx.backend
+        results: dict[int, Any] = {}
+        pending: list[tuple[Task, int, set[str]]] = [(t, 0, set()) for t in tasks]
+        inflight: dict[concurrent.futures.Future, tuple[Task, int, Executor]] = {}
+        max_inflight = max(1, backend.parallelism) * 2
+        fetch_failure: _FetchFailedSignal | None = None
+
+        while pending or inflight:
+            while pending and len(inflight) < max_inflight and fetch_failure is None:
+                task, attempt, tried = pending.pop()
+                executor = self._choose_executor(task, exclude=tried)
+                future = self._submit(stage, task, attempt, executor)
+                inflight[future] = (task, attempt, executor)
+            if not inflight:
+                break
+            done, _ = concurrent.futures.wait(
+                inflight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                task, attempt, executor = inflight.pop(future)
+                try:
+                    value, record = future.result()
+                except FetchFailedError as exc:
+                    executor.note_task(False)
+                    job.num_task_failures += 1
+                    if fetch_failure is None:
+                        fetch_failure = _FetchFailedSignal(exc.shuffle_id, exc.map_partition)
+                except ExecutorLostError as exc:
+                    executor.note_task(False)
+                    job.num_task_failures += 1
+                    self._handle_executor_loss(exc.executor_id, job)
+                    if attempt + 1 > config.max_task_retries:
+                        raise JobFailedError(
+                            f"task (stage={stage.id}, partition={task.partition}) "
+                            f"exceeded {config.max_task_retries} retries"
+                        ) from exc
+                    pending.append((task, attempt + 1, set()))
+                except Exception as exc:  # transient / injected task failure
+                    executor.note_task(False)
+                    job.num_task_failures += 1
+                    stage_metrics.tasks.append(
+                        TaskRecord(
+                            stage_id=stage.id,
+                            partition=task.partition,
+                            attempt=attempt,
+                            executor_id=executor.executor_id,
+                            duration_seconds=0.0,
+                            metrics=TaskContext(stage.id, task.partition, attempt, executor.executor_id).metrics,
+                            succeeded=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    if attempt + 1 > config.max_task_retries:
+                        raise JobFailedError(
+                            f"task (stage={stage.id}, partition={task.partition}) failed "
+                            f"permanently after {attempt + 1} attempts: {exc}"
+                        ) from exc
+                    tried = set(tried) | {executor.executor_id}
+                    pending.append((task, attempt + 1, tried))
+                else:
+                    executor.note_task(True)
+                    results[task.partition] = value
+                    stage_metrics.tasks.append(record)
+        if fetch_failure is not None:
+            raise fetch_failure
+        return results
+
+    def _submit(
+        self, stage: Stage, task: Task, attempt: int, executor: Executor
+    ) -> concurrent.futures.Future:
+        backend = self.ctx.backend
+        if backend.supports_shared_state:
+            return backend.submit(self._run_shared, stage, task, attempt, executor)
+        return backend.submit(self._run_process, stage, task, attempt, executor)
+
+    # -- shared-state execution (serial / threads) -----------------------------
+
+    def _run_shared(
+        self, stage: Stage, task: Task, attempt: int, executor: Executor
+    ) -> tuple[Any, TaskRecord]:
+        if not executor.alive:
+            raise ExecutorLostError(executor.executor_id)
+        injector = self.ctx.fault_injector
+        tc = TaskContext(
+            stage_id=stage.id,
+            partition=task.partition,
+            attempt=attempt,
+            executor_id=executor.executor_id,
+            shuffle_manager=self.ctx.shuffle_manager,
+            block_manager=executor.block_manager,
+            block_master=self.ctx.block_master,
+            accumulators=AccumulatorBuffer(self.ctx._accumulators),
+            fault_hook=injector.on_task_launch if injector is not None else None,
+        )
+        start = time.perf_counter()
+        value = task.run(tc)
+        duration = time.perf_counter() - start
+        tc.accumulators.merge_into_driver(stage.id, task.partition)
+        record = TaskRecord(
+            stage_id=stage.id,
+            partition=task.partition,
+            attempt=attempt,
+            executor_id=executor.executor_id,
+            duration_seconds=duration,
+            metrics=tc.metrics,
+            succeeded=True,
+        )
+        return value, record
+
+    # -- process-backend execution ------------------------------------------------
+
+    def _run_process(
+        self, stage: Stage, task: Task, attempt: int, executor: Executor
+    ) -> tuple[Any, TaskRecord]:
+        if not executor.alive:
+            raise ExecutorLostError(executor.executor_id)
+        assert isinstance(self.ctx.backend, ProcessBackend)
+        # make the task self-contained: pre-fetch shuffle input + cache blocks
+        prefetched: dict[tuple[int, int], list] = {}
+        for shuffle_id, reduce_part in stage_shuffle_inputs(task.rdd, task.partition):
+            prefetched[(shuffle_id, reduce_part)] = list(
+                self.ctx.shuffle_manager.fetch(shuffle_id, reduce_part)
+            )
+        cached_blocks: dict[tuple[int, int], list] = {}
+        for block_id in stage_cached_rdd_blocks(task.rdd, task.partition):
+            data = executor.block_manager.get(block_id)
+            if data is None:
+                remote = self.ctx.block_master.get_remote(block_id, excluding=executor.executor_id)
+                data = remote[0] if remote is not None else None
+            if data is not None:
+                cached_blocks[block_id] = data
+        payload = pickle.dumps(
+            {
+                "task": task,
+                "attempt": attempt,
+                "executor_id": executor.executor_id,
+                "prefetched_shuffle": prefetched,
+                "cached_blocks": cached_blocks,
+                "accumulators": self.ctx._accumulators,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        start = time.perf_counter()
+        out = pickle.loads(self.ctx.backend.submit_pickled(payload).result())
+        duration = time.perf_counter() - start
+        # merge shuffle output written remotely
+        value = out["result"]
+        if isinstance(task, ShuffleMapTask) and out["shuffle_output"] is not None:
+            value = self.ctx.shuffle_manager.write_map_output(
+                task.shuffle_dep,
+                map_partition=task.partition,
+                records=_buckets_to_records(out["shuffle_output"], task.shuffle_dep.shuffle_id, task.partition),
+                executor_id=executor.executor_id,
+                metrics=out["metrics"],
+            )
+        # merge newly cached blocks into this executor's block manager
+        for block_id, data in out["new_blocks"].items():
+            from repro.engine.storage import StorageLevel
+
+            executor.block_manager.put(block_id, data, StorageLevel.MEMORY)
+            if executor.block_manager.contains(block_id):
+                self.ctx.block_master.register_block(block_id, executor.executor_id)
+        # merge accumulator updates (dedup by stage/partition)
+        for acc_id, local in out["accumulator_updates"].items():
+            acc = self.ctx._accumulators.get(acc_id)
+            if acc is not None:
+                acc._merge(stage.id, task.partition, local)
+        record = TaskRecord(
+            stage_id=stage.id,
+            partition=task.partition,
+            attempt=attempt,
+            executor_id=executor.executor_id,
+            duration_seconds=duration,
+            metrics=out["metrics"],
+            succeeded=True,
+        )
+        return value, record
+
+    # -- failure handling ----------------------------------------------------------
+
+    def _handle_executor_loss(self, executor_id: str, job: JobMetrics) -> None:
+        """Mark an executor dead; invalidate its cache blocks and map outputs."""
+        for executor in self.ctx.executors:
+            if executor.executor_id == executor_id and executor.alive:
+                executor.kill()
+                job.num_executor_failures_observed += 1
+        self.ctx.block_master.remove_executor(executor_id)
+        self.ctx.shuffle_manager.remove_outputs_on_executor(executor_id)
+
+
+def _buckets_to_records(
+    shuffle_output: dict[tuple[int, int], dict[int, list]],
+    shuffle_id: int,
+    map_partition: int,
+) -> Iterator:
+    """Flatten a worker's bucketed output back to records for re-bucketing."""
+    buckets = shuffle_output.get((shuffle_id, map_partition), {})
+    for records in buckets.values():
+        yield from records
+
+
+class DAGScheduler:
+    """Builds the stage graph for an action and drives it to completion."""
+
+    def __init__(self, ctx: "Context") -> None:
+        self.ctx = ctx
+        self.task_scheduler = TaskScheduler(ctx)
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[Iterator], Any],
+        partitions: list[int] | None = None,
+        description: str = "",
+    ) -> list[Any]:
+        config = self.ctx.config
+        if partitions is None:
+            partitions = list(range(rdd.num_partitions()))
+        graph = StageGraph(rdd, self.ctx._stage_ids)
+        job = JobMetrics(job_id=next(self.ctx._job_ids), description=description or rdd.name)
+        job_start = time.perf_counter()
+
+        # register every shuffle written by this job (idempotent re-register
+        # keeps shared shuffles from earlier jobs usable)
+        for shuffle_id, stage in graph.shuffle_stages.items():
+            self.ctx.shuffle_manager.register_shuffle(shuffle_id, stage.num_tasks)
+
+        results: dict[int, Any] = {}
+        wanted = set(partitions)
+        stage_attempts: dict[int, int] = {}
+
+        while True:
+            progressed = False
+            for stage in graph.all_stages():
+                if not self._parents_ready(stage):
+                    continue
+                if stage.is_shuffle_map:
+                    missing = sorted(
+                        self.ctx.shuffle_manager.missing_maps(stage.shuffle_dep.shuffle_id)
+                    )
+                    if not missing:
+                        continue
+                    tasks: list[Task] = [
+                        ShuffleMapTask(stage.id, stage.rdd, p, stage.shuffle_dep)
+                        for p in missing
+                    ]
+                else:
+                    missing = sorted(wanted - set(results))
+                    if not missing:
+                        continue
+                    tasks = [ResultTask(stage.id, stage.rdd, p, func) for p in missing]
+                progressed = True
+                attempt = stage_attempts.get(stage.id, 0)
+                stage_metrics = StageMetrics(
+                    stage_id=stage.id,
+                    name=stage.name,
+                    num_tasks=len(tasks),
+                    attempt=attempt,
+                    parent_stage_ids=tuple(p.id for p in stage.parents),
+                    is_shuffle_map=stage.is_shuffle_map,
+                )
+                stage_start = time.perf_counter()
+                try:
+                    stage_results = self.task_scheduler.run_task_set(
+                        stage, tasks, job, stage_metrics
+                    )
+                except _FetchFailedSignal:
+                    stage_metrics.wall_seconds = time.perf_counter() - stage_start
+                    job.stages.append(stage_metrics)
+                    stage_attempts[stage.id] = attempt + 1
+                    job.num_stage_resubmissions += 1
+                    if stage_attempts[stage.id] > config.max_stage_retries:
+                        raise JobFailedError(
+                            f"{stage.name} exceeded {config.max_stage_retries} resubmissions"
+                        ) from None
+                    # loop around: missing map outputs will be recomputed
+                    break
+                stage_metrics.wall_seconds = time.perf_counter() - stage_start
+                job.stages.append(stage_metrics)
+                if not stage.is_shuffle_map:
+                    results.update(stage_results)
+            if wanted <= set(results):
+                break
+            if not progressed:
+                raise JobFailedError(
+                    "scheduler made no progress; stage graph is stuck "
+                    f"(job {job.job_id}, {description!r})"
+                )
+
+        job.wall_seconds = time.perf_counter() - job_start
+        self.ctx.metrics.add_job(job)
+        return [results[p] for p in partitions]
+
+    def _parents_ready(self, stage: Stage) -> bool:
+        for shuffle_id in stage.parent_shuffle_ids():
+            if self.ctx.shuffle_manager.missing_maps(shuffle_id):
+                return False
+        return True

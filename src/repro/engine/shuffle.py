@@ -1,0 +1,164 @@
+"""Shuffle manager: map-output registry and reduce-side fetch.
+
+Map tasks bucket their key-value output by the shuffle dependency's
+partitioner and register the buckets here, tagged with the executor that
+produced them.  Reduce tasks fetch and merge the buckets for their
+partition.  When a fault kills an executor, its map outputs are invalidated
+and subsequent fetches raise :class:`FetchFailedError`, which the DAG
+scheduler handles by resubmitting the parent stage's missing tasks --
+exactly Spark's recovery path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.dependencies import ShuffleDependency
+    from repro.engine.metrics import TaskMetrics
+
+
+class FetchFailedError(RuntimeError):
+    """Raised by a reduce task when a map output is unavailable."""
+
+    def __init__(self, shuffle_id: int, map_partition: int) -> None:
+        super().__init__(f"shuffle {shuffle_id} map output {map_partition} unavailable")
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+
+
+@dataclass
+class MapStatus:
+    """Completion record for one map task's shuffle output."""
+
+    shuffle_id: int
+    map_partition: int
+    executor_id: str
+    bytes_by_reducer: tuple[int, ...]
+
+
+class ShuffleManager:
+    """Holds shuffle buckets; thread-safe."""
+
+    def __init__(self, track_bytes: bool = True) -> None:
+        self._lock = threading.Lock()
+        # (shuffle_id, map_partition) -> {reduce_partition: [(k, v), ...]}
+        self._outputs: dict[tuple[int, int], dict[int, list]] = {}
+        # (shuffle_id, map_partition) -> executor that wrote it
+        self._writers: dict[tuple[int, int], str] = {}
+        # shuffle_id -> number of map partitions expected
+        self._num_maps: dict[int, int] = {}
+        self._track_bytes = track_bytes
+
+    # -- registration --------------------------------------------------------
+
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        with self._lock:
+            self._num_maps[shuffle_id] = num_maps
+
+    def write_map_output(
+        self,
+        dep: "ShuffleDependency",
+        map_partition: int,
+        records: Iterable,
+        executor_id: str,
+        metrics: "TaskMetrics | None" = None,
+    ) -> MapStatus:
+        """Bucket ``records`` by key and register the output."""
+        partitioner = dep.partitioner
+        buckets: dict[int, list] = {i: [] for i in range(partitioner.num_partitions)}
+        agg = dep.aggregator
+        if agg is not None and agg.map_side_combine:
+            combined: dict[int, dict] = {i: {} for i in range(partitioner.num_partitions)}
+            for key, value in records:
+                bucket = combined[partitioner.partition(key)]
+                if key in bucket:
+                    bucket[key] = agg.merge_value(bucket[key], value)
+                else:
+                    bucket[key] = agg.create_combiner(value)
+            for reduce_idx, bucket in combined.items():
+                buckets[reduce_idx] = list(bucket.items())
+        else:
+            for key, value in records:
+                buckets[partitioner.partition(key)].append((key, value))
+
+        sizes = []
+        for reduce_idx in range(partitioner.num_partitions):
+            if self._track_bytes:
+                sizes.append(len(pickle.dumps(buckets[reduce_idx], protocol=pickle.HIGHEST_PROTOCOL)))
+            else:
+                sizes.append(0)
+        status = MapStatus(dep.shuffle_id, map_partition, executor_id, tuple(sizes))
+        with self._lock:
+            self._outputs[(dep.shuffle_id, map_partition)] = buckets
+            self._writers[(dep.shuffle_id, map_partition)] = executor_id
+        if metrics is not None:
+            metrics.shuffle_bytes_written += sum(sizes)
+            metrics.shuffle_records_written += sum(len(b) for b in buckets.values())
+        return status
+
+    # -- fetch ----------------------------------------------------------------
+
+    def available_maps(self, shuffle_id: int) -> set[int]:
+        with self._lock:
+            return {mp for (sid, mp) in self._outputs if sid == shuffle_id}
+
+    def missing_maps(self, shuffle_id: int) -> set[int]:
+        with self._lock:
+            num = self._num_maps.get(shuffle_id)
+            if num is None:
+                raise KeyError(f"shuffle {shuffle_id} was never registered")
+            have = {mp for (sid, mp) in self._outputs if sid == shuffle_id}
+            return set(range(num)) - have
+
+    def fetch(
+        self,
+        shuffle_id: int,
+        reduce_partition: int,
+        metrics: "TaskMetrics | None" = None,
+    ) -> Iterator[tuple]:
+        """Yield all (k, v) pairs destined for ``reduce_partition``.
+
+        Raises :class:`FetchFailedError` on the first missing map output.
+        """
+        with self._lock:
+            num_maps = self._num_maps.get(shuffle_id)
+            if num_maps is None:
+                raise KeyError(f"shuffle {shuffle_id} was never registered")
+            chunks: list[list] = []
+            for map_partition in range(num_maps):
+                output = self._outputs.get((shuffle_id, map_partition))
+                if output is None:
+                    raise FetchFailedError(shuffle_id, map_partition)
+                chunks.append(output.get(reduce_partition, []))
+        for chunk in chunks:
+            if metrics is not None:
+                metrics.shuffle_records_read += len(chunk)
+            yield from chunk
+
+    # -- failure handling -------------------------------------------------------
+
+    def remove_outputs_on_executor(self, executor_id: str) -> dict[int, set[int]]:
+        """Invalidate all map outputs written by a dead executor.
+
+        Returns ``{shuffle_id: {map_partitions lost}}``.
+        """
+        lost: dict[int, set[int]] = {}
+        with self._lock:
+            for key in list(self._writers):
+                if self._writers[key] == executor_id:
+                    shuffle_id, map_partition = key
+                    lost.setdefault(shuffle_id, set()).add(map_partition)
+                    del self._writers[key]
+                    self._outputs.pop(key, None)
+        return lost
+
+    def unregister_shuffle(self, shuffle_id: int) -> None:
+        with self._lock:
+            self._num_maps.pop(shuffle_id, None)
+            for key in [k for k in self._outputs if k[0] == shuffle_id]:
+                del self._outputs[key]
+                self._writers.pop(key, None)

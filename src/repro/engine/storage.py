@@ -1,0 +1,34 @@
+"""Storage levels for persisted RDDs, mirroring Spark's ``StorageLevel``."""
+
+from __future__ import annotations
+
+import enum
+
+
+class StorageLevel(enum.Enum):
+    """Where and how a persisted RDD partition is stored.
+
+    - ``NONE``: not persisted; recomputed from lineage on every access.
+    - ``MEMORY``: stored deserialized in the executor block manager.
+    - ``MEMORY_SER``: stored as pickled bytes (smaller footprint, CPU cost
+      on access).
+    - ``MEMORY_AND_DISK``: stored in memory; blocks evicted under memory
+      pressure are spilled to a temporary directory instead of dropped.
+    """
+
+    NONE = "none"
+    MEMORY = "memory"
+    MEMORY_SER = "memory_ser"
+    MEMORY_AND_DISK = "memory_and_disk"
+
+    @property
+    def uses_memory(self) -> bool:
+        return self is not StorageLevel.NONE
+
+    @property
+    def serialized(self) -> bool:
+        return self is StorageLevel.MEMORY_SER
+
+    @property
+    def spills_to_disk(self) -> bool:
+        return self is StorageLevel.MEMORY_AND_DISK

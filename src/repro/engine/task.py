@@ -1,0 +1,146 @@
+"""Task descriptors and the task-side execution context.
+
+Two task kinds, exactly as in Spark:
+
+- :class:`ShuffleMapTask` computes one partition of the stage's final RDD
+  and buckets its key-value output by the shuffle dependency's partitioner,
+  writing the buckets to the shuffle manager.
+- :class:`ResultTask` computes one partition and applies the action's
+  per-partition function, returning its value to the driver.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+import threading
+
+from repro.engine.accumulator import AccumulatorBuffer
+from repro.engine.metrics import TaskMetrics
+
+_LOCAL = threading.local()
+
+
+def current_task_context() -> "TaskContext | None":
+    """The TaskContext of the task running on this thread, if any.
+
+    Lets user closures call ``Accumulator.add`` from inside tasks without
+    plumbing the context through, matching Spark's thread-local
+    ``TaskContext.get()``.
+    """
+    return getattr(_LOCAL, "tc", None)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.blockmanager import BlockManager, BlockManagerMaster
+    from repro.engine.rdd import RDD
+    from repro.engine.shuffle import ShuffleManager
+
+
+class TaskContext:
+    """Per-task runtime context threaded through ``RDD.iterator``.
+
+    Carries the executing executor's identity, handles to the shuffle
+    manager and block managers, the fault-injection hook, metrics, and the
+    accumulator buffer.
+    """
+
+    def __init__(
+        self,
+        stage_id: int,
+        partition: int,
+        attempt: int,
+        executor_id: str,
+        shuffle_manager: "ShuffleManager | None" = None,
+        block_manager: "BlockManager | None" = None,
+        block_master: "BlockManagerMaster | None" = None,
+        accumulators: AccumulatorBuffer | None = None,
+        fault_hook: Callable[["TaskContext"], None] | None = None,
+    ) -> None:
+        self.stage_id = stage_id
+        self.partition = partition
+        self.attempt = attempt
+        self.executor_id = executor_id
+        self.shuffle_manager = shuffle_manager
+        self.block_manager = block_manager
+        self.block_master = block_master
+        self.accumulators = accumulators or AccumulatorBuffer({})
+        self.metrics = TaskMetrics()
+        self._fault_hook = fault_hook
+        #: pre-fetched shuffle input for the process backend, keyed by
+        #: (shuffle_id, reduce_partition)
+        self.prefetched_shuffle: dict[tuple[int, int], list] = {}
+
+    def check_faults(self) -> None:
+        """Invoke the fault-injection hook (may raise to simulate failure)."""
+        if self._fault_hook is not None:
+            self._fault_hook(self)
+
+
+class Task:
+    """Base task: compute one partition of ``rdd`` within a stage."""
+
+    def __init__(self, stage_id: int, rdd: "RDD", partition: int) -> None:
+        self.stage_id = stage_id
+        self.rdd = rdd
+        self.partition = partition
+        self.attempt = 0
+
+    def preferred_locations(self) -> list[str]:
+        """Executor/host hints for locality-aware placement."""
+        return self.rdd.preferred_locations(self.partition)
+
+    def run(self, tc: TaskContext) -> Any:
+        raise NotImplementedError
+
+
+class ResultTask(Task):
+    """Computes ``func(iterator)`` over one partition; result goes to driver."""
+
+    def __init__(self, stage_id: int, rdd: "RDD", partition: int, func: Callable[[Iterator], Any]) -> None:
+        super().__init__(stage_id, rdd, partition)
+        self.func = func
+
+    def run(self, tc: TaskContext) -> Any:
+        tc.check_faults()
+        start = time.perf_counter()
+        previous = getattr(_LOCAL, "tc", None)
+        _LOCAL.tc = tc
+        try:
+            result = self.func(self.rdd.iterator(self.partition, tc))
+        finally:
+            _LOCAL.tc = previous
+        tc.metrics.compute_seconds += time.perf_counter() - start
+        return result
+
+
+class ShuffleMapTask(Task):
+    """Computes one map partition and writes bucketed output to the shuffle.
+
+    Returns the map status (output sizes per reduce partition) so the driver
+    can track shuffle output availability.
+    """
+
+    def __init__(self, stage_id: int, rdd: "RDD", partition: int, shuffle_dep) -> None:
+        super().__init__(stage_id, rdd, partition)
+        self.shuffle_dep = shuffle_dep
+
+    def run(self, tc: TaskContext) -> Any:
+        tc.check_faults()
+        if tc.shuffle_manager is None:
+            raise RuntimeError("ShuffleMapTask requires a shuffle manager")
+        start = time.perf_counter()
+        previous = getattr(_LOCAL, "tc", None)
+        _LOCAL.tc = tc
+        try:
+            status = tc.shuffle_manager.write_map_output(
+                self.shuffle_dep,
+                map_partition=self.partition,
+                records=self.rdd.iterator(self.partition, tc),
+                executor_id=tc.executor_id,
+                metrics=tc.metrics,
+            )
+        finally:
+            _LOCAL.tc = previous
+        tc.metrics.compute_seconds += time.perf_counter() - start
+        return status

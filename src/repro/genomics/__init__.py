@@ -1,0 +1,17 @@
+"""Genomic data model: SNPs, genes, SNP-sets, genotype matrices, file I/O,
+and the paper's synthetic data generator (Section III)."""
+
+from repro.genomics.genotypes import GenotypeMatrix
+from repro.genomics.snpsets import SnpSetCollection
+from repro.genomics.synthetic import Dataset, SyntheticConfig, generate_dataset
+from repro.genomics.variants import Gene, Snp
+
+__all__ = [
+    "Dataset",
+    "Gene",
+    "GenotypeMatrix",
+    "Snp",
+    "SnpSetCollection",
+    "SyntheticConfig",
+    "generate_dataset",
+]

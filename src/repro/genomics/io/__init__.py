@@ -1,0 +1,39 @@
+"""Text file formats for SparkScore inputs.
+
+Four files, mirroring Algorithm 1's inputs:
+
+- genotype matrix: ``<snp_id>\\t<g_1>,<g_2>,...,<g_n>``
+- phenotype pairs: ``<patient_index>\\t<time>\\t<event>``
+- SNP weights:     ``<snp_id>\\t<weight>``
+- SNP-sets:        ``<set_name>\\t<snp_id_1>,<snp_id_2>,...``
+
+Line-level parse/format functions live in :mod:`repro.genomics.io.formats`
+(they are also the map functions of the engine's parse stage); whole-dataset
+round trips in :mod:`repro.genomics.io.dataset_io` work against either a
+local directory or a :class:`~repro.hdfs.filesystem.MiniHDFS`.
+"""
+
+from repro.genomics.io.dataset_io import read_dataset, write_dataset
+from repro.genomics.io.formats import (
+    format_genotype_line,
+    format_phenotype_line,
+    format_snpset_line,
+    format_weight_line,
+    parse_genotype_line,
+    parse_phenotype_line,
+    parse_snpset_line,
+    parse_weight_line,
+)
+
+__all__ = [
+    "format_genotype_line",
+    "format_phenotype_line",
+    "format_snpset_line",
+    "format_weight_line",
+    "parse_genotype_line",
+    "parse_phenotype_line",
+    "parse_snpset_line",
+    "parse_weight_line",
+    "read_dataset",
+    "write_dataset",
+]

@@ -1,0 +1,100 @@
+"""Whole-dataset round trips against a local directory or MiniHDFS."""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.genomics.genotypes import GenotypeMatrix
+from repro.genomics.io.formats import (
+    format_genotype_line,
+    format_phenotype_line,
+    format_snpset_line,
+    format_weight_line,
+    parse_genotype_line,
+    parse_phenotype_line,
+    parse_snpset_line,
+    parse_weight_line,
+)
+from repro.genomics.snpsets import SnpSetCollection
+from repro.genomics.synthetic import Dataset
+from repro.stats.score.base import SurvivalPhenotype
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdfs.filesystem import MiniHDFS
+
+GENOTYPES_FILE = "genotypes.txt"
+PHENOTYPE_FILE = "phenotype.txt"
+WEIGHTS_FILE = "weights.txt"
+SNPSETS_FILE = "snpsets.txt"
+
+
+def _write_file(base: str, name: str, content: str, hdfs: "MiniHDFS | None") -> str:
+    if hdfs is not None:
+        path = f"{base.rstrip('/')}/{name}"
+        hdfs.write_text(path, content)
+        return f"hdfs://{path.lstrip('/')}" if not path.startswith("hdfs://") else path
+    os.makedirs(base, exist_ok=True)
+    path = os.path.join(base, name)
+    with open(path, "w") as fh:
+        fh.write(content)
+    return path
+
+
+def _read_lines(base: str, name: str, hdfs: "MiniHDFS | None") -> list[str]:
+    if hdfs is not None:
+        return hdfs.read_text(f"{base.rstrip('/')}/{name}").splitlines()
+    with open(os.path.join(base, name)) as fh:
+        return fh.read().splitlines()
+
+
+def write_dataset(dataset: Dataset, base: str, hdfs: "MiniHDFS | None" = None) -> dict[str, str]:
+    """Serialize all four input files; returns {kind: path}."""
+    genotype_lines = [
+        format_genotype_line(snp_id, row) for snp_id, row in dataset.genotypes.rows()
+    ]
+    phenotype_lines = [
+        format_phenotype_line(i, float(t), int(e))
+        for i, (t, e) in enumerate(zip(dataset.phenotype.time, dataset.phenotype.event))
+    ]
+    weight_lines = [
+        format_weight_line(int(snp_id), float(w))
+        for snp_id, w in zip(dataset.genotypes.snp_ids, dataset.weights)
+    ]
+    set_lists = dataset.snpsets.as_lists(dataset.genotypes.snp_ids)
+    snpset_lines = [format_snpset_line(name, ids) for name, ids in set_lists.items()]
+    return {
+        "genotypes": _write_file(base, GENOTYPES_FILE, "\n".join(genotype_lines) + "\n", hdfs),
+        "phenotype": _write_file(base, PHENOTYPE_FILE, "\n".join(phenotype_lines) + "\n", hdfs),
+        "weights": _write_file(base, WEIGHTS_FILE, "\n".join(weight_lines) + "\n", hdfs),
+        "snpsets": _write_file(base, SNPSETS_FILE, "\n".join(snpset_lines) + "\n", hdfs),
+    }
+
+
+def read_dataset(base: str, hdfs: "MiniHDFS | None" = None) -> Dataset:
+    """Load a dataset previously written by :func:`write_dataset`."""
+    genotype_rows = [parse_genotype_line(l) for l in _read_lines(base, GENOTYPES_FILE, hdfs) if l]
+    if not genotype_rows:
+        raise ValueError("empty genotype file")
+    snp_ids = np.array([snp_id for snp_id, _ in genotype_rows], dtype=np.int64)
+    matrix = np.vstack([row for _, row in genotype_rows])
+    genotypes = GenotypeMatrix(snp_ids, matrix)
+
+    phenotype_rows = sorted(
+        parse_phenotype_line(l) for l in _read_lines(base, PHENOTYPE_FILE, hdfs) if l
+    )
+    times = np.array([t for _, t, _ in phenotype_rows])
+    events = np.array([e for _, _, e in phenotype_rows])
+    phenotype = SurvivalPhenotype(times, events)
+
+    weight_map = dict(parse_weight_line(l) for l in _read_lines(base, WEIGHTS_FILE, hdfs) if l)
+    try:
+        weights = np.array([weight_map[int(s)] for s in snp_ids])
+    except KeyError as exc:
+        raise ValueError(f"weights file missing SNP {exc}") from exc
+
+    sets = dict(parse_snpset_line(l) for l in _read_lines(base, SNPSETS_FILE, hdfs) if l)
+    snpsets = SnpSetCollection.from_lists(snp_ids, sets)
+    return Dataset(genotypes, phenotype, weights, snpsets)

@@ -1,0 +1,88 @@
+"""Line-level (de)serialization for the four SparkScore input files.
+
+These functions are deliberately tiny and dependency-free on the write
+side; the genotype parser returns a NumPy vector because it doubles as the
+map function of the engine's parse stage (Algorithm 1, step 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FormatError(ValueError):
+    """A malformed input line."""
+
+
+# -- genotype matrix ----------------------------------------------------------
+
+
+def format_genotype_line(snp_id: int, genotypes: np.ndarray) -> str:
+    return f"{int(snp_id)}\t{','.join(str(int(g)) for g in genotypes)}"
+
+
+def parse_genotype_line(line: str) -> tuple[int, np.ndarray]:
+    try:
+        snp_field, values_field = line.split("\t", 1)
+        snp_id = int(snp_field)
+        tokens = values_field.split(",")
+        values = np.fromiter((int(t) for t in tokens), dtype=np.int8, count=len(tokens))
+    except ValueError as exc:
+        raise FormatError(f"bad genotype line {line[:80]!r}: {exc}") from exc
+    return snp_id, values
+
+
+# -- phenotype pairs ------------------------------------------------------------
+
+
+def format_phenotype_line(patient_index: int, time: float, event: int) -> str:
+    return f"{int(patient_index)}\t{time!r}\t{int(event)}"
+
+
+def parse_phenotype_line(line: str) -> tuple[int, float, int]:
+    try:
+        idx_field, time_field, event_field = line.split("\t")
+        idx, time, event = int(idx_field), float(time_field), int(event_field)
+        if event not in (0, 1):
+            raise ValueError(f"event must be 0/1, got {event}")
+        if time < 0:
+            raise ValueError("negative time")
+    except ValueError as exc:
+        raise FormatError(f"bad phenotype line {line[:80]!r}: {exc}") from exc
+    return idx, time, event
+
+
+# -- weights ----------------------------------------------------------------------
+
+
+def format_weight_line(snp_id: int, weight: float) -> str:
+    return f"{int(snp_id)}\t{weight!r}"
+
+
+def parse_weight_line(line: str) -> tuple[int, float]:
+    try:
+        snp_field, weight_field = line.split("\t")
+        snp_id, weight = int(snp_field), float(weight_field)
+        if weight < 0:
+            raise ValueError("negative weight")
+    except ValueError as exc:
+        raise FormatError(f"bad weight line {line[:80]!r}: {exc}") from exc
+    return snp_id, weight
+
+
+# -- SNP-sets ----------------------------------------------------------------------
+
+
+def format_snpset_line(name: str, snp_ids: list[int]) -> str:
+    if "\t" in name:
+        raise FormatError("set name may not contain a tab")
+    return f"{name}\t{','.join(str(int(s)) for s in snp_ids)}"
+
+
+def parse_snpset_line(line: str) -> tuple[str, list[int]]:
+    try:
+        name, ids_field = line.split("\t", 1)
+        ids = [int(tok) for tok in ids_field.split(",") if tok.strip()]
+    except ValueError as exc:
+        raise FormatError(f"bad SNP-set line {line[:80]!r}: {exc}") from exc
+    return name, ids

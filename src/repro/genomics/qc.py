@@ -1,0 +1,157 @@
+"""Genotype quality control: the standard pre-analysis filters.
+
+Real GWAS pipelines (the studies cited in the paper's introduction) filter
+variants before testing: minor-allele-frequency floors, call-rate
+(missingness) ceilings, and Hardy-Weinberg-equilibrium checks.  The
+synthetic generator produces clean data, but the VCF path can carry
+imputed/missing calls, and downstream users will bring real matrices --
+so the filters live here as first-class, tested operations.
+
+All filters operate on SNP-major (m, n) dosage matrices and return
+boolean keep-masks so they compose: ``keep = maf & hwe & call_rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+
+def maf_filter(genotypes: np.ndarray, min_maf: float = 0.01) -> np.ndarray:
+    """Keep SNPs whose folded minor-allele frequency is >= ``min_maf``."""
+    if not 0.0 <= min_maf <= 0.5:
+        raise ValueError("min_maf must be in [0, 0.5]")
+    G = _check(genotypes)
+    freq = G.mean(axis=1) / 2.0
+    maf = np.minimum(freq, 1.0 - freq)
+    return maf >= min_maf
+
+
+def call_rate_filter(
+    genotypes: np.ndarray, missing_code: int = -1, min_call_rate: float = 0.95
+) -> np.ndarray:
+    """Keep SNPs with a fraction >= ``min_call_rate`` of non-missing calls.
+
+    Matrices produced by :mod:`repro.genomics.io.vcf` are already imputed;
+    this filter serves pipelines that keep an explicit missing code.
+    """
+    if not 0.0 <= min_call_rate <= 1.0:
+        raise ValueError("min_call_rate must be in [0, 1]")
+    G = np.asarray(genotypes)
+    if G.ndim != 2:
+        raise ValueError("genotypes must be (m, n)")
+    called = (G != missing_code).mean(axis=1)
+    return called >= min_call_rate
+
+
+def hwe_pvalues(genotypes: np.ndarray) -> np.ndarray:
+    """Hardy-Weinberg equilibrium chi-square (1 df) p-value per SNP.
+
+    Compares observed genotype counts (n0, n1, n2) against the
+    HWE-expected counts at the estimated allele frequency.  Monomorphic
+    SNPs are in perfect (degenerate) equilibrium and get p = 1.
+    """
+    G = _check(genotypes)
+    m, n = G.shape
+    n0 = (G == 0).sum(axis=1).astype(np.float64)
+    n1 = (G == 1).sum(axis=1).astype(np.float64)
+    n2 = (G == 2).sum(axis=1).astype(np.float64)
+    p = (n1 + 2.0 * n2) / (2.0 * n)
+    q = 1.0 - p
+    expected = np.stack([q * q * n, 2.0 * p * q * n, p * p * n], axis=1)
+    observed = np.stack([n0, n1, n2], axis=1)
+    out = np.ones(m)
+    valid = (expected > 0).all(axis=1)
+    chi2 = np.zeros(m)
+    chi2[valid] = (
+        ((observed[valid] - expected[valid]) ** 2) / expected[valid]
+    ).sum(axis=1)
+    out[valid] = sps.chi2.sf(chi2[valid], df=1)
+    return out
+
+
+def hwe_filter(genotypes: np.ndarray, min_pvalue: float = 1e-6) -> np.ndarray:
+    """Keep SNPs not rejected by the HWE test at ``min_pvalue``."""
+    if not 0.0 <= min_pvalue <= 1.0:
+        raise ValueError("min_pvalue must be in [0, 1]")
+    return hwe_pvalues(genotypes) >= min_pvalue
+
+
+@dataclass(frozen=True)
+class QcReport:
+    """Outcome of a combined QC pass."""
+
+    keep: np.ndarray  # (m,) final mask
+    failed_maf: int
+    failed_hwe: int
+    failed_call_rate: int
+
+    @property
+    def n_kept(self) -> int:
+        return int(self.keep.sum())
+
+    @property
+    def n_dropped(self) -> int:
+        return int((~self.keep).sum())
+
+
+def run_qc(
+    genotypes: np.ndarray,
+    min_maf: float = 0.01,
+    hwe_min_pvalue: float = 1e-6,
+    missing_code: int | None = None,
+    min_call_rate: float = 0.95,
+) -> QcReport:
+    """Apply the standard filter stack; returns masks plus failure counts.
+
+    Failure counts are attributed marginally (a SNP failing two filters
+    counts in both).
+    """
+    G = _check(genotypes)
+    maf_ok = maf_filter(G, min_maf)
+    hwe_ok = hwe_filter(G, hwe_min_pvalue)
+    if missing_code is not None:
+        call_ok = call_rate_filter(genotypes, missing_code, min_call_rate)
+    else:
+        call_ok = np.ones(G.shape[0], dtype=bool)
+    keep = maf_ok & hwe_ok & call_ok
+    return QcReport(
+        keep=keep,
+        failed_maf=int((~maf_ok).sum()),
+        failed_hwe=int((~hwe_ok).sum()),
+        failed_call_rate=int((~call_ok).sum()),
+    )
+
+
+def apply_qc(dataset, report: QcReport):
+    """Subset a Dataset to the SNPs kept by a QC report.
+
+    Set indices are re-densified (empty sets dropped) so downstream SKAT
+    aggregation sees a contiguous partition.
+    """
+    from repro.genomics.snpsets import SnpSetCollection
+    from repro.genomics.synthetic import Dataset
+
+    rows = np.flatnonzero(report.keep)
+    if rows.size == 0:
+        raise ValueError("QC removed every SNP")
+    old_ids = dataset.snpsets.set_ids[rows]
+    kept_sets = np.unique(old_ids)
+    remap = {int(k): i for i, k in enumerate(kept_sets)}
+    new_ids = np.array([remap[int(k)] for k in old_ids], dtype=np.int64)
+    names = [dataset.snpsets.names[int(k)] for k in kept_sets]
+    return Dataset(
+        dataset.genotypes.subset(rows),
+        dataset.phenotype,
+        dataset.weights[rows],
+        SnpSetCollection(new_ids, names),
+    )
+
+
+def _check(genotypes: np.ndarray) -> np.ndarray:
+    G = np.asarray(genotypes, dtype=np.float64)
+    if G.ndim != 2 or G.shape[1] < 1:
+        raise ValueError("genotypes must be (m, n) with n >= 1")
+    return G

@@ -1,0 +1,102 @@
+"""SNP-set (gene/pathway) partitions of the SNPs.
+
+The paper analyzes a *partition*: each SNP belongs to exactly one set
+``I_k``, and "the SNP-set K is augmented by the SNPs not picked by SNP-sets
+1 through K-1" so every SNP's computation is accounted for.  The partition
+is stored as a ``set_ids`` vector over SNP row indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.genomics.variants import Gene, Snp
+
+
+@dataclass
+class SnpSetCollection:
+    """A partition of SNP rows into K named sets."""
+
+    set_ids: np.ndarray  # (J,) set index per SNP row
+    names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.set_ids)
+        if ids.ndim != 1:
+            raise ValueError("set_ids must be a vector")
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError("set_ids must be integers")
+        if ids.size and ids.min() < 0:
+            raise ValueError("set ids must be non-negative")
+        self.set_ids = ids.astype(np.int64)
+        k = int(ids.max()) + 1 if ids.size else 0
+        if not self.names:
+            self.names = [f"set{k_idx:05d}" for k_idx in range(k)]
+        if len(self.names) < k:
+            raise ValueError(f"{k} sets referenced but only {len(self.names)} names")
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_snps(self) -> int:
+        return self.set_ids.shape[0]
+
+    def members(self, k: int) -> np.ndarray:
+        """SNP row indices belonging to set ``k``."""
+        if not 0 <= k < self.n_sets:
+            raise IndexError(f"set index {k} out of range")
+        return np.flatnonzero(self.set_ids == k)
+
+    def sizes(self) -> np.ndarray:
+        return np.bincount(self.set_ids, minlength=self.n_sets)
+
+    def as_lists(self, snp_ids: np.ndarray) -> dict[str, list[int]]:
+        """{set name: [snp ids]} -- the SNP-set text-file payload."""
+        out: dict[str, list[int]] = {name: [] for name in self.names}
+        for row, k in enumerate(self.set_ids):
+            out[self.names[k]].append(int(snp_ids[row]))
+        return out
+
+    @classmethod
+    def from_lists(
+        cls, snp_ids: np.ndarray, sets: dict[str, list[int]]
+    ) -> "SnpSetCollection":
+        """Build from {name: [snp ids]}; every SNP must appear exactly once."""
+        index_of = {int(s): i for i, s in enumerate(snp_ids)}
+        set_ids = np.full(len(snp_ids), -1, dtype=np.int64)
+        names = list(sets)
+        for k, name in enumerate(names):
+            for snp in sets[name]:
+                row = index_of.get(int(snp))
+                if row is None:
+                    raise ValueError(f"set {name!r} references unknown SNP {snp}")
+                if set_ids[row] != -1:
+                    raise ValueError(f"SNP {snp} appears in more than one set")
+                set_ids[row] = k
+        if np.any(set_ids == -1):
+            missing = snp_ids[set_ids == -1][:5]
+            raise ValueError(f"SNPs not covered by any set (e.g. {missing.tolist()})")
+        return cls(set_ids, names)
+
+    @classmethod
+    def from_genes(cls, snps: list[Snp], genes: list[Gene]) -> "SnpSetCollection":
+        """Assign each SNP to the first gene containing it.
+
+        SNPs outside every gene go to a trailing "intergenic" set, mirroring
+        the paper's augmentation of the last set.
+        """
+        set_ids = np.full(len(snps), -1, dtype=np.int64)
+        for row, snp in enumerate(snps):
+            for k, gene in enumerate(genes):
+                if gene.contains(snp):
+                    set_ids[row] = k
+                    break
+        names = [g.label for g in genes]
+        if np.any(set_ids == -1):
+            names = names + ["intergenic"]
+            set_ids[set_ids == -1] = len(names) - 1
+        return cls(set_ids, names)

@@ -1,0 +1,54 @@
+"""SNP and gene coordinate types.
+
+Paper, Section II: "A SNP is typically represented as a pair (chr, pos)
+... A gene can be represented as a triplet (chr, start, end)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Snp:
+    """A single-nucleotide polymorphism locus."""
+
+    chrom: str
+    pos: int
+    snp_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pos < 0:
+            raise ValueError("position must be non-negative")
+        if not self.chrom:
+            raise ValueError("chromosome must be non-empty")
+
+    @property
+    def label(self) -> str:
+        return self.snp_id or f"{self.chrom}:{self.pos}"
+
+
+@dataclass(frozen=True, order=True)
+class Gene:
+    """A gene region: (chr, start, end), inclusive of both endpoints."""
+
+    chrom: str
+    start: int
+    end: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid gene interval [{self.start}, {self.end}]")
+
+    def contains(self, snp: Snp) -> bool:
+        """Whether the SNP's position lies within this gene."""
+        return snp.chrom == self.chrom and self.start <= snp.pos <= self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.chrom}:{self.start}-{self.end}"

@@ -1,0 +1,11 @@
+"""A simulated Hadoop Distributed File System.
+
+Provides the read path the paper's stage-0 cost comes from: files are
+stored as replicated blocks on named datanodes; ``Context.text_file`` maps
+one partition per block and uses the block's datanode hosts as locality
+hints for the task scheduler.
+"""
+
+from repro.hdfs.filesystem import BlockInfo, FileStatus, MiniHDFS
+
+__all__ = ["BlockInfo", "FileStatus", "MiniHDFS"]

@@ -1,0 +1,310 @@
+"""MiniHDFS: an in-memory namenode + datanode block store.
+
+Semantics kept from HDFS:
+
+- files are immutable once written (write-once, read-many);
+- content is stored in fixed-size blocks, each replicated on ``replication``
+  distinct datanodes (placement is deterministic given the seed);
+- reads fetch block data from any live replica; losing all replicas of a
+  block makes the file unreadable (surfaced as :class:`BlockLostError`);
+- text blocks split on line boundaries so every line lives in exactly one
+  block (a simplification of Hadoop's byte-split-plus-line-repair that
+  yields identical record assignment).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class HdfsError(RuntimeError):
+    pass
+
+
+class FileNotFound(HdfsError):
+    pass
+
+
+class FileExistsAlready(HdfsError):
+    pass
+
+
+class BlockLostError(HdfsError):
+    """All replicas of a block are on dead datanodes."""
+
+
+@dataclass
+class BlockInfo:
+    """Metadata for one block of a file."""
+
+    block_id: int
+    length: int
+    #: datanode names holding a replica
+    replicas: tuple[str, ...]
+
+
+@dataclass
+class FileStatus:
+    path: str
+    size: int
+    num_blocks: int
+    replication: int
+
+
+@dataclass
+class _DataNode:
+    name: str
+    host: str
+    alive: bool = True
+    #: block_id -> bytes
+    blocks: dict[int, bytes] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+
+def _normalize(path: str) -> str:
+    if path.startswith("hdfs://"):
+        path = path[len("hdfs://") :]
+        # strip an authority component if present ("hdfs://nn/foo")
+        if "/" in path:
+            head, _, rest = path.partition("/")
+            if "." in head or head == "nn" or head == "":
+                path = rest
+            else:
+                path = head + "/" + rest
+    return "/" + path.strip("/")
+
+
+class MiniHDFS:
+    """The namenode: file -> blocks -> replica placement."""
+
+    def __init__(
+        self,
+        num_datanodes: int = 4,
+        block_size: int = 4 * 1024 * 1024,
+        replication: int = 2,
+        seed: int = 0,
+        hosts: list[str] | None = None,
+    ) -> None:
+        if num_datanodes < 1:
+            raise ValueError("need at least one datanode")
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.replication = min(replication, num_datanodes)
+        self._lock = threading.RLock()
+        self._datanodes: dict[str, _DataNode] = {}
+        for i in range(num_datanodes):
+            host = hosts[i] if hosts is not None else f"host-{i}"
+            name = f"dn-{i}"
+            self._datanodes[name] = _DataNode(name, host)
+        self._files: dict[str, list[BlockInfo]] = {}
+        self._next_block_id = 0
+        self._rng = np.random.default_rng(seed)
+        self._placement_counter = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def write_text(self, path: str, content: str, overwrite: bool = True) -> FileStatus:
+        """Write a text file, splitting into line-aligned blocks."""
+        return self.write_bytes(path, content.encode("utf-8"), overwrite, line_aligned=True)
+
+    def write_bytes(
+        self, path: str, content: bytes, overwrite: bool = True, line_aligned: bool = False
+    ) -> FileStatus:
+        path = _normalize(path)
+        with self._lock:
+            if path in self._files:
+                if not overwrite:
+                    raise FileExistsAlready(path)
+                self.delete(path)
+            chunks = self._split(content, line_aligned)
+            blocks: list[BlockInfo] = []
+            for chunk in chunks:
+                block_id = self._next_block_id
+                self._next_block_id += 1
+                replicas = self._place_replicas()
+                for name in replicas:
+                    self._datanodes[name].blocks[block_id] = chunk
+                blocks.append(BlockInfo(block_id, len(chunk), tuple(replicas)))
+            self._files[path] = blocks
+            return FileStatus(path, len(content), len(blocks), self.replication)
+
+    def _split(self, content: bytes, line_aligned: bool) -> list[bytes]:
+        if not content:
+            return [b""]
+        chunks: list[bytes] = []
+        if not line_aligned:
+            for start in range(0, len(content), self.block_size):
+                chunks.append(content[start : start + self.block_size])
+            return chunks
+        start = 0
+        n = len(content)
+        while start < n:
+            end = min(n, start + self.block_size)
+            if end < n:
+                newline = content.rfind(b"\n", start, end)
+                if newline >= start:
+                    end = newline + 1
+                else:
+                    # a single line longer than the block size: extend to
+                    # the next newline (or EOF) so the line stays whole
+                    newline = content.find(b"\n", end)
+                    end = n if newline < 0 else newline + 1
+            chunks.append(content[start:end])
+            start = end
+        return chunks
+
+    def _place_replicas(self) -> list[str]:
+        """Round-robin first replica + random distinct others (lock held)."""
+        alive = [d.name for d in self._datanodes.values() if d.alive]
+        if len(alive) < 1:
+            raise HdfsError("no alive datanodes")
+        k = min(self.replication, len(alive))
+        first = alive[self._placement_counter % len(alive)]
+        self._placement_counter += 1
+        rest = [n for n in alive if n != first]
+        extra = list(self._rng.choice(rest, size=k - 1, replace=False)) if k > 1 else []
+        return [first, *[str(e) for e in extra]]
+
+    # -- read path ---------------------------------------------------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        return b"".join(self.read_block(b) for b in self.blocks(path))
+
+    def read_text(self, path: str) -> str:
+        return self.read_bytes(path).decode("utf-8")
+
+    def read_block(self, block: BlockInfo) -> bytes:
+        with self._lock:
+            for name in block.replicas:
+                node = self._datanodes.get(name)
+                if node is not None and node.alive and block.block_id in node.blocks:
+                    return node.blocks[block.block_id]
+        raise BlockLostError(f"block {block.block_id}: all replicas lost")
+
+    def blocks(self, path: str) -> list[BlockInfo]:
+        path = _normalize(path)
+        with self._lock:
+            if path not in self._files:
+                raise FileNotFound(path)
+            return list(self._files[path])
+
+    def block_locations(self, block: BlockInfo) -> list[str]:
+        """Hosts (not datanode names) holding live replicas -- locality hints."""
+        with self._lock:
+            return [
+                self._datanodes[name].host
+                for name in block.replicas
+                if name in self._datanodes and self._datanodes[name].alive
+                and block.block_id in self._datanodes[name].blocks
+            ]
+
+    # -- namespace ops ----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return _normalize(path) in self._files
+
+    def status(self, path: str) -> FileStatus:
+        path = _normalize(path)
+        with self._lock:
+            if path not in self._files:
+                raise FileNotFound(path)
+            blocks = self._files[path]
+            return FileStatus(path, sum(b.length for b in blocks), len(blocks), self.replication)
+
+    def listdir(self, prefix: str = "/") -> list[str]:
+        prefix = _normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix = prefix + "/"
+        with self._lock:
+            return sorted(p for p in self._files if p.startswith(prefix) or prefix == "/")
+
+    def delete(self, path: str) -> None:
+        path = _normalize(path)
+        with self._lock:
+            blocks = self._files.pop(path, None)
+            if blocks is None:
+                return
+            for block in blocks:
+                for name in block.replicas:
+                    node = self._datanodes.get(name)
+                    if node is not None:
+                        node.blocks.pop(block.block_id, None)
+
+    # -- failure simulation ----------------------------------------------------------------
+
+    def kill_datanode(self, name: str) -> None:
+        with self._lock:
+            if name not in self._datanodes:
+                raise KeyError(name)
+            self._datanodes[name].alive = False
+
+    def revive_datanode(self, name: str) -> None:
+        with self._lock:
+            self._datanodes[name].alive = True
+
+    def datanode_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._datanodes)
+
+    def datanode_usage(self) -> dict[str, int]:
+        with self._lock:
+            return {name: node.used_bytes for name, node in self._datanodes.items()}
+
+    def under_replicated_blocks(self) -> list[tuple[str, BlockInfo]]:
+        """Blocks with fewer live replicas than the target replication."""
+        out = []
+        with self._lock:
+            for path, blocks in self._files.items():
+                for block in blocks:
+                    live = sum(
+                        1
+                        for name in block.replicas
+                        if self._datanodes.get(name) is not None
+                        and self._datanodes[name].alive
+                        and block.block_id in self._datanodes[name].blocks
+                    )
+                    if live < self.replication:
+                        out.append((path, block))
+        return out
+
+    def re_replicate(self) -> int:
+        """Restore replication for under-replicated blocks; returns count fixed.
+
+        Mirrors the namenode's background re-replication after datanode loss.
+        """
+        fixed = 0
+        with self._lock:
+            for path, blocks in list(self._files.items()):
+                new_blocks = []
+                for block in blocks:
+                    live = [
+                        name
+                        for name in block.replicas
+                        if self._datanodes.get(name) is not None
+                        and self._datanodes[name].alive
+                        and block.block_id in self._datanodes[name].blocks
+                    ]
+                    if live and len(live) < self.replication:
+                        data = self._datanodes[live[0]].blocks[block.block_id]
+                        candidates = [
+                            d.name
+                            for d in self._datanodes.values()
+                            if d.alive and d.name not in live
+                        ]
+                        needed = min(self.replication - len(live), len(candidates))
+                        chosen = [str(c) for c in self._rng.choice(candidates, size=needed, replace=False)] if needed else []
+                        for name in chosen:
+                            self._datanodes[name].blocks[block.block_id] = data
+                        block = BlockInfo(block.block_id, block.length, tuple(live + chosen))
+                        fixed += 1 if chosen else 0
+                    new_blocks.append(block)
+                self._files[path] = new_blocks
+        return fixed

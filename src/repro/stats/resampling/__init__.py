@@ -1,0 +1,21 @@
+"""Resampling inference for SKAT statistics: permutation and Monte Carlo."""
+
+from repro.stats.resampling.montecarlo import MonteCarloResampler, monte_carlo_skat
+from repro.stats.resampling.multipletesting import (
+    MaxTResult,
+    adjust_pvalues,
+    westfall_young_maxt,
+)
+from repro.stats.resampling.permutation import PermutationResampler, permutation_skat
+from repro.stats.resampling.pvalues import empirical_pvalues
+
+__all__ = [
+    "MaxTResult",
+    "MonteCarloResampler",
+    "PermutationResampler",
+    "adjust_pvalues",
+    "empirical_pvalues",
+    "monte_carlo_skat",
+    "permutation_skat",
+    "westfall_young_maxt",
+]

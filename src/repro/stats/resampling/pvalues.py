@@ -1,0 +1,48 @@
+"""Empirical p-values from resampling exceedance counts.
+
+The paper uses the plug-in proportion: the fraction of resampled statistics
+``S~_k`` found >= the observed ``S_k^0``.  The add-one estimator
+``(count + 1) / (B + 1)`` never returns an impossible p-value of 0 and is
+the conventional choice for multiple-testing pipelines; both are offered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_pvalues(
+    exceed_counts: np.ndarray,
+    n_resamples: int,
+    method: str = "plugin",
+) -> np.ndarray:
+    """p-values from counts of ``S~ >= S0``.
+
+    ``method``: ``"plugin"`` (paper: count / B) or ``"add_one"``
+    ((count + 1) / (B + 1)).
+    """
+    counts = np.asarray(exceed_counts, dtype=np.float64)
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    if np.any(counts < 0) or np.any(counts > n_resamples):
+        raise ValueError("counts must lie in [0, n_resamples]")
+    if method == "plugin":
+        return counts / n_resamples
+    if method == "add_one":
+        return (counts + 1.0) / (n_resamples + 1.0)
+    raise ValueError(f"unknown p-value method {method!r}")
+
+
+def required_resamples(target_pvalue: float, relative_error: float = 0.1) -> int:
+    """Resamples needed to estimate ``target_pvalue`` within relative error.
+
+    The binomial coefficient of variation of the plug-in estimator is
+    ``sqrt((1 - p) / (B * p))``; solving for B gives the planning rule the
+    paper's precision remark implies ("the precision of the p-value is
+    therefore directly tied to the number of resamplings performed").
+    """
+    if not 0 < target_pvalue < 1:
+        raise ValueError("target_pvalue must be in (0, 1)")
+    if relative_error <= 0:
+        raise ValueError("relative_error must be positive")
+    return int(np.ceil((1.0 - target_pvalue) / (target_pvalue * relative_error**2)))

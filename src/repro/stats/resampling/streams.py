@@ -1,0 +1,41 @@
+"""Deterministic resampling streams shared by local and engine runs.
+
+Both the pure-NumPy reference implementation and the distributed engine
+draw their Monte Carlo multipliers and permutations from these generators,
+so given the same seed and batch size the two paths consume *identical*
+random sequences -- making "engine result == local result" an exact
+(bitwise-comparable) test oracle instead of a statistical one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def mc_multiplier_batches(
+    n_patients: int, n_resamples: int, seed: int, batch_size: int
+) -> Iterator[np.ndarray]:
+    """Yield ``(b, n)`` standard-normal multiplier batches totalling B rows."""
+    if n_resamples < 0:
+        raise ValueError("n_resamples must be >= 0")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    remaining = n_resamples
+    while remaining > 0:
+        b = min(batch_size, remaining)
+        yield rng.standard_normal((b, n_patients))
+        remaining -= b
+
+
+def permutation_stream(
+    n_patients: int, n_resamples: int, seed: int
+) -> Iterator[np.ndarray]:
+    """Yield B independent permutations of ``range(n_patients)``."""
+    if n_resamples < 0:
+        raise ValueError("n_resamples must be >= 0")
+    rng = np.random.default_rng(seed)
+    for _ in range(n_resamples):
+        yield rng.permutation(n_patients)

@@ -1,0 +1,22 @@
+"""Efficient score statistics for genomic association testing."""
+
+from repro.stats.score.base import (
+    BinaryPhenotype,
+    QuantitativePhenotype,
+    ScoreModel,
+    SurvivalPhenotype,
+)
+from repro.stats.score.binomial import BinomialScoreModel
+from repro.stats.score.cox import CoxScoreModel, cox_contributions_naive
+from repro.stats.score.gaussian import GaussianScoreModel
+
+__all__ = [
+    "BinaryPhenotype",
+    "BinomialScoreModel",
+    "CoxScoreModel",
+    "GaussianScoreModel",
+    "QuantitativePhenotype",
+    "ScoreModel",
+    "SurvivalPhenotype",
+    "cox_contributions_naive",
+]

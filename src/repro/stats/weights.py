@@ -1,0 +1,53 @@
+"""SNP weighting schemes for SKAT aggregation.
+
+The paper: "SNPs could be weighted by the quality of the genotyping
+results, their relative allelic frequency, or by the probability that a
+mutation at that locus is detrimental."  The standard frequency-based
+choices are implemented here; arbitrary per-SNP quality weights are just an
+array the caller supplies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sps
+
+
+def _check_maf(maf: np.ndarray) -> np.ndarray:
+    arr = np.asarray(maf, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("maf must be a vector")
+    if np.any((arr < 0) | (arr > 1)):
+        raise ValueError("minor allele frequencies must lie in [0, 1]")
+    return arr
+
+
+def flat_weights(n_snps: int) -> np.ndarray:
+    """Unit weight for every SNP (the burden-free default)."""
+    if n_snps < 1:
+        raise ValueError("n_snps must be positive")
+    return np.ones(n_snps)
+
+
+def beta_maf_weights(maf, a: float = 1.0, b: float = 25.0) -> np.ndarray:
+    """Wu et al. (2011) SKAT weights: ``Beta(maf; a, b)`` density.
+
+    The default (1, 25) sharply up-weights rare variants.
+    """
+    arr = _check_maf(maf)
+    return sps.beta.pdf(np.clip(arr, 1e-12, 1 - 1e-12), a, b)
+
+
+def madsen_browning_weights(maf) -> np.ndarray:
+    """Madsen-Browning weights ``1 / sqrt(maf * (1 - maf))``."""
+    arr = np.clip(_check_maf(maf), 1e-8, 1 - 1e-8)
+    return 1.0 / np.sqrt(arr * (1.0 - arr))
+
+
+def estimate_maf(genotypes: np.ndarray) -> np.ndarray:
+    """Empirical minor allele frequency per SNP from a (m, n) 0/1/2 matrix."""
+    G = np.asarray(genotypes, dtype=np.float64)
+    if G.ndim == 1:
+        G = G[None, :]
+    freq = G.mean(axis=1) / 2.0
+    return np.minimum(freq, 1.0 - freq)

@@ -1,0 +1,87 @@
+"""Instance specs and YARN container allocation."""
+
+import pytest
+
+from repro.cluster.nodes import M3_2XLARGE, ClusterSpec, InstanceSpec, emr_cluster
+from repro.cluster.yarn import AllocationError, ResourceManager
+
+
+class TestSpecs:
+    def test_table_i_values(self):
+        assert M3_2XLARGE.vcpus == 8
+        assert M3_2XLARGE.memory_gib == 30.0
+        assert M3_2XLARGE.storage_gb == 160.0
+        assert "Ivy Bridge" in M3_2XLARGE.processor
+
+    def test_cluster_totals(self):
+        cluster = emr_cluster(6)
+        assert cluster.total_vcpus == 48
+        assert cluster.total_memory_gib == 180.0
+        assert "6 x m3.2xlarge" in str(cluster)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            InstanceSpec("x", "p", 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(M3_2XLARGE, 0)
+
+
+class TestAllocation:
+    def test_paper_fig7_shapes_fit_36_nodes(self):
+        rm = ResourceManager(emr_cluster(36))
+        for count, memory, cores in ((42, 10, 6), (84, 5, 3), (126, 3, 2)):
+            allocation = rm.allocate(count, memory, cores)
+            assert allocation.num_containers == count
+            assert sum(allocation.per_node) == count
+
+    def test_equal_aggregate_cores_in_fig7(self):
+        rm = ResourceManager(emr_cluster(36))
+        totals = {
+            rm.allocate(c, m, k).total_cores
+            for c, m, k in ((42, 10, 6), (84, 5, 3), (126, 3, 2))
+        }
+        assert totals == {252}
+
+    def test_memory_capacity_enforced(self):
+        rm = ResourceManager(emr_cluster(2))
+        with pytest.raises(AllocationError):
+            rm.allocate(10, 28.0, 1)  # only 1 x 28GiB fits per 30GiB node
+
+    def test_strict_cores_mode(self):
+        rm = ResourceManager(emr_cluster(36), strict_cores=True)
+        with pytest.raises(AllocationError):
+            rm.allocate(42, 10.0, 6)  # 42 six-core containers need core oversubscription
+        assert rm.allocate(36, 10.0, 6).num_containers == 36
+
+    def test_container_too_big_for_node(self):
+        rm = ResourceManager(emr_cluster(4))
+        with pytest.raises(AllocationError):
+            rm.allocate(1, 100.0, 2)
+
+    def test_invalid_shape(self):
+        rm = ResourceManager(emr_cluster(2))
+        with pytest.raises(AllocationError):
+            rm.allocate(0, 1.0, 1)
+        with pytest.raises(AllocationError):
+            rm.allocate(1, -1.0, 1)
+
+    def test_breadth_first_packing(self):
+        rm = ResourceManager(emr_cluster(4))
+        allocation = rm.allocate(6, 5.0, 2)
+        assert sorted(allocation.per_node, reverse=True) == [2, 2, 1, 1]
+
+    def test_slot_hosts(self):
+        rm = ResourceManager(emr_cluster(2))
+        allocation = rm.allocate(2, 5.0, 3)
+        hosts = allocation.slot_hosts()
+        assert len(hosts) == 6
+        assert set(hosts) == {"node-0", "node-1"}
+
+    def test_default_allocation(self):
+        allocation = ResourceManager(emr_cluster(3)).default_allocation()
+        assert allocation.num_containers == 3
+        assert allocation.cores_per_container == 7
+
+    def test_str(self):
+        allocation = ResourceManager(emr_cluster(2)).allocate(2, 5.0, 2)
+        assert "2 containers" in str(allocation)

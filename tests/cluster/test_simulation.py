@@ -1,0 +1,115 @@
+"""Discrete-event cluster simulator."""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulator, SimStage, SimTask, even_tasks
+
+
+def make_sim(slots=4, overhead=0.0, sigma=0.0, seed=0):
+    return ClusterSimulator(slots, task_overhead_s=overhead, straggler_sigma=sigma, seed=seed)
+
+
+class TestSingleStage:
+    def test_perfect_parallelism(self):
+        sim = make_sim(slots=4)
+        report = sim.run([SimStage(0, even_tasks(40.0, 4))])
+        assert report.makespan == pytest.approx(10.0)
+        assert report.utilization == pytest.approx(1.0)
+
+    def test_queueing_waves(self):
+        sim = make_sim(slots=2)
+        report = sim.run([SimStage(0, [SimTask(1.0)] * 5)])
+        # 5 unit tasks on 2 slots: 3 waves
+        assert report.makespan == pytest.approx(3.0)
+
+    def test_task_overhead_charged(self):
+        sim = make_sim(slots=1, overhead=0.5)
+        report = sim.run([SimStage(0, [SimTask(1.0)] * 2)])
+        assert report.makespan == pytest.approx(3.0)
+
+    def test_launch_overhead_serial(self):
+        sim = make_sim(slots=4)
+        report = sim.run([SimStage(0, even_tasks(4.0, 4), launch_overhead=2.0)])
+        assert report.makespan == pytest.approx(3.0)
+
+    def test_empty_stage(self):
+        sim = make_sim()
+        report = sim.run([SimStage(0, [])])
+        assert report.makespan == 0.0
+
+
+class TestDag:
+    def test_barrier_between_stages(self):
+        sim = make_sim(slots=4)
+        stages = [
+            SimStage(0, even_tasks(8.0, 4)),
+            SimStage(1, even_tasks(4.0, 4), parent_ids=(0,)),
+        ]
+        report = sim.run(stages)
+        assert report.makespan == pytest.approx(3.0)
+        s0, s1 = report.stages
+        assert s1.start == pytest.approx(s0.finish)
+
+    def test_diamond_dependencies(self):
+        sim = make_sim(slots=2)
+        stages = [
+            SimStage(0, [SimTask(1.0)]),
+            SimStage(1, [SimTask(2.0)], parent_ids=(0,)),
+            SimStage(2, [SimTask(3.0)], parent_ids=(0,)),
+            SimStage(3, [SimTask(1.0)], parent_ids=(1, 2)),
+        ]
+        report = sim.run(stages)
+        # 1 + max(2,3) + 1 = 5 (stages 1 and 2 overlap on 2 slots)
+        assert report.makespan == pytest.approx(5.0)
+
+    def test_cycle_detected(self):
+        sim = make_sim()
+        stages = [
+            SimStage(0, [SimTask(1.0)], parent_ids=(1,)),
+            SimStage(1, [SimTask(1.0)], parent_ids=(0,)),
+        ]
+        with pytest.raises(ValueError):
+            sim.run(stages)
+
+    def test_start_time_offset(self):
+        sim = make_sim(slots=1)
+        report = sim.run([SimStage(0, [SimTask(2.0)])], start_time=100.0)
+        assert report.makespan == pytest.approx(2.0)
+        assert report.stages[0].start == pytest.approx(100.0)
+
+
+class TestStragglers:
+    def test_deterministic_given_seed(self):
+        a = make_sim(sigma=0.3, seed=7).run([SimStage(0, [SimTask(1.0)] * 20)])
+        b = make_sim(sigma=0.3, seed=7).run([SimStage(0, [SimTask(1.0)] * 20)])
+        assert a.makespan == b.makespan
+
+    def test_stragglers_stretch_makespan(self):
+        base = make_sim(slots=4).run([SimStage(0, [SimTask(1.0)] * 16)]).makespan
+        noisy = make_sim(slots=4, sigma=0.5, seed=3).run(
+            [SimStage(0, [SimTask(1.0)] * 16)]
+        ).makespan
+        assert noisy > base
+
+    def test_zero_sigma_noise_free(self):
+        report = make_sim(slots=3, sigma=0.0).run([SimStage(0, [SimTask(2.0)] * 3)])
+        assert report.makespan == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_bad_slots(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(0)
+
+    def test_bad_task(self):
+        with pytest.raises(ValueError):
+            SimTask(-1.0)
+
+    def test_even_tasks(self):
+        tasks = even_tasks(10.0, 4)
+        assert len(tasks) == 4
+        assert sum(t.duration for t in tasks) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            even_tasks(1.0, 0)
+        with pytest.raises(ValueError):
+            even_tasks(-1.0, 2)

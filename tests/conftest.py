@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.context import Context
+from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+
+
+@pytest.fixture
+def serial_config() -> EngineConfig:
+    return EngineConfig(backend="serial", num_executors=2, executor_cores=2, default_parallelism=4)
+
+
+@pytest.fixture
+def ctx(serial_config) -> Context:
+    with Context(serial_config) as context:
+        yield context
+
+
+@pytest.fixture
+def threads_ctx() -> Context:
+    with Context(
+        EngineConfig(backend="threads", num_executors=3, executor_cores=2, default_parallelism=6)
+    ) as context:
+        yield context
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """40 SNPs x 30 patients x 4 sets: fast unit-test payload."""
+    return generate_dataset(SyntheticConfig(n_patients=30, n_snps=40, n_snpsets=4, seed=11))
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """300 SNPs x 60 patients x 10 sets: integration-scale payload."""
+    return generate_dataset(SyntheticConfig(n_patients=60, n_snps=300, n_snpsets=10, seed=7))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

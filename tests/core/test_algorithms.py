@@ -1,0 +1,166 @@
+"""Distributed Algorithms 1-3 vs the local reference (the central oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.algorithms import DistributedSparkScore
+from repro.core.local import LocalSparkScore
+from repro.engine.context import Context
+from repro.engine.faults import FaultInjector, FaultPlan
+from repro.genomics.io.dataset_io import write_dataset
+from repro.hdfs.filesystem import MiniHDFS
+
+
+@pytest.fixture(scope="module")
+def reference(small_dataset):
+    local = LocalSparkScore(small_dataset)
+    return {
+        "observed": local.observed_statistics(),
+        "mc": local.monte_carlo(100, seed=5),
+        "perm": local.permutation(25, seed=5),
+    }
+
+
+def make_ctx(**overrides):
+    defaults = dict(backend="serial", num_executors=2, executor_cores=2, default_parallelism=4)
+    defaults.update(overrides)
+    return Context(EngineConfig(**defaults))
+
+
+@pytest.mark.parametrize("flavor", ["paper", "vectorized"])
+class TestFlavorsMatchLocal:
+    def test_observed(self, small_dataset, reference, flavor):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor=flavor, block_size=64)
+            assert np.allclose(scorer.observed_statistics(), reference["observed"])
+
+    def test_monte_carlo_counts_identical(self, small_dataset, reference, flavor):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor=flavor, block_size=64)
+            result = scorer.monte_carlo(100, seed=5)
+            assert np.array_equal(result.exceed_counts, reference["mc"].exceed_counts)
+
+    def test_permutation_counts_identical(self, small_dataset, reference, flavor):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor=flavor, block_size=64)
+            result = scorer.permutation(25, seed=5)
+            assert np.array_equal(result.exceed_counts, reference["perm"].exceed_counts)
+
+    def test_uncached_same_results(self, small_dataset, reference, flavor):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor=flavor)
+            result = scorer.monte_carlo(100, seed=5, cache_contributions=False)
+            assert np.array_equal(result.exceed_counts, reference["mc"].exceed_counts)
+
+    def test_threads_backend(self, small_dataset, reference, flavor):
+        with make_ctx(backend="threads") as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor=flavor)
+            result = scorer.monte_carlo(100, seed=5)
+            assert np.array_equal(result.exceed_counts, reference["mc"].exceed_counts)
+
+
+class TestJoinStrategies:
+    def test_broadcast_join_matches(self, small_dataset, reference):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(
+                ctx, small_dataset, flavor="paper", join_strategy="broadcast"
+            )
+            assert np.allclose(scorer.observed_statistics(), reference["observed"])
+
+    def test_invalid_strategy_rejected(self, small_dataset):
+        with make_ctx() as ctx:
+            with pytest.raises(ValueError):
+                DistributedSparkScore(ctx, small_dataset, join_strategy="magic")
+
+    def test_invalid_flavor_rejected(self, small_dataset):
+        with make_ctx() as ctx:
+            with pytest.raises(ValueError):
+                DistributedSparkScore(ctx, small_dataset, flavor="hybrid")
+
+
+class TestCachingBehavior:
+    def test_cache_hits_recorded_across_iterations(self, small_dataset):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor="vectorized")
+            result = scorer.monte_carlo(60, seed=1, batch_size=20, cache_contributions=True)
+            assert result.info["cache_hits"] > 0
+
+    def test_no_cache_means_no_hits(self, small_dataset):
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor="vectorized")
+            result = scorer.monte_carlo(60, seed=1, batch_size=20, cache_contributions=False)
+            assert result.info["cache_hits"] == 0
+
+    def test_cached_runs_fewer_recomputes(self, small_dataset):
+        """Caching saves work: compare compute effort via cache misses."""
+        with make_ctx() as ctx_a:
+            cached = DistributedSparkScore(ctx_a, small_dataset, flavor="vectorized").monte_carlo(
+                40, seed=1, batch_size=10
+            )
+        with make_ctx() as ctx_b:
+            uncached = DistributedSparkScore(ctx_b, small_dataset, flavor="vectorized").monte_carlo(
+                40, seed=1, batch_size=10, cache_contributions=False
+            )
+        assert cached.info["cache_misses"] < uncached.info["cache_misses"] or (
+            cached.info["cache_hits"] > 0 and uncached.info["cache_hits"] == 0
+        )
+
+
+class TestTextInputPaths:
+    def test_local_files_parse_stage(self, small_dataset, reference, tmp_path):
+        paths = write_dataset(small_dataset, str(tmp_path / "ds"))
+        with make_ctx() as ctx:
+            scorer = DistributedSparkScore(
+                ctx,
+                small_dataset,
+                flavor="paper",
+                input_paths={"genotypes": paths["genotypes"], "weights": paths["weights"]},
+            )
+            assert np.allclose(scorer.observed_statistics(), reference["observed"])
+
+    def test_hdfs_files(self, small_dataset, reference):
+        fs = MiniHDFS(num_datanodes=3, block_size=8192)
+        paths = write_dataset(small_dataset, "/exp", hdfs=fs)
+        config = EngineConfig(backend="serial", num_executors=2, default_parallelism=4)
+        with Context(config, hdfs=fs) as ctx:
+            scorer = DistributedSparkScore(
+                ctx,
+                small_dataset,
+                flavor="vectorized",
+                input_paths={"genotypes": paths["genotypes"], "weights": paths["weights"]},
+            )
+            assert np.allclose(scorer.observed_statistics(), reference["observed"])
+            result = scorer.monte_carlo(50, seed=5)
+            local = LocalSparkScore(small_dataset).monte_carlo(50, seed=5)
+            assert np.array_equal(result.exceed_counts, local.exceed_counts)
+
+
+class TestFaultToleranceEndToEnd:
+    def test_executor_kill_does_not_change_counts(self, small_dataset, reference):
+        plan = FaultPlan(kill_executor_after_tasks={"exec-1": 5})
+        config = EngineConfig(backend="serial", num_executors=3, executor_cores=1, default_parallelism=6)
+        with Context(config, fault_injector=FaultInjector(plan)) as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor="vectorized")
+            result = scorer.monte_carlo(100, seed=5)
+            assert np.array_equal(result.exceed_counts, reference["mc"].exceed_counts)
+            assert ctx.fault_injector.killed_executors == {"exec-1"}
+
+    def test_transient_task_failures_do_not_change_counts(self, small_dataset, reference):
+        plan = FaultPlan(fail_partition_attempts={0: 1, 2: 1})
+        config = EngineConfig(backend="serial", num_executors=2, executor_cores=2, default_parallelism=4)
+        with Context(config, fault_injector=FaultInjector(plan)) as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor="paper")
+            result = scorer.permutation(25, seed=5)
+            assert np.array_equal(result.exceed_counts, reference["perm"].exceed_counts)
+
+
+class TestValidation:
+    def test_model_patient_mismatch(self, small_dataset, tiny_dataset):
+        from repro.stats.score.cox import CoxScoreModel
+
+        with make_ctx() as ctx:
+            with pytest.raises(ValueError):
+                DistributedSparkScore(
+                    ctx, small_dataset, model=CoxScoreModel(tiny_dataset.phenotype)
+                )

@@ -1,0 +1,102 @@
+"""Model-driven and live auto-tuning."""
+
+import pytest
+
+from repro.cluster.nodes import emr_cluster
+from repro.cluster.yarn import AllocationError
+from repro.core.autotune import (
+    PAPER_CONTAINER_SHAPES,
+    ContainerShape,
+    LiveTuner,
+    ModelTuner,
+)
+from repro.core.perfmodel import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    return ModelTuner()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(1000, 100_000, 1000, "monte_carlo", iterations=100)
+
+
+class TestModelTuner:
+    def test_strong_scaling_returns_all_nodes(self, tuner, workload):
+        runs = tuner.strong_scaling(workload, [6, 12, 18])
+        assert set(runs) == {6, 12, 18}
+        assert runs[6].total_seconds > runs[18].total_seconds
+
+    def test_paper_shapes_all_allocate(self, tuner, workload):
+        runs = tuner.sweep_containers(workload, emr_cluster(36))
+        assert set(runs) == set(PAPER_CONTAINER_SHAPES)
+
+    def test_feasible_shapes_filters(self, tuner):
+        shapes = tuner.feasible_shapes(
+            emr_cluster(4),
+            container_counts=[4, 400],
+            memories_gib=[5.0, 500.0],
+            cores_options=[2],
+        )
+        kept = [s for s, _ in shapes]
+        assert ContainerShape(4, 5.0, 2) in kept
+        assert all(s.memory_gib < 500 for s in kept)
+        assert all(s.num_containers < 400 for s in kept)
+
+    def test_recommend_picks_cheapest(self, tuner, workload):
+        shape, run = tuner.recommend(
+            workload,
+            emr_cluster(8),
+            container_counts=[2, 8, 16],
+            memories_gib=[4.0, 8.0],
+            cores_options=[2, 4],
+        )
+        # sanity: the recommendation is among the grid and beats a tiny config
+        small = tuner.model.predict(
+            workload,
+            __import__("repro.cluster.yarn", fromlist=["ResourceManager"]).ResourceManager(
+                emr_cluster(8)
+            ).allocate(2, 4.0, 2),
+        )
+        assert run.total_seconds <= small.total_seconds
+
+    def test_recommend_empty_grid_raises(self, tuner, workload):
+        with pytest.raises(AllocationError):
+            tuner.recommend(
+                workload, emr_cluster(1),
+                container_counts=[100], memories_gib=[1000.0], cores_options=[64],
+            )
+
+    def test_shape_str(self):
+        assert "42" in str(ContainerShape(42, 10.0, 6))
+
+
+class TestLiveTuner:
+    def test_probe_sweep(self, tiny_dataset):
+        from repro.config import EngineConfig
+
+        tuner = LiveTuner(
+            tiny_dataset,
+            config=EngineConfig(backend="serial", num_executors=2),
+            probe_iterations=5,
+        )
+        probes = tuner.sweep([2, 4], [16])
+        assert len(probes) == 2
+        assert all(p.wall_seconds > 0 for p in probes)
+
+    def test_best_is_minimum_of_its_sweep(self, tiny_dataset):
+        from repro.config import EngineConfig
+
+        tuner = LiveTuner(
+            tiny_dataset,
+            config=EngineConfig(backend="serial", num_executors=2),
+            probe_iterations=5,
+        )
+        chosen = tuner.best([2, 4], [8, 32])
+        # the chosen probe comes from the swept grid (wall times are
+        # machine-dependent, so we only assert structural properties)
+        assert chosen.num_partitions in (2, 4)
+        assert chosen.block_size in (8, 32)
+        assert chosen.wall_seconds > 0

@@ -1,0 +1,100 @@
+"""LocalSparkScore: the vectorized single-node reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.local import LocalSparkScore
+from repro.stats.score.cox import CoxScoreModel
+from repro.stats.skat import skat_statistics
+
+
+@pytest.fixture(scope="module")
+def local(small_dataset):
+    return LocalSparkScore(small_dataset)
+
+
+class TestObserved:
+    def test_matches_direct_computation(self, small_dataset, local):
+        model = CoxScoreModel(small_dataset.phenotype)
+        scores = model.scores(small_dataset.genotypes.matrix.astype(float))
+        expected = skat_statistics(
+            scores, small_dataset.weights, small_dataset.snpsets.set_ids, small_dataset.n_sets
+        )
+        assert np.allclose(local.observed_statistics(), expected)
+
+    def test_observed_result_object(self, local):
+        result = local.observed()
+        assert result.method == "observed"
+        assert result.n_resamples == 0
+        assert np.all(np.isnan(result.pvalues()))
+        assert result.info["engine"] == "local"
+
+    def test_contributions_shape(self, small_dataset, local):
+        U = local.contributions()
+        assert U.shape == (small_dataset.n_snps, small_dataset.n_patients)
+
+
+class TestMonteCarloLocal:
+    def test_cached_and_uncached_identical(self, local):
+        a = local.monte_carlo(80, seed=3, cache_contributions=True)
+        b = local.monte_carlo(80, seed=3, cache_contributions=False)
+        assert np.array_equal(a.exceed_counts, b.exceed_counts)
+        assert np.allclose(a.observed, b.observed)
+
+    def test_batch_size_invariant(self, local):
+        a = local.monte_carlo(60, seed=4, batch_size=7)
+        b = local.monte_carlo(60, seed=4, batch_size=60)
+        assert np.array_equal(a.exceed_counts, b.exceed_counts)
+
+    def test_more_iterations_tighter_pvalues(self, local):
+        small = local.monte_carlo(50, seed=5)
+        large = local.monte_carlo(1000, seed=5)
+        # p-values converge: large-B estimates differ from each other less
+        assert large.n_resamples == 1000
+        assert np.all(np.abs(small.pvalues() - large.pvalues()) < 0.2)
+
+
+class TestPermutationLocal:
+    def test_observed_consistent(self, local):
+        perm = local.permutation(30, seed=6)
+        assert np.allclose(perm.observed, local.observed_statistics())
+
+    def test_statistics_matrix(self, local, small_dataset):
+        stats = local.permutation_statistics(10, seed=7)
+        assert stats.shape == (10, small_dataset.n_sets)
+        assert np.all(stats >= 0)
+
+    def test_mc_and_perm_agree(self, local):
+        mc = local.monte_carlo(300, seed=8)
+        perm = local.permutation(300, seed=8)
+        assert np.all(np.abs(mc.pvalues() - perm.pvalues()) < 0.25)
+
+
+class TestAsymptoticLocal:
+    def test_matches_monte_carlo(self, local):
+        asym = local.asymptotic(method="liu")
+        mc = local.monte_carlo(2000, seed=9)
+        assert np.all(np.abs(asym.pvalues() - mc.pvalues()) < 0.06)
+
+    def test_method_recorded(self, local):
+        assert local.asymptotic("satterthwaite").info["approximation"] == "satterthwaite"
+
+
+class TestNullCalibration:
+    def test_pvalues_roughly_uniform_under_null(self):
+        """Type-I calibration: null p-values should look uniform."""
+        from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+
+        data = generate_dataset(
+            SyntheticConfig(n_patients=100, n_snps=400, n_snpsets=40, seed=21)
+        )
+        result = LocalSparkScore(data).monte_carlo(400, seed=2)
+        p = result.pvalues()
+        # crude uniformity checks, loose thresholds for 40 sets
+        assert 0.3 < p.mean() < 0.7
+        assert (p < 0.1).mean() < 0.3
+
+    def test_model_mismatch_rejected(self, small_dataset, tiny_dataset):
+        model = CoxScoreModel(tiny_dataset.phenotype)
+        with pytest.raises(ValueError):
+            LocalSparkScore(small_dataset, model)

@@ -1,0 +1,100 @@
+"""Record/replay bridge between the engine and the cluster simulator."""
+
+import operator
+
+import pytest
+
+from repro.core.replay import capture_job, replay, what_if_scaling
+
+
+@pytest.fixture
+def recorded_shuffle_job(ctx):
+    rdd = ctx.parallelize([(i % 5, i) for i in range(200)], 8).reduce_by_key(operator.add)
+    rdd.collect()
+    return capture_job(ctx.metrics.last_job)
+
+
+class TestCapture:
+    def test_stage_structure(self, recorded_shuffle_job):
+        rec = recorded_shuffle_job
+        assert len(rec.stages) == 2
+        map_stage, result_stage = rec.stages
+        assert map_stage.parent_ids == ()
+        assert result_stage.parent_ids == (map_stage.stage_id,)
+        assert len(map_stage.tasks) == 8
+
+    def test_total_task_seconds_positive(self, recorded_shuffle_job):
+        assert recorded_shuffle_job.total_task_seconds > 0
+        assert recorded_shuffle_job.n_tasks == 8 + 4
+
+    def test_failed_attempts_excluded_by_default(self, ctx):
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+        from repro.engine.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan(fail_partition_attempts={0: 1})
+        config = EngineConfig(backend="serial", num_executors=2, default_parallelism=4)
+        with Context(config, fault_injector=FaultInjector(plan)) as fctx:
+            fctx.parallelize(range(8), 4).sum()
+            rec = capture_job(fctx.metrics.last_job)
+            assert rec.n_tasks == 4  # retried partition counted once
+
+    def test_dangling_parents_dropped_on_shuffle_reuse(self, ctx):
+        rdd = ctx.parallelize([(1, 1)], 2).reduce_by_key(operator.add)
+        rdd.collect()
+        rdd.collect()  # second job reuses the shuffle; map stage absent
+        rec = capture_job(ctx.metrics.last_job)
+        for stage in rec.stages:
+            for parent in stage.parent_ids:
+                assert parent in {s.stage_id for s in rec.stages}
+
+
+class TestReplay:
+    def test_single_slot_equals_serial_sum(self, recorded_shuffle_job):
+        report = replay(recorded_shuffle_job, n_slots=1)
+        assert report.makespan == pytest.approx(
+            recorded_shuffle_job.total_task_seconds, rel=1e-6
+        )
+
+    def test_many_slots_bounded_by_critical_path(self, recorded_shuffle_job):
+        report = replay(recorded_shuffle_job, n_slots=1000)
+        critical = sum(
+            max((t.duration for t in s.tasks), default=0.0)
+            for s in recorded_shuffle_job.stages
+        )
+        assert report.makespan == pytest.approx(critical, rel=1e-6)
+
+    def test_monotone_in_slots(self, recorded_shuffle_job):
+        times = what_if_scaling(recorded_shuffle_job, [1, 2, 4, 64])
+        values = [times[n] for n in (1, 2, 4, 64)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_core_speedup_scales(self, recorded_shuffle_job):
+        slow = replay(recorded_shuffle_job, 2, core_speedup=1.0).makespan
+        fast = replay(recorded_shuffle_job, 2, core_speedup=2.0).makespan
+        assert fast == pytest.approx(slow / 2.0, rel=1e-6)
+
+    def test_invalid_speedup(self, recorded_shuffle_job):
+        with pytest.raises(ValueError):
+            replay(recorded_shuffle_job, 2, core_speedup=0.0)
+
+    def test_overheads_added(self, recorded_shuffle_job):
+        base = replay(recorded_shuffle_job, 4).makespan
+        heavy = replay(recorded_shuffle_job, 4, task_overhead_s=0.1).makespan
+        assert heavy > base
+
+
+class TestEndToEndWhatIf:
+    def test_sparkscore_job_replay(self, small_dataset):
+        """Record a real scoring job, then ask the 6-vs-18-node question."""
+        from repro.config import EngineConfig
+        from repro.core.algorithms import DistributedSparkScore
+        from repro.engine.context import Context
+
+        config = EngineConfig(backend="serial", num_executors=2, default_parallelism=8)
+        with Context(config) as ctx:
+            scorer = DistributedSparkScore(ctx, small_dataset, flavor="vectorized")
+            scorer.observed_statistics()
+            rec = capture_job(ctx.metrics.jobs[0])
+        scaling = what_if_scaling(rec, [1, 8, 64])
+        assert scaling[1] > scaling[8] >= scaling[64]

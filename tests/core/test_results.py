@@ -1,0 +1,86 @@
+"""Result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ResamplingResult, SnpSetResult
+
+
+@pytest.fixture
+def result():
+    return ResamplingResult(
+        method="monte_carlo",
+        set_names=["a", "b", "c"],
+        set_sizes=np.array([10, 5, 2]),
+        observed=np.array([3.0, 9.0, 1.0]),
+        exceed_counts=np.array([50, 2, 80]),
+        n_resamples=100,
+    )
+
+
+class TestResamplingResult:
+    def test_pvalues_plugin(self, result):
+        assert result.pvalues().tolist() == [0.5, 0.02, 0.8]
+
+    def test_pvalue_method_add_one(self, result):
+        result.pvalue_method = "add_one"
+        assert result.pvalues()[1] == pytest.approx(3 / 101)
+
+    def test_getitem(self, result):
+        r = result[1]
+        assert isinstance(r, SnpSetResult)
+        assert r.name == "b"
+        assert r.n_snps == 5
+        assert r.pvalue == pytest.approx(0.02)
+        assert "b:" in str(r)
+
+    def test_top_orders_by_pvalue(self, result):
+        top = result.top(2)
+        assert [r.name for r in top] == ["b", "a"]
+
+    def test_top_tie_break_by_statistic(self):
+        result = ResamplingResult(
+            method="monte_carlo",
+            set_names=["x", "y"],
+            set_sizes=np.array([1, 1]),
+            observed=np.array([1.0, 5.0]),
+            exceed_counts=np.array([10, 10]),
+            n_resamples=100,
+        )
+        assert [r.name for r in result.top(2)] == ["y", "x"]
+
+    def test_to_table(self, result):
+        table = result.to_table()
+        assert "method=monte_carlo" in table
+        assert table.count("\n") >= 5
+        short = result.to_table(max_rows=1)
+        assert "b" in short and "c" not in short.split("\n")[-1]
+
+    def test_explicit_pvalues_win(self, result):
+        result.explicit_pvalues = np.array([0.9, 0.8, 0.7])
+        assert result.pvalues().tolist() == [0.9, 0.8, 0.7]
+
+    def test_zero_resamples_nan(self):
+        result = ResamplingResult(
+            method="observed",
+            set_names=["a"],
+            set_sizes=np.array([1]),
+            observed=np.array([1.0]),
+            exceed_counts=np.array([0]),
+            n_resamples=0,
+        )
+        assert np.isnan(result.pvalues()[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ResamplingResult(
+                method="x",
+                set_names=["a", "b"],
+                set_sizes=np.array([1, 1]),
+                observed=np.array([1.0]),
+                exceed_counts=np.array([0, 0]),
+                n_resamples=1,
+            )
+
+    def test_repr(self, result):
+        assert "sets=3" in repr(result)

@@ -1,0 +1,89 @@
+"""Execution backends: serial, threads, processes."""
+
+import operator
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.backends import ProcessBackend, SerialBackend, ThreadBackend, make_backend
+from repro.engine.context import Context
+
+
+def _square(x):
+    return x * x
+
+
+def _key_mod3(x):
+    return (x % 3, x)
+
+
+class TestBackendFactory:
+    def test_make_each(self):
+        assert isinstance(make_backend(EngineConfig(backend="serial")), SerialBackend)
+        backend = make_backend(EngineConfig(backend="threads"))
+        assert isinstance(backend, ThreadBackend)
+        backend.shutdown()
+
+    def test_unknown_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            EngineConfig(backend="gpu")
+
+    def test_thread_parallelism_from_config(self):
+        backend = make_backend(EngineConfig(backend="threads", num_executors=3, executor_cores=4))
+        assert backend.parallelism == 12
+        backend.shutdown()
+
+
+class TestThreadBackend:
+    def test_large_fanout(self):
+        with Context(EngineConfig(backend="threads", num_executors=4, executor_cores=2, default_parallelism=16)) as ctx:
+            assert ctx.parallelize(range(10_000), 16).map(_square).sum() == sum(
+                x * x for x in range(10_000)
+            )
+
+    def test_shuffle_under_threads(self):
+        with Context(EngineConfig(backend="threads", num_executors=2, executor_cores=2, default_parallelism=8)) as ctx:
+            out = dict(
+                ctx.parallelize(range(999), 8).map(_key_mod3).reduce_by_key(operator.add).collect()
+            )
+            assert sum(out.values()) == sum(range(999))
+
+    def test_caching_under_threads(self):
+        with Context(EngineConfig(backend="threads", num_executors=2, executor_cores=2, default_parallelism=8)) as ctx:
+            rdd = ctx.parallelize(range(100), 8).map(_square).cache()
+            assert rdd.sum() == rdd.sum()
+            totals = ctx.metrics.jobs[-1].totals()
+            assert totals.cache_hits == 8
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    """Process backend needs picklable closures (module-level functions)."""
+
+    @pytest.fixture
+    def pctx(self):
+        config = EngineConfig(
+            backend="processes", num_executors=2, executor_cores=1, default_parallelism=4
+        )
+        with Context(config) as context:
+            yield context
+
+    def test_map_collect(self, pctx):
+        assert pctx.parallelize(range(50), 4).map(_square).collect() == [
+            x * x for x in range(50)
+        ]
+
+    def test_shuffle_job(self, pctx):
+        out = dict(
+            pctx.parallelize(range(30), 4).map(_key_mod3).reduce_by_key(operator.add).collect()
+        )
+        expected = {}
+        for x in range(30):
+            expected[x % 3] = expected.get(x % 3, 0) + x
+        assert out == expected
+
+    def test_cache_round_trips_to_driver(self, pctx):
+        rdd = pctx.parallelize(range(20), 4).map(_square).cache()
+        assert rdd.sum() == rdd.sum()
+        cached = sum(len(e.block_manager.block_ids()) for e in pctx.executors)
+        assert cached == 4

@@ -1,0 +1,177 @@
+"""Block-manager caching: hits, eviction, spill, remote fetch."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.blockmanager import BlockManager, BlockManagerMaster, estimate_size
+from repro.engine.context import Context
+from repro.engine.storage import StorageLevel
+
+
+class TestCachedRdd:
+    def test_second_action_hits_cache(self, ctx):
+        rdd = ctx.parallelize(range(100), 4).map(lambda x: x * 2).cache()
+        assert rdd.sum() == 9900
+        assert rdd.sum() == 9900
+        job = ctx.metrics.jobs[-1]
+        assert job.totals().cache_hits == 4
+        assert job.totals().cache_misses == 0
+
+    def test_first_action_misses(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).cache()
+        rdd.count()
+        assert ctx.metrics.jobs[-1].totals().cache_misses == 2
+
+    def test_cached_computation_runs_once(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(4), 2).map(lambda x: calls.append(x) or x).cache()
+        rdd.count()
+        rdd.count()
+        assert len(calls) == 4
+
+    def test_unpersist_recomputes(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(4), 2).map(lambda x: calls.append(x) or x).cache()
+        rdd.count()
+        rdd.unpersist()
+        assert not rdd.is_cached
+        rdd.count()
+        assert len(calls) == 8
+
+    def test_persist_levels_rejected_type(self, ctx):
+        with pytest.raises(TypeError):
+            ctx.parallelize([1], 1).persist("memory")
+
+    def test_memory_ser_roundtrip(self, ctx):
+        rdd = ctx.parallelize([np.arange(5), np.arange(3)], 2).persist(StorageLevel.MEMORY_SER)
+        first = rdd.collect()
+        second = rdd.collect()
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+        assert ctx.metrics.jobs[-1].totals().cache_hits == 2
+
+    def test_cached_partition_count(self, ctx):
+        rdd = ctx.parallelize(range(10), 5).cache()
+        assert ctx.cached_partition_count(rdd) == 0
+        rdd.count()
+        assert ctx.cached_partition_count(rdd) == 5
+
+    def test_downstream_of_cache_uses_cached_parent(self, ctx):
+        calls = []
+        base = ctx.parallelize(range(6), 3).map(lambda x: calls.append(x) or x).cache()
+        base.count()
+        assert base.map(lambda x: x + 1).sum() == 21
+        assert len(calls) == 6
+
+
+class TestBlockManager:
+    def test_put_get(self):
+        bm = BlockManager("e0", memory_budget=1 << 20)
+        data = bm.put((1, 0), iter([1, 2, 3]), StorageLevel.MEMORY)
+        assert data == [1, 2, 3]
+        assert bm.get((1, 0)) == [1, 2, 3]
+
+    def test_get_missing_returns_none(self):
+        bm = BlockManager("e0", memory_budget=1 << 20)
+        assert bm.get((9, 9)) is None
+
+    def test_lru_eviction(self):
+        payload = [np.zeros(1000)] # ~8KB
+        bm = BlockManager("e0", memory_budget=20_000)
+        bm.put((1, 0), list(payload), StorageLevel.MEMORY)
+        bm.put((1, 1), list(payload), StorageLevel.MEMORY)
+        # touch block 0 so block 1 is the LRU victim
+        bm.get((1, 0))
+        bm.put((1, 2), list(payload), StorageLevel.MEMORY)
+        assert bm.get((1, 1)) is None
+        assert bm.get((1, 0)) is not None
+        assert bm.evictions >= 1
+
+    def test_oversized_block_not_cached(self):
+        bm = BlockManager("e0", memory_budget=100)
+        data = bm.put((1, 0), [np.zeros(10_000)], StorageLevel.MEMORY)
+        assert len(data) == 1  # still returned
+        assert bm.get((1, 0)) is None
+
+    def test_spill_to_disk_and_reload(self, tmp_path):
+        payload = [np.arange(1000)]
+        bm = BlockManager("e0", memory_budget=10_000, spill_dir=str(tmp_path))
+        bm.put((1, 0), list(payload), StorageLevel.MEMORY_AND_DISK)
+        bm.put((1, 1), list(payload), StorageLevel.MEMORY_AND_DISK)
+        # (1, 0) evicted -> spilled, still readable
+        assert bm.spills >= 1
+        reloaded = bm.get((1, 0))
+        assert reloaded is not None
+        assert np.array_equal(reloaded[0], payload[0])
+
+    def test_remove_frees_memory(self):
+        bm = BlockManager("e0", memory_budget=1 << 20)
+        bm.put((1, 0), [1], StorageLevel.MEMORY)
+        used = bm.memory_used
+        assert used > 0
+        bm.remove((1, 0))
+        assert bm.memory_used == 0
+        assert not bm.contains((1, 0))
+
+    def test_estimate_size_numpy_exact_ish(self):
+        arr = np.zeros(1000)
+        assert estimate_size(arr) >= arr.nbytes
+
+    def test_estimate_size_nested(self):
+        assert estimate_size([1, "ab", (2.0,)]) > 0
+
+
+class TestBlockMaster:
+    def test_register_and_locations(self):
+        master = BlockManagerMaster()
+        master.register_block((1, 0), "e0")
+        master.register_block((1, 0), "e1")
+        assert master.locations((1, 0)) == ["e0", "e1"]
+
+    def test_remove_executor_reports_lost(self):
+        master = BlockManagerMaster()
+        bm = BlockManager("e0", 1 << 20)
+        master.register_manager(bm)
+        master.register_block((1, 0), "e0")
+        master.register_block((1, 1), "e0")
+        master.register_block((1, 1), "e1")
+        lost = master.remove_executor("e0")
+        assert lost == [(1, 0)]
+        assert master.locations((1, 1)) == ["e1"]
+
+    def test_get_remote_repairs_stale_registry(self):
+        master = BlockManagerMaster()
+        bm = BlockManager("e0", 1 << 20)
+        master.register_manager(bm)
+        master.register_block((1, 0), "e0")  # registered but never stored
+        assert master.get_remote((1, 0), excluding="e9") is None
+        assert master.locations((1, 0)) == []
+
+    def test_remote_fetch_across_executors(self):
+        config = EngineConfig(backend="serial", num_executors=2, executor_cores=1, default_parallelism=2)
+        with Context(config) as ctx:
+            rdd = ctx.parallelize(range(8), 2).cache()
+            rdd.count()  # populates both executors
+            # force all tasks onto one executor by killing the other
+            holders = {
+                e.executor_id: e.block_manager.block_ids() for e in ctx.executors
+            }
+            assert sum(len(v) for v in holders.values()) == 2
+            total = rdd.sum()
+            assert total == 28
+
+    def test_eviction_pressure_metrics(self):
+        config = EngineConfig(
+            backend="serial",
+            num_executors=1,
+            executor_cores=1,
+            executor_memory=64 * 1024,  # tiny cache
+            default_parallelism=4,
+        )
+        with Context(config) as ctx:
+            rdd = ctx.parallelize([np.zeros(4000) for _ in range(8)], 8).cache()
+            rdd.count()
+            rdd.count()
+            totals = ctx.metrics.jobs[-1].totals()
+            # most blocks were evicted, so second pass recomputes
+            assert totals.cache_misses > 0

@@ -1,0 +1,100 @@
+"""Event log persistence and cross-process replay."""
+
+import operator
+
+import pytest
+
+from repro.core.replay import capture_job, replay
+from repro.engine.eventlog import read_event_log, write_event_log
+
+
+@pytest.fixture
+def logged_jobs(ctx, tmp_path):
+    ctx.parallelize(range(40), 4).map(lambda x: x + 1).sum()
+    ctx.parallelize([(i % 3, 1) for i in range(30)], 4).reduce_by_key(operator.add).collect()
+    path = str(tmp_path / "events.jsonl")
+    n = write_event_log(ctx.metrics.jobs, path)
+    assert n == 2
+    return ctx.metrics.jobs, path
+
+
+class TestRoundTrip:
+    def test_job_fields_survive(self, logged_jobs):
+        original, path = logged_jobs
+        loaded = read_event_log(path)
+        assert len(loaded) == 2
+        for a, b in zip(original, loaded):
+            assert a.job_id == b.job_id
+            assert a.description == b.description
+            assert a.wall_seconds == b.wall_seconds
+            assert len(a.stages) == len(b.stages)
+
+    def test_task_records_survive(self, logged_jobs):
+        original, path = logged_jobs
+        loaded = read_event_log(path)
+        stage_a = original[1].stages[0]
+        stage_b = loaded[1].stages[0]
+        assert stage_a.is_shuffle_map == stage_b.is_shuffle_map
+        assert [t.duration_seconds for t in stage_a.tasks] == [
+            t.duration_seconds for t in stage_b.tasks
+        ]
+        assert stage_a.totals().shuffle_records_written == stage_b.totals().shuffle_records_written
+
+    def test_append_mode(self, ctx, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        ctx.parallelize(range(4), 2).count()
+        write_event_log([ctx.metrics.jobs[-1]], path)
+        ctx.parallelize(range(4), 2).count()
+        write_event_log([ctx.metrics.jobs[-1]], path)
+        assert len(read_event_log(path)) == 2
+
+    def test_replay_from_loaded_log(self, logged_jobs):
+        """The history-server use case: load a log, run a what-if."""
+        original, path = logged_jobs
+        loaded = read_event_log(path)
+        rec_orig = capture_job(original[1])
+        rec_loaded = capture_job(loaded[1])
+        assert replay(rec_loaded, 4).makespan == pytest.approx(
+            replay(rec_orig, 4).makespan
+        )
+
+
+class TestErrors:
+    def test_corrupt_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "job"\n')
+        with pytest.raises(ValueError, match="line 1"):
+            read_event_log(str(path))
+
+    def test_wrong_event_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "heartbeat", "version": 1}\n')
+        with pytest.raises(ValueError):
+            read_event_log(str(path))
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "job", "version": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            read_event_log(str(path))
+
+    def test_blank_lines_skipped(self, ctx, tmp_path):
+        ctx.parallelize([1], 1).count()
+        path = str(tmp_path / "log.jsonl")
+        write_event_log(ctx.metrics.jobs, path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(read_event_log(path)) == 1
+
+
+class TestContextIntegration:
+    def test_context_flushes_log_on_stop(self, tmp_path, serial_config):
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "auto.jsonl")
+        with Context(serial_config, event_log_path=path) as ctx:
+            ctx.parallelize(range(10), 2).sum()
+            ctx.parallelize(range(10), 2).count()
+        jobs = read_event_log(path)
+        assert len(jobs) == 2
+        assert jobs[0].stages[0].num_tasks == 2

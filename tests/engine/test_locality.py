@@ -1,0 +1,88 @@
+"""Locality-aware task placement: HDFS blocks and cached partitions."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.context import Context
+from repro.hdfs.filesystem import MiniHDFS
+
+
+@pytest.fixture
+def hdfs_ctx():
+    """Three executors on host-0/1/2 over a 3-datanode HDFS (same hosts)."""
+    fs = MiniHDFS(num_datanodes=3, block_size=256, replication=1, seed=0)
+    config = EngineConfig(
+        backend="serial", num_executors=3, executor_cores=1, default_parallelism=3
+    )
+    with Context(config, hdfs=fs) as ctx:
+        yield ctx, fs
+
+
+class TestHdfsLocality:
+    def test_tasks_run_on_block_hosts(self, hdfs_ctx):
+        ctx, fs = hdfs_ctx
+        lines = [f"record-{i:04d}" for i in range(60)]
+        fs.write_text("/data.txt", "\n".join(lines) + "\n")
+        rdd = ctx.text_file("hdfs://data.txt")
+        assert rdd.collect() == lines
+        job = ctx.metrics.last_job
+        # with replication 1, every partition has exactly one valid host;
+        # each task must have run on the executor at that host
+        host_of_executor = {e.executor_id: e.host for e in ctx.executors}
+        for record in job.stages[-1].tasks:
+            preferred = rdd.preferred_locations(record.partition)
+            assert host_of_executor[record.executor_id] in preferred
+
+    def test_locality_survives_narrow_transforms(self, hdfs_ctx):
+        ctx, fs = hdfs_ctx
+        fs.write_text("/x.txt", "\n".join(str(i) for i in range(40)) + "\n")
+        rdd = ctx.text_file("hdfs://x.txt").map(int).filter(lambda v: v % 2 == 0)
+        base = ctx.text_file("hdfs://x.txt")
+        for split in range(rdd.num_partitions()):
+            assert rdd.preferred_locations(split) == base.preferred_locations(split)
+
+    def test_dead_host_falls_back(self, hdfs_ctx):
+        ctx, fs = hdfs_ctx
+        fs.write_text("/y.txt", "\n".join(str(i) for i in range(40)) + "\n")
+        rdd = ctx.text_file("hdfs://y.txt")
+        # kill the executor on host-0; its blocks are still on dn-0 (alive),
+        # so tasks run non-locally but correctly
+        ctx.kill_executor("exec-0")
+        assert rdd.map(int).sum() == sum(range(40))
+
+
+class TestCacheLocality:
+    def test_tasks_return_to_cached_executor(self):
+        config = EngineConfig(
+            backend="serial", num_executors=3, executor_cores=1, default_parallelism=6
+        )
+        with Context(config) as ctx:
+            rdd = ctx.parallelize(range(60), 6).map(lambda x: x * 2).cache()
+            rdd.count()  # populate caches
+            holder_of = {}
+            for executor in ctx.executors:
+                for block_id in executor.block_manager.block_ids():
+                    holder_of[block_id[1]] = executor.executor_id
+            rdd.sum()  # second pass should honor cache locality
+            job = ctx.metrics.last_job
+            for record in job.stages[-1].tasks:
+                assert record.executor_id == holder_of[record.partition]
+            assert job.totals().remote_cache_hits == 0
+
+    def test_remote_fetch_when_holder_busy_dead(self):
+        config = EngineConfig(
+            backend="serial", num_executors=2, executor_cores=1, default_parallelism=4
+        )
+        with Context(config) as ctx:
+            rdd = ctx.parallelize(range(40), 4).cache()
+            rdd.count()
+            victim = ctx.executors[0]
+            held = {b[1] for b in victim.block_manager.block_ids()}
+            assert held
+            ctx.kill_executor(victim.executor_id)
+            # blocks on the dead executor are recomputed; survivor's blocks
+            # still hit cache
+            assert rdd.sum() == sum(range(40))
+            totals = ctx.metrics.last_job.totals()
+            assert totals.cache_hits >= 1
+            assert totals.cache_misses >= 1

@@ -1,0 +1,67 @@
+"""Metrics containers and the registry."""
+
+from repro.engine.metrics import (
+    JobMetrics,
+    MetricsRegistry,
+    StageMetrics,
+    TaskMetrics,
+    TaskRecord,
+)
+
+
+def make_record(duration=1.0, succeeded=True, **metric_overrides):
+    metrics = TaskMetrics(**metric_overrides)
+    return TaskRecord(
+        stage_id=0, partition=0, attempt=0, executor_id="e0",
+        duration_seconds=duration, metrics=metrics, succeeded=succeeded,
+    )
+
+
+class TestStageMetrics:
+    def test_totals_sum_successful_only(self):
+        stage = StageMetrics(stage_id=0, name="s", num_tasks=2)
+        stage.tasks.append(make_record(cache_hits=2, shuffle_bytes_written=10))
+        stage.tasks.append(make_record(succeeded=False, cache_hits=99))
+        totals = stage.totals()
+        assert totals.cache_hits == 2
+        assert totals.shuffle_bytes_written == 10
+
+    def test_total_task_seconds(self):
+        stage = StageMetrics(stage_id=0, name="s", num_tasks=2)
+        stage.tasks.append(make_record(duration=1.5))
+        stage.tasks.append(make_record(duration=2.5))
+        assert stage.total_task_seconds == 4.0
+
+
+class TestJobMetrics:
+    def test_totals_roll_up_stages(self):
+        job = JobMetrics(job_id=0)
+        for hits in (1, 2):
+            stage = StageMetrics(stage_id=hits, name="s", num_tasks=1)
+            stage.tasks.append(make_record(cache_hits=hits, records_read=10))
+            job.stages.append(stage)
+        totals = job.totals()
+        assert totals.cache_hits == 3
+        assert totals.records_read == 20
+
+
+class TestRegistry:
+    def test_last_job_and_totals(self):
+        registry = MetricsRegistry()
+        assert registry.last_job is None
+        for i in range(2):
+            job = JobMetrics(job_id=i)
+            stage = StageMetrics(stage_id=0, name="s", num_tasks=1)
+            stage.tasks.append(make_record(cache_hits=1, cache_misses=2))
+            job.stages.append(stage)
+            registry.add_job(job)
+        assert registry.last_job.job_id == 1
+        assert registry.total_cache_hits() == 2
+        assert registry.total_cache_misses() == 4
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.add_job(JobMetrics(job_id=0))
+        registry.clear()
+        assert registry.last_job is None
+        assert registry.jobs == []

@@ -1,0 +1,209 @@
+"""Key-value operations: shuffles, joins, aggregation by key."""
+
+import operator
+from collections import defaultdict
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner
+
+
+@pytest.fixture
+def kv(ctx):
+    return ctx.parallelize([(i % 5, i) for i in range(50)], 4)
+
+
+class TestAggregations:
+    def test_reduce_by_key(self, ctx, kv):
+        expected = defaultdict(int)
+        for i in range(50):
+            expected[i % 5] += i
+        assert dict(kv.reduce_by_key(operator.add).collect()) == dict(expected)
+
+    def test_reduce_by_key_explicit_partitions(self, kv):
+        out = kv.reduce_by_key(operator.add, num_partitions=7)
+        assert out.num_partitions() == 7
+        assert len(out.collect()) == 5
+
+    def test_fold_by_key(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+        assert dict(rdd.fold_by_key(10, operator.add).collect()) == {"a": 23, "b": 13}
+
+    def test_aggregate_by_key(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+        out = rdd.aggregate_by_key(
+            (0, 0),
+            lambda acc, v: (acc[0] + v, acc[1] + 1),
+            lambda x, y: (x[0] + y[0], x[1] + y[1]),
+        )
+        assert dict(out.collect()) == {"a": (3, 2), "b": (3, 1)}
+
+    def test_group_by_key(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (2, "b"), (1, "c")], 3)
+        grouped = {k: sorted(v) for k, v in rdd.group_by_key().collect()}
+        assert grouped == {1: ["a", "c"], 2: ["b"]}
+
+    def test_group_by(self, ctx):
+        grouped = dict(ctx.parallelize(range(6), 2).group_by(lambda x: x % 2).collect())
+        assert sorted(grouped[0]) == [0, 2, 4]
+        assert sorted(grouped[1]) == [1, 3, 5]
+
+    def test_combine_by_key_custom(self, ctx):
+        rdd = ctx.parallelize([("x", 1), ("x", 2), ("y", 5)], 2)
+        out = rdd.combine_by_key(
+            create_combiner=lambda v: [v],
+            merge_value=lambda acc, v: acc + [v],
+            merge_combiners=lambda a, b: a + b,
+            map_side_combine=False,
+        )
+        assert {k: sorted(v) for k, v in out.collect()} == {"x": [1, 2], "y": [5]}
+
+    def test_count_by_key(self, kv):
+        assert kv.count_by_key() == {k: 10 for k in range(5)}
+
+    def test_map_side_combine_matches_no_combine(self, ctx):
+        data = [(i % 3, float(i)) for i in range(30)]
+        a = ctx.parallelize(data, 5).combine_by_key(
+            lambda v: v, operator.add, operator.add, map_side_combine=True
+        )
+        b = ctx.parallelize(data, 5).combine_by_key(
+            lambda v: v, operator.add, operator.add, map_side_combine=False
+        )
+        assert dict(a.collect()) == pytest.approx(dict(b.collect()))
+
+
+class TestPartitioning:
+    def test_partition_by_places_keys(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(20)], 3).partition_by(4)
+        parts = rdd.collect_partitions()
+        partitioner = HashPartitioner(4)
+        for idx, part in enumerate(parts):
+            for key, _ in part:
+                assert partitioner.partition(key) == idx
+
+    def test_partition_by_idempotent(self, ctx):
+        rdd = ctx.parallelize([(1, 1)], 2).partition_by(HashPartitioner(3))
+        again = rdd.partition_by(HashPartitioner(3))
+        assert again is rdd
+
+    def test_map_values_preserves_partitioner(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(10)], 2).partition_by(3)
+        assert rdd.map_values(str).partitioner == rdd.partitioner
+
+    def test_plain_map_drops_partitioner(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(10)], 2).partition_by(3)
+        assert rdd.map(lambda kv: (kv[0] + 1, kv[1])).partitioner is None
+
+    def test_filter_preserves_partitioner(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(10)], 2).partition_by(3)
+        assert rdd.filter(lambda kv: kv[0] > 2).partitioner == rdd.partitioner
+
+    def test_key_changing_map_after_join_still_shuffles(self, ctx):
+        """Regression: reduce_by_key after a key-changing map over a join
+        must not reuse the join's partitioner (would yield partial sums)."""
+        left = ctx.parallelize([(i, float(i)) for i in range(40)], 4)
+        right = ctx.parallelize([(i, 1.0) for i in range(40)], 4)
+        joined = left.join(right, num_partitions=4)
+        regrouped = joined.map(lambda kv: (kv[0] % 4, kv[1][0])).reduce_by_key(operator.add, 4)
+        got = dict(regrouped.collect())
+        expected = defaultdict(float)
+        for i in range(40):
+            expected[i % 4] += float(i)
+        assert got == pytest.approx(dict(expected))
+
+    def test_co_partitioned_combine_skips_shuffle(self, ctx):
+        rdd = ctx.parallelize([(i % 4, 1) for i in range(16)], 4).partition_by(4)
+        before = len(ctx.metrics.jobs)
+        out = rdd.reduce_by_key(operator.add, 4)
+        assert dict(out.collect()) == {k: 4 for k in range(4)}
+        job = ctx.metrics.jobs[-1]
+        assert len(ctx.metrics.jobs) == before + 1
+        # only the original partition_by shuffle exists in the lineage; the
+        # combine itself added no shuffle-map stage beyond it
+        shuffle_stages = [s for s in job.stages if s.is_shuffle_map]
+        assert len(shuffle_stages) == 1
+
+
+class TestJoins:
+    def test_inner_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b"), (3, "c")], 2)
+        b = ctx.parallelize([(1, "x"), (3, "y"), (4, "z")], 2)
+        assert sorted(a.join(b).collect()) == [(1, ("a", "x")), (3, ("c", "y"))]
+
+    def test_join_duplicate_keys_cross_product(self, ctx):
+        a = ctx.parallelize([(1, "a1"), (1, "a2")], 2)
+        b = ctx.parallelize([(1, "b1"), (1, "b2")], 2)
+        assert len(a.join(b).collect()) == 4
+
+    def test_left_outer_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        b = ctx.parallelize([(1, "x")], 2)
+        out = dict(a.left_outer_join(b).collect())
+        assert out == {1: ("a", "x"), 2: ("b", None)}
+
+    def test_right_outer_join(self, ctx):
+        a = ctx.parallelize([(1, "a")], 2)
+        b = ctx.parallelize([(1, "x"), (2, "y")], 2)
+        out = dict(a.right_outer_join(b).collect())
+        assert out == {1: ("a", "x"), 2: (None, "y")}
+
+    def test_full_outer_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        b = ctx.parallelize([(2, "x"), (3, "y")], 2)
+        out = dict(a.full_outer_join(b).collect())
+        assert out == {1: ("a", None), 2: ("b", "x"), 3: (None, "y")}
+
+    def test_cogroup_three_way(self, ctx):
+        a = ctx.parallelize([(1, "a")], 1)
+        b = ctx.parallelize([(1, "b"), (2, "b2")], 1)
+        c = ctx.parallelize([(2, "c")], 1)
+        out = {k: tuple(sorted(g) for g in gs) for k, gs in a.cogroup(b, c).collect()}
+        assert out == {1: (["a"], ["b"], []), 2: ([], ["b2"], ["c"])}
+
+
+class TestMisc:
+    def test_keys_values(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (2, "b")], 1)
+        assert rdd.keys().collect() == [1, 2]
+        assert rdd.values().collect() == ["a", "b"]
+
+    def test_flat_map_values(self, ctx):
+        rdd = ctx.parallelize([(1, "ab")], 1)
+        assert rdd.flat_map_values(list).collect() == [(1, "a"), (1, "b")]
+
+    def test_collect_as_map(self, ctx):
+        assert ctx.parallelize([(1, "a")], 1).collect_as_map() == {1: "a"}
+
+    def test_lookup_unpartitioned(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (2, "b"), (1, "c")], 3)
+        assert sorted(rdd.lookup(1)) == ["a", "c"]
+
+    def test_lookup_partitioned_single_task(self, ctx):
+        rdd = ctx.parallelize([(i, str(i)) for i in range(20)], 4).partition_by(4)
+        rdd.count()  # materialize shuffle
+        before = len(ctx.metrics.jobs)
+        assert rdd.lookup(7) == ["7"]
+        job = ctx.metrics.jobs[-1]
+        assert len(ctx.metrics.jobs) == before + 1
+        result_stage = [s for s in job.stages if not s.is_shuffle_map]
+        assert result_stage[-1].num_tasks == 1
+
+    def test_sort_by_key_ascending(self, ctx, rng):
+        data = [(int(k), None) for k in rng.integers(0, 1000, size=200)]
+        out = [k for k, _ in ctx.parallelize(data, 5).sort_by_key().collect()]
+        assert out == sorted(out)
+
+    def test_sort_by_key_descending(self, ctx, rng):
+        data = [(int(k), None) for k in rng.integers(0, 1000, size=200)]
+        out = [k for k, _ in ctx.parallelize(data, 5).sort_by_key(ascending=False).collect()]
+        assert out == sorted(out, reverse=True)
+
+    def test_sort_by(self, ctx):
+        out = ctx.parallelize([3, 1, 2], 2).sort_by(lambda x: x).collect()
+        assert out == [1, 2, 3]
+
+    def test_sort_by_key_small_input(self, ctx):
+        assert ctx.parallelize([(2, "b"), (1, "a")], 1).sort_by_key().collect() == [
+            (1, "a"),
+            (2, "b"),
+        ]

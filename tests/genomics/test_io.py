@@ -1,0 +1,119 @@
+"""Text formats and whole-dataset round trips (local + HDFS)."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.io.dataset_io import read_dataset, write_dataset
+from repro.genomics.io.formats import (
+    FormatError,
+    format_genotype_line,
+    format_phenotype_line,
+    format_snpset_line,
+    format_weight_line,
+    parse_genotype_line,
+    parse_phenotype_line,
+    parse_snpset_line,
+    parse_weight_line,
+)
+from repro.hdfs.filesystem import MiniHDFS
+
+
+class TestGenotypeLines:
+    def test_roundtrip(self):
+        line = format_genotype_line(7, np.array([0, 1, 2, 1], dtype=np.int8))
+        assert line == "7\t0,1,2,1"
+        snp_id, values = parse_genotype_line(line)
+        assert snp_id == 7
+        assert values.tolist() == [0, 1, 2, 1]
+        assert values.dtype == np.int8
+
+    @pytest.mark.parametrize("bad", ["", "7", "x\t0,1", "7\t0,a,1"])
+    def test_malformed(self, bad):
+        with pytest.raises(FormatError):
+            parse_genotype_line(bad)
+
+
+class TestPhenotypeLines:
+    def test_roundtrip(self):
+        line = format_phenotype_line(3, 12.5, 1)
+        assert parse_phenotype_line(line) == (3, 12.5, 1)
+
+    def test_precision_preserved(self):
+        t = 0.1 + 0.2  # not exactly representable
+        assert parse_phenotype_line(format_phenotype_line(0, t, 0))[1] == t
+
+    @pytest.mark.parametrize("bad", ["", "1\t2.0", "1\t2.0\t3", "1\t-2.0\t1", "a\t2.0\t1"])
+    def test_malformed(self, bad):
+        with pytest.raises(FormatError):
+            parse_phenotype_line(bad)
+
+
+class TestWeightLines:
+    def test_roundtrip(self):
+        assert parse_weight_line(format_weight_line(5, 0.25)) == (5, 0.25)
+
+    @pytest.mark.parametrize("bad", ["", "5", "5\t-1.0", "x\t1.0"])
+    def test_malformed(self, bad):
+        with pytest.raises(FormatError):
+            parse_weight_line(bad)
+
+
+class TestSnpSetLines:
+    def test_roundtrip(self):
+        line = format_snpset_line("geneA", [1, 2, 3])
+        assert parse_snpset_line(line) == ("geneA", [1, 2, 3])
+
+    def test_empty_set(self):
+        assert parse_snpset_line(format_snpset_line("g", [])) == ("g", [])
+
+    def test_tab_in_name_rejected(self):
+        with pytest.raises(FormatError):
+            format_snpset_line("a\tb", [1])
+
+    def test_malformed(self):
+        with pytest.raises(FormatError):
+            parse_snpset_line("name\t1,x")
+
+
+class TestDatasetRoundTrip:
+    def assert_equal(self, a, b):
+        assert np.array_equal(a.genotypes.snp_ids, b.genotypes.snp_ids)
+        assert np.array_equal(a.genotypes.matrix, b.genotypes.matrix)
+        assert np.allclose(a.phenotype.time, b.phenotype.time)
+        assert np.array_equal(a.phenotype.event, b.phenotype.event)
+        assert np.allclose(a.weights, b.weights)
+        assert np.array_equal(a.snpsets.set_ids, b.snpsets.set_ids)
+
+    def test_local_dir(self, tiny_dataset, tmp_path):
+        paths = write_dataset(tiny_dataset, str(tmp_path / "ds"))
+        assert set(paths) == {"genotypes", "phenotype", "weights", "snpsets"}
+        back = read_dataset(str(tmp_path / "ds"))
+        self.assert_equal(tiny_dataset, back)
+
+    def test_hdfs(self, tiny_dataset):
+        fs = MiniHDFS(num_datanodes=3, block_size=2048)
+        paths = write_dataset(tiny_dataset, "/data/run1", hdfs=fs)
+        assert paths["genotypes"].startswith("hdfs://")
+        back = read_dataset("/data/run1", hdfs=fs)
+        self.assert_equal(tiny_dataset, back)
+
+    def test_missing_weight_detected(self, tiny_dataset, tmp_path):
+        base = str(tmp_path / "ds")
+        write_dataset(tiny_dataset, base)
+        # truncate the weights file
+        import os
+
+        weights_path = os.path.join(base, "weights.txt")
+        lines = open(weights_path).read().splitlines()
+        with open(weights_path, "w") as fh:
+            fh.write("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="missing SNP"):
+            read_dataset(base)
+
+    def test_empty_genotypes_rejected(self, tmp_path):
+        base = tmp_path / "ds"
+        base.mkdir()
+        for name in ("genotypes.txt", "phenotype.txt", "weights.txt", "snpsets.txt"):
+            (base / name).write_text("")
+        with pytest.raises(ValueError, match="empty genotype"):
+            read_dataset(str(base))

@@ -1,0 +1,123 @@
+"""Genotype quality-control filters."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.qc import (
+    apply_qc,
+    call_rate_filter,
+    hwe_filter,
+    hwe_pvalues,
+    maf_filter,
+    run_qc,
+)
+
+
+class TestMafFilter:
+    def test_rare_dropped(self, rng):
+        common = rng.binomial(2, 0.3, size=(5, 500))
+        rare = rng.binomial(2, 0.001, size=(5, 500))
+        G = np.vstack([common, rare])
+        keep = maf_filter(G, min_maf=0.05)
+        assert keep[:5].all()
+        assert not keep[5:].any()
+
+    def test_folded(self):
+        # frequency 0.97 => maf 0.03
+        G = np.full((1, 100), 2)
+        G[0, :6] = 1
+        assert not maf_filter(G, min_maf=0.05)[0]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            maf_filter(np.zeros((1, 2)), min_maf=0.6)
+
+
+class TestCallRate:
+    def test_missing_fraction(self):
+        G = np.zeros((2, 10), dtype=int)
+        G[1, :2] = -1  # 80% call rate
+        keep = call_rate_filter(G, missing_code=-1, min_call_rate=0.9)
+        assert keep.tolist() == [True, False]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            call_rate_filter(np.zeros((1, 2)), min_call_rate=1.5)
+
+
+class TestHwe:
+    def test_equilibrium_passes(self, rng):
+        p = 0.3
+        G = rng.binomial(2, p, size=(20, 2000))
+        pvals = hwe_pvalues(G)
+        assert (pvals > 1e-4).all()
+        # under H0 the p-values should not cluster at 0
+        assert pvals.mean() > 0.2
+
+    def test_excess_heterozygosity_rejected(self):
+        # all hets: wildly out of HWE for p = 0.5
+        G = np.ones((1, 1000), dtype=int)
+        assert hwe_pvalues(G)[0] < 1e-10
+        assert not hwe_filter(G)[0]
+
+    def test_missing_heterozygotes_rejected(self):
+        G = np.concatenate([np.zeros(500), np.full(500, 2)]).astype(int)[None, :]
+        assert hwe_pvalues(G)[0] < 1e-10
+
+    def test_monomorphic_is_p_one(self):
+        G = np.zeros((1, 100), dtype=int)
+        assert hwe_pvalues(G)[0] == 1.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            hwe_filter(np.zeros((1, 2)), min_pvalue=2.0)
+
+
+class TestRunQc:
+    def test_marginal_counts(self, rng):
+        clean = rng.binomial(2, 0.3, size=(10, 1000))
+        rare = rng.binomial(2, 0.001, size=(3, 1000))
+        bad_hwe = np.ones((2, 1000), dtype=int)
+        G = np.vstack([clean, rare, bad_hwe])
+        report = run_qc(G, min_maf=0.05)
+        assert report.failed_maf >= 3
+        assert report.failed_hwe >= 2
+        assert report.n_kept == 10
+        assert report.n_kept + report.n_dropped == 15
+
+    def test_apply_qc_densifies_sets(self, rng):
+        from repro.genomics.genotypes import GenotypeMatrix
+        from repro.genomics.snpsets import SnpSetCollection
+        from repro.genomics.synthetic import Dataset
+        from repro.stats.score.base import SurvivalPhenotype
+
+        n = 400
+        clean = rng.binomial(2, 0.3, size=(6, n)).astype(np.int8)
+        rare = rng.binomial(2, 0.001, size=(3, n)).astype(np.int8)
+        matrix = np.vstack([clean, rare])
+        dataset = Dataset(
+            GenotypeMatrix(np.arange(9), matrix),
+            SurvivalPhenotype(rng.exponential(12, n), rng.binomial(1, 0.85, n)),
+            np.ones(9),
+            SnpSetCollection(np.array([0, 0, 0, 1, 1, 1, 2, 2, 2]), ["a", "b", "junk"]),
+        )
+        report = run_qc(matrix, min_maf=0.05)
+        filtered = apply_qc(dataset, report)
+        assert filtered.n_snps == 6
+        assert filtered.snpsets.names == ["a", "b"]
+        assert filtered.n_sets == 2
+        # the filtered dataset analyzes cleanly
+        from repro.core.local import LocalSparkScore
+
+        result = LocalSparkScore(filtered).monte_carlo(50, seed=1)
+        assert result.pvalues().shape == (2,)
+
+    def test_apply_qc_everything_removed(self, tiny_dataset):
+        report = run_qc(tiny_dataset.genotypes.matrix, min_maf=0.5)
+        if report.n_kept == 0:
+            with pytest.raises(ValueError):
+                apply_qc(tiny_dataset, report)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            run_qc(np.zeros(5))

@@ -1,0 +1,160 @@
+"""Section III synthetic generator: distributions and set construction."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.synthetic import (
+    SyntheticConfig,
+    generate_dataset,
+    snpset_size_partition,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_values(self):
+        cfg = SyntheticConfig()
+        assert cfg.n_patients == 1000
+        assert cfg.n_snps == 100_000
+        assert cfg.n_snpsets == 1000
+        assert cfg.mean_survival_months == 12.0
+        assert cfg.event_rate == 0.85
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_patients": 1},
+            {"n_snps": 0},
+            {"n_snpsets": 0},
+            {"n_snpsets": 100, "n_snps": 50},
+            {"event_rate": 1.5},
+            {"mean_survival_months": 0},
+            {"maf_range": (0.0, 0.5)},
+            {"maf_range": (0.6, 0.5)},
+            {"n_causal_snps": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kwargs)
+
+
+class TestDistributions:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_dataset(
+            SyntheticConfig(n_patients=4000, n_snps=500, n_snpsets=20, seed=5)
+        )
+
+    def test_mean_survival(self, data):
+        assert data.phenotype.time.mean() == pytest.approx(12.0, rel=0.1)
+
+    def test_event_rate(self, data):
+        assert data.phenotype.event.mean() == pytest.approx(0.85, abs=0.03)
+
+    def test_genotypes_binomial(self, data):
+        G = data.genotypes.matrix
+        assert set(np.unique(G)) <= {0, 1, 2}
+        rho = data.genotypes.allele_frequencies()
+        assert np.all(rho > 0.0) and np.all(rho < 0.7)
+        # per-SNP variance consistent with Binomial(2, rho)
+        var = G.var(axis=1)
+        expected = 2 * rho * (1 - rho)
+        assert np.corrcoef(var, expected)[0, 1] > 0.9
+
+    def test_rho_varies_across_snps(self, data):
+        assert data.genotypes.allele_frequencies().std() > 0.05
+
+    def test_weights_flat(self, data):
+        assert np.all(data.weights == 1.0)
+
+    def test_reproducible(self):
+        cfg = SyntheticConfig(n_patients=50, n_snps=100, n_snpsets=5, seed=9)
+        a, b = generate_dataset(cfg), generate_dataset(cfg)
+        assert np.array_equal(a.genotypes.matrix, b.genotypes.matrix)
+        assert np.array_equal(a.phenotype.time, b.phenotype.time)
+        assert np.array_equal(a.snpsets.set_ids, b.snpsets.set_ids)
+
+    def test_seed_changes_data(self):
+        a = generate_dataset(SyntheticConfig(n_patients=50, n_snps=100, n_snpsets=5, seed=1))
+        b = generate_dataset(SyntheticConfig(n_patients=50, n_snps=100, n_snpsets=5, seed=2))
+        assert not np.array_equal(a.genotypes.matrix, b.genotypes.matrix)
+
+
+class TestSetPartition:
+    def test_every_snp_assigned(self, rng):
+        ids = snpset_size_partition(1000, 37, rng)
+        assert ids.shape == (1000,)
+        assert set(np.unique(ids)) <= set(range(37))
+
+    def test_last_set_augmented(self, rng):
+        ids = snpset_size_partition(500, 10, rng)
+        assert ids[-1] == 9  # remainder lands in the final set
+
+    def test_mean_size_close_to_m_over_k(self):
+        rng = np.random.default_rng(0)
+        ids = snpset_size_partition(100_000, 1000, rng)
+        sizes = np.bincount(ids, minlength=1000)
+        assert sizes.sum() == 100_000
+        # exponential with mean ~100, floored
+        assert 50 < sizes[:-1].mean() < 150
+
+    def test_no_empty_sets_when_feasible(self, rng):
+        ids = snpset_size_partition(100, 10, rng)
+        sizes = np.bincount(ids, minlength=10)
+        assert np.all(sizes >= 1)
+
+    def test_one_set(self, rng):
+        ids = snpset_size_partition(50, 1, rng)
+        assert np.all(ids == 0)
+
+    def test_sets_equal_snps(self, rng):
+        ids = snpset_size_partition(10, 10, rng)
+        assert np.bincount(ids, minlength=10).tolist() == [1] * 10
+
+
+class TestPlantedSignal:
+    def test_causal_rows_recorded(self):
+        data = generate_dataset(
+            SyntheticConfig(
+                n_patients=500, n_snps=200, n_snpsets=10, seed=3,
+                n_causal_snps=5, effect_size=0.8,
+            )
+        )
+        assert len(data.causal_rows) == 5
+        assert np.all(np.diff(data.causal_rows) > 0)
+
+    def test_causal_set_detected(self):
+        """The set containing causal SNPs should get the smallest p-value."""
+        from repro.core.local import LocalSparkScore
+
+        data = generate_dataset(
+            SyntheticConfig(
+                n_patients=600, n_snps=100, n_snpsets=5, seed=13,
+                n_causal_snps=4, effect_size=1.0,
+            )
+        )
+        result = LocalSparkScore(data).monte_carlo(500, seed=1)
+        causal_sets = set(data.snpsets.set_ids[data.causal_rows])
+        top = result.top(len(causal_sets))
+        assert {r.set_index for r in top} & causal_sets
+
+    def test_null_dataset_has_no_causal_rows(self, tiny_dataset):
+        assert tiny_dataset.causal_rows.size == 0
+
+
+class TestDatasetValidation:
+    def test_weight_shape_enforced(self, tiny_dataset):
+        from repro.genomics.synthetic import Dataset
+
+        with pytest.raises(ValueError):
+            Dataset(
+                tiny_dataset.genotypes,
+                tiny_dataset.phenotype,
+                np.ones(3),
+                tiny_dataset.snpsets,
+            )
+
+    def test_properties(self, tiny_dataset):
+        assert tiny_dataset.n_snps == 40
+        assert tiny_dataset.n_patients == 30
+        assert tiny_dataset.n_sets == 4

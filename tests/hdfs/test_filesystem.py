@@ -1,0 +1,166 @@
+"""MiniHDFS: blocks, replication, failures, namespace."""
+
+import pytest
+
+from repro.hdfs.filesystem import (
+    BlockLostError,
+    FileExistsAlready,
+    FileNotFound,
+    MiniHDFS,
+)
+
+
+@pytest.fixture
+def fs():
+    return MiniHDFS(num_datanodes=4, block_size=64, replication=2, seed=1)
+
+
+class TestWriteRead:
+    def test_roundtrip(self, fs):
+        fs.write_text("/a/b.txt", "hello\nworld\n")
+        assert fs.read_text("/a/b.txt") == "hello\nworld\n"
+
+    def test_hdfs_scheme_paths_normalized(self, fs):
+        fs.write_text("hdfs://a/b.txt", "x")
+        assert fs.exists("/a/b.txt")
+        assert fs.read_text("/a/b.txt") == "x"
+
+    def test_blocks_line_aligned(self, fs):
+        lines = [f"line-{i:04d}" for i in range(40)]
+        fs.write_text("/f", "\n".join(lines) + "\n")
+        blocks = fs.blocks("/f")
+        assert len(blocks) > 1
+        for block in blocks:
+            data = fs.read_block(block)
+            assert data.endswith(b"\n")  # whole lines only
+        reassembled = b"".join(fs.read_block(b) for b in blocks).decode()
+        assert reassembled.splitlines() == lines
+
+    def test_line_longer_than_block_stays_whole(self, fs):
+        content = "short\n" + "x" * 300 + "\nend\n"
+        fs.write_text("/f", content)
+        assert fs.read_text("/f") == content
+        for block in fs.blocks("/f"):
+            text = fs.read_block(block).decode()
+            assert text == "" or text.endswith("\n")
+
+    def test_binary_write_fixed_blocks(self, fs):
+        payload = bytes(range(256)) * 2
+        fs.write_bytes("/bin", payload)
+        assert fs.read_bytes("/bin") == payload
+        assert all(b.length <= 64 for b in fs.blocks("/bin"))
+
+    def test_empty_file(self, fs):
+        fs.write_text("/empty", "")
+        assert fs.read_text("/empty") == ""
+        assert fs.status("/empty").num_blocks == 1
+
+    def test_overwrite(self, fs):
+        fs.write_text("/f", "one")
+        fs.write_text("/f", "two")
+        assert fs.read_text("/f") == "two"
+
+    def test_no_overwrite_flag(self, fs):
+        fs.write_text("/f", "one")
+        with pytest.raises(FileExistsAlready):
+            fs.write_text("/f", "two", overwrite=False)
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.read_text("/nope")
+
+
+class TestReplication:
+    def test_each_block_replicated(self, fs):
+        fs.write_text("/f", "data\n" * 100)
+        for block in fs.blocks("/f"):
+            assert len(block.replicas) == 2
+            assert len(set(block.replicas)) == 2
+
+    def test_replication_capped_by_datanodes(self):
+        fs = MiniHDFS(num_datanodes=1, replication=3)
+        fs.write_text("/f", "x")
+        assert len(fs.blocks("/f")[0].replicas) == 1
+
+    def test_block_locations_are_hosts(self, fs):
+        fs.write_text("/f", "x")
+        locs = fs.block_locations(fs.blocks("/f")[0])
+        assert locs and all(l.startswith("host-") for l in locs)
+
+    def test_read_survives_one_datanode_loss(self, fs):
+        fs.write_text("/f", "payload\n" * 50)
+        fs.kill_datanode("dn-0")
+        assert fs.read_text("/f") == "payload\n" * 50
+
+    def test_read_fails_when_all_replicas_lost(self, fs):
+        fs.write_text("/f", "payload\n" * 50)
+        for name in fs.datanode_names():
+            fs.kill_datanode(name)
+        with pytest.raises(BlockLostError):
+            fs.read_text("/f")
+
+    def test_under_replication_detected_and_repaired(self, fs):
+        fs.write_text("/f", "payload\n" * 200)
+        fs.kill_datanode("dn-1")
+        under = fs.under_replicated_blocks()
+        assert under  # dn-1 held something
+        fixed = fs.re_replicate()
+        assert fixed == len(under)
+        assert fs.under_replicated_blocks() == []
+        fs.kill_datanode("dn-0")
+        assert fs.read_text("/f")  # still fully readable
+
+    def test_revive_datanode(self, fs):
+        fs.write_text("/f", "x")
+        fs.kill_datanode("dn-0")
+        fs.revive_datanode("dn-0")
+        assert fs.read_text("/f") == "x"
+
+    def test_placement_spreads_load(self, fs):
+        for i in range(20):
+            fs.write_text(f"/f{i}", "x" * 50)
+        usage = fs.datanode_usage()
+        assert all(v > 0 for v in usage.values())
+
+
+class TestNamespace:
+    def test_exists_listdir_status(self, fs):
+        fs.write_text("/d/a", "1")
+        fs.write_text("/d/b", "2")
+        assert fs.exists("/d/a")
+        assert fs.listdir("/d") == ["/d/a", "/d/b"]
+        st = fs.status("/d/a")
+        assert st.size == 1
+
+    def test_delete_frees_blocks(self, fs):
+        fs.write_text("/f", "payload" * 100)
+        used_before = sum(fs.datanode_usage().values())
+        fs.delete("/f")
+        assert not fs.exists("/f")
+        assert sum(fs.datanode_usage().values()) < used_before
+
+    def test_delete_missing_is_noop(self, fs):
+        fs.delete("/nothing")
+
+    def test_status_missing_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.status("/zzz")
+
+
+class TestHdfsRdd:
+    def test_text_file_partitions_per_block(self):
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+
+        fs = MiniHDFS(num_datanodes=3, block_size=128, replication=2)
+        lines = [f"record-{i:05d}" for i in range(100)]
+        fs.write_text("/data.txt", "\n".join(lines) + "\n")
+        with Context(EngineConfig(default_parallelism=2), hdfs=fs) as ctx:
+            rdd = ctx.text_file("hdfs://data.txt")
+            assert rdd.num_partitions() == len(fs.blocks("/data.txt"))
+            assert rdd.collect() == lines
+            assert rdd.preferred_locations(0)  # locality hints exist
+
+    def test_text_file_without_hdfs_raises(self, ctx):
+        with pytest.raises(RuntimeError):
+            ctx.text_file("hdfs://data.txt")

@@ -1,0 +1,161 @@
+"""Binomial and Gaussian score models, IRLS null fits, covariate projection."""
+
+import numpy as np
+import pytest
+
+from repro.stats.score.base import BinaryPhenotype, QuantitativePhenotype
+from repro.stats.score.binomial import BinomialScoreModel
+from repro.stats.score.gaussian import GaussianScoreModel
+from repro.stats.score.glm import (
+    NullModelError,
+    design_matrix,
+    fit_binomial_null,
+    fit_gaussian_null,
+    project_out_covariates,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGaussianNull:
+    def test_intercept_only_mean(self, rng):
+        y = rng.normal(3.0, 1.0, 200)
+        fit = fit_gaussian_null(y, None)
+        assert fit.mu == pytest.approx(np.full(200, y.mean()))
+        assert fit.dispersion == pytest.approx(y.var(ddof=1), rel=0.02)
+
+    def test_covariates_residual_orthogonality(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = 1.0 + X @ [2.0, -1.0] + rng.normal(size=100)
+        fit = fit_gaussian_null(y, X)
+        resid = y - fit.mu
+        assert np.allclose(fit.X.T @ resid, 0.0, atol=1e-8)
+
+    def test_constant_outcome_degenerate(self):
+        fit = fit_gaussian_null(np.ones(10), None)
+        assert fit.dispersion == 1.0  # guarded fallback
+
+
+class TestBinomialNull:
+    def test_intercept_only_rate(self, rng):
+        y = rng.binomial(1, 0.3, 500).astype(float)
+        fit = fit_binomial_null(y, None)
+        assert fit.mu == pytest.approx(np.full(500, y.mean()), abs=1e-6)
+
+    def test_score_equation_satisfied(self, rng):
+        X = rng.normal(size=(300, 2))
+        eta = 0.5 + X @ [1.0, -0.5]
+        y = rng.binomial(1, 1 / (1 + np.exp(-eta))).astype(float)
+        fit = fit_binomial_null(y, X)
+        assert np.allclose(fit.X.T @ (y - fit.mu), 0.0, atol=1e-6)
+
+    def test_separation_raises(self):
+        # covariate perfectly separates outcomes
+        X = np.concatenate([np.full(20, -1.0), np.full(20, 1.0)])[:, None]
+        y = np.concatenate([np.zeros(20), np.ones(20)])
+        with pytest.raises(NullModelError):
+            fit_binomial_null(y, X, max_iter=100)
+
+    def test_design_matrix_shapes(self):
+        assert design_matrix(5, None).shape == (5, 1)
+        assert design_matrix(5, np.zeros((5, 3))).shape == (5, 4)
+        with pytest.raises(ValueError):
+            design_matrix(5, np.zeros((4, 2)))
+
+
+class TestProjection:
+    def test_projected_block_orthogonal_to_design(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = rng.normal(size=80)
+        fit = fit_gaussian_null(y, X)
+        G = rng.binomial(2, 0.3, size=(10, 80)).astype(float)
+        G_adj = project_out_covariates(G, fit)
+        # weighted cross-products with every design column vanish
+        assert np.allclose(G_adj @ (fit.X * fit.weights[:, None]), 0.0, atol=1e-8)
+
+    def test_intercept_only_projection_is_centering(self, rng):
+        y = rng.normal(size=50)
+        fit = fit_gaussian_null(y, None)
+        G = rng.binomial(2, 0.4, size=(5, 50)).astype(float)
+        G_adj = project_out_covariates(G, fit)
+        assert np.allclose(G_adj, G - G.mean(axis=1, keepdims=True))
+
+
+class TestBinomialScoreModel:
+    def test_no_covariates_closed_form(self, rng):
+        y = rng.binomial(1, 0.4, 100).astype(float)
+        model = BinomialScoreModel(BinaryPhenotype(y), adjust_genotypes=False)
+        G = rng.binomial(2, 0.3, size=(7, 100)).astype(float)
+        expected = G * (y - y.mean())[None, :]
+        assert np.allclose(model.contributions(G), expected, atol=1e-8)
+
+    def test_scores_sum_zero_with_adjustment(self, rng):
+        y = rng.binomial(1, 0.4, 100).astype(float)
+        model = BinomialScoreModel(BinaryPhenotype(y))
+        G = rng.binomial(2, 0.3, size=(7, 100)).astype(float)
+        # centered genotype x residual: per-SNP scores are invariant to
+        # adding a constant to G
+        s1 = model.scores(G)
+        s2 = model.scores(G + 5.0)
+        assert np.allclose(s1, s2, atol=1e-8)
+
+    def test_covariates_reduce_confounded_score(self, rng):
+        # genotype correlated with a covariate that drives the outcome:
+        # adjusting must shrink the score
+        n = 400
+        confounder = rng.normal(size=n)
+        g = (confounder > 0).astype(float) + rng.binomial(1, 0.1, n)
+        eta = 2.0 * confounder
+        y = rng.binomial(1, 1 / (1 + np.exp(-eta))).astype(float)
+        raw = BinomialScoreModel(BinaryPhenotype(y), adjust_genotypes=False)
+        adj = BinomialScoreModel(BinaryPhenotype(y, confounder[:, None]))
+        assert abs(adj.scores(g[None, :])[0]) < abs(raw.scores(g[None, :])[0])
+
+    def test_permuted_model(self, rng):
+        y = rng.binomial(1, 0.5, 60).astype(float)
+        model = BinomialScoreModel(BinaryPhenotype(y))
+        perm = rng.permutation(60)
+        G = rng.binomial(2, 0.3, size=(3, 60)).astype(float)
+        direct = BinomialScoreModel(BinaryPhenotype(y[perm])).contributions(G)
+        assert np.allclose(model.permuted(perm).contributions(G), direct)
+
+    def test_binary_validation(self):
+        with pytest.raises(ValueError):
+            BinaryPhenotype(np.array([0.0, 0.5, 1.0]))
+
+
+class TestGaussianScoreModel:
+    def test_no_covariates_closed_form(self, rng):
+        y = rng.normal(size=100)
+        model = GaussianScoreModel(QuantitativePhenotype(y), adjust_genotypes=False)
+        G = rng.binomial(2, 0.3, size=(4, 100)).astype(float)
+        fit_var = ((y - y.mean()) ** 2).sum() / 99
+        expected = G * ((y - y.mean()) / fit_var)[None, :]
+        assert np.allclose(model.contributions(G), expected)
+
+    def test_sigma2_property(self, rng):
+        y = rng.normal(0, 2.0, 500)
+        model = GaussianScoreModel(QuantitativePhenotype(y))
+        assert model.sigma2 == pytest.approx(4.0, rel=0.2)
+
+    def test_planted_effect_gives_large_score(self, rng):
+        n = 300
+        g = rng.binomial(2, 0.3, n).astype(float)
+        y = 0.8 * g + rng.normal(size=n)
+        null_g = rng.binomial(2, 0.3, size=(20, n)).astype(float)
+        model = GaussianScoreModel(QuantitativePhenotype(y))
+        causal_score = abs(model.scores(g[None, :])[0])
+        null_scores = np.abs(model.scores(null_g))
+        assert causal_score > null_scores.max()
+
+    def test_permuted_model(self, rng):
+        y = rng.normal(size=40)
+        cov = rng.normal(size=(40, 1))
+        model = GaussianScoreModel(QuantitativePhenotype(y, cov))
+        perm = rng.permutation(40)
+        G = rng.binomial(2, 0.3, size=(3, 40)).astype(float)
+        direct = GaussianScoreModel(QuantitativePhenotype(y[perm], cov[perm])).contributions(G)
+        assert np.allclose(model.permuted(perm).contributions(G), direct)

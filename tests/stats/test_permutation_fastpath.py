@@ -1,0 +1,100 @@
+"""Vectorized (GEMM) permutation path for covariate-free GLM models."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.stats.resampling.permutation import PermutationResampler
+from repro.stats.score.base import (
+    BinaryPhenotype,
+    QuantitativePhenotype,
+    SurvivalPhenotype,
+)
+from repro.stats.score.binomial import BinomialScoreModel
+from repro.stats.score.cox import CoxScoreModel
+from repro.stats.score.gaussian import GaussianScoreModel
+
+
+@pytest.fixture(scope="module")
+def gaussian_setup():
+    rng = np.random.default_rng(14)
+    n, J, K = 120, 80, 8
+    model = GaussianScoreModel(QuantitativePhenotype(rng.normal(size=n)))
+    G = rng.binomial(2, 0.3, size=(J, n)).astype(float)
+    return model, G, np.ones(J), rng.integers(0, K, J), K
+
+
+class TestFastPathCorrectness:
+    def test_gaussian_counts_match_slow_path(self, gaussian_setup):
+        model, G, w, ids, K = gaussian_setup
+        sampler = PermutationResampler(model, G, w, ids, K)
+        fast = sampler.run(150, seed=3, vectorized=True)
+        slow = sampler.run(150, seed=3, vectorized=False)
+        assert np.array_equal(fast.exceed_counts, slow.exceed_counts)
+
+    def test_binomial_counts_match_slow_path(self):
+        rng = np.random.default_rng(15)
+        n, J, K = 100, 40, 4
+        model = BinomialScoreModel(BinaryPhenotype(rng.binomial(1, 0.4, n).astype(float)))
+        G = rng.binomial(2, 0.3, size=(J, n)).astype(float)
+        sampler = PermutationResampler(model, G, np.ones(J), rng.integers(0, K, J), K)
+        fast = sampler.run(100, seed=4, vectorized=True)
+        slow = sampler.run(100, seed=4, vectorized=False)
+        assert np.array_equal(fast.exceed_counts, slow.exceed_counts)
+
+    def test_batch_size_invariant(self, gaussian_setup):
+        model, G, w, ids, K = gaussian_setup
+        sampler = PermutationResampler(model, G, w, ids, K)
+        a = sampler.run(90, seed=5, vectorized=True, batch_size=7)
+        b = sampler.run(90, seed=5, vectorized=True, batch_size=90)
+        assert np.array_equal(a.exceed_counts, b.exceed_counts)
+
+    def test_auto_picks_fast_when_available(self, gaussian_setup):
+        model, G, w, ids, K = gaussian_setup
+        sampler = PermutationResampler(model, G, w, ids, K)
+        auto = sampler.run(60, seed=6, vectorized="auto")
+        explicit = sampler.run(60, seed=6, vectorized=True)
+        assert np.array_equal(auto.exceed_counts, explicit.exceed_counts)
+
+
+class TestFastPathAvailability:
+    def test_cox_has_no_fast_path(self, rng):
+        n = 50
+        model = CoxScoreModel(
+            SurvivalPhenotype(rng.exponential(12, n), rng.binomial(1, 0.85, n))
+        )
+        G = rng.binomial(2, 0.3, size=(10, n)).astype(float)
+        sampler = PermutationResampler(model, G, np.ones(10), np.zeros(10, dtype=int), 1)
+        with pytest.raises(ValueError, match="vectorized permutation"):
+            sampler.run(5, seed=0, vectorized=True)
+        # auto silently falls back
+        out = sampler.run(5, seed=0, vectorized="auto")
+        assert out.n_resamples == 5
+
+    def test_covariates_disable_fast_path(self, rng):
+        n = 60
+        covariates = rng.normal(size=(n, 1))
+        model = GaussianScoreModel(QuantitativePhenotype(rng.normal(size=n), covariates))
+        assert model.permutation_invariant_parts(rng.normal(size=(3, n))) is None
+
+    def test_invalid_flag(self, gaussian_setup):
+        model, G, w, ids, K = gaussian_setup
+        sampler = PermutationResampler(model, G, w, ids, K)
+        with pytest.raises(ValueError):
+            sampler.run(5, seed=0, vectorized="always")
+
+
+class TestFastPathSpeed:
+    def test_fast_path_is_faster(self, rng):
+        n, J = 300, 400
+        model = GaussianScoreModel(QuantitativePhenotype(rng.normal(size=n)))
+        G = rng.binomial(2, 0.3, size=(J, n)).astype(float)
+        sampler = PermutationResampler(model, G, np.ones(J), np.zeros(J, dtype=int), 1)
+        start = time.perf_counter()
+        sampler.run(150, seed=1, vectorized=True)
+        fast = time.perf_counter() - start
+        start = time.perf_counter()
+        sampler.run(150, seed=1, vectorized=False)
+        slow = time.perf_counter() - start
+        assert fast < slow

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on core statistical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.engine.partitioner import HashPartitioner, _portable_hash
+from repro.engine.rdd import _slice_collection
+from repro.stats.resampling.pvalues import empirical_pvalues
+from repro.stats.score.base import SurvivalPhenotype
+from repro.stats.score.cox import CoxScoreModel
+from repro.stats.skat import skat_statistics
+
+# -- strategies ---------------------------------------------------------------
+
+n_patients = st.integers(min_value=2, max_value=40)
+
+
+@st.composite
+def survival_data(draw):
+    n = draw(n_patients)
+    times = draw(
+        hnp.arrays(
+            np.float64,
+            n,
+            elements=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        )
+    )
+    events = draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+    return SurvivalPhenotype(times, events)
+
+
+@st.composite
+def genotype_block(draw, n):
+    m = draw(st.integers(min_value=1, max_value=10))
+    return draw(
+        hnp.arrays(np.int8, (m, n), elements=st.integers(0, 2))
+    ).astype(np.float64)
+
+
+# -- Cox score invariants ----------------------------------------------------------
+
+
+@given(survival_data(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_cox_matches_naive_oracle(pheno, data):
+    from repro.stats.score.cox import cox_contributions_naive
+
+    G = data.draw(genotype_block(pheno.n))
+    model = CoxScoreModel(pheno)
+    assert np.allclose(model.contributions(G), cox_contributions_naive(pheno, G), atol=1e-9)
+
+
+@given(survival_data(), st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_cox_constant_genotype_scores_zero(pheno, dosage):
+    model = CoxScoreModel(pheno)
+    G = np.full((2, pheno.n), float(dosage))
+    assert np.allclose(model.contributions(G), 0.0, atol=1e-12)
+
+
+@given(survival_data(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_cox_contributions_linear_in_genotype(pheno, data):
+    """U is linear in G for fixed phenotype: U(aG1 + bG2) = aU(G1) + bU(G2)."""
+    model = CoxScoreModel(pheno)
+    G1 = data.draw(genotype_block(pheno.n))
+    G2 = data.draw(
+        hnp.arrays(np.int8, G1.shape, elements=st.integers(0, 2))
+    ).astype(np.float64)
+    lhs = model.contributions(2.0 * G1 + 3.0 * G2)
+    rhs = 2.0 * model.contributions(G1) + 3.0 * model.contributions(G2)
+    assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+@given(survival_data(), st.randoms(use_true_random=False), st.data())
+@settings(max_examples=40, deadline=None)
+def test_cox_permutation_is_consistent(pheno, pyrandom, data):
+    G = data.draw(genotype_block(pheno.n))
+    perm = np.array(pyrandom.sample(range(pheno.n), pheno.n))
+    a = CoxScoreModel(pheno).permuted(perm).contributions(G)
+    b = CoxScoreModel(pheno.permuted(perm)).contributions(G)
+    assert np.allclose(a, b)
+
+
+# -- SKAT invariants -----------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_skat_non_negative_and_additive(data):
+    J = data.draw(st.integers(1, 30))
+    K = data.draw(st.integers(1, 6))
+    scores = data.draw(
+        hnp.arrays(np.float64, J, elements=st.floats(-50, 50, allow_nan=False))
+    )
+    weights = data.draw(
+        hnp.arrays(np.float64, J, elements=st.floats(0, 5, allow_nan=False))
+    )
+    set_ids = data.draw(hnp.arrays(np.int64, J, elements=st.integers(0, K - 1)))
+    stats = skat_statistics(scores, weights, set_ids, K)
+    assert np.all(stats >= 0)
+    # the per-set statistics partition the total weighted sum of squares
+    assert stats.sum() == np.float64((weights**2 * scores**2).sum()) or np.isclose(
+        stats.sum(), (weights**2 * scores**2).sum(), rtol=1e-9
+    )
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_skat_batch_consistent_with_rows(data):
+    J = data.draw(st.integers(1, 20))
+    K = data.draw(st.integers(1, 4))
+    B = data.draw(st.integers(2, 6))
+    scores = data.draw(
+        hnp.arrays(np.float64, (B, J), elements=st.floats(-10, 10, allow_nan=False))
+    )
+    weights = np.ones(J)
+    set_ids = data.draw(hnp.arrays(np.int64, J, elements=st.integers(0, K - 1)))
+    batch = skat_statistics(scores, weights, set_ids, K)
+    for b in range(B):
+        assert np.allclose(batch[b], skat_statistics(scores[b], weights, set_ids, K))
+
+
+# -- p-value invariants ---------------------------------------------------------------
+
+
+@given(st.integers(1, 1000), st.data())
+@settings(max_examples=60, deadline=None)
+def test_empirical_pvalues_bounded(n_resamples, data):
+    counts = data.draw(
+        hnp.arrays(np.int64, 5, elements=st.integers(0, n_resamples))
+    )
+    plugin = empirical_pvalues(counts, n_resamples, "plugin")
+    add_one = empirical_pvalues(counts, n_resamples, "add_one")
+    assert np.all((plugin >= 0) & (plugin <= 1))
+    assert np.all((add_one > 0) & (add_one <= 1))
+    assert np.all(add_one >= plugin * n_resamples / (n_resamples + 1) - 1e-12)
+
+
+# -- engine invariants -----------------------------------------------------------------
+
+
+@given(st.lists(st.integers(-1000, 1000), max_size=200), st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_slice_collection_partitions_exactly(items, n_parts):
+    slices = _slice_collection(items, n_parts)
+    assert len(slices) == n_parts
+    assert [x for part in slices for x in part] == items
+
+
+@given(
+    st.one_of(st.integers(), st.text(), st.binary(), st.tuples(st.integers(), st.text())),
+    st.integers(1, 64),
+)
+@settings(max_examples=100, deadline=None)
+def test_hash_partitioner_in_range_and_stable(key, n):
+    p = HashPartitioner(n)
+    first = p.partition(key)
+    assert 0 <= first < n
+    assert p.partition(key) == first
+
+
+@given(st.text())
+@settings(max_examples=100, deadline=None)
+def test_portable_hash_matches_bytes_form(s):
+    assert _portable_hash(s) == _portable_hash(s.encode("utf-8"))

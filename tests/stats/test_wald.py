@@ -1,0 +1,115 @@
+"""Wald/LRT comparator: per-SNP Newton-Raphson Cox MLE."""
+
+import numpy as np
+import pytest
+
+from repro.stats.score.base import SurvivalPhenotype
+from repro.stats.wald import CoxPartialLikelihood, cox_mle, score_test_statistics
+
+
+@pytest.fixture
+def null_data(rng):
+    n = 120
+    pheno = SurvivalPhenotype(rng.exponential(12, n), rng.binomial(1, 0.85, n))
+    G = rng.binomial(2, 0.3, size=(15, n)).astype(float)
+    return pheno, G
+
+
+@pytest.fixture
+def causal_data(rng):
+    n = 400
+    g = rng.binomial(2, 0.3, n).astype(float)
+    rates = np.exp(0.7 * g) / 12.0
+    times = rng.exponential(1.0 / rates)
+    events = rng.binomial(1, 0.9, n)
+    return SurvivalPhenotype(times, events), g
+
+
+class TestPartialLikelihood:
+    def test_score_at_zero_matches_score_model(self, null_data):
+        from repro.stats.score.cox import CoxScoreModel
+
+        pheno, G = null_data
+        pl = CoxPartialLikelihood(pheno)
+        model = CoxScoreModel(pheno)
+        expected = model.scores(G)
+        for j in range(G.shape[0]):
+            _, score, _ = pl.evaluate(G[j], 0.0)
+            assert score == pytest.approx(expected[j], rel=1e-10, abs=1e-10)
+
+    def test_information_positive(self, null_data):
+        pheno, G = null_data
+        pl = CoxPartialLikelihood(pheno)
+        for beta in (-0.5, 0.0, 0.5):
+            _, _, info = pl.evaluate(G[0], beta)
+            assert info > 0
+
+    def test_loglik_concave_near_mle(self, causal_data):
+        pheno, g = causal_data
+        pl = CoxPartialLikelihood(pheno)
+        result = cox_mle(pheno, g)
+        b = result.beta[0]
+        center, _, _ = pl.evaluate(g, b)
+        left, _, _ = pl.evaluate(g, b - 0.05)
+        right, _, _ = pl.evaluate(g, b + 0.05)
+        assert center >= left and center >= right
+
+
+class TestMle:
+    def test_recovers_planted_effect(self, causal_data):
+        pheno, g = causal_data
+        result = cox_mle(pheno, g)
+        assert result.converged[0]
+        assert result.beta[0] == pytest.approx(0.7, abs=0.2)
+        assert result.wald_pvalues()[0] < 1e-6
+        assert result.lrt_pvalues()[0] < 1e-6
+
+    def test_score_at_mle_is_zero(self, causal_data):
+        pheno, g = causal_data
+        pl = CoxPartialLikelihood(pheno)
+        result = cox_mle(pheno, g)
+        _, score, _ = pl.evaluate(g, result.beta[0])
+        assert abs(score) < 1e-4
+
+    def test_null_snps_small_beta(self, null_data):
+        pheno, G = null_data
+        result = cox_mle(pheno, G)
+        assert np.all(result.converged)
+        assert np.all(np.abs(result.beta) < 1.0)
+
+    def test_monomorphic_snp(self, null_data):
+        pheno, _ = null_data
+        g = np.zeros(pheno.n)
+        result = cox_mle(pheno, g)
+        assert result.beta[0] == 0.0
+        assert result.converged[0]
+        assert result.wald[0] == 0.0
+
+    def test_wald_lrt_score_agree_to_first_order(self, null_data):
+        """Under the null the three classical tests are asymptotically
+        equivalent; for moderate n they should agree closely."""
+        pheno, G = null_data
+        mle = cox_mle(pheno, G)
+        score = score_test_statistics(pheno, G)
+        assert np.corrcoef(mle.wald, score)[0, 1] > 0.99
+        assert np.corrcoef(mle.lrt, score)[0, 1] > 0.99
+        assert np.all(np.abs(mle.lrt - score) < 0.5 + 0.2 * score)
+
+    def test_iterations_recorded(self, causal_data):
+        pheno, g = causal_data
+        result = cox_mle(pheno, g)
+        assert result.iterations[0] >= 2  # optimization actually ran
+
+    def test_score_needs_no_iterations(self, null_data):
+        """The paper's core claim: the score statistic needs one evaluation
+        per SNP while Wald/LRT need an optimization loop."""
+        pheno, G = null_data
+        mle = cox_mle(pheno, G)
+        assert mle.iterations.sum() > G.shape[0]  # > 1 eval per SNP
+
+
+class TestVectorInput:
+    def test_1d_genotype_promoted(self, null_data):
+        pheno, G = null_data
+        result = cox_mle(pheno, G[0])
+        assert result.beta.shape == (1,)

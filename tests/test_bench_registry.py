@@ -1,0 +1,71 @@
+"""Benchmark registry and table rendering."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENT_A,
+    EXPERIMENT_B_1M,
+    EXPERIMENT_B_10K,
+    EXPERIMENT_C,
+    FIG3_CONFIGS,
+    PAPER_TABLE_III,
+    PAPER_TABLE_V,
+)
+from repro.bench.tables import format_comparison_table, format_series_table
+
+
+class TestExperimentSpecs:
+    def test_table_ii_parameters(self):
+        assert EXPERIMENT_A.n_patients == 1000
+        assert EXPERIMENT_A.n_snps == 100_000
+        assert EXPERIMENT_A.n_snpsets == 1000
+        assert EXPERIMENT_A.n_nodes == 6
+        assert EXPERIMENT_A.avg_snps_per_set == 100
+
+    def test_table_iv_parameters(self):
+        assert EXPERIMENT_B_10K.n_nodes == EXPERIMENT_B_1M.n_nodes == 18
+        assert EXPERIMENT_B_10K.n_snps == 10_000
+        assert EXPERIMENT_B_1M.n_snps == 1_000_000
+
+    def test_table_vii_parameters(self):
+        assert EXPERIMENT_C.n_nodes == 36
+
+    def test_synthetic_config_builder(self):
+        config = EXPERIMENT_B_10K.synthetic_config(seed=3, n_patients=50)
+        assert config.n_snps == 10_000
+        assert config.n_patients == 50  # override wins
+        assert config.seed == 3
+
+    def test_fig3_constant_work(self):
+        products = {iters * snps for iters, snps in FIG3_CONFIGS}
+        assert products == {10_000_000}
+
+    def test_published_tables_aligned(self):
+        t3 = PAPER_TABLE_III
+        assert len(t3["iterations"]) == len(t3["monte_carlo_avg"]) == len(t3["permutation_avg"])
+        t5 = PAPER_TABLE_V
+        assert len(t5["iterations"]) == len(t5["caching_avg"]) == len(t5["nocache_avg"])
+
+    def test_paper_headline_numbers(self):
+        # the specific values quoted throughout DESIGN/EXPERIMENTS
+        assert PAPER_TABLE_III["monte_carlo_avg"][0] == 509.4
+        assert PAPER_TABLE_III["permutation_avg"][4] == 8818.6
+        assert PAPER_TABLE_V["caching_avg"][-1] == 1928.6
+
+
+class TestTables:
+    def test_series_handles_none(self):
+        out = format_series_table("t", "x", [1, 2], {"a": [1.0, None]})
+        assert "-" in out
+        assert "1.0 s" in out
+
+    def test_comparison_ratio(self):
+        out = format_comparison_table("t", "x", [1], [2.0], [4.0])
+        assert "0.50x" in out
+
+    def test_comparison_missing_paper_value(self):
+        out = format_comparison_table("t", "x", [1, 2], [2.0, 3.0], [4.0, None])
+        assert out.count("-") >= 2
+
+    def test_titles_present(self):
+        assert "== my title ==" in format_series_table("my title", "x", [], {"s": []})

@@ -1,0 +1,118 @@
+"""The sparkscore command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data"
+    rc = main([
+        "generate", str(path),
+        "--patients", "60", "--snps", "200", "--snpsets", "8",
+        "--causal-snps", "3", "--effect-size", "1.0", "--seed", "5",
+    ])
+    assert rc == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_four_files(self, dataset_dir, capsys):
+        import os
+
+        files = sorted(os.listdir(dataset_dir))
+        assert files == ["genotypes.txt", "phenotype.txt", "snpsets.txt", "weights.txt"]
+
+    def test_output_mentions_shape(self, tmp_path, capsys):
+        main(["generate", str(tmp_path / "d"), "--patients", "10", "--snps", "20",
+              "--snpsets", "2"])
+        out = capsys.readouterr().out
+        assert "20 SNPs x 10 patients" in out
+
+    def test_invalid_params_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["generate", str(tmp_path / "x"), "--patients", "1"])
+
+
+class TestAnalyze:
+    def test_monte_carlo_local(self, dataset_dir, capsys):
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "200", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "method=monte_carlo" in out
+        assert "wall time" in out
+
+    def test_observed(self, dataset_dir, capsys):
+        main(["analyze", dataset_dir, "--method", "observed"])
+        assert "method=observed" in capsys.readouterr().out
+
+    def test_asymptotic(self, dataset_dir, capsys):
+        main(["analyze", dataset_dir, "--method", "asymptotic"])
+        assert "method=asymptotic" in capsys.readouterr().out
+
+    def test_permutation(self, dataset_dir, capsys):
+        main(["analyze", dataset_dir, "--method", "permutation", "--iterations", "20"])
+        assert "method=permutation" in capsys.readouterr().out
+
+    def test_distributed_matches_local(self, dataset_dir, tmp_path, capsys):
+        out_local = tmp_path / "local.tsv"
+        out_dist = tmp_path / "dist.tsv"
+        main(["analyze", dataset_dir, "--iterations", "100", "--seed", "2",
+              "--output", str(out_local)])
+        main(["analyze", dataset_dir, "--iterations", "100", "--seed", "2",
+              "--engine", "distributed", "--backend", "serial",
+              "--output", str(out_dist)])
+        assert out_local.read_text() == out_dist.read_text()
+
+    def test_tsv_output_columns(self, dataset_dir, tmp_path):
+        out = tmp_path / "r.tsv"
+        main(["analyze", dataset_dir, "--iterations", "50", "--output", str(out)])
+        lines = out.read_text().splitlines()
+        assert lines[0].split("\t") == ["set", "n_snps", "statistic", "exceed_count", "pvalue"]
+        assert len(lines) == 9  # header + 8 sets
+
+
+class TestMaxt:
+    def test_runs_and_reports(self, dataset_dir, capsys):
+        rc = main(["maxt", dataset_dir, "--iterations", "300", "--seed", "3", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "maxT step-down" in out
+        assert "significant at FWER" in out
+
+    def test_single_step_flag(self, dataset_dir, capsys):
+        main(["maxt", dataset_dir, "--iterations", "100", "--single-step"])
+        assert "single-step" in capsys.readouterr().out
+
+
+class TestPlanAndTune:
+    def test_plan_table(self, capsys):
+        rc = main(["plan", "--snps", "100000", "--nodes", "6", "18",
+                   "--iterations", "0", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "6 nodes" in out and "18 nodes" in out
+        assert "per-iteration" in out
+
+    def test_plan_no_cache(self, capsys):
+        main(["plan", "--snps", "10000", "--nodes", "6", "--no-cache",
+              "--iterations", "0", "10"])
+        assert "nodes" in capsys.readouterr().out
+
+    def test_tune_recommends(self, capsys):
+        rc = main(["tune", "--snps", "100000", "--nodes", "6", "--iterations", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+        assert "predicted total" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

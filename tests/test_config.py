@@ -1,0 +1,91 @@
+"""EngineConfig and size parsing."""
+
+import pytest
+
+from repro.config import EngineConfig, format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("1k", 1024),
+            ("10K", 10 * 1024),
+            ("512m", 512 * 1024**2),
+            ("10g", 10 * 1024**3),
+            ("1.5g", int(1.5 * 1024**3)),
+            ("2t", 2 * 1024**4),
+            ("10GiB", 10 * 1024**3),
+            ("  8 mb ", 8 * 1024**2),
+            (4096, 4096),
+            (1.0, 1),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "10x", "-5m"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_format_size(self):
+        assert format_size(512) == "512 B"
+        assert format_size(1536) == "1.5 KiB"
+        assert format_size(3 * 1024**3) == "3.0 GiB"
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        config = EngineConfig()
+        assert config.total_cores == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "cuda"},
+            {"num_executors": 0},
+            {"executor_cores": 0},
+            {"executor_memory": -1},
+            {"default_parallelism": 0},
+            {"storage_fraction": 1.5},
+            {"max_task_retries": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_spark_style_set_get(self):
+        config = EngineConfig()
+        config.set("spark.executor.instances", 8).set("spark.executor.memory", "2g")
+        assert config.num_executors == 8
+        assert config.executor_memory == 2 * 1024**3
+        assert config.get("spark.executor.instances") == 8
+
+    def test_unknown_keys_go_to_extra(self):
+        config = EngineConfig()
+        config.set("spark.custom.flag", "on")
+        assert config.get("spark.custom.flag") == "on"
+        assert config.get("spark.missing", "default") == "default"
+
+    def test_set_validates(self):
+        with pytest.raises(ValueError):
+            EngineConfig().set("spark.executor.cores", 0)
+
+    def test_storage_memory_budget(self):
+        config = EngineConfig(executor_memory=1000, storage_fraction=0.6)
+        assert config.storage_memory_per_executor == 600
+
+    def test_copy_overrides(self):
+        base = EngineConfig(num_executors=2)
+        derived = base.copy(num_executors=5)
+        assert derived.num_executors == 5
+        assert base.num_executors == 2
+        derived.extra["x"] = 1
+        assert "x" not in base.extra
