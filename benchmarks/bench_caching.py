@@ -19,11 +19,31 @@ from repro.config import EngineConfig
 from repro.core.algorithms import DistributedSparkScore
 from repro.core.perfmodel import SparkScorePerfModel, WorkloadSpec
 from repro.engine.context import Context
+from repro.obs.registry import REGISTRY
 
 
 def engine_config():
     return EngineConfig(
         backend="serial", num_executors=2, executor_cores=2, default_parallelism=4
+    )
+
+
+def registry_delta(before: dict) -> dict:
+    """What the engine counters moved by since ``before`` (a snapshot)."""
+    after = REGISTRY.snapshot()
+    return {k: v - before.get(k, 0) for k, v in after.items()}
+
+
+def cache_summary_line(tag: str, delta: dict) -> str:
+    hits = delta.get("engine_cache_hits_total", 0)
+    misses = delta.get("engine_cache_misses_total", 0)
+    accesses = hits + misses
+    rate = hits / accesses if accesses else 0.0
+    shuffle_kib = delta.get("engine_shuffle_bytes_total", 0) / 1024
+    return (
+        f"[registry] {tag}: cache hit rate {rate:.1%} "
+        f"({hits:.0f} hits / {misses:.0f} misses), "
+        f"shuffle volume {shuffle_kib:.1f} KiB"
     )
 
 
@@ -49,19 +69,30 @@ class TestLiveCaching:
         assert result.info["cache_hits"] == 0
 
     def test_cached_faster_live(self, benchmark, live_dataset):
-        """B1 live: same analysis, caching wins on wall clock."""
+        """B1 live: same analysis, caching wins on wall clock -- and the
+        engine metrics registry shows why (hit rate + shuffle volume)."""
+        snap = REGISTRY.snapshot()
         with Context(engine_config()) as ctx:
             cached_scorer = DistributedSparkScore(ctx, live_dataset, flavor="vectorized")
             start = time.perf_counter()
             cached_scorer.monte_carlo(60, seed=1, batch_size=10)
             cached = time.perf_counter() - start
+        cached_delta = registry_delta(snap)
+        snap = REGISTRY.snapshot()
         with Context(engine_config()) as ctx:
             uncached_scorer = DistributedSparkScore(ctx, live_dataset, flavor="vectorized")
             start = time.perf_counter()
             uncached_scorer.monte_carlo(60, seed=1, batch_size=10, cache_contributions=False)
             uncached = time.perf_counter() - start
+        uncached_delta = registry_delta(snap)
+        for tag, delta in (("cached", cached_delta), ("no-cache", uncached_delta)):
+            line = cache_summary_line(tag, delta)
+            print(line)
+            benchmark.extra_info[f"registry_{tag}"] = line
         benchmark.extra_info["live_cache_speedup"] = uncached / cached
         benchmark(lambda: None)
+        assert cached_delta["engine_cache_hits_total"] > 0
+        assert uncached_delta["engine_cache_hits_total"] == 0
         assert uncached > cached
 
 

@@ -9,12 +9,16 @@ Commands:
 - ``maxt`` -- variant-level Westfall-Young adjusted p-values;
 - ``plan`` -- predicted runtimes on simulated EMR clusters (the paper's
   strong-scaling question);
-- ``tune`` -- recommend a container shape for a workload (Experiment C).
+- ``tune`` -- recommend a container shape for a workload (Experiment C);
+- ``history`` -- the history server: render an engine event log as stage
+  tables, straggler percentiles, cache hit rates, and critical-path
+  analysis; optionally export a Chrome ``trace_event`` file.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -48,6 +52,10 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--flavor", choices=["paper", "vectorized"], default="vectorized")
     p.add_argument("--top", type=int, default=10, help="rows to print")
     p.add_argument("--output", help="write full per-set results as TSV")
+    p.add_argument("--event-log", metavar="PATH",
+                   help="write an engine event log (JSONL; distributed engine only)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace_event file (distributed engine only)")
 
 
 def _add_maxt(sub: argparse._SubParsersAction) -> None:
@@ -69,6 +77,19 @@ def _add_plan(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--iterations", type=int, nargs="+", default=[0, 10, 100, 1000])
     p.add_argument("--nodes", type=int, nargs="+", default=[6, 12, 18])
     p.add_argument("--no-cache", action="store_true")
+
+
+def _add_history(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "history",
+        help="inspect an engine event log: stage tables, stragglers, critical path",
+    )
+    p.add_argument("event_log", help="JSONL event log (v1 or v2)")
+    p.add_argument("--job", type=int, default=None, help="show only this job id")
+    p.add_argument("--export-trace", metavar="PATH",
+                   help="write Chrome trace_event JSON (span JSONL if PATH ends in .jsonl)")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the process metrics registry (Prometheus text format)")
 
 
 def _add_tune(sub: argparse._SubParsersAction) -> None:
@@ -94,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_maxt(sub)
     _add_plan(sub)
     _add_tune(sub)
+    _add_history(sub)
     return parser
 
 
@@ -126,14 +148,27 @@ def _load_analysis(args: argparse.Namespace):
 
     kwargs: dict = {"engine": args.engine}
     if args.engine == "distributed":
-        kwargs["config"] = EngineConfig(
+        config = EngineConfig(
             backend=args.backend,
             num_executors=args.executors,
             executor_cores=args.cores,
             default_parallelism=args.executors * args.cores,
         )
         kwargs["flavor"] = args.flavor
-    return SparkScoreAnalysis.from_files(args.dataset_dir, **kwargs)
+        event_log = getattr(args, "event_log", None)
+        trace = getattr(args, "trace", None)
+        if event_log or trace:
+            from repro.engine.context import Context
+
+            kwargs["ctx"] = Context(config, event_log_path=event_log, trace_path=trace)
+        else:
+            kwargs["config"] = config
+    elif getattr(args, "event_log", None) or getattr(args, "trace", None):
+        raise SystemExit("--event-log/--trace require --engine distributed")
+    analysis = SparkScoreAnalysis.from_files(args.dataset_dir, **kwargs)
+    if "ctx" in kwargs:
+        analysis._owns_ctx = True  # CLI hands the context over for cleanup
+    return analysis
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -153,6 +188,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if args.output:
             _write_results_tsv(result, args.output)
             print(f"full results written to {args.output}")
+    if getattr(args, "event_log", None):
+        print(f"event log written to {args.event_log} "
+              f"(inspect with: sparkscore history {args.event_log})")
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace} (load in chrome://tracing)")
     return 0
 
 
@@ -231,18 +271,57 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.engine.eventlog import read_event_log
+    from repro.obs.history import render_history
+    from repro.obs.spans import spans_from_jobs, write_chrome_trace, write_spans_jsonl
+
+    try:
+        jobs = read_event_log(args.event_log)
+    except FileNotFoundError:
+        print(f"no such event log: {args.event_log}", file=sys.stderr)
+        return 1
+    if args.job is not None:
+        jobs = [j for j in jobs if j.job_id == args.job]
+        if not jobs:
+            print(f"no job {args.job} in {args.event_log}", file=sys.stderr)
+            return 1
+    print(render_history(jobs))
+    if args.export_trace:
+        spans = spans_from_jobs(jobs)
+        if args.export_trace.endswith(".jsonl"):
+            write_spans_jsonl(spans, args.export_trace)
+        else:
+            write_chrome_trace(spans, args.export_trace)
+        print(f"\ntrace ({len(spans)} spans) written to {args.export_trace}")
+    if args.metrics:
+        from repro.obs.registry import REGISTRY
+
+        print("\n-- process metrics registry --")
+        print(REGISTRY.render(), end="")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "analyze": cmd_analyze,
     "maxt": cmd_maxt,
     "plan": cmd_plan,
     "tune": cmd_tune,
+    "history": cmd_history,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-report (e.g. `sparkscore history ... | head`);
+        # detach so the interpreter doesn't raise again at shutdown
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core import instrumentation
 from repro.core.blocks import SnpBlock, build_blocks
 from repro.core.results import ResamplingResult
 from repro.genomics.io.formats import parse_genotype_line, parse_weight_line
@@ -208,12 +209,18 @@ class DistributedSparkScore:
     # -- Algorithm 1: observed statistics ----------------------------------------------
 
     def observed_statistics(self, cache_contributions: bool = True) -> np.ndarray:
+        pass_start = time.perf_counter()
         u = self.contributions_rdd(cache_contributions)
         if self.flavor == "paper":
             inner = u.map_values(lambda row: float(np.sum(row)) ** 2)
-            return self._scores_to_set_stats(inner, 1)[0]
-        partial = u.map(lambda block: block.skat_partial(block.genotypes.sum(axis=1)))
-        return self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
+            stats = self._scores_to_set_stats(inner, 1)[0]
+        else:
+            partial = u.map(lambda block: block.skat_partial(block.genotypes.sum(axis=1)))
+            stats = self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
+        instrumentation.SCORE_PASS_SECONDS.labels(engine="distributed").observe(
+            time.perf_counter() - pass_start
+        )
+        return stats
 
     def observed(self) -> ResamplingResult:
         start = time.perf_counter()
@@ -235,6 +242,7 @@ class DistributedSparkScore:
         counts = np.zeros(self._K, dtype=np.int64)
         n = self.dataset.n_patients
         for z_batch in mc_multiplier_batches(n, iterations, seed, batch_size):
+            batch_start = time.perf_counter()
             z_bc = self.ctx.broadcast(z_batch)
             width = z_batch.shape[0]
             if self.flavor == "paper":
@@ -247,6 +255,9 @@ class DistributedSparkScore:
                 stats = self._scores_to_set_stats(partial, width)
             counts += (stats >= observed[None, :]).sum(axis=0)
             z_bc.destroy()
+            instrumentation.observe_batch(
+                "monte_carlo", "distributed", time.perf_counter() - batch_start, width
+            )
         return self._result("monte_carlo", observed, counts, iterations, start)
 
     # -- Algorithm 2: permutation ---------------------------------------------------------------
@@ -257,6 +268,7 @@ class DistributedSparkScore:
         counts = np.zeros(self._K, dtype=np.int64)
         n = self.dataset.n_patients
         for perm in permutation_stream(n, iterations, seed):
+            replicate_start = time.perf_counter()
             # re-broadcast the shuffled phenotype pairs (Alg. 2 step 2) and
             # recompute steps 6-12 of Algorithm 1 from the genotype RDD
             permuted_model = self.model.permuted(perm)
@@ -276,6 +288,9 @@ class DistributedSparkScore:
                 stats = self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
             counts += (stats >= observed).astype(np.int64)
             model_bc.destroy()
+            instrumentation.observe_batch(
+                "permutation", "distributed", time.perf_counter() - replicate_start, 1
+            )
         return self._result("permutation", observed, counts, iterations, start)
 
     # -- results -----------------------------------------------------------------------------------

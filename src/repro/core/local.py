@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 
+from repro.core import instrumentation
 from repro.core.results import ResamplingResult
 from repro.genomics.synthetic import Dataset
 from repro.stats.asymptotic import skat_asymptotic_pvalues
@@ -51,8 +52,13 @@ class LocalSparkScore:
         return self._result("observed", stats, np.zeros(self._K, dtype=np.int64), 0, elapsed)
 
     def observed_statistics(self) -> np.ndarray:
+        pass_start = time.perf_counter()
         scores = self.model.scores(self._G)
-        return skat_statistics(scores, self._weights, self._set_ids, self._K)
+        stats = skat_statistics(scores, self._weights, self._set_ids, self._K)
+        instrumentation.SCORE_PASS_SECONDS.labels(engine="local").observe(
+            time.perf_counter() - pass_start
+        )
+        return stats
 
     def contributions(self) -> np.ndarray:
         """The (J, n) U matrix Algorithm 3 caches."""
@@ -74,6 +80,9 @@ class LocalSparkScore:
             )
             outcome = sampler.run(iterations, seed, batch_size)
             observed, counts = outcome.observed, outcome.exceed_counts
+            instrumentation.observe_batch(
+                "monte_carlo", "local", time.perf_counter() - start, iterations
+            )
         else:
             # no-cache arm: re-derive U from genotypes for every batch,
             # exactly what Spark does when the U RDD is not persisted
@@ -81,10 +90,15 @@ class LocalSparkScore:
             counts = np.zeros(self._K, dtype=np.int64)
             n = self.dataset.n_patients
             for z_batch in mc_multiplier_batches(n, iterations, seed, batch_size):
+                batch_start = time.perf_counter()
                 U = self.model.contributions(self._G)  # recomputed!
                 scores = z_batch @ U.T
                 stats = skat_statistics(scores, self._weights, self._set_ids, self._K)
                 counts += (stats >= observed[None, :]).sum(axis=0)
+                instrumentation.observe_batch(
+                    "monte_carlo_nocache", "local",
+                    time.perf_counter() - batch_start, z_batch.shape[0],
+                )
         elapsed = time.perf_counter() - start
         return self._result("monte_carlo", observed, counts, iterations, elapsed)
 
@@ -97,6 +111,7 @@ class LocalSparkScore:
         )
         outcome = sampler.run(iterations, seed)
         elapsed = time.perf_counter() - start
+        instrumentation.observe_batch("permutation", "local", elapsed, iterations)
         return self._result(
             "permutation", outcome.observed, outcome.exceed_counts, iterations, elapsed
         )

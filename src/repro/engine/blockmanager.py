@@ -7,7 +7,10 @@ tasks scheduled elsewhere can fetch remotely (counted in metrics, and
 charged as network transfer by the cost model).
 
 Sizes are estimated with :func:`estimate_size`, which understands NumPy
-arrays exactly and falls back to pickled length for other objects.
+arrays exactly, walks plain-attribute objects (so block payloads like
+``SnpBlock`` are sized from their arrays without serialization), and
+memoizes the pickled size per type for truly opaque objects so a large
+payload is never re-pickled on every cache insert.
 """
 
 from __future__ import annotations
@@ -16,18 +19,49 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
 from repro.engine.storage import StorageLevel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.listener import ListenerBus
+    from repro.engine.metrics import TaskMetrics
+
 BlockId = tuple[int, int]  # (rdd_id, partition)
 
+#: pickled-size memo for opaque types: type -> (total_bytes, samples).
+#: Re-pickling an unknown object on *every* cache insert is the dominant
+#: cost for large payloads; a running per-type average is accurate enough
+#: for LRU accounting and O(1) after the first few instances of a type.
+_OPAQUE_SIZE_MEMO: dict[type, tuple[int, int]] = {}
+_OPAQUE_MEMO_SAMPLES = 8
+_OPAQUE_MEMO_LOCK = threading.Lock()
 
-def estimate_size(obj: Any) -> int:
+
+def _estimate_opaque(obj: Any) -> int:
+    """Pickled-length estimate with a per-type running-average memo."""
+    cls = type(obj)
+    with _OPAQUE_MEMO_LOCK:
+        memoized = _OPAQUE_SIZE_MEMO.get(cls)
+    if memoized is not None and memoized[1] >= _OPAQUE_MEMO_SAMPLES:
+        total, samples = memoized
+        return total // samples
+    try:
+        size = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 64
+    except Exception:
+        return 256
+    with _OPAQUE_MEMO_LOCK:
+        total, samples = _OPAQUE_SIZE_MEMO.get(cls, (0, 0))
+        _OPAQUE_SIZE_MEMO[cls] = (total + size, samples + 1)
+    return size
+
+
+def estimate_size(obj: Any, _depth: int = 0) -> int:
     """Approximate in-memory footprint of a block payload in bytes."""
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes) + 128
@@ -38,18 +72,23 @@ def estimate_size(obj: Any) -> int:
     if isinstance(obj, (int, float)):
         return 32
     if isinstance(obj, (list, tuple)):
-        return 64 + sum(estimate_size(item) for item in obj)
+        return 64 + sum(estimate_size(item, _depth + 1) for item in obj)
     if isinstance(obj, dict):
-        return 64 + sum(estimate_size(k) + estimate_size(v) for k, v in obj.items())
+        return 64 + sum(
+            estimate_size(k, _depth + 1) + estimate_size(v, _depth + 1)
+            for k, v in obj.items()
+        )
     if hasattr(obj, "nbytes"):
         try:
             return int(obj.nbytes) + 128
         except TypeError:
             pass
-    try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 64
-    except Exception:
-        return 256
+    # plain-attribute objects (dataclasses, simple records): size the
+    # attribute values directly instead of pickling the whole object
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None and _depth < 8:
+        return 64 + sum(estimate_size(v, _depth + 1) for v in attrs.values())
+    return _estimate_opaque(obj)
 
 
 @dataclass
@@ -73,6 +112,8 @@ class BlockManager:
         self._spilled: dict[BlockId, str] = {}
         self.evictions = 0
         self.spills = 0
+        #: optional listener bus (set by the context); cache events go here
+        self.bus: "ListenerBus | None" = None
 
     # -- properties --------------------------------------------------------
 
@@ -91,22 +132,33 @@ class BlockManager:
 
     # -- put / get ----------------------------------------------------------
 
-    def put(self, block_id: BlockId, data: Iterable, level: StorageLevel) -> list:
+    def put(
+        self,
+        block_id: BlockId,
+        data: Iterable,
+        level: StorageLevel,
+        metrics: "TaskMetrics | None" = None,
+    ) -> list:
         """Materialize ``data``, cache it under ``level``, return the list.
 
         If the block does not fit even after evicting everything else, it is
         *not* cached (Spark drops oversized blocks the same way) but the
-        materialized list is still returned so the task can proceed.
+        materialized list is still returned so the task can proceed.  When
+        ``metrics`` is given, size-estimation time is charged to the task.
         """
         materialized = data if isinstance(data, list) else list(data)
         if level is StorageLevel.NONE:
             return materialized
         serialized = None
+        est_start = time.perf_counter()
         if level.serialized:
             serialized = pickle.dumps(materialized, protocol=pickle.HIGHEST_PROTOCOL)
             size = len(serialized) + 64
         else:
             size = 64 + sum(estimate_size(item) for item in materialized)
+        if metrics is not None:
+            metrics.size_estimation_seconds += time.perf_counter() - est_start
+        events: list = []
         with self._lock:
             if block_id in self._blocks:
                 return materialized
@@ -115,13 +167,26 @@ class BlockManager:
                 if level.spills_to_disk:
                     self._spill(block_id, materialized)
                 return materialized
-            self._evict_until_fits(size, protect=block_id)
+            self._evict_until_fits(size, protect=block_id, events=events)
             self._blocks[block_id] = _Block(
                 data=materialized, size=size, level=level, serialized=serialized
             )
             self._memory_used += size
             self._blocks.move_to_end(block_id)
+        self._post_cached(block_id, size, level, events)
         return materialized
+
+    def _post_cached(
+        self, block_id: BlockId, size: int, level: StorageLevel, evictions: list
+    ) -> None:
+        """Publish cache events gathered while the lock was held."""
+        if self.bus is None:
+            return
+        from repro.engine.listener import BlockCached, BlockEvicted
+
+        for victim_id, victim_size, spilled in evictions:
+            self.bus.post(BlockEvicted(victim_id, self.executor_id, victim_size, spilled))
+        self.bus.post(BlockCached(block_id, self.executor_id, size, level.name))
 
     def get(self, block_id: BlockId) -> list | None:
         """Return the cached partition, or None.  Touches LRU recency."""
@@ -157,8 +222,14 @@ class BlockManager:
 
     # -- internals ----------------------------------------------------------
 
-    def _evict_until_fits(self, size: int, protect: BlockId) -> None:
-        """LRU-evict blocks until ``size`` fits in the budget (lock held)."""
+    def _evict_until_fits(
+        self, size: int, protect: BlockId, events: list | None = None
+    ) -> None:
+        """LRU-evict blocks until ``size`` fits in the budget (lock held).
+
+        Eviction facts are appended to ``events`` so the caller can publish
+        them on the bus *after* releasing the lock.
+        """
         while self._memory_used + size > self.memory_budget and self._blocks:
             victim_id = next(iter(self._blocks))
             if victim_id == protect:
@@ -168,6 +239,8 @@ class BlockManager:
             self.evictions += 1
             if victim.level.spills_to_disk:
                 self._spill(victim_id, victim.data)
+            if events is not None:
+                events.append((victim_id, victim.size, victim.level.spills_to_disk))
 
     def _spill(self, block_id: BlockId, data: list) -> None:
         if self._spill_dir is None:
@@ -188,6 +261,8 @@ class BlockManagerMaster:
         self._lock = threading.Lock()
         self._locations: dict[BlockId, set[str]] = {}
         self._managers: dict[str, BlockManager] = {}
+        #: optional listener bus (set by the context)
+        self.bus: "ListenerBus | None" = None
 
     def register_manager(self, manager: BlockManager) -> None:
         with self._lock:
@@ -212,6 +287,10 @@ class BlockManagerMaster:
                 continue
             data = manager.get(block_id)
             if data is not None:
+                if self.bus is not None:
+                    from repro.engine.listener import BlockFetchedRemote
+
+                    self.bus.post(BlockFetchedRemote(block_id, executor_id, excluding))
                 return data, executor_id
             # registry was stale (block evicted): repair it
             self.unregister_block(block_id, executor_id)

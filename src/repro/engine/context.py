@@ -13,6 +13,7 @@ from repro.engine.blockmanager import BlockManagerMaster
 from repro.engine.broadcast import Broadcast
 from repro.engine.executor import build_executors
 from repro.engine.faults import FaultInjector
+from repro.engine.listener import ExecutorLost, ListenerBus
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.shuffle import ShuffleManager
 
@@ -36,10 +37,15 @@ class Context:
         fault_injector: FaultInjector | None = None,
         hdfs: "MiniHDFS | None" = None,
         event_log_path: str | None = None,
+        trace_path: str | None = None,
     ) -> None:
         self.config = config or EngineConfig()
-        #: when set, all job metrics are flushed here on stop() (JSONL)
+        #: when set, each completed job is streamed here as JSONL (v2)
         self.event_log_path = event_log_path
+        #: when set, a span trace is written on stop() -- Chrome
+        #: ``trace_event`` JSON, or span JSONL if the path ends in .jsonl
+        self.trace_path = trace_path
+        self.listener_bus = ListenerBus()
         self.backend = make_backend(self.config)
         self.executors = build_executors(
             self.config.num_executors,
@@ -47,12 +53,31 @@ class Context:
             self.config.storage_memory_per_executor,
         )
         self.block_master = BlockManagerMaster()
+        self.block_master.bus = self.listener_bus
         for executor in self.executors:
             self.block_master.register_manager(executor.block_manager)
+            executor.block_manager.bus = self.listener_bus
         self.shuffle_manager = ShuffleManager()
+        self.shuffle_manager.bus = self.listener_bus
         self.metrics = MetricsRegistry()
         self.fault_injector = fault_injector
         self.hdfs = hdfs
+
+        # standard listeners: process-wide metrics bridge, plus the event
+        # log writer and tracer when requested
+        from repro.obs.registry import MetricsListener
+
+        self.listener_bus.add_listener(MetricsListener())
+        self._tracer = None
+        if event_log_path is not None:
+            from repro.engine.eventlog import EventLogListener
+
+            self.listener_bus.add_listener(EventLogListener(event_log_path))
+        if trace_path is not None:
+            from repro.obs.spans import TracingListener
+
+            self._tracer = TracingListener()
+            self.listener_bus.add_listener(self._tracer)
 
         self._rdd_ids = itertools.count()
         self._shuffle_ids = itertools.count()
@@ -176,17 +201,33 @@ class Context:
                 break
         else:
             raise KeyError(f"no executor {executor_id!r}")
+        self.listener_bus.post(ExecutorLost(executor_id, reason="killed by driver"))
         self.block_master.remove_executor(executor_id)
         self.shuffle_manager.remove_outputs_on_executor(executor_id)
+
+    # -- observability ---------------------------------------------------------------
+
+    def add_listener(self, listener):
+        """Subscribe a :class:`~repro.engine.listener.Listener` to engine events."""
+        return self.listener_bus.add_listener(listener)
+
+    @property
+    def spans(self):
+        """Spans collected so far (requires ``trace_path=``), else None."""
+        return self._tracer.spans if self._tracer is not None else None
 
     # -- lifecycle ---------------------------------------------------------------------
 
     def stop(self) -> None:
         if not self._stopped:
-            if self.event_log_path is not None:
-                from repro.engine.eventlog import write_event_log
+            if self._tracer is not None and self.trace_path is not None:
+                from repro.obs.spans import write_chrome_trace, write_spans_jsonl
 
-                write_event_log(self.metrics.jobs, self.event_log_path)
+                if self.trace_path.endswith(".jsonl"):
+                    write_spans_jsonl(self._tracer.spans, self.trace_path)
+                else:
+                    write_chrome_trace(self._tracer.spans, self.trace_path)
+            self.listener_bus.stop()
             self.backend.shutdown()
             self._stopped = True
 

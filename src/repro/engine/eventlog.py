@@ -3,10 +3,23 @@
 The analogue of Spark's event log + history server: every completed job's
 stage DAG and per-task measurements can be written to a ``.jsonl`` file
 and reloaded later -- including in a different process -- for offline
-inspection or what-if replay through :mod:`repro.core.replay`.
+inspection (``sparkscore history``), trace export, or what-if replay
+through :mod:`repro.core.replay`.
 
 Format: one JSON object per line, ``{"event": "job", ...}``, versioned so
-future fields can be added compatibly.
+future fields can be added compatibly.  Version history:
+
+- **v1** -- original format: job/stage/task tree with metrics.
+- **v2** -- adds monotonic timestamps (job/stage ``submit_time``, task
+  ``start_time``) and the ``size_estimation_seconds`` task metric, feeding
+  critical-path analysis and Chrome trace export.  v1 logs still load:
+  the new fields default to zero.
+
+Since the listener-bus refactor the log is written *incrementally*: the
+context attaches an :class:`EventLogListener` to its bus and each job is
+flushed as it ends, so a crashed driver still leaves every completed job
+on disk.  The module-level :func:`write_event_log` / :func:`read_event_log`
+functions remain for bulk/offline use.
 """
 
 from __future__ import annotations
@@ -15,9 +28,11 @@ import json
 from dataclasses import asdict
 from typing import IO, Iterable
 
+from repro.engine.listener import JobEnd, Listener
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _job_to_dict(job: JobMetrics) -> dict:
@@ -27,6 +42,7 @@ def _job_to_dict(job: JobMetrics) -> dict:
         "job_id": job.job_id,
         "description": job.description,
         "wall_seconds": job.wall_seconds,
+        "submit_time": job.submit_time,
         "num_task_failures": job.num_task_failures,
         "num_stage_resubmissions": job.num_stage_resubmissions,
         "num_executor_failures_observed": job.num_executor_failures_observed,
@@ -39,6 +55,7 @@ def _job_to_dict(job: JobMetrics) -> dict:
                 "parent_stage_ids": list(stage.parent_stage_ids),
                 "is_shuffle_map": stage.is_shuffle_map,
                 "wall_seconds": stage.wall_seconds,
+                "submit_time": stage.submit_time,
                 "tasks": [
                     {
                         "stage_id": rec.stage_id,
@@ -46,6 +63,7 @@ def _job_to_dict(job: JobMetrics) -> dict:
                         "attempt": rec.attempt,
                         "executor_id": rec.executor_id,
                         "duration_seconds": rec.duration_seconds,
+                        "start_time": rec.start_time,
                         "succeeded": rec.succeeded,
                         "error": rec.error,
                         "metrics": asdict(rec.metrics),
@@ -62,12 +80,13 @@ def _job_from_dict(data: dict) -> JobMetrics:
     if data.get("event") != "job":
         raise ValueError(f"not a job event: {data.get('event')!r}")
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported event-log version {version!r}")
     job = JobMetrics(
         job_id=data["job_id"],
         description=data["description"],
         wall_seconds=data["wall_seconds"],
+        submit_time=data.get("submit_time", 0.0),
         num_task_failures=data["num_task_failures"],
         num_stage_resubmissions=data["num_stage_resubmissions"],
         num_executor_failures_observed=data["num_executor_failures_observed"],
@@ -81,8 +100,11 @@ def _job_from_dict(data: dict) -> JobMetrics:
             parent_stage_ids=tuple(stage_data["parent_stage_ids"]),
             is_shuffle_map=stage_data["is_shuffle_map"],
             wall_seconds=stage_data["wall_seconds"],
+            submit_time=stage_data.get("submit_time", 0.0),
         )
         for rec in stage_data["tasks"]:
+            # v1 task metrics lack fields added later; TaskMetrics defaults
+            # cover them
             stage.tasks.append(
                 TaskRecord(
                     stage_id=rec["stage_id"],
@@ -90,6 +112,7 @@ def _job_from_dict(data: dict) -> JobMetrics:
                     attempt=rec["attempt"],
                     executor_id=rec["executor_id"],
                     duration_seconds=rec["duration_seconds"],
+                    start_time=rec.get("start_time", 0.0),
                     metrics=TaskMetrics(**rec["metrics"]),
                     succeeded=rec["succeeded"],
                     error=rec["error"],
@@ -115,7 +138,7 @@ def write_event_log(jobs: Iterable[JobMetrics], path_or_file: str | IO[str]) -> 
 
 
 def read_event_log(path_or_file: str | IO[str]) -> list[JobMetrics]:
-    """Load all job records from an event log."""
+    """Load all job records from an event log (any supported version)."""
     own = isinstance(path_or_file, str)
     fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
     try:
@@ -132,3 +155,30 @@ def read_event_log(path_or_file: str | IO[str]) -> list[JobMetrics]:
     finally:
         if own:
             fh.close()
+
+
+class EventLogListener(Listener):
+    """Bus listener that streams each completed job to a JSONL event log.
+
+    Opens the file lazily on the first job, appends one line per
+    :class:`~repro.engine.listener.JobEnd`, flushes after every write, and
+    closes on context stop.  Failed jobs are logged too (their partial
+    stage records are often the most interesting ones).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: IO[str] | None = None
+        self.jobs_written = 0
+
+    def on_job_end(self, event: JobEnd) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(_job_to_dict(event.job), separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.jobs_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

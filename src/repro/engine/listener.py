@@ -1,0 +1,250 @@
+"""Engine listener bus: typed events, the analogue of Spark's ``LiveListenerBus``.
+
+Every interesting thing the engine does -- a job starting, a stage
+completing, a task attempt finishing, a block entering or leaving a cache,
+shuffle bytes moving, an executor dying -- is published as a typed event on
+the context's :class:`ListenerBus`.  Consumers subscribe by registering a
+:class:`Listener`; the event log (:mod:`repro.engine.eventlog`), the tracer
+(:mod:`repro.obs.spans`), and the metrics registry bridge
+(:mod:`repro.obs.registry`) are all just listeners.
+
+Delivery is synchronous and in posting order per thread.  A listener that
+raises is isolated: the exception is recorded on the bus
+(:attr:`ListenerBus.listener_errors`) and the remaining listeners still
+receive the event -- one misbehaving consumer can never fail a job.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
+
+
+# -- event taxonomy ----------------------------------------------------------
+
+
+@dataclass
+class EngineEvent:
+    """Base class for all bus events.
+
+    ``time`` is a monotonic (:func:`time.perf_counter`) timestamp stamped by
+    the bus at post time, so listeners can order and measure events without
+    trusting the producer.
+    """
+
+    time: float = field(default=0.0, init=False, repr=False)
+
+
+@dataclass
+class JobStart(EngineEvent):
+    job_id: int
+    description: str = ""
+
+
+@dataclass
+class JobEnd(EngineEvent):
+    job_id: int
+    job: "JobMetrics"
+    succeeded: bool = True
+
+
+@dataclass
+class StageSubmitted(EngineEvent):
+    stage_id: int
+    attempt: int
+    name: str
+    num_tasks: int
+    job_id: int
+
+
+@dataclass
+class StageCompleted(EngineEvent):
+    stage: "StageMetrics"
+    job_id: int
+    failed: bool = False
+
+
+@dataclass
+class TaskStart(EngineEvent):
+    stage_id: int
+    partition: int
+    attempt: int
+    executor_id: str
+
+
+@dataclass
+class TaskEnd(EngineEvent):
+    record: "TaskRecord"
+
+
+@dataclass
+class BlockCached(EngineEvent):
+    block_id: tuple
+    executor_id: str
+    size: int
+    level: str
+
+
+@dataclass
+class BlockEvicted(EngineEvent):
+    block_id: tuple
+    executor_id: str
+    size: int
+    spilled: bool
+
+
+@dataclass
+class BlockFetchedRemote(EngineEvent):
+    block_id: tuple
+    from_executor: str
+    to_executor: str
+
+
+@dataclass
+class ShuffleWrite(EngineEvent):
+    shuffle_id: int
+    map_partition: int
+    executor_id: str
+    bytes_written: int
+    records_written: int
+
+
+@dataclass
+class ShuffleFetch(EngineEvent):
+    shuffle_id: int
+    reduce_partition: int
+    records_read: int
+
+
+@dataclass
+class ExecutorLost(EngineEvent):
+    executor_id: str
+    reason: str = ""
+
+
+# -- listener + bus ----------------------------------------------------------
+
+_CAMEL = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def _handler_name(event_type: type) -> str:
+    """``StageSubmitted`` -> ``on_stage_submitted``."""
+    return "on_" + _CAMEL.sub("_", event_type.__name__).lower()
+
+
+class Listener:
+    """Base listener: override ``on_event`` or any typed ``on_*`` hook.
+
+    For each posted event the bus calls ``on_event(event)`` first, then the
+    type-specific hook (``on_job_start``, ``on_task_end``, ...) when the
+    subclass defines one.
+    """
+
+    def on_event(self, event: EngineEvent) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        """Called when the owning context stops."""
+
+
+class ListenerBus:
+    """Synchronous, thread-safe event dispatcher with listener isolation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._listeners: list[Listener] = []
+        self.events_posted = 0
+        #: (listener, event, exception) triples for raised handlers
+        self.listener_errors: list[tuple[Listener, EngineEvent, Exception]] = []
+
+    def add_listener(self, listener: Listener) -> Listener:
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def remove_listener(self, listener: Listener) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    @property
+    def listeners(self) -> list[Listener]:
+        with self._lock:
+            return list(self._listeners)
+
+    def post(self, event: EngineEvent) -> None:
+        event.time = time.perf_counter()
+        with self._lock:
+            listeners = list(self._listeners)
+            self.events_posted += 1
+        hook = _handler_name(type(event))
+        for listener in listeners:
+            try:
+                listener.on_event(event)
+                typed = getattr(listener, hook, None)
+                if typed is not None:
+                    typed(event)
+            except Exception as exc:  # isolation: never fail the engine
+                with self._lock:
+                    self.listener_errors.append((listener, event, exc))
+
+    def stop(self) -> None:
+        """Close every listener (errors isolated) and drop registrations."""
+        for listener in self.listeners:
+            try:
+                listener.close()
+            except Exception as exc:
+                with self._lock:
+                    self.listener_errors.append((listener, EngineEvent(), exc))
+        with self._lock:
+            self._listeners.clear()
+
+
+class CollectingListener(Listener):
+    """Test/debug helper: remembers every event it sees, optionally filtered."""
+
+    def __init__(self, *event_types: type) -> None:
+        self.event_types = event_types or None
+        self.events: list[EngineEvent] = []
+        self._lock = threading.Lock()
+
+    def on_event(self, event: EngineEvent) -> None:
+        if self.event_types is None or isinstance(event, tuple(self.event_types)):
+            with self._lock:
+                self.events.append(event)
+
+    def of(self, event_type: type) -> list[EngineEvent]:
+        with self._lock:
+            return [e for e in self.events if isinstance(e, event_type)]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return [type(e).__name__ for e in self.events]
+
+
+__all__ = [
+    "EngineEvent",
+    "JobStart",
+    "JobEnd",
+    "StageSubmitted",
+    "StageCompleted",
+    "TaskStart",
+    "TaskEnd",
+    "BlockCached",
+    "BlockEvicted",
+    "BlockFetchedRemote",
+    "ShuffleWrite",
+    "ShuffleFetch",
+    "ExecutorLost",
+    "Listener",
+    "ListenerBus",
+    "CollectingListener",
+]

@@ -27,6 +27,7 @@ class TaskMetrics:
     remote_cache_hits: int = 0
     disk_blocks_read: int = 0
     compute_seconds: float = 0.0
+    size_estimation_seconds: float = 0.0
 
 
 @dataclass
@@ -41,6 +42,8 @@ class TaskRecord:
     metrics: TaskMetrics
     succeeded: bool
     error: str | None = None
+    #: monotonic (perf_counter) launch timestamp; 0.0 in v1 event logs
+    start_time: float = 0.0
 
 
 @dataclass
@@ -55,6 +58,8 @@ class StageMetrics:
     is_shuffle_map: bool = False
     tasks: list[TaskRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: monotonic submission timestamp; 0.0 in v1 event logs
+    submit_time: float = 0.0
 
     @property
     def total_task_seconds(self) -> float:
@@ -78,6 +83,7 @@ class StageMetrics:
             out.remote_cache_hits += m.remote_cache_hits
             out.disk_blocks_read += m.disk_blocks_read
             out.compute_seconds += m.compute_seconds
+            out.size_estimation_seconds += m.size_estimation_seconds
         return out
 
 
@@ -92,6 +98,8 @@ class JobMetrics:
     num_task_failures: int = 0
     num_stage_resubmissions: int = 0
     num_executor_failures_observed: int = 0
+    #: monotonic submission timestamp; 0.0 in v1 event logs
+    submit_time: float = 0.0
 
     def totals(self) -> TaskMetrics:
         out = TaskMetrics()
@@ -108,6 +116,7 @@ class JobMetrics:
             out.remote_cache_hits += s.remote_cache_hits
             out.disk_blocks_read += s.disk_blocks_read
             out.compute_seconds += s.compute_seconds
+            out.size_estimation_seconds += s.size_estimation_seconds
         return out
 
     @property

@@ -94,7 +94,7 @@ class RDD:
         tc.metrics.cache_misses += 1
         computed = self.compute(split, tc)
         if manager is not None:
-            stored = manager.put(block_id, computed, self.storage_level)
+            stored = manager.put(block_id, computed, self.storage_level, metrics=tc.metrics)
             if manager.contains(block_id) and tc.block_master is not None:
                 tc.block_master.register_block(block_id, tc.executor_id)
             return iter(stored)

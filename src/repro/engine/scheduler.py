@@ -23,6 +23,15 @@ from repro.engine.backends import ProcessBackend
 from repro.engine.dag import Stage, StageGraph
 from repro.engine.dependencies import ShuffleDependency
 from repro.engine.executor import Executor, ExecutorLostError
+from repro.engine.listener import (
+    ExecutorLost,
+    JobEnd,
+    JobStart,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+    TaskStart,
+)
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
 from repro.engine.shuffle import FetchFailedError
 from repro.engine.task import ResultTask, ShuffleMapTask, Task, TaskContext
@@ -148,6 +157,9 @@ class TaskScheduler:
             while pending and len(inflight) < max_inflight and fetch_failure is None:
                 task, attempt, tried = pending.pop()
                 executor = self._choose_executor(task, exclude=tried)
+                self.ctx.listener_bus.post(
+                    TaskStart(stage.id, task.partition, attempt, executor.executor_id)
+                )
                 future = self._submit(stage, task, attempt, executor)
                 inflight[future] = (task, attempt, executor)
             if not inflight:
@@ -162,11 +174,13 @@ class TaskScheduler:
                 except FetchFailedError as exc:
                     executor.note_task(False)
                     job.num_task_failures += 1
+                    self._post_failed_task(stage, task, attempt, executor, exc)
                     if fetch_failure is None:
                         fetch_failure = _FetchFailedSignal(exc.shuffle_id, exc.map_partition)
                 except ExecutorLostError as exc:
                     executor.note_task(False)
                     job.num_task_failures += 1
+                    self._post_failed_task(stage, task, attempt, executor, exc)
                     self._handle_executor_loss(exc.executor_id, job)
                     if attempt + 1 > config.max_task_retries:
                         raise JobFailedError(
@@ -177,18 +191,18 @@ class TaskScheduler:
                 except Exception as exc:  # transient / injected task failure
                     executor.note_task(False)
                     job.num_task_failures += 1
-                    stage_metrics.tasks.append(
-                        TaskRecord(
-                            stage_id=stage.id,
-                            partition=task.partition,
-                            attempt=attempt,
-                            executor_id=executor.executor_id,
-                            duration_seconds=0.0,
-                            metrics=TaskContext(stage.id, task.partition, attempt, executor.executor_id).metrics,
-                            succeeded=False,
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
+                    record = TaskRecord(
+                        stage_id=stage.id,
+                        partition=task.partition,
+                        attempt=attempt,
+                        executor_id=executor.executor_id,
+                        duration_seconds=0.0,
+                        metrics=TaskContext(stage.id, task.partition, attempt, executor.executor_id).metrics,
+                        succeeded=False,
+                        error=f"{type(exc).__name__}: {exc}",
                     )
+                    stage_metrics.tasks.append(record)
+                    self.ctx.listener_bus.post(TaskEnd(record))
                     if attempt + 1 > config.max_task_retries:
                         raise JobFailedError(
                             f"task (stage={stage.id}, partition={task.partition}) failed "
@@ -200,9 +214,27 @@ class TaskScheduler:
                     executor.note_task(True)
                     results[task.partition] = value
                     stage_metrics.tasks.append(record)
+                    self.ctx.listener_bus.post(TaskEnd(record))
         if fetch_failure is not None:
             raise fetch_failure
         return results
+
+    def _post_failed_task(
+        self, stage: Stage, task: Task, attempt: int, executor: Executor, exc: Exception
+    ) -> None:
+        """Publish a TaskEnd for failure paths that record no TaskRecord."""
+        from repro.engine.metrics import TaskMetrics
+
+        self.ctx.listener_bus.post(TaskEnd(TaskRecord(
+            stage_id=stage.id,
+            partition=task.partition,
+            attempt=attempt,
+            executor_id=executor.executor_id,
+            duration_seconds=0.0,
+            metrics=TaskMetrics(),
+            succeeded=False,
+            error=f"{type(exc).__name__}: {exc}",
+        )))
 
     def _submit(
         self, stage: Stage, task: Task, attempt: int, executor: Executor
@@ -243,6 +275,7 @@ class TaskScheduler:
             duration_seconds=duration,
             metrics=tc.metrics,
             succeeded=True,
+            start_time=start,
         )
         return value, record
 
@@ -312,6 +345,7 @@ class TaskScheduler:
             duration_seconds=duration,
             metrics=out["metrics"],
             succeeded=True,
+            start_time=start,
         )
         return value, record
 
@@ -323,6 +357,9 @@ class TaskScheduler:
             if executor.executor_id == executor_id and executor.alive:
                 executor.kill()
                 job.num_executor_failures_observed += 1
+                self.ctx.listener_bus.post(
+                    ExecutorLost(executor_id, reason="task execution failure")
+                )
         self.ctx.block_master.remove_executor(executor_id)
         self.ctx.shuffle_manager.remove_outputs_on_executor(executor_id)
 
@@ -358,6 +395,9 @@ class DAGScheduler:
         graph = StageGraph(rdd, self.ctx._stage_ids)
         job = JobMetrics(job_id=next(self.ctx._job_ids), description=description or rdd.name)
         job_start = time.perf_counter()
+        job.submit_time = job_start
+        bus = self.ctx.listener_bus
+        bus.post(JobStart(job.job_id, job.description))
 
         # register every shuffle written by this job (idempotent re-register
         # keeps shared shuffles from earlier jobs usable)
@@ -368,6 +408,30 @@ class DAGScheduler:
         wanted = set(partitions)
         stage_attempts: dict[int, int] = {}
 
+        try:
+            self._drive(graph, job, func, results, wanted, stage_attempts, config, description)
+        except Exception:
+            job.wall_seconds = time.perf_counter() - job_start
+            bus.post(JobEnd(job.job_id, job, succeeded=False))
+            raise
+
+        job.wall_seconds = time.perf_counter() - job_start
+        self.ctx.metrics.add_job(job)
+        bus.post(JobEnd(job.job_id, job))
+        return [results[p] for p in partitions]
+
+    def _drive(
+        self,
+        graph: StageGraph,
+        job: JobMetrics,
+        func: Callable[[Iterator], Any],
+        results: dict[int, Any],
+        wanted: set[int],
+        stage_attempts: dict[int, int],
+        config: Any,
+        description: str,
+    ) -> None:
+        bus = self.ctx.listener_bus
         while True:
             progressed = False
             for stage in graph.all_stages():
@@ -399,6 +463,10 @@ class DAGScheduler:
                     is_shuffle_map=stage.is_shuffle_map,
                 )
                 stage_start = time.perf_counter()
+                stage_metrics.submit_time = stage_start
+                bus.post(StageSubmitted(
+                    stage.id, attempt, stage.name, len(tasks), job.job_id
+                ))
                 try:
                     stage_results = self.task_scheduler.run_task_set(
                         stage, tasks, job, stage_metrics
@@ -406,6 +474,7 @@ class DAGScheduler:
                 except _FetchFailedSignal:
                     stage_metrics.wall_seconds = time.perf_counter() - stage_start
                     job.stages.append(stage_metrics)
+                    bus.post(StageCompleted(stage_metrics, job.job_id, failed=True))
                     stage_attempts[stage.id] = attempt + 1
                     job.num_stage_resubmissions += 1
                     if stage_attempts[stage.id] > config.max_stage_retries:
@@ -416,19 +485,16 @@ class DAGScheduler:
                     break
                 stage_metrics.wall_seconds = time.perf_counter() - stage_start
                 job.stages.append(stage_metrics)
+                bus.post(StageCompleted(stage_metrics, job.job_id))
                 if not stage.is_shuffle_map:
                     results.update(stage_results)
             if wanted <= set(results):
-                break
+                return
             if not progressed:
                 raise JobFailedError(
                     "scheduler made no progress; stage graph is stuck "
                     f"(job {job.job_id}, {description!r})"
                 )
-
-        job.wall_seconds = time.perf_counter() - job_start
-        self.ctx.metrics.add_job(job)
-        return [results[p] for p in partitions]
 
     def _parents_ready(self, stage: Stage) -> bool:
         for shuffle_id in stage.parent_shuffle_ids():

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.dependencies import ShuffleDependency
+    from repro.engine.listener import ListenerBus
     from repro.engine.metrics import TaskMetrics
 
 
@@ -44,6 +45,8 @@ class ShuffleManager:
     """Holds shuffle buckets; thread-safe."""
 
     def __init__(self, track_bytes: bool = True) -> None:
+        #: optional listener bus (set by the context); shuffle events go here
+        self.bus: "ListenerBus | None" = None
         self._lock = threading.Lock()
         # (shuffle_id, map_partition) -> {reduce_partition: [(k, v), ...]}
         self._outputs: dict[tuple[int, int], dict[int, list]] = {}
@@ -92,12 +95,19 @@ class ShuffleManager:
             else:
                 sizes.append(0)
         status = MapStatus(dep.shuffle_id, map_partition, executor_id, tuple(sizes))
+        records_written = sum(len(b) for b in buckets.values())
         with self._lock:
             self._outputs[(dep.shuffle_id, map_partition)] = buckets
             self._writers[(dep.shuffle_id, map_partition)] = executor_id
         if metrics is not None:
             metrics.shuffle_bytes_written += sum(sizes)
-            metrics.shuffle_records_written += sum(len(b) for b in buckets.values())
+            metrics.shuffle_records_written += records_written
+        if self.bus is not None:
+            from repro.engine.listener import ShuffleWrite
+
+            self.bus.post(ShuffleWrite(
+                dep.shuffle_id, map_partition, executor_id, sum(sizes), records_written
+            ))
         return status
 
     # -- fetch ----------------------------------------------------------------
@@ -134,6 +144,12 @@ class ShuffleManager:
                 if output is None:
                     raise FetchFailedError(shuffle_id, map_partition)
                 chunks.append(output.get(reduce_partition, []))
+        if self.bus is not None:
+            from repro.engine.listener import ShuffleFetch
+
+            self.bus.post(ShuffleFetch(
+                shuffle_id, reduce_partition, sum(len(c) for c in chunks)
+            ))
         for chunk in chunks:
             if metrics is not None:
                 metrics.shuffle_records_read += len(chunk)

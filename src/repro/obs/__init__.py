@@ -1,0 +1,30 @@
+"""Observability: structured tracing, a metrics registry, and history analysis.
+
+Three coupled pieces, the analogue of Spark's web UI + metrics system +
+history server, all fed by the engine's listener bus
+(:mod:`repro.engine.listener`):
+
+- :mod:`repro.obs.registry` -- process-wide counters / gauges / histograms
+  with Prometheus-style text exposition, plus a bus bridge that keeps
+  engine-level series (tasks, shuffle bytes, cache traffic) up to date;
+- :mod:`repro.obs.spans` -- hierarchical spans (job -> stage -> task
+  attempt) exportable as JSONL or Chrome ``trace_event`` JSON;
+- :mod:`repro.obs.history` -- offline analysis of event logs: stage
+  tables, straggler percentiles, cache hit rates, and DAG critical-path
+  analysis (surfaced by ``sparkscore history``).
+"""
+
+from repro.obs.registry import REGISTRY, Counter, Gauge, Histogram, Registry
+from repro.obs.spans import Span, TracingListener, spans_from_jobs, to_chrome_trace
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "TracingListener",
+    "spans_from_jobs",
+    "to_chrome_trace",
+]

@@ -1,0 +1,360 @@
+"""Process-wide metrics registry with Prometheus-style text exposition.
+
+Three instrument kinds, deliberately tiny but semantically faithful:
+
+- :class:`Counter` -- monotonically increasing totals;
+- :class:`Gauge` -- a value that goes up and down;
+- :class:`Histogram` -- cumulative fixed-bucket distribution with
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+
+All instruments support labels (``counter.labels(method="mc").inc()``).
+:data:`REGISTRY` is the default process-wide registry; the driver paths in
+:mod:`repro.core` record per-replicate resampling costs here so MC vs.
+permutation economics are *measured*, and :class:`MetricsListener` bridges
+the engine's listener bus into the same registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+from repro.engine.listener import (
+    BlockCached,
+    BlockEvicted,
+    BlockFetchedRemote,
+    EngineEvent,
+    ExecutorLost,
+    JobEnd,
+    Listener,
+    ShuffleFetch,
+    ShuffleWrite,
+    TaskEnd,
+)
+
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+class _Child:
+    """One labeled series of a parent instrument."""
+
+    def __init__(self, parent: "_Instrument", labels: tuple[tuple[str, str], ...]) -> None:
+        self._parent = parent
+        self._labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+        # histogram state
+        self._bucket_counts = [0] * len(parent.buckets) if parent.kind == "histogram" else None
+        self._sum = 0.0
+        self._count = 0
+
+    # counters / gauges --------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._parent.kind == "counter" and amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if self._parent.kind != "gauge":
+            raise TypeError("dec() is only valid on gauges")
+        with self._lock:
+            self._value -= amount
+
+    def set(self, value: float) -> None:
+        if self._parent.kind != "gauge":
+            raise TypeError("set() is only valid on gauges")
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    # histograms ----------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if self._parent.kind != "histogram":
+            raise TypeError("observe() is only valid on histograms")
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            # per-bucket (non-cumulative) storage; render()/quantile() cumulate
+            for i, bound in enumerate(self._parent.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    break
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket boundaries (upper bound)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            running = 0
+            for bound, n in zip(self._parent.buckets, self._bucket_counts):
+                running += n
+                if running >= target:
+                    return bound
+            return float("inf")
+
+
+class _Instrument:
+    """A named metric family; holds one child per label combination."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._children: dict[tuple[tuple[str, str], ...], _Child] = {}
+
+    def labels(self, **labels: str) -> _Child:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {sorted(labels)}"
+            )
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _Child(self, key)
+            return child
+
+    def _default_child(self) -> _Child:
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels {self.labelnames}; use .labels()")
+        return self.labels()
+
+    def children(self) -> dict[tuple[tuple[str, str], ...], _Child]:
+        with self._lock:
+            return dict(self._children)
+
+    # unlabeled conveniences ------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+
+
+class Registry:
+    """A named collection of instruments with text exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _register(self, cls: type, name: str, help: str, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames=labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames=labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labelnames=labelnames, buckets=buckets)  # type: ignore[return-value]
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for inst in sorted(self.instruments(), key=lambda i: i.name):
+            lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            for key, child in sorted(inst.children().items()):
+                labels = dict(key)
+                if inst.kind == "histogram":
+                    cumulative = 0
+                    for bound, n in zip(inst.buckets, child._bucket_counts):
+                        cumulative += n
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_value(bound)
+                        lines.append(
+                            f"{inst.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                        )
+                    inf_labels = dict(labels)
+                    inf_labels["le"] = "+Inf"
+                    lines.append(f"{inst.name}_bucket{_format_labels(inf_labels)} {child.count}")
+                    lines.append(f"{inst.name}_sum{_format_labels(labels)} {_format_value(child.sum)}")
+                    lines.append(f"{inst.name}_count{_format_labels(labels)} {child.count}")
+                else:
+                    lines.append(f"{inst.name}{_format_labels(labels)} {_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat {series_name: value} view of counters/gauges (testing aid)."""
+        out: dict[str, float] = {}
+        for inst in self.instruments():
+            if inst.kind == "histogram":
+                continue
+            for key, child in inst.children().items():
+                out[inst.name + _format_labels(dict(key))] = child.value
+        return out
+
+
+#: default process-wide registry
+REGISTRY = Registry()
+
+
+class MetricsListener(Listener):
+    """Bridges the engine listener bus into a :class:`Registry`.
+
+    Keeps engine-wide series live: job/task counts, task seconds, shuffle
+    bytes and records, cache hits/misses/evictions, executor losses.
+    """
+
+    def __init__(self, registry: Registry | None = None) -> None:
+        self.registry = registry or REGISTRY
+        r = self.registry
+        self.jobs_total = r.counter("engine_jobs_total", "jobs completed")
+        self.tasks_total = r.counter(
+            "engine_tasks_total", "task attempts finished", labelnames=("outcome",)
+        )
+        self.task_seconds = r.histogram("engine_task_seconds", "task attempt durations")
+        self.shuffle_bytes = r.counter(
+            "engine_shuffle_bytes_total", "shuffle bytes written"
+        )
+        self.shuffle_records = r.counter(
+            "engine_shuffle_records_total", "shuffle records moved", labelnames=("direction",)
+        )
+        self.blocks_cached = r.counter("engine_blocks_cached_total", "blocks inserted into caches")
+        self.block_bytes_cached = r.counter(
+            "engine_block_bytes_cached_total", "bytes inserted into caches"
+        )
+        self.blocks_evicted = r.counter("engine_blocks_evicted_total", "blocks LRU-evicted")
+        self.remote_fetches = r.counter(
+            "engine_block_remote_fetches_total", "cache blocks served from a remote executor"
+        )
+        self.cache_hits = r.counter("engine_cache_hits_total", "task-side cache hits")
+        self.cache_misses = r.counter("engine_cache_misses_total", "task-side cache misses")
+        self.executors_lost = r.counter("engine_executors_lost_total", "executors lost")
+
+    def on_event(self, event: EngineEvent) -> None:
+        if isinstance(event, JobEnd):
+            self.jobs_total.inc()
+        elif isinstance(event, TaskEnd):
+            rec = event.record
+            self.tasks_total.labels(outcome="success" if rec.succeeded else "failure").inc()
+            if rec.succeeded:
+                self.task_seconds.observe(rec.duration_seconds)
+                self.cache_hits.inc(rec.metrics.cache_hits)
+                self.cache_misses.inc(rec.metrics.cache_misses)
+        elif isinstance(event, ShuffleWrite):
+            self.shuffle_bytes.inc(event.bytes_written)
+            self.shuffle_records.labels(direction="write").inc(event.records_written)
+        elif isinstance(event, ShuffleFetch):
+            self.shuffle_records.labels(direction="read").inc(event.records_read)
+        elif isinstance(event, BlockCached):
+            self.blocks_cached.inc()
+            self.block_bytes_cached.inc(event.size)
+        elif isinstance(event, BlockEvicted):
+            self.blocks_evicted.inc()
+        elif isinstance(event, BlockFetchedRemote):
+            self.remote_fetches.inc()
+        elif isinstance(event, ExecutorLost):
+            self.executors_lost.inc()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "REGISTRY",
+    "MetricsListener",
+    "DEFAULT_BUCKETS",
+]

@@ -1,0 +1,161 @@
+"""Metrics registry: instruments, labels, exposition, and the bus bridge."""
+
+import pytest
+
+from repro.engine.listener import (
+    BlockCached,
+    BlockEvicted,
+    JobEnd,
+    ListenerBus,
+    ShuffleFetch,
+    ShuffleWrite,
+    TaskEnd,
+)
+from repro.engine.metrics import JobMetrics, TaskMetrics, TaskRecord
+from repro.obs.registry import MetricsListener, Registry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Registry().counter("hits_total", "hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counters_never_decrease(self):
+        c = Registry().counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        c = Registry().counter("ops_total", labelnames=("kind",))
+        c.labels(kind="read").inc(3)
+        c.labels(kind="write").inc()
+        assert c.labels(kind="read").value == 3
+        assert c.labels(kind="write").value == 1
+
+    def test_wrong_labels_rejected(self):
+        c = Registry().counter("ops_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.labels(color="red")
+        with pytest.raises(ValueError):
+            c.inc()  # labeled instrument needs .labels()
+
+
+class TestGauge:
+    def test_set_and_dec(self):
+        g = Registry().gauge("depth")
+        g.set(10)
+        g.dec(3)
+        assert g.value == 7
+
+    def test_dec_invalid_on_counter(self):
+        c = Registry().counter("n_total")
+        with pytest.raises(TypeError):
+            c.dec()
+
+
+class TestHistogram:
+    def test_observe_buckets_sum_count(self):
+        h = Registry().histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_quantile_upper_bound(self):
+        h = Registry().histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            h.observe(0.05)
+        h.observe(5.0)
+        assert h.labels().quantile(0.5) == 0.1
+        assert h.labels().quantile(1.0) == 10.0
+
+    def test_observe_invalid_on_counter(self):
+        c = Registry().counter("n_total")
+        with pytest.raises(TypeError):
+            c.observe(1.0)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        r = Registry()
+        a = r.counter("jobs_total", "jobs")
+        b = r.counter("jobs_total")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        r = Registry()
+        r.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x_total")
+
+    def test_render_prometheus_text(self):
+        r = Registry()
+        r.counter("jobs_total", "jobs run", labelnames=("engine",)).labels(
+            engine="local"
+        ).inc(2)
+        r.histogram("dur_seconds", "durations", buckets=(1.0,)).observe(0.5)
+        text = r.render()
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{engine="local"} 2' in text
+        assert 'dur_seconds_bucket{le="1"} 1' in text
+        assert 'dur_seconds_bucket{le="+Inf"} 1' in text
+        assert "dur_seconds_sum 0.5" in text
+        assert "dur_seconds_count 1" in text
+
+    def test_snapshot_skips_histograms(self):
+        r = Registry()
+        r.counter("a_total").inc()
+        r.histogram("b_seconds").observe(1.0)
+        snap = r.snapshot()
+        assert snap == {"a_total": 1}
+
+
+class TestMetricsListener:
+    def _bus(self):
+        registry = Registry()
+        bus = ListenerBus()
+        bus.add_listener(MetricsListener(registry))
+        return bus, registry
+
+    def _record(self, succeeded=True, hits=0, misses=0, duration=0.5):
+        return TaskRecord(
+            stage_id=0, partition=0, attempt=0, executor_id="e0",
+            duration_seconds=duration,
+            metrics=TaskMetrics(cache_hits=hits, cache_misses=misses),
+            succeeded=succeeded,
+        )
+
+    def test_task_outcomes_and_cache_counts(self):
+        bus, registry = self._bus()
+        bus.post(TaskEnd(record=self._record(hits=2, misses=1)))
+        bus.post(TaskEnd(record=self._record(succeeded=False)))
+        snap = registry.snapshot()
+        assert snap['engine_tasks_total{outcome="success"}'] == 1
+        assert snap['engine_tasks_total{outcome="failure"}'] == 1
+        assert snap["engine_cache_hits_total"] == 2
+        assert snap["engine_cache_misses_total"] == 1
+        assert registry.get("engine_task_seconds").count == 1  # failures excluded
+
+    def test_shuffle_and_block_series(self):
+        bus, registry = self._bus()
+        bus.post(ShuffleWrite(shuffle_id=0, map_partition=0, executor_id="e0",
+                              bytes_written=100, records_written=10))
+        bus.post(ShuffleFetch(shuffle_id=0, reduce_partition=0, records_read=10))
+        bus.post(BlockCached(block_id=("rdd", 1, 0), executor_id="e0",
+                             size=64, level="memory"))
+        bus.post(BlockEvicted(block_id=("rdd", 1, 0), executor_id="e0",
+                              size=64, spilled=False))
+        snap = registry.snapshot()
+        assert snap["engine_shuffle_bytes_total"] == 100
+        assert snap['engine_shuffle_records_total{direction="write"}'] == 10
+        assert snap['engine_shuffle_records_total{direction="read"}'] == 10
+        assert snap["engine_blocks_cached_total"] == 1
+        assert snap["engine_block_bytes_cached_total"] == 64
+        assert snap["engine_blocks_evicted_total"] == 1
+
+    def test_job_end_counts(self):
+        bus, registry = self._bus()
+        bus.post(JobEnd(job_id=0, job=JobMetrics(job_id=0)))
+        assert registry.snapshot()["engine_jobs_total"] == 1

@@ -1,0 +1,146 @@
+"""Span construction, JSONL round-trip, and Chrome trace export."""
+
+import json
+
+from repro.engine.eventlog import read_event_log, write_event_log
+from repro.engine.listener import (
+    JobEnd,
+    JobStart,
+    ListenerBus,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+)
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
+from repro.obs.spans import (
+    Span,
+    TracingListener,
+    read_spans_jsonl,
+    spans_from_jobs,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def _record(stage_id=0, partition=0, duration=0.25, start=0.0, executor="e0"):
+    return TaskRecord(
+        stage_id=stage_id, partition=partition, attempt=0, executor_id=executor,
+        duration_seconds=duration, metrics=TaskMetrics(), succeeded=True,
+        start_time=start,
+    )
+
+
+def _job(job_id=0):
+    stage = StageMetrics(stage_id=0, name="map", num_tasks=2, wall_seconds=0.6)
+    stage.tasks = [_record(partition=0, duration=0.5), _record(partition=1, duration=0.3)]
+    return JobMetrics(job_id=job_id, description="demo", wall_seconds=0.7,
+                      stages=[stage])
+
+
+class TestTracingListener:
+    def test_builds_job_stage_task_hierarchy(self):
+        bus = ListenerBus()
+        tracer = bus.add_listener(TracingListener())
+        bus.post(JobStart(job_id=3, description="d"))
+        bus.post(StageSubmitted(stage_id=0, attempt=0, name="map", num_tasks=1, job_id=3))
+        stage = StageMetrics(stage_id=0, name="map", num_tasks=1)
+        stage.tasks.append(_record())
+        bus.post(TaskEnd(record=stage.tasks[0]))
+        bus.post(StageCompleted(stage=stage, job_id=3))
+        bus.post(JobEnd(job_id=3, job=JobMetrics(job_id=3, stages=[stage])))
+
+        by_cat = {s.category: s for s in tracer.spans}
+        assert set(by_cat) == {"job", "stage", "task"}
+        assert by_cat["stage"].parent_id == by_cat["job"].span_id
+        assert by_cat["task"].parent_id == by_cat["stage"].span_id
+        assert by_cat["job"].end >= by_cat["job"].start
+        assert by_cat["task"].attrs["executor_id"] == "e0"
+
+    def test_live_spans_from_engine(self, serial_config, tmp_path):
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "live.json")
+        with Context(serial_config, trace_path=path) as ctx:
+            ctx.parallelize(range(8), 2).map(lambda x: x + 1).sum()
+            cats = [s.category for s in ctx.spans]
+            assert cats.count("job") == 1
+            assert cats.count("task") == 2
+        with open(path) as fh:
+            assert json.load(fh)["traceEvents"]
+
+
+class TestOfflineSpans:
+    def test_spans_from_jobs_hierarchy(self):
+        spans = spans_from_jobs([_job()])
+        assert [s.category for s in spans] == ["job", "stage", "task", "task"]
+        job_span, stage_span, t0, t1 = spans
+        assert stage_span.parent_id == job_span.span_id
+        assert t0.parent_id == t1.parent_id == stage_span.span_id
+
+    def test_synthetic_timeline_for_v1_logs(self):
+        # all timestamps zero (a v1 log): spans still get a usable timeline
+        spans = spans_from_jobs([_job(0), _job(1)])
+        jobs = [s for s in spans if s.category == "job"]
+        assert jobs[1].start >= jobs[0].end  # jobs laid out sequentially
+        tasks = [s for s in spans if s.category == "task"]
+        assert all(t.duration > 0 for t in tasks)
+
+    def test_round_trip_through_event_log(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        write_event_log([_job()], path)
+        spans = spans_from_jobs(read_event_log(path))
+        assert len(spans) == 4
+
+
+class TestJsonlRoundTrip:
+    def test_spans_survive(self, tmp_path):
+        spans = spans_from_jobs([_job()])
+        path = str(tmp_path / "trace.jsonl")
+        n = write_spans_jsonl(spans, path)
+        assert n == len(spans)
+        loaded = read_spans_jsonl(path)
+        assert [s.to_dict() for s in loaded] == [s.to_dict() for s in spans]
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = to_chrome_trace(spans_from_jobs([_job()]))
+        events = trace["traceEvents"]
+        x = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(x) == 4
+        assert all(isinstance(e["tid"], int) for e in x)
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x)
+        thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert "driver" in thread_names and "e0" in thread_names
+
+    def test_tasks_on_executor_track_stages_on_driver(self):
+        trace = to_chrome_trace(spans_from_jobs([_job()]))
+        x = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        driver_tid = 0
+        for e in x:
+            if e["cat"] in ("job", "stage"):
+                assert e["tid"] == driver_tid
+            else:
+                assert e["tid"] != driver_tid
+
+    def test_empty_trace(self):
+        assert to_chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(spans_from_jobs([_job()]), path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["traceEvents"]
+
+
+class TestSpanDataclass:
+    def test_duration_never_negative(self):
+        span = Span(1, None, "x", "task", 5.0, 4.0)
+        assert span.duration == 0.0
+
+    def test_dict_round_trip(self):
+        span = Span(1, None, "x", "task", 1.0, 2.0, {"k": "v"})
+        assert Span.from_dict(span.to_dict()) == span

@@ -116,3 +116,49 @@ class TestPlanAndTune:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestHistory:
+    @pytest.fixture(scope="class")
+    def event_log(self, dataset_dir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("hist") / "events.jsonl"
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "64", "--engine", "distributed",
+                   "--backend", "serial", "--event-log", str(path)])
+        assert rc == 0
+        return str(path)
+
+    def test_renders_stage_tables_and_critical_path(self, event_log, capsys):
+        rc = main(["history", event_log])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "p95" in out
+        assert "critical path" in out and "max speedup" in out
+        assert "cache hit rate" in out
+
+    def test_job_filter(self, event_log, capsys):
+        main(["history", event_log, "--job", "0"])
+        out = capsys.readouterr().out
+        assert "== job 0:" in out
+        assert "== job 1:" not in out
+
+    def test_export_chrome_trace(self, event_log, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main(["history", event_log, "--export-trace", str(trace)])
+        assert rc == 0
+        with open(trace) as fh:
+            events = json.load(fh)["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events)
+
+    def test_metrics_flag_renders_registry(self, event_log, capsys):
+        main(["history", event_log, "--metrics"])
+        out = capsys.readouterr().out
+        assert "# TYPE engine_jobs_total counter" in out
+
+    def test_event_log_requires_distributed_engine(self, dataset_dir, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", dataset_dir, "--method", "monte-carlo",
+                  "--iterations", "10",
+                  "--event-log", str(tmp_path / "x.jsonl")])
