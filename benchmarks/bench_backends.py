@@ -1,0 +1,138 @@
+"""Backend shoot-out on the Monte Carlo resampling workload.
+
+Runs the same MC job under the serial, threads, and processes backends,
+asserts the statistics are bit-identical, and emits ``BENCH_backends.json``
+with wall-clock and driver-traffic numbers:
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --iterations 200
+
+The processes backend only shows its multi-core speedup on a multi-core
+host (the dispatch is asynchronous either way; on one core the pool just
+adds serialization overhead).  The JSON records ``cpu_count`` so readers
+can interpret the ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.config import EngineConfig
+from repro.core.algorithms import DistributedSparkScore
+from repro.core.local import LocalSparkScore
+from repro.engine.context import Context
+from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def run_backend(dataset, backend: str, args) -> dict:
+    config = EngineConfig(
+        backend=backend,
+        num_executors=args.executors,
+        executor_cores=args.cores,
+        default_parallelism=args.executors * args.cores,
+    )
+    with Context(config) as ctx:
+        scorer = DistributedSparkScore(
+            ctx, dataset, flavor=args.flavor, block_size=args.block_size
+        )
+        start = time.perf_counter()
+        result = scorer.monte_carlo(
+            args.iterations, seed=args.seed, batch_size=args.batch_size
+        )
+        wall = time.perf_counter() - start
+        totals = [job.totals() for job in ctx.metrics.jobs]
+        return {
+            "backend": backend,
+            "wall_seconds": wall,
+            "driver_bytes_collected": sum(t.driver_bytes_collected for t in totals),
+            "task_binary_bytes": sum(t.task_binary_bytes for t in totals),
+            "shuffle_bytes": sum(t.shuffle_bytes_written for t in totals),
+            "jobs_run": len(ctx.metrics.jobs),
+            "observed": result.observed,
+            "exceed_counts": result.exceed_counts,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--patients", type=int, default=200)
+    parser.add_argument("--snps", type=int, default=2000)
+    parser.add_argument("--snpsets", type=int, default=50)
+    parser.add_argument("--iterations", type=int, default=200)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--block-size", type=int, default=256)
+    parser.add_argument("--executors", type=int, default=2)
+    parser.add_argument("--cores", type=int, default=2)
+    parser.add_argument("--flavor", choices=["paper", "vectorized"], default="vectorized")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--output", default="BENCH_backends.json")
+    args = parser.parse_args(argv)
+
+    dataset = generate_dataset(
+        SyntheticConfig(
+            n_patients=args.patients, n_snps=args.snps, n_snpsets=args.snpsets, seed=42
+        )
+    )
+
+    local_start = time.perf_counter()
+    local = LocalSparkScore(dataset).monte_carlo(
+        args.iterations, seed=args.seed, batch_size=args.batch_size
+    )
+    local_wall = time.perf_counter() - local_start
+
+    rows = []
+    for backend in BACKENDS:
+        row = run_backend(dataset, backend, args)
+        status = "ok"
+        if not np.array_equal(row["exceed_counts"], local.exceed_counts):
+            status = "MISMATCH vs local"
+        row["matches_local"] = status == "ok"
+        rows.append(row)
+        print(
+            f"{backend:>10}: {row['wall_seconds']:8.2f}s  "
+            f"driver {row['driver_bytes_collected']:>12,} B  "
+            f"task-binaries {row['task_binary_bytes']:>12,} B  [{status}]"
+        )
+
+    for row in rows[1:]:
+        assert np.array_equal(row["exceed_counts"], rows[0]["exceed_counts"]), (
+            f"{row['backend']} diverged from serial"
+        )
+
+    serial_wall = rows[0]["wall_seconds"]
+    report = {
+        "workload": {
+            "patients": args.patients,
+            "snps": args.snps,
+            "snpsets": args.snpsets,
+            "iterations": args.iterations,
+            "batch_size": args.batch_size,
+            "flavor": args.flavor,
+            "executors": args.executors,
+            "cores": args.cores,
+        },
+        "cpu_count": os.cpu_count(),
+        "local_wall_seconds": local_wall,
+        "backends": [
+            {
+                **{k: v for k, v in row.items() if k not in ("observed", "exceed_counts")},
+                "speedup_vs_serial": serial_wall / row["wall_seconds"],
+            }
+            for row in rows
+        ],
+        "bit_identical_across_backends": True,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"\nlocal reference: {local_wall:.2f}s; report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

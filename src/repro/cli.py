@@ -45,6 +45,8 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                    default="monte-carlo")
     p.add_argument("--iterations", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="replicates per engine pass (default: 64 monte-carlo, 16 permutation)")
     p.add_argument("--engine", choices=["local", "distributed"], default="local")
     p.add_argument("--backend", choices=["serial", "threads", "processes"], default="threads")
     p.add_argument("--executors", type=int, default=2)
@@ -176,9 +178,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if args.method == "observed":
             result = analysis.observed()
         elif args.method == "monte-carlo":
-            result = analysis.monte_carlo(args.iterations, seed=args.seed)
+            result = analysis.monte_carlo(
+                args.iterations, seed=args.seed, batch_size=args.batch_size or 64
+            )
         elif args.method == "permutation":
-            result = analysis.permutation(args.iterations, seed=args.seed)
+            result = analysis.permutation(
+                args.iterations, seed=args.seed, batch_size=args.batch_size or 16
+            )
         else:
             result = analysis.asymptotic()
         print(result.to_table(max_rows=args.top))

@@ -11,7 +11,15 @@ Two flavors of the same pipeline:
 
 Monte Carlo (Algorithm 3) caches the contributions RDD and reuses it for
 every replicate batch; permutation (Algorithm 2) re-runs the scoring
-pipeline per replicate with a re-broadcast shuffled phenotype.
+pipeline per replicate *batch* with a re-broadcast block of shuffled
+phenotypes, amortizing DAG-build/scheduling overhead the same way the MC
+multiplier batches do.
+
+Every transformation in the hot path is a named module-level callable (not
+a lambda), so the whole pipeline pickles and runs on the process backend.
+Resampling exceedance counting happens *inside* tasks against a broadcast
+of the observed statistics: the driver receives ``(K,)`` int64 counts per
+batch instead of per-partition ``(batch, K)`` stat matrices.
 """
 
 from __future__ import annotations
@@ -26,15 +34,224 @@ from repro.core.blocks import SnpBlock, build_blocks
 from repro.core.results import ResamplingResult
 from repro.genomics.io.formats import parse_genotype_line, parse_weight_line
 from repro.genomics.synthetic import Dataset
-from repro.stats.resampling.streams import mc_multiplier_batches, permutation_stream
+from repro.stats.resampling.streams import mc_multiplier_batches, permutation_batches
 from repro.stats.score.base import ScoreModel
 from repro.stats.score.cox import CoxScoreModel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.broadcast import Broadcast
     from repro.engine.context import Context
     from repro.engine.rdd import RDD
 
 FLAVORS = ("paper", "vectorized")
+
+
+# ---------------------------------------------------------------------------
+# named pipeline callables (picklable; lambdas would strand the process
+# backend)
+# ---------------------------------------------------------------------------
+
+
+def _add(a, b):
+    return a + b
+
+
+def _first(value):
+    return value
+
+
+def _mul_pair(uw):
+    return uw[0] * uw[1]
+
+
+class _ParseGenotypesFn:
+    """Per-partition text parse of genotype lines."""
+
+    def __call__(self, it):
+        return (parse_genotype_line(line) for line in it if line)
+
+
+class _ParseWeightsFn:
+    def __call__(self, it):
+        return (parse_weight_line(line) for line in it if line)
+
+
+class _SquareWeightFn:
+    def __call__(self, kv):
+        return (kv[0], kv[1] ** 2)
+
+
+class _InUnionFn:
+    """Algorithm 1 step 5: keep SNPs in the union of the SNP-sets."""
+
+    def __init__(self, union_bc: "Broadcast") -> None:
+        self.union_bc = union_bc
+
+    def __call__(self, rec):
+        return rec[0] in self.union_bc.value
+
+
+class _BuildBlocksFn:
+    """Assemble per-SNP records into :class:`SnpBlock` chunks."""
+
+    def __init__(self, set_bc, w2_bc, n_sets: int, block_size: int) -> None:
+        self.set_bc = set_bc
+        self.w2_bc = w2_bc
+        self.n_sets = n_sets
+        self.block_size = block_size
+
+    def __call__(self, it):
+        return build_blocks(
+            it, self.set_bc.value, self.w2_bc.value, self.n_sets, self.block_size
+        )
+
+
+class _RowContributionsFn:
+    """Per-SNP contribution row under the broadcast model (paper flavor)."""
+
+    def __init__(self, model_bc) -> None:
+        self.model_bc = model_bc
+
+    def __call__(self, g):
+        return self.model_bc.value.contributions(np.asarray(g, dtype=np.float64))[0]
+
+
+class _BlockContributionsFn:
+    """Re-block with contributions in place of dosages (vectorized flavor)."""
+
+    def __init__(self, model_bc) -> None:
+        self.model_bc = model_bc
+
+    def __call__(self, block: SnpBlock) -> SnpBlock:
+        return SnpBlock(
+            block.snp_ids,
+            block.set_ids,
+            block.weights_sq,
+            self.model_bc.value.contributions(block.genotypes.astype(np.float64)),
+            block.n_sets,
+        )
+
+
+class _RowInnerFn:
+    """Observed inner sigma: squared row-sum of a contribution row."""
+
+    def __call__(self, row):
+        return float(np.sum(row)) ** 2
+
+
+class _ObservedBlockPartialFn:
+    """Observed per-set partials from a contributions block."""
+
+    def __call__(self, block: SnpBlock):
+        return block.skat_partial(block.genotypes.sum(axis=1))
+
+
+class _McRowInnersFn:
+    """(batch,) squared scores of one SNP row under MC multipliers."""
+
+    def __init__(self, z_bc) -> None:
+        self.z_bc = z_bc
+
+    def __call__(self, row):
+        return np.square(self.z_bc.value @ row)
+
+
+class _McBlockPartialFn:
+    """(batch, K) per-set partials of one block under MC multipliers."""
+
+    def __init__(self, z_bc) -> None:
+        self.z_bc = z_bc
+
+    def __call__(self, block: SnpBlock):
+        return block.skat_partial(self.z_bc.value @ block.genotypes.T)
+
+
+class _PermutedRowInnersFn:
+    """(batch,) squared score sums of one SNP row under permuted models."""
+
+    def __init__(self, models_bc) -> None:
+        self.models_bc = models_bc
+
+    def __call__(self, g):
+        g_arr = np.asarray(g, dtype=np.float64)
+        return np.array(
+            [
+                float(np.sum(model.contributions(g_arr)[0])) ** 2
+                for model in self.models_bc.value
+            ]
+        )
+
+
+class _PermutedBlockPartialsFn:
+    """(batch, K) per-set partials of one block under permuted models."""
+
+    def __init__(self, models_bc) -> None:
+        self.models_bc = models_bc
+
+    def __call__(self, block: SnpBlock):
+        g = block.genotypes.astype(np.float64)
+        scores = np.stack([model.scores(g) for model in self.models_bc.value])
+        return block.skat_partial_rows(scores)
+
+
+class _BroadcastWeightFn:
+    """Map-side weight application (paper flavor, broadcast join strategy)."""
+
+    def __init__(self, w2_bc) -> None:
+        self.w2_bc = w2_bc
+
+    def __call__(self, kv):
+        return (kv[0], kv[1] * self.w2_bc.value[kv[0]])
+
+
+class _KeyBySetFn:
+    """Re-key per-SNP scores by SNP-set index (Algorithm 1 step 11)."""
+
+    def __init__(self, set_bc) -> None:
+        self.set_bc = set_bc
+
+    def __call__(self, kv):
+        return (self.set_bc.value[kv[0]], kv[1])
+
+
+class _KeyZeroFn:
+    """Key every partial under 0 so one reduce task folds them in order."""
+
+    def __call__(self, value):
+        return (0, value)
+
+
+class _MatrixZeroFn:
+    """Zero factory for tree-aggregated (width, K) stat matrices."""
+
+    def __init__(self, width: int, n_sets: int) -> None:
+        self.width = width
+        self.n_sets = n_sets
+
+    def __call__(self):
+        return np.zeros((self.width, self.n_sets))
+
+
+class _ExceedCountsFn:
+    """Executor-side exceedance counting: (width, K) stats -> (K,) ints."""
+
+    def __init__(self, observed_bc) -> None:
+        self.observed_bc = observed_bc
+
+    def __call__(self, stats):
+        return (stats >= self.observed_bc.value[None, :]).sum(axis=0).astype(np.int64)
+
+
+class _PaperExceedFn:
+    """Per-set exceedance count for the paper flavor's keyed totals."""
+
+    def __init__(self, observed_bc) -> None:
+        self.observed_bc = observed_bc
+
+    def __call__(self, kv):
+        set_idx, values = kv
+        exceeded = np.asarray(values) >= self.observed_bc.value[set_idx]
+        return (set_idx, int(np.sum(exceeded)))
 
 
 class DistributedSparkScore:
@@ -109,21 +326,18 @@ class DistributedSparkScore:
         ctx = self.ctx
         if input_paths is not None:
             lines = ctx.text_file(input_paths["genotypes"], self.num_partitions)
-            rows = lines.map_partitions(
-                lambda it: (parse_genotype_line(l) for l in it if l), name="parse_gm"
-            )
+            rows = lines.map_partitions(_ParseGenotypesFn(), name="parse_gm")
         else:
             rows = ctx.parallelize(list(self.dataset.genotypes.rows()), self.num_partitions)
             rows.name = "gm_rows"
         # Algorithm 1 step 5: filter against the union of the SNP-sets
-        union_bc = self._union_set_bc
-        filtered = rows.filter(lambda rec: rec[0] in union_bc.value)
+        filtered = rows.filter(_InUnionFn(self._union_set_bc))
         filtered.name = "fgm"
         if self.flavor == "vectorized":
-            set_bc, w2_bc = self._set_map_bc, self._w2_map_bc
-            n_sets, block_size = self._K, self.block_size
             filtered = filtered.map_partitions(
-                lambda it: build_blocks(it, set_bc.value, w2_bc.value, n_sets, block_size),
+                _BuildBlocksFn(
+                    self._set_map_bc, self._w2_map_bc, self._K, self.block_size
+                ),
                 name="gm_blocks",
             )
         if cache_genotypes:
@@ -136,10 +350,8 @@ class DistributedSparkScore:
         ctx = self.ctx
         if input_paths is not None and "weights" in input_paths:
             lines = ctx.text_file(input_paths["weights"], self.num_partitions)
-            pairs = lines.map_partitions(
-                lambda it: (parse_weight_line(l) for l in it if l), name="parse_weights"
-            )
-            rdd = pairs.map(lambda kv: (kv[0], kv[1] ** 2))
+            pairs = lines.map_partitions(_ParseWeightsFn(), name="parse_weights")
+            rdd = pairs.map(_SquareWeightFn())
         else:
             records = [
                 (int(s), float(w) ** 2)
@@ -155,27 +367,29 @@ class DistributedSparkScore:
         """The per-patient contributions RDD; cached when requested."""
         if self._u_rdd is not None and self._u_cached == cache:
             return self._u_rdd
-        model_bc = self._model_bc
         if self.flavor == "paper":
-            u = self._gm_rdd.map_values(
-                lambda g: model_bc.value.contributions(np.asarray(g, dtype=np.float64))[0]
-            )
+            u = self._gm_rdd.map_values(_RowContributionsFn(self._model_bc))
         else:
-            u = self._gm_rdd.map(
-                lambda block: SnpBlock(
-                    block.snp_ids,
-                    block.set_ids,
-                    block.weights_sq,
-                    model_bc.value.contributions(block.genotypes.astype(np.float64)),
-                    block.n_sets,
-                )
-            )
+            u = self._gm_rdd.map(_BlockContributionsFn(self._model_bc))
         u.name = "U"
         if cache:
             u.cache()
         self._u_rdd = u
         self._u_cached = cache
         return u
+
+    # -- per-set reductions (Algorithm 1 steps 8-12) ---------------------------------
+
+    def _per_set_scores(self, scored: "RDD") -> "RDD":
+        """Weight join + per-set reduction for the paper flavor."""
+        if self.join_strategy == "rdd_join":
+            joined = scored.join(self._weights_rdd, num_partitions=self.num_partitions)
+            snp_scores = joined.map_values(_mul_pair)
+        else:
+            snp_scores = scored.map(_BroadcastWeightFn(self._w2_map_bc))
+        return snp_scores.map(_KeyBySetFn(self._set_map_bc)).reduce_by_key(
+            _add, self.num_partitions
+        )
 
     def _scores_to_set_stats(self, scored: "RDD", width: int) -> np.ndarray:
         """Steps 8-12: inner sigma -> weight join -> per-set reduction.
@@ -186,25 +400,41 @@ class DistributedSparkScore:
         """
         K = self._K
         if self.flavor == "vectorized":
-            partials = scored.collect()
-            total = np.zeros((width, K))
-            for partial in partials:
-                total += partial
-            return total
-        if self.join_strategy == "rdd_join":
-            joined = scored.join(self._weights_rdd, num_partitions=self.num_partitions)
-            snp_scores = joined.map_values(lambda uw: uw[0] * uw[1])
-        else:
-            w2_bc = self._w2_map_bc
-            snp_scores = scored.map(lambda kv: (kv[0], kv[1] * w2_bc.value[kv[0]]))
-        set_bc = self._set_map_bc
-        per_set = snp_scores.map(lambda kv: (set_bc.value[kv[0]], kv[1])).reduce_by_key(
-            lambda a, b: a + b, self.num_partitions
-        )
+            # executors pre-combine per partition; the driver merges
+            # O(sqrt(P)) group partials instead of every block partial
+            return scored.tree_aggregate(_MatrixZeroFn(width, K), _add, _add, depth=2)
         stats = np.zeros((width, K))
-        for set_idx, value in per_set.collect():
+        for set_idx, value in self._per_set_scores(scored).collect():
             stats[:, set_idx] = value
         return stats
+
+    def _scores_to_counts(
+        self, scored: "RDD", width: int, observed_bc: "Broadcast"
+    ) -> np.ndarray:
+        """Executor-side exceedance counting against the broadcast observed.
+
+        The replicate stat matrix is folded and compared *inside* the
+        engine: the vectorized flavor funnels every partition's partials to
+        one reduce task (no map-side combine, so the fold order matches a
+        driver-side collect exactly), the paper flavor compares per set
+        after its keyed reduction.  The driver receives ``(K,)`` int64
+        counts -- O(K) bytes per batch instead of O(P * batch * K).
+        """
+        observed = observed_bc.value
+        if self.flavor == "vectorized":
+            total = scored.map(_KeyZeroFn()).combine_by_key(
+                _first, _add, _add, num_partitions=1, map_side_combine=False
+            )
+            collected = total.map_values(_ExceedCountsFn(observed_bc)).collect()
+            if not collected:
+                return np.zeros(self._K, dtype=np.int64)
+            return collected[0][1]
+        # sets with no SNPs keep the zero statistic of the old dense matrix
+        counts = (width * (0.0 >= observed)).astype(np.int64)
+        per_set = self._per_set_scores(scored)
+        for set_idx, count in per_set.map(_PaperExceedFn(observed_bc)).collect():
+            counts[set_idx] = count
+        return counts
 
     # -- Algorithm 1: observed statistics ----------------------------------------------
 
@@ -212,11 +442,11 @@ class DistributedSparkScore:
         pass_start = time.perf_counter()
         u = self.contributions_rdd(cache_contributions)
         if self.flavor == "paper":
-            inner = u.map_values(lambda row: float(np.sum(row)) ** 2)
+            inner = u.map_values(_RowInnerFn())
             stats = self._scores_to_set_stats(inner, 1)[0]
         else:
-            partial = u.map(lambda block: block.skat_partial(block.genotypes.sum(axis=1)))
-            stats = self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
+            partial = u.map(_ObservedBlockPartialFn())
+            stats = self._scores_to_set_stats(partial, 1)[0]
         instrumentation.SCORE_PASS_SECONDS.labels(engine="distributed").observe(
             time.perf_counter() - pass_start
         )
@@ -238,6 +468,7 @@ class DistributedSparkScore:
     ) -> ResamplingResult:
         start = time.perf_counter()
         observed = self.observed_statistics(cache_contributions)
+        observed_bc = self.ctx.broadcast(observed)
         u = self.contributions_rdd(cache_contributions)
         counts = np.zeros(self._K, dtype=np.int64)
         n = self.dataset.n_patients
@@ -246,51 +477,44 @@ class DistributedSparkScore:
             z_bc = self.ctx.broadcast(z_batch)
             width = z_batch.shape[0]
             if self.flavor == "paper":
-                inner = u.map_values(lambda row: np.square(z_bc.value @ row))
-                stats = self._scores_to_set_stats(inner, width)
+                scored = u.map_values(_McRowInnersFn(z_bc))
             else:
-                partial = u.map(
-                    lambda block: block.skat_partial(z_bc.value @ block.genotypes.T)
-                )
-                stats = self._scores_to_set_stats(partial, width)
-            counts += (stats >= observed[None, :]).sum(axis=0)
+                scored = u.map(_McBlockPartialFn(z_bc))
+            counts += self._scores_to_counts(scored, width, observed_bc)
             z_bc.destroy()
             instrumentation.observe_batch(
                 "monte_carlo", "distributed", time.perf_counter() - batch_start, width
             )
+        observed_bc.destroy()
         return self._result("monte_carlo", observed, counts, iterations, start)
 
     # -- Algorithm 2: permutation ---------------------------------------------------------------
 
-    def permutation(self, iterations: int, seed: int = 0) -> ResamplingResult:
+    def permutation(
+        self, iterations: int, seed: int = 0, batch_size: int = 16
+    ) -> ResamplingResult:
         start = time.perf_counter()
         observed = self.observed_statistics(cache_contributions=False)
+        observed_bc = self.ctx.broadcast(observed)
         counts = np.zeros(self._K, dtype=np.int64)
         n = self.dataset.n_patients
-        for perm in permutation_stream(n, iterations, seed):
-            replicate_start = time.perf_counter()
-            # re-broadcast the shuffled phenotype pairs (Alg. 2 step 2) and
-            # recompute steps 6-12 of Algorithm 1 from the genotype RDD
-            permuted_model = self.model.permuted(perm)
-            model_bc = self.ctx.broadcast(permuted_model)
+        for perm_batch in permutation_batches(n, iterations, seed, batch_size):
+            batch_start = time.perf_counter()
+            # re-broadcast a block of shuffled phenotypes (Alg. 2 step 2) and
+            # recompute steps 6-12 of Algorithm 1 once for the whole batch
+            models = [self.model.permuted(perm) for perm in perm_batch]
+            models_bc = self.ctx.broadcast(models)
+            width = len(models)
             if self.flavor == "paper":
-                u = self._gm_rdd.map_values(
-                    lambda g: permuted_contributions(model_bc, g)
-                )
-                inner = u.map_values(lambda row: float(np.sum(row)) ** 2)
-                stats = self._scores_to_set_stats(inner, 1)[0]
+                scored = self._gm_rdd.map_values(_PermutedRowInnersFn(models_bc))
             else:
-                partial = self._gm_rdd.map(
-                    lambda block: block.skat_partial(
-                        model_bc.value.scores(block.genotypes.astype(np.float64))
-                    )
-                )
-                stats = self._scores_to_set_stats(partial.map(lambda v: v[None, :]), 1)[0]
-            counts += (stats >= observed).astype(np.int64)
-            model_bc.destroy()
+                scored = self._gm_rdd.map(_PermutedBlockPartialsFn(models_bc))
+            counts += self._scores_to_counts(scored, width, observed_bc)
+            models_bc.destroy()
             instrumentation.observe_batch(
-                "permutation", "distributed", time.perf_counter() - replicate_start, 1
+                "permutation", "distributed", time.perf_counter() - batch_start, width
             )
+        observed_bc.destroy()
         return self._result("permutation", observed, counts, iterations, start)
 
     # -- results -----------------------------------------------------------------------------------
@@ -321,6 +545,7 @@ class DistributedSparkScore:
                 "cache_hits": sum(t.cache_hits for t in totals),
                 "cache_misses": sum(t.cache_misses for t in totals),
                 "shuffle_bytes": sum(t.shuffle_bytes_written for t in totals),
+                "driver_bytes_collected": sum(t.driver_bytes_collected for t in totals),
             },
         )
 

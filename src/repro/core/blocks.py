@@ -59,6 +59,17 @@ class SnpBlock:
         """Per-set SKAT partials from marginal scores for this block's SNPs."""
         return self.aggregate_per_snp(self.weights_sq * np.square(scores))
 
+    def skat_partial_rows(self, score_rows: np.ndarray) -> np.ndarray:
+        """(b, K) partials, one bincount pass per replicate row.
+
+        Batched replicates must go row-by-row through the 1-D
+        ``skat_partial`` path: the 2-D sparse-matmul path associates the
+        per-set additions differently, so a batched replicate would not be
+        bit-identical to the same replicate computed unbatched.
+        """
+        rows = np.atleast_2d(score_rows)
+        return np.stack([self.skat_partial(row) for row in rows])
+
 
 def build_blocks(
     rows: Iterable[tuple[int, np.ndarray]],

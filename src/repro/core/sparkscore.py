@@ -112,9 +112,18 @@ class SparkScoreAnalysis:
         """Algorithm 3: Lin's Monte Carlo resampling (cached U by default)."""
         return self._impl.monte_carlo(iterations, seed, batch_size, cache_contributions)
 
-    def permutation(self, iterations: int, seed: int = 0) -> ResamplingResult:
-        """Algorithm 2: permutation resampling (full recompute per replicate)."""
-        return self._impl.permutation(iterations, seed)
+    def permutation(
+        self, iterations: int, seed: int = 0, batch_size: int = 16
+    ) -> ResamplingResult:
+        """Algorithm 2: permutation resampling (full recompute per replicate).
+
+        ``batch_size`` controls how many permuted phenotypes the distributed
+        engine broadcasts per job (the local engine streams one at a time;
+        both consume the identical replicate sequence).
+        """
+        if isinstance(self._impl, LocalSparkScore):
+            return self._impl.permutation(iterations, seed)
+        return self._impl.permutation(iterations, seed, batch_size)
 
     def asymptotic(self, method: str = "liu") -> ResamplingResult:
         """Mixture-of-chi-square p-values (no resampling).

@@ -9,14 +9,25 @@
   Tasks are made self-contained before dispatch (shuffle input pre-fetched,
   relevant cached blocks attached); results, new cache blocks, and
   accumulator updates ship back to the driver.  Closures must be picklable.
+  The future returned by ``submit_pickled`` is the *pool's* future, so the
+  scheduler keeps ``max_inflight`` attempts genuinely running in parallel
+  worker processes; driver-side result merging is chained as a completion
+  callback by the task scheduler.
 
-All backends expose ``submit(fn, *args) -> concurrent.futures.Future``.
+Shared-state backends expose ``submit(fn, *args) -> Future``; the process
+backend exposes ``submit_pickled(payload) -> Future`` instead.
+
+Stage closures ship as *task binaries* (see
+:class:`~repro.engine.task.TaskBinary`): the scheduler pickles each stage's
+lineage+closure once, and workers memoize the deserialized binary by id so
+repeated tasks of the same stage skip the unpickling entirely.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import pickle
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,20 +80,44 @@ class ThreadBackend:
         self._pool.shutdown(wait=True)
 
 
+#: worker-side memo of deserialized task binaries, keyed by binary id.
+#: Binary ids are unique per driver context, and each context owns its own
+#: worker pool, so ids never collide within one worker process.
+_TASK_BINARY_CACHE: "OrderedDict[int, Any]" = OrderedDict()
+_TASK_BINARY_CACHE_MAX = 64
+
+
+def _load_task_binary(binary_id: int, blob: bytes) -> Any:
+    """Deserialize a stage's task binary at most once per worker process."""
+    binary = _TASK_BINARY_CACHE.get(binary_id)
+    if binary is not None:
+        _TASK_BINARY_CACHE.move_to_end(binary_id)
+        return binary
+    binary = pickle.loads(blob)
+    _TASK_BINARY_CACHE[binary_id] = binary
+    while len(_TASK_BINARY_CACHE) > _TASK_BINARY_CACHE_MAX:
+        _TASK_BINARY_CACHE.popitem(last=False)
+    return binary
+
+
 def _run_pickled_task(payload: bytes) -> bytes:
     """Worker-side entry point: run one self-contained task attempt.
 
-    Receives a pickled dict with the task, pre-fetched shuffle input, and
-    pre-attached cache blocks; returns a pickled dict with the result, any
-    shuffle output written, newly cached blocks, and accumulator updates.
+    Receives a pickled dict with the stage's task binary (lineage + closure,
+    memoized per worker), the partition/attempt to run, pre-fetched shuffle
+    input, and pre-attached cache blocks; returns a pickled dict with the
+    result, any shuffle output written, newly cached blocks, and
+    accumulator updates.
     """
     from repro.engine.accumulator import AccumulatorBuffer
     from repro.engine.blockmanager import BlockManager
     from repro.engine.shuffle import ShuffleManager
+    from repro.engine.storage import StorageLevel
     from repro.engine.task import ShuffleMapTask, TaskContext
 
     spec = pickle.loads(payload)
-    task = spec["task"]
+    binary = _load_task_binary(spec["binary_id"], spec["binary"])
+    task = binary.make_task(spec["partition"])
     tc = TaskContext(
         stage_id=task.stage_id,
         partition=task.partition,
@@ -91,13 +126,12 @@ def _run_pickled_task(payload: bytes) -> bytes:
         shuffle_manager=ShuffleManager(track_bytes=False),
         block_manager=BlockManager(spec["executor_id"], memory_budget=1 << 62),
         block_master=None,
-        accumulators=AccumulatorBuffer(spec["accumulators"]),
+        accumulators=AccumulatorBuffer(binary.accumulators),
     )
     tc.prefetched_shuffle = spec["prefetched_shuffle"]
     for block_id, data in spec["cached_blocks"].items():
-        from repro.engine.storage import StorageLevel
-
-        tc.block_manager.put(block_id, data, StorageLevel.MEMORY)
+        level = binary.storage_levels.get(block_id[0], StorageLevel.MEMORY)
+        tc.block_manager.put(block_id, data, level)
     result = task.run(tc)
 
     shuffle_output = None
@@ -124,7 +158,14 @@ def _run_pickled_task(payload: bytes) -> bytes:
 
 
 class ProcessBackend:
-    """Process pool running self-contained pickled tasks."""
+    """Process pool running self-contained pickled tasks.
+
+    ``submit_pickled`` hands the payload straight to the pool and returns
+    the pool's own future, so up to ``parallelism`` task attempts execute
+    concurrently in worker processes.  The scheduler serializes on the
+    driver and merges results via a completion callback -- the driver is
+    never blocked inside a single task attempt.
+    """
 
     name = "processes"
     supports_shared_state = False
@@ -132,11 +173,6 @@ class ProcessBackend:
     def __init__(self, config: "EngineConfig") -> None:
         self.parallelism = max(1, config.total_cores)
         self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.parallelism)
-
-    def submit(self, fn: Callable, *args: Any) -> concurrent.futures.Future:
-        # fn here is the driver-side wrapper; it decides to call
-        # submit_pickled for the actual remote hop.
-        return _ImmediateFuture(fn, args)
 
     def submit_pickled(self, payload: bytes) -> concurrent.futures.Future:
         return self._pool.submit(_run_pickled_task, payload)

@@ -28,6 +28,11 @@ class TaskMetrics:
     disk_blocks_read: int = 0
     compute_seconds: float = 0.0
     size_estimation_seconds: float = 0.0
+    #: estimated bytes of this task's result materialized on the driver
+    driver_bytes_collected: int = 0
+    #: serialized stage task-binary bytes shipped with this attempt
+    #: (process backend only; 0 under shared-state backends)
+    task_binary_bytes: int = 0
 
 
 @dataclass
@@ -84,6 +89,8 @@ class StageMetrics:
             out.disk_blocks_read += m.disk_blocks_read
             out.compute_seconds += m.compute_seconds
             out.size_estimation_seconds += m.size_estimation_seconds
+            out.driver_bytes_collected += m.driver_bytes_collected
+            out.task_binary_bytes += m.task_binary_bytes
         return out
 
 
@@ -117,6 +124,8 @@ class JobMetrics:
             out.disk_blocks_read += s.disk_blocks_read
             out.compute_seconds += s.compute_seconds
             out.size_estimation_seconds += s.size_estimation_seconds
+            out.driver_bytes_collected += s.driver_bytes_collected
+            out.task_binary_bytes += s.task_binary_bytes
         return out
 
     @property

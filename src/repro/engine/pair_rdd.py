@@ -179,10 +179,18 @@ def cogroup(self: "RDD", *others: "RDD", num_partitions: int | None = None) -> "
     return CoGroupedRDD(self.context, [self, *others], partitioner)
 
 
+class _InnerJoinExpandFn:
+    """Picklable inner-join expansion over cogrouped value lists."""
+
+    def __call__(self, kv):
+        key, (left, right) = kv
+        return [(key, (v, w)) for v in left for w in right]
+
+
 def join(self: "RDD", other: "RDD", num_partitions: int | None = None) -> "RDD":
     """Inner join: (k, (v, w)) for every pairing of values under k."""
     return cogroup(self, other, num_partitions=num_partitions).flat_map(
-        lambda kv: [(kv[0], (v, w)) for v in kv[1][0] for w in kv[1][1]]
+        _InnerJoinExpandFn()
     )
 
 

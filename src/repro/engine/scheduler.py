@@ -16,10 +16,12 @@ import itertools
 import pickle
 import threading
 import time
+from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.engine.accumulator import AccumulatorBuffer
-from repro.engine.backends import ProcessBackend
+from repro.engine.blockmanager import estimate_size
 from repro.engine.dag import Stage, StageGraph
 from repro.engine.dependencies import ShuffleDependency
 from repro.engine.executor import Executor, ExecutorLostError
@@ -34,7 +36,8 @@ from repro.engine.listener import (
 )
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
 from repro.engine.shuffle import FetchFailedError
-from repro.engine.task import ResultTask, ShuffleMapTask, Task, TaskContext
+from repro.engine.storage import StorageLevel
+from repro.engine.task import ResultTask, ShuffleMapTask, Task, TaskBinary, TaskContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import Context
@@ -95,6 +98,16 @@ def stage_cached_rdd_blocks(rdd: "RDD", split: int) -> set[tuple[int, int]]:
     return out
 
 
+@dataclass
+class _SerializedTaskBinary:
+    """A stage's pickled :class:`TaskBinary` plus driver-side lookup state."""
+
+    binary_id: int
+    blob: bytes
+    #: requested StorageLevel per cached rdd id (for merging remote blocks)
+    storage_levels: dict[int, StorageLevel]
+
+
 class TaskScheduler:
     """Runs one stage's task set with retries and executor management."""
 
@@ -102,6 +115,7 @@ class TaskScheduler:
         self.ctx = ctx
         self._round_robin = itertools.count()
         self._lock = threading.Lock()
+        self._binary_ids = itertools.count()
 
     # -- placement ------------------------------------------------------------
 
@@ -148,19 +162,24 @@ class TaskScheduler:
         config = self.ctx.config
         backend = self.ctx.backend
         results: dict[int, Any] = {}
-        pending: list[tuple[Task, int, set[str]]] = [(t, 0, set()) for t in tasks]
+        # FIFO: partition 0 launches first, so locality/straggler traces
+        # read in partition order
+        pending: deque[tuple[Task, int, set[str]]] = deque((t, 0, set()) for t in tasks)
         inflight: dict[concurrent.futures.Future, tuple[Task, int, Executor]] = {}
         max_inflight = max(1, backend.parallelism) * 2
         fetch_failure: _FetchFailedSignal | None = None
+        task_binary: _SerializedTaskBinary | None = None
+        if tasks and not backend.supports_shared_state:
+            task_binary = self._build_task_binary(stage, tasks[0])
 
         while pending or inflight:
             while pending and len(inflight) < max_inflight and fetch_failure is None:
-                task, attempt, tried = pending.pop()
+                task, attempt, tried = pending.popleft()
                 executor = self._choose_executor(task, exclude=tried)
                 self.ctx.listener_bus.post(
                     TaskStart(stage.id, task.partition, attempt, executor.executor_id)
                 )
-                future = self._submit(stage, task, attempt, executor)
+                future = self._submit(stage, task, attempt, executor, task_binary)
                 inflight[future] = (task, attempt, executor)
             if not inflight:
                 break
@@ -213,6 +232,8 @@ class TaskScheduler:
                 else:
                     executor.note_task(True)
                     results[task.partition] = value
+                    if isinstance(task, ResultTask):
+                        record.metrics.driver_bytes_collected += estimate_size(value)
                     stage_metrics.tasks.append(record)
                     self.ctx.listener_bus.post(TaskEnd(record))
         if fetch_failure is not None:
@@ -237,12 +258,18 @@ class TaskScheduler:
         )))
 
     def _submit(
-        self, stage: Stage, task: Task, attempt: int, executor: Executor
+        self,
+        stage: Stage,
+        task: Task,
+        attempt: int,
+        executor: Executor,
+        task_binary: _SerializedTaskBinary | None,
     ) -> concurrent.futures.Future:
         backend = self.ctx.backend
         if backend.supports_shared_state:
             return backend.submit(self._run_shared, stage, task, attempt, executor)
-        return backend.submit(self._run_process, stage, task, attempt, executor)
+        assert task_binary is not None
+        return self._submit_process(stage, task, attempt, executor, task_binary)
 
     # -- shared-state execution (serial / threads) -----------------------------
 
@@ -281,39 +308,107 @@ class TaskScheduler:
 
     # -- process-backend execution ------------------------------------------------
 
-    def _run_process(
-        self, stage: Stage, task: Task, attempt: int, executor: Executor
-    ) -> tuple[Any, TaskRecord]:
-        if not executor.alive:
-            raise ExecutorLostError(executor.executor_id)
-        assert isinstance(self.ctx.backend, ProcessBackend)
-        # make the task self-contained: pre-fetch shuffle input + cache blocks
-        prefetched: dict[tuple[int, int], list] = {}
-        for shuffle_id, reduce_part in stage_shuffle_inputs(task.rdd, task.partition):
-            prefetched[(shuffle_id, reduce_part)] = list(
-                self.ctx.shuffle_manager.fetch(shuffle_id, reduce_part)
+    def _build_task_binary(self, stage: Stage, probe: Task) -> _SerializedTaskBinary:
+        """Serialize the stage's closure/lineage once for all its tasks."""
+        levels = {
+            node.id: node.storage_level
+            for node in stage.rdd.lineage()
+            if node.is_cached
+        }
+        if isinstance(probe, ShuffleMapTask):
+            binary = TaskBinary(
+                stage.id, "shuffle_map", stage.rdd,
+                func=None, shuffle_dep=probe.shuffle_dep,
+                accumulators=self.ctx._accumulators, storage_levels=levels,
             )
-        cached_blocks: dict[tuple[int, int], list] = {}
-        for block_id in stage_cached_rdd_blocks(task.rdd, task.partition):
-            data = executor.block_manager.get(block_id)
-            if data is None:
-                remote = self.ctx.block_master.get_remote(block_id, excluding=executor.executor_id)
-                data = remote[0] if remote is not None else None
-            if data is not None:
-                cached_blocks[block_id] = data
-        payload = pickle.dumps(
-            {
-                "task": task,
-                "attempt": attempt,
-                "executor_id": executor.executor_id,
-                "prefetched_shuffle": prefetched,
-                "cached_blocks": cached_blocks,
-                "accumulators": self.ctx._accumulators,
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        else:
+            binary = TaskBinary(
+                stage.id, "result", stage.rdd,
+                func=probe.func, shuffle_dep=None,
+                accumulators=self.ctx._accumulators, storage_levels=levels,
+            )
+        blob = pickle.dumps(binary, protocol=pickle.HIGHEST_PROTOCOL)
+        return _SerializedTaskBinary(next(self._binary_ids), blob, levels)
+
+    def _submit_process(
+        self,
+        stage: Stage,
+        task: Task,
+        attempt: int,
+        executor: Executor,
+        tb: _SerializedTaskBinary,
+    ) -> concurrent.futures.Future:
+        """Dispatch one attempt to the process pool without blocking.
+
+        The returned future resolves to ``(value, TaskRecord)`` once the
+        worker finishes *and* the driver-side merge (shuffle output, cache
+        blocks, accumulators) has run in the pool's completion callback, so
+        ``run_task_set`` keeps ``max_inflight`` attempts genuinely parallel.
+        """
+        out_future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            if not executor.alive:
+                raise ExecutorLostError(executor.executor_id)
+            # make the task self-contained: pre-fetch shuffle input + cache blocks
+            prefetched: dict[tuple[int, int], list] = {}
+            for shuffle_id, reduce_part in stage_shuffle_inputs(task.rdd, task.partition):
+                prefetched[(shuffle_id, reduce_part)] = list(
+                    self.ctx.shuffle_manager.fetch(shuffle_id, reduce_part)
+                )
+            cached_blocks: dict[tuple[int, int], list] = {}
+            for block_id in stage_cached_rdd_blocks(task.rdd, task.partition):
+                data = executor.block_manager.get(block_id)
+                if data is None:
+                    remote = self.ctx.block_master.get_remote(
+                        block_id, excluding=executor.executor_id
+                    )
+                    data = remote[0] if remote is not None else None
+                if data is not None:
+                    cached_blocks[block_id] = data
+            payload = pickle.dumps(
+                {
+                    "binary_id": tb.binary_id,
+                    "binary": tb.blob,
+                    "partition": task.partition,
+                    "attempt": attempt,
+                    "executor_id": executor.executor_id,
+                    "prefetched_shuffle": prefetched,
+                    "cached_blocks": cached_blocks,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except BaseException as exc:  # noqa: BLE001 - surface via the future
+            out_future.set_exception(exc)
+            return out_future
+
         start = time.perf_counter()
-        out = pickle.loads(self.ctx.backend.submit_pickled(payload).result())
+        pool_future = self.ctx.backend.submit_pickled(payload)
+
+        def _finish(done: concurrent.futures.Future) -> None:
+            try:
+                out = pickle.loads(done.result())
+                value, record = self._merge_process_result(
+                    stage, task, attempt, executor, tb, out, start
+                )
+            except BaseException as exc:  # noqa: BLE001 - surface via the future
+                out_future.set_exception(exc)
+            else:
+                out_future.set_result((value, record))
+
+        pool_future.add_done_callback(_finish)
+        return out_future
+
+    def _merge_process_result(
+        self,
+        stage: Stage,
+        task: Task,
+        attempt: int,
+        executor: Executor,
+        tb: _SerializedTaskBinary,
+        out: dict,
+        start: float,
+    ) -> tuple[Any, TaskRecord]:
+        """Fold a worker's self-contained result back into driver state."""
         duration = time.perf_counter() - start
         # merge shuffle output written remotely
         value = out["result"]
@@ -325,11 +420,10 @@ class TaskScheduler:
                 executor_id=executor.executor_id,
                 metrics=out["metrics"],
             )
-        # merge newly cached blocks into this executor's block manager
+        # merge newly cached blocks at the RDD's requested storage level
         for block_id, data in out["new_blocks"].items():
-            from repro.engine.storage import StorageLevel
-
-            executor.block_manager.put(block_id, data, StorageLevel.MEMORY)
+            level = tb.storage_levels.get(block_id[0], StorageLevel.MEMORY)
+            executor.block_manager.put(block_id, data, level)
             if executor.block_manager.contains(block_id):
                 self.ctx.block_master.register_block(block_id, executor.executor_id)
         # merge accumulator updates (dedup by stage/partition)
@@ -337,6 +431,7 @@ class TaskScheduler:
             acc = self.ctx._accumulators.get(acc_id)
             if acc is not None:
                 acc._merge(stage.id, task.partition, local)
+        out["metrics"].task_binary_bytes += len(tb.blob)
         record = TaskRecord(
             stage_id=stage.id,
             partition=task.partition,

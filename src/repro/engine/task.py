@@ -114,6 +114,47 @@ class ResultTask(Task):
         return result
 
 
+class TaskBinary:
+    """The per-stage payload shipped once to executors (Spark's task binary).
+
+    Every task in a stage shares the same RDD lineage and closure; only the
+    partition index differs.  The driver pickles one :class:`TaskBinary`
+    per stage and ships tasks as ``(binary_id, partition, attempt, inputs)``
+    so the lineage is serialized once per stage instead of once per task,
+    and worker processes deserialize it once per stage (keyed by
+    ``binary_id``) instead of once per task.
+    """
+
+    def __init__(
+        self,
+        stage_id: int,
+        kind: str,
+        rdd: "RDD",
+        func: Callable[[Iterator], Any] | None,
+        shuffle_dep: Any | None,
+        accumulators: dict,
+        storage_levels: dict[int, Any],
+    ) -> None:
+        if kind not in ("result", "shuffle_map"):
+            raise ValueError(f"unknown task kind {kind!r}")
+        self.stage_id = stage_id
+        self.kind = kind
+        self.rdd = rdd
+        self.func = func
+        self.shuffle_dep = shuffle_dep
+        #: accumulator *definitions* (id -> Accumulator); driver-side state
+        #: is stripped by Accumulator.__getstate__ on pickling
+        self.accumulators = accumulators
+        #: requested StorageLevel per persisted rdd id in this stage's slice
+        self.storage_levels = storage_levels
+
+    def make_task(self, partition: int) -> "Task":
+        """Rebuild the concrete task for one partition of this stage."""
+        if self.kind == "result":
+            return ResultTask(self.stage_id, self.rdd, partition, self.func)
+        return ShuffleMapTask(self.stage_id, self.rdd, partition, self.shuffle_dep)
+
+
 class ShuffleMapTask(Task):
     """Computes one map partition and writes bucketed output to the shuffle.
 

@@ -322,6 +322,14 @@ class MetricsListener(Listener):
         self.cache_hits = r.counter("engine_cache_hits_total", "task-side cache hits")
         self.cache_misses = r.counter("engine_cache_misses_total", "task-side cache misses")
         self.executors_lost = r.counter("engine_executors_lost_total", "executors lost")
+        self.driver_bytes_collected = r.counter(
+            "engine_driver_bytes_collected_total",
+            "estimated bytes of task results materialized on the driver",
+        )
+        self.task_binary_bytes = r.counter(
+            "engine_task_binary_bytes_total",
+            "serialized stage task-binary bytes shipped to workers",
+        )
 
     def on_event(self, event: EngineEvent) -> None:
         if isinstance(event, JobEnd):
@@ -333,6 +341,8 @@ class MetricsListener(Listener):
                 self.task_seconds.observe(rec.duration_seconds)
                 self.cache_hits.inc(rec.metrics.cache_hits)
                 self.cache_misses.inc(rec.metrics.cache_misses)
+                self.driver_bytes_collected.inc(rec.metrics.driver_bytes_collected)
+                self.task_binary_bytes.inc(rec.metrics.task_binary_bytes)
         elif isinstance(event, ShuffleWrite):
             self.shuffle_bytes.inc(event.bytes_written)
             self.shuffle_records.labels(direction="write").inc(event.records_written)

@@ -39,3 +39,25 @@ def permutation_stream(
     rng = np.random.default_rng(seed)
     for _ in range(n_resamples):
         yield rng.permutation(n_patients)
+
+
+def permutation_batches(
+    n_patients: int, n_resamples: int, seed: int, batch_size: int
+) -> Iterator[np.ndarray]:
+    """Yield ``(b, n)`` permutation batches totalling B rows.
+
+    Draws each permutation sequentially from the same generator state as
+    :func:`permutation_stream`, so a batched consumer sees the *identical*
+    replicate sequence as an unbatched one -- batching changes scheduling,
+    never statistics.
+    """
+    if n_resamples < 0:
+        raise ValueError("n_resamples must be >= 0")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    remaining = n_resamples
+    while remaining > 0:
+        b = min(batch_size, remaining)
+        yield np.stack([rng.permutation(n_patients) for _ in range(b)])
+        remaining -= b

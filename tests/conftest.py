@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.config import EngineConfig
 from repro.engine.context import Context
 from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+
+#: CI sets REPRO_BACKEND=threads to run the suite against the shared-state
+#: thread pool, exercising engine-level races on every push.  Tests that
+#: need determinism or backend-specific behavior use serial_config directly.
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "serial")
 
 
 @pytest.fixture
@@ -16,8 +23,11 @@ def serial_config() -> EngineConfig:
 
 
 @pytest.fixture
-def ctx(serial_config) -> Context:
-    with Context(serial_config) as context:
+def ctx() -> Context:
+    config = EngineConfig(
+        backend=DEFAULT_BACKEND, num_executors=2, executor_cores=2, default_parallelism=4
+    )
+    with Context(config) as context:
         yield context
 
 

@@ -1,0 +1,108 @@
+"""Cross-backend equivalence: serial, threads, and processes must agree.
+
+The engine's whole claim is that the backend is an execution detail --
+identical statistics bit for bit, whichever pool runs the tasks.  These
+tests pin that down for both algorithm flavors, plus the O(K) driver-byte
+bound on resampling batches (executor-side exceedance counting).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.algorithms import DistributedSparkScore
+from repro.engine.context import Context
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _run(dataset, backend, flavor, **kwargs):
+    config = EngineConfig(
+        backend=backend, num_executors=2, executor_cores=2, default_parallelism=4
+    )
+    with Context(config) as ctx:
+        scorer = DistributedSparkScore(ctx, dataset, flavor=flavor, block_size=64)
+        mc = scorer.monte_carlo(60, seed=9, batch_size=20, **kwargs)
+        perm = scorer.permutation(16, seed=9, batch_size=8)
+        return mc, perm
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("flavor", ["paper", "vectorized"])
+class TestBackendsBitIdentical:
+    @pytest.fixture(scope="class")
+    def reference(self, small_dataset):
+        out = {}
+        for flavor in ("paper", "vectorized"):
+            out[flavor] = _run(small_dataset, "serial", flavor)
+        return out
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_matches_serial(self, small_dataset, reference, flavor, backend):
+        mc_ref, perm_ref = reference[flavor]
+        mc, perm = _run(small_dataset, backend, flavor)
+        assert np.array_equal(mc.observed, mc_ref.observed)
+        assert np.array_equal(mc.exceed_counts, mc_ref.exceed_counts)
+        assert np.array_equal(perm.observed, perm_ref.observed)
+        assert np.array_equal(perm.exceed_counts, perm_ref.exceed_counts)
+
+    def test_flavors_agree(self, reference, flavor):
+        mc, perm = reference[flavor]
+        mc_v, perm_v = reference["vectorized"]
+        assert np.array_equal(mc.exceed_counts, mc_v.exceed_counts)
+        assert np.array_equal(perm.exceed_counts, perm_v.exceed_counts)
+
+
+class TestDriverTrafficBound:
+    def test_mc_batch_collects_o_k_bytes(self, small_dataset):
+        """Executor-side counting: an MC batch job hands the driver one
+        (K,) int64 count vector, not P per-partition (batch, K) matrices."""
+        config = EngineConfig(
+            backend="serial", num_executors=2, executor_cores=2, default_parallelism=4
+        )
+        with Context(config) as ctx:
+            scorer = DistributedSparkScore(
+                ctx, small_dataset, flavor="vectorized", block_size=64
+            )
+            batch = 50
+            scorer.monte_carlo(batch, seed=3, batch_size=batch)
+            # the last job is the single MC batch (observed pass ran before)
+            job = ctx.metrics.last_job
+            collected = job.totals().driver_bytes_collected
+            K = small_dataset.n_sets
+            P = 4
+            # O(K) ints plus per-record overhead -- far below one (batch, K)
+            # float matrix per partition
+            assert collected < P * batch * K * 8 / 2
+            assert collected <= K * 8 + 512
+
+    def test_permutation_batch_collects_o_k_bytes(self, small_dataset):
+        config = EngineConfig(
+            backend="serial", num_executors=2, executor_cores=2, default_parallelism=4
+        )
+        with Context(config) as ctx:
+            scorer = DistributedSparkScore(
+                ctx, small_dataset, flavor="vectorized", block_size=64
+            )
+            scorer.permutation(12, seed=3, batch_size=12)
+            collected = ctx.metrics.last_job.totals().driver_bytes_collected
+            assert collected <= small_dataset.n_sets * 8 + 512
+
+
+class TestBatchedPermutationEquivalence:
+    def test_batch_size_does_not_change_counts(self, small_dataset):
+        """Batching permutations changes scheduling, never statistics."""
+        config = EngineConfig(
+            backend="serial", num_executors=2, executor_cores=2, default_parallelism=4
+        )
+        results = []
+        for batch_size in (1, 5, 16):
+            with Context(config) as ctx:
+                scorer = DistributedSparkScore(
+                    ctx, small_dataset, flavor="vectorized", block_size=64
+                )
+                results.append(
+                    scorer.permutation(16, seed=2, batch_size=batch_size).exceed_counts
+                )
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])

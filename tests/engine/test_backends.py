@@ -1,12 +1,14 @@
 """Execution backends: serial, threads, processes."""
 
 import operator
+import time
 
 import pytest
 
 from repro.config import EngineConfig
 from repro.engine.backends import ProcessBackend, SerialBackend, ThreadBackend, make_backend
 from repro.engine.context import Context
+from repro.engine.storage import StorageLevel
 
 
 def _square(x):
@@ -15,6 +17,13 @@ def _square(x):
 
 def _key_mod3(x):
     return (x % 3, x)
+
+
+def _sleep_window(x):
+    """Busy-sleep marker: returns this task's (start, end) wall-clock span."""
+    start = time.monotonic()
+    time.sleep(0.4)
+    return (start, time.monotonic())
 
 
 class TestBackendFactory:
@@ -87,3 +96,45 @@ class TestProcessBackend:
         assert rdd.sum() == rdd.sum()
         cached = sum(len(e.block_manager.block_ids()) for e in pctx.executors)
         assert cached == 4
+
+    def test_tasks_overlap_in_time(self, pctx):
+        """Regression: dispatch must not serialize the pool.
+
+        The old ``_ImmediateFuture`` wrapper blocked the driver inside each
+        ``submit``, so task N+1 could not start until task N finished.  With
+        pool-future chaining both sleepers must be asleep simultaneously --
+        this holds even on a single-core host.
+        """
+        windows = pctx.parallelize([0, 1], 2).map(_sleep_window).collect()
+        starts = [w[0] for w in windows]
+        ends = [w[1] for w in windows]
+        assert max(starts) < min(ends), f"tasks ran sequentially: {windows}"
+
+    def test_task_binary_bytes_recorded_once_per_attempt(self, pctx):
+        pctx.parallelize(range(40), 4).map(_square).collect()
+        totals = pctx.metrics.last_job.totals()
+        assert totals.task_binary_bytes > 0
+        # every attempt reports the same per-stage blob size
+        sizes = {
+            rec.metrics.task_binary_bytes
+            for rec in pctx.metrics.last_job.stages[0].tasks
+            if rec.succeeded
+        }
+        assert len(sizes) == 1
+
+    def test_driver_bytes_collected_recorded(self, pctx):
+        pctx.parallelize(range(40), 4).map(_square).collect()
+        totals = pctx.metrics.last_job.totals()
+        assert totals.driver_bytes_collected > 0
+
+    def test_remote_cache_respects_storage_level(self, pctx):
+        """Regression: blocks computed in workers must be merged at the
+        RDD's requested storage level, not hardcoded MEMORY."""
+        rdd = pctx.parallelize(range(20), 4).map(_square).persist(StorageLevel.MEMORY_SER)
+        rdd.sum()
+        levels = {
+            block.level
+            for executor in pctx.executors
+            for block in executor.block_manager._blocks.values()
+        }
+        assert levels == {StorageLevel.MEMORY_SER}
