@@ -58,6 +58,18 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                    help="write an engine event log (JSONL; distributed engine only)")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome trace_event file (distributed engine only)")
+    p.add_argument("--ui-port", type=int, default=None, metavar="PORT",
+                   help="serve the live engine UI on this port while the "
+                        "analysis runs (0 picks a free port; distributed only)")
+    progress = p.add_mutually_exclusive_group()
+    progress.add_argument("--progress", dest="progress", action="store_true",
+                          default=None,
+                          help="show Spark-style console stage progress bars "
+                               "(default: on when stdout is a TTY)")
+    progress.add_argument("--no-progress", dest="progress", action="store_false")
+    p.add_argument("--profile-fraction", type=float, default=0.0, metavar="F",
+                   help="run this fraction of tasks under cProfile; hotspots "
+                        "land in the event log and `sparkscore history`")
 
 
 def _add_maxt(sub: argparse._SubParsersAction) -> None:
@@ -86,7 +98,7 @@ def _add_history(sub: argparse._SubParsersAction) -> None:
         "history",
         help="inspect an engine event log: stage tables, stragglers, critical path",
     )
-    p.add_argument("event_log", help="JSONL event log (v1 or v2)")
+    p.add_argument("event_log", help="JSONL event log (v1, v2, or v3)")
     p.add_argument("--job", type=int, default=None, help="show only this job id")
     p.add_argument("--export-trace", metavar="PATH",
                    help="write Chrome trace_event JSON (span JSONL if PATH ends in .jsonl)")
@@ -149,24 +161,39 @@ def _load_analysis(args: argparse.Namespace):
     from repro.core.sparkscore import SparkScoreAnalysis
 
     kwargs: dict = {"engine": args.engine}
+    want_progress = getattr(args, "progress", None)
+    if want_progress is None:  # default: bars only on an interactive terminal
+        want_progress = sys.stdout.isatty()
     if args.engine == "distributed":
         config = EngineConfig(
             backend=args.backend,
             num_executors=args.executors,
             executor_cores=args.cores,
             default_parallelism=args.executors * args.cores,
+            profile_fraction=getattr(args, "profile_fraction", 0.0) or 0.0,
         )
         kwargs["flavor"] = args.flavor
         event_log = getattr(args, "event_log", None)
         trace = getattr(args, "trace", None)
-        if event_log or trace:
+        ui_port = getattr(args, "ui_port", None)
+        if event_log or trace or ui_port is not None or want_progress:
             from repro.engine.context import Context
 
-            kwargs["ctx"] = Context(config, event_log_path=event_log, trace_path=trace)
+            kwargs["ctx"] = Context(
+                config,
+                event_log_path=event_log,
+                trace_path=trace,
+                ui_port=ui_port,
+                progress=want_progress,
+            )
+            if ui_port is not None:
+                print(f"engine UI serving at {kwargs['ctx'].ui_url}", file=sys.stderr)
         else:
             kwargs["config"] = config
     elif getattr(args, "event_log", None) or getattr(args, "trace", None):
         raise SystemExit("--event-log/--trace require --engine distributed")
+    elif getattr(args, "ui_port", None) is not None:
+        raise SystemExit("--ui-port requires --engine distributed")
     analysis = SparkScoreAnalysis.from_files(args.dataset_dir, **kwargs)
     if "ctx" in kwargs:
         analysis._owns_ctx = True  # CLI hands the context over for cleanup
@@ -278,7 +305,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def cmd_history(args: argparse.Namespace) -> int:
-    from repro.engine.eventlog import read_event_log
+    from repro.engine.eventlog import read_event_log, read_telemetry
     from repro.obs.history import render_history
     from repro.obs.spans import spans_from_jobs, write_chrome_trace, write_spans_jsonl
 
@@ -293,6 +320,21 @@ def cmd_history(args: argparse.Namespace) -> int:
             print(f"no job {args.job} in {args.event_log}", file=sys.stderr)
             return 1
     print(render_history(jobs))
+    telemetry = read_telemetry(args.event_log)
+    if telemetry:
+        heartbeats = [t for t in telemetry if t["event"] == "heartbeat"]
+        timeouts = [t for t in telemetry if t["event"] == "executor_timed_out"]
+        executors = sorted({t["executor_id"] for t in heartbeats})
+        peak_rss = max((t.get("rss_bytes", 0) for t in heartbeats), default=0)
+        line = (f"\n   heartbeats: {len(heartbeats)} from "
+                f"{len(executors)} executor(s)")
+        if peak_rss:
+            line += f", peak reported rss {peak_rss / (1 << 20):,.1f} MiB"
+        if timeouts:
+            line += f"; {len(timeouts)} executor timeout(s): " + ", ".join(
+                t["executor_id"] for t in timeouts
+            )
+        print(line)
     if args.export_trace:
         spans = spans_from_jobs(jobs)
         if args.export_trace.endswith(".jsonl"):

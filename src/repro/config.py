@@ -75,6 +75,18 @@ class EngineConfig:
     storage_fraction: float = 0.6
     #: deterministic seed for engine-internal tie-breaking
     seed: int = 0
+    #: seconds between executor heartbeats (0 disables the telemetry plane:
+    #: no hub thread, no heartbeat events, no timeout detection)
+    heartbeat_interval: float = 0.5
+    #: seconds without a heartbeat from a busy executor before the driver
+    #: declares it lost (``ExecutorTimedOut``); 0 disables timeout detection
+    #: while keeping heartbeat events flowing
+    heartbeat_timeout: float = 30.0
+    #: fraction of task attempts to run under ``cProfile`` (0 disables);
+    #: sampling is deterministic in (stage_id, partition)
+    profile_fraction: float = 0.0
+    #: hotspot rows kept per profiled task attempt
+    profile_top_n: int = 20
     #: free-form extra options (string keyed, Spark style)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -87,6 +99,9 @@ class EngineConfig:
         "spark.task.maxFailures": "max_task_retries",
         "spark.stage.maxConsecutiveAttempts": "max_stage_retries",
         "spark.memory.storageFraction": "storage_fraction",
+        "spark.executor.heartbeatInterval": "heartbeat_interval",
+        "spark.network.timeout": "heartbeat_timeout",
+        "spark.python.profile.fraction": "profile_fraction",
     }
 
     def __post_init__(self) -> None:
@@ -108,6 +123,12 @@ class EngineConfig:
             raise ValueError("storage_fraction must be in [0, 1]")
         if self.max_task_retries < 0 or self.max_stage_retries < 0:
             raise ValueError("retry counts must be >= 0")
+        if self.heartbeat_interval < 0 or self.heartbeat_timeout < 0:
+            raise ValueError("heartbeat settings must be >= 0")
+        if not 0.0 <= self.profile_fraction <= 1.0:
+            raise ValueError("profile_fraction must be in [0, 1]")
+        if self.profile_top_n < 1:
+            raise ValueError("profile_top_n must be >= 1")
 
     # -- Spark-style string interface ------------------------------------
 

@@ -45,6 +45,34 @@ SCORE_PASS_SECONDS = REGISTRY.histogram(
     labelnames=("engine",),
 )
 
+# -- executor-side task instrumentation --------------------------------------
+#
+# These series are incremented *where the task runs*: directly in the
+# driver's registry under serial/threads, and in the worker process's
+# registry under the process backend -- from where they ship back with the
+# task result as a registry delta and merge into the driver's registry
+# (see Registry.collect_delta / merge_delta).  Every backend therefore
+# exposes the same series names with consistent totals.
+
+WORKER_TASK_SECONDS = REGISTRY.histogram(
+    "repro_worker_task_seconds",
+    "task wall seconds measured at the point of execution",
+    labelnames=("kind",),
+)
+
+WORKER_GC_PAUSE_SECONDS = REGISTRY.counter(
+    "repro_worker_gc_pause_seconds_total",
+    "GC pause seconds observed at the point of execution",
+)
+
+
+def observe_worker_task(kind: str, seconds: float, gc_pause_seconds: float = 0.0) -> None:
+    """Record one executed task attempt from inside the executing process."""
+    WORKER_TASK_SECONDS.labels(kind=kind).observe(seconds)
+    # inc(0) still materializes the series, keeping name parity across
+    # backends even when no collection ran during the task
+    WORKER_GC_PAUSE_SECONDS.inc(gc_pause_seconds)
+
 
 def observe_batch(method: str, engine: str, seconds: float, replicates: int) -> None:
     """Record one resampling batch of ``replicates`` replicates."""

@@ -26,7 +26,10 @@ repeated tasks of the same stage skip the unpickling entirely.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import pickle
+import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -100,24 +103,101 @@ def _load_task_binary(binary_id: int, blob: bytes) -> Any:
     return binary
 
 
+# -- worker-side heartbeats ---------------------------------------------------
+#
+# Set up by the pool initializer (ProcessBackend.configure_heartbeats): a
+# manager-queue proxy plus interval land in module globals, and the first
+# task run starts one daemon thread per worker process that reports the
+# worker's in-flight tasks to the driver's HeartbeatHub.
+
+_WORKER_HB: dict[str, Any] = {"queue": None, "interval": 0.5}
+_WORKER_INFLIGHT: "dict[tuple, Any]" = {}  # (stage, partition, attempt) -> TaskContext
+_WORKER_INFLIGHT_LOCK = threading.Lock()
+_WORKER_HB_THREAD: threading.Thread | None = None
+
+
+def _init_worker_heartbeats(hb_queue: Any, interval: float) -> None:
+    """ProcessPoolExecutor initializer: runs once in each worker process."""
+    _WORKER_HB["queue"] = hb_queue
+    _WORKER_HB["interval"] = max(float(interval), 0.05)
+
+
+def _ensure_worker_heartbeat_thread() -> None:
+    global _WORKER_HB_THREAD
+    if _WORKER_HB["queue"] is None:
+        return
+    if _WORKER_HB_THREAD is not None and _WORKER_HB_THREAD.is_alive():
+        return
+    _WORKER_HB_THREAD = threading.Thread(
+        target=_worker_heartbeat_loop, name="repro-worker-heartbeat", daemon=True
+    )
+    _WORKER_HB_THREAD.start()
+
+
+def _worker_heartbeat_loop() -> None:
+    while True:
+        time.sleep(_WORKER_HB["interval"])
+        _send_worker_heartbeats()
+
+
+def _send_worker_heartbeats() -> None:
+    """Ship one HeartbeatRecord per executor with tasks in this worker."""
+    hb_queue = _WORKER_HB["queue"]
+    if hb_queue is None:
+        return
+    from repro.engine.heartbeat import HeartbeatRecord
+    from repro.engine.task import current_rss_bytes
+
+    with _WORKER_INFLIGHT_LOCK:
+        by_executor: dict[str, dict[tuple, Any]] = {}
+        for key, tc in _WORKER_INFLIGHT.items():
+            by_executor.setdefault(tc.executor_id, {})[key] = tc
+    rss = current_rss_bytes() if by_executor else 0
+    for executor_id, tasks in by_executor.items():
+        record = HeartbeatRecord(
+            executor_id=executor_id,
+            inflight=tuple(tasks),
+            records_read=sum(tc.metrics.records_read for tc in tasks.values()),
+            rss_bytes=rss,
+            worker_pid=os.getpid(),
+        )
+        try:
+            hb_queue.put(record)
+        except (EOFError, OSError, ConnectionError):  # driver gone; go quiet
+            _WORKER_HB["queue"] = None
+            return
+
+
 def _run_pickled_task(payload: bytes) -> bytes:
     """Worker-side entry point: run one self-contained task attempt.
 
     Receives a pickled dict with the stage's task binary (lineage + closure,
     memoized per worker), the partition/attempt to run, pre-fetched shuffle
     input, and pre-attached cache blocks; returns a pickled dict with the
-    result, any shuffle output written, newly cached blocks, and
-    accumulator updates.
+    result, any shuffle output written, newly cached blocks, accumulator
+    updates, task metrics + resource telemetry, optional cProfile hotspot
+    rows, worker-local span fragments (task-relative offsets), and a delta
+    of every metrics-registry increment made while the task ran -- the
+    driver merges the delta so worker-side instrumentation is never lost.
+
+    The outer payload is a tiny wrapper ``{"body", "result_serialize_seconds",
+    "serialize_offset"}``: the result body must be pickled *before* its own
+    serialization time can be known, so the measurement rides outside it.
     """
     from repro.engine.accumulator import AccumulatorBuffer
     from repro.engine.blockmanager import BlockManager
+    from repro.engine.profiler import profile_call
     from repro.engine.shuffle import ShuffleManager
     from repro.engine.storage import StorageLevel
-    from repro.engine.task import ShuffleMapTask, TaskContext
+    from repro.engine.task import ShuffleMapTask, TaskContext, TaskTelemetry
+    from repro.obs.registry import REGISTRY
 
+    task_start = time.perf_counter()
+    registry_baseline = REGISTRY.state_snapshot()
     spec = pickle.loads(payload)
     binary = _load_task_binary(spec["binary_id"], spec["binary"])
     task = binary.make_task(spec["partition"])
+    deserialize_seconds = time.perf_counter() - task_start
     tc = TaskContext(
         stage_id=task.stage_id,
         partition=task.partition,
@@ -128,11 +208,35 @@ def _run_pickled_task(payload: bytes) -> bytes:
         block_master=None,
         accumulators=AccumulatorBuffer(binary.accumulators),
     )
+    tc.metrics.deserialize_seconds = deserialize_seconds
     tc.prefetched_shuffle = spec["prefetched_shuffle"]
     for block_id, data in spec["cached_blocks"].items():
         level = binary.storage_levels.get(block_id[0], StorageLevel.MEMORY)
         tc.block_manager.put(block_id, data, level)
-    result = task.run(tc)
+
+    key = (task.stage_id, task.partition, spec["attempt"])
+    telemetry = TaskTelemetry()
+    with _WORKER_INFLIGHT_LOCK:
+        _WORKER_INFLIGHT[key] = tc
+    _ensure_worker_heartbeat_thread()
+    _send_worker_heartbeats()  # immediate "task picked up" liveness signal
+    compute_start = time.perf_counter()
+    try:
+        if spec.get("profile"):
+            result, hotspots = profile_call(
+                lambda: task.run(tc), spec.get("profile_top_n", 20)
+            )
+        else:
+            result, hotspots = task.run(tc), None
+    finally:
+        with _WORKER_INFLIGHT_LOCK:
+            _WORKER_INFLIGHT.pop(key, None)
+    compute_end = time.perf_counter()
+    telemetry.record(tc.metrics)
+
+    from repro.core.instrumentation import observe_worker_task
+
+    observe_worker_task(binary.kind, compute_end - compute_start, tc.metrics.gc_pause_seconds)
 
     shuffle_output = None
     if isinstance(task, ShuffleMapTask):
@@ -153,8 +257,23 @@ def _run_pickled_task(payload: bytes) -> bytes:
         "new_blocks": new_blocks,
         "accumulator_updates": tc.accumulators.snapshot(),
         "metrics": tc.metrics,
+        "profile": hotspots,
+        "span_fragments": [
+            {"name": "deserialize", "start": 0.0, "end": deserialize_seconds},
+            {"name": "compute", "start": compute_start - task_start,
+             "end": compute_end - task_start},
+        ],
+        "registry_delta": REGISTRY.collect_delta(registry_baseline),
+        "worker_pid": os.getpid(),
     }
-    return pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+    serialize_start = time.perf_counter()
+    body = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+    wrapper = {
+        "body": body,
+        "result_serialize_seconds": time.perf_counter() - serialize_start,
+        "serialize_offset": serialize_start - task_start,
+    }
+    return pickle.dumps(wrapper, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class ProcessBackend:
@@ -165,6 +284,10 @@ class ProcessBackend:
     concurrently in worker processes.  The scheduler serializes on the
     driver and merges results via a completion callback -- the driver is
     never blocked inside a single task attempt.
+
+    The pool is created lazily on first submit so the heartbeat plane can
+    install its worker initializer (``configure_heartbeats``) after backend
+    construction but before any worker process forks.
     """
 
     name = "processes"
@@ -172,13 +295,39 @@ class ProcessBackend:
 
     def __init__(self, config: "EngineConfig") -> None:
         self.parallelism = max(1, config.total_cores)
-        self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.parallelism)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._hb_queue: Any = None
+        self._hb_interval = 0.5
+
+    def configure_heartbeats(self, hb_queue: Any, interval: float) -> None:
+        """Arrange for worker processes to heartbeat over ``hb_queue``.
+
+        Must be called before the first submit (the queue proxy travels in
+        the pool initializer); the context wires this during startup.
+        """
+        if self._pool is not None:
+            raise RuntimeError("worker pool already started; cannot add heartbeats")
+        self._hb_queue = hb_queue
+        self._hb_interval = interval
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            kwargs: dict[str, Any] = {}
+            if self._hb_queue is not None:
+                kwargs["initializer"] = _init_worker_heartbeats
+                kwargs["initargs"] = (self._hb_queue, self._hb_interval)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.parallelism, **kwargs
+            )
+        return self._pool
 
     def submit_pickled(self, payload: bytes) -> concurrent.futures.Future:
-        return self._pool.submit(_run_pickled_task, payload)
+        return self._ensure_pool().submit(_run_pickled_task, payload)
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 def make_backend(config: "EngineConfig"):

@@ -38,9 +38,11 @@ class Context:
         hdfs: "MiniHDFS | None" = None,
         event_log_path: str | None = None,
         trace_path: str | None = None,
+        ui_port: int | None = None,
+        progress: bool = False,
     ) -> None:
         self.config = config or EngineConfig()
-        #: when set, each completed job is streamed here as JSONL (v2)
+        #: when set, each completed job is streamed here as JSONL (v3)
         self.event_log_path = event_log_path
         #: when set, a span trace is written on stop() -- Chrome
         #: ``trace_event`` JSON, or span JSONL if the path ends in .jsonl
@@ -78,6 +80,32 @@ class Context:
 
             self._tracer = TracingListener()
             self.listener_bus.add_listener(self._tracer)
+
+        # live surfaces: structured progress state (feeds the UI and the
+        # console bars) and the embedded HTTP server
+        from repro.obs.progress import ProgressTracker
+
+        self.progress = ProgressTracker()
+        self.listener_bus.add_listener(self.progress)
+        if progress:
+            from repro.obs.progress import ConsoleProgressListener
+
+            self.listener_bus.add_listener(ConsoleProgressListener(self.progress))
+        self._ui = None
+        if ui_port is not None:
+            from repro.obs.ui import UIServer
+
+            self._ui = UIServer(self, port=ui_port)
+            self._ui.start()
+
+        # heartbeat plane: liveness for busy executors + timeout monitor
+        self.heartbeats = None
+        if self.config.heartbeat_interval > 0:
+            from repro.engine.heartbeat import HeartbeatHub
+
+            self.heartbeats = HeartbeatHub(self)
+            self.listener_bus.add_listener(self.heartbeats)
+            self.heartbeats.start()
 
         self._rdd_ids = itertools.count()
         self._shuffle_ids = itertools.count()
@@ -218,8 +246,18 @@ class Context:
 
     # -- lifecycle ---------------------------------------------------------------------
 
+    @property
+    def ui_url(self) -> str | None:
+        """Base URL of the embedded UI server, if one is running."""
+        return self._ui.url if self._ui is not None else None
+
     def stop(self) -> None:
         if not self._stopped:
+            if self._ui is not None:
+                self._ui.stop()
+                self._ui = None
+            if self.heartbeats is not None:
+                self.heartbeats.stop()
             if self._tracer is not None and self.trace_path is not None:
                 from repro.obs.spans import write_chrome_trace, write_spans_jsonl
 

@@ -14,6 +14,12 @@ future fields can be added compatibly.  Version history:
   ``start_time``) and the ``size_estimation_seconds`` task metric, feeding
   critical-path analysis and Chrome trace export.  v1 logs still load:
   the new fields default to zero.
+- **v3** -- executor telemetry plane.  Task records carry the resource
+  telemetry metrics (GC pause, peak RSS, deserialize/serialize split),
+  sampled-profiler hotspot rows, and worker span fragments; the log also
+  interleaves ``heartbeat`` and ``executor_timed_out`` record lines.
+  Loading is zero-default in both directions: v1/v2 logs load with the new
+  fields defaulted, and v3 telemetry lines are skipped by job readers.
 
 Since the listener-bus refactor the log is written *incrementally*: the
 context attaches an :class:`EventLogListener` to its bus and each job is
@@ -28,11 +34,19 @@ import json
 from dataclasses import asdict
 from typing import IO, Iterable
 
-from repro.engine.listener import JobEnd, Listener
+from repro.engine.listener import (
+    ExecutorHeartbeat,
+    ExecutorTimedOut,
+    JobEnd,
+    Listener,
+)
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
 
-FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: non-job record kinds introduced by v3 (telemetry side-channel)
+TELEMETRY_EVENTS = ("heartbeat", "executor_timed_out")
 
 
 def _job_to_dict(job: JobMetrics) -> dict:
@@ -56,24 +70,31 @@ def _job_to_dict(job: JobMetrics) -> dict:
                 "is_shuffle_map": stage.is_shuffle_map,
                 "wall_seconds": stage.wall_seconds,
                 "submit_time": stage.submit_time,
-                "tasks": [
-                    {
-                        "stage_id": rec.stage_id,
-                        "partition": rec.partition,
-                        "attempt": rec.attempt,
-                        "executor_id": rec.executor_id,
-                        "duration_seconds": rec.duration_seconds,
-                        "start_time": rec.start_time,
-                        "succeeded": rec.succeeded,
-                        "error": rec.error,
-                        "metrics": asdict(rec.metrics),
-                    }
-                    for rec in stage.tasks
-                ],
+                "tasks": [_task_to_dict(rec) for rec in stage.tasks],
             }
             for stage in job.stages
         ],
     }
+
+
+def _task_to_dict(rec: TaskRecord) -> dict:
+    out = {
+        "stage_id": rec.stage_id,
+        "partition": rec.partition,
+        "attempt": rec.attempt,
+        "executor_id": rec.executor_id,
+        "duration_seconds": rec.duration_seconds,
+        "start_time": rec.start_time,
+        "succeeded": rec.succeeded,
+        "error": rec.error,
+        "metrics": asdict(rec.metrics),
+    }
+    # telemetry payloads are omitted when absent to keep lines compact
+    if rec.profile is not None:
+        out["profile"] = rec.profile
+    if rec.span_fragments:
+        out["span_fragments"] = rec.span_fragments
+    return out
 
 
 def _job_from_dict(data: dict) -> JobMetrics:
@@ -116,6 +137,8 @@ def _job_from_dict(data: dict) -> JobMetrics:
                     metrics=TaskMetrics(**rec["metrics"]),
                     succeeded=rec["succeeded"],
                     error=rec["error"],
+                    profile=rec.get("profile"),
+                    span_fragments=list(rec.get("span_fragments") or ()),
                 )
             )
         job.stages.append(stage)
@@ -148,10 +171,45 @@ def read_event_log(path_or_file: str | IO[str]) -> list[JobMetrics]:
             if not line:
                 continue
             try:
-                jobs.append(_job_from_dict(json.loads(line)))
+                data = json.loads(line)
+                # v3 interleaves telemetry records with job records; they
+                # are a side channel the job reader skips.  Unknown kinds
+                # in v1/v2 logs still fail loudly (they predate the side
+                # channel, so a non-job line there is corruption).
+                if (
+                    data.get("event") in TELEMETRY_EVENTS
+                    and data.get("version", 0) >= 3
+                ):
+                    continue
+                jobs.append(_job_from_dict(data))
             except (json.JSONDecodeError, KeyError) as exc:
                 raise ValueError(f"event log line {lineno} is corrupt: {exc}") from exc
         return jobs
+    finally:
+        if own:
+            fh.close()
+
+
+def read_telemetry(path_or_file: str | IO[str]) -> list[dict]:
+    """Load the v3 telemetry records (heartbeats, timeouts) from a log.
+
+    Returns raw dicts in file order; empty for v1/v2 logs.
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") in TELEMETRY_EVENTS:
+                out.append(data)
+        return out
     finally:
         if own:
             fh.close()
@@ -164,19 +222,54 @@ class EventLogListener(Listener):
     :class:`~repro.engine.listener.JobEnd`, flushes after every write, and
     closes on context stop.  Failed jobs are logged too (their partial
     stage records are often the most interesting ones).
+
+    The v3 telemetry side channel rides in the same file: heartbeat and
+    executor-timeout events are appended as their own compact record lines
+    (these are not flushed per line -- heartbeats are periodic, and a lost
+    tail of liveness records is harmless).
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._fh: IO[str] | None = None
         self.jobs_written = 0
+        self.telemetry_written = 0
 
-    def on_job_end(self, event: JobEnd) -> None:
+    def _file(self) -> IO[str]:
         if self._fh is None:
             self._fh = open(self.path, "a")
-        self._fh.write(json.dumps(_job_to_dict(event.job), separators=(",", ":")) + "\n")
-        self._fh.flush()
+        return self._fh
+
+    def on_job_end(self, event: JobEnd) -> None:
+        fh = self._file()
+        fh.write(json.dumps(_job_to_dict(event.job), separators=(",", ":")) + "\n")
+        fh.flush()
         self.jobs_written += 1
+
+    def on_executor_heartbeat(self, event: ExecutorHeartbeat) -> None:
+        self._write_telemetry({
+            "event": "heartbeat",
+            "version": FORMAT_VERSION,
+            "time": event.time,
+            "executor_id": event.executor_id,
+            "inflight": [list(t) for t in event.inflight],
+            "records_read": event.records_read,
+            "rss_bytes": event.rss_bytes,
+            "worker_pid": event.worker_pid,
+        })
+
+    def on_executor_timed_out(self, event: ExecutorTimedOut) -> None:
+        self._write_telemetry({
+            "event": "executor_timed_out",
+            "version": FORMAT_VERSION,
+            "time": event.time,
+            "executor_id": event.executor_id,
+            "seconds_since_heartbeat": event.seconds_since_heartbeat,
+        })
+
+    def _write_telemetry(self, data: dict) -> None:
+        self._file().write(json.dumps(data, separators=(",", ":")) + "\n")
+        self.telemetry_written += 1
 
     def close(self) -> None:
         if self._fh is not None:

@@ -32,6 +32,7 @@ class Executor:
         self.block_manager = BlockManager(executor_id, memory_budget, spill_dir)
         self._lock = threading.Lock()
         self._alive = True
+        self._heartbeats_suspended = False
         self.tasks_run = 0
         self.tasks_failed = 0
 
@@ -39,6 +40,25 @@ class Executor:
     def alive(self) -> bool:
         with self._lock:
             return self._alive
+
+    @property
+    def heartbeats_suspended(self) -> bool:
+        with self._lock:
+            return self._heartbeats_suspended
+
+    def suspend_heartbeats(self) -> None:
+        """Stop reporting liveness while still (appearing to) run tasks.
+
+        Simulates a frozen/partitioned executor: the heartbeat hub stops
+        emitting on this executor's behalf, so the timeout monitor will
+        eventually declare it lost.  Used by fault drills and tests.
+        """
+        with self._lock:
+            self._heartbeats_suspended = True
+
+    def resume_heartbeats(self) -> None:
+        with self._lock:
+            self._heartbeats_suspended = False
 
     def kill(self) -> None:
         """Mark dead and drop all cached blocks (simulated node loss)."""
@@ -50,6 +70,7 @@ class Executor:
         """Bring the executor back (fresh, empty cache) -- YARN relaunch."""
         with self._lock:
             self._alive = True
+            self._heartbeats_suspended = False
 
     def note_task(self, succeeded: bool) -> None:
         with self._lock:

@@ -1,0 +1,249 @@
+"""Executor heartbeats: liveness reporting and lost-executor detection.
+
+The analogue of Spark's driver<->executor heartbeat RPC.  While tasks are
+in flight every executor periodically reports liveness and progress
+(in-flight task ids, rows pulled through task iterators so far, RSS):
+
+- **shared-state backends** (serial/threads): the executors live in the
+  driver process, so the :class:`HeartbeatHub`'s own thread emits on their
+  behalf from the live :class:`~repro.engine.task.TaskContext` objects --
+  unless an executor's heartbeats are suspended
+  (:meth:`~repro.engine.executor.Executor.suspend_heartbeats`), which is
+  how tests and fault drills simulate a frozen executor;
+- **process backend**: each worker process runs a small daemon thread that
+  ships :class:`HeartbeatRecord`\\ s over a ``multiprocessing`` manager
+  queue -- genuine cross-process liveness.
+
+The hub posts every received record as a typed
+:class:`~repro.engine.listener.ExecutorHeartbeat` on the listener bus (so
+the metrics registry, event log, and UI all see them) and watches for
+silence: a *busy* executor that has not heartbeated within
+``EngineConfig.heartbeat_timeout`` seconds is declared lost -- the hub
+posts :class:`~repro.engine.listener.ExecutorTimedOut` and the task
+scheduler folds it into the existing executor-loss machinery (blocks and
+shuffle outputs invalidated, in-flight attempts retried on healthy
+executors) instead of hanging the job.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.listener import (
+    ExecutorHeartbeat,
+    ExecutorTimedOut,
+    Listener,
+    TaskEnd,
+    TaskStart,
+)
+from repro.engine.task import TaskContext, current_rss_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+
+
+@dataclass
+class HeartbeatRecord:
+    """One liveness report; plain data so it pickles across processes."""
+
+    executor_id: str
+    #: (stage_id, partition, attempt) triples running on the reporter
+    inflight: tuple = ()
+    records_read: int = 0
+    rss_bytes: int = 0
+    worker_pid: int = 0
+
+
+class HeartbeatHub(Listener):
+    """Driver-side heartbeat plane: emitter, receiver, and timeout monitor.
+
+    Registered on the context's listener bus (it tracks in-flight tasks via
+    ``TaskStart``/``TaskEnd``) and runs one daemon thread that, every
+    ``interval`` seconds:
+
+    1. emits heartbeats for busy driver-hosted executors (shared backends);
+    2. drains worker-process heartbeats from the manager queue;
+    3. flags busy executors silent for longer than ``timeout`` seconds.
+
+    The scheduler consumes flagged executors via :meth:`take_timed_out`.
+    """
+
+    def __init__(self, ctx: "Context") -> None:
+        self.ctx = ctx
+        self.interval = ctx.config.heartbeat_interval
+        self.timeout = ctx.config.heartbeat_timeout
+        self._lock = threading.Lock()
+        #: executor_id -> {(stage, partition, attempt): TaskContext | None}
+        self._inflight: dict[str, dict[tuple, TaskContext | None]] = {}
+        self._last_seen: dict[str, float] = {}
+        #: flagged but not yet consumed by the scheduler
+        self._pending_timeouts: set[str] = set()
+        #: already announced (avoid re-posting ExecutorTimedOut every tick)
+        self._announced: set[str] = set()
+        self.records_received = 0
+        self._worker_queue = None
+        self._manager = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        backend = self.ctx.backend
+        if not backend.supports_shared_state and hasattr(backend, "configure_heartbeats"):
+            import multiprocessing
+
+            self._manager = multiprocessing.Manager()
+            self._worker_queue = self._manager.Queue()
+            backend.configure_heartbeats(self._worker_queue, self.interval)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat-hub", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+    def close(self) -> None:  # bus stop() hook
+        self.stop()
+
+    # -- bus-driven in-flight tracking ------------------------------------
+
+    def on_task_start(self, event: TaskStart) -> None:
+        key = (event.stage_id, event.partition, event.attempt)
+        with self._lock:
+            tasks = self._inflight.setdefault(event.executor_id, {})
+            if not tasks:  # idle -> busy: liveness clock starts now
+                self._last_seen[event.executor_id] = time.perf_counter()
+                self._announced.discard(event.executor_id)
+            tasks[key] = None
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        rec = event.record
+        key = (rec.stage_id, rec.partition, rec.attempt)
+        with self._lock:
+            tasks = self._inflight.get(rec.executor_id)
+            if tasks is not None:
+                tasks.pop(key, None)
+                if not tasks:
+                    del self._inflight[rec.executor_id]
+
+    def attach_context(self, executor_id: str, key: tuple, tc: TaskContext) -> None:
+        """Expose a live TaskContext for progress reporting (shared backends)."""
+        with self._lock:
+            tasks = self._inflight.get(executor_id)
+            if tasks is not None and key in tasks:
+                tasks[key] = tc
+
+    # -- scheduler interface ----------------------------------------------
+
+    def take_timed_out(self) -> set[str]:
+        """Executors flagged lost since the last call (consumed once)."""
+        with self._lock:
+            out, self._pending_timeouts = self._pending_timeouts, set()
+            return out
+
+    def busy_executors(self) -> dict[str, list[tuple]]:
+        """{executor_id: in-flight (stage, partition, attempt) triples}."""
+        with self._lock:
+            return {eid: list(tasks) for eid, tasks in self._inflight.items()}
+
+    def last_heartbeat_age(self, executor_id: str) -> float | None:
+        with self._lock:
+            seen = self._last_seen.get(executor_id)
+        return None if seen is None else time.perf_counter() - seen
+
+    # -- hub thread --------------------------------------------------------
+
+    def _run(self) -> None:
+        period = self.interval
+        if self.timeout > 0:
+            period = min(period, max(self.timeout / 4.0, 0.01))
+        while not self._stop.wait(period):
+            try:
+                self._tick()
+            except Exception:  # never kill the hub on a transient error
+                pass
+        # final drain so late worker records still reach the bus
+        try:
+            self._drain_worker_queue()
+        except Exception:
+            pass
+
+    def _tick(self) -> None:
+        if self.ctx.backend.supports_shared_state:
+            self._emit_driver_hosted()
+        self._drain_worker_queue()
+        if self.timeout > 0:
+            self._check_timeouts()
+
+    def _emit_driver_hosted(self) -> None:
+        """Heartbeat on behalf of busy executors living in this process."""
+        with self._lock:
+            snapshot = {eid: dict(tasks) for eid, tasks in self._inflight.items()}
+        by_id = {e.executor_id: e for e in self.ctx.executors}
+        for executor_id, tasks in snapshot.items():
+            executor = by_id.get(executor_id)
+            if executor is None or not executor.alive or executor.heartbeats_suspended:
+                continue
+            rows = sum(tc.metrics.records_read for tc in tasks.values() if tc is not None)
+            self._receive(HeartbeatRecord(
+                executor_id=executor_id,
+                inflight=tuple(tasks),
+                records_read=rows,
+                rss_bytes=current_rss_bytes(),
+                worker_pid=os.getpid(),
+            ))
+
+    def _drain_worker_queue(self) -> None:
+        if self._worker_queue is None:
+            return
+        while True:
+            try:
+                record = self._worker_queue.get_nowait()
+            except queue.Empty:
+                return
+            except (EOFError, OSError, ConnectionError):  # manager shut down
+                return
+            self._receive(record)
+
+    def _receive(self, record: HeartbeatRecord) -> None:
+        with self._lock:
+            self._last_seen[record.executor_id] = time.perf_counter()
+            self.records_received += 1
+        self.ctx.listener_bus.post(ExecutorHeartbeat(
+            executor_id=record.executor_id,
+            inflight=tuple(record.inflight),
+            records_read=record.records_read,
+            rss_bytes=record.rss_bytes,
+            worker_pid=record.worker_pid,
+        ))
+
+    def _check_timeouts(self) -> None:
+        now = time.perf_counter()
+        stale: list[tuple[str, float]] = []
+        with self._lock:
+            for executor_id, tasks in self._inflight.items():
+                if not tasks or executor_id in self._announced:
+                    continue
+                seen = self._last_seen.get(executor_id)
+                if seen is not None and now - seen > self.timeout:
+                    self._announced.add(executor_id)
+                    self._pending_timeouts.add(executor_id)
+                    stale.append((executor_id, now - seen))
+        for executor_id, age in stale:
+            self.ctx.listener_bus.post(ExecutorTimedOut(executor_id, age))
+
+
+__all__ = ["HeartbeatRecord", "HeartbeatHub"]

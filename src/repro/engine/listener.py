@@ -128,6 +128,34 @@ class ExecutorLost(EngineEvent):
     reason: str = ""
 
 
+@dataclass
+class ExecutorHeartbeat(EngineEvent):
+    """Periodic liveness/progress report from one executor.
+
+    Emitted by the driver-side heartbeat hub for shared-state backends and
+    by worker processes (over a queue) for the process backend.
+    """
+
+    executor_id: str
+    #: (stage_id, partition, attempt) triples currently running
+    inflight: tuple = ()
+    #: rows pulled through in-flight task iterators so far
+    records_read: int = 0
+    #: resident set size of the reporting process, bytes
+    rss_bytes: int = 0
+    #: OS pid of the reporting process (driver pid for shared backends)
+    worker_pid: int = 0
+
+
+@dataclass
+class ExecutorTimedOut(EngineEvent):
+    """A busy executor stopped heartbeating; the scheduler will retry its
+    in-flight tasks elsewhere."""
+
+    executor_id: str
+    seconds_since_heartbeat: float = 0.0
+
+
 # -- listener + bus ----------------------------------------------------------
 
 _CAMEL = re.compile(r"(?<!^)(?=[A-Z])")
@@ -244,6 +272,8 @@ __all__ = [
     "ShuffleWrite",
     "ShuffleFetch",
     "ExecutorLost",
+    "ExecutorHeartbeat",
+    "ExecutorTimedOut",
     "Listener",
     "ListenerBus",
     "CollectingListener",

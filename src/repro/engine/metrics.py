@@ -9,12 +9,17 @@ extrapolate laptop runs to the paper's 6/12/18/36-node EMR clusters.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
 class TaskMetrics:
-    """Counters recorded by a single task attempt."""
+    """Counters recorded by a single task attempt.
+
+    Most fields aggregate by summation; the ``peak_*`` resource-telemetry
+    fields aggregate by maximum (a stage's peak RSS is the largest any of
+    its tasks saw, not their sum) -- see :data:`_MAX_FIELDS`.
+    """
 
     records_read: int = 0
     records_written: int = 0
@@ -33,6 +38,31 @@ class TaskMetrics:
     #: serialized stage task-binary bytes shipped with this attempt
     #: (process backend only; 0 under shared-state backends)
     task_binary_bytes: int = 0
+    # -- resource telemetry (executor telemetry plane) --------------------
+    #: wall seconds spent deserializing the task payload + stage binary
+    #: (process backend only; shared-state backends ship nothing)
+    deserialize_seconds: float = 0.0
+    #: wall seconds spent pickling the task result for the driver
+    result_serialize_seconds: float = 0.0
+    #: cumulative GC pause observed during the attempt (approximate under
+    #: the thread backend: the collector is process-wide)
+    gc_pause_seconds: float = 0.0
+    #: peak resident set size of the executing process, bytes
+    peak_rss_bytes: int = 0
+    #: tracemalloc peak during the attempt (0 unless tracing is enabled)
+    tracemalloc_peak_bytes: int = 0
+
+    def merge_from(self, other: "TaskMetrics") -> None:
+        """Fold ``other`` into this instance (sum, or max for peaks)."""
+        for f in fields(TaskMetrics):
+            if f.name in _MAX_FIELDS:
+                setattr(self, f.name, max(getattr(self, f.name), getattr(other, f.name)))
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+#: fields whose aggregate is a maximum, not a sum
+_MAX_FIELDS = frozenset({"peak_rss_bytes", "tracemalloc_peak_bytes"})
 
 
 @dataclass
@@ -49,6 +79,12 @@ class TaskRecord:
     error: str | None = None
     #: monotonic (perf_counter) launch timestamp; 0.0 in v1 event logs
     start_time: float = 0.0
+    #: sampled-profiler hotspot rows ({func, ncalls, tottime, cumtime}),
+    #: present only when this attempt was profiled
+    profile: list[dict] | None = None
+    #: worker-side sub-phase spans ({name, start, end}, seconds relative to
+    #: task start); shipped by the process backend, empty elsewhere
+    span_fragments: list[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -71,26 +107,11 @@ class StageMetrics:
         return sum(t.duration_seconds for t in self.tasks if t.succeeded)
 
     def totals(self) -> TaskMetrics:
-        """Element-wise sum of task metrics over successful attempts."""
+        """Element-wise aggregate of task metrics over successful attempts."""
         out = TaskMetrics()
         for rec in self.tasks:
-            if not rec.succeeded:
-                continue
-            m = rec.metrics
-            out.records_read += m.records_read
-            out.records_written += m.records_written
-            out.shuffle_bytes_read += m.shuffle_bytes_read
-            out.shuffle_bytes_written += m.shuffle_bytes_written
-            out.shuffle_records_read += m.shuffle_records_read
-            out.shuffle_records_written += m.shuffle_records_written
-            out.cache_hits += m.cache_hits
-            out.cache_misses += m.cache_misses
-            out.remote_cache_hits += m.remote_cache_hits
-            out.disk_blocks_read += m.disk_blocks_read
-            out.compute_seconds += m.compute_seconds
-            out.size_estimation_seconds += m.size_estimation_seconds
-            out.driver_bytes_collected += m.driver_bytes_collected
-            out.task_binary_bytes += m.task_binary_bytes
+            if rec.succeeded:
+                out.merge_from(rec.metrics)
         return out
 
 
@@ -111,21 +132,7 @@ class JobMetrics:
     def totals(self) -> TaskMetrics:
         out = TaskMetrics()
         for stage in self.stages:
-            s = stage.totals()
-            out.records_read += s.records_read
-            out.records_written += s.records_written
-            out.shuffle_bytes_read += s.shuffle_bytes_read
-            out.shuffle_bytes_written += s.shuffle_bytes_written
-            out.shuffle_records_read += s.shuffle_records_read
-            out.shuffle_records_written += s.shuffle_records_written
-            out.cache_hits += s.cache_hits
-            out.cache_misses += s.cache_misses
-            out.remote_cache_hits += s.remote_cache_hits
-            out.disk_blocks_read += s.disk_blocks_read
-            out.compute_seconds += s.compute_seconds
-            out.size_estimation_seconds += s.size_estimation_seconds
-            out.driver_bytes_collected += s.driver_bytes_collected
-            out.task_binary_bytes += s.task_binary_bytes
+            out.merge_from(stage.totals())
         return out
 
     @property
@@ -148,6 +155,11 @@ class MetricsRegistry:
     def last_job(self) -> JobMetrics | None:
         with self._lock:
             return self.jobs[-1] if self.jobs else None
+
+    def jobs_snapshot(self) -> list[JobMetrics]:
+        """Point-in-time copy of the completed-job list (UI / API use)."""
+        with self._lock:
+            return list(self.jobs)
 
     def clear(self) -> None:
         with self._lock:

@@ -188,6 +188,11 @@ class _Empty:
     def __repr__(self) -> str:  # pragma: no cover
         return "<empty>"
 
+    def __reduce__(self):
+        # identity checks (``acc is _EMPTY``) must survive a round trip
+        # through worker processes
+        return (_empty_factory, ())
+
 
 _EMPTY = _Empty()
 

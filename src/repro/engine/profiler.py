@@ -1,0 +1,101 @@
+"""Sampled task profiling: ``cProfile`` on a deterministic task subset.
+
+With ``EngineConfig.profile_fraction > 0`` the schedulers run a fraction of
+task attempts under :mod:`cProfile` and attach the top-N hotspot rows to
+the :class:`~repro.engine.metrics.TaskRecord` (so they ship back from
+worker processes with the result, persist into v3 event logs, and surface
+as an aggregated table in ``sparkscore history``).
+
+Sampling is deterministic in ``(stage_id, partition)`` -- the same run
+profiles the same tasks regardless of backend, executor placement, or
+retry timing -- and is independent of the engine's RNG seed so enabling
+profiling never perturbs statistical results.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, Iterable
+
+#: Knuth multiplicative hash constant; spreads (stage, partition) lattices
+_HASH_MULT = 2654435761
+
+
+def should_profile(fraction: float, stage_id: int, partition: int) -> bool:
+    """Deterministically pick ~``fraction`` of tasks for profiling."""
+    if fraction <= 0.0:
+        return False
+    if fraction >= 1.0:
+        return True
+    h = ((stage_id * 1_000_003 + partition + 1) * _HASH_MULT) & 0xFFFFFFFF
+    return (h % 10_000) < fraction * 10_000
+
+
+def profile_call(fn: Callable[[], Any], top_n: int = 20) -> tuple[Any, list[dict]]:
+    """Run ``fn`` under cProfile; return ``(result, hotspot_rows)``.
+
+    Rows are ``{"func", "ncalls", "tottime", "cumtime"}`` sorted by
+    cumulative time, truncated to ``top_n``.  Profiler failures never fail
+    the task: on any profiling error the task result is returned with an
+    empty row list.
+    """
+    prof = cProfile.Profile()
+    try:
+        result = prof.runcall(fn)
+    except SystemError:  # another profiler active (e.g. coverage); run plain
+        return fn(), []
+    rows = extract_hotspots(prof, top_n)
+    return result, rows
+
+
+def extract_hotspots(prof: cProfile.Profile, top_n: int) -> list[dict]:
+    """Top-N rows of a finished profile, by cumulative time."""
+    stats = pstats.Stats(prof)
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "func": _format_func(filename, lineno, funcname),
+            "ncalls": nc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    rows.sort(key=lambda r: (-r["cumtime"], r["func"]))
+    return rows[:top_n]
+
+
+def _format_func(filename: str, lineno: int, funcname: str) -> str:
+    if filename == "~":  # built-in
+        return funcname
+    short = "/".join(filename.split("/")[-2:])
+    return f"{short}:{lineno}({funcname})"
+
+
+def aggregate_hotspots(rows_per_task: Iterable[list[dict]]) -> list[dict]:
+    """Merge per-task hotspot rows across attempts, keyed by function.
+
+    Returns rows ``{"func", "ncalls", "tottime", "cumtime", "tasks"}``
+    sorted by total ``tottime`` (own time aggregates cleanly across tasks;
+    cumulative time double-counts call chains and is reported per-task
+    max instead).
+    """
+    merged: dict[str, dict] = {}
+    for rows in rows_per_task:
+        for row in rows or ():
+            agg = merged.setdefault(
+                row["func"],
+                {"func": row["func"], "ncalls": 0, "tottime": 0.0, "cumtime": 0.0, "tasks": 0},
+            )
+            agg["ncalls"] += row["ncalls"]
+            agg["tottime"] += row["tottime"]
+            agg["cumtime"] = max(agg["cumtime"], row["cumtime"])
+            agg["tasks"] += 1
+    return sorted(merged.values(), key=lambda r: (-r["tottime"], r["func"]))
+
+
+__all__ = [
+    "should_profile",
+    "profile_call",
+    "extract_hotspots",
+    "aggregate_hotspots",
+]

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.engine.accumulator import AccumulatorBuffer
 from repro.engine.blockmanager import estimate_size
+from repro.engine.closure import dumps as closure_dumps
 from repro.engine.dag import Stage, StageGraph
 from repro.engine.dependencies import ShuffleDependency
 from repro.engine.executor import Executor, ExecutorLostError
@@ -35,9 +36,17 @@ from repro.engine.listener import (
     TaskStart,
 )
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
+from repro.engine.profiler import profile_call, should_profile
 from repro.engine.shuffle import FetchFailedError
 from repro.engine.storage import StorageLevel
-from repro.engine.task import ResultTask, ShuffleMapTask, Task, TaskBinary, TaskContext
+from repro.engine.task import (
+    ResultTask,
+    ShuffleMapTask,
+    Task,
+    TaskBinary,
+    TaskContext,
+    TaskTelemetry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import Context
@@ -172,6 +181,13 @@ class TaskScheduler:
         if tasks and not backend.supports_shared_state:
             task_binary = self._build_task_binary(stage, tasks[0])
 
+        hub = getattr(self.ctx, "heartbeats", None)
+        # with an active timeout monitor, wake up periodically to check for
+        # lost executors instead of blocking until some future completes
+        wait_timeout = None
+        if hub is not None and hub.timeout > 0:
+            wait_timeout = max(hub.interval, 0.01)
+
         while pending or inflight:
             while pending and len(inflight) < max_inflight and fetch_failure is None:
                 task, attempt, tried = pending.popleft()
@@ -184,8 +200,15 @@ class TaskScheduler:
             if not inflight:
                 break
             done, _ = concurrent.futures.wait(
-                inflight, return_when=concurrent.futures.FIRST_COMPLETED
+                inflight,
+                timeout=wait_timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED,
             )
+            if hub is not None:
+                for executor_id in hub.take_timed_out():
+                    self._reschedule_lost_executor(
+                        executor_id, stage, inflight, pending, done, job, config
+                    )
             for future in done:
                 task, attempt, executor = inflight.pop(future)
                 try:
@@ -240,6 +263,45 @@ class TaskScheduler:
             raise fetch_failure
         return results
 
+    def _reschedule_lost_executor(
+        self,
+        executor_id: str,
+        stage: Stage,
+        inflight: dict,
+        pending: deque,
+        done: set,
+        job: JobMetrics,
+        config: Any,
+    ) -> None:
+        """Heartbeat timeout: declare the executor lost, retry its tasks.
+
+        In-flight attempts on the lost executor are abandoned -- their
+        futures are dropped from the wait set and any late result is
+        discarded safely (accumulator merges dedup by (stage, partition);
+        late shuffle/block merges are idempotent) -- and each task is
+        requeued on a healthy executor, excluding the lost one.
+        """
+        self._handle_executor_loss(executor_id, job)
+        abandoned = [
+            future
+            for future, (_, _, executor) in inflight.items()
+            if executor.executor_id == executor_id and future not in done
+        ]
+        for future in abandoned:
+            task, attempt, executor = inflight.pop(future)
+            future.cancel()  # no-op if already running; drops queued attempts
+            executor.note_task(False)
+            job.num_task_failures += 1
+            exc = ExecutorLostError(executor_id)
+            self._post_failed_task(stage, task, attempt, executor, exc)
+            if attempt + 1 > config.max_task_retries:
+                raise JobFailedError(
+                    f"task (stage={stage.id}, partition={task.partition}) "
+                    f"exceeded {config.max_task_retries} retries "
+                    f"(executor {executor_id} heartbeat timeout)"
+                ) from exc
+            pending.append((task, attempt + 1, {executor_id}))
+
     def _post_failed_task(
         self, stage: Stage, task: Task, attempt: int, executor: Executor, exc: Exception
     ) -> None:
@@ -290,9 +352,28 @@ class TaskScheduler:
             accumulators=AccumulatorBuffer(self.ctx._accumulators),
             fault_hook=injector.on_task_launch if injector is not None else None,
         )
+        hub = getattr(self.ctx, "heartbeats", None)
+        if hub is not None:
+            hub.attach_context(
+                executor.executor_id, (stage.id, task.partition, attempt), tc
+            )
+        telemetry = TaskTelemetry()
+        profiled = should_profile(
+            self.ctx.config.profile_fraction, stage.id, task.partition
+        )
         start = time.perf_counter()
-        value = task.run(tc)
+        if profiled:
+            value, hotspots = profile_call(
+                lambda: task.run(tc), self.ctx.config.profile_top_n
+            )
+        else:
+            value, hotspots = task.run(tc), None
         duration = time.perf_counter() - start
+        telemetry.record(tc.metrics)
+        from repro.core.instrumentation import observe_worker_task
+
+        kind = "shuffle_map" if isinstance(task, ShuffleMapTask) else "result"
+        observe_worker_task(kind, duration, tc.metrics.gc_pause_seconds)
         tc.accumulators.merge_into_driver(stage.id, task.partition)
         record = TaskRecord(
             stage_id=stage.id,
@@ -303,6 +384,7 @@ class TaskScheduler:
             metrics=tc.metrics,
             succeeded=True,
             start_time=start,
+            profile=hotspots,
         )
         return value, record
 
@@ -327,7 +409,9 @@ class TaskScheduler:
                 func=probe.func, shuffle_dep=None,
                 accumulators=self.ctx._accumulators, storage_levels=levels,
             )
-        blob = pickle.dumps(binary, protocol=pickle.HIGHEST_PROTOCOL)
+        # closure-aware pickling: lambdas and locally-defined functions in
+        # the lineage serialize by value (repro.engine.closure)
+        blob = closure_dumps(binary)
         return _SerializedTaskBinary(next(self._binary_ids), blob, levels)
 
     def _submit_process(
@@ -374,6 +458,12 @@ class TaskScheduler:
                     "executor_id": executor.executor_id,
                     "prefetched_shuffle": prefetched,
                     "cached_blocks": cached_blocks,
+                    # the driver decides sampling so the profiled subset is
+                    # identical across backends and retries
+                    "profile": should_profile(
+                        self.ctx.config.profile_fraction, stage.id, task.partition
+                    ),
+                    "profile_top_n": self.ctx.config.profile_top_n,
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -386,9 +476,9 @@ class TaskScheduler:
 
         def _finish(done: concurrent.futures.Future) -> None:
             try:
-                out = pickle.loads(done.result())
+                wrapper = pickle.loads(done.result())
                 value, record = self._merge_process_result(
-                    stage, task, attempt, executor, tb, out, start
+                    stage, task, attempt, executor, tb, wrapper, start
                 )
             except BaseException as exc:  # noqa: BLE001 - surface via the future
                 out_future.set_exception(exc)
@@ -405,18 +495,36 @@ class TaskScheduler:
         attempt: int,
         executor: Executor,
         tb: _SerializedTaskBinary,
-        out: dict,
+        wrapper: dict,
         start: float,
     ) -> tuple[Any, TaskRecord]:
         """Fold a worker's self-contained result back into driver state."""
         duration = time.perf_counter() - start
+        # unwrap: serialization time rides outside the body it measured
+        out = pickle.loads(wrapper["body"])
+        out["metrics"].result_serialize_seconds += wrapper["result_serialize_seconds"]
+        span_fragments = list(out.get("span_fragments") or ())
+        span_fragments.append({
+            "name": "result_serialize",
+            "start": wrapper["serialize_offset"],
+            "end": wrapper["serialize_offset"] + wrapper["result_serialize_seconds"],
+        })
+        # merge the worker registry's increments into the driver registry so
+        # worker-side instrumentation survives the process boundary
+        from repro.obs.registry import REGISTRY
+
+        REGISTRY.merge_delta(out.get("registry_delta") or {})
         # merge shuffle output written remotely
         value = out["result"]
         if isinstance(task, ShuffleMapTask) and out["shuffle_output"] is not None:
-            value = self.ctx.shuffle_manager.write_map_output(
+            # the worker already bucketed (and map-side combined) its output;
+            # adopt the buckets as-is instead of re-combining them
+            value = self.ctx.shuffle_manager.register_map_output(
                 task.shuffle_dep,
                 map_partition=task.partition,
-                records=_buckets_to_records(out["shuffle_output"], task.shuffle_dep.shuffle_id, task.partition),
+                buckets=out["shuffle_output"].get(
+                    (task.shuffle_dep.shuffle_id, task.partition), {}
+                ),
                 executor_id=executor.executor_id,
                 metrics=out["metrics"],
             )
@@ -441,6 +549,8 @@ class TaskScheduler:
             metrics=out["metrics"],
             succeeded=True,
             start_time=start,
+            profile=out.get("profile"),
+            span_fragments=span_fragments,
         )
         return value, record
 
@@ -457,17 +567,6 @@ class TaskScheduler:
                 )
         self.ctx.block_master.remove_executor(executor_id)
         self.ctx.shuffle_manager.remove_outputs_on_executor(executor_id)
-
-
-def _buckets_to_records(
-    shuffle_output: dict[tuple[int, int], dict[int, list]],
-    shuffle_id: int,
-    map_partition: int,
-) -> Iterator:
-    """Flatten a worker's bucketed output back to records for re-bucketing."""
-    buckets = shuffle_output.get((shuffle_id, map_partition), {})
-    for records in buckets.values():
-        yield from records
 
 
 class DAGScheduler:

@@ -110,6 +110,48 @@ class ShuffleManager:
             ))
         return status
 
+    def register_map_output(
+        self,
+        dep: "ShuffleDependency",
+        map_partition: int,
+        buckets: dict[int, list],
+        executor_id: str,
+        metrics: "TaskMetrics | None" = None,
+    ) -> MapStatus:
+        """Adopt pre-bucketed output computed by a worker process.
+
+        The worker already partitioned the records and ran any map-side
+        combine; pushing its output back through :meth:`write_map_output`
+        would apply ``create_combiner`` a second time (wrong for
+        non-identity combiners such as ``fold_by_key`` zeros).  Only byte
+        accounting happens here — the worker counted
+        ``shuffle_records_written`` into the task metrics but could not
+        price the buckets (its local manager runs with
+        ``track_bytes=False``).
+        """
+        partitioner = dep.partitioner
+        full = {i: list(buckets.get(i, ())) for i in range(partitioner.num_partitions)}
+        sizes = []
+        for reduce_idx in range(partitioner.num_partitions):
+            if self._track_bytes:
+                sizes.append(len(pickle.dumps(full[reduce_idx], protocol=pickle.HIGHEST_PROTOCOL)))
+            else:
+                sizes.append(0)
+        status = MapStatus(dep.shuffle_id, map_partition, executor_id, tuple(sizes))
+        records_written = sum(len(b) for b in full.values())
+        with self._lock:
+            self._outputs[(dep.shuffle_id, map_partition)] = full
+            self._writers[(dep.shuffle_id, map_partition)] = executor_id
+        if metrics is not None:
+            metrics.shuffle_bytes_written += sum(sizes)
+        if self.bus is not None:
+            from repro.engine.listener import ShuffleWrite
+
+            self.bus.post(ShuffleWrite(
+                dep.shuffle_id, map_partition, executor_id, sum(sizes), records_written
+            ))
+        return status
+
     # -- fetch ----------------------------------------------------------------
 
     def available_maps(self, shuffle_id: int) -> set[int]:

@@ -11,7 +11,12 @@ Two task kinds, exactly as in Spark:
 
 from __future__ import annotations
 
+import gc
+import os
+import resource
+import sys
 import time
+import tracemalloc
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import threading
@@ -20,6 +25,84 @@ from repro.engine.accumulator import AccumulatorBuffer
 from repro.engine.metrics import TaskMetrics
 
 _LOCAL = threading.local()
+
+#: ru_maxrss is kilobytes on Linux, bytes on macOS
+_RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RU_MAXRSS_UNIT
+
+
+def current_rss_bytes() -> int:
+    """Current resident set size, bytes (falls back to the peak off-Linux)."""
+    try:
+        with open(f"/proc/{os.getpid()}/statm") as fh:
+            return int(fh.read().split()[1]) * resource.getpagesize()
+    except (OSError, IndexError, ValueError):
+        return peak_rss_bytes()
+
+
+class _GcPauseMeter:
+    """Process-wide accumulator of garbage-collection pause time.
+
+    One :data:`gc.callbacks` hook feeds a monotone total; tasks sample the
+    total at start/end and attribute the delta to themselves.  Under the
+    thread backend concurrent tasks may each claim the same pause -- the
+    per-task figure is an upper bound, the process total is exact.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._start: float | None = None
+        self._total = 0.0
+        self._installed = False
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        with self._lock:
+            if phase == "start":
+                self._start = time.perf_counter()
+            elif phase == "stop" and self._start is not None:
+                self._total += time.perf_counter() - self._start
+                self._start = None
+
+    def install(self) -> None:
+        if not self._installed:
+            gc.callbacks.append(self._on_gc)
+            self._installed = True
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+
+GC_PAUSE_METER = _GcPauseMeter()
+
+
+class TaskTelemetry:
+    """Samples resource telemetry around one task attempt.
+
+    Usage::
+
+        telemetry = TaskTelemetry()          # samples baselines
+        ... run the task ...
+        telemetry.record(tc.metrics)         # fills the telemetry fields
+    """
+
+    def __init__(self) -> None:
+        GC_PAUSE_METER.install()
+        self._gc_base = GC_PAUSE_METER.total
+        self._tracing = tracemalloc.is_tracing()
+
+    def record(self, metrics: TaskMetrics) -> None:
+        metrics.gc_pause_seconds += GC_PAUSE_METER.total - self._gc_base
+        metrics.peak_rss_bytes = max(metrics.peak_rss_bytes, peak_rss_bytes())
+        if self._tracing and tracemalloc.is_tracing():
+            metrics.tracemalloc_peak_bytes = max(
+                metrics.tracemalloc_peak_bytes, tracemalloc.get_traced_memory()[1]
+            )
 
 
 def current_task_context() -> "TaskContext | None":

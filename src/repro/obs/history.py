@@ -12,7 +12,10 @@ the analyses the benchmarks and ``sparkscore history`` report:
   stage graph, where each stage contributes its slowest task (tasks within
   a stage run in parallel; stages on a dependency chain cannot overlap).
   ``total task time / critical path time`` bounds the theoretical speedup
-  any scheduler could still extract from more parallelism.
+  any scheduler could still extract from more parallelism;
+- **resource telemetry** rollups (GC pause, peak RSS, serialization split)
+  and an aggregated **profiler hotspot table** when any task in the log was
+  run under the sampled profiler (v3 logs).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.engine.metrics import JobMetrics, StageMetrics
+from repro.engine.profiler import aggregate_hotspots
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -225,6 +229,43 @@ def render_job_summary(job: JobMetrics) -> str:
         f"{_fmt_secs(cp.total_task_seconds)} total task time "
         f"=> max speedup {cp.max_speedup:.2f}x",
     ]
+    if totals.gc_pause_seconds or totals.peak_rss_bytes:
+        lines.append(
+            f"   telemetry: gc pause {_fmt_secs(totals.gc_pause_seconds)}, "
+            f"peak rss {_fmt_bytes(totals.peak_rss_bytes)}, "
+            f"deserialize {_fmt_secs(totals.deserialize_seconds)}, "
+            f"result serialize {_fmt_secs(totals.result_serialize_seconds)}"
+        )
+    return "\n".join(lines)
+
+
+def render_hotspot_table(jobs: Iterable[JobMetrics], top_n: int = 15) -> str:
+    """Aggregated profiler hotspots over every profiled task in the log.
+
+    Returns an empty string when no task carried profile rows (profiling
+    off, or a pre-v3 log).
+    """
+    profiles = [
+        rec.profile
+        for job in jobs
+        for stage in job.stages
+        for rec in stage.tasks
+        if rec.profile
+    ]
+    if not profiles:
+        return ""
+    rows = aggregate_hotspots(profiles)[:top_n]
+    header = f"{'tottime':>9} {'cumtime':>9} {'ncalls':>9} {'tasks':>5}  function"
+    lines = [
+        f"== profiler hotspots ({len(profiles)} profiled task attempts) ==",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{_fmt_secs(row['tottime']):>9} {_fmt_secs(row['cumtime']):>9} "
+            f"{row['ncalls']:>9} {row['tasks']:>5}  {row['func']}"
+        )
     return "\n".join(lines)
 
 
@@ -257,6 +298,9 @@ def render_history(jobs: list[JobMetrics]) -> str:
     if not jobs:
         return "(event log contains no jobs)"
     parts = [render_job_summary(job) for job in jobs]
+    hotspots = render_hotspot_table(jobs)
+    if hotspots:
+        parts.append(hotspots)
     agg = aggregate_cache_stats(jobs)
     total_wall = sum(j.wall_seconds for j in jobs)
     total_cp = sum(critical_path(j).critical_seconds for j in jobs)
@@ -279,6 +323,7 @@ __all__ = [
     "critical_path",
     "render_stage_table",
     "render_job_summary",
+    "render_hotspot_table",
     "render_history",
     "aggregate_cache_stats",
 ]

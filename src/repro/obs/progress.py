@@ -1,0 +1,242 @@
+"""Live job/stage/executor progress state and Spark-style console bars.
+
+:class:`ProgressTracker` is a listener that folds bus events into a
+structured, point-in-time snapshot of everything currently running --
+jobs, stages with task completion counts, and per-executor liveness from
+heartbeats.  It is the single source the live surfaces read from: the
+embedded HTTP server (:mod:`repro.obs.ui`) serializes
+:meth:`ProgressTracker.snapshot` at ``/api/progress``, and
+:class:`ConsoleProgressListener` renders the classic Spark console bar
+from the same state::
+
+    [Stage 3:=====================>                         (12/48)]
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import IO
+
+from repro.engine.listener import (
+    ExecutorHeartbeat,
+    ExecutorLost,
+    ExecutorTimedOut,
+    JobEnd,
+    JobStart,
+    Listener,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+    TaskStart,
+)
+
+
+class ProgressTracker(Listener):
+    """Folds bus events into live progress state.  Thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: job_id -> {description, state, stage_ids, submitted, wall_seconds}
+        self.jobs: dict[int, dict] = {}
+        #: (stage_id, attempt) -> {name, num_tasks, completed, failed, ...}
+        self.stages: dict[tuple[int, int], dict] = {}
+        #: executor_id -> {heartbeats, records_read, rss_bytes, ...}
+        self.executors: dict[str, dict] = {}
+
+    # -- jobs / stages -----------------------------------------------------
+
+    def on_job_start(self, event: JobStart) -> None:
+        with self._lock:
+            self.jobs[event.job_id] = {
+                "job_id": event.job_id,
+                "description": event.description,
+                "state": "running",
+                "stage_ids": [],
+                "submitted": event.time,
+                "wall_seconds": None,
+            }
+
+    def on_job_end(self, event: JobEnd) -> None:
+        with self._lock:
+            job = self.jobs.get(event.job_id)
+            if job is not None:
+                job["state"] = "succeeded" if event.succeeded else "failed"
+                job["wall_seconds"] = event.job.wall_seconds
+
+    def on_stage_submitted(self, event: StageSubmitted) -> None:
+        with self._lock:
+            self.stages[(event.stage_id, event.attempt)] = {
+                "stage_id": event.stage_id,
+                "attempt": event.attempt,
+                "name": event.name,
+                "job_id": event.job_id,
+                "num_tasks": event.num_tasks,
+                "completed_tasks": 0,
+                "failed_tasks": 0,
+                "active_tasks": 0,
+                "state": "running",
+            }
+            job = self.jobs.get(event.job_id)
+            if job is not None and event.stage_id not in job["stage_ids"]:
+                job["stage_ids"].append(event.stage_id)
+
+    def on_stage_completed(self, event: StageCompleted) -> None:
+        with self._lock:
+            stage = self.stages.get((event.stage.stage_id, event.stage.attempt))
+            if stage is not None:
+                stage["state"] = "failed" if event.failed else "complete"
+                stage["active_tasks"] = 0
+
+    def on_task_start(self, event: TaskStart) -> None:
+        with self._lock:
+            stage = self._latest_stage(event.stage_id)
+            if stage is not None:
+                stage["active_tasks"] += 1
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        record = event.record
+        with self._lock:
+            stage = self._latest_stage(record.stage_id)
+            if stage is not None:
+                stage["active_tasks"] = max(0, stage["active_tasks"] - 1)
+                if record.succeeded:
+                    stage["completed_tasks"] += 1
+                else:
+                    stage["failed_tasks"] += 1
+
+    def _latest_stage(self, stage_id: int) -> dict | None:
+        """Newest attempt's entry for a stage id (insertion order wins)."""
+        found = None
+        for (sid, _), stage in self.stages.items():
+            if sid == stage_id:
+                found = stage
+        return found
+
+    # -- executors ---------------------------------------------------------
+
+    def on_executor_heartbeat(self, event: ExecutorHeartbeat) -> None:
+        with self._lock:
+            info = self.executors.setdefault(event.executor_id, {
+                "executor_id": event.executor_id,
+                "heartbeats": 0,
+                "state": "alive",
+            })
+            info["heartbeats"] += 1
+            info["inflight"] = len(event.inflight)
+            info["records_read"] = event.records_read
+            info["rss_bytes"] = event.rss_bytes
+            info["worker_pid"] = event.worker_pid
+            info["last_heartbeat"] = event.time
+
+    def on_executor_timed_out(self, event: ExecutorTimedOut) -> None:
+        with self._lock:
+            info = self.executors.setdefault(event.executor_id, {
+                "executor_id": event.executor_id, "heartbeats": 0,
+            })
+            info["state"] = "timed_out"
+
+    def on_executor_lost(self, event: ExecutorLost) -> None:
+        with self._lock:
+            info = self.executors.setdefault(event.executor_id, {
+                "executor_id": event.executor_id, "heartbeats": 0,
+            })
+            info["state"] = "lost"
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable point-in-time copy of all live state."""
+        with self._lock:
+            return {
+                "jobs": [dict(j) for j in self.jobs.values()],
+                "stages": [dict(s) for s in self.stages.values()],
+                "executors": [dict(e) for e in self.executors.values()],
+            }
+
+    def active_stages(self) -> list[dict]:
+        with self._lock:
+            return [dict(s) for s in self.stages.values() if s["state"] == "running"]
+
+
+class ConsoleProgressListener(Listener):
+    """Renders running stages as Spark-style console bars.
+
+    One carriage-return-redrawn line covering every active stage, updated
+    on task events (rate-limited); the line clears when all stages finish,
+    exactly like ``spark.ui.showConsoleProgress``.
+    """
+
+    def __init__(
+        self,
+        tracker: ProgressTracker,
+        stream: IO[str] | None = None,
+        width: int = 50,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.tracker = tracker
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = width
+        self.min_interval = min_interval
+        self._lock = threading.Lock()
+        self._last_render = 0.0
+        self._last_len = 0
+
+    def on_task_start(self, event: TaskStart) -> None:
+        self._render()
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        self._render()
+
+    def on_stage_completed(self, event: StageCompleted) -> None:
+        self._render(force=True)
+
+    def on_job_end(self, event: JobEnd) -> None:
+        self._clear()
+
+    def close(self) -> None:
+        self._clear()
+
+    def _bar(self, stage: dict) -> str:
+        done, total = stage["completed_tasks"], max(1, stage["num_tasks"])
+        filled = int(self.width * done / total)
+        bar = "=" * filled
+        if filled < self.width:
+            bar += ">" + " " * (self.width - filled - 1)
+        return f"[Stage {stage['stage_id']}:{bar}({done}/{total})]"
+
+    def _render(self, force: bool = False) -> None:
+        with self._lock:
+            now = time.perf_counter()
+            if not force and now - self._last_render < self.min_interval:
+                return
+            self._last_render = now
+            active = self.tracker.active_stages()
+            if not active:
+                self._clear_locked()
+                return
+            line = "".join(self._bar(s) for s in active)
+            pad = " " * max(0, self._last_len - len(line))
+            try:
+                self.stream.write("\r" + line + pad)
+                self.stream.flush()
+            except (ValueError, OSError):  # closed stream
+                return
+            self._last_len = len(line)
+
+    def _clear(self) -> None:
+        with self._lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
+        if self._last_len:
+            try:
+                self.stream.write("\r" + " " * self._last_len + "\r")
+                self.stream.flush()
+            except (ValueError, OSError):
+                pass
+            self._last_len = 0
+
+
+__all__ = ["ProgressTracker", "ConsoleProgressListener"]

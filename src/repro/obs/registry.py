@@ -17,14 +17,16 @@ the engine's listener bus into the same registry.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.engine.listener import (
     BlockCached,
     BlockEvicted,
     BlockFetchedRemote,
     EngineEvent,
+    ExecutorHeartbeat,
     ExecutorLost,
+    ExecutorTimedOut,
     JobEnd,
     Listener,
     ShuffleFetch,
@@ -125,6 +127,23 @@ class _Child:
                 if running >= target:
                     return bound
             return float("inf")
+
+    # -- delta shipping ---------------------------------------------------
+
+    def _raw_state(self):
+        """Lock-consistent raw state used by registry delta snapshots."""
+        with self._lock:
+            if self._parent.kind == "histogram":
+                return (self._sum, self._count, tuple(self._bucket_counts))
+            return self._value
+
+    def _apply_histogram_delta(self, sum_d: float, count_d: int, bucket_d: Sequence[int]) -> None:
+        with self._lock:
+            self._sum += sum_d
+            self._count += count_d
+            for i, n in enumerate(bucket_d):
+                if n and i < len(self._bucket_counts):
+                    self._bucket_counts[i] += n
 
 
 class _Instrument:
@@ -275,15 +294,107 @@ class Registry:
                     lines.append(f"{inst.name}{_format_labels(labels)} {_format_value(child.value)}")
         return "\n".join(lines) + "\n"
 
-    def snapshot(self) -> dict[str, float]:
-        """Flat {series_name: value} view of counters/gauges (testing aid)."""
+    def snapshot(self, include_histograms: bool = False) -> dict[str, float]:
+        """Flat {series_name: value} view of counters/gauges (testing aid).
+
+        With ``include_histograms=True``, histogram series contribute
+        ``<name>_count{...}`` and ``<name>_sum{...}`` entries.
+        """
         out: dict[str, float] = {}
         for inst in self.instruments():
-            if inst.kind == "histogram":
-                continue
             for key, child in inst.children().items():
-                out[inst.name + _format_labels(dict(key))] = child.value
+                labels = _format_labels(dict(key))
+                if inst.kind == "histogram":
+                    if include_histograms:
+                        out[f"{inst.name}_count{labels}"] = child.count
+                        out[f"{inst.name}_sum{labels}"] = child.sum
+                else:
+                    out[inst.name + labels] = child.value
         return out
+
+    # -- worker delta shipping -------------------------------------------
+    #
+    # Worker processes carry their own process-wide REGISTRY; increments
+    # made there (size estimation, per-task instrumentation, GC meters)
+    # would otherwise be silently dropped.  A worker snapshots state before
+    # a task, collects the delta after, and ships it with the task result;
+    # the driver merges it so serial/threads/processes expose identical
+    # series.
+
+    def state_snapshot(self) -> dict:
+        """Opaque baseline for a later :meth:`collect_delta`."""
+        state: dict = {}
+        for inst in self.instruments():
+            for key, child in inst.children().items():
+                state[(inst.name, key)] = child._raw_state()
+        return state
+
+    def collect_delta(self, baseline: dict) -> dict:
+        """Shippable (picklable, plain-data) diff since ``baseline``.
+
+        Counters/gauges ship the increment; histograms ship (sum, count,
+        per-bucket) increments.  Series unchanged since the baseline are
+        omitted.
+        """
+        delta: dict = {}
+        for inst in self.instruments():
+            series = []
+            for key, child in inst.children().items():
+                now = child._raw_state()
+                base = baseline.get((inst.name, key))
+                if inst.kind == "histogram":
+                    b_sum, b_count, b_buckets = base or (0.0, 0, ())
+                    if now[1] == b_count and now[0] == b_sum:
+                        continue
+                    buckets = [
+                        n - (b_buckets[i] if i < len(b_buckets) else 0)
+                        for i, n in enumerate(now[2])
+                    ]
+                    series.append({
+                        "labels": dict(key),
+                        "sum": now[0] - b_sum,
+                        "count": now[1] - b_count,
+                        "bucket_counts": buckets,
+                    })
+                else:
+                    inc = now - (base or 0.0)
+                    if inc == 0.0:
+                        continue
+                    series.append({"labels": dict(key), "inc": inc})
+            if series:
+                delta[inst.name] = {
+                    "kind": inst.kind,
+                    "help": inst.help,
+                    "labelnames": list(inst.labelnames),
+                    "buckets": list(inst.buckets) if inst.kind == "histogram" else None,
+                    "series": series,
+                }
+        return delta
+
+    def merge_delta(self, delta: dict) -> None:
+        """Apply a worker-collected delta, creating instruments as needed."""
+        for name, entry in delta.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                inst = self.histogram(
+                    name, entry["help"], labelnames=entry["labelnames"],
+                    buckets=entry["buckets"] or DEFAULT_BUCKETS,
+                )
+            elif kind == "gauge":
+                inst = self.gauge(name, entry["help"], labelnames=entry["labelnames"])
+            else:
+                inst = self.counter(name, entry["help"], labelnames=entry["labelnames"])
+            for series in entry["series"]:
+                child = inst.labels(**series["labels"])
+                if kind == "histogram":
+                    child._apply_histogram_delta(
+                        series["sum"], series["count"], series["bucket_counts"]
+                    )
+                elif kind == "gauge":
+                    child.inc(series["inc"])
+                else:
+                    # guard against clock/float noise producing negatives
+                    child.inc(max(0.0, series["inc"]))
 
 
 #: default process-wide registry
@@ -330,6 +441,37 @@ class MetricsListener(Listener):
             "engine_task_binary_bytes_total",
             "serialized stage task-binary bytes shipped to workers",
         )
+        # -- executor telemetry plane ------------------------------------
+        self.heartbeats = r.counter(
+            "engine_executor_heartbeats_total", "executor heartbeats received",
+            labelnames=("executor",),
+        )
+        self.executor_rss = r.gauge(
+            "engine_executor_rss_bytes", "last heartbeat-reported RSS per executor",
+            labelnames=("executor",),
+        )
+        self.executors_timed_out = r.counter(
+            "engine_executors_timed_out_total",
+            "busy executors declared lost after missing heartbeats",
+        )
+        self.gc_pause_seconds = r.counter(
+            "engine_task_gc_pause_seconds_total",
+            "GC pause time observed during task attempts",
+        )
+        self.deserialize_seconds = r.counter(
+            "engine_task_deserialize_seconds_total",
+            "worker-side task payload deserialization time",
+        )
+        self.result_serialize_seconds = r.counter(
+            "engine_task_result_serialize_seconds_total",
+            "worker-side task result serialization time",
+        )
+        self.peak_rss = r.gauge(
+            "engine_task_peak_rss_bytes", "largest per-task peak RSS observed"
+        )
+        self.tasks_profiled = r.counter(
+            "engine_tasks_profiled_total", "task attempts run under the sampled profiler"
+        )
 
     def on_event(self, event: EngineEvent) -> None:
         if isinstance(event, JobEnd):
@@ -343,6 +485,19 @@ class MetricsListener(Listener):
                 self.cache_misses.inc(rec.metrics.cache_misses)
                 self.driver_bytes_collected.inc(rec.metrics.driver_bytes_collected)
                 self.task_binary_bytes.inc(rec.metrics.task_binary_bytes)
+                self.gc_pause_seconds.inc(rec.metrics.gc_pause_seconds)
+                self.deserialize_seconds.inc(rec.metrics.deserialize_seconds)
+                self.result_serialize_seconds.inc(rec.metrics.result_serialize_seconds)
+                if rec.metrics.peak_rss_bytes > self.peak_rss.value:
+                    self.peak_rss.set(rec.metrics.peak_rss_bytes)
+                if rec.profile is not None:
+                    self.tasks_profiled.inc()
+        elif isinstance(event, ExecutorHeartbeat):
+            self.heartbeats.labels(executor=event.executor_id).inc()
+            if event.rss_bytes:
+                self.executor_rss.labels(executor=event.executor_id).set(event.rss_bytes)
+        elif isinstance(event, ExecutorTimedOut):
+            self.executors_timed_out.inc()
         elif isinstance(event, ShuffleWrite):
             self.shuffle_bytes.inc(event.bytes_written)
             self.shuffle_records.labels(direction="write").inc(event.records_written)

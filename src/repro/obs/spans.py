@@ -97,7 +97,28 @@ def _task_attrs(record) -> dict:
         "shuffle_records_read": m.shuffle_records_read,
         "shuffle_records_written": m.shuffle_records_written,
         "size_estimation_seconds": m.size_estimation_seconds,
+        "deserialize_seconds": m.deserialize_seconds,
+        "result_serialize_seconds": m.result_serialize_seconds,
+        "gc_pause_seconds": m.gc_pause_seconds,
+        "peak_rss_bytes": m.peak_rss_bytes,
     }
+
+
+def _fragment_children(ids, task_span: "Span", record, task_start: float) -> list["Span"]:
+    """Worker-shipped sub-phase fragments as children of the task span.
+
+    Fragments arrive as seconds relative to the worker's task start; they
+    are rebased onto the driver's task-span timeline here.
+    """
+    children = []
+    for frag in getattr(record, "span_fragments", None) or ():
+        children.append(Span(
+            next(ids), task_span.span_id,
+            f"{task_span.name}:{frag['name']}", "task_phase",
+            task_start + frag["start"], task_start + frag["end"],
+            {"executor_id": record.executor_id, "phase": frag["name"]},
+        ))
+    return children
 
 
 class TracingListener(Listener):
@@ -150,11 +171,12 @@ class TracingListener(Listener):
                 if sid == record.stage_id:
                     stage_span = open_span
             start = record.start_time or (event.time - record.duration_seconds)
-            self._new_span(
+            task_span = self._new_span(
                 stage_span.span_id if stage_span else None,
                 f"task {record.stage_id}.{record.partition}#{record.attempt}",
                 "task", start, start + record.duration_seconds, _task_attrs(record),
             )
+            self.spans.extend(_fragment_children(self._ids, task_span, record, start))
 
     def on_stage_completed(self, event: StageCompleted) -> None:
         with self._lock:
@@ -208,12 +230,14 @@ def spans_from_jobs(jobs: Iterable["JobMetrics"]) -> list[Span]:
             spans.append(stage_span)
             for record in stage.tasks:
                 task_start = stage_start if record.start_time == 0.0 else record.start_time
-                spans.append(Span(
+                task_span = Span(
                     next(ids), stage_span.span_id,
                     f"task {record.stage_id}.{record.partition}#{record.attempt}",
                     "task", task_start, task_start + record.duration_seconds,
                     _task_attrs(record),
-                ))
+                )
+                spans.append(task_span)
+                spans.extend(_fragment_children(ids, task_span, record, task_start))
             stage_clock = stage_span.end
         clock = max(clock, job_span.end) + 1e-9
     return spans
@@ -262,7 +286,7 @@ def to_chrome_trace(spans: list[Span]) -> dict:
     tids: dict[str, int] = {"driver": 0}
     events: list[dict] = []
     for span in spans:
-        if span.category == "task":
+        if span.category in ("task", "task_phase"):
             track = str(span.attrs.get("executor_id", "executor"))
         else:
             track = "driver"

@@ -1,0 +1,220 @@
+"""Embedded live UI: a Spark-UI-style HTTP server on the driver.
+
+Pure stdlib (:class:`http.server.ThreadingHTTPServer` on a daemon thread),
+started by ``Context(ui_port=...)`` or ``sparkscore analyze --ui-port``.
+Endpoints:
+
+- ``/metrics`` -- Prometheus text exposition of the process-wide registry
+  (worker-side increments included: the process backend ships registry
+  deltas home with every task result);
+- ``/api/jobs`` -- completed jobs, Spark-REST-style JSON;
+- ``/api/stages`` -- per-stage summaries with aggregated task metrics;
+- ``/api/executors`` -- the executor fleet with heartbeat liveness;
+- ``/api/progress`` -- live jobs/stages/executors snapshot (what the
+  console progress bar renders), advancing while a job is mid-flight;
+- ``/`` -- a minimal auto-refreshing HTML dashboard over the above.
+
+Bind ``port=0`` to let the OS pick a free port (tests do this); the bound
+port is available as ``UIServer.port`` and the full base URL as
+``UIServer.url``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+
+
+def _job_summary(job) -> dict:
+    totals = job.totals()
+    return {
+        "job_id": job.job_id,
+        "description": job.description,
+        "status": "SUCCEEDED",
+        "wall_seconds": job.wall_seconds,
+        "num_stages": len(job.stages),
+        "num_tasks": sum(s.num_tasks for s in job.stages),
+        "num_task_failures": job.num_task_failures,
+        "num_stage_resubmissions": job.num_stage_resubmissions,
+        "total_task_seconds": job.total_task_seconds,
+        "shuffle_bytes_written": totals.shuffle_bytes_written,
+        "shuffle_bytes_read": totals.shuffle_bytes_read,
+        "peak_rss_bytes": totals.peak_rss_bytes,
+    }
+
+
+def _stage_summary(job, stage) -> dict:
+    totals = stage.totals()
+    return {
+        "job_id": job.job_id,
+        "stage_id": stage.stage_id,
+        "attempt": stage.attempt,
+        "name": stage.name,
+        "status": "COMPLETE",
+        "num_tasks": stage.num_tasks,
+        "wall_seconds": stage.wall_seconds,
+        "total_task_seconds": stage.total_task_seconds,
+        "records_read": totals.records_read,
+        "shuffle_bytes_written": totals.shuffle_bytes_written,
+        "shuffle_bytes_read": totals.shuffle_bytes_read,
+        "gc_pause_seconds": totals.gc_pause_seconds,
+        "deserialize_seconds": totals.deserialize_seconds,
+        "result_serialize_seconds": totals.result_serialize_seconds,
+        "peak_rss_bytes": totals.peak_rss_bytes,
+        "task_binary_bytes": totals.task_binary_bytes,
+    }
+
+
+_DASHBOARD = """<!doctype html>
+<html><head><title>sparkscore UI</title>
+<style>
+ body { font-family: monospace; margin: 2em; background: #fafafa; }
+ h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.5em; }
+ table { border-collapse: collapse; }
+ td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: left; }
+ .bar { background: #3b7; height: 10px; display: inline-block; }
+ .trough { background: #ddd; width: 200px; display: inline-block; }
+</style></head>
+<body>
+<h1>sparkscore engine UI</h1>
+<p>endpoints: <a href="/metrics">/metrics</a>
+ <a href="/api/jobs">/api/jobs</a>
+ <a href="/api/stages">/api/stages</a>
+ <a href="/api/executors">/api/executors</a>
+ <a href="/api/progress">/api/progress</a></p>
+<h2>stages</h2><div id="stages">loading...</div>
+<h2>executors</h2><div id="executors"></div>
+<h2>completed jobs</h2><div id="jobs"></div>
+<script>
+function row(cells, tag) {
+  tag = tag || "td";
+  return "<tr>" + cells.map(c => "<" + tag + ">" + c + "</" + tag + ">").join("") + "</tr>";
+}
+async function refresh() {
+  const prog = await (await fetch("/api/progress")).json();
+  document.getElementById("stages").innerHTML = "<table>" +
+    row(["stage", "name", "state", "progress", "tasks"], "th") +
+    prog.stages.map(s => {
+      const pct = Math.round(100 * s.completed_tasks / Math.max(1, s.num_tasks));
+      const bar = '<span class="trough"><span class="bar" style="width:' + 2 * pct + 'px"></span></span> ' + pct + '%';
+      return row([s.stage_id, s.name, s.state, bar, s.completed_tasks + "/" + s.num_tasks]);
+    }).join("") + "</table>";
+  document.getElementById("executors").innerHTML = "<table>" +
+    row(["executor", "state", "heartbeats", "inflight", "rss"], "th") +
+    prog.executors.map(e => row([e.executor_id, e.state || "alive", e.heartbeats,
+      e.inflight || 0, ((e.rss_bytes || 0) / 1048576).toFixed(1) + " MB"])).join("") + "</table>";
+  const jobs = await (await fetch("/api/jobs")).json();
+  document.getElementById("jobs").innerHTML = "<table>" +
+    row(["job", "description", "wall s", "stages", "tasks", "failures"], "th") +
+    jobs.map(j => row([j.job_id, j.description, j.wall_seconds.toFixed(3),
+      j.num_stages, j.num_tasks, j.num_task_failures])).join("") + "</table>";
+}
+refresh(); setInterval(refresh, 1000);
+</script></body></html>
+"""
+
+
+class UIServer:
+    """The embedded HTTP server; one daemon thread, stdlib only."""
+
+    def __init__(self, ctx: "Context", port: int = 0, host: str = "127.0.0.1") -> None:
+        self.ctx = ctx
+        self.host = host
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args) -> None:  # quiet
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    outer._route(self)
+                except BrokenPipeError:  # client went away mid-response
+                    pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-ui", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            self._send(handler, REGISTRY.render(),
+                       "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/api/jobs":
+            jobs = self.ctx.metrics.jobs_snapshot()
+            self._send_json(handler, [_job_summary(j) for j in jobs])
+        elif path == "/api/stages":
+            jobs = self.ctx.metrics.jobs_snapshot()
+            self._send_json(
+                handler,
+                [_stage_summary(j, s) for j in jobs for s in j.stages],
+            )
+        elif path == "/api/executors":
+            live = {
+                e["executor_id"]: e
+                for e in self.ctx.progress.snapshot()["executors"]
+            }
+            out = []
+            for executor in self.ctx.executors:
+                info = {
+                    "executor_id": executor.executor_id,
+                    "host": executor.host,
+                    "cores": executor.cores,
+                    "alive": executor.alive,
+                    "tasks_run": executor.tasks_run,
+                    "tasks_failed": executor.tasks_failed,
+                    "cached_blocks": len(executor.block_manager.block_ids()),
+                }
+                info.update(live.get(executor.executor_id, {}))
+                out.append(info)
+            self._send_json(handler, out)
+        elif path == "/api/progress":
+            self._send_json(handler, self.ctx.progress.snapshot())
+        elif path == "/":
+            self._send(handler, _DASHBOARD, "text/html; charset=utf-8")
+        else:
+            handler.send_error(404, "unknown endpoint")
+
+    @staticmethod
+    def _send(handler: BaseHTTPRequestHandler, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        handler.send_response(200)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(data)))
+        handler.end_headers()
+        handler.wfile.write(data)
+
+    @classmethod
+    def _send_json(cls, handler: BaseHTTPRequestHandler, obj) -> None:
+        cls._send(handler, json.dumps(obj, indent=1), "application/json")
+
+
+__all__ = ["UIServer"]

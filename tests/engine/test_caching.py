@@ -23,6 +23,7 @@ class TestCachedRdd:
         rdd.count()
         assert ctx.metrics.jobs[-1].totals().cache_misses == 2
 
+    @pytest.mark.shared_driver_state
     def test_cached_computation_runs_once(self, ctx):
         calls = []
         rdd = ctx.parallelize(range(4), 2).map(lambda x: calls.append(x) or x).cache()
@@ -30,6 +31,7 @@ class TestCachedRdd:
         rdd.count()
         assert len(calls) == 4
 
+    @pytest.mark.shared_driver_state
     def test_unpersist_recomputes(self, ctx):
         calls = []
         rdd = ctx.parallelize(range(4), 2).map(lambda x: calls.append(x) or x).cache()
@@ -56,6 +58,7 @@ class TestCachedRdd:
         rdd.count()
         assert ctx.cached_partition_count(rdd) == 5
 
+    @pytest.mark.shared_driver_state
     def test_downstream_of_cache_uses_cached_parent(self, ctx):
         calls = []
         base = ctx.parallelize(range(6), 3).map(lambda x: calls.append(x) or x).cache()

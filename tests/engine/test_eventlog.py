@@ -2,11 +2,19 @@
 
 import json
 import operator
+from pathlib import Path
 
 import pytest
 
 from repro.core.replay import capture_job, replay
-from repro.engine.eventlog import FORMAT_VERSION, read_event_log, write_event_log
+from repro.engine.eventlog import (
+    FORMAT_VERSION,
+    read_event_log,
+    read_telemetry,
+    write_event_log,
+)
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
 
 
 @pytest.fixture
@@ -160,13 +168,13 @@ class TestVersionCompat:
         assert cp.critical_seconds == pytest.approx(1.4)
         assert len(spans_from_jobs([job])) == 3  # synthetic timeline works
 
-    def test_v2_writes_current_version(self, ctx, tmp_path):
+    def test_writes_current_version(self, ctx, tmp_path):
         ctx.parallelize(range(4), 2).sum()
-        path = str(tmp_path / "v2.jsonl")
+        path = str(tmp_path / "v3.jsonl")
         write_event_log(ctx.metrics.jobs, path)
         with open(path) as fh:
             data = json.loads(fh.readline())
-        assert data["version"] == FORMAT_VERSION == 2
+        assert data["version"] == FORMAT_VERSION == 3
         assert data["submit_time"] > 0.0
         assert data["stages"][0]["tasks"][0]["start_time"] > 0.0
 
@@ -178,3 +186,74 @@ class TestVersionCompat:
         original = ctx.metrics.jobs[0]
         assert loaded.submit_time == original.submit_time
         assert loaded.stages[0].tasks[0].start_time == original.stages[0].tasks[0].start_time
+
+    def test_committed_v2_fixture_still_loads(self):
+        """Regression: a real v2 log on disk must keep loading as-is, with
+        the v3 telemetry fields zero-defaulted."""
+        (job,) = read_event_log(str(FIXTURES / "eventlog_v2.jsonl"))
+        assert job.description == "sum at reduce"
+        assert len(job.stages) == 2
+        assert job.stages[0].is_shuffle_map
+        totals = job.totals()
+        assert totals.shuffle_bytes_written == 1010
+        assert totals.task_binary_bytes == 5120
+        # v3 fields default to zero on old logs
+        task = job.stages[0].tasks[0]
+        assert task.metrics.gc_pause_seconds == 0.0
+        assert task.metrics.peak_rss_bytes == 0
+        assert task.profile is None
+        assert task.span_fragments == []
+        assert read_telemetry(str(FIXTURES / "eventlog_v2.jsonl")) == []
+
+
+class TestV3Telemetry:
+    def test_profile_and_fragments_round_trip(self, tmp_path):
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+
+        config = EngineConfig(
+            backend="serial", num_executors=2, executor_cores=2,
+            default_parallelism=4, profile_fraction=1.0,
+        )
+        with Context(config) as ctx:
+            ctx.parallelize(range(20), 2).map(lambda x: x * x).sum()
+            jobs = ctx.metrics.jobs
+        path = str(tmp_path / "v3.jsonl")
+        write_event_log(jobs, path)
+        (loaded,) = read_event_log(path)
+        task = loaded.stages[0].tasks[0]
+        assert task.profile, "profiled task should carry hotspot rows"
+        assert {"func", "ncalls", "tottime", "cumtime"} <= set(task.profile[0])
+
+    def test_heartbeat_lines_written_and_skipped(self, tmp_path):
+        """Heartbeat records interleave in the stream; job readers skip
+        them, read_telemetry returns them."""
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "hb.jsonl")
+        config = EngineConfig(
+            backend="threads", num_executors=2, executor_cores=2,
+            default_parallelism=4, heartbeat_interval=0.02,
+        )
+        with Context(config, event_log_path=path) as ctx:
+            import time as _time
+
+            ctx.parallelize(range(8), 4).map(
+                lambda x: (_time.sleep(0.05), x)[1]
+            ).sum()
+        jobs = read_event_log(path)
+        assert len(jobs) == 1
+        telemetry = read_telemetry(path)
+        assert telemetry, "expected heartbeat records in the v3 log"
+        assert all(t["event"] == "heartbeat" for t in telemetry)
+        assert all(t["version"] == FORMAT_VERSION for t in telemetry)
+        assert any(t["executor_id"].startswith("exec-") for t in telemetry)
+
+    def test_v1_heartbeat_line_still_rejected(self, tmp_path):
+        """Only version >= 3 telemetry lines are skippable; a non-job line
+        claiming v1/v2 is corruption and must raise (compat guarantee)."""
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "heartbeat", "version": 2}\n')
+        with pytest.raises(ValueError):
+            read_event_log(str(path))

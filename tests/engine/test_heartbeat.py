@@ -1,0 +1,172 @@
+"""Executor heartbeats: liveness reporting, timeout detection, recovery."""
+
+import os
+import time
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.context import Context
+from repro.engine.listener import (
+    CollectingListener,
+    ExecutorHeartbeat,
+    ExecutorLost,
+    ExecutorTimedOut,
+    TaskEnd,
+)
+
+
+def _slow(x):
+    time.sleep(0.05)
+    return x
+
+
+class TestHeartbeatFlow:
+    def test_threads_backend_emits_heartbeats(self):
+        config = EngineConfig(
+            backend="threads", num_executors=2, executor_cores=2,
+            default_parallelism=4, heartbeat_interval=0.02,
+        )
+        with Context(config) as ctx:
+            collected = ctx.add_listener(CollectingListener(ExecutorHeartbeat))
+            assert ctx.parallelize(range(8), 4).map(_slow).sum() == 28
+            beats = collected.of(ExecutorHeartbeat)
+            assert beats, "busy executors should heartbeat"
+            assert ctx.heartbeats.records_received == len(beats)
+            for beat in beats:
+                assert beat.executor_id.startswith("exec-")
+                assert beat.worker_pid == os.getpid()  # driver-hosted
+                assert beat.rss_bytes > 0
+
+    def test_process_backend_heartbeats_cross_process(self):
+        config = EngineConfig(
+            backend="processes", num_executors=2, executor_cores=2,
+            default_parallelism=4, heartbeat_interval=0.05,
+        )
+        with Context(config) as ctx:
+            collected = ctx.add_listener(CollectingListener(ExecutorHeartbeat))
+            total = ctx.parallelize(range(16), 8).map(_slow).sum()
+            assert total == 120
+            # worker heartbeats may still be in the manager queue; give the
+            # hub a couple of drain ticks
+            deadline = time.time() + 2.0
+            while not collected.of(ExecutorHeartbeat) and time.time() < deadline:
+                time.sleep(0.05)
+            beats = collected.of(ExecutorHeartbeat)
+            assert beats, "worker processes should heartbeat over the queue"
+            assert any(b.worker_pid != os.getpid() for b in beats), (
+                "heartbeats must originate in the worker processes"
+            )
+
+    def test_heartbeats_disabled(self):
+        config = EngineConfig(
+            backend="serial", num_executors=1, executor_cores=1,
+            default_parallelism=2, heartbeat_interval=0.0,
+        )
+        with Context(config) as ctx:
+            assert ctx.heartbeats is None
+            assert ctx.parallelize(range(4), 2).sum() == 6
+
+
+class TestTimeoutRecovery:
+    def test_stalled_executor_times_out_and_task_retries(self):
+        """The headline fault drill: an executor freezes mid-task (stops
+        heartbeating), the monitor declares it lost, and the scheduler
+        retries its in-flight task on a healthy executor instead of
+        hanging the job."""
+        config = EngineConfig(
+            backend="threads", num_executors=2, executor_cores=2,
+            default_parallelism=2, heartbeat_interval=0.03,
+            heartbeat_timeout=0.3,
+        )
+        with Context(config) as ctx:
+            collected = ctx.add_listener(CollectingListener())
+            stalled: dict[str, str] = {}
+
+            def work(x):
+                from repro.engine.task import current_task_context
+
+                tc = current_task_context()
+                if tc.partition == 0 and tc.attempt == 0 and not stalled:
+                    stalled["executor"] = tc.executor_id
+                    for executor in ctx.executors:
+                        if executor.executor_id == tc.executor_id:
+                            executor.suspend_heartbeats()
+                    time.sleep(1.5)  # well past the heartbeat timeout
+                return x * 10
+
+            result = ctx.parallelize([1, 2], 2).map(work).collect()
+            assert result == [10, 20]
+
+            frozen = stalled["executor"]
+            timeouts = collected.of(ExecutorTimedOut)
+            assert [e.executor_id for e in timeouts] == [frozen]
+            assert timeouts[0].seconds_since_heartbeat >= 0.3
+            losses = collected.of(ExecutorLost)
+            assert frozen in [e.executor_id for e in losses]
+
+            # bus ordering: timeout -> loss -> successful retry elsewhere
+            events = collected.events
+            t_timeout = events.index(timeouts[0])
+            t_loss = events.index(losses[0])
+            retry_end = next(
+                e for e in collected.of(TaskEnd)
+                if e.record.partition == 0 and e.record.succeeded
+            )
+            assert t_timeout < t_loss < events.index(retry_end)
+            assert retry_end.record.executor_id != frozen
+            assert retry_end.record.attempt == 1
+
+            # the frozen executor is dead; the survivor is alive
+            by_id = {e.executor_id: e for e in ctx.executors}
+            assert not by_id[frozen].alive
+
+    def test_timed_out_flag_consumed_once(self):
+        config = EngineConfig(
+            backend="threads", num_executors=2, executor_cores=2,
+            default_parallelism=4, heartbeat_interval=0.02,
+        )
+        with Context(config) as ctx:
+            hub = ctx.heartbeats
+            assert hub.take_timed_out() == set()
+            hub._pending_timeouts.add("exec-0")
+            assert hub.take_timed_out() == {"exec-0"}
+            assert hub.take_timed_out() == set()
+
+
+class TestExecutorSuspend:
+    def test_suspend_and_resume(self):
+        from repro.engine.executor import Executor
+
+        executor = Executor("exec-9", "host-0", 2, 1 << 20)
+        assert not executor.heartbeats_suspended
+        executor.suspend_heartbeats()
+        assert executor.heartbeats_suspended
+        executor.resume_heartbeats()
+        assert not executor.heartbeats_suspended
+
+    def test_revive_clears_suspension(self):
+        from repro.engine.executor import Executor
+
+        executor = Executor("exec-9", "host-0", 2, 1 << 20)
+        executor.suspend_heartbeats()
+        executor.kill()
+        executor.revive()
+        assert not executor.heartbeats_suspended
+
+
+class TestConfig:
+    def test_heartbeat_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(heartbeat_interval=-1.0)
+        with pytest.raises(ValueError):
+            EngineConfig(heartbeat_timeout=-0.1)
+
+    def test_spark_aliases(self):
+        config = (
+            EngineConfig()
+            .set("spark.executor.heartbeatInterval", "0.25")
+            .set("spark.network.timeout", "12")
+        )
+        assert config.heartbeat_interval == 0.25
+        assert config.heartbeat_timeout == 12.0

@@ -1,0 +1,75 @@
+"""Deterministic sampled profiling: selection, capture, aggregation."""
+
+import pytest
+
+from repro.engine.profiler import (
+    aggregate_hotspots,
+    profile_call,
+    should_profile,
+)
+
+
+class TestShouldProfile:
+    def test_boundaries(self):
+        assert not should_profile(0.0, 0, 0)
+        assert should_profile(1.0, 0, 0)
+        assert all(should_profile(1.0, s, p) for s in range(5) for p in range(5))
+        assert not any(should_profile(0.0, s, p) for s in range(5) for p in range(5))
+
+    def test_deterministic(self):
+        picks = [should_profile(0.3, 7, p) for p in range(100)]
+        assert picks == [should_profile(0.3, 7, p) for p in range(100)]
+
+    def test_fraction_roughly_honored(self):
+        n = 2000
+        hits = sum(
+            should_profile(0.25, s, p) for s in range(20) for p in range(n // 20)
+        )
+        assert 0.15 * n < hits < 0.35 * n
+
+    def test_independent_of_attempt_and_backend(self):
+        """Selection keys on (stage, partition) only, so a retried task is
+        re-profiled (or not) exactly like its first attempt."""
+        assert should_profile(0.5, 3, 4) == should_profile(0.5, 3, 4)
+
+
+class TestProfileCall:
+    def test_result_and_rows(self):
+        def work():
+            return sum(x * x for x in range(5000))
+
+        result, rows = profile_call(work, top_n=5)
+        assert result == sum(x * x for x in range(5000))
+        assert 0 < len(rows) <= 5
+        for row in rows:
+            assert {"func", "ncalls", "tottime", "cumtime"} <= set(row)
+        # sorted by cumulative time, descending
+        cums = [r["cumtime"] for r in rows]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("task failure")
+
+        with pytest.raises(RuntimeError, match="task failure"):
+            profile_call(boom)
+
+
+class TestAggregate:
+    def test_merge_across_tasks(self):
+        t1 = [
+            {"func": "f", "ncalls": 10, "tottime": 0.5, "cumtime": 0.9},
+            {"func": "g", "ncalls": 1, "tottime": 0.1, "cumtime": 0.1},
+        ]
+        t2 = [{"func": "f", "ncalls": 5, "tottime": 0.2, "cumtime": 1.1}]
+        merged = aggregate_hotspots([t1, t2])
+        assert [r["func"] for r in merged] == ["f", "g"]
+        f = merged[0]
+        assert f["ncalls"] == 15
+        assert f["tottime"] == pytest.approx(0.7)
+        assert f["cumtime"] == pytest.approx(1.1)  # per-task max, not sum
+        assert f["tasks"] == 2
+
+    def test_empty_and_none_rows(self):
+        assert aggregate_hotspots([]) == []
+        assert aggregate_hotspots([None, [], None]) == []

@@ -172,6 +172,7 @@ class TestActions:
         out = ctx.parallelize(list("aabbbc"), 3).count_by_value()
         assert out == {"a": 2, "b": 3, "c": 1}
 
+    @pytest.mark.shared_driver_state
     def test_foreach_side_effects(self, ctx):
         seen = []
         ctx.parallelize(range(5), 2).foreach(seen.append)

@@ -1,0 +1,149 @@
+"""ProgressTracker state machine and Spark-style console bars."""
+
+import io
+
+from repro.config import EngineConfig
+from repro.engine.context import Context
+from repro.engine.listener import (
+    ExecutorHeartbeat,
+    ExecutorTimedOut,
+    JobEnd,
+    JobStart,
+    ListenerBus,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+    TaskStart,
+)
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
+from repro.engine.task import TaskContext
+from repro.obs.progress import ConsoleProgressListener, ProgressTracker
+
+
+def _task_end(stage_id, partition, succeeded=True):
+    tc = TaskContext(stage_id, partition, 0, "exec-0")
+    return TaskEnd(TaskRecord(
+        stage_id=stage_id, partition=partition, attempt=0,
+        executor_id="exec-0", duration_seconds=0.01, metrics=tc.metrics,
+        succeeded=succeeded, error=None if succeeded else "boom",
+    ))
+
+
+def _tracked():
+    """A tracker wired to a real bus (typed hooks dispatch there)."""
+    bus = ListenerBus()
+    tracker = bus.add_listener(ProgressTracker())
+    return bus, tracker
+
+
+class TestTracker:
+    def test_job_and_stage_lifecycle(self):
+        bus, tracker = _tracked()
+        bus.post(JobStart(job_id=0, description="sum"))
+        bus.post(StageSubmitted(
+            stage_id=0, attempt=0, name="stage 0", job_id=0, num_tasks=2
+        ))
+        bus.post(TaskStart(stage_id=0, partition=0, attempt=0,
+                           executor_id="exec-0"))
+        snap = tracker.snapshot()
+        assert snap["jobs"][0]["state"] == "running"
+        assert snap["stages"][0]["active_tasks"] == 1
+        assert snap["stages"][0]["completed_tasks"] == 0
+
+        bus.post(_task_end(0, 0))
+        bus.post(_task_end(0, 1))
+        snap = tracker.snapshot()
+        assert snap["stages"][0]["completed_tasks"] == 2
+        assert snap["stages"][0]["active_tasks"] == 0
+
+        job = JobMetrics(job_id=0, description="sum", wall_seconds=0.1)
+        stage = StageMetrics(stage_id=0, name="stage 0", num_tasks=2)
+        bus.post(StageCompleted(stage=stage, job_id=0))
+        bus.post(JobEnd(job_id=0, job=job, succeeded=True))
+        snap = tracker.snapshot()
+        assert snap["stages"][0]["state"] == "complete"
+        assert snap["jobs"][0]["state"] == "succeeded"
+        assert tracker.active_stages() == []
+        assert not bus.listener_errors
+
+    def test_failed_tasks_counted(self):
+        bus, tracker = _tracked()
+        bus.post(StageSubmitted(
+            stage_id=0, attempt=0, name="s", job_id=0, num_tasks=2
+        ))
+        bus.post(_task_end(0, 0, succeeded=False))
+        assert tracker.snapshot()["stages"][0]["failed_tasks"] == 1
+
+    def test_stage_retry_tracked_separately(self):
+        bus, tracker = _tracked()
+        bus.post(StageSubmitted(
+            stage_id=0, attempt=0, name="s", job_id=0, num_tasks=2
+        ))
+        bus.post(StageSubmitted(
+            stage_id=0, attempt=1, name="s", job_id=0, num_tasks=2
+        ))
+        bus.post(_task_end(0, 0))
+        stages = tracker.snapshot()["stages"]
+        assert len(stages) == 2
+        # task events land on the newest attempt
+        by_attempt = {s["attempt"]: s for s in stages}
+        assert by_attempt[1]["completed_tasks"] == 1
+        assert by_attempt[0]["completed_tasks"] == 0
+
+    def test_executor_liveness_from_heartbeats(self):
+        bus, tracker = _tracked()
+        beat = ExecutorHeartbeat(
+            executor_id="exec-0", inflight=((0, 1, 0),),
+            records_read=42, rss_bytes=1 << 20, worker_pid=123,
+        )
+        bus.post(beat)
+        bus.post(beat)
+        bus.post(ExecutorTimedOut(executor_id="exec-0",
+                                  seconds_since_heartbeat=1.0))
+        (info,) = tracker.snapshot()["executors"]
+        assert info["heartbeats"] == 2
+        assert info["records_read"] == 42
+        assert info["worker_pid"] == 123
+        assert info["state"] == "timed_out"
+
+
+class TestConsoleBars:
+    def test_bar_rendered_and_cleared(self):
+        out = io.StringIO()
+        config = EngineConfig(backend="serial", num_executors=1,
+                              executor_cores=1, default_parallelism=4)
+        with Context(config) as ctx:
+            console = ConsoleProgressListener(
+                ctx.progress, stream=out, min_interval=0.0
+            )
+            ctx.add_listener(console)
+            ctx.parallelize(range(16), 4).sum()
+        text = out.getvalue()
+        assert "[Stage 0:" in text
+        assert text.endswith("\r"), "bar must be cleared once the job ends"
+
+    def test_bar_format(self):
+        bus, tracker = _tracked()
+        bus.post(StageSubmitted(
+            stage_id=3, attempt=0, name="s", job_id=0, num_tasks=48
+        ))
+        for p in range(12):
+            bus.post(_task_end(3, p))
+        console = ConsoleProgressListener(tracker, stream=io.StringIO(), width=50)
+        (stage,) = tracker.active_stages()
+        bar = console._bar(stage)
+        assert bar.startswith("[Stage 3:")
+        assert bar.endswith("(12/48)]")
+        assert "=" * 12 + ">" in bar  # 50 * 12/48 = 12 filled columns
+
+    def test_closed_stream_tolerated(self):
+        bus, tracker = _tracked()
+        bus.post(StageSubmitted(
+            stage_id=0, attempt=0, name="s", job_id=0, num_tasks=2
+        ))
+        stream = io.StringIO()
+        console = ConsoleProgressListener(tracker, stream=stream, min_interval=0.0)
+        console.on_task_end(_task_end(0, 0))
+        stream.close()
+        console.on_task_end(_task_end(0, 1))  # must not raise
+        console.close()

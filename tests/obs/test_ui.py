@@ -1,0 +1,153 @@
+"""The embedded live UI server: endpoints, payloads, mid-flight progress."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.context import Context
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+def _get_json(url):
+    status, _, body = _get(url)
+    assert status == 200
+    return json.loads(body)
+
+
+@pytest.fixture
+def ui_ctx():
+    config = EngineConfig(
+        backend="threads", num_executors=2, executor_cores=2,
+        default_parallelism=4, heartbeat_interval=0.05,
+    )
+    with Context(config, ui_port=0) as ctx:
+        yield ctx
+
+
+class TestEndpoints:
+    def test_os_assigned_port_and_url(self, ui_ctx):
+        assert ui_ctx.ui_url is not None
+        assert ui_ctx.ui_url.startswith("http://127.0.0.1:")
+        assert int(ui_ctx.ui_url.rsplit(":", 1)[1]) > 0
+
+    def test_metrics_prometheus_text(self, ui_ctx):
+        ui_ctx.parallelize(range(20), 4).sum()
+        status, content_type, body = _get(ui_ctx.ui_url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# HELP engine_jobs_total" in body
+        assert "# TYPE engine_jobs_total counter" in body
+        # the registry is process-wide, so assert a sample exists rather
+        # than an exact cumulative value
+        assert any(
+            line.startswith("engine_jobs_total ") for line in body.splitlines()
+        )
+        assert "repro_worker_task_seconds" in body
+
+    def test_api_jobs(self, ui_ctx):
+        ui_ctx.parallelize(range(20), 4).map(lambda x: x + 1).sum()
+        jobs = _get_json(ui_ctx.ui_url + "/api/jobs")
+        assert len(jobs) == 1
+        assert jobs[0]["status"] == "SUCCEEDED"
+        assert jobs[0]["num_tasks"] == 4
+        assert jobs[0]["wall_seconds"] > 0
+
+    def test_api_stages_includes_telemetry_totals(self, ui_ctx):
+        import operator
+
+        ui_ctx.parallelize([(i % 3, 1) for i in range(30)], 4).reduce_by_key(
+            operator.add
+        ).collect()
+        stages = _get_json(ui_ctx.ui_url + "/api/stages")
+        assert len(stages) == 2
+        for stage in stages:
+            for key in ("gc_pause_seconds", "deserialize_seconds",
+                        "result_serialize_seconds", "peak_rss_bytes"):
+                assert key in stage
+        assert any(s["shuffle_bytes_written"] > 0 for s in stages)
+
+    def test_api_executors_merges_heartbeat_liveness(self, ui_ctx):
+        ui_ctx.parallelize(range(40), 4).map(
+            lambda x: (time.sleep(0.02), x)[1]
+        ).sum()
+        executors = _get_json(ui_ctx.ui_url + "/api/executors")
+        assert {e["executor_id"] for e in executors} == {"exec-0", "exec-1"}
+        assert all(e["alive"] for e in executors)
+        assert sum(e["tasks_run"] for e in executors) == 4
+        # heartbeat info is folded in for executors that reported
+        assert any(e.get("heartbeats", 0) > 0 for e in executors)
+
+    def test_dashboard_html(self, ui_ctx):
+        status, content_type, body = _get(ui_ctx.ui_url + "/")
+        assert status == 200
+        assert content_type.startswith("text/html")
+        assert "sparkscore engine UI" in body
+        assert "/api/progress" in body
+
+    def test_unknown_path_404(self, ui_ctx):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(ui_ctx.ui_url + "/api/nope")
+        assert err.value.code == 404
+
+    def test_server_stops_with_context(self):
+        config = EngineConfig(backend="serial", num_executors=1,
+                              executor_cores=1, default_parallelism=2)
+        ctx = Context(config, ui_port=0)
+        url = ctx.ui_url
+        assert _get(url + "/api/progress")[0] == 200
+        ctx.stop()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            _get(url + "/api/progress", timeout=0.5)
+
+
+class TestLiveProgress:
+    def test_progress_advances_mid_flight(self, ui_ctx):
+        """Poll /api/progress while a slow job runs: completion counts must
+        move before the job finishes -- the live-surface guarantee."""
+        release = threading.Event()
+
+        def slow(x):
+            if x % 10 == 5:
+                time.sleep(0.15)
+            return x
+
+        def run():
+            ui_ctx.parallelize(range(80), 8).map(slow).sum()
+            release.set()
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        observed = []
+        try:
+            deadline = time.time() + 10.0
+            while not release.is_set() and time.time() < deadline:
+                snap = _get_json(ui_ctx.ui_url + "/api/progress")
+                for stage in snap["stages"]:
+                    observed.append(
+                        (stage["completed_tasks"], stage["state"],
+                         [j["state"] for j in snap["jobs"]])
+                    )
+                time.sleep(0.02)
+        finally:
+            worker.join(timeout=10.0)
+
+        mid_flight = [
+            done for done, state, job_states in observed
+            if state == "running" and "running" in job_states
+        ]
+        assert mid_flight, "never caught the stage mid-flight"
+        assert any(0 < done < 8 for done in mid_flight), (
+            f"progress never advanced mid-flight: {mid_flight}"
+        )
+        final = _get_json(ui_ctx.ui_url + "/api/progress")
+        assert final["jobs"][-1]["state"] == "succeeded"
+        assert all(s["state"] == "complete" for s in final["stages"])

@@ -162,3 +162,71 @@ class TestHistory:
             main(["analyze", dataset_dir, "--method", "monte-carlo",
                   "--iterations", "10",
                   "--event-log", str(tmp_path / "x.jsonl")])
+
+
+class TestTelemetryFlags:
+    def test_profile_fraction_flows_into_history(self, dataset_dir, tmp_path, capsys):
+        log = tmp_path / "prof.jsonl"
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial", "--profile-fraction", "1.0",
+                   "--event-log", str(log)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["history", str(log)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiler hotspots" in out
+        assert "tottime" in out
+
+    def test_ui_port_requires_distributed(self, dataset_dir):
+        with pytest.raises(SystemExit):
+            main(["analyze", dataset_dir, "--method", "monte-carlo",
+                  "--iterations", "10", "--ui-port", "0"])
+
+    def test_ui_port_serves_during_analysis(self, dataset_dir, capsys):
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial", "--ui-port", "0", "--no-progress"])
+        assert rc == 0
+        assert "engine UI serving at http://127.0.0.1:" in capsys.readouterr().err
+
+    def test_progress_flag_renders_bars(self, dataset_dir, capsys):
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial", "--progress"])
+        assert rc == 0
+        assert "[Stage" in capsys.readouterr().err
+
+    def test_progress_defaults_off_without_tty(self, dataset_dir, capsys):
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial"])
+        assert rc == 0
+        assert "[Stage" not in capsys.readouterr().err
+
+    def test_progress_flags_mutually_exclusive(self, dataset_dir):
+        with pytest.raises(SystemExit):
+            main(["analyze", dataset_dir, "--method", "monte-carlo",
+                  "--iterations", "10", "--progress", "--no-progress"])
+
+    def test_history_prints_heartbeat_summary(self, tmp_path, capsys):
+        import time
+
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+
+        log = tmp_path / "hb.jsonl"
+        config = EngineConfig(backend="threads", num_executors=2,
+                              executor_cores=2, default_parallelism=4,
+                              heartbeat_interval=0.02)
+        with Context(config, event_log_path=str(log)) as ctx:
+            ctx.parallelize(range(8), 4).map(
+                lambda x: (time.sleep(0.05), x)[1]
+            ).sum()
+        capsys.readouterr()
+        rc = main(["history", str(log)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "heartbeats:" in out
+        assert "executor(s)" in out
