@@ -30,12 +30,14 @@ from repro.genomics.synthetic import SyntheticConfig, generate_dataset
 BACKENDS = ("serial", "threads", "processes")
 
 
-def run_backend(dataset, backend: str, args) -> dict:
+def run_backend(dataset, backend: str, args, serializer: str | None = None) -> dict:
+    serializer = serializer or args.serializer
     config = EngineConfig(
         backend=backend,
         num_executors=args.executors,
         executor_cores=args.cores,
         default_parallelism=args.executors * args.cores,
+        serializer=serializer,
     )
     with Context(config) as ctx:
         scorer = DistributedSparkScore(
@@ -47,16 +49,23 @@ def run_backend(dataset, backend: str, args) -> dict:
         )
         wall = time.perf_counter() - start
         totals = [job.totals() for job in ctx.metrics.jobs]
-        return {
+        row = {
             "backend": backend,
+            "serializer": serializer,
             "wall_seconds": wall,
             "driver_bytes_collected": sum(t.driver_bytes_collected for t in totals),
             "task_binary_bytes": sum(t.task_binary_bytes for t in totals),
             "shuffle_bytes": sum(t.shuffle_bytes_written for t in totals),
+            "shuffle_compressed_bytes": sum(t.shuffle_compressed_bytes for t in totals),
+            "serializer_seconds": sum(t.serializer_seconds for t in totals),
             "jobs_run": len(ctx.metrics.jobs),
             "observed": result.observed,
             "exceed_counts": result.exceed_counts,
         }
+        if ctx.transport is not None:
+            row["transport_bytes_published"] = ctx.transport.bytes_published
+            row["transport_dedup_hits"] = ctx.transport.dedup_hits
+        return row
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +80,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cores", type=int, default=2)
     parser.add_argument("--flavor", choices=["paper", "vectorized"], default="vectorized")
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--serializer", choices=["pickle", "numpy", "compressed"],
+                        default="pickle", help="serializer for the backend sweep")
+    parser.add_argument("--skip-serializer-sweep", action="store_true",
+                        help="skip the per-serializer sweep on the processes backend")
     parser.add_argument("--output", default="BENCH_backends.json")
     args = parser.parse_args(argv)
 
@@ -105,6 +118,25 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['backend']} diverged from serial"
         )
 
+    serializer_rows = []
+    if not args.skip_serializer_sweep:
+        print()
+        for serializer in ("pickle", "numpy", "compressed"):
+            row = run_backend(dataset, "processes", args, serializer=serializer)
+            assert np.array_equal(row["exceed_counts"], rows[0]["exceed_counts"]), (
+                f"serializer {serializer} diverged"
+            )
+            row["matches_local"] = np.array_equal(
+                row["exceed_counts"], local.exceed_counts
+            )
+            serializer_rows.append(row)
+            print(
+                f"{serializer:>10}: {row['wall_seconds']:8.2f}s  "
+                f"shuffle {row['shuffle_bytes']:>10,} B raw / "
+                f"{row['shuffle_compressed_bytes']:>10,} B framed  "
+                f"task-binaries {row['task_binary_bytes']:>12,} B"
+            )
+
     serial_wall = rows[0]["wall_seconds"]
     report = {
         "workload": {
@@ -125,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
                 "speedup_vs_serial": serial_wall / row["wall_seconds"],
             }
             for row in rows
+        ],
+        "serializer_sweep_processes": [
+            {k: v for k, v in row.items() if k not in ("observed", "exceed_counts")}
+            for row in serializer_rows
         ],
         "bit_identical_across_backends": True,
     }

@@ -49,6 +49,10 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                    help="replicates per engine pass (default: 64 monte-carlo, 16 permutation)")
     p.add_argument("--engine", choices=["local", "distributed"], default="local")
     p.add_argument("--backend", choices=["serial", "threads", "processes"], default="threads")
+    p.add_argument("--serializer", choices=["pickle", "numpy", "compressed"],
+                   default="pickle",
+                   help="data-plane serializer for shuffle blocks and shipped "
+                        "cache blocks (engine=distributed only)")
     p.add_argument("--executors", type=int, default=2)
     p.add_argument("--cores", type=int, default=2)
     p.add_argument("--flavor", choices=["paper", "vectorized"], default="vectorized")
@@ -171,6 +175,7 @@ def _load_analysis(args: argparse.Namespace):
             executor_cores=args.cores,
             default_parallelism=args.executors * args.cores,
             profile_fraction=getattr(args, "profile_fraction", 0.0) or 0.0,
+            serializer=getattr(args, "serializer", "pickle") or "pickle",
         )
         kwargs["flavor"] = args.flavor
         event_log = getattr(args, "event_log", None)

@@ -87,6 +87,13 @@ class EngineConfig:
     profile_fraction: float = 0.0
     #: hotspot rows kept per profiled task attempt
     profile_top_n: int = 20
+    #: data-plane serializer: "pickle", "numpy" (raw ndarray frames), or
+    #: "compressed" (numpy + zlib); governs shuffle blocks, shipped cache
+    #: blocks, and serialized storage levels
+    serializer: str = "pickle"
+    #: blobs at least this large travel by shared-memory/temp-file
+    #: transport ref instead of through the worker pipe (processes backend)
+    transport_min_bytes: int = 64 * 1024
     #: free-form extra options (string keyed, Spark style)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -102,6 +109,8 @@ class EngineConfig:
         "spark.executor.heartbeatInterval": "heartbeat_interval",
         "spark.network.timeout": "heartbeat_timeout",
         "spark.python.profile.fraction": "profile_fraction",
+        "spark.serializer": "serializer",
+        "spark.transport.minBytes": "transport_min_bytes",
     }
 
     def __post_init__(self) -> None:
@@ -129,6 +138,15 @@ class EngineConfig:
             raise ValueError("profile_fraction must be in [0, 1]")
         if self.profile_top_n < 1:
             raise ValueError("profile_top_n must be >= 1")
+        from repro.engine.serializer import SERIALIZER_NAMES
+
+        if self.serializer not in SERIALIZER_NAMES:
+            raise ValueError(
+                f"unknown serializer {self.serializer!r}; "
+                f"choose from {', '.join(SERIALIZER_NAMES)}"
+            )
+        if self.transport_min_bytes < 0:
+            raise ValueError("transport_min_bytes must be >= 0")
 
     # -- Spark-style string interface ------------------------------------
 
@@ -138,7 +156,7 @@ class EngineConfig:
         if attr is None:
             self.extra[key] = value
             return self
-        if attr == "executor_memory":
+        if attr in ("executor_memory", "transport_min_bytes"):
             value = parse_size(value)
         else:
             current = getattr(self, attr)

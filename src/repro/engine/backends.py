@@ -28,6 +28,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
+import struct
 import threading
 import time
 from collections import OrderedDict
@@ -90,13 +91,28 @@ _TASK_BINARY_CACHE: "OrderedDict[int, Any]" = OrderedDict()
 _TASK_BINARY_CACHE_MAX = 64
 
 
-def _load_task_binary(binary_id: int, blob: bytes) -> Any:
-    """Deserialize a stage's task binary at most once per worker process."""
+def _load_task_binary(binary_id: int, blob: bytes | None, ref: Any = None) -> Any:
+    """Materialize a stage's task binary at most once per worker process.
+
+    ``blob`` is the compressed binary framed by
+    :func:`repro.engine.serializer.compress_blob`; when it is ``None`` the
+    binary travels out-of-band and ``ref`` is a
+    :class:`~repro.engine.transport.TransportRef` to fetch it by -- the
+    shared-memory path that keeps megabyte lineages out of the pool pipe.
+    """
     binary = _TASK_BINARY_CACHE.get(binary_id)
     if binary is not None:
         _TASK_BINARY_CACHE.move_to_end(binary_id)
         return binary
-    binary = pickle.loads(blob)
+    from repro.engine.serializer import decompress_blob
+    from repro.engine.transport import worker_transport
+
+    if blob is None:
+        transport = worker_transport()
+        if transport is None:
+            raise RuntimeError("task binary shipped by ref but no transport attached")
+        blob = transport.get(ref)
+    binary = pickle.loads(decompress_blob(blob))
     _TASK_BINARY_CACHE[binary_id] = binary
     while len(_TASK_BINARY_CACHE) > _TASK_BINARY_CACHE_MAX:
         _TASK_BINARY_CACHE.popitem(last=False)
@@ -172,47 +188,58 @@ def _run_pickled_task(payload: bytes) -> bytes:
     """Worker-side entry point: run one self-contained task attempt.
 
     Receives a pickled dict with the stage's task binary (lineage + closure,
-    memoized per worker), the partition/attempt to run, pre-fetched shuffle
-    input, and pre-attached cache blocks; returns a pickled dict with the
-    result, any shuffle output written, newly cached blocks, accumulator
-    updates, task metrics + resource telemetry, optional cProfile hotspot
-    rows, worker-local span fragments (task-relative offsets), and a delta
-    of every metrics-registry increment made while the task ran -- the
-    driver merges the delta so worker-side instrumentation is never lost.
+    memoized per worker, fetched over the shared-memory transport when it
+    shipped by ref), the partition/attempt to run, pre-fetched shuffle
+    frames, and pre-attached cache blocks (serializer frames); computes a
+    result dict with the result, any shuffle output written (as serialized
+    :class:`~repro.engine.shuffle.ShuffleBlock` frames), newly cached
+    blocks, accumulator updates, task metrics + resource telemetry,
+    optional cProfile hotspot rows, worker-local span fragments
+    (task-relative offsets), and a delta of every metrics-registry
+    increment made while the task ran -- the driver merges the delta so
+    worker-side instrumentation is never lost.
 
-    The outer payload is a tiny wrapper ``{"body", "result_serialize_seconds",
-    "serialize_offset"}``: the result body must be pickled *before* its own
-    serialization time can be known, so the measurement rides outside it.
+    The return value is an offset-prefixed frame (see
+    :func:`_frame_result`): a fixed-size header carrying the serialization
+    timings followed by the pickled body -- the body is *not* pickled a
+    second time inside a wrapper, and large bodies travel by transport ref
+    instead of through the pool pipe.
     """
     from repro.engine.accumulator import AccumulatorBuffer
     from repro.engine.blockmanager import BlockManager
     from repro.engine.profiler import profile_call
+    from repro.engine.serializer import get_serializer
     from repro.engine.shuffle import ShuffleManager
     from repro.engine.storage import StorageLevel
     from repro.engine.task import ShuffleMapTask, TaskContext, TaskTelemetry
+    from repro.engine.transport import from_spec
     from repro.obs.registry import REGISTRY
 
     task_start = time.perf_counter()
     registry_baseline = REGISTRY.state_snapshot()
     spec = pickle.loads(payload)
-    binary = _load_task_binary(spec["binary_id"], spec["binary"])
+    transport = from_spec(spec["transport"]) if spec.get("transport") else None
+    serializer = get_serializer(spec.get("serializer"))
+    binary = _load_task_binary(spec["binary_id"], spec["binary"], spec.get("binary_ref"))
     task = binary.make_task(spec["partition"])
-    deserialize_seconds = time.perf_counter() - task_start
+    block_manager = BlockManager(spec["executor_id"], memory_budget=1 << 62)
+    block_manager.serializer = serializer
     tc = TaskContext(
         stage_id=task.stage_id,
         partition=task.partition,
         attempt=spec["attempt"],
         executor_id=spec["executor_id"],
-        shuffle_manager=ShuffleManager(track_bytes=False),
-        block_manager=BlockManager(spec["executor_id"], memory_budget=1 << 62),
+        shuffle_manager=ShuffleManager(track_bytes=False, serializer=serializer),
+        block_manager=block_manager,
         block_master=None,
         accumulators=AccumulatorBuffer(binary.accumulators),
     )
-    tc.metrics.deserialize_seconds = deserialize_seconds
     tc.prefetched_shuffle = spec["prefetched_shuffle"]
-    for block_id, data in spec["cached_blocks"].items():
+    for block_id, frame in spec["cached_blocks"].items():
         level = binary.storage_levels.get(block_id[0], StorageLevel.MEMORY)
-        tc.block_manager.put(block_id, data, level)
+        tc.block_manager.put(block_id, serializer.loads(frame), level)
+    deserialize_seconds = time.perf_counter() - task_start
+    tc.metrics.deserialize_seconds = deserialize_seconds
 
     key = (task.stage_id, task.partition, spec["attempt"])
     telemetry = TaskTelemetry()
@@ -268,12 +295,72 @@ def _run_pickled_task(payload: bytes) -> bytes:
     }
     serialize_start = time.perf_counter()
     body = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
-    wrapper = {
-        "body": body,
-        "result_serialize_seconds": time.perf_counter() - serialize_start,
-        "serialize_offset": serialize_start - task_start,
-    }
-    return pickle.dumps(wrapper, protocol=pickle.HIGHEST_PROTOCOL)
+    serialize_seconds = time.perf_counter() - serialize_start
+    return _frame_result(
+        body,
+        serialize_seconds,
+        serialize_start - task_start,
+        transport,
+        spec.get("result_transport_min", _RESULT_TRANSPORT_MIN_DEFAULT),
+    )
+
+
+# -- result framing -----------------------------------------------------------
+#
+# The result body must be pickled *before* its own serialization time can
+# be known, so the measurement rides in a fixed-size binary header ahead of
+# the body instead of a second pickle layer wrapping it:
+#
+#   magic "RF" | version u8 | flags u8 | serialize_seconds f64 |
+#   serialize_offset f64 | payload
+#
+# flags bit 0: payload is a pickled TransportRef to the real body (large
+# results travel out-of-band instead of through the pool pipe).
+
+_RESULT_MAGIC = b"RF"
+_RESULT_HEADER = struct.Struct("<2sBBdd")
+_RESULT_FLAG_REF = 0x01
+_RESULT_TRANSPORT_MIN_DEFAULT = 256 * 1024
+
+
+def _frame_result(
+    body: bytes,
+    serialize_seconds: float,
+    serialize_offset: float,
+    transport: Any,
+    transport_min: int,
+) -> bytes:
+    flags = 0
+    payload = body
+    if transport is not None and len(body) >= transport_min:
+        ref = transport.put(body)
+        payload = pickle.dumps(ref, protocol=pickle.HIGHEST_PROTOCOL)
+        flags |= _RESULT_FLAG_REF
+    header = _RESULT_HEADER.pack(
+        _RESULT_MAGIC, 1, flags, serialize_seconds, serialize_offset
+    )
+    return header + payload
+
+
+def unframe_result(frame: bytes, transport: Any) -> tuple[dict, float, float]:
+    """Driver-side inverse of :func:`_frame_result`.
+
+    Returns ``(out_dict, serialize_seconds, serialize_offset)``; transport
+    payloads are fetched and deleted (the ref is single-use).
+    """
+    magic, version, flags, serialize_seconds, serialize_offset = (
+        _RESULT_HEADER.unpack_from(frame)
+    )
+    if magic != _RESULT_MAGIC or version != 1:
+        raise ValueError(f"bad result frame (magic={magic!r}, version={version})")
+    payload: Any = memoryview(frame)[_RESULT_HEADER.size:]
+    if flags & _RESULT_FLAG_REF:
+        if transport is None:
+            raise RuntimeError("result shipped by ref but driver has no transport")
+        ref = pickle.loads(payload)
+        payload = transport.get(ref)
+        transport.delete(ref)
+    return pickle.loads(payload), serialize_seconds, serialize_offset
 
 
 class ProcessBackend:

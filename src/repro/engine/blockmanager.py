@@ -34,31 +34,78 @@ if TYPE_CHECKING:  # pragma: no cover
 
 BlockId = tuple[int, int]  # (rdd_id, partition)
 
-#: pickled-size memo for opaque types: type -> (total_bytes, samples).
+#: pickled-size memo for opaque types:
+#: type -> [total, samples, min, max, hits_since_measure].
 #: Re-pickling an unknown object on *every* cache insert is the dominant
-#: cost for large payloads; a running per-type average is accurate enough
-#: for LRU accounting and O(1) after the first few instances of a type.
-_OPAQUE_SIZE_MEMO: dict[type, tuple[int, int]] = {}
+#: cost for large payloads; a running per-type average is O(1) after the
+#: first few instances of a type.  Two guards keep the memo honest for
+#: heterogeneous payloads (one class, instances spanning orders of
+#: magnitude), which previously collapsed onto one stale average and
+#: corrupted LRU accounting:
+#:
+#: - the average is only trusted while the observed spread stays small
+#:   (``max <= _OPAQUE_MEMO_MAX_SPREAD * min``);
+#: - every ``_OPAQUE_MEMO_REFRESH``-th lookup re-measures regardless, so a
+#:   size drift is detected within a bounded window and -- having blown the
+#:   spread -- permanently disables the memo for that type.
+_OPAQUE_SIZE_MEMO: dict[type, list] = {}
 _OPAQUE_MEMO_SAMPLES = 8
+_OPAQUE_MEMO_MAX_SPREAD = 4
+_OPAQUE_MEMO_REFRESH = 8
 _OPAQUE_MEMO_LOCK = threading.Lock()
 
 
 def _estimate_opaque(obj: Any) -> int:
-    """Pickled-length estimate with a per-type running-average memo."""
+    """Pickled-length estimate with a drift-guarded per-type memo."""
     cls = type(obj)
     with _OPAQUE_MEMO_LOCK:
-        memoized = _OPAQUE_SIZE_MEMO.get(cls)
-    if memoized is not None and memoized[1] >= _OPAQUE_MEMO_SAMPLES:
-        total, samples = memoized
-        return total // samples
+        entry = _OPAQUE_SIZE_MEMO.get(cls)
+        if entry is not None:
+            total, samples, smallest, largest, hits = entry
+            if (
+                samples >= _OPAQUE_MEMO_SAMPLES
+                and largest <= _OPAQUE_MEMO_MAX_SPREAD * smallest
+                and hits < _OPAQUE_MEMO_REFRESH
+            ):
+                entry[4] = hits + 1
+                return total // samples
     try:
         size = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 64
     except Exception:
         return 256
     with _OPAQUE_MEMO_LOCK:
-        total, samples = _OPAQUE_SIZE_MEMO.get(cls, (0, 0))
-        _OPAQUE_SIZE_MEMO[cls] = (total + size, samples + 1)
+        entry = _OPAQUE_SIZE_MEMO.get(cls)
+        if entry is None:
+            _OPAQUE_SIZE_MEMO[cls] = [size, 1, size, size, 0]
+        else:
+            entry[0] += size
+            entry[1] += 1
+            entry[2] = min(entry[2], size)
+            entry[3] = max(entry[3], size)
+            entry[4] = 0
     return size
+
+
+def _slot_values(obj: Any) -> "list | None":
+    """Attribute values of a ``__slots__``-only instance, or None."""
+    cls = type(obj)
+    names: list[str] = []
+    for base in cls.__mro__:
+        slots = base.__dict__.get("__slots__")
+        if slots is None:
+            continue
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(s for s in slots if s not in ("__dict__", "__weakref__"))
+    if not names:
+        return None
+    values = []
+    for name in names:
+        try:
+            values.append(getattr(obj, name))
+        except AttributeError:
+            continue
+    return values
 
 
 def estimate_size(obj: Any, _depth: int = 0) -> int:
@@ -88,6 +135,10 @@ def estimate_size(obj: Any, _depth: int = 0) -> int:
     attrs = getattr(obj, "__dict__", None)
     if attrs is not None and _depth < 8:
         return 64 + sum(estimate_size(v, _depth + 1) for v in attrs.values())
+    if _depth < 8:
+        slot_values = _slot_values(obj)
+        if slot_values is not None:
+            return 64 + sum(estimate_size(v, _depth + 1) for v in slot_values)
     return _estimate_opaque(obj)
 
 
@@ -114,6 +165,19 @@ class BlockManager:
         self.spills = 0
         #: optional listener bus (set by the context); cache events go here
         self.bus: "ListenerBus | None" = None
+        #: data-plane serializer for serialized storage levels and spill
+        #: files (set by the context / worker entry point); pickle when unset
+        self.serializer: Any = None
+
+    def _dumps(self, data: list) -> bytes:
+        if self.serializer is not None:
+            return self.serializer.dumps(data)
+        return pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _loads(self, frame: bytes) -> list:
+        if self.serializer is not None:
+            return self.serializer.loads(frame)
+        return pickle.loads(frame)
 
     # -- properties --------------------------------------------------------
 
@@ -152,7 +216,7 @@ class BlockManager:
         serialized = None
         est_start = time.perf_counter()
         if level.serialized:
-            serialized = pickle.dumps(materialized, protocol=pickle.HIGHEST_PROTOCOL)
+            serialized = self._dumps(materialized)
             size = len(serialized) + 64
         else:
             size = 64 + sum(estimate_size(item) for item in materialized)
@@ -195,12 +259,12 @@ class BlockManager:
             if block is not None:
                 self._blocks.move_to_end(block_id)
                 if block.level.serialized and block.serialized is not None:
-                    return pickle.loads(block.serialized)
+                    return self._loads(block.serialized)
                 return block.data
             path = self._spilled.get(block_id)
         if path is not None:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                return self._loads(fh.read())
         return None
 
     def was_spilled(self, block_id: BlockId) -> bool:
@@ -248,7 +312,7 @@ class BlockManager:
         os.makedirs(self._spill_dir, exist_ok=True)
         path = os.path.join(self._spill_dir, f"block_{block_id[0]}_{block_id[1]}.pkl")
         with open(path, "wb") as fh:
-            pickle.dump(data, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(self._dumps(data))
         with self._lock:
             self._spilled[block_id] = path
         self.spills += 1

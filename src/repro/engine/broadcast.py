@@ -5,14 +5,31 @@ than with every task closure.  In this single-process engine the win is
 semantic fidelity plus metrics: the context records broadcast sizes so the
 cost model can charge network transfer, and ``unpersist``/``destroy``
 lifecycle matches Spark's.
+
+With the process backend a context-attached :class:`~repro.engine.transport.
+Transport` upgrades broadcasts to out-of-band delivery: the first pickle of
+a large broadcast publishes its compressed payload to shared memory (or the
+temp-file fallback) exactly once, and every task closure thereafter carries
+only a :class:`~repro.engine.transport.TransportRef`.  Workers attach the
+segment lazily on first ``.value`` access and memoize the decoded value for
+the life of the process -- the Torrent-broadcast idea reduced to one host.
 """
 
 from __future__ import annotations
 
 import pickle
+import threading
 from typing import Any, Generic, TypeVar
 
 T = TypeVar("T")
+
+#: compressed payloads at least this large travel by transport ref; tiny
+#: broadcasts are cheaper inline than as a ref + segment attach
+_BROADCAST_TRANSPORT_MIN = 16 * 1024
+
+#: worker-side memo: broadcast id -> decoded value (read-only, safe to share)
+_WORKER_VALUES: dict[int, Any] = {}
+_WORKER_LOCK = threading.Lock()
 
 
 class BroadcastDestroyedError(RuntimeError):
@@ -22,34 +39,121 @@ class BroadcastDestroyedError(RuntimeError):
 class Broadcast(Generic[T]):
     """Handle to a value broadcast to all executors."""
 
-    def __init__(self, broadcast_id: int, value: T) -> None:
+    def __init__(
+        self,
+        broadcast_id: int,
+        value: T,
+        transport: Any = None,
+        transport_min: int = _BROADCAST_TRANSPORT_MIN,
+    ) -> None:
         self.id = broadcast_id
         self._value: T | None = value
         self._destroyed = False
         self._size_bytes: int | None = None
+        self._transport = transport
+        self._transport_min = transport_min
+        self._ref: Any = None  # TransportRef once published
+        self._blob: bytes | None = None  # compressed pickle, driver-side cache
 
     @property
     def value(self) -> T:
         if self._destroyed:
             raise BroadcastDestroyedError(f"broadcast {self.id} was destroyed")
+        if self._value is None and self._ref is not None:
+            self._value = self._fetch_remote()
         return self._value  # type: ignore[return-value]
+
+    def _fetch_remote(self) -> T:
+        """Worker-side lazy load: attach the segment once per process."""
+        with _WORKER_LOCK:
+            if self.id in _WORKER_VALUES:
+                return _WORKER_VALUES[self.id]
+        from repro.engine.serializer import decompress_blob
+        from repro.engine.transport import worker_transport
+
+        transport = worker_transport()
+        if transport is None:
+            raise RuntimeError(
+                f"broadcast {self.id} shipped by ref but no transport attached"
+            )
+        value = pickle.loads(decompress_blob(transport.get(self._ref)))
+        with _WORKER_LOCK:
+            _WORKER_VALUES[self.id] = value
+        return value
+
+    def _publish(self) -> bytes | None:
+        """Compress the payload and, when large, publish it out-of-band.
+
+        Returns the compressed blob when the broadcast stays inline, or
+        ``None`` once a transport ref exists.  Idempotent: the content-hash
+        dedup in :meth:`Transport.put` plus driver-side memoization mean
+        repeated pickles of the same broadcast never re-publish.
+        """
+        if self._ref is not None:
+            return None
+        if self._blob is None:
+            from repro.engine.serializer import compress_blob
+
+            raw = pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL)
+            self._size_bytes = len(raw)
+            self._blob = compress_blob(raw)
+        if self._transport is not None and len(self._blob) >= self._transport_min:
+            self._ref = self._transport.put(self._blob, dedup=True)
+            return None
+        return self._blob
+
+    def __getstate__(self) -> dict:
+        if self._destroyed:
+            raise BroadcastDestroyedError(
+                f"cannot ship destroyed broadcast {self.id}"
+            )
+        blob = self._publish()
+        return {
+            "id": self.id,
+            "ref": self._ref,
+            "blob": blob,
+            "transport_min": self._transport_min,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.id = state["id"]
+        self._destroyed = False
+        self._size_bytes = None
+        self._transport = None
+        self._transport_min = state["transport_min"]
+        self._ref = state["ref"]
+        self._blob = None
+        if state["blob"] is not None:
+            from repro.engine.serializer import decompress_blob
+
+            self._value = pickle.loads(decompress_blob(state["blob"]))
+        else:
+            self._value = None  # lazy-loaded from the transport on .value
 
     @property
     def size_bytes(self) -> int:
-        """Pickled size of the payload (computed lazily, cached)."""
+        """Pickled (uncompressed) size of the payload (lazy, cached)."""
         if self._size_bytes is None:
             if self._destroyed:
                 raise BroadcastDestroyedError(f"broadcast {self.id} was destroyed")
-            self._size_bytes = len(pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL))
+            self._size_bytes = len(
+                pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
         return self._size_bytes
 
     def unpersist(self) -> None:
-        """Release executor copies (no-op here beyond semantics)."""
+        """Release executor copies and any published transport segment."""
+        if self._transport is not None and self._ref is not None:
+            self._transport.delete(self._ref)
+            self._ref = None
+            self._blob = None
 
     def destroy(self) -> None:
         """Release the value entirely; further ``.value`` reads raise."""
+        self.unpersist()
         self._destroyed = True
         self._value = None
+        self._blob = None
 
     def __repr__(self) -> str:
         state = "destroyed" if self._destroyed else "live"

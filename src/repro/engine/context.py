@@ -40,14 +40,30 @@ class Context:
         trace_path: str | None = None,
         ui_port: int | None = None,
         progress: bool = False,
+        serializer: "str | None" = None,
     ) -> None:
         self.config = config or EngineConfig()
+        if serializer is not None:
+            self.config = self.config.copy(serializer=serializer)
         #: when set, each completed job is streamed here as JSONL (v3)
         self.event_log_path = event_log_path
         #: when set, a span trace is written on stop() -- Chrome
         #: ``trace_event`` JSON, or span JSONL if the path ends in .jsonl
         self.trace_path = trace_path
         self.listener_bus = ListenerBus()
+        #: the data-plane serializer (shuffle frames, shipped cache blocks,
+        #: serialized storage levels); Spark's ``spark.serializer``
+        from repro.engine.serializer import get_serializer
+
+        self.serializer = get_serializer(self.config.serializer)
+        #: out-of-band blob transport (shared memory with temp-file
+        #: fallback); only the process backend moves bytes across address
+        #: spaces, so shared-state backends skip the segment bookkeeping
+        self.transport = None
+        if self.config.backend == "processes":
+            from repro.engine.transport import Transport
+
+            self.transport = Transport.create()
         self.backend = make_backend(self.config)
         self.executors = build_executors(
             self.config.num_executors,
@@ -59,7 +75,8 @@ class Context:
         for executor in self.executors:
             self.block_master.register_manager(executor.block_manager)
             executor.block_manager.bus = self.listener_bus
-        self.shuffle_manager = ShuffleManager()
+            executor.block_manager.serializer = self.serializer
+        self.shuffle_manager = ShuffleManager(serializer=self.serializer)
         self.shuffle_manager.bus = self.listener_bus
         self.metrics = MetricsRegistry()
         self.fault_injector = fault_injector
@@ -178,7 +195,7 @@ class Context:
 
     def broadcast(self, value: Any) -> Broadcast:
         self._check_alive()
-        return Broadcast(next(self._broadcast_ids), value)
+        return Broadcast(next(self._broadcast_ids), value, transport=self.transport)
 
     def accumulator(self, initial: Any, op: Callable | None = None, zero: Any | None = None) -> Accumulator:
         self._check_alive()
@@ -267,6 +284,8 @@ class Context:
                     write_chrome_trace(self._tracer.spans, self.trace_path)
             self.listener_bus.stop()
             self.backend.shutdown()
+            if self.transport is not None:
+                self.transport.close()
             self._stopped = True
 
     def _check_alive(self) -> None:

@@ -113,6 +113,9 @@ class ShuffleWrite(EngineEvent):
     executor_id: str
     bytes_written: int
     records_written: int
+    #: framed (post-compression) bytes stored; equals ``bytes_written``
+    #: under an uncompressed serializer
+    compressed_bytes: int = 0
 
 
 @dataclass

@@ -17,7 +17,7 @@ import pickle
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.engine.accumulator import AccumulatorBuffer
@@ -37,6 +37,7 @@ from repro.engine.listener import (
 )
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskRecord
 from repro.engine.profiler import profile_call, should_profile
+from repro.engine.serializer import FrameBatch, compress_blob
 from repro.engine.shuffle import FetchFailedError
 from repro.engine.storage import StorageLevel
 from repro.engine.task import (
@@ -109,12 +110,28 @@ def stage_cached_rdd_blocks(rdd: "RDD", split: int) -> set[tuple[int, int]]:
 
 @dataclass
 class _SerializedTaskBinary:
-    """A stage's pickled :class:`TaskBinary` plus driver-side lookup state."""
+    """A stage's pickled :class:`TaskBinary` plus driver-side lookup state.
+
+    ``blob`` is the zlib-framed (see
+    :func:`repro.engine.serializer.compress_blob`) pickle of the binary.
+    When a transport is available and the blob is large, it is published
+    once (content-hash dedup'd) and tasks ship only ``ref``; the
+    ``shipped_executors`` set drives the ``task_binary_bytes`` accounting
+    -- an executor is charged the full blob the first time it sees the
+    binary and only the ref's bytes afterwards.
+    """
 
     binary_id: int
     blob: bytes
+    #: uncompressed pickled size, for compression accounting
+    raw_len: int
     #: requested StorageLevel per cached rdd id (for merging remote blocks)
     storage_levels: dict[int, StorageLevel]
+    #: transport handle when the blob travels out-of-band
+    ref: Any = None
+    #: pickled size of ``ref`` (the per-task cost once dedup'd)
+    ref_cost: int = 0
+    shipped_executors: set = field(default_factory=set)
 
 
 class TaskScheduler:
@@ -411,8 +428,14 @@ class TaskScheduler:
             )
         # closure-aware pickling: lambdas and locally-defined functions in
         # the lineage serialize by value (repro.engine.closure)
-        blob = closure_dumps(binary)
-        return _SerializedTaskBinary(next(self._binary_ids), blob, levels)
+        raw = closure_dumps(binary)
+        blob = compress_blob(raw)
+        tb = _SerializedTaskBinary(next(self._binary_ids), blob, len(raw), levels)
+        transport = getattr(self.ctx, "transport", None)
+        if transport is not None and len(blob) >= self.ctx.config.transport_min_bytes:
+            tb.ref = transport.put(blob, dedup=True)
+            tb.ref_cost = len(pickle.dumps(tb.ref, protocol=pickle.HIGHEST_PROTOCOL))
+        return tb
 
     def _submit_process(
         self,
@@ -430,16 +453,22 @@ class TaskScheduler:
         ``run_task_set`` keeps ``max_inflight`` attempts genuinely parallel.
         """
         out_future: concurrent.futures.Future = concurrent.futures.Future()
+        serializer = self.ctx.serializer
+        transport = getattr(self.ctx, "transport", None)
         try:
             if not executor.alive:
                 raise ExecutorLostError(executor.executor_id)
-            # make the task self-contained: pre-fetch shuffle input + cache blocks
-            prefetched: dict[tuple[int, int], list] = {}
+            # make the task self-contained: pre-fetch shuffle input + cache
+            # blocks.  Shuffle input ships as the map outputs' serialized
+            # frames (no driver-side decode + re-pickle); cache blocks ship
+            # as serializer frames
+            prefetched: dict[tuple[int, int], FrameBatch] = {}
             for shuffle_id, reduce_part in stage_shuffle_inputs(task.rdd, task.partition):
-                prefetched[(shuffle_id, reduce_part)] = list(
-                    self.ctx.shuffle_manager.fetch(shuffle_id, reduce_part)
+                blocks = self.ctx.shuffle_manager.fetch_blocks(shuffle_id, reduce_part)
+                prefetched[(shuffle_id, reduce_part)] = FrameBatch(
+                    [b.payload for b in blocks], serializer
                 )
-            cached_blocks: dict[tuple[int, int], list] = {}
+            cached_blocks: dict[tuple[int, int], bytes] = {}
             for block_id in stage_cached_rdd_blocks(task.rdd, task.partition):
                 data = executor.block_manager.get(block_id)
                 if data is None:
@@ -448,16 +477,20 @@ class TaskScheduler:
                     )
                     data = remote[0] if remote is not None else None
                 if data is not None:
-                    cached_blocks[block_id] = data
+                    cached_blocks[block_id] = serializer.dumps(data)
             payload = pickle.dumps(
                 {
                     "binary_id": tb.binary_id,
-                    "binary": tb.blob,
+                    "binary": tb.blob if tb.ref is None else None,
+                    "binary_ref": tb.ref,
                     "partition": task.partition,
                     "attempt": attempt,
                     "executor_id": executor.executor_id,
                     "prefetched_shuffle": prefetched,
                     "cached_blocks": cached_blocks,
+                    "serializer": serializer,
+                    "transport": transport.spec() if transport is not None else None,
+                    "result_transport_min": self.ctx.config.transport_min_bytes * 4,
                     # the driver decides sampling so the profiled subset is
                     # identical across backends and retries
                     "profile": should_profile(
@@ -476,9 +509,14 @@ class TaskScheduler:
 
         def _finish(done: concurrent.futures.Future) -> None:
             try:
-                wrapper = pickle.loads(done.result())
+                from repro.engine.backends import unframe_result
+
+                out, serialize_seconds, serialize_offset = unframe_result(
+                    done.result(), transport
+                )
                 value, record = self._merge_process_result(
-                    stage, task, attempt, executor, tb, wrapper, start
+                    stage, task, attempt, executor, tb,
+                    out, serialize_seconds, serialize_offset, start,
                 )
             except BaseException as exc:  # noqa: BLE001 - surface via the future
                 out_future.set_exception(exc)
@@ -495,19 +533,21 @@ class TaskScheduler:
         attempt: int,
         executor: Executor,
         tb: _SerializedTaskBinary,
-        wrapper: dict,
+        out: dict,
+        serialize_seconds: float,
+        serialize_offset: float,
         start: float,
     ) -> tuple[Any, TaskRecord]:
         """Fold a worker's self-contained result back into driver state."""
         duration = time.perf_counter() - start
-        # unwrap: serialization time rides outside the body it measured
-        out = pickle.loads(wrapper["body"])
-        out["metrics"].result_serialize_seconds += wrapper["result_serialize_seconds"]
+        # serialization time rides in the result frame header, outside the
+        # body it measured
+        out["metrics"].result_serialize_seconds += serialize_seconds
         span_fragments = list(out.get("span_fragments") or ())
         span_fragments.append({
             "name": "result_serialize",
-            "start": wrapper["serialize_offset"],
-            "end": wrapper["serialize_offset"] + wrapper["result_serialize_seconds"],
+            "start": serialize_offset,
+            "end": serialize_offset + serialize_seconds,
         })
         # merge the worker registry's increments into the driver registry so
         # worker-side instrumentation survives the process boundary
@@ -539,7 +579,17 @@ class TaskScheduler:
             acc = self.ctx._accumulators.get(acc_id)
             if acc is not None:
                 acc._merge(stage.id, task.partition, local)
-        out["metrics"].task_binary_bytes += len(tb.blob)
+        # task-binary accounting with per-executor dedup: the compressed blob
+        # is charged once per (binary, executor); subsequent tasks on the
+        # same executor only pay the pickled TransportRef (the bytes that
+        # actually crossed the pipe once the blob is memoized worker-side)
+        with self._lock:
+            first_ship = executor.executor_id not in tb.shipped_executors
+            tb.shipped_executors.add(executor.executor_id)
+        if first_ship or tb.ref is None:
+            out["metrics"].task_binary_bytes += len(tb.blob)
+        else:
+            out["metrics"].task_binary_bytes += tb.ref_cost
         record = TaskRecord(
             stage_id=stage.id,
             partition=task.partition,

@@ -7,14 +7,26 @@ partition.  When a fault kills an executor, its map outputs are invalidated
 and subsequent fetches raise :class:`FetchFailedError`, which the DAG
 scheduler handles by resubmitting the parent stage's missing tasks --
 exactly Spark's recovery path.
+
+Since the data-plane overhaul, map outputs are stored as *serialized byte
+frames* (:class:`ShuffleBlock`) produced by the manager's configured
+:class:`~repro.engine.serializer.Serializer` -- optionally compressed --
+instead of live Python lists.  Batched record encoding happens once on the
+write side; the reduce side decodes lazily, one map-output frame at a time,
+as the fetch iterator advances.  This is the analogue of Spark's
+serialized, compressed shuffle files: a worker-process map task ships its
+frames to the driver as opaque bytes (no per-record pickle overhead), and
+:meth:`register_map_output` adopts them without a decode/re-encode cycle.
 """
 
 from __future__ import annotations
 
-import pickle
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.engine.serializer import Serializer, get_serializer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.dependencies import ShuffleDependency
@@ -41,15 +53,41 @@ class MapStatus:
     bytes_by_reducer: tuple[int, ...]
 
 
-class ShuffleManager:
-    """Holds shuffle buckets; thread-safe."""
+@dataclass
+class ShuffleBlock:
+    """One reduce partition's worth of a map task's output, as bytes.
 
-    def __init__(self, track_bytes: bool = True) -> None:
+    ``payload`` is a serializer frame (possibly compressed);
+    ``serialized_bytes`` is the pre-compression serialized size, which is
+    what the legacy ``shuffle_bytes_written`` metric and
+    ``MapStatus.bytes_by_reducer`` report, so byte accounting stays
+    comparable across serializers.
+    """
+
+    payload: bytes
+    serialized_bytes: int
+    num_records: int
+
+
+class ShuffleManager:
+    """Holds serialized shuffle blocks; thread-safe.
+
+    ``track_bytes=False`` (worker-local managers) suppresses metric byte
+    accounting -- the driver prices adopted buckets when it merges them --
+    but frames are always encoded: they *are* the storage format.
+    """
+
+    def __init__(
+        self,
+        track_bytes: bool = True,
+        serializer: "Serializer | str | None" = None,
+    ) -> None:
         #: optional listener bus (set by the context); shuffle events go here
         self.bus: "ListenerBus | None" = None
+        self.serializer: Serializer = get_serializer(serializer)
         self._lock = threading.Lock()
-        # (shuffle_id, map_partition) -> {reduce_partition: [(k, v), ...]}
-        self._outputs: dict[tuple[int, int], dict[int, list]] = {}
+        # (shuffle_id, map_partition) -> {reduce_partition: ShuffleBlock}
+        self._outputs: dict[tuple[int, int], dict[int, ShuffleBlock]] = {}
         # (shuffle_id, map_partition) -> executor that wrote it
         self._writers: dict[tuple[int, int], str] = {}
         # shuffle_id -> number of map partitions expected
@@ -62,6 +100,11 @@ class ShuffleManager:
         with self._lock:
             self._num_maps[shuffle_id] = num_maps
 
+    def encode_bucket(self, records: list) -> ShuffleBlock:
+        """Serialize one reduce bucket into a frame."""
+        frame, serialized = self.serializer.encode_with_stats(records)
+        return ShuffleBlock(frame, serialized, len(records))
+
     def write_map_output(
         self,
         dep: "ShuffleDependency",
@@ -70,7 +113,7 @@ class ShuffleManager:
         executor_id: str,
         metrics: "TaskMetrics | None" = None,
     ) -> MapStatus:
-        """Bucket ``records`` by key and register the output."""
+        """Bucket ``records`` by key, serialize the buckets, register them."""
         partitioner = dep.partitioner
         buckets: dict[int, list] = {i: [] for i in range(partitioner.num_partitions)}
         agg = dep.aggregator
@@ -88,67 +131,97 @@ class ShuffleManager:
             for key, value in records:
                 buckets[partitioner.partition(key)].append((key, value))
 
-        sizes = []
-        for reduce_idx in range(partitioner.num_partitions):
-            if self._track_bytes:
-                sizes.append(len(pickle.dumps(buckets[reduce_idx], protocol=pickle.HIGHEST_PROTOCOL)))
-            else:
-                sizes.append(0)
-        status = MapStatus(dep.shuffle_id, map_partition, executor_id, tuple(sizes))
-        records_written = sum(len(b) for b in buckets.values())
-        with self._lock:
-            self._outputs[(dep.shuffle_id, map_partition)] = buckets
-            self._writers[(dep.shuffle_id, map_partition)] = executor_id
-        if metrics is not None:
-            metrics.shuffle_bytes_written += sum(sizes)
-            metrics.shuffle_records_written += records_written
-        if self.bus is not None:
-            from repro.engine.listener import ShuffleWrite
-
-            self.bus.post(ShuffleWrite(
-                dep.shuffle_id, map_partition, executor_id, sum(sizes), records_written
-            ))
-        return status
+        encode_start = time.perf_counter()
+        blocks = {
+            reduce_idx: self.encode_bucket(bucket)
+            for reduce_idx, bucket in buckets.items()
+        }
+        encode_seconds = time.perf_counter() - encode_start
+        return self._register(
+            dep.shuffle_id,
+            map_partition,
+            blocks,
+            partitioner.num_partitions,
+            executor_id,
+            metrics,
+            encode_seconds,
+        )
 
     def register_map_output(
         self,
         dep: "ShuffleDependency",
         map_partition: int,
-        buckets: dict[int, list],
+        buckets: "dict[int, ShuffleBlock] | dict[int, list]",
         executor_id: str,
         metrics: "TaskMetrics | None" = None,
     ) -> MapStatus:
         """Adopt pre-bucketed output computed by a worker process.
 
-        The worker already partitioned the records and ran any map-side
-        combine; pushing its output back through :meth:`write_map_output`
-        would apply ``create_combiner`` a second time (wrong for
-        non-identity combiners such as ``fold_by_key`` zeros).  Only byte
-        accounting happens here — the worker counted
-        ``shuffle_records_written`` into the task metrics but could not
-        price the buckets (its local manager runs with
-        ``track_bytes=False``).
+        The worker already partitioned the records, ran any map-side
+        combine, *and serialized the buckets into frames*; pushing its
+        output back through :meth:`write_map_output` would apply
+        ``create_combiner`` a second time (wrong for non-identity combiners
+        such as ``fold_by_key`` zeros) and pay a decode/re-encode cycle.
+        Frames are adopted as-is; live lists (legacy callers / tests) are
+        encoded here.  Byte accounting happens on this side of the process
+        boundary: the worker counted ``shuffle_records_written`` into the
+        task metrics but runs with ``track_bytes=False``.
         """
         partitioner = dep.partitioner
-        full = {i: list(buckets.get(i, ())) for i in range(partitioner.num_partitions)}
-        sizes = []
+        encode_start = time.perf_counter()
+        blocks: dict[int, ShuffleBlock] = {}
         for reduce_idx in range(partitioner.num_partitions):
-            if self._track_bytes:
-                sizes.append(len(pickle.dumps(full[reduce_idx], protocol=pickle.HIGHEST_PROTOCOL)))
+            bucket = buckets.get(reduce_idx)
+            if isinstance(bucket, ShuffleBlock):
+                blocks[reduce_idx] = bucket
             else:
-                sizes.append(0)
-        status = MapStatus(dep.shuffle_id, map_partition, executor_id, tuple(sizes))
-        records_written = sum(len(b) for b in full.values())
+                blocks[reduce_idx] = self.encode_bucket(list(bucket or ()))
+        encode_seconds = time.perf_counter() - encode_start
+        return self._register(
+            dep.shuffle_id,
+            map_partition,
+            blocks,
+            partitioner.num_partitions,
+            executor_id,
+            metrics,
+            encode_seconds,
+            count_records=False,
+        )
+
+    def _register(
+        self,
+        shuffle_id: int,
+        map_partition: int,
+        blocks: dict[int, ShuffleBlock],
+        num_reducers: int,
+        executor_id: str,
+        metrics: "TaskMetrics | None",
+        encode_seconds: float,
+        count_records: bool = True,
+    ) -> MapStatus:
+        sizes = tuple(blocks[i].serialized_bytes for i in range(num_reducers))
+        compressed = sum(len(blocks[i].payload) for i in range(num_reducers))
+        records_written = sum(block.num_records for block in blocks.values())
+        status = MapStatus(shuffle_id, map_partition, executor_id, sizes)
         with self._lock:
-            self._outputs[(dep.shuffle_id, map_partition)] = full
-            self._writers[(dep.shuffle_id, map_partition)] = executor_id
+            self._outputs[(shuffle_id, map_partition)] = blocks
+            self._writers[(shuffle_id, map_partition)] = executor_id
         if metrics is not None:
-            metrics.shuffle_bytes_written += sum(sizes)
+            # encode time is charged where the encode ran; byte totals are
+            # only priced on the driver side (track_bytes) so worker-side
+            # managers never double-count
+            metrics.serializer_seconds += encode_seconds
+            if count_records:
+                metrics.shuffle_records_written += records_written
+            if self._track_bytes:
+                metrics.shuffle_bytes_written += sum(sizes)
+                metrics.shuffle_compressed_bytes += compressed
         if self.bus is not None:
             from repro.engine.listener import ShuffleWrite
 
             self.bus.post(ShuffleWrite(
-                dep.shuffle_id, map_partition, executor_id, sum(sizes), records_written
+                shuffle_id, map_partition, executor_id, sum(sizes),
+                records_written, compressed_bytes=compressed,
             ))
         return status
 
@@ -166,6 +239,35 @@ class ShuffleManager:
             have = {mp for (sid, mp) in self._outputs if sid == shuffle_id}
             return set(range(num)) - have
 
+    def fetch_blocks(self, shuffle_id: int, reduce_partition: int) -> list[ShuffleBlock]:
+        """All map-output frames destined for ``reduce_partition``.
+
+        Raises :class:`FetchFailedError` on the first missing map output.
+        Frames are returned still-encoded so the caller (reduce task, or
+        the scheduler pre-fetching for a worker process) can move them as
+        opaque bytes and decode lazily.
+        """
+        with self._lock:
+            num_maps = self._num_maps.get(shuffle_id)
+            if num_maps is None:
+                raise KeyError(f"shuffle {shuffle_id} was never registered")
+            blocks: list[ShuffleBlock] = []
+            for map_partition in range(num_maps):
+                output = self._outputs.get((shuffle_id, map_partition))
+                if output is None:
+                    raise FetchFailedError(shuffle_id, map_partition)
+                block = output.get(reduce_partition)
+                if block is not None:
+                    blocks.append(block)
+        if self.bus is not None:
+            from repro.engine.listener import ShuffleFetch
+
+            self.bus.post(ShuffleFetch(
+                shuffle_id, reduce_partition,
+                sum(b.num_records for b in blocks),
+            ))
+        return blocks
+
     def fetch(
         self,
         shuffle_id: int,
@@ -174,28 +276,22 @@ class ShuffleManager:
     ) -> Iterator[tuple]:
         """Yield all (k, v) pairs destined for ``reduce_partition``.
 
-        Raises :class:`FetchFailedError` on the first missing map output.
+        Decodes one map-output frame at a time as the iterator advances
+        (lazy reduce-side decode).  Raises :class:`FetchFailedError` on the
+        first missing map output.
         """
-        with self._lock:
-            num_maps = self._num_maps.get(shuffle_id)
-            if num_maps is None:
-                raise KeyError(f"shuffle {shuffle_id} was never registered")
-            chunks: list[list] = []
-            for map_partition in range(num_maps):
-                output = self._outputs.get((shuffle_id, map_partition))
-                if output is None:
-                    raise FetchFailedError(shuffle_id, map_partition)
-                chunks.append(output.get(reduce_partition, []))
-        if self.bus is not None:
-            from repro.engine.listener import ShuffleFetch
-
-            self.bus.post(ShuffleFetch(
-                shuffle_id, reduce_partition, sum(len(c) for c in chunks)
-            ))
-        for chunk in chunks:
+        blocks = self.fetch_blocks(shuffle_id, reduce_partition)
+        serializer = self.serializer
+        for block in blocks:
+            if block.num_records == 0:
+                continue
+            decode_start = time.perf_counter()
+            records = serializer.loads(block.payload)
             if metrics is not None:
-                metrics.shuffle_records_read += len(chunk)
-            yield from chunk
+                metrics.serializer_seconds += time.perf_counter() - decode_start
+                metrics.shuffle_records_read += block.num_records
+                metrics.shuffle_bytes_read += block.serialized_bytes
+            yield from records
 
     # -- failure handling -------------------------------------------------------
 

@@ -1,0 +1,236 @@
+"""Out-of-band payload transport for the process backend.
+
+The pool pipe is the wrong place for megabyte payloads: every task that
+ships a stage's task binary (or a large broadcast / result body) through
+``ProcessPoolExecutor`` pays a full pickle copy through a pipe per task.
+This module moves those payloads through POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) -- or a temp-file handoff when
+shared memory is unavailable -- and ships only a tiny
+:class:`TransportRef` through the pipe.
+
+Key properties:
+
+- **Content-hash dedup**: ``put(blob, dedup=True)`` keys the segment by
+  the blob's SHA-256, so a stage's task binary (or an identical broadcast)
+  is materialized once no matter how many tasks reference it.
+- **Bidirectional**: workers can ``put`` large result bodies and return a
+  ref; the driver reads and deletes the segment after merging.
+- **Lifecycle**: the driver-side owner tracks every segment it created and
+  unlinks them all on ``close()`` (context stop); worker-created segments
+  are deleted by the driver as soon as the result is merged.
+
+A :class:`Transport` is addressed by a picklable :meth:`spec`; worker
+processes rebuild a handle lazily from the spec riding in the task payload
+(:func:`from_spec` memoizes per process).  On Python < 3.13 attaching a
+shared-memory segment registers it with the resource tracker just like
+creating one (bpo-39959), which corrupts the tracker's set-based accounting
+when several processes attach the same segment -- attach paths therefore
+suppress tracker registration entirely (see :func:`_attach_shm`), leaving
+exactly one tracker entry per created segment for ``unlink`` to retire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import secrets
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TransportRef", "Transport", "from_spec", "worker_transport"]
+
+
+@dataclass(frozen=True)
+class TransportRef:
+    """Picklable handle to one out-of-band payload."""
+
+    scheme: str  # "shm" | "file"
+    key: str  # segment name or absolute file path
+    size: int
+    content_hash: str | None = None
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _shm_usable() -> bool:
+    """Probe whether POSIX shared memory actually works here (it is absent
+    or broken in some containers; /dev/shm may be unmounted)."""
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=16)
+        try:
+            seg.buf[:4] = b"ping"
+        finally:
+            seg.close()
+            seg.unlink()
+        return True
+    except (ImportError, OSError, ValueError):
+        return False
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_shm(name: str):
+    """Attach to an existing segment without registering it with the
+    resource tracker.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment on
+    *attach* as well as on create (bpo-39959), and the tracker's cache is a
+    set -- so two attaches collapse to one entry and the second unregister
+    (or the eventual unlink) raises a KeyError inside the tracker process.
+    Suppressing registration during attach keeps the tracker's view exactly
+    "one entry per created segment", which the final ``unlink`` removes.
+    """
+    from multiprocessing import shared_memory
+
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        with _ATTACH_LOCK:
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+    except ImportError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class Transport:
+    """Driver- or worker-side handle to the payload store."""
+
+    def __init__(self, scheme: str, root: str) -> None:
+        if scheme not in ("shm", "file"):
+            raise ValueError(f"unknown transport scheme {scheme!r}")
+        self.scheme = scheme
+        self.root = root
+        self._lock = threading.Lock()
+        #: content hash -> ref, for dedup'd puts
+        self._by_hash: dict[str, TransportRef] = {}
+        #: every ref this handle created (unlinked on close)
+        self._created: list[TransportRef] = []
+        self.bytes_published = 0
+        self.dedup_hits = 0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, prefer_shm: bool = True) -> "Transport":
+        """Make a driver-side transport, probing shared-memory support."""
+        if prefer_shm and _shm_usable():
+            return cls("shm", "")
+        return cls("file", tempfile.mkdtemp(prefix="repro-transport-"))
+
+    def spec(self) -> tuple[str, str]:
+        """Picklable description a worker can rebuild a handle from."""
+        return (self.scheme, self.root)
+
+    # -- put / get / delete ------------------------------------------------
+
+    def put(self, blob: bytes, dedup: bool = False) -> TransportRef:
+        """Store ``blob``; returns a ref.  ``dedup=True`` keys by content."""
+        content_hash = _sha256(blob) if dedup else None
+        if content_hash is not None:
+            with self._lock:
+                existing = self._by_hash.get(content_hash)
+            if existing is not None:
+                with self._lock:
+                    self.dedup_hits += 1
+                return existing
+        ref = self._write(blob, content_hash)
+        with self._lock:
+            self._created.append(ref)
+            self.bytes_published += len(blob)
+            if content_hash is not None:
+                self._by_hash[content_hash] = ref
+        return ref
+
+    def _write(self, blob: bytes, content_hash: str | None) -> TransportRef:
+        if self.scheme == "shm":
+            from multiprocessing import shared_memory
+
+            # size 0 segments are invalid; clamp to 1
+            seg = shared_memory.SharedMemory(create=True, size=max(len(blob), 1))
+            try:
+                seg.buf[: len(blob)] = blob
+                name = seg.name.lstrip("/")
+            finally:
+                seg.close()
+            return TransportRef("shm", name, len(blob), content_hash)
+        path = os.path.join(self.root, f"blob-{secrets.token_hex(8)}")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)  # atomic: readers never see a partial blob
+        return TransportRef("file", path, len(blob), content_hash)
+
+    def get(self, ref: TransportRef) -> bytes:
+        if ref.scheme == "shm":
+            seg = _attach_shm(ref.key)
+            try:
+                data = bytes(seg.buf[: ref.size])
+            finally:
+                seg.close()
+            return data
+        with open(ref.key, "rb") as fh:
+            return fh.read()
+
+    def delete(self, ref: TransportRef) -> None:
+        """Remove one payload (idempotent)."""
+        try:
+            if ref.scheme == "shm":
+                # attach (untracked) + unlink; unlink() unregisters the one
+                # tracker entry the original create added
+                seg = _attach_shm(ref.key)
+                seg.close()
+                seg.unlink()
+            else:
+                os.unlink(ref.key)
+        except (FileNotFoundError, OSError):
+            pass
+        with self._lock:
+            if ref.content_hash is not None:
+                self._by_hash.pop(ref.content_hash, None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every payload this handle created."""
+        with self._lock:
+            created, self._created = self._created, []
+            self._by_hash.clear()
+        for ref in created:
+            self.delete(ref)
+        if self.scheme == "file":
+            try:
+                os.rmdir(self.root)
+            except OSError:
+                pass  # worker blobs may still be in flight; leave the dir
+
+
+# -- worker-side handle cache -------------------------------------------------
+
+_WORKER: dict[str, Any] = {"spec": None, "transport": None}
+_WORKER_LOCK = threading.Lock()
+
+
+def from_spec(spec: tuple[str, str]) -> Transport:
+    """Worker-side: rebuild (and memoize) a transport handle from its spec."""
+    with _WORKER_LOCK:
+        if _WORKER["spec"] != spec:
+            _WORKER["spec"] = spec
+            _WORKER["transport"] = Transport(spec[0], spec[1])
+        return _WORKER["transport"]
+
+
+def worker_transport() -> Transport | None:
+    """The transport handle of the task currently running in this process."""
+    with _WORKER_LOCK:
+        return _WORKER["transport"]

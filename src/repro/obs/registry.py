@@ -422,6 +422,14 @@ class MetricsListener(Listener):
         self.shuffle_records = r.counter(
             "engine_shuffle_records_total", "shuffle records moved", labelnames=("direction",)
         )
+        self.shuffle_compressed_bytes = r.counter(
+            "engine_shuffle_compressed_bytes_total",
+            "framed (post-compression) shuffle bytes stored",
+        )
+        self.serializer_seconds = r.counter(
+            "engine_serializer_seconds_total",
+            "wall seconds spent encoding/decoding data-plane frames",
+        )
         self.blocks_cached = r.counter("engine_blocks_cached_total", "blocks inserted into caches")
         self.block_bytes_cached = r.counter(
             "engine_block_bytes_cached_total", "bytes inserted into caches"
@@ -485,6 +493,7 @@ class MetricsListener(Listener):
                 self.cache_misses.inc(rec.metrics.cache_misses)
                 self.driver_bytes_collected.inc(rec.metrics.driver_bytes_collected)
                 self.task_binary_bytes.inc(rec.metrics.task_binary_bytes)
+                self.serializer_seconds.inc(rec.metrics.serializer_seconds)
                 self.gc_pause_seconds.inc(rec.metrics.gc_pause_seconds)
                 self.deserialize_seconds.inc(rec.metrics.deserialize_seconds)
                 self.result_serialize_seconds.inc(rec.metrics.result_serialize_seconds)
@@ -500,6 +509,7 @@ class MetricsListener(Listener):
             self.executors_timed_out.inc()
         elif isinstance(event, ShuffleWrite):
             self.shuffle_bytes.inc(event.bytes_written)
+            self.shuffle_compressed_bytes.inc(event.compressed_bytes)
             self.shuffle_records.labels(direction="write").inc(event.records_written)
         elif isinstance(event, ShuffleFetch):
             self.shuffle_records.labels(direction="read").inc(event.records_read)

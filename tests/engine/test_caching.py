@@ -9,6 +9,19 @@ from repro.engine.context import Context
 from repro.engine.storage import StorageLevel
 
 
+class _OpaquePayload:
+    """Module-level (picklable) slotted record with wildly varying payload
+    sizes -- the shape that used to be mis-sized by the per-type memo."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+    def __reduce__(self):
+        return (type(self), (self.data,))
+
+
 class TestCachedRdd:
     def test_second_action_hits_cache(self, ctx):
         rdd = ctx.parallelize(range(100), 4).map(lambda x: x * 2).cache()
@@ -122,6 +135,65 @@ class TestBlockManager:
 
     def test_estimate_size_nested(self):
         assert estimate_size([1, "ab", (2.0,)]) > 0
+
+    def test_estimate_size_slotted_records_sized_structurally(self):
+        """Regression: ``__slots__``-only records used to fall through to
+        the per-type pickled-size memo, so after the sample window a
+        100x-larger payload was sized like a tiny one.  Slot values are now
+        walked like ``__dict__`` attributes, so each instance is sized from
+        its own payload."""
+        for _ in range(20):  # would have primed the old memo with tiny sizes
+            estimate_size(_OpaquePayload(b"x" * 10))
+        assert estimate_size(_OpaquePayload(b"y" * 100_000)) >= 100_000
+        assert estimate_size(_OpaquePayload(b"x" * 10)) < 1_000
+
+    def test_estimate_size_opaque_drift_disables_memo(self):
+        """Regression for truly opaque types (no __dict__, no slots): a size
+        drift must be detected within the bounded refresh window and, once
+        seen, permanently disable the stale average for that type."""
+        import array
+        import pickle as _pickle
+
+        for _ in range(20):
+            estimate_size(array.array("b", b"x" * 10))
+        big = array.array("b", b"y" * 100_000)
+        true_size = len(_pickle.dumps(big, protocol=_pickle.HIGHEST_PROTOCOL))
+        estimates = [estimate_size(big) for _ in range(10)]
+        # a periodic re-measure fires within the window, blows the spread
+        # guard, and every estimate after that is exact
+        assert estimates[-1] >= true_size
+        assert estimate_size(big) >= true_size
+
+    def test_estimate_size_homogeneous_opaque_uses_memo(self):
+        """Same-sized instances of an opaque type amortize to O(1) sizing
+        without drifting far from the true pickled size."""
+        import array
+
+        sizes = {estimate_size(array.array("b", b"z" * 1000)) for _ in range(20)}
+        assert all(900 < s < 1300 for s in sizes)
+
+    def test_serialized_level_uses_configured_serializer(self):
+        from repro.engine.serializer import CompressedSerializer
+
+        bm = BlockManager("e0", memory_budget=1 << 20)
+        bm.serializer = CompressedSerializer(threshold=64)
+        data = [np.zeros(512) for _ in range(4)]
+        bm.put((7, 0), data, StorageLevel.MEMORY_SER)
+        # compressed frames shrink the accounted footprint well below raw
+        assert bm.memory_used < sum(a.nbytes for a in data)
+        out = bm.get((7, 0))
+        assert len(out) == 4 and all(np.array_equal(a, b) for a, b in zip(out, data))
+
+    def test_spill_roundtrip_with_serializer(self, tmp_path):
+        from repro.engine.serializer import NumpySerializer
+
+        bm = BlockManager("e0", memory_budget=256, spill_dir=str(tmp_path))
+        bm.serializer = NumpySerializer()
+        data = [np.arange(100, dtype=np.float64)]
+        bm.put((3, 0), data, StorageLevel.MEMORY_AND_DISK)
+        assert bm.was_spilled((3, 0))
+        out = bm.get((3, 0))
+        assert np.array_equal(out[0], data[0])
 
 
 class TestBlockMaster:

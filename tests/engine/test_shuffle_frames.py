@@ -1,0 +1,246 @@
+"""Serialized/compressed shuffle blocks and fault recovery through them.
+
+The shuffle store holds serializer frames, not live lists; these tests pin
+the frame lifecycle (write-side encode, adopt-without-re-encode, lazy
+reduce-side decode), the compressed-byte accounting, and the FetchFailed ->
+stage-resubmission recovery path running entirely over frames -- including
+the worker-combined ``register_map_output`` route used by the process
+backend.
+"""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.context import Context
+from repro.engine.dependencies import Aggregator, ShuffleDependency
+from repro.engine.faults import FaultInjector, FaultPlan
+from repro.engine.metrics import TaskMetrics
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.shuffle import FetchFailedError, ShuffleBlock, ShuffleManager
+
+SERIALIZER_NAMES = ("pickle", "numpy", "compressed")
+
+
+class _FakeRdd:
+    pass
+
+
+def make_dep(shuffle_id=0, partitions=2, aggregator=None):
+    return ShuffleDependency(_FakeRdd(), HashPartitioner(partitions), shuffle_id, aggregator)
+
+
+@pytest.mark.parametrize("serializer", SERIALIZER_NAMES)
+class TestFrameStorage:
+    def test_outputs_stored_as_frames(self, serializer):
+        mgr = ShuffleManager(serializer=serializer)
+        dep = make_dep(partitions=2)
+        mgr.register_shuffle(0, 1)
+        mgr.write_map_output(dep, 0, [(i, np.full(4, float(i))) for i in range(6)], "e0")
+        blocks = mgr.fetch_blocks(0, 0)
+        assert blocks and all(isinstance(b, ShuffleBlock) for b in blocks)
+        assert all(isinstance(b.payload, bytes) for b in blocks)
+
+    def test_fetch_decodes_bit_identical(self, serializer):
+        mgr = ShuffleManager(serializer=serializer)
+        dep = make_dep(partitions=2)
+        mgr.register_shuffle(0, 1)
+        records = [(i % 2, np.arange(5, dtype=np.float64) * i) for i in range(8)]
+        mgr.write_map_output(dep, 0, records, "e0")
+        got = list(mgr.fetch(0, 0)) + list(mgr.fetch(0, 1))
+        assert len(got) == 8
+        by_key = sorted(got, key=lambda kv: kv[1].sum())
+        expect = sorted(records, key=lambda kv: kv[1].sum())
+        for (gk, gv), (ek, ev) in zip(by_key, expect):
+            assert gk == ek and np.array_equal(gv, ev)
+
+    def test_serializer_seconds_metric(self, serializer):
+        mgr = ShuffleManager(serializer=serializer)
+        dep = make_dep(partitions=1)
+        mgr.register_shuffle(0, 1)
+        metrics = TaskMetrics()
+        mgr.write_map_output(dep, 0, [(1, "x")] * 50, "e0", metrics)
+        assert metrics.serializer_seconds > 0
+        read_metrics = TaskMetrics()
+        list(mgr.fetch(0, 0, read_metrics))
+        assert read_metrics.serializer_seconds > 0
+
+    def test_register_map_output_adopts_frames_without_reencode(self, serializer):
+        worker = ShuffleManager(track_bytes=False, serializer=serializer)
+        dep = make_dep(partitions=2)
+        worker.register_shuffle(0, 1)
+        worker.write_map_output(dep, 0, [(0, "a"), (1, "b"), (2, "c")], "e0")
+        buckets = worker._outputs[(0, 0)]
+
+        driver = ShuffleManager(serializer=serializer)
+        driver.register_shuffle(0, 1)
+        metrics = TaskMetrics()
+        status = driver.register_map_output(dep, 0, buckets, "e0", metrics)
+        # adopted payloads are the very same frame objects
+        assert driver._outputs[(0, 0)][0].payload is buckets[0].payload
+        # driver prices bytes; worker already counted records
+        assert metrics.shuffle_bytes_written == sum(status.bytes_by_reducer) > 0
+        assert metrics.shuffle_records_written == 0
+        assert sorted(driver.fetch(0, 0)) == [(0, "a"), (2, "c")]
+
+    def test_register_map_output_encodes_legacy_lists(self, serializer):
+        driver = ShuffleManager(serializer=serializer)
+        dep = make_dep(partitions=2)
+        driver.register_shuffle(0, 1)
+        driver.register_map_output(dep, 0, {0: [(0, "a")], 1: [(1, "b")]}, "e0")
+        assert list(driver.fetch(0, 1)) == [(1, "b")]
+
+
+class TestCompressedAccounting:
+    def test_compressed_bytes_below_serialized(self):
+        mgr = ShuffleManager(serializer="compressed")
+        dep = make_dep(partitions=1)
+        mgr.register_shuffle(0, 1)
+        metrics = TaskMetrics()
+        # highly compressible payload
+        mgr.write_map_output(dep, 0, [(0, np.zeros(4096))], "e0", metrics)
+        assert 0 < metrics.shuffle_compressed_bytes < metrics.shuffle_bytes_written
+
+    def test_uncompressed_serializer_equal_bytes(self):
+        mgr = ShuffleManager(serializer="pickle")
+        dep = make_dep(partitions=1)
+        mgr.register_shuffle(0, 1)
+        metrics = TaskMetrics()
+        mgr.write_map_output(dep, 0, [(0, np.zeros(64))], "e0", metrics)
+        assert metrics.shuffle_compressed_bytes == metrics.shuffle_bytes_written
+
+    def test_worker_manager_skips_byte_pricing(self):
+        mgr = ShuffleManager(track_bytes=False, serializer="compressed")
+        dep = make_dep(partitions=1)
+        mgr.register_shuffle(0, 1)
+        metrics = TaskMetrics()
+        mgr.write_map_output(dep, 0, [(0, 1)] * 20, "e0", metrics)
+        assert metrics.shuffle_bytes_written == 0
+        assert metrics.shuffle_compressed_bytes == 0
+        assert metrics.shuffle_records_written > 0  # records still counted
+
+    def test_shuffle_write_event_carries_compressed_bytes(self):
+        from repro.engine.listener import CollectingListener, ListenerBus, ShuffleWrite
+
+        mgr = ShuffleManager(serializer="compressed")
+        mgr.bus = ListenerBus()
+        sink = mgr.bus.add_listener(CollectingListener(ShuffleWrite))
+        dep = make_dep(partitions=1)
+        mgr.register_shuffle(0, 1)
+        mgr.write_map_output(dep, 0, [(0, np.zeros(2048))], "e0")
+        (event,) = sink.of(ShuffleWrite)
+        assert 0 < event.compressed_bytes < event.bytes_written
+
+
+@pytest.mark.parametrize("serializer", SERIALIZER_NAMES)
+class TestFetchFailureOverFrames:
+    def test_lost_executor_invalidates_frames(self, serializer):
+        mgr = ShuffleManager(serializer=serializer)
+        dep = make_dep(partitions=1)
+        mgr.register_shuffle(0, 2)
+        mgr.write_map_output(dep, 0, [(1, "x")], "e0")
+        mgr.write_map_output(dep, 1, [(1, "y")], "e1")
+        mgr.remove_outputs_on_executor("e0")
+        with pytest.raises(FetchFailedError) as exc:
+            mgr.fetch_blocks(0, 0)
+        assert exc.value.map_partition == 0
+
+    def test_map_side_combine_through_frames(self, serializer):
+        mgr = ShuffleManager(serializer=serializer)
+        agg = Aggregator(lambda v: v, operator.add, operator.add)
+        dep = make_dep(partitions=1, aggregator=agg)
+        mgr.register_shuffle(0, 1)
+        metrics = TaskMetrics()
+        mgr.write_map_output(dep, 0, [(1, 1)] * 100, "e0", metrics)
+        assert metrics.shuffle_records_written == 1
+        assert list(mgr.fetch(0, 0)) == [(1, 100)]
+
+
+def _make_ctx(backend, serializer, plan=None):
+    injector = FaultInjector(plan) if plan is not None else None
+    return Context(
+        EngineConfig(
+            backend=backend,
+            num_executors=3,
+            executor_cores=1,
+            default_parallelism=6,
+            serializer=serializer,
+        ),
+        fault_injector=injector,
+    )
+
+
+@pytest.mark.parametrize("serializer", SERIALIZER_NAMES)
+class TestEngineRecoveryOverFrames:
+    """FetchFailed -> parent-stage resubmission with the frame store."""
+
+    def test_shuffle_output_lost_triggers_stage_resubmit(self, serializer):
+        with _make_ctx("serial", serializer) as ctx:
+            rdd = (
+                ctx.parallelize([(i % 3, 1) for i in range(30)], 6)
+                .reduce_by_key(operator.add)
+            )
+            first = dict(rdd.collect())
+            victim = sorted({
+                executor_id for _key, executor_id in ctx.shuffle_manager._writers.items()
+            })[0]
+            ctx.kill_executor(victim)
+            missing = ctx.shuffle_manager.missing_maps(rdd.shuffle_dep.shuffle_id)
+            assert missing  # frames actually vanished
+            second = dict(rdd.collect())
+            assert first == second == {0: 10, 1: 10, 2: 10}
+            map_stages = [s for s in ctx.metrics.jobs[-1].stages if s.is_shuffle_map]
+            assert map_stages and map_stages[0].num_tasks == len(missing)
+
+    def test_injected_executor_loss_mid_shuffle(self, serializer):
+        plan = FaultPlan(kill_executor_after_tasks={"exec-1": 2})
+        with _make_ctx("serial", serializer, plan) as ctx:
+            got = dict(
+                ctx.parallelize([(i % 5, i) for i in range(50)], 10)
+                .reduce_by_key(operator.add)
+                .collect()
+            )
+            expected = {}
+            for i in range(50):
+                expected[i % 5] = expected.get(i % 5, 0) + i
+            assert got == expected
+
+    @pytest.mark.slow
+    def test_recovery_through_worker_combined_route(self, serializer):
+        """Process backend: map output flows through register_map_output
+        (worker-encoded frames adopted by the driver), then an executor dies
+        and the reduce recovers via resubmission of the lost maps."""
+        with _make_ctx("processes", serializer) as ctx:
+            rdd = (
+                ctx.parallelize([(i % 4, i) for i in range(40)], 4)
+                .reduce_by_key(operator.add)
+            )
+            first = dict(rdd.collect())
+            victim = sorted({
+                executor_id for _key, executor_id in ctx.shuffle_manager._writers.items()
+            })[0]
+            ctx.kill_executor(victim)
+            assert ctx.shuffle_manager.missing_maps(rdd.shuffle_dep.shuffle_id)
+            second = dict(rdd.collect())
+        expected = {}
+        for i in range(40):
+            expected[i % 4] = expected.get(i % 4, 0) + i
+        assert first == second == expected
+
+
+@pytest.mark.parametrize("serializer", SERIALIZER_NAMES)
+def test_wordcount_identical_across_serializers(serializer):
+    words = ("the quick brown fox jumps over the lazy dog the end " * 10).split()
+    with _make_ctx("serial", serializer) as ctx:
+        got = dict(
+            ctx.parallelize(words, 6).map(lambda w: (w, 1))
+            .reduce_by_key(operator.add).collect()
+        )
+    with _make_ctx("serial", "pickle") as ctx:
+        ref = dict(
+            ctx.parallelize(words, 6).map(lambda w: (w, 1))
+            .reduce_by_key(operator.add).collect()
+        )
+    assert got == ref

@@ -1,0 +1,126 @@
+"""Shared-memory / temp-file transport: refs, dedup, lifecycle."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.engine.transport import Transport, TransportRef, from_spec
+
+
+@pytest.fixture(params=["auto", "file"])
+def transport(request, tmp_path):
+    if request.param == "file":
+        t = Transport("file", str(tmp_path))
+    else:
+        t = Transport.create()
+    yield t
+    t.close()
+
+
+class TestPutGet:
+    def test_roundtrip(self, transport):
+        blob = b"\x00\x01" * 5000
+        assert transport.get(transport.put(blob)) == blob
+
+    def test_ref_is_small_and_picklable(self, transport):
+        ref = transport.put(b"x" * (1 << 20))
+        assert ref.size == 1 << 20
+        wire = pickle.dumps(ref, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(wire) < 512
+        assert pickle.loads(wire) == ref
+
+    def test_empty_blob(self, transport):
+        ref = transport.put(b"")
+        assert transport.get(ref) == b""
+
+    def test_distinct_puts_get_distinct_refs(self, transport):
+        r1 = transport.put(b"one")
+        r2 = transport.put(b"two")
+        assert r1.key != r2.key
+        assert transport.get(r1) == b"one"
+        assert transport.get(r2) == b"two"
+
+
+class TestDedup:
+    def test_same_content_shares_segment(self, transport):
+        blob = b"payload" * 1000
+        r1 = transport.put(blob, dedup=True)
+        r2 = transport.put(blob, dedup=True)
+        assert r1 == r2
+        assert transport.dedup_hits == 1
+        assert transport.bytes_published == len(blob)  # stored once
+
+    def test_different_content_not_deduped(self, transport):
+        r1 = transport.put(b"a" * 100, dedup=True)
+        r2 = transport.put(b"b" * 100, dedup=True)
+        assert r1.key != r2.key
+        assert transport.dedup_hits == 0
+
+    def test_non_dedup_put_always_writes(self, transport):
+        blob = b"same"
+        r1 = transport.put(blob)
+        r2 = transport.put(blob)
+        assert r1.key != r2.key
+
+
+class TestLifecycle:
+    def test_delete_removes_payload(self, transport):
+        ref = transport.put(b"gone soon")
+        transport.delete(ref)
+        if ref.scheme == "file":
+            assert not os.path.exists(ref.key)
+        else:
+            with pytest.raises(Exception):
+                transport.get(ref)
+
+    def test_delete_is_idempotent(self, transport):
+        ref = transport.put(b"x")
+        transport.delete(ref)
+        transport.delete(ref)  # no raise
+
+    def test_delete_clears_dedup_entry(self, transport):
+        blob = b"dedup me" * 100
+        r1 = transport.put(blob, dedup=True)
+        transport.delete(r1)
+        r2 = transport.put(blob, dedup=True)
+        assert r2.key != r1.key  # re-published, not a stale ref
+
+    def test_close_unlinks_created_refs(self, tmp_path):
+        t = Transport("file", str(tmp_path))
+        refs = [t.put(f"blob {i}".encode()) for i in range(3)]
+        t.close()
+        assert all(not os.path.exists(r.key) for r in refs)
+
+
+class TestSpec:
+    def test_spec_roundtrip(self, transport):
+        blob = b"cross-process payload" * 200
+        ref = transport.put(blob)
+        remote = Transport(*transport.spec())
+        assert remote.get(ref) == blob
+
+    def test_from_spec_memoizes(self, transport):
+        spec = transport.spec()
+        assert from_spec(spec) is from_spec(spec)
+
+    def test_from_spec_tracks_spec_changes(self, tmp_path):
+        t1 = Transport("file", str(tmp_path / "a"))
+        t2 = Transport("file", str(tmp_path / "b"))
+        os.makedirs(t1.root)
+        os.makedirs(t2.root)
+        h1 = from_spec(t1.spec())
+        h2 = from_spec(t2.spec())
+        assert h1.root != h2.root
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            Transport("rdma", "")
+
+
+class TestRefEquality:
+    def test_frozen_dataclass(self):
+        ref = TransportRef("file", "/tmp/x", 3, "aa")
+        with pytest.raises(Exception):
+            ref.size = 4
+        assert ref == TransportRef("file", "/tmp/x", 3, "aa")
