@@ -12,7 +12,10 @@ Commands:
 - ``tune`` -- recommend a container shape for a workload (Experiment C);
 - ``history`` -- the history server: render an engine event log as stage
   tables, straggler percentiles, cache hit rates, and critical-path
-  analysis; optionally export a Chrome ``trace_event`` file.
+  analysis; optionally export a Chrome ``trace_event`` file;
+- ``doctor`` -- the tuning advisor: run skew/straggler/cache/sizing rules
+  over one event log (or every log in a directory) and print ranked,
+  actionable recommendations with their evidence.
 """
 
 from __future__ import annotations
@@ -74,6 +77,13 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--profile-fraction", type=float, default=0.0, metavar="F",
                    help="run this fraction of tasks under cProfile; hotspots "
                         "land in the event log and `sparkscore history`")
+    p.add_argument("--log-level", choices=["debug", "info", "warning", "error"],
+                   default=None,
+                   help="structured-log level for the engine (distributed only; "
+                        "default: info)")
+    p.add_argument("--log-file", metavar="PATH", default=None,
+                   help="append structured log records as JSONL to PATH "
+                        "(distributed engine only)")
 
 
 def _add_maxt(sub: argparse._SubParsersAction) -> None:
@@ -102,12 +112,29 @@ def _add_history(sub: argparse._SubParsersAction) -> None:
         "history",
         help="inspect an engine event log: stage tables, stragglers, critical path",
     )
-    p.add_argument("event_log", help="JSONL event log (v1, v2, or v3)")
+    p.add_argument("event_log", help="JSONL event log (any supported version)")
     p.add_argument("--job", type=int, default=None, help="show only this job id")
     p.add_argument("--export-trace", metavar="PATH",
                    help="write Chrome trace_event JSON (span JSONL if PATH ends in .jsonl)")
     p.add_argument("--metrics", action="store_true",
                    help="also print the process metrics registry (Prometheus text format)")
+
+
+def _add_doctor(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "doctor",
+        help="tuning advisor: ranked recommendations from an event log",
+    )
+    p.add_argument("path",
+                   help="JSONL event log, or a directory of *.jsonl event logs")
+    p.add_argument("--json", action="store_true",
+                   help="emit recommendations as a JSON array instead of a table")
+    p.add_argument("--skew-ratio", type=float, default=4.0, metavar="R",
+                   help="max/median ratio above which a stage counts as skewed "
+                        "(default: 4.0)")
+    p.add_argument("--straggler-multiplier", type=float, default=3.0, metavar="M",
+                   help="task duration vs stage median above which a task is a "
+                        "straggler (default: 3.0)")
 
 
 def _add_tune(sub: argparse._SubParsersAction) -> None:
@@ -134,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan(sub)
     _add_tune(sub)
     _add_history(sub)
+    _add_doctor(sub)
     return parser
 
 
@@ -181,7 +209,11 @@ def _load_analysis(args: argparse.Namespace):
         event_log = getattr(args, "event_log", None)
         trace = getattr(args, "trace", None)
         ui_port = getattr(args, "ui_port", None)
-        if event_log or trace or ui_port is not None or want_progress:
+        log_level = getattr(args, "log_level", None)
+        log_file = getattr(args, "log_file", None)
+        if log_level is not None:
+            config = config.copy(log_level=log_level)
+        if event_log or trace or log_file or ui_port is not None or want_progress:
             from repro.engine.context import Context
 
             kwargs["ctx"] = Context(
@@ -190,6 +222,7 @@ def _load_analysis(args: argparse.Namespace):
                 trace_path=trace,
                 ui_port=ui_port,
                 progress=want_progress,
+                log_file=log_file,
             )
             if ui_port is not None:
                 print(f"engine UI serving at {kwargs['ctx'].ui_url}", file=sys.stderr)
@@ -199,6 +232,8 @@ def _load_analysis(args: argparse.Namespace):
         raise SystemExit("--event-log/--trace require --engine distributed")
     elif getattr(args, "ui_port", None) is not None:
         raise SystemExit("--ui-port requires --engine distributed")
+    elif getattr(args, "log_file", None) or getattr(args, "log_level", None):
+        raise SystemExit("--log-file/--log-level require --engine distributed")
     analysis = SparkScoreAnalysis.from_files(args.dataset_dir, **kwargs)
     if "ctx" in kwargs:
         analysis._owns_ctx = True  # CLI hands the context over for cleanup
@@ -355,6 +390,62 @@ def cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.engine.eventlog import read_event_log, read_telemetry
+    from repro.obs.advisor import (
+        cache_pressure_from_jobs,
+        diagnose,
+        recommendations_to_json,
+        render_recommendations,
+    )
+
+    scan_dir = os.path.isdir(args.path)
+    if scan_dir:
+        paths = sorted(
+            os.path.join(args.path, name)
+            for name in os.listdir(args.path)
+            if name.endswith(".jsonl")
+        )
+        if not paths:
+            print(f"no *.jsonl event logs in {args.path}", file=sys.stderr)
+            return 1
+    else:
+        paths = [args.path]
+
+    jobs, telemetry, read = [], [], []
+    for path in paths:
+        try:
+            jobs.extend(read_event_log(path))
+        except FileNotFoundError:
+            print(f"no such event log: {path}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            if not scan_dir:  # an explicitly named log must parse
+                print(f"{path}: {exc}", file=sys.stderr)
+                return 1
+            continue  # directories may hold other JSONL (log files, traces)
+        telemetry.extend(read_telemetry(path))
+        read.append(path)
+    if scan_dir and not read:
+        print(f"no readable event logs in {args.path}", file=sys.stderr)
+        return 1
+    recs = diagnose(
+        jobs,
+        telemetry=telemetry,
+        cache=cache_pressure_from_jobs(jobs),
+        skew_max_over_median=args.skew_ratio,
+        straggler_multiplier=args.straggler_multiplier,
+    )
+    if args.json:
+        print(recommendations_to_json(recs))
+    else:
+        n_stages = sum(len(j.stages) for j in jobs)
+        print(f"doctor: examined {len(jobs)} job(s), {n_stages} stage(s) "
+              f"from {len(read)} log(s)\n")
+        print(render_recommendations(recs), end="")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "analyze": cmd_analyze,
@@ -362,6 +453,7 @@ _COMMANDS = {
     "plan": cmd_plan,
     "tune": cmd_tune,
     "history": cmd_history,
+    "doctor": cmd_doctor,
 }
 
 

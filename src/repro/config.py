@@ -94,6 +94,22 @@ class EngineConfig:
     #: blobs at least this large travel by shared-memory/temp-file
     #: transport ref instead of through the worker pipe (processes backend)
     transport_min_bytes: int = 64 * 1024
+    #: minimum level of structured log records the process log bus keeps
+    #: ("debug", "info", "warning", "error"); shipped to worker processes
+    #: so their capture filters at the same level
+    log_level: str = "info"
+    #: a task whose duration is at least this multiple of its stage's
+    #: median is flagged as a straggler (``StragglerDetected``)
+    straggler_multiplier: float = 3.0
+    #: absolute duration floor for straggler flagging; sub-floor tasks are
+    #: never stragglers no matter the ratio (keeps trivial stages quiet)
+    straggler_min_seconds: float = 0.1
+    #: a stage whose max-over-median partition ratio (records, bytes, or
+    #: duration) reaches this flags ``StageSkewDetected``
+    skew_max_over_median: float = 4.0
+    #: stages with fewer tasks than this are exempt from skew/straggler
+    #: analysis (tiny stages are trivially imbalanced)
+    diagnostics_min_tasks: int = 4
     #: free-form extra options (string keyed, Spark style)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -111,6 +127,11 @@ class EngineConfig:
         "spark.python.profile.fraction": "profile_fraction",
         "spark.serializer": "serializer",
         "spark.transport.minBytes": "transport_min_bytes",
+        "spark.log.level": "log_level",
+        "spark.speculation.multiplier": "straggler_multiplier",
+        "spark.speculation.minTaskRuntime": "straggler_min_seconds",
+        "spark.diagnostics.skewRatio": "skew_max_over_median",
+        "spark.diagnostics.minTasks": "diagnostics_min_tasks",
     }
 
     def __post_init__(self) -> None:
@@ -147,6 +168,21 @@ class EngineConfig:
             )
         if self.transport_min_bytes < 0:
             raise ValueError("transport_min_bytes must be >= 0")
+        from repro.obs.logging import LEVELS
+
+        if self.log_level not in LEVELS:
+            raise ValueError(
+                f"unknown log_level {self.log_level!r}; "
+                f"choose from {', '.join(LEVELS)}"
+            )
+        if self.straggler_multiplier < 1.0:
+            raise ValueError("straggler_multiplier must be >= 1")
+        if self.straggler_min_seconds < 0:
+            raise ValueError("straggler_min_seconds must be >= 0")
+        if self.skew_max_over_median < 1.0:
+            raise ValueError("skew_max_over_median must be >= 1")
+        if self.diagnostics_min_tasks < 2:
+            raise ValueError("diagnostics_min_tasks must be >= 2")
 
     # -- Spark-style string interface ------------------------------------
 

@@ -213,6 +213,7 @@ def _run_pickled_task(payload: bytes) -> bytes:
     from repro.engine.storage import StorageLevel
     from repro.engine.task import ShuffleMapTask, TaskContext, TaskTelemetry
     from repro.engine.transport import from_spec
+    from repro.obs.logging import capture_logs, log_context
     from repro.obs.registry import REGISTRY
 
     task_start = time.perf_counter()
@@ -248,13 +249,23 @@ def _run_pickled_task(payload: bytes) -> bytes:
     _ensure_worker_heartbeat_thread()
     _send_worker_heartbeats()  # immediate "task picked up" liveness signal
     compute_start = time.perf_counter()
+    # capture worker-side structured logs at the driver's configured level;
+    # they ship home in the result dict and the driver replays them into
+    # its own bus with these correlation ids intact
     try:
-        if spec.get("profile"):
-            result, hotspots = profile_call(
-                lambda: task.run(tc), spec.get("profile_top_n", 20)
-            )
-        else:
-            result, hotspots = task.run(tc), None
+        with capture_logs(level=spec.get("log_level")) as log_records, log_context(
+            job_id=spec.get("job_id"),
+            stage_id=task.stage_id,
+            partition=task.partition,
+            attempt=spec["attempt"],
+            executor_id=spec["executor_id"],
+        ):
+            if spec.get("profile"):
+                result, hotspots = profile_call(
+                    lambda: task.run(tc), spec.get("profile_top_n", 20)
+                )
+            else:
+                result, hotspots = task.run(tc), None
     finally:
         with _WORKER_INFLIGHT_LOCK:
             _WORKER_INFLIGHT.pop(key, None)
@@ -291,6 +302,7 @@ def _run_pickled_task(payload: bytes) -> bytes:
              "end": compute_end - task_start},
         ],
         "registry_delta": REGISTRY.collect_delta(registry_baseline),
+        "log_records": [r.to_dict() for r in log_records],
         "worker_pid": os.getpid(),
     }
     serialize_start = time.perf_counter()

@@ -41,12 +41,18 @@ class Context:
         ui_port: int | None = None,
         progress: bool = False,
         serializer: "str | None" = None,
+        log_file: str | None = None,
+        log_level: str | None = None,
     ) -> None:
         self.config = config or EngineConfig()
         if serializer is not None:
             self.config = self.config.copy(serializer=serializer)
-        #: when set, each completed job is streamed here as JSONL (v3)
+        if log_level is not None:
+            self.config = self.config.copy(log_level=log_level)
+        #: when set, each completed job is streamed here as JSONL (v4)
         self.event_log_path = event_log_path
+        #: when set, every structured log record is appended here as JSONL
+        self.log_file = log_file
         #: when set, a span trace is written on stop() -- Chrome
         #: ``trace_event`` JSON, or span JSONL if the path ends in .jsonl
         self.trace_path = trace_path
@@ -88,15 +94,38 @@ class Context:
 
         self.listener_bus.add_listener(MetricsListener())
         self._tracer = None
+        self._event_log_listener = None
         if event_log_path is not None:
             from repro.engine.eventlog import EventLogListener
 
-            self.listener_bus.add_listener(EventLogListener(event_log_path))
+            self._event_log_listener = EventLogListener(event_log_path)
+            self.listener_bus.add_listener(self._event_log_listener)
         if trace_path is not None:
             from repro.obs.spans import TracingListener
 
             self._tracer = TracingListener()
             self.listener_bus.add_listener(self._tracer)
+
+        # structured logging: the process log bus runs at this context's
+        # configured level; optional sinks mirror records to a JSONL file
+        # and into the event log's v4 side channel
+        from repro.obs.logging import LOG_BUS, JsonlLogSink
+
+        self._previous_log_level = LOG_BUS.level
+        LOG_BUS.set_level(self.config.log_level)
+        self._log_sinks: list = []
+        self._log_file_sink = None
+        if log_file is not None:
+            self._log_file_sink = JsonlLogSink(log_file)
+            self._log_sinks.append(LOG_BUS.add_sink(self._log_file_sink))
+        if self._event_log_listener is not None:
+            self._log_sinks.append(LOG_BUS.add_sink(self._event_log_listener.write_log))
+
+        # online diagnostics: skew/straggler detection on stage completion
+        from repro.obs.diagnostics import DiagnosticsListener
+
+        self.diagnostics = DiagnosticsListener.from_config(self.listener_bus, self.config)
+        self.listener_bus.add_listener(self.diagnostics)
 
         # live surfaces: structured progress state (feeds the UI and the
         # console bars) and the embedded HTTP server
@@ -282,6 +311,15 @@ class Context:
                     write_spans_jsonl(self._tracer.spans, self.trace_path)
                 else:
                     write_chrome_trace(self._tracer.spans, self.trace_path)
+            from repro.obs.logging import LOG_BUS
+
+            for sink in self._log_sinks:
+                LOG_BUS.remove_sink(sink)
+            self._log_sinks.clear()
+            if self._log_file_sink is not None:
+                self._log_file_sink.close()
+                self._log_file_sink = None
+            LOG_BUS.set_level(self._previous_log_level)
             self.listener_bus.stop()
             self.backend.shutdown()
             if self.transport is not None:

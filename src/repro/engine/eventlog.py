@@ -20,6 +20,12 @@ future fields can be added compatibly.  Version history:
   interleaves ``heartbeat`` and ``executor_timed_out`` record lines.
   Loading is zero-default in both directions: v1/v2 logs load with the new
   fields defaulted, and v3 telemetry lines are skipped by job readers.
+- **v4** -- structured logging.  The log may interleave ``log`` record
+  lines (one :class:`repro.obs.logging.LogRecord` each, with correlation
+  ids), recoverable via :func:`read_logs`.  Job readers skip them; v3
+  and earlier fixtures still load unchanged.  Readers also became
+  crash-safe: a truncated *final* line (the writer was killed mid-write)
+  produces a warning and a partial result instead of raising.
 
 Since the listener-bus refactor the log is written *incrementally*: the
 context attaches an :class:`EventLogListener` to its bus and each job is
@@ -31,6 +37,7 @@ functions remain for bulk/offline use.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict
 from typing import IO, Iterable
 
@@ -41,12 +48,21 @@ from repro.engine.listener import (
     Listener,
 )
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
+from repro.obs.logging import LogRecord
 
-FORMAT_VERSION = 3
-SUPPORTED_VERSIONS = (1, 2, 3)
+FORMAT_VERSION = 4
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: non-job record kinds introduced by v3 (telemetry side-channel)
 TELEMETRY_EVENTS = ("heartbeat", "executor_timed_out")
+
+#: side-channel record kinds a job reader skips, with the format version
+#: that introduced each (older logs containing them are corrupt)
+SIDE_CHANNEL_MIN_VERSION = {
+    "heartbeat": 3,
+    "executor_timed_out": 3,
+    "log": 4,
+}
 
 
 def _job_to_dict(job: JobMetrics) -> dict:
@@ -160,29 +176,50 @@ def write_event_log(jobs: Iterable[JobMetrics], path_or_file: str | IO[str]) -> 
     return count
 
 
+def _is_side_channel(data: dict) -> bool:
+    """v3+ interleaves side-channel records (telemetry, logs) with job
+    records; job readers skip them.  The same kinds in v1/v2 logs still
+    fail loudly (they predate the side channel, so a non-job line there is
+    corruption)."""
+    min_version = SIDE_CHANNEL_MIN_VERSION.get(data.get("event"))
+    return min_version is not None and data.get("version", 0) >= min_version
+
+
 def read_event_log(path_or_file: str | IO[str]) -> list[JobMetrics]:
-    """Load all job records from an event log (any supported version)."""
+    """Load all job records from an event log (any supported version).
+
+    Crash-safe: a final line that is not valid JSON is the signature of a
+    writer killed mid-write, so it produces a :class:`UserWarning` and the
+    jobs loaded so far instead of raising.  Unparseable lines *before* the
+    end of the file -- and parseable-but-invalid records anywhere -- are
+    real corruption and still raise :class:`ValueError`.
+    """
     own = isinstance(path_or_file, str)
     fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
     try:
+        lines = fh.read().splitlines()
         jobs = []
-        for lineno, line in enumerate(fh, start=1):
+        for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 data = json.loads(line)
-                # v3 interleaves telemetry records with job records; they
-                # are a side channel the job reader skips.  Unknown kinds
-                # in v1/v2 logs still fail loudly (they predate the side
-                # channel, so a non-job line there is corruption).
-                if (
-                    data.get("event") in TELEMETRY_EVENTS
-                    and data.get("version", 0) >= 3
-                ):
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    warnings.warn(
+                        f"event log ends with a truncated line {lineno} "
+                        f"(writer killed mid-write?); loaded {len(jobs)} "
+                        f"complete job(s)",
+                        stacklevel=2,
+                    )
+                    break
+                raise ValueError(f"event log line {lineno} is corrupt: {exc}") from exc
+            try:
+                if _is_side_channel(data):
                     continue
                 jobs.append(_job_from_dict(data))
-            except (json.JSONDecodeError, KeyError) as exc:
+            except KeyError as exc:
                 raise ValueError(f"event log line {lineno} is corrupt: {exc}") from exc
         return jobs
     finally:
@@ -215,6 +252,33 @@ def read_telemetry(path_or_file: str | IO[str]) -> list[dict]:
             fh.close()
 
 
+def read_logs(path_or_file: str | IO[str]) -> list[LogRecord]:
+    """Load the v4 structured-log records from an event log.
+
+    Returns :class:`~repro.obs.logging.LogRecord` objects in file order;
+    empty for v1-v3 logs.  Unparseable lines are skipped (same tolerance
+    as :func:`read_telemetry`: the side channel is best-effort).
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") == "log":
+                out.append(LogRecord.from_dict(data))
+        return out
+    finally:
+        if own:
+            fh.close()
+
+
 class EventLogListener(Listener):
     """Bus listener that streams each completed job to a JSONL event log.
 
@@ -227,6 +291,11 @@ class EventLogListener(Listener):
     executor-timeout events are appended as their own compact record lines
     (these are not flushed per line -- heartbeats are periodic, and a lost
     tail of liveness records is harmless).
+
+    The v4 structured-log side channel rides there too: the context
+    registers :meth:`write_log` as a sink on the process log bus, so every
+    emitted :class:`~repro.obs.logging.LogRecord` lands as a ``log`` line
+    interleaved with the jobs it describes.
     """
 
     def __init__(self, path: str) -> None:
@@ -234,6 +303,7 @@ class EventLogListener(Listener):
         self._fh: IO[str] | None = None
         self.jobs_written = 0
         self.telemetry_written = 0
+        self.logs_written = 0
 
     def _file(self) -> IO[str]:
         if self._fh is None:
@@ -270,6 +340,13 @@ class EventLogListener(Listener):
     def _write_telemetry(self, data: dict) -> None:
         self._file().write(json.dumps(data, separators=(",", ":")) + "\n")
         self.telemetry_written += 1
+
+    def write_log(self, record: LogRecord) -> None:
+        """Log-bus sink: append one v4 ``log`` record line (unflushed)."""
+        data = {"event": "log", "version": FORMAT_VERSION}
+        data.update(record.to_dict())
+        self._file().write(json.dumps(data, separators=(",", ":")) + "\n")
+        self.logs_written += 1
 
     def close(self) -> None:
         if self._fh is not None:

@@ -42,6 +42,9 @@ from repro.engine.listener import (
     TaskStart,
 )
 from repro.engine.task import TaskContext, current_rss_bytes
+from repro.obs.logging import get_logger
+
+log = get_logger("repro.heartbeat")
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import Context
@@ -243,6 +246,11 @@ class HeartbeatHub(Listener):
                     self._pending_timeouts.add(executor_id)
                     stale.append((executor_id, now - seen))
         for executor_id, age in stale:
+            log.warning(
+                "busy executor stopped heartbeating; declaring it lost",
+                executor_id=executor_id,
+                seconds_since_heartbeat=round(age, 3),
+            )
             self.ctx.listener_bus.post(ExecutorTimedOut(executor_id, age))
 
 

@@ -159,6 +159,35 @@ class ExecutorTimedOut(EngineEvent):
     seconds_since_heartbeat: float = 0.0
 
 
+@dataclass
+class StageSkewDetected(EngineEvent):
+    """A completed stage's per-partition distribution is badly imbalanced.
+
+    Posted by :class:`repro.obs.diagnostics.DiagnosticsListener` when the
+    max-over-median ratio of a partition metric (records, bytes, or
+    duration) crosses the configured threshold."""
+
+    stage_id: int
+    job_id: int
+    metric: str
+    max_over_median: float
+    gini: float = 0.0
+    max_partition: int = -1
+
+
+@dataclass
+class StragglerDetected(EngineEvent):
+    """One task attempt ran far past its stage's median duration."""
+
+    stage_id: int
+    job_id: int
+    partition: int
+    attempt: int
+    executor_id: str
+    duration_seconds: float
+    median_seconds: float
+
+
 # -- listener + bus ----------------------------------------------------------
 
 _CAMEL = re.compile(r"(?<!^)(?=[A-Z])")
@@ -226,6 +255,16 @@ class ListenerBus:
             except Exception as exc:  # isolation: never fail the engine
                 with self._lock:
                     self.listener_errors.append((listener, event, exc))
+                # deferred import: repro.obs pulls this module in at package
+                # init, so a top-level import would be circular
+                from repro.obs.logging import get_logger
+
+                get_logger("repro.listener").warning(
+                    "listener raised; event delivery continued",
+                    listener=type(listener).__name__,
+                    event=type(event).__name__,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
 
     def stop(self) -> None:
         """Close every listener (errors isolated) and drop registrations."""
@@ -277,6 +316,8 @@ __all__ = [
     "ExecutorLost",
     "ExecutorHeartbeat",
     "ExecutorTimedOut",
+    "StageSkewDetected",
+    "StragglerDetected",
     "Listener",
     "ListenerBus",
     "CollectingListener",

@@ -182,6 +182,27 @@ class RDD:
         """Reduce partition count without a shuffle."""
         return CoalescedRDD(self.context, self, num_partitions)
 
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Redistribute elements evenly across ``num_partitions`` via a shuffle.
+
+        Unlike :meth:`coalesce` this can increase the partition count, and
+        it always breaks up skewed partitions: elements are dealt
+        round-robin onto reducers regardless of where they currently sit.
+        """
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        from repro.engine.partitioner import HashPartitioner
+
+        keyed = MappedPartitionsRDD(
+            self.context, self, _RoundRobinKeyFn(num_partitions), "repartition"
+        )
+        shuffled = ShuffledRDD(
+            self.context, keyed, HashPartitioner(num_partitions), None, "repartition"
+        )
+        return MappedPartitionsRDD(
+            self.context, shuffled, _drop_keys_fn, "repartition"
+        )
+
     def sample(self, fraction: float, seed: int = 0) -> "RDD":
         """Bernoulli sample of elements, deterministic per (seed, partition)."""
         if not 0.0 <= fraction <= 1.0:
@@ -339,12 +360,21 @@ class RDD:
         return list(seen.values())
 
     def to_debug_string(self) -> str:
-        """Spark-style indented lineage dump."""
+        """Spark-style indented lineage dump.
+
+        Each node shows its partition count, a ``*`` marker plus the storage
+        level when persisted, and -- for cached RDDs -- how many partitions
+        are currently materialised in executor block managers.
+        """
         lines: list[str] = []
 
         def visit(rdd: "RDD", depth: int) -> None:
             marker = "*" if rdd.is_cached else " "
-            lines.append(f"{'  ' * depth}({rdd.num_partitions()}){marker} {rdd.name} [{rdd.id}]")
+            label = f"{'  ' * depth}({rdd.num_partitions()}){marker} {rdd.name} [{rdd.id}]"
+            if rdd.is_cached:
+                cached = rdd.context.cached_partition_count(rdd)
+                label += f" <{rdd.storage_level.value}: {cached}/{rdd.num_partitions()} cached>"
+            lines.append(label)
             for dep in rdd.dependencies:
                 if isinstance(dep, ShuffleDependency):
                     lines.append(f"{'  ' * (depth + 1)}+-- shuffle {dep.shuffle_id} --")
@@ -353,6 +383,34 @@ class RDD:
                     visit(dep.rdd, depth + 1)
 
         visit(self, 0)
+        return "\n".join(lines)
+
+    def explain(self) -> str:
+        """Human-oriented plan dump: lineage tree plus a stage summary.
+
+        The tree is :meth:`to_debug_string`; below it, one line per shuffle
+        boundary explains where the scheduler will cut stages and how many
+        partitions cross each shuffle.  ``sparkscore doctor`` points at this
+        when it recommends repartitioning or persisting an RDD.
+        """
+        lines = [self.to_debug_string()]
+        shuffles = [
+            dep
+            for rdd in self.lineage()
+            for dep in rdd.dependencies
+            if isinstance(dep, ShuffleDependency)
+        ]
+        if shuffles:
+            lines.append("")
+            for dep in sorted(shuffles, key=lambda d: d.shuffle_id):
+                lines.append(
+                    f"shuffle {dep.shuffle_id}: {dep.rdd.num_partitions()} map partition(s)"
+                    f" -> {dep.partitioner.num_partitions} reduce partition(s)"
+                    f" [{type(dep.partitioner).__name__}]"
+                )
+        else:
+            lines.append("")
+            lines.append("no shuffles: whole lineage runs as a single stage")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -397,6 +455,24 @@ class _IndexlessFn:
 
 def _glom_fn(_split: int, it: Iterator) -> Iterator:
     return iter([list(it)])
+
+
+class _RoundRobinKeyFn:
+    """Deal elements round-robin onto reducer keys (repartition map side)."""
+
+    def __init__(self, num_partitions: int) -> None:
+        self.num_partitions = num_partitions
+
+    def __call__(self, split: int, it: Iterator) -> Iterator:
+        # scatter each map partition's starting reducer so short partitions
+        # don't all pile onto the same few low-numbered reducers
+        n = self.num_partitions
+        start = (split * 2654435761) % n
+        return (((start + i) % n, item) for i, item in enumerate(it))
+
+
+def _drop_keys_fn(_split: int, it: Iterator) -> Iterator:
+    return (item for _key, item in it)
 
 
 def _count_iter(it: Iterator) -> int:

@@ -48,10 +48,13 @@ from repro.engine.task import (
     TaskContext,
     TaskTelemetry,
 )
+from repro.obs.logging import LogRecord, get_logger, log_context
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import Context
     from repro.engine.rdd import RDD
+
+log = get_logger("repro.scheduler")
 
 
 class JobFailedError(RuntimeError):
@@ -212,7 +215,7 @@ class TaskScheduler:
                 self.ctx.listener_bus.post(
                     TaskStart(stage.id, task.partition, attempt, executor.executor_id)
                 )
-                future = self._submit(stage, task, attempt, executor, task_binary)
+                future = self._submit(stage, task, attempt, executor, task_binary, job)
                 inflight[future] = (task, attempt, executor)
             if not inflight:
                 break
@@ -234,12 +237,25 @@ class TaskScheduler:
                     executor.note_task(False)
                     job.num_task_failures += 1
                     self._post_failed_task(stage, task, attempt, executor, exc)
+                    log.warning(
+                        "shuffle fetch failed; stage will be resubmitted",
+                        job_id=job.job_id, stage_id=stage.id,
+                        partition=task.partition, attempt=attempt,
+                        executor_id=executor.executor_id,
+                        shuffle_id=exc.shuffle_id, map_partition=exc.map_partition,
+                    )
                     if fetch_failure is None:
                         fetch_failure = _FetchFailedSignal(exc.shuffle_id, exc.map_partition)
                 except ExecutorLostError as exc:
                     executor.note_task(False)
                     job.num_task_failures += 1
                     self._post_failed_task(stage, task, attempt, executor, exc)
+                    log.warning(
+                        "task lost its executor; retrying elsewhere",
+                        job_id=job.job_id, stage_id=stage.id,
+                        partition=task.partition, attempt=attempt,
+                        executor_id=exc.executor_id,
+                    )
                     self._handle_executor_loss(exc.executor_id, job)
                     if attempt + 1 > config.max_task_retries:
                         raise JobFailedError(
@@ -262,6 +278,13 @@ class TaskScheduler:
                     )
                     stage_metrics.tasks.append(record)
                     self.ctx.listener_bus.post(TaskEnd(record))
+                    log.warning(
+                        "task attempt failed",
+                        job_id=job.job_id, stage_id=stage.id,
+                        partition=task.partition, attempt=attempt,
+                        executor_id=executor.executor_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     if attempt + 1 > config.max_task_retries:
                         raise JobFailedError(
                             f"task (stage={stage.id}, partition={task.partition}) failed "
@@ -276,6 +299,13 @@ class TaskScheduler:
                         record.metrics.driver_bytes_collected += estimate_size(value)
                     stage_metrics.tasks.append(record)
                     self.ctx.listener_bus.post(TaskEnd(record))
+                    log.debug(
+                        "task finished",
+                        job_id=job.job_id, stage_id=stage.id,
+                        partition=task.partition, attempt=attempt,
+                        executor_id=executor.executor_id,
+                        duration_seconds=round(record.duration_seconds, 6),
+                    )
         if fetch_failure is not None:
             raise fetch_failure
         return results
@@ -299,6 +329,10 @@ class TaskScheduler:
         requeued on a healthy executor, excluding the lost one.
         """
         self._handle_executor_loss(executor_id, job)
+        log.warning(
+            "executor heartbeat timeout; rescheduling its in-flight tasks",
+            job_id=job.job_id, stage_id=stage.id, executor_id=executor_id,
+        )
         abandoned = [
             future
             for future, (_, _, executor) in inflight.items()
@@ -343,17 +377,20 @@ class TaskScheduler:
         attempt: int,
         executor: Executor,
         task_binary: _SerializedTaskBinary | None,
+        job: JobMetrics,
     ) -> concurrent.futures.Future:
         backend = self.ctx.backend
         if backend.supports_shared_state:
-            return backend.submit(self._run_shared, stage, task, attempt, executor)
+            return backend.submit(
+                self._run_shared, stage, task, attempt, executor, job.job_id
+            )
         assert task_binary is not None
-        return self._submit_process(stage, task, attempt, executor, task_binary)
+        return self._submit_process(stage, task, attempt, executor, task_binary, job)
 
     # -- shared-state execution (serial / threads) -----------------------------
 
     def _run_shared(
-        self, stage: Stage, task: Task, attempt: int, executor: Executor
+        self, stage: Stage, task: Task, attempt: int, executor: Executor, job_id: int
     ) -> tuple[Any, TaskRecord]:
         if not executor.alive:
             raise ExecutorLostError(executor.executor_id)
@@ -379,12 +416,18 @@ class TaskScheduler:
             self.ctx.config.profile_fraction, stage.id, task.partition
         )
         start = time.perf_counter()
-        if profiled:
-            value, hotspots = profile_call(
-                lambda: task.run(tc), self.ctx.config.profile_top_n
-            )
-        else:
-            value, hotspots = task.run(tc), None
+        # ambient correlation: anything logged inside the task (engine or
+        # user code) carries the full id set without plumbing
+        with log_context(
+            job_id=job_id, stage_id=stage.id, partition=task.partition,
+            attempt=attempt, executor_id=executor.executor_id,
+        ):
+            if profiled:
+                value, hotspots = profile_call(
+                    lambda: task.run(tc), self.ctx.config.profile_top_n
+                )
+            else:
+                value, hotspots = task.run(tc), None
         duration = time.perf_counter() - start
         telemetry.record(tc.metrics)
         from repro.core.instrumentation import observe_worker_task
@@ -444,6 +487,7 @@ class TaskScheduler:
         attempt: int,
         executor: Executor,
         tb: _SerializedTaskBinary,
+        job: JobMetrics,
     ) -> concurrent.futures.Future:
         """Dispatch one attempt to the process pool without blocking.
 
@@ -497,6 +541,10 @@ class TaskScheduler:
                         self.ctx.config.profile_fraction, stage.id, task.partition
                     ),
                     "profile_top_n": self.ctx.config.profile_top_n,
+                    # structured-logging correlation: the worker captures at
+                    # the driver's level and stamps these ids on its records
+                    "job_id": job.job_id,
+                    "log_level": self.ctx.config.log_level,
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -554,6 +602,12 @@ class TaskScheduler:
         from repro.obs.registry import REGISTRY
 
         REGISTRY.merge_delta(out.get("registry_delta") or {})
+        # replay worker-captured log records into the driver bus; they were
+        # already level-filtered worker-side and carry their correlation ids
+        from repro.obs.logging import LOG_BUS
+
+        for data in out.get("log_records") or ():
+            LOG_BUS.replay(LogRecord.from_dict(data))
         # merge shuffle output written remotely
         value = out["result"]
         if isinstance(task, ShuffleMapTask) and out["shuffle_output"] is not None:
@@ -652,16 +706,37 @@ class DAGScheduler:
         wanted = set(partitions)
         stage_attempts: dict[int, int] = {}
 
-        try:
-            self._drive(graph, job, func, results, wanted, stage_attempts, config, description)
-        except Exception:
-            job.wall_seconds = time.perf_counter() - job_start
-            bus.post(JobEnd(job.job_id, job, succeeded=False))
-            raise
+        with log_context(app=config.app_name, job_id=job.job_id):
+            log.info(
+                "job started",
+                description=job.description,
+                num_stages=len(graph.all_stages()),
+                num_partitions=len(partitions),
+            )
+            try:
+                self._drive(
+                    graph, job, func, results, wanted, stage_attempts, config, description
+                )
+            except Exception as exc:
+                job.wall_seconds = time.perf_counter() - job_start
+                bus.post(JobEnd(job.job_id, job, succeeded=False))
+                log.error(
+                    "job failed",
+                    description=job.description,
+                    wall_seconds=round(job.wall_seconds, 6),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
 
-        job.wall_seconds = time.perf_counter() - job_start
-        self.ctx.metrics.add_job(job)
-        bus.post(JobEnd(job.job_id, job))
+            job.wall_seconds = time.perf_counter() - job_start
+            self.ctx.metrics.add_job(job)
+            bus.post(JobEnd(job.job_id, job))
+            log.info(
+                "job finished",
+                description=job.description,
+                wall_seconds=round(job.wall_seconds, 6),
+                num_task_failures=job.num_task_failures,
+            )
         return [results[p] for p in partitions]
 
     def _drive(
@@ -711,6 +786,11 @@ class DAGScheduler:
                 bus.post(StageSubmitted(
                     stage.id, attempt, stage.name, len(tasks), job.job_id
                 ))
+                log.debug(
+                    "stage submitted",
+                    stage_id=stage.id, name=stage.name,
+                    num_tasks=len(tasks), stage_attempt=attempt,
+                )
                 try:
                     stage_results = self.task_scheduler.run_task_set(
                         stage, tasks, job, stage_metrics
@@ -721,6 +801,11 @@ class DAGScheduler:
                     bus.post(StageCompleted(stage_metrics, job.job_id, failed=True))
                     stage_attempts[stage.id] = attempt + 1
                     job.num_stage_resubmissions += 1
+                    log.warning(
+                        "stage hit a fetch failure; resubmitting parents",
+                        stage_id=stage.id, name=stage.name,
+                        stage_attempt=stage_attempts[stage.id],
+                    )
                     if stage_attempts[stage.id] > config.max_stage_retries:
                         raise JobFailedError(
                             f"{stage.name} exceeded {config.max_stage_retries} resubmissions"
@@ -730,6 +815,11 @@ class DAGScheduler:
                 stage_metrics.wall_seconds = time.perf_counter() - stage_start
                 job.stages.append(stage_metrics)
                 bus.post(StageCompleted(stage_metrics, job.job_id))
+                log.debug(
+                    "stage completed",
+                    stage_id=stage.id, name=stage.name,
+                    wall_seconds=round(stage_metrics.wall_seconds, 6),
+                )
                 if not stage.is_shuffle_map:
                     results.update(stage_results)
             if wanted <= set(results):

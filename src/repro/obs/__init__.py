@@ -1,9 +1,12 @@
-"""Observability: structured tracing, a metrics registry, and history analysis.
+"""Observability: logging, tracing, metrics, diagnostics, and the advisor.
 
-Three coupled pieces, the analogue of Spark's web UI + metrics system +
-history server, all fed by the engine's listener bus
+Five coupled pieces, the analogue of Spark's web UI + log4j layout +
+metrics system + history server, all fed by the engine's listener bus
 (:mod:`repro.engine.listener`):
 
+- :mod:`repro.obs.logging` -- structured JSONL logging with automatic
+  task correlation ids, a ring-buffered :class:`LogBus`, and worker-side
+  capture that ships records home with task results;
 - :mod:`repro.obs.registry` -- process-wide counters / gauges / histograms
   with Prometheus-style text exposition, plus a bus bridge that keeps
   engine-level series (tasks, shuffle bytes, cache traffic) up to date;
@@ -11,9 +14,29 @@ history server, all fed by the engine's listener bus
   attempt) exportable as JSONL or Chrome ``trace_event`` JSON;
 - :mod:`repro.obs.history` -- offline analysis of event logs: stage
   tables, straggler percentiles, cache hit rates, and DAG critical-path
-  analysis (surfaced by ``sparkscore history``).
+  analysis (surfaced by ``sparkscore history``);
+- :mod:`repro.obs.diagnostics` / :mod:`repro.obs.advisor` -- skew,
+  straggler, and cache-pressure detection over the recorded telemetry,
+  and the rule-based recommendation engine behind ``sparkscore doctor``.
 """
 
+from repro.obs.advisor import Recommendation, diagnose, render_recommendations
+from repro.obs.diagnostics import (
+    DiagnosticsListener,
+    analyze_cache_pressure,
+    detect_skew,
+    detect_stragglers,
+    gini,
+)
+from repro.obs.logging import (
+    LOG_BUS,
+    JsonlLogSink,
+    LogBus,
+    LogRecord,
+    capture_logs,
+    get_logger,
+    log_context,
+)
 from repro.obs.registry import REGISTRY, Counter, Gauge, Histogram, Registry
 from repro.obs.spans import Span, TracingListener, spans_from_jobs, to_chrome_trace
 
@@ -27,4 +50,19 @@ __all__ = [
     "TracingListener",
     "spans_from_jobs",
     "to_chrome_trace",
+    "LOG_BUS",
+    "LogBus",
+    "LogRecord",
+    "JsonlLogSink",
+    "get_logger",
+    "log_context",
+    "capture_logs",
+    "DiagnosticsListener",
+    "analyze_cache_pressure",
+    "detect_skew",
+    "detect_stragglers",
+    "gini",
+    "Recommendation",
+    "diagnose",
+    "render_recommendations",
 ]

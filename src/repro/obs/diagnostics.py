@@ -1,0 +1,409 @@
+"""Skew / straggler / cache-pressure diagnostics over engine telemetry.
+
+The interpretive layer between raw telemetry (TaskMetrics, the registry
+series) and the tuning advisor.  Three analyses:
+
+- **partition skew** -- per-stage distributions of records, bytes, and
+  duration across partitions, scored with the Gini coefficient and the
+  max-over-median ratio.  Resampling cost in the paper's workloads is
+  dominated by a skewed tail of SNP-sets (Segal et al.; Larson & Owen),
+  so a stage whose slowest partition is several times its median is the
+  canonical "why is this configuration slow" answer.
+- **stragglers** -- individual task attempts that ran far longer than
+  their stage's median (configurable multiplier, with an absolute floor
+  so trivial stages don't alarm).
+- **cache pressure** -- eviction and recompute ratios derived from the
+  BlockManager counters in the process-wide metrics registry.
+
+:class:`DiagnosticsListener` runs the first two online: it watches
+``StageCompleted`` events, posts :class:`StageSkewDetected` /
+:class:`StragglerDetected` back onto the bus, and logs a structured
+warning for each, so skew shows up in the live UI and the event log while
+the job is still running.  The same pure functions run offline inside
+``sparkscore doctor`` over a loaded event log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.listener import (
+    Listener,
+    StageCompleted,
+    StageSkewDetected,
+    StragglerDetected,
+)
+from repro.obs.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import EngineConfig
+    from repro.engine.listener import ListenerBus
+    from repro.engine.metrics import StageMetrics
+    from repro.obs.registry import Registry
+
+log = get_logger("repro.diagnostics")
+
+#: per-partition metrics the skew detector scores
+SKEW_METRICS = ("records", "bytes", "duration")
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample: 0 = uniform, ->1 = one
+    partition holds everything.  Returns 0.0 for degenerate input."""
+    vals = sorted(v for v in values if v >= 0)
+    n = len(vals)
+    total = sum(vals)
+    if n < 2 or total <= 0:
+        return 0.0
+    # mean absolute difference formulation via the sorted-rank identity
+    weighted = sum((2 * (i + 1) - n - 1) * v for i, v in enumerate(vals))
+    return weighted / (n * total)
+
+
+def median(values: Sequence[float]) -> float:
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    mid = len(vals) // 2
+    if len(vals) % 2:
+        return vals[mid]
+    return (vals[mid - 1] + vals[mid]) / 2
+
+
+def _task_value(rec, metric: str) -> float:
+    if metric == "duration":
+        return rec.duration_seconds
+    m = rec.metrics
+    if metric == "records":
+        return float(m.records_read + m.shuffle_records_read)
+    if metric == "bytes":
+        return float(m.shuffle_bytes_read + m.shuffle_bytes_written)
+    raise ValueError(f"unknown skew metric {metric!r}")
+
+
+def stage_distribution(stage: "StageMetrics", metric: str) -> dict[int, float]:
+    """Per-partition value of ``metric`` over successful first-result tasks.
+
+    Retried partitions keep the successful attempt's value.
+    """
+    out: dict[int, float] = {}
+    for rec in stage.tasks:
+        if rec.succeeded:
+            out[rec.partition] = _task_value(rec, metric)
+    return out
+
+
+@dataclass
+class SkewReport:
+    """One skewed (stage, metric) pair."""
+
+    stage_id: int
+    stage_name: str
+    metric: str
+    num_tasks: int
+    max_value: float
+    median_value: float
+    max_over_median: float
+    gini: float
+    #: partition holding the maximum
+    max_partition: int
+
+    def to_dict(self) -> dict:
+        return {
+            "stage_id": self.stage_id,
+            "stage_name": self.stage_name,
+            "metric": self.metric,
+            "num_tasks": self.num_tasks,
+            "max_value": self.max_value,
+            "median_value": self.median_value,
+            "max_over_median": self.max_over_median,
+            "gini": self.gini,
+            "max_partition": self.max_partition,
+        }
+
+
+@dataclass
+class StragglerReport:
+    """One task attempt that ran far past its stage's median duration."""
+
+    stage_id: int
+    stage_name: str
+    partition: int
+    attempt: int
+    executor_id: str
+    duration_seconds: float
+    median_seconds: float
+    ratio: float
+
+    def to_dict(self) -> dict:
+        return {
+            "stage_id": self.stage_id,
+            "stage_name": self.stage_name,
+            "partition": self.partition,
+            "attempt": self.attempt,
+            "executor_id": self.executor_id,
+            "duration_seconds": self.duration_seconds,
+            "median_seconds": self.median_seconds,
+            "ratio": self.ratio,
+        }
+
+
+def detect_skew(
+    stage: "StageMetrics",
+    *,
+    max_over_median: float = 4.0,
+    min_tasks: int = 4,
+) -> list[SkewReport]:
+    """Score each metric's partition distribution; report those whose
+    max/median ratio crosses the threshold.
+
+    Stages with fewer than ``min_tasks`` partitions are skipped: a 2-task
+    stage is trivially "skewed" by any imbalance, and repartitioning it is
+    rarely the right advice.
+    """
+    reports: list[SkewReport] = []
+    for metric in SKEW_METRICS:
+        dist = stage_distribution(stage, metric)
+        if len(dist) < min_tasks:
+            continue
+        values = list(dist.values())
+        med = median(values)
+        peak_partition, peak = max(dist.items(), key=lambda kv: kv[1])
+        if peak <= 0:
+            continue
+        # a zero median with a non-zero max is infinite skew; report it
+        # with a finite sentinel ratio so the evidence stays JSON-clean
+        ratio = peak / med if med > 0 else math.inf
+        if ratio >= max_over_median:
+            reports.append(
+                SkewReport(
+                    stage_id=stage.stage_id,
+                    stage_name=stage.name,
+                    metric=metric,
+                    num_tasks=len(dist),
+                    max_value=peak,
+                    median_value=med,
+                    max_over_median=ratio if math.isfinite(ratio) else peak,
+                    gini=gini(values),
+                    max_partition=peak_partition,
+                )
+            )
+    return reports
+
+
+def detect_stragglers(
+    stage: "StageMetrics",
+    *,
+    multiplier: float = 3.0,
+    min_seconds: float = 0.1,
+    min_tasks: int = 4,
+) -> list[StragglerReport]:
+    """Tasks whose duration exceeds ``multiplier`` x the stage median.
+
+    ``min_seconds`` is an absolute floor: a 3 ms task in a 1 ms-median
+    stage is noise, not a straggler.
+    """
+    succeeded = [t for t in stage.tasks if t.succeeded]
+    if len(succeeded) < min_tasks:
+        return []
+    med = median([t.duration_seconds for t in succeeded])
+    out: list[StragglerReport] = []
+    for rec in succeeded:
+        if rec.duration_seconds < min_seconds:
+            continue
+        if med > 0 and rec.duration_seconds >= multiplier * med:
+            out.append(
+                StragglerReport(
+                    stage_id=stage.stage_id,
+                    stage_name=stage.name,
+                    partition=rec.partition,
+                    attempt=rec.attempt,
+                    executor_id=rec.executor_id,
+                    duration_seconds=rec.duration_seconds,
+                    median_seconds=med,
+                    ratio=rec.duration_seconds / med,
+                )
+            )
+    return out
+
+
+@dataclass
+class CachePressureReport:
+    """Eviction / recompute pressure derived from BlockManager counters."""
+
+    blocks_cached: int = 0
+    blocks_evicted: int = 0
+    blocks_spilled: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def eviction_ratio(self) -> float:
+        """Fraction of cached blocks that were later evicted."""
+        return self.blocks_evicted / self.blocks_cached if self.blocks_cached else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "blocks_cached": self.blocks_cached,
+            "blocks_evicted": self.blocks_evicted,
+            "blocks_spilled": self.blocks_spilled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "eviction_ratio": self.eviction_ratio,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _counter_total(registry: "Registry", name: str) -> int:
+    inst = registry.get(name)
+    if inst is None:
+        return 0
+    return int(sum(child.value for child in inst.children().values()))
+
+
+def analyze_cache_pressure(registry: "Registry" | None = None) -> CachePressureReport:
+    """Fold the BlockManager registry series into one pressure report."""
+    if registry is None:
+        from repro.obs.registry import REGISTRY
+
+        registry = REGISTRY
+    return CachePressureReport(
+        blocks_cached=_counter_total(registry, "engine_blocks_cached_total"),
+        blocks_evicted=_counter_total(registry, "engine_blocks_evicted_total"),
+        blocks_spilled=_counter_total(registry, "engine_blocks_spilled_total"),
+        cache_hits=_counter_total(registry, "engine_cache_hits_total"),
+        cache_misses=_counter_total(registry, "engine_cache_misses_total"),
+    )
+
+
+class DiagnosticsListener(Listener):
+    """Online skew/straggler detection on stage completion.
+
+    For every completed stage this runs :func:`detect_skew` and
+    :func:`detect_stragglers` with the context's configured thresholds,
+    re-posts findings as typed bus events (so other listeners -- UI
+    progress, event log -- see them), and emits structured warnings.
+    Reports accumulate for the life of the context; ``snapshot()`` serves
+    the UI Diagnostics panel.
+    """
+
+    def __init__(
+        self,
+        bus: "ListenerBus",
+        *,
+        skew_max_over_median: float = 4.0,
+        straggler_multiplier: float = 3.0,
+        straggler_min_seconds: float = 0.1,
+        min_tasks: int = 4,
+    ) -> None:
+        self._bus = bus
+        self.skew_max_over_median = skew_max_over_median
+        self.straggler_multiplier = straggler_multiplier
+        self.straggler_min_seconds = straggler_min_seconds
+        self.min_tasks = min_tasks
+        self.skew_reports: list[SkewReport] = []
+        self.straggler_reports: list[StragglerReport] = []
+
+    @classmethod
+    def from_config(cls, bus: "ListenerBus", config: "EngineConfig") -> "DiagnosticsListener":
+        return cls(
+            bus,
+            skew_max_over_median=config.skew_max_over_median,
+            straggler_multiplier=config.straggler_multiplier,
+            straggler_min_seconds=config.straggler_min_seconds,
+            min_tasks=config.diagnostics_min_tasks,
+        )
+
+    def on_stage_completed(self, event: StageCompleted) -> None:
+        stage = event.stage
+        # dedupe per (stage, metric): retried stage attempts re-complete
+        seen_skew = {(r.stage_id, r.metric) for r in self.skew_reports}
+        for report in detect_skew(
+            stage,
+            max_over_median=self.skew_max_over_median,
+            min_tasks=self.min_tasks,
+        ):
+            if (report.stage_id, report.metric) in seen_skew:
+                continue
+            self.skew_reports.append(report)
+            self._bus.post(
+                StageSkewDetected(
+                    stage_id=report.stage_id,
+                    job_id=event.job_id,
+                    metric=report.metric,
+                    max_over_median=report.max_over_median,
+                    gini=report.gini,
+                    max_partition=report.max_partition,
+                )
+            )
+            log.warning(
+                "stage partition skew detected",
+                stage_id=report.stage_id,
+                job_id=event.job_id,
+                metric=report.metric,
+                max_over_median=round(report.max_over_median, 2),
+                gini=round(report.gini, 3),
+                max_partition=report.max_partition,
+            )
+        seen_straggler = {
+            (r.stage_id, r.partition, r.attempt) for r in self.straggler_reports
+        }
+        for report in detect_stragglers(
+            stage,
+            multiplier=self.straggler_multiplier,
+            min_seconds=self.straggler_min_seconds,
+            min_tasks=self.min_tasks,
+        ):
+            if (report.stage_id, report.partition, report.attempt) in seen_straggler:
+                continue
+            self.straggler_reports.append(report)
+            self._bus.post(
+                StragglerDetected(
+                    stage_id=report.stage_id,
+                    job_id=event.job_id,
+                    partition=report.partition,
+                    attempt=report.attempt,
+                    executor_id=report.executor_id,
+                    duration_seconds=report.duration_seconds,
+                    median_seconds=report.median_seconds,
+                )
+            )
+            log.warning(
+                "straggler task detected",
+                stage_id=report.stage_id,
+                job_id=event.job_id,
+                partition=report.partition,
+                executor_id=report.executor_id,
+                duration_seconds=round(report.duration_seconds, 4),
+                median_seconds=round(report.median_seconds, 4),
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for the UI ``/api/diagnostics`` endpoint."""
+        return {
+            "skew": [r.to_dict() for r in self.skew_reports],
+            "stragglers": [r.to_dict() for r in self.straggler_reports],
+            "cache_pressure": analyze_cache_pressure().to_dict(),
+        }
+
+
+__all__ = [
+    "SKEW_METRICS",
+    "gini",
+    "median",
+    "stage_distribution",
+    "SkewReport",
+    "StragglerReport",
+    "CachePressureReport",
+    "detect_skew",
+    "detect_stragglers",
+    "analyze_cache_pressure",
+    "DiagnosticsListener",
+]

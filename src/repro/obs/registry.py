@@ -435,6 +435,9 @@ class MetricsListener(Listener):
             "engine_block_bytes_cached_total", "bytes inserted into caches"
         )
         self.blocks_evicted = r.counter("engine_blocks_evicted_total", "blocks LRU-evicted")
+        self.blocks_spilled = r.counter(
+            "engine_blocks_spilled_total", "evicted blocks preserved on disk"
+        )
         self.remote_fetches = r.counter(
             "engine_block_remote_fetches_total", "cache blocks served from a remote executor"
         )
@@ -518,6 +521,8 @@ class MetricsListener(Listener):
             self.block_bytes_cached.inc(event.size)
         elif isinstance(event, BlockEvicted):
             self.blocks_evicted.inc()
+            if event.spilled:
+                self.blocks_spilled.inc()
         elif isinstance(event, BlockFetchedRemote):
             self.remote_fetches.inc()
         elif isinstance(event, ExecutorLost):

@@ -12,6 +12,10 @@ Endpoints:
 - ``/api/executors`` -- the executor fleet with heartbeat liveness;
 - ``/api/progress`` -- live jobs/stages/executors snapshot (what the
   console progress bar renders), advancing while a job is mid-flight;
+- ``/api/logs`` -- the tail of the structured log ring buffer
+  (``?level=`` filters, ``?limit=`` bounds the tail length);
+- ``/api/diagnostics`` -- skew/straggler/cache-pressure findings from the
+  online :class:`~repro.obs.diagnostics.DiagnosticsListener`;
 - ``/`` -- a minimal auto-refreshing HTML dashboard over the above.
 
 Bind ``port=0`` to let the OS pick a free port (tests do this); the bound
@@ -88,10 +92,14 @@ _DASHBOARD = """<!doctype html>
  <a href="/api/jobs">/api/jobs</a>
  <a href="/api/stages">/api/stages</a>
  <a href="/api/executors">/api/executors</a>
- <a href="/api/progress">/api/progress</a></p>
+ <a href="/api/progress">/api/progress</a>
+ <a href="/api/logs">/api/logs</a>
+ <a href="/api/diagnostics">/api/diagnostics</a></p>
 <h2>stages</h2><div id="stages">loading...</div>
 <h2>executors</h2><div id="executors"></div>
 <h2>completed jobs</h2><div id="jobs"></div>
+<h2>diagnostics</h2><div id="diagnostics"></div>
+<h2>recent logs</h2><div id="logs"></div>
 <script>
 function row(cells, tag) {
   tag = tag || "td";
@@ -115,6 +123,21 @@ async function refresh() {
     row(["job", "description", "wall s", "stages", "tasks", "failures"], "th") +
     jobs.map(j => row([j.job_id, j.description, j.wall_seconds.toFixed(3),
       j.num_stages, j.num_tasks, j.num_task_failures])).join("") + "</table>";
+  const diag = await (await fetch("/api/diagnostics")).json();
+  const findings = diag.skew.map(s =>
+      ["skew", "stage " + s.stage_id, s.metric + " max/median " + s.max_over_median.toFixed(1) + "x"])
+    .concat(diag.stragglers.map(s =>
+      ["straggler", "stage " + s.stage_id + " p" + s.partition,
+       s.duration_seconds.toFixed(2) + "s vs median " + s.median_seconds.toFixed(2) + "s"]));
+  document.getElementById("diagnostics").innerHTML = findings.length
+    ? "<table>" + row(["kind", "where", "detail"], "th") +
+      findings.map(f => row(f)).join("") + "</table>"
+    : "no skew or stragglers detected";
+  const logs = await (await fetch("/api/logs?limit=25")).json();
+  document.getElementById("logs").innerHTML = "<table>" +
+    row(["level", "logger", "job", "stage", "part", "message"], "th") +
+    logs.map(l => row([l.level, l.logger, l.job_id ?? "", l.stage_id ?? "",
+      l.partition ?? "", l.message])).join("") + "</table>";
 }
 refresh(); setInterval(refresh, 1000);
 </script></body></html>
@@ -198,6 +221,21 @@ class UIServer:
             self._send_json(handler, out)
         elif path == "/api/progress":
             self._send_json(handler, self.ctx.progress.snapshot())
+        elif path == "/api/logs":
+            from repro.obs.logging import LOG_BUS
+
+            query = handler.path.partition("?")[2]
+            params = dict(
+                part.split("=", 1) for part in query.split("&") if "=" in part
+            )
+            try:
+                limit = int(params.get("limit", 200))
+            except ValueError:
+                limit = 200
+            records = LOG_BUS.records(level=params.get("level"), limit=limit)
+            self._send_json(handler, [r.to_dict() for r in records])
+        elif path == "/api/diagnostics":
+            self._send_json(handler, self.ctx.diagnostics.snapshot())
         elif path == "/":
             self._send(handler, _DASHBOARD, "text/html; charset=utf-8")
         else:

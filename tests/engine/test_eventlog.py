@@ -10,6 +10,7 @@ from repro.core.replay import capture_job, replay
 from repro.engine.eventlog import (
     FORMAT_VERSION,
     read_event_log,
+    read_logs,
     read_telemetry,
     write_event_log,
 )
@@ -69,11 +70,30 @@ class TestRoundTrip:
 
 
 class TestErrors:
-    def test_corrupt_line(self, tmp_path):
+    def test_corrupt_line_mid_file(self, tmp_path):
+        """Unparseable lines with content after them are real corruption,
+        not a crash-truncated tail."""
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"event": "job"\n')
+        path.write_text(
+            '{"event": "job"\n'
+            '{"event": "heartbeat", "version": 3, "executor_id": "e0"}\n'
+        )
         with pytest.raises(ValueError, match="line 1"):
             read_event_log(str(path))
+
+    def test_truncated_final_line_warns_and_loads_rest(self, ctx, tmp_path):
+        """A writer killed mid-write chops the last line; the reader keeps
+        every complete job and warns instead of raising."""
+        ctx.parallelize(range(8), 2).sum()
+        path = str(tmp_path / "chopped.jsonl")
+        write_event_log(ctx.metrics.jobs, path)
+        full = open(path).read()
+        with open(path, "a") as fh:
+            fh.write(full[: len(full) // 2].rstrip("\n"))  # half a job line
+        with pytest.warns(UserWarning, match="truncated"):
+            jobs = read_event_log(path)
+        assert len(jobs) == 1
+        assert jobs[0].stages[0].num_tasks == 2
 
     def test_wrong_event_kind(self, tmp_path):
         path = tmp_path / "bad.jsonl"
@@ -170,11 +190,11 @@ class TestVersionCompat:
 
     def test_writes_current_version(self, ctx, tmp_path):
         ctx.parallelize(range(4), 2).sum()
-        path = str(tmp_path / "v3.jsonl")
+        path = str(tmp_path / "current.jsonl")
         write_event_log(ctx.metrics.jobs, path)
         with open(path) as fh:
             data = json.loads(fh.readline())
-        assert data["version"] == FORMAT_VERSION == 3
+        assert data["version"] == FORMAT_VERSION == 4
         assert data["submit_time"] > 0.0
         assert data["stages"][0]["tasks"][0]["start_time"] > 0.0
 
@@ -257,3 +277,51 @@ class TestV3Telemetry:
         path.write_text('{"event": "heartbeat", "version": 2}\n')
         with pytest.raises(ValueError):
             read_event_log(str(path))
+
+
+class TestV4Logs:
+    def _run_logged(self, tmp_path, level="debug"):
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "v4.jsonl")
+        config = EngineConfig(
+            backend="serial", num_executors=2, executor_cores=2,
+            default_parallelism=4, log_level=level,
+        )
+        with Context(config, event_log_path=path) as ctx:
+            ctx.parallelize(range(20), 4).map(lambda x: x + 1).sum()
+        return path
+
+    def test_log_records_interleave_and_recover(self, tmp_path):
+        path = self._run_logged(tmp_path)
+        records = read_logs(path)
+        assert records, "expected structured log lines in the v4 log"
+        messages = {r.message for r in records}
+        assert "job started" in messages and "job finished" in messages
+        finished = [r for r in records if r.message == "task finished"]
+        assert {(r.job_id, r.stage_id, r.partition) for r in finished} == {
+            (0, 0, p) for p in range(4)
+        }
+
+    def test_job_readers_skip_log_lines(self, tmp_path):
+        path = self._run_logged(tmp_path)
+        jobs = read_event_log(path)
+        assert len(jobs) == 1
+        # and telemetry readers don't confuse log lines with heartbeats
+        assert all(t["event"] != "log" for t in read_telemetry(path))
+
+    def test_level_gates_the_side_channel(self, tmp_path):
+        quiet = read_logs(self._run_logged(tmp_path, level="error"))
+        assert quiet == []
+
+    def test_old_fixture_has_no_logs(self):
+        assert read_logs(str(FIXTURES / "eventlog_v2.jsonl")) == []
+
+    def test_committed_truncated_fixture_loads_partially(self):
+        """Regression: the chopped fixture simulates a driver killed
+        mid-write; the complete first job must survive."""
+        with pytest.warns(UserWarning, match="truncated"):
+            jobs = read_event_log(str(FIXTURES / "eventlog_truncated.jsonl"))
+        assert len(jobs) == 1
+        assert jobs[0].description == "sum at reduce"

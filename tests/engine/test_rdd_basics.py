@@ -93,6 +93,19 @@ class TestTransformations:
         rdd = ctx.parallelize(range(4), 2).coalesce(10)
         assert rdd.num_partitions() == 2
 
+    def test_repartition_can_increase_partitions(self, ctx):
+        rdd = ctx.parallelize(range(12), 2).repartition(6)
+        assert rdd.num_partitions() == 6
+        assert sorted(rdd.collect()) == list(range(12))
+
+    def test_repartition_balances_a_skewed_partition(self, ctx):
+        sizes = ctx.parallelize(range(64), 1).repartition(4).glom().map(len).collect()
+        assert sizes == [16, 16, 16, 16]
+
+    def test_repartition_rejects_nonpositive(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).repartition(0)
+
     def test_sample_deterministic(self, ctx):
         rdd = ctx.parallelize(range(1000), 4)
         first = rdd.sample(0.1, seed=3).collect()
@@ -200,3 +213,26 @@ class TestIntrospection:
 
     def test_repr(self, ctx):
         assert "partitions=2" in repr(ctx.parallelize([1], 2))
+
+    def test_debug_string_shows_storage_level(self, ctx):
+        from repro.engine.storage import StorageLevel
+
+        rdd = ctx.parallelize(range(8), 4).map(str).persist(StorageLevel.MEMORY_SER)
+        assert "<memory_ser: 0/4 cached>" in rdd.to_debug_string()
+        rdd.collect()
+        assert "<memory_ser: 4/4 cached>" in rdd.to_debug_string()
+        assert "cached" not in rdd.lineage()[0].to_debug_string()  # uncached parent
+
+    def test_explain_summarizes_shuffles(self, ctx):
+        rdd = (
+            ctx.parallelize(range(12), 3)
+            .map(lambda x: (x % 4, x))
+            .reduce_by_key(operator.add, num_partitions=2)
+        )
+        plan = rdd.explain()
+        assert "shuffle 0: 3 map partition(s) -> 2 reduce partition(s)" in plan
+        assert "HashPartitioner" in plan
+
+    def test_explain_flat_lineage(self, ctx):
+        plan = ctx.parallelize(range(4), 2).map(str).explain()
+        assert "single stage" in plan

@@ -1,0 +1,183 @@
+"""The tuning advisor: rules, ranking, and rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
+from repro.obs.advisor import (
+    DiagnosisInput,
+    Recommendation,
+    cache_pressure_from_jobs,
+    diagnose,
+    recommendations_to_json,
+    render_recommendations,
+    rule_cache_thrash,
+    rule_container_sizing,
+    rule_repartition_skew,
+    rule_stragglers,
+    rule_tiny_tasks,
+)
+from repro.obs.diagnostics import CachePressureReport
+
+
+def make_job(durations, records=None, job_id=0, executors=None):
+    records = records if records is not None else [10] * len(durations)
+    executors = executors or [f"exec-{i % 2}" for i in range(len(durations))]
+    tasks = [
+        TaskRecord(
+            stage_id=1,
+            partition=i,
+            attempt=0,
+            executor_id=executors[i],
+            duration_seconds=d,
+            metrics=TaskMetrics(records_read=r),
+            succeeded=True,
+        )
+        for i, (d, r) in enumerate(zip(durations, records))
+    ]
+    stage = StageMetrics(stage_id=1, name="map", num_tasks=len(tasks), tasks=tasks)
+    return JobMetrics(job_id=job_id, description="test job", stages=[stage])
+
+
+class TestRepartitionRule:
+    def test_fires_on_skew_with_concrete_target(self):
+        job = make_job([0.1] * 7 + [1.0])
+        (rec,) = rule_repartition_skew(DiagnosisInput(jobs=[job]))
+        assert rec.rule == "repartition-skewed-stage"
+        assert rec.stage_id == 1
+        # 8 tasks x factor capped at 4
+        assert rec.evidence["recommended_partitions"] == 32
+        assert "repartition(32)" in rec.action
+        assert "rdd.explain()" in rec.action
+
+    def test_quiet_on_balanced_stage(self):
+        job = make_job([0.1] * 8)
+        assert rule_repartition_skew(DiagnosisInput(jobs=[job])) == []
+
+
+class TestStragglerRule:
+    def test_slow_executor_signature(self):
+        # both stragglers on exec-9: blame the executor, not the data
+        durations = [0.2] * 6 + [1.5, 1.5]
+        executors = ["exec-0"] * 6 + ["exec-9", "exec-9"]
+        job = make_job(durations, executors=executors)
+        (rec,) = rule_stragglers(DiagnosisInput(jobs=[job]))
+        assert "slow-executor signature" in rec.title
+        assert "exec-9" in rec.title
+
+    def test_scattered_stragglers_suggest_repartition(self):
+        durations = [0.2] * 6 + [1.5, 1.5]
+        executors = ["exec-0"] * 6 + ["exec-1", "exec-2"]
+        job = make_job(durations, executors=executors)
+        (rec,) = rule_stragglers(DiagnosisInput(jobs=[job]))
+        assert "slow-executor" not in rec.title
+        assert "repartition" in rec.action
+
+
+class TestCacheThrashRule:
+    def test_critical_when_hit_rate_collapses(self):
+        cache = CachePressureReport(
+            blocks_cached=10, blocks_evicted=8, blocks_spilled=0,
+            cache_hits=1, cache_misses=9,
+        )
+        (rec,) = rule_cache_thrash(DiagnosisInput(cache=cache))
+        assert rec.severity == "critical"
+        assert "MEMORY_AND_DISK" in rec.action  # evictions recompute
+
+    def test_spilled_evictions_soften_the_advice(self):
+        cache = CachePressureReport(
+            blocks_cached=10, blocks_evicted=8, blocks_spilled=8,
+            cache_hits=4, cache_misses=6,
+        )
+        (rec,) = rule_cache_thrash(DiagnosisInput(cache=cache))
+        assert rec.severity == "warning"
+        assert "MEMORY_AND_DISK" not in rec.action
+
+    def test_healthy_cache_is_quiet(self):
+        cache = CachePressureReport(
+            blocks_cached=10, blocks_evicted=1, cache_hits=9, cache_misses=1,
+        )
+        assert rule_cache_thrash(DiagnosisInput(cache=cache)) == []
+
+
+class TestTinyTasksRule:
+    def test_fires_on_many_sub_ms_tasks(self):
+        job = make_job([0.002] * 32)
+        (rec,) = rule_tiny_tasks(DiagnosisInput(jobs=[job]))
+        assert rec.rule == "tiny-tasks"
+        assert rec.evidence["recommended_partitions"] == 8
+
+    def test_quiet_below_task_count_threshold(self):
+        job = make_job([0.002] * 8)
+        assert rule_tiny_tasks(DiagnosisInput(jobs=[job])) == []
+
+
+class TestContainerSizingRule:
+    def test_always_fires_when_jobs_ran(self):
+        (rec,) = rule_container_sizing(DiagnosisInput(jobs=[make_job([0.1] * 4)]))
+        assert rec.severity == "info"
+        assert "executor_cores=2" in rec.action
+
+    def test_silent_without_jobs(self):
+        assert rule_container_sizing(DiagnosisInput()) == []
+
+
+class TestDiagnose:
+    def test_ranked_most_urgent_first(self):
+        job = make_job([0.1] * 7 + [1.0])
+        cache = CachePressureReport(
+            blocks_cached=10, blocks_evicted=9, cache_hits=1, cache_misses=9,
+        )
+        recs = diagnose([job], cache=cache)
+        severities = [r.severity for r in recs]
+        assert severities == sorted(
+            severities, key=lambda s: {"critical": 3, "warning": 2, "info": 1}[s],
+            reverse=True,
+        )
+        assert recs[0].rule == "cache-thrash"
+        assert recs[-1].severity == "info"
+
+    def test_healthy_run_yields_only_sizing_info(self):
+        recs = diagnose([make_job([0.1] * 8)], cache=CachePressureReport())
+        assert [r.rule for r in recs] == ["container-sizing"]
+
+    def test_thresholds_are_tunable(self):
+        job = make_job([0.1] * 7 + [0.35])
+        strict = diagnose([job], cache=CachePressureReport(),
+                          skew_max_over_median=3.0)
+        lax = diagnose([job], cache=CachePressureReport(),
+                       skew_max_over_median=10.0)
+        assert any(r.rule == "repartition-skewed-stage" for r in strict)
+        assert not any(r.rule == "repartition-skewed-stage" for r in lax)
+
+    def test_cache_pressure_from_jobs_counts_hits(self):
+        job = make_job([0.1] * 4)
+        job.stages[0].tasks[0].metrics.cache_hits = 3
+        job.stages[0].tasks[1].metrics.cache_misses = 1
+        report = cache_pressure_from_jobs([job])
+        assert report.cache_hits == 3
+        assert report.cache_misses == 1
+
+
+class TestRendering:
+    def test_empty_report(self):
+        assert "telemetry looks healthy" in render_recommendations([])
+
+    def test_table_and_actions(self):
+        recs = diagnose(
+            [make_job([0.1] * 7 + [1.0])], cache=CachePressureReport()
+        )
+        text = render_recommendations(recs)
+        assert "severity" in text and "finding" in text
+        assert "[1]" in text and "action:" in text
+
+    def test_json_is_parseable_and_ranked(self):
+        recs = [
+            Recommendation(rule="a", severity="info", title="t", action="x"),
+            Recommendation(rule="b", severity="critical", title="u", action="y",
+                           stage_id=3, job_id=0),
+        ]
+        data = json.loads(recommendations_to_json(recs))
+        assert [d["rule"] for d in data] == ["a", "b"]
+        assert data[1]["stage_id"] == 3

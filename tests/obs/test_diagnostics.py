@@ -1,0 +1,195 @@
+"""Skew, straggler, and cache-pressure diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.listener import (
+    CollectingListener,
+    ListenerBus,
+    StageCompleted,
+    StageSkewDetected,
+    StragglerDetected,
+)
+from repro.engine.metrics import StageMetrics, TaskMetrics, TaskRecord
+from repro.obs.diagnostics import (
+    CachePressureReport,
+    DiagnosticsListener,
+    analyze_cache_pressure,
+    detect_skew,
+    detect_stragglers,
+    gini,
+    median,
+    stage_distribution,
+)
+from repro.obs.registry import Registry
+
+
+def make_stage(durations, records=None, stage_id=0, name="map"):
+    """Synthetic completed stage: one successful task per duration."""
+    records = records if records is not None else [10] * len(durations)
+    tasks = [
+        TaskRecord(
+            stage_id=stage_id,
+            partition=i,
+            attempt=0,
+            executor_id=f"exec-{i % 2}",
+            duration_seconds=d,
+            metrics=TaskMetrics(records_read=r),
+            succeeded=True,
+        )
+        for i, (d, r) in enumerate(zip(durations, records))
+    ]
+    return StageMetrics(
+        stage_id=stage_id, name=name, num_tasks=len(tasks), tasks=tasks
+    )
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5, 5, 5, 5]) == 0.0
+
+    def test_concentrated_approaches_one(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_degenerate_inputs(self):
+        assert gini([]) == 0.0
+        assert gini([3]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    def test_ordering_is_irrelevant(self):
+        assert gini([1, 9, 3, 7]) == gini([9, 1, 7, 3])
+
+
+class TestMedian:
+    def test_odd_even_empty(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+        assert median([]) == 0.0
+
+
+class TestDetectSkew:
+    def test_balanced_stage_is_clean(self):
+        stage = make_stage([0.1] * 8)
+        assert detect_skew(stage) == []
+
+    def test_skewed_duration_and_records_flagged(self):
+        stage = make_stage(
+            durations=[0.1] * 7 + [1.0],
+            records=[10] * 7 + [500],
+        )
+        reports = detect_skew(stage, max_over_median=4.0)
+        by_metric = {r.metric: r for r in reports}
+        assert "duration" in by_metric and "records" in by_metric
+        dur = by_metric["duration"]
+        assert dur.max_partition == 7
+        assert dur.max_over_median == pytest.approx(10.0)
+        assert 0 < dur.gini < 1
+
+    def test_min_tasks_guard(self):
+        stage = make_stage([0.1, 1.0])
+        assert detect_skew(stage, min_tasks=4) == []
+
+    def test_zero_median_reports_finite_sentinel(self):
+        stage = make_stage([0.1] * 8, records=[0] * 7 + [100])
+        (report,) = [
+            r for r in detect_skew(stage) if r.metric == "records"
+        ]
+        assert report.max_over_median == 100  # peak stands in for inf
+
+    def test_failed_tasks_excluded(self):
+        stage = make_stage([0.1] * 8)
+        stage.tasks.append(
+            TaskRecord(
+                stage_id=0, partition=0, attempt=1, executor_id="exec-0",
+                duration_seconds=50.0, metrics=TaskMetrics(), succeeded=False,
+            )
+        )
+        assert detect_skew(stage) == []
+
+    def test_distribution_keeps_successful_attempt(self):
+        stage = make_stage([0.1] * 4)
+        dist = stage_distribution(stage, "duration")
+        assert dist == {0: 0.1, 1: 0.1, 2: 0.1, 3: 0.1}
+
+
+class TestDetectStragglers:
+    def test_flags_the_slow_task(self):
+        stage = make_stage([0.2] * 7 + [1.0])
+        (report,) = detect_stragglers(stage, multiplier=3.0, min_seconds=0.1)
+        assert report.partition == 7
+        assert report.ratio == pytest.approx(5.0)
+        assert report.median_seconds == pytest.approx(0.2)
+
+    def test_absolute_floor_silences_fast_stages(self):
+        stage = make_stage([0.001] * 7 + [0.01])
+        assert detect_stragglers(stage, min_seconds=0.1) == []
+
+    def test_min_tasks_guard(self):
+        stage = make_stage([0.1, 0.1, 1.0])
+        assert detect_stragglers(stage, min_tasks=4) == []
+
+
+class TestCachePressure:
+    def test_from_registry_counters(self):
+        reg = Registry()
+        reg.counter("engine_blocks_cached_total").inc(10)
+        reg.counter("engine_blocks_evicted_total").inc(8)
+        reg.counter("engine_blocks_spilled_total").inc(2)
+        reg.counter("engine_cache_hits_total").inc(3)
+        reg.counter("engine_cache_misses_total").inc(7)
+        report = analyze_cache_pressure(reg)
+        assert report.blocks_cached == 10
+        assert report.eviction_ratio == pytest.approx(0.8)
+        assert report.hit_rate == pytest.approx(0.3)
+
+    def test_empty_registry_is_all_zero(self):
+        report = analyze_cache_pressure(Registry())
+        assert report.eviction_ratio == 0.0
+        assert report.hit_rate == 0.0
+
+    def test_to_dict_is_json_ready(self):
+        d = CachePressureReport(blocks_cached=4, blocks_evicted=2).to_dict()
+        assert d["eviction_ratio"] == 0.5
+
+
+class TestDiagnosticsListener:
+    def _completed(self, stage):
+        return StageCompleted(stage=stage, job_id=0)
+
+    def test_posts_events_and_accumulates(self):
+        bus = ListenerBus()
+        collected = bus.add_listener(
+            CollectingListener(StageSkewDetected, StragglerDetected)
+        )
+        diag = DiagnosticsListener(
+            bus, skew_max_over_median=4.0, straggler_min_seconds=0.05
+        )
+        bus.add_listener(diag)
+        bus.post(self._completed(make_stage([0.1] * 7 + [1.0])))
+        skew_events = collected.of(StageSkewDetected)
+        straggler_events = collected.of(StragglerDetected)
+        assert len(skew_events) == 1
+        assert skew_events[0].metric == "duration"
+        assert len(straggler_events) == 1
+        assert straggler_events[0].partition == 7
+        assert len(diag.skew_reports) == 1
+        assert len(diag.straggler_reports) == 1
+
+    def test_stage_retry_does_not_duplicate(self):
+        bus = ListenerBus()
+        diag = bus.add_listener(
+            DiagnosticsListener(bus, straggler_min_seconds=0.05)
+        )
+        stage = make_stage([0.1] * 7 + [1.0])
+        bus.post(self._completed(stage))
+        bus.post(self._completed(stage))
+        assert len(diag.skew_reports) == 1
+        assert len(diag.straggler_reports) == 1
+
+    def test_snapshot_shape(self):
+        bus = ListenerBus()
+        diag = DiagnosticsListener(bus)
+        snap = diag.snapshot()
+        assert set(snap) == {"skew", "stragglers", "cache_pressure"}
+        assert snap["skew"] == []

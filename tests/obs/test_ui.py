@@ -86,12 +86,31 @@ class TestEndpoints:
         # heartbeat info is folded in for executors that reported
         assert any(e.get("heartbeats", 0) > 0 for e in executors)
 
+    def test_api_logs_serves_the_ring_tail(self, ui_ctx):
+        from repro.obs.logging import LOG_BUS
+
+        LOG_BUS.clear()
+        ui_ctx.parallelize(range(20), 4).sum()
+        records = _get_json(ui_ctx.ui_url + "/api/logs")
+        assert any(r["message"] == "job finished" for r in records)
+        # level filter and limit are query params
+        errors_only = _get_json(ui_ctx.ui_url + "/api/logs?level=error&limit=5")
+        assert all(r["level"] == "error" for r in errors_only)
+        assert len(_get_json(ui_ctx.ui_url + "/api/logs?limit=1")) <= 1
+
+    def test_api_diagnostics_shape(self, ui_ctx):
+        ui_ctx.parallelize(range(20), 4).sum()
+        diag = _get_json(ui_ctx.ui_url + "/api/diagnostics")
+        assert set(diag) == {"skew", "stragglers", "cache_pressure"}
+        assert "hit_rate" in diag["cache_pressure"]
+
     def test_dashboard_html(self, ui_ctx):
         status, content_type, body = _get(ui_ctx.ui_url + "/")
         assert status == 200
         assert content_type.startswith("text/html")
         assert "sparkscore engine UI" in body
         assert "/api/progress" in body
+        assert "/api/diagnostics" in body and "/api/logs" in body
 
     def test_unknown_path_404(self, ui_ctx):
         with pytest.raises(urllib.error.HTTPError) as err:

@@ -1,9 +1,13 @@
 """The sparkscore command-line interface."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
 
 @pytest.fixture(scope="module")
@@ -210,6 +214,26 @@ class TestTelemetryFlags:
             main(["analyze", dataset_dir, "--method", "monte-carlo",
                   "--iterations", "10", "--progress", "--no-progress"])
 
+    def test_log_file_and_level_flow_through(self, dataset_dir, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "run.log.jsonl"
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial", "--log-level", "debug",
+                   "--log-file", str(log), "--no-progress"])
+        assert rc == 0
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        messages = {r["message"] for r in records}
+        assert "job started" in messages and "task finished" in messages
+        finished = [r for r in records if r["message"] == "task finished"]
+        assert all("stage_id" in r and "partition" in r for r in finished)
+
+    def test_log_flags_require_distributed(self, dataset_dir, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", dataset_dir, "--method", "monte-carlo",
+                  "--iterations", "10", "--log-file", str(tmp_path / "x.jsonl")])
+
     def test_history_prints_heartbeat_summary(self, tmp_path, capsys):
         import time
 
@@ -230,3 +254,66 @@ class TestTelemetryFlags:
         out = capsys.readouterr().out
         assert "heartbeats:" in out
         assert "executor(s)" in out
+
+
+class TestDoctor:
+    FIXTURE = str(FIXTURES / "eventlog_skew.jsonl")
+
+    def test_flags_skew_with_repartition_advice(self, capsys):
+        rc = main(["doctor", self.FIXTURE])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repartition-skewed-stage" in out
+        assert "rdd.repartition(" in out
+        assert "rdd.explain()" in out
+
+    def test_json_output_is_ranked_and_parseable(self, capsys):
+        import json
+
+        rc = main(["doctor", self.FIXTURE, "--json"])
+        assert rc == 0
+        recs = json.loads(capsys.readouterr().out)
+        assert recs, "expected at least one recommendation"
+        rules = [r["rule"] for r in recs]
+        assert "repartition-skewed-stage" in rules
+        assert {"rule", "severity", "title", "action", "evidence"} <= set(recs[0])
+        # warnings rank above the always-on sizing info
+        assert recs[-1]["rule"] == "container-sizing"
+
+    def test_thresholds_are_flags(self, capsys):
+        rc = main(["doctor", self.FIXTURE, "--json", "--skew-ratio", "100",
+                   "--straggler-multiplier", "100"])
+        assert rc == 0
+        import json
+
+        rules = {r["rule"] for r in json.loads(capsys.readouterr().out)}
+        assert "repartition-skewed-stage" not in rules
+        assert "stragglers" not in rules
+
+    def test_directory_scan_skips_foreign_jsonl(self, tmp_path, capsys):
+        import shutil
+
+        shutil.copy(self.FIXTURE, tmp_path / "events.jsonl")
+        (tmp_path / "other.jsonl").write_text('{"not": "an event log"}\n')
+        rc = main(["doctor", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "examined 1 job(s)" in out
+
+    def test_missing_path_errors(self, tmp_path, capsys):
+        rc = main(["doctor", str(tmp_path / "nope.jsonl")])
+        assert rc == 1
+        assert "no such event log" in capsys.readouterr().err
+
+    def test_healthy_log_reports_doctor_summary(self, dataset_dir, tmp_path, capsys):
+        log = tmp_path / "ok.jsonl"
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial", "--event-log", str(log),
+                   "--no-progress"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["doctor", str(log)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "doctor: examined" in out
