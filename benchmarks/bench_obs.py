@@ -1,17 +1,22 @@
 """Observability overhead and the doctor's skew-recovery loop.
 
-Two legs, one report (``BENCH_obs.json``):
+Three legs, one report (``BENCH_obs.json``):
 
 1. **Overhead** -- the same compute-bound job runs bare (warning-level
    logging, no sinks) and fully loaded (debug logging with worker-side
-   capture, log file, event log, diagnostics).  The observability plane
-   must cost less than ``--max-overhead-pct`` (default 10%) of
-   wall-clock.
+   capture, log file, event log, diagnostics, the metrics sampler
+   feeding the TSDB, and the alert engine evaluating the built-in
+   rules every tick).  The whole observability plane must cost less
+   than ``--max-overhead-pct`` (default 10%) of wall-clock.
 
 2. **Skew recovery** -- a heavy-tailed workload runs skewed, its event
    log is fed to the advisor (the same engine behind ``sparkscore
    doctor``), and the resulting ``repartition(N)`` recommendation is
    applied verbatim.  The rerun must beat the skewed wall-clock.
+
+3. **Post-mortem smoke** -- a fault-injected job fails under the flight
+   recorder; the bundle must land, load, and name the injected failing
+   task (the ``sparkscore postmortem`` contract CI greps for).
 
     PYTHONPATH=src python benchmarks/bench_obs.py
 
@@ -90,25 +95,42 @@ def _best_wall(ctx: Context, items: list[int], partitions: int, task,
 
 
 def bench_overhead(args, burn: _Burn) -> dict:
-    """Balanced workload, bare vs fully-instrumented contexts."""
+    """Balanced workload, bare vs fully-instrumented contexts.
+
+    The two contexts stay open together and the repeats alternate between
+    them, so slow load drift on the host hits both sides equally instead
+    of masquerading as (or masking) instrumentation cost.
+    """
     items = [1] * (args.partitions * 4)
     config = _make_config(args, args.overhead_backend)
 
-    with Context(config, log_level="warning") as ctx:
-        bare = _best_wall(ctx, items, args.partitions, burn, args.repeats)
     with tempfile.TemporaryDirectory() as tmp:
-        with Context(
+        with Context(config, log_level="warning") as bare_ctx, Context(
             config,
             log_level="debug",
             log_file=os.path.join(tmp, "driver-logs.jsonl"),
             event_log_path=os.path.join(tmp, "events.jsonl"),
-        ) as ctx:
-            loaded = _best_wall(ctx, items, args.partitions, burn, args.repeats)
+            metrics_interval=args.metrics_interval,
+            alerts=True,
+        ) as loaded_ctx:
+            bare_walls: list[float] = []
+            loaded_walls: list[float] = []
+            for _ in range(args.repeats):
+                bare_walls.append(
+                    _best_wall(bare_ctx, items, args.partitions, burn, 1)
+                )
+                loaded_walls.append(
+                    _best_wall(loaded_ctx, items, args.partitions, burn, 1)
+                )
+            bare, loaded = min(bare_walls), min(loaded_walls)
+            sampler_ticks = loaded_ctx.sampler.ticks
+            alert_evaluations = loaded_ctx.alerts.evaluations
 
     overhead_pct = (loaded - bare) / bare * 100.0
     print(
         f"  overhead: bare {bare:6.3f}s, instrumented {loaded:6.3f}s "
-        f"-> {overhead_pct:+.1f}% (budget {args.max_overhead_pct:.0f}%)"
+        f"-> {overhead_pct:+.1f}% (budget {args.max_overhead_pct:.0f}%, "
+        f"{sampler_ticks} sampler ticks, {alert_evaluations} alert passes)"
     )
     return {
         "bare_wall_seconds": bare,
@@ -116,6 +138,9 @@ def bench_overhead(args, burn: _Burn) -> dict:
         "overhead_pct": overhead_pct,
         "max_overhead_pct": args.max_overhead_pct,
         "within_budget": overhead_pct < args.max_overhead_pct,
+        "metrics_interval": args.metrics_interval,
+        "sampler_ticks": sampler_ticks,
+        "alert_evaluations": alert_evaluations,
     }
 
 
@@ -165,6 +190,47 @@ def bench_skew_recovery(args) -> dict:
     }
 
 
+def bench_postmortem_smoke(args) -> dict:
+    """Fail one task on purpose; the flight recorder must name it."""
+    from repro.engine.faults import FaultInjector, FaultPlan
+    from repro.engine.scheduler import JobFailedError
+    from repro.obs.flightrecorder import load_bundle
+
+    fail_partition = 2
+    config = _make_config(args, "serial").copy(max_task_retries=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        plan = FaultPlan(fail_partition_attempts={fail_partition: 99})
+        with Context(
+            config,
+            fault_injector=FaultInjector(plan),
+            flight_recorder=tmp,
+            metrics_interval=args.metrics_interval,
+            alerts=True,
+        ) as ctx:
+            try:
+                ctx.parallelize([1] * (args.partitions * 4), args.partitions).sum()
+            except JobFailedError:
+                pass
+            assert ctx.flight_recorder.bundles, "no post-mortem bundle written"
+            bundle = load_bundle(ctx.flight_recorder.bundles[-1])
+    failing = bundle.get("failing_task") or {}
+    assert failing.get("partition") == fail_partition, (
+        f"bundle blamed the wrong task: {failing}"
+    )
+    print(
+        f"  postmortem: bundle names task "
+        f"{failing['stage_id']}.{failing['partition']}#{failing['attempt']} "
+        f"({len(bundle.get('events', []))} events, "
+        f"{len(bundle.get('logs', []))} log records captured)"
+    )
+    return {
+        "failing_task": failing,
+        "events_captured": len(bundle.get("events", [])),
+        "logs_captured": len(bundle.get("logs", [])),
+        "has_series": bool(bundle.get("series")),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--overhead-backend",
@@ -181,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sim-unit-ms", type=float, default=10.0,
                         help="sleep per work unit in the skew leg")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--metrics-interval", type=float, default=0.1,
+                        help="sampler interval for the instrumented legs")
     parser.add_argument("--max-overhead-pct", type=float, default=10.0)
     parser.add_argument("--output", default="BENCH_obs.json")
     args = parser.parse_args(argv)
@@ -192,6 +260,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print("skew recovery:")
     recovery = bench_skew_recovery(args)
+
+    print("post-mortem smoke:")
+    postmortem = bench_postmortem_smoke(args)
 
     report = {
         "workload": {
@@ -207,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "overhead": overhead,
         "skew_recovery": recovery,
+        "postmortem_smoke": postmortem,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -15,7 +15,12 @@ Commands:
   analysis; optionally export a Chrome ``trace_event`` file;
 - ``doctor`` -- the tuning advisor: run skew/straggler/cache/sizing rules
   over one event log (or every log in a directory) and print ranked,
-  actionable recommendations with their evidence.
+  actionable recommendations with their evidence; ``--strict`` turns
+  high-severity findings into a nonzero exit for CI gating;
+- ``postmortem`` -- render a flight-recorder bundle (written on job
+  failure when the engine runs with ``--flight-recorder``): the failing
+  task, its correlated log lines, alert history, the event timeline, and
+  the advisor's recommendations recomputed from the bundle.
 """
 
 from __future__ import annotations
@@ -84,6 +89,20 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--log-file", metavar="PATH", default=None,
                    help="append structured log records as JSONL to PATH "
                         "(distributed engine only)")
+    p.add_argument("--metrics-interval", type=float, default=None, metavar="S",
+                   help="sample the metrics registry into the in-memory TSDB "
+                        "every S seconds; series land in the event log's v5 "
+                        "side channel (distributed engine only)")
+    p.add_argument("--alerts", action="store_true", default=None,
+                   help="evaluate alerting rules (heartbeat loss, GC pressure, "
+                        "spill growth, stragglers, cache thrash) against the "
+                        "sampled series (distributed engine only)")
+    p.add_argument("--alert-rules", metavar="PATH", default=None,
+                   help="JSON file of extra alert rules to load alongside the "
+                        "built-ins (implies --alerts)")
+    p.add_argument("--flight-recorder", metavar="DIR", default=None,
+                   help="write a post-mortem bundle to DIR when a job fails "
+                        "(inspect with: sparkscore postmortem <bundle>)")
 
 
 def _add_maxt(sub: argparse._SubParsersAction) -> None:
@@ -118,6 +137,10 @@ def _add_history(sub: argparse._SubParsersAction) -> None:
                    help="write Chrome trace_event JSON (span JSONL if PATH ends in .jsonl)")
     p.add_argument("--metrics", action="store_true",
                    help="also print the process metrics registry (Prometheus text format)")
+    p.add_argument("--series", action="store_true",
+                   help="replay the v5 sampled-series side channel as "
+                        "per-metric sparklines (requires a log written with "
+                        "--metrics-interval)")
 
 
 def _add_doctor(sub: argparse._SubParsersAction) -> None:
@@ -135,6 +158,28 @@ def _add_doctor(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--straggler-multiplier", type=float, default=3.0, metavar="M",
                    help="task duration vs stage median above which a task is a "
                         "straggler (default: 3.0)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 2 when any recommendation at or above "
+                        "--strict-severity fires (CI gate)")
+    p.add_argument("--strict-severity", choices=["info", "warning", "critical"],
+                   default="critical", metavar="LEVEL",
+                   help="severity floor for --strict (default: critical)")
+
+
+def _add_postmortem(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder bundle: failing task, logs, alerts, advice",
+    )
+    p.add_argument("bundle",
+                   help="post-mortem bundle JSON, or a directory of bundles "
+                        "(newest is rendered)")
+    p.add_argument("--events", type=int, default=15, metavar="N",
+                   help="bus-event timeline rows to print (default: 15)")
+    p.add_argument("--logs", type=int, default=20, metavar="N",
+                   help="correlated log lines to print (default: 20)")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw bundle JSON instead of the report")
 
 
 def _add_tune(sub: argparse._SubParsersAction) -> None:
@@ -162,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tune(sub)
     _add_history(sub)
     _add_doctor(sub)
+    _add_postmortem(sub)
     return parser
 
 
@@ -211,9 +257,19 @@ def _load_analysis(args: argparse.Namespace):
         ui_port = getattr(args, "ui_port", None)
         log_level = getattr(args, "log_level", None)
         log_file = getattr(args, "log_file", None)
+        metrics_interval = getattr(args, "metrics_interval", None)
+        alert_rules = getattr(args, "alert_rules", None)
+        alerts = getattr(args, "alerts", None)
+        if alert_rules is not None:
+            alerts = True
+        flight_recorder = getattr(args, "flight_recorder", None)
         if log_level is not None:
             config = config.copy(log_level=log_level)
-        if event_log or trace or log_file or ui_port is not None or want_progress:
+        monitoring = (
+            metrics_interval is not None or alerts or flight_recorder is not None
+        )
+        if (event_log or trace or log_file or ui_port is not None
+                or want_progress or monitoring):
             from repro.engine.context import Context
 
             kwargs["ctx"] = Context(
@@ -223,6 +279,10 @@ def _load_analysis(args: argparse.Namespace):
                 ui_port=ui_port,
                 progress=want_progress,
                 log_file=log_file,
+                metrics_interval=metrics_interval,
+                alerts=alerts,
+                alert_rules=alert_rules,
+                flight_recorder=flight_recorder,
             )
             if ui_port is not None:
                 print(f"engine UI serving at {kwargs['ctx'].ui_url}", file=sys.stderr)
@@ -234,6 +294,14 @@ def _load_analysis(args: argparse.Namespace):
         raise SystemExit("--ui-port requires --engine distributed")
     elif getattr(args, "log_file", None) or getattr(args, "log_level", None):
         raise SystemExit("--log-file/--log-level require --engine distributed")
+    elif (getattr(args, "metrics_interval", None) is not None
+          or getattr(args, "alerts", None)
+          or getattr(args, "alert_rules", None)
+          or getattr(args, "flight_recorder", None)):
+        raise SystemExit(
+            "--metrics-interval/--alerts/--alert-rules/--flight-recorder "
+            "require --engine distributed"
+        )
     analysis = SparkScoreAnalysis.from_files(args.dataset_dir, **kwargs)
     if "ctx" in kwargs:
         analysis._owns_ctx = True  # CLI hands the context over for cleanup
@@ -344,6 +412,21 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 40) -> str:
+    """Render a value list as a unicode block sparkline."""
+    if not values:
+        return ""
+    values = values[-width:]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _SPARK_TICKS[min(7, int(8 * (v - lo) / span))] for v in values
+    )
+
+
 def cmd_history(args: argparse.Namespace) -> int:
     from repro.engine.eventlog import read_event_log, read_telemetry
     from repro.obs.history import render_history
@@ -375,6 +458,29 @@ def cmd_history(args: argparse.Namespace) -> int:
                 t["executor_id"] for t in timeouts
             )
         print(line)
+    if args.series:
+        from repro.engine.eventlog import read_alerts, read_series, series_to_points
+
+        points = series_to_points(read_series(args.event_log))
+        if not points:
+            print("\nno sampled series in this log "
+                  "(was it written with --metrics-interval?)")
+        else:
+            print(f"\n-- sampled series ({len(points)}) --")
+            width = max(len(_series_label(k)) for k in points)
+            for key in sorted(points):
+                pts = points[key]
+                values = [v for _, v in pts]
+                print(f"  {_series_label(key):<{width}}  "
+                      f"last {values[-1]:<12g} {_sparkline(values)}")
+        alerts = read_alerts(args.event_log)
+        if alerts:
+            print(f"\n-- alert transitions ({len(alerts)}) --")
+            for a in alerts:
+                labels = ",".join(f"{k}={v}" for k, v in a.get("labels", {}).items())
+                print(f"  t={a.get('time', 0.0):.3f} {a.get('transition'):<9} "
+                      f"{a.get('rule')} [{a.get('severity')}] "
+                      f"{labels} value={a.get('value', 0.0):g}")
     if args.export_trace:
         spans = spans_from_jobs(jobs)
         if args.export_trace.endswith(".jsonl"):
@@ -388,6 +494,13 @@ def cmd_history(args: argparse.Namespace) -> int:
         print("\n-- process metrics registry --")
         print(REGISTRY.render(), end="")
     return 0
+
+
+def _series_label(key: tuple) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:
@@ -443,6 +556,136 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         print(f"doctor: examined {len(jobs)} job(s), {n_stages} stage(s) "
               f"from {len(read)} log(s)\n")
         print(render_recommendations(recs), end="")
+    if getattr(args, "strict", False):
+        from repro.obs.advisor import SEVERITIES
+
+        floor = SEVERITIES[args.strict_severity]
+        gating = [r for r in recs if SEVERITIES.get(r.severity, 0) >= floor]
+        if gating:
+            print(f"\nstrict mode: {len(gating)} finding(s) at or above "
+                  f"{args.strict_severity!r} -- failing", file=sys.stderr)
+            return 2
+    return 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.engine.eventlog import _job_from_dict
+    from repro.obs.advisor import (
+        cache_pressure_from_jobs,
+        diagnose,
+        render_recommendations,
+    )
+    from repro.obs.flightrecorder import load_bundle
+
+    path = args.bundle
+    if os.path.isdir(path):
+        candidates = sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.endswith(".json")
+        )
+        if not candidates:
+            print(f"no *.json bundles in {path}", file=sys.stderr)
+            return 1
+        path = candidates[-1]
+    try:
+        bundle = load_bundle(path)
+    except FileNotFoundError:
+        print(f"no such bundle: {args.bundle}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(bundle, indent=1))
+        return 0
+
+    print(f"post-mortem bundle: {path}")
+    print(f"  reason: {bundle.get('reason')}   "
+          f"captured window: {bundle.get('window')}s   "
+          f"t={bundle.get('time', 0.0):.3f}")
+    config = bundle.get("config") or {}
+    if config:
+        print(f"  engine: backend={config.get('backend')} "
+              f"{config.get('num_executors')}x{config.get('executor_cores')} cores, "
+              f"parallelism {config.get('default_parallelism')}, "
+              f"max_task_retries {config.get('max_task_retries')}")
+
+    failing = bundle.get("failing_task")
+    if failing is not None:
+        print(f"\nfailing task: {failing['stage_id']}.{failing['partition']}"
+              f"#{failing['attempt']} on {failing['executor_id']}")
+        print(f"  error: {failing.get('error')}")
+    elif bundle.get("error"):
+        print(f"\nerror: {bundle['error']}")
+
+    # log lines correlated with the failing task (or, failing that, the
+    # tail of the captured ring)
+    logs = bundle.get("logs", [])
+    if failing is not None:
+        correlated = [
+            rec for rec in logs
+            if rec.get("stage_id") == failing["stage_id"]
+            and rec.get("partition") in (failing["partition"], None)
+        ] or logs
+    else:
+        correlated = logs
+    if correlated:
+        print(f"\ncorrelated logs ({min(len(correlated), args.logs)} of {len(correlated)}):")
+        for rec in correlated[-args.logs:]:
+            where = ".".join(
+                str(rec[k]) for k in ("stage_id", "partition") if rec.get(k) is not None
+            )
+            print(f"  [{rec.get('level', '?'):<7}] {rec.get('logger', '?')} "
+                  f"{('(' + where + ') ') if where else ''}{rec.get('message')}")
+
+    alerts = (bundle.get("alerts") or {}).get("history", [])
+    if alerts:
+        print(f"\nalert history ({len(alerts)}):")
+        for a in alerts:
+            labels = ",".join(f"{k}={v}" for k, v in a.get("labels", {}).items())
+            print(f"  t={a.get('time', 0.0):.3f} {a.get('transition'):<9} "
+                  f"{a.get('rule')} [{a.get('severity')}] {labels}")
+
+    executors = bundle.get("executors", [])
+    if executors:
+        dead = [e for e in executors if not e.get("alive") or e.get("heartbeats_suspended")]
+        line = f"\nexecutors: {len(executors)} total"
+        if dead:
+            line += ", unhealthy: " + ", ".join(
+                f"{e['executor_id']}"
+                f"({'dead' if not e.get('alive') else 'silent'})" for e in dead
+            )
+        print(line)
+
+    events = bundle.get("events", [])
+    if events:
+        print(f"\nevent timeline (last {min(len(events), args.events)} "
+              f"of {len(events)} in window):")
+        for ev in events[-args.events:]:
+            desc = " ".join(
+                f"{k}={v}" for k, v in ev.items()
+                if k not in ("event", "time") and v not in (None, "", [], {})
+            )
+            print(f"  t={ev.get('time', 0.0):.3f} {ev['event']:<18} {desc}")
+
+    open_spans = bundle.get("open_spans", [])
+    if open_spans:
+        print(f"\nstill open at failure: "
+              + ", ".join(s.get("name", "?") for s in open_spans))
+
+    job_dict = bundle.get("job")
+    if job_dict is not None:
+        try:
+            job = _job_from_dict(job_dict)
+        except (KeyError, ValueError):
+            job = None
+        if job is not None:
+            recs = diagnose([job], cache=cache_pressure_from_jobs([job]))
+            print("\n-- advisor (recomputed from bundle) --")
+            print(render_recommendations(recs), end="")
     return 0
 
 
@@ -454,6 +697,7 @@ _COMMANDS = {
     "tune": cmd_tune,
     "history": cmd_history,
     "doctor": cmd_doctor,
+    "postmortem": cmd_postmortem,
 }
 
 

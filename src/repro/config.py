@@ -110,6 +110,21 @@ class EngineConfig:
     #: stages with fewer tasks than this are exempt from skew/straggler
     #: analysis (tiny stages are trivially imbalanced)
     diagnostics_min_tasks: int = 4
+    #: seconds between metrics-sampler snapshots of the process registry
+    #: into the in-memory TSDB (0 disables the sampler thread)
+    metrics_interval: float = 0.0
+    #: full-resolution samples kept per series before folding into the
+    #: downsampled tier
+    metrics_retention: int = 512
+    #: raw samples folded into one min/max/mean bin on eviction
+    metrics_downsample: int = 8
+    #: evaluate alerting rules each sampler tick (implies a sampler: when
+    #: ``metrics_interval`` is 0 the context picks a default interval)
+    alerts_enabled: bool = False
+    #: directory for failure post-mortem bundles ("" disables the recorder)
+    flight_recorder_dir: str = ""
+    #: seconds of event/metric history captured in each post-mortem bundle
+    flight_recorder_window: float = 30.0
     #: free-form extra options (string keyed, Spark style)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -132,6 +147,12 @@ class EngineConfig:
         "spark.speculation.minTaskRuntime": "straggler_min_seconds",
         "spark.diagnostics.skewRatio": "skew_max_over_median",
         "spark.diagnostics.minTasks": "diagnostics_min_tasks",
+        "spark.metrics.interval": "metrics_interval",
+        "spark.metrics.retention": "metrics_retention",
+        "spark.metrics.downsample": "metrics_downsample",
+        "spark.alerts.enabled": "alerts_enabled",
+        "spark.flightRecorder.dir": "flight_recorder_dir",
+        "spark.flightRecorder.window": "flight_recorder_window",
     }
 
     def __post_init__(self) -> None:
@@ -183,6 +204,14 @@ class EngineConfig:
             raise ValueError("skew_max_over_median must be >= 1")
         if self.diagnostics_min_tasks < 2:
             raise ValueError("diagnostics_min_tasks must be >= 2")
+        if self.metrics_interval < 0:
+            raise ValueError("metrics_interval must be >= 0")
+        if self.metrics_retention < 2:
+            raise ValueError("metrics_retention must be >= 2")
+        if self.metrics_downsample < 1:
+            raise ValueError("metrics_downsample must be >= 1")
+        if self.flight_recorder_window <= 0:
+            raise ValueError("flight_recorder_window must be > 0")
 
     # -- Spark-style string interface ------------------------------------
 
@@ -196,7 +225,12 @@ class EngineConfig:
             value = parse_size(value)
         else:
             current = getattr(self, attr)
-            if isinstance(current, int):
+            if isinstance(current, bool):
+                if isinstance(value, str):
+                    value = value.strip().lower() in ("1", "true", "yes", "on")
+                else:
+                    value = bool(value)
+            elif isinstance(current, int):
                 value = int(value)
             elif isinstance(current, float):
                 value = float(value)

@@ -43,12 +43,22 @@ class Context:
         serializer: "str | None" = None,
         log_file: str | None = None,
         log_level: str | None = None,
+        metrics_interval: float | None = None,
+        alerts: bool | None = None,
+        alert_rules: "str | list | None" = None,
+        flight_recorder: str | None = None,
     ) -> None:
         self.config = config or EngineConfig()
         if serializer is not None:
             self.config = self.config.copy(serializer=serializer)
         if log_level is not None:
             self.config = self.config.copy(log_level=log_level)
+        if metrics_interval is not None:
+            self.config = self.config.copy(metrics_interval=metrics_interval)
+        if alerts is not None:
+            self.config = self.config.copy(alerts_enabled=alerts)
+        if flight_recorder is not None:
+            self.config = self.config.copy(flight_recorder_dir=flight_recorder)
         #: when set, each completed job is streamed here as JSONL (v4)
         self.event_log_path = event_log_path
         #: when set, every structured log record is appended here as JSONL
@@ -127,6 +137,64 @@ class Context:
         self.diagnostics = DiagnosticsListener.from_config(self.listener_bus, self.config)
         self.listener_bus.add_listener(self.diagnostics)
 
+        # continuous monitoring: the driver-side metrics sampler feeding the
+        # in-memory TSDB, the alert engine riding its tick hook, and the
+        # failure flight recorder -- all off by default
+        self.timeseries = None
+        self.sampler = None
+        self.alerts = None
+        self.flight_recorder = None
+        sample_interval = self.config.metrics_interval
+        if self.config.alerts_enabled and sample_interval <= 0:
+            sample_interval = 0.25  # alerting needs a clock to evaluate on
+        if sample_interval > 0:
+            from repro.obs.timeseries import MetricsSampler, TimeSeriesStore
+
+            self.timeseries = TimeSeriesStore(
+                raw_capacity=self.config.metrics_retention,
+                downsample_factor=self.config.metrics_downsample,
+            )
+            self.sampler = MetricsSampler(self.timeseries, interval=sample_interval)
+            if self._event_log_listener is not None:
+                self.sampler.add_tick_sink(self._event_log_listener.write_series)
+        if self.config.alerts_enabled:
+            from repro.obs.alerts import (
+                AlertManager,
+                ConsoleAlertSink,
+                builtin_rules,
+                load_rules,
+            )
+
+            def _busy_gate(labels: dict) -> bool:
+                # only alert on heartbeat silence from executors that hold
+                # in-flight tasks; idle ones legitimately go quiet
+                hub = self.heartbeats
+                return hub is not None and labels.get("executor") in hub.busy_executors()
+
+            rules = builtin_rules(
+                heartbeat_gate=_busy_gate,
+                heartbeat_window=max(0.5, self.config.heartbeat_interval * 4),
+            )
+            if alert_rules is not None:
+                if isinstance(alert_rules, str):
+                    rules.extend(load_rules(alert_rules))
+                else:
+                    rules.extend(alert_rules)
+            self.alerts = AlertManager(self.timeseries, self.listener_bus, rules)
+            self.alerts.add_sink(ConsoleAlertSink())
+            if self._event_log_listener is not None:
+                self.alerts.add_sink(self._event_log_listener.write_alert)
+            self.sampler.add_tick_hook(self.alerts.evaluate)
+        if self.config.flight_recorder_dir:
+            from repro.obs.flightrecorder import FlightRecorder
+
+            self.flight_recorder = FlightRecorder(
+                self.config.flight_recorder_dir,
+                context=self,
+                window=self.config.flight_recorder_window,
+            )
+            self.listener_bus.add_listener(self.flight_recorder)
+
         # live surfaces: structured progress state (feeds the UI and the
         # console bars) and the embedded HTTP server
         from repro.obs.progress import ProgressTracker
@@ -152,6 +220,10 @@ class Context:
             self.heartbeats = HeartbeatHub(self)
             self.listener_bus.add_listener(self.heartbeats)
             self.heartbeats.start()
+        if self.sampler is not None:
+            # started after the heartbeat hub so the alert engine's busy
+            # gate sees live in-flight state from its first tick
+            self.sampler.start()
 
         self._rdd_ids = itertools.count()
         self._shuffle_ids = itertools.count()
@@ -304,6 +376,12 @@ class Context:
                 self._ui = None
             if self.heartbeats is not None:
                 self.heartbeats.stop()
+            if self.sampler is not None:
+                self.sampler.stop()
+            if self.flight_recorder is not None:
+                # safety net: a failure whose dump never landed gets one
+                # last chance before the listeners close
+                self.flight_recorder.dump_on_stop()
             if self._tracer is not None and self.trace_path is not None:
                 from repro.obs.spans import write_chrome_trace, write_spans_jsonl
 

@@ -26,6 +26,13 @@ future fields can be added compatibly.  Version history:
   and earlier fixtures still load unchanged.  Readers also became
   crash-safe: a truncated *final* line (the writer was killed mid-write)
   produces a warning and a partial result instead of raising.
+- **v5** -- continuous monitoring.  Two new side-channel kinds:
+  ``series`` lines carry one metrics-sampler tick each (only the samples
+  whose value changed, as ``[name, {labels}, value]`` triples against a
+  shared monotonic timestamp), recoverable via :func:`read_series` so
+  ``sparkscore history`` can replay metric evolution offline; ``alert``
+  lines record alert-engine transitions (firing/resolved), recoverable
+  via :func:`read_alerts`.  v4 and earlier logs still load unchanged.
 
 Since the listener-bus refactor the log is written *incrementally*: the
 context attaches an :class:`EventLogListener` to its bus and each job is
@@ -50,8 +57,8 @@ from repro.engine.listener import (
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
 from repro.obs.logging import LogRecord
 
-FORMAT_VERSION = 4
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+FORMAT_VERSION = 5
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 
 #: non-job record kinds introduced by v3 (telemetry side-channel)
 TELEMETRY_EVENTS = ("heartbeat", "executor_timed_out")
@@ -62,6 +69,8 @@ SIDE_CHANNEL_MIN_VERSION = {
     "heartbeat": 3,
     "executor_timed_out": 3,
     "log": 4,
+    "series": 5,
+    "alert": 5,
 }
 
 
@@ -279,6 +288,79 @@ def read_logs(path_or_file: str | IO[str]) -> list[LogRecord]:
             fh.close()
 
 
+def read_series(path_or_file: str | IO[str]) -> list[dict]:
+    """Load the v5 metric-series records from an event log.
+
+    Returns one dict per sampler tick, in file order:
+    ``{"time": t, "samples": [[name, {labels}, value], ...]}``; empty for
+    v1-v4 logs.  Unparseable lines are skipped (the side channel is
+    best-effort, same tolerance as :func:`read_telemetry`).
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") == "series":
+                out.append({"time": data.get("time", 0.0),
+                            "samples": data.get("samples", [])})
+        return out
+    finally:
+        if own:
+            fh.close()
+
+
+def series_to_points(records: list[dict]) -> dict[tuple, list[tuple[float, float]]]:
+    """Pivot :func:`read_series` output into per-series point lists.
+
+    Returns ``{(name, ((label, value), ...)): [(time, value), ...]}`` --
+    the shape ``sparkscore history --series`` plots from.  Because the
+    writer only records *changed* samples, consecutive points already
+    differ in value.
+    """
+    out: dict[tuple, list[tuple[float, float]]] = {}
+    for rec in records:
+        t = rec.get("time", 0.0)
+        for sample in rec.get("samples", []):
+            name, labels, value = sample
+            key = (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+            out.setdefault(key, []).append((t, float(value)))
+    return out
+
+
+def read_alerts(path_or_file: str | IO[str]) -> list[dict]:
+    """Load the v5 alert-transition records from an event log.
+
+    Returns raw transition dicts (rule, severity, transition, value, ...)
+    in file order; empty for v1-v4 logs.
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") == "alert":
+                out.append(data)
+        return out
+    finally:
+        if own:
+            fh.close()
+
+
 class EventLogListener(Listener):
     """Bus listener that streams each completed job to a JSONL event log.
 
@@ -296,6 +378,12 @@ class EventLogListener(Listener):
     registers :meth:`write_log` as a sink on the process log bus, so every
     emitted :class:`~repro.obs.logging.LogRecord` lands as a ``log`` line
     interleaved with the jobs it describes.
+
+    The v5 monitoring side channel completes the picture: the context
+    registers :meth:`write_series` as a tick sink on the metrics sampler
+    (one ``series`` line per tick with a change) and :meth:`write_alert`
+    as an alert-manager sink (one flushed ``alert`` line per transition --
+    alerts are rare and forensic, so losing the tail is not acceptable).
     """
 
     def __init__(self, path: str) -> None:
@@ -304,6 +392,8 @@ class EventLogListener(Listener):
         self.jobs_written = 0
         self.telemetry_written = 0
         self.logs_written = 0
+        self.series_written = 0
+        self.alerts_written = 0
 
     def _file(self) -> IO[str]:
         if self._fh is None:
@@ -347,6 +437,27 @@ class EventLogListener(Listener):
         data.update(record.to_dict())
         self._file().write(json.dumps(data, separators=(",", ":")) + "\n")
         self.logs_written += 1
+
+    def write_series(self, now: float, samples: list[tuple]) -> None:
+        """Sampler tick sink: append one v5 ``series`` line (unflushed --
+        same lost-tail tolerance as heartbeats)."""
+        data = {
+            "event": "series",
+            "version": FORMAT_VERSION,
+            "time": now,
+            "samples": [[name, labels, value] for name, labels, value in samples],
+        }
+        self._file().write(json.dumps(data, separators=(",", ":")) + "\n")
+        self.series_written += 1
+
+    def write_alert(self, transition: dict) -> None:
+        """Alert-manager sink: append one flushed v5 ``alert`` line."""
+        data = {"event": "alert", "version": FORMAT_VERSION}
+        data.update(transition)
+        fh = self._file()
+        fh.write(json.dumps(data, separators=(",", ":")) + "\n")
+        fh.flush()
+        self.alerts_written += 1
 
     def close(self) -> None:
         if self._fh is not None:

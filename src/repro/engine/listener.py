@@ -188,6 +188,34 @@ class StragglerDetected(EngineEvent):
     median_seconds: float
 
 
+@dataclass
+class AlertFired(EngineEvent):
+    """An alerting rule crossed pending -> firing.
+
+    Posted by :class:`repro.obs.alerts.AlertManager` after a rule's
+    condition held for its dwell time; ``labels`` identifies which series
+    of the metric family tripped it."""
+
+    rule: str
+    severity: str
+    metric: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+    description: str = ""
+
+
+@dataclass
+class AlertResolved(EngineEvent):
+    """A previously firing alert's condition cleared."""
+
+    rule: str
+    severity: str
+    metric: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+    description: str = ""
+
+
 # -- listener + bus ----------------------------------------------------------
 
 _CAMEL = re.compile(r"(?<!^)(?=[A-Z])")
@@ -318,6 +346,8 @@ __all__ = [
     "ExecutorTimedOut",
     "StageSkewDetected",
     "StragglerDetected",
+    "AlertFired",
+    "AlertResolved",
     "Listener",
     "ListenerBus",
     "CollectingListener",

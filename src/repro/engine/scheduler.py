@@ -502,6 +502,14 @@ class TaskScheduler:
         try:
             if not executor.alive:
                 raise ExecutorLostError(executor.executor_id)
+            # fault plans fire at launch on the driver: the injector's state
+            # cannot ship to worker processes, and the future surfaces the
+            # raise through the same retry path as the shared-state backends
+            injector = self.ctx.fault_injector
+            if injector is not None:
+                injector.on_task_launch(TaskContext(
+                    stage.id, task.partition, attempt, executor.executor_id
+                ))
             # make the task self-contained: pre-fetch shuffle input + cache
             # blocks.  Shuffle input ships as the map outputs' serialized
             # frames (no driver-side decode + re-pickle); cache blocks ship
@@ -812,6 +820,14 @@ class DAGScheduler:
                         ) from None
                     # loop around: missing map outputs will be recomputed
                     break
+                except Exception:
+                    # permanent failure: keep the partial stage tree on the
+                    # job metrics so the failed-job event-log line and
+                    # post-mortem bundles carry the failing task records
+                    stage_metrics.wall_seconds = time.perf_counter() - stage_start
+                    job.stages.append(stage_metrics)
+                    bus.post(StageCompleted(stage_metrics, job.job_id, failed=True))
+                    raise
                 stage_metrics.wall_seconds = time.perf_counter() - stage_start
                 job.stages.append(stage_metrics)
                 bus.post(StageCompleted(stage_metrics, job.job_id))

@@ -17,10 +17,24 @@ metrics system + history server, all fed by the engine's listener bus
   analysis (surfaced by ``sparkscore history``);
 - :mod:`repro.obs.diagnostics` / :mod:`repro.obs.advisor` -- skew,
   straggler, and cache-pressure detection over the recorded telemetry,
-  and the rule-based recommendation engine behind ``sparkscore doctor``.
+  and the rule-based recommendation engine behind ``sparkscore doctor``;
+- :mod:`repro.obs.timeseries` -- the in-memory ring-buffer TSDB and the
+  driver-side sampler thread that snapshots the registry into it;
+- :mod:`repro.obs.alerts` -- declarative threshold/rate/absence rules
+  over the TSDB with a pending -> firing -> resolved state machine;
+- :mod:`repro.obs.flightrecorder` -- the failure black box behind
+  ``sparkscore postmortem``.
 """
 
 from repro.obs.advisor import Recommendation, diagnose, render_recommendations
+from repro.obs.alerts import (
+    AlertManager,
+    AlertRule,
+    ConsoleAlertSink,
+    JsonlAlertSink,
+    builtin_rules,
+    load_rules,
+)
 from repro.obs.diagnostics import (
     DiagnosticsListener,
     analyze_cache_pressure,
@@ -37,8 +51,10 @@ from repro.obs.logging import (
     get_logger,
     log_context,
 )
+from repro.obs.flightrecorder import FlightRecorder, load_bundle
 from repro.obs.registry import REGISTRY, Counter, Gauge, Histogram, Registry
 from repro.obs.spans import Span, TracingListener, spans_from_jobs, to_chrome_trace
+from repro.obs.timeseries import MetricsSampler, Series, TimeSeriesStore
 
 __all__ = [
     "REGISTRY",
@@ -65,4 +81,15 @@ __all__ = [
     "Recommendation",
     "diagnose",
     "render_recommendations",
+    "Series",
+    "TimeSeriesStore",
+    "MetricsSampler",
+    "AlertRule",
+    "AlertManager",
+    "ConsoleAlertSink",
+    "JsonlAlertSink",
+    "builtin_rules",
+    "load_rules",
+    "FlightRecorder",
+    "load_bundle",
 ]

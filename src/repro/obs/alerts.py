@@ -1,0 +1,414 @@
+"""Declarative alerting rules evaluated against the in-memory TSDB.
+
+A rule (:class:`AlertRule`) describes a condition over one metric family:
+
+- ``threshold`` -- the latest value compared against a bound
+  (``engine_executor_rss_bytes > 2e9``);
+- ``rate`` -- the per-second increase over a trailing window compared
+  against a bound (``rate(engine_blocks_spilled_total[10s]) > 0``);
+- ``absence`` -- the value has not *changed* for longer than the window
+  (a heartbeat counter that stopped incrementing).
+
+Rules are evaluated per label set: every series matching the rule's
+metric (and optional label filter) carries its own independent state
+machine::
+
+    inactive -> pending -> firing -> resolved -> inactive
+
+A condition must hold continuously for ``for_seconds`` before the alert
+fires (the *pending* phase absorbs flapping).  Firing posts
+:class:`~repro.engine.listener.AlertFired` on the listener bus and
+notifies sinks; recovery posts
+:class:`~repro.engine.listener.AlertResolved`.  An optional non-serialized
+``gate`` callable can veto evaluation for a given label set -- the
+built-in heartbeat-loss rule uses it to only watch executors that
+currently hold in-flight tasks (idle executors legitimately stop
+heartbeating; see :meth:`repro.engine.heartbeat.HeartbeatHub.busy_executors`).
+
+:class:`AlertManager` owns the rules, the per-(rule, series) states, and
+a bounded transition history; it is driven by the metrics sampler's tick
+hook, so alerting costs nothing unless the sampler runs.  Built-in rules
+(:func:`builtin_rules`) cover what the engine already measures: heartbeat
+loss, GC-pause pressure, shuffle-spill growth, straggler rate, and cache
+thrash.  User rules load from JSON via :meth:`AlertRule.from_dict`
+(``--alert-rules rules.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.engine.listener import AlertFired, AlertResolved
+from repro.obs.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.listener import ListenerBus
+    from repro.obs.timeseries import Series, TimeSeriesStore
+
+log = get_logger("repro.obs.alerts")
+
+#: rule kinds -> how the condition value is computed from a series
+KINDS = ("threshold", "rate", "absence")
+#: alert states, in lifecycle order
+STATES = ("inactive", "pending", "firing", "resolved")
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass
+class AlertRule:
+    """One declarative alerting rule (JSON-serializable except ``gate``)."""
+
+    name: str
+    metric: str
+    kind: str = "threshold"        # threshold | rate | absence
+    op: str = ">"
+    threshold: float = 0.0
+    window: float = 10.0           # rate/absence lookback seconds
+    for_seconds: float = 0.0       # pending dwell before firing
+    severity: str = "warning"      # info | warning | critical
+    description: str = ""
+    labels: dict = field(default_factory=dict)  # label filter (subset match)
+    #: optional veto: gate(labels_dict) -> bool; not serialized
+    gate: Callable[[dict], bool] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}; expected one of {KINDS}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison {self.op!r}; expected one of {sorted(_OPS)}")
+
+    def condition_value(self, series: "Series", now: float) -> float:
+        if self.kind == "rate":
+            return series.rate(self.window, now)
+        if self.kind == "absence":
+            return series.seconds_since_change(now)
+        latest = series.latest()
+        return latest[1] if latest else 0.0
+
+    def holds(self, series: "Series", now: float) -> tuple[bool, float]:
+        value = self.condition_value(series, now)
+        if self.kind == "absence":
+            # absence compares staleness against the window, not threshold
+            return value > self.window, value
+        return _OPS[self.op](value, self.threshold), value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "kind": self.kind,
+            "op": self.op,
+            "threshold": self.threshold,
+            "window": self.window,
+            "for_seconds": self.for_seconds,
+            "severity": self.severity,
+            "description": self.description,
+            "labels": dict(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AlertRule":
+        known = {
+            "name", "metric", "kind", "op", "threshold", "window",
+            "for_seconds", "severity", "description", "labels",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown alert rule fields: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in known if k in data})
+
+
+def load_rules(path: str) -> list[AlertRule]:
+    """Load a JSON rule file: either a list of rules or {"rules": [...]}."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, Mapping):
+        data = data.get("rules", [])
+    return [AlertRule.from_dict(entry) for entry in data]
+
+
+@dataclass
+class AlertState:
+    """Live state for one (rule, series) pair."""
+
+    rule: AlertRule
+    labels: dict
+    state: str = "inactive"
+    since: float = 0.0           # when the current state was entered
+    value: float = 0.0           # last computed condition value
+    fired_count: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule.name,
+            "severity": self.rule.severity,
+            "metric": self.rule.metric,
+            "labels": dict(self.labels),
+            "state": self.state,
+            "since": self.since,
+            "value": self.value,
+            "fired_count": self.fired_count,
+        }
+
+
+class AlertManager:
+    """Evaluates rules against a :class:`TimeSeriesStore` each tick."""
+
+    def __init__(
+        self,
+        store: "TimeSeriesStore",
+        bus: "ListenerBus | None" = None,
+        rules: list[AlertRule] | None = None,
+        history_capacity: int = 256,
+    ) -> None:
+        self.store = store
+        self.bus = bus
+        self.rules: list[AlertRule] = list(rules or [])
+        self._states: dict[tuple[str, tuple], AlertState] = {}
+        self.history: list[dict] = []
+        self.history_capacity = history_capacity
+        self._sinks: list[Callable[[dict], None]] = []
+        self.evaluations = 0
+
+    def add_rule(self, rule: AlertRule) -> None:
+        self.rules.append(rule)
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        """Sinks receive each firing/resolved transition as a dict."""
+        self._sinks.append(sink)
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """One evaluation pass; returns the transitions it produced."""
+        if now is None:
+            now = time.perf_counter()
+        self.evaluations += 1
+        transitions: list[dict] = []
+        for rule in self.rules:
+            for series in self.store.all_series(rule.metric):
+                if rule.labels and not (
+                    set((str(k), str(v)) for k, v in rule.labels.items())
+                    <= set(series.labels)
+                ):
+                    continue
+                labels = dict(series.labels)
+                if rule.gate is not None:
+                    try:
+                        if not rule.gate(labels):
+                            # gated out: clear any stale pending state so a
+                            # half-armed alert never fires on re-entry
+                            st = self._states.get((rule.name, series.labels))
+                            if st is not None and st.state == "pending":
+                                st.state = "inactive"
+                                st.since = now
+                            continue
+                    except Exception:
+                        continue
+                key = (rule.name, series.labels)
+                st = self._states.get(key)
+                if st is None:
+                    st = self._states[key] = AlertState(rule, labels, since=now)
+                holds, value = rule.holds(series, now)
+                st.value = value
+                transition = self._advance(st, holds, now)
+                if transition is not None:
+                    transitions.append(transition)
+        return transitions
+
+    def _advance(self, st: AlertState, holds: bool, now: float) -> dict | None:
+        rule = st.rule
+        if holds:
+            if st.state in ("inactive", "resolved"):
+                st.state = "pending"
+                st.since = now
+            if st.state == "pending" and now - st.since >= rule.for_seconds:
+                st.state = "firing"
+                st.since = now
+                st.fired_count += 1
+                return self._emit(st, "firing", now)
+            return None
+        if st.state == "firing":
+            st.state = "resolved"
+            st.since = now
+            return self._emit(st, "resolved", now)
+        if st.state == "pending":
+            st.state = "inactive"
+            st.since = now
+        return None
+
+    def _emit(self, st: AlertState, transition: str, now: float) -> dict:
+        record = {
+            "time": now,
+            "transition": transition,
+            "rule": st.rule.name,
+            "severity": st.rule.severity,
+            "metric": st.rule.metric,
+            "labels": dict(st.labels),
+            "value": st.value,
+            "description": st.rule.description,
+        }
+        self.history.append(record)
+        if len(self.history) > self.history_capacity:
+            del self.history[: len(self.history) - self.history_capacity]
+        if self.bus is not None:
+            event_cls = AlertFired if transition == "firing" else AlertResolved
+            self.bus.post(event_cls(
+                rule=st.rule.name,
+                severity=st.rule.severity,
+                metric=st.rule.metric,
+                labels=dict(st.labels),
+                value=st.value,
+                description=st.rule.description,
+            ))
+        for sink in self._sinks:
+            try:
+                sink(record)
+            except Exception:  # sink isolation, same policy as the bus
+                pass
+        return record
+
+    # -- introspection ----------------------------------------------------
+
+    def states(self) -> list[dict]:
+        return [st.to_dict() for st in self._states.values()]
+
+    def firing(self) -> list[dict]:
+        return [st.to_dict() for st in self._states.values() if st.state == "firing"]
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/api/alerts`` and flight-recorder bundles."""
+        return {
+            "rules": [r.to_dict() for r in self.rules],
+            "states": self.states(),
+            "history": list(self.history),
+        }
+
+
+# -- sinks ----------------------------------------------------------------
+
+
+class ConsoleAlertSink:
+    """Writes firing/resolved transitions through the structured log bus."""
+
+    def __call__(self, record: dict) -> None:
+        level = "error" if record["severity"] == "critical" else "warning"
+        getattr(log, level)(
+            f"alert {record['transition']}: {record['rule']}",
+            rule=record["rule"],
+            severity=record["severity"],
+            metric=record["metric"],
+            value=record["value"],
+            **{f"label_{k}": v for k, v in record["labels"].items()},
+        )
+
+
+class JsonlAlertSink:
+    """Appends one JSON object per transition to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def __call__(self, record: dict) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+# -- built-in rules --------------------------------------------------------
+
+
+def builtin_rules(
+    heartbeat_gate: Callable[[dict], bool] | None = None,
+    heartbeat_window: float = 2.0,
+) -> list[AlertRule]:
+    """The stock rule set, wired to series the engine already exports.
+
+    ``heartbeat_gate`` receives the heartbeat series' labels
+    (``{"executor": eid}``) and should return True only when that
+    executor currently holds in-flight work; without a gate the
+    heartbeat-loss rule would fire for every legitimately idle executor.
+    """
+    return [
+        AlertRule(
+            name="heartbeat_loss",
+            metric="engine_executor_heartbeats_total",
+            kind="absence",
+            window=heartbeat_window,
+            for_seconds=0.0,
+            severity="critical",
+            description="busy executor stopped heartbeating",
+            gate=heartbeat_gate,
+        ),
+        AlertRule(
+            name="gc_pause_pressure",
+            metric="engine_task_gc_pause_seconds_total",
+            kind="rate",
+            op=">",
+            threshold=0.1,       # >100ms of GC pause per wall second
+            window=5.0,
+            for_seconds=1.0,
+            severity="warning",
+            description="GC pauses consuming >10% of wall time",
+        ),
+        AlertRule(
+            name="shuffle_spill_growth",
+            metric="engine_blocks_spilled_total",
+            kind="rate",
+            op=">",
+            threshold=0.0,
+            window=10.0,
+            for_seconds=0.0,
+            severity="warning",
+            description="cache blocks spilling to disk",
+        ),
+        AlertRule(
+            name="straggler_rate",
+            metric="engine_stragglers_total",
+            kind="rate",
+            op=">",
+            threshold=0.0,
+            window=15.0,
+            for_seconds=0.0,
+            severity="warning",
+            description="stages flagging straggler tasks",
+        ),
+        AlertRule(
+            name="cache_thrash",
+            metric="engine_blocks_evicted_total",
+            kind="rate",
+            op=">",
+            threshold=5.0,       # sustained evictions per second
+            window=5.0,
+            for_seconds=1.0,
+            severity="warning",
+            description="cache evicting faster than it can serve",
+        ),
+    ]
+
+
+__all__ = [
+    "AlertRule",
+    "AlertState",
+    "AlertManager",
+    "ConsoleAlertSink",
+    "JsonlAlertSink",
+    "builtin_rules",
+    "load_rules",
+    "KINDS",
+    "STATES",
+]

@@ -20,6 +20,7 @@ import threading
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine.listener import (
+    AlertFired,
     BlockCached,
     BlockEvicted,
     BlockFetchedRemote,
@@ -31,6 +32,8 @@ from repro.engine.listener import (
     Listener,
     ShuffleFetch,
     ShuffleWrite,
+    StageSkewDetected,
+    StragglerDetected,
     TaskEnd,
 )
 
@@ -46,10 +49,28 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per the exposition formats: backslash, double
+    quote, and line feed must be escaped or scrapers mis-parse the line."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -268,11 +289,22 @@ class Registry:
         with self._lock:
             return list(self._instruments.values())
 
-    def render(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+    def render(self, openmetrics: bool = False, timestamp: float | None = None) -> str:
+        """Text exposition of every instrument.
+
+        Default: Prometheus text format 0.0.4.  ``openmetrics=True``
+        emits the OpenMetrics flavor -- the same HELP/TYPE/sample lines
+        (label values escaped, metric families in stable name order,
+        children in stable label order) with an optional per-sample
+        ``timestamp`` (seconds) and the mandatory ``# EOF`` trailer, so
+        real scrapers accept the endpoint.
+        """
+        suffix = ""
+        if openmetrics and timestamp is not None:
+            suffix = f" {_format_value(round(timestamp, 3))}"
         lines: list[str] = []
         for inst in sorted(self.instruments(), key=lambda i: i.name):
-            lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
             for key, child in sorted(inst.children().items()):
                 labels = dict(key)
@@ -283,15 +315,25 @@ class Registry:
                         bucket_labels = dict(labels)
                         bucket_labels["le"] = _format_value(bound)
                         lines.append(
-                            f"{inst.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                            f"{inst.name}_bucket{_format_labels(bucket_labels)} {cumulative}{suffix}"
                         )
                     inf_labels = dict(labels)
                     inf_labels["le"] = "+Inf"
-                    lines.append(f"{inst.name}_bucket{_format_labels(inf_labels)} {child.count}")
-                    lines.append(f"{inst.name}_sum{_format_labels(labels)} {_format_value(child.sum)}")
-                    lines.append(f"{inst.name}_count{_format_labels(labels)} {child.count}")
+                    lines.append(
+                        f"{inst.name}_bucket{_format_labels(inf_labels)} {child.count}{suffix}"
+                    )
+                    lines.append(
+                        f"{inst.name}_sum{_format_labels(labels)} {_format_value(child.sum)}{suffix}"
+                    )
+                    lines.append(
+                        f"{inst.name}_count{_format_labels(labels)} {child.count}{suffix}"
+                    )
                 else:
-                    lines.append(f"{inst.name}{_format_labels(labels)} {_format_value(child.value)}")
+                    lines.append(
+                        f"{inst.name}{_format_labels(labels)} {_format_value(child.value)}{suffix}"
+                    )
+        if openmetrics:
+            lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
     def snapshot(self, include_histograms: bool = False) -> dict[str, float]:
@@ -483,6 +525,19 @@ class MetricsListener(Listener):
         self.tasks_profiled = r.counter(
             "engine_tasks_profiled_total", "task attempts run under the sampled profiler"
         )
+        # -- continuous monitoring plane ----------------------------------
+        # skew/straggler findings surface here as counters so the alert
+        # engine's rate rules can watch them through the TSDB
+        self.stage_skew = r.counter(
+            "engine_stage_skew_total", "stages flagged with partition skew"
+        )
+        self.stragglers = r.counter(
+            "engine_stragglers_total", "task attempts flagged as stragglers"
+        )
+        self.alerts_fired = r.counter(
+            "engine_alerts_fired_total", "alert rules that crossed into firing",
+            labelnames=("severity",),
+        )
 
     def on_event(self, event: EngineEvent) -> None:
         if isinstance(event, JobEnd):
@@ -527,6 +582,12 @@ class MetricsListener(Listener):
             self.remote_fetches.inc()
         elif isinstance(event, ExecutorLost):
             self.executors_lost.inc()
+        elif isinstance(event, StageSkewDetected):
+            self.stage_skew.inc()
+        elif isinstance(event, StragglerDetected):
+            self.stragglers.inc()
+        elif isinstance(event, AlertFired):
+            self.alerts_fired.labels(severity=event.severity).inc()
 
 
 __all__ = [

@@ -4,9 +4,10 @@ Pure stdlib (:class:`http.server.ThreadingHTTPServer` on a daemon thread),
 started by ``Context(ui_port=...)`` or ``sparkscore analyze --ui-port``.
 Endpoints:
 
-- ``/metrics`` -- Prometheus text exposition of the process-wide registry
-  (worker-side increments included: the process backend ships registry
-  deltas home with every task result);
+- ``/metrics`` -- OpenMetrics exposition of the process-wide registry
+  (HELP/TYPE lines, escaped label values, per-sample timestamps, ``# EOF``
+  trailer; worker-side increments included: the process backend ships
+  registry deltas home with every task result);
 - ``/api/jobs`` -- completed jobs, Spark-REST-style JSON;
 - ``/api/stages`` -- per-stage summaries with aggregated task metrics;
 - ``/api/executors`` -- the executor fleet with heartbeat liveness;
@@ -16,7 +17,13 @@ Endpoints:
   (``?level=`` filters, ``?limit=`` bounds the tail length);
 - ``/api/diagnostics`` -- skew/straggler/cache-pressure findings from the
   online :class:`~repro.obs.diagnostics.DiagnosticsListener`;
-- ``/`` -- a minimal auto-refreshing HTML dashboard over the above.
+- ``/api/timeseries`` -- sampled metric history from the in-memory TSDB
+  (``?name=`` selects one metric family, ``?window=`` trims to trailing
+  seconds); empty unless the context runs a metrics sampler;
+- ``/api/alerts`` -- alert rules, live per-series states, and the
+  transition history; empty unless alerting is enabled;
+- ``/`` -- a minimal auto-refreshing HTML dashboard over the above, with
+  sparkline panels for sampled series and a banner for firing alerts.
 
 Bind ``port=0`` to let the OS pick a free port (tests do this); the bound
 port is available as ``UIServer.port`` and the full base URL as
@@ -27,6 +34,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 
@@ -85,6 +93,10 @@ _DASHBOARD = """<!doctype html>
  td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: left; }
  .bar { background: #3b7; height: 10px; display: inline-block; }
  .trough { background: #ddd; width: 200px; display: inline-block; }
+ .spark { font-size: 1.1em; letter-spacing: 1px; color: #37b; }
+ #alertbanner { display: none; background: #c33; color: #fff;
+   padding: 6px 12px; margin: 8px 0; font-weight: bold; }
+ #alertbanner.warning { background: #c93; }
 </style></head>
 <body>
 <h1>sparkscore engine UI</h1>
@@ -94,16 +106,28 @@ _DASHBOARD = """<!doctype html>
  <a href="/api/executors">/api/executors</a>
  <a href="/api/progress">/api/progress</a>
  <a href="/api/logs">/api/logs</a>
- <a href="/api/diagnostics">/api/diagnostics</a></p>
+ <a href="/api/diagnostics">/api/diagnostics</a>
+ <a href="/api/timeseries">/api/timeseries</a>
+ <a href="/api/alerts">/api/alerts</a></p>
+<div id="alertbanner"></div>
 <h2>stages</h2><div id="stages">loading...</div>
 <h2>executors</h2><div id="executors"></div>
 <h2>completed jobs</h2><div id="jobs"></div>
 <h2>diagnostics</h2><div id="diagnostics"></div>
+<h2>metric sparklines</h2><div id="sparklines">sampler off</div>
 <h2>recent logs</h2><div id="logs"></div>
 <script>
 function row(cells, tag) {
   tag = tag || "td";
   return "<tr>" + cells.map(c => "<" + tag + ">" + c + "</" + tag + ">").join("") + "</tr>";
+}
+const TICKS = "▁▂▃▄▅▆▇█";
+function sparkline(values) {
+  if (!values.length) return "";
+  const lo = Math.min(...values), hi = Math.max(...values);
+  const span = hi - lo || 1;
+  return values.slice(-40).map(v =>
+    TICKS[Math.min(7, Math.floor(8 * (v - lo) / span))]).join("");
 }
 async function refresh() {
   const prog = await (await fetch("/api/progress")).json();
@@ -138,6 +162,32 @@ async function refresh() {
     row(["level", "logger", "job", "stage", "part", "message"], "th") +
     logs.map(l => row([l.level, l.logger, l.job_id ?? "", l.stage_id ?? "",
       l.partition ?? "", l.message])).join("") + "</table>";
+  const alerts = await (await fetch("/api/alerts")).json();
+  const banner = document.getElementById("alertbanner");
+  if (alerts.enabled) {
+    const firing = alerts.states.filter(s => s.state === "firing");
+    if (firing.length) {
+      banner.style.display = "block";
+      banner.className = firing.some(s => s.severity === "critical") ? "" : "warning";
+      banner.textContent = "ALERTS FIRING: " + firing.map(s =>
+        s.rule + " (" + s.severity + ", " + JSON.stringify(s.labels) + ")").join("; ");
+    } else {
+      banner.style.display = "none";
+    }
+  }
+  const ts = await (await fetch("/api/timeseries?window=60")).json();
+  if (ts.enabled) {
+    const interesting = ts.series.filter(s => s.samples.length > 1).slice(0, 12);
+    document.getElementById("sparklines").innerHTML = interesting.length
+      ? "<table>" + row(["series", "last", "trend"], "th") +
+        interesting.map(s => {
+          const vals = s.samples.map(p => p[1]);
+          const label = Object.keys(s.labels).length ? JSON.stringify(s.labels) : "";
+          return row([s.name + " " + label, vals[vals.length - 1],
+            '<span class="spark">' + sparkline(vals) + "</span>"]);
+        }).join("") + "</table>"
+      : "no moving series yet";
+  }
 }
 refresh(); setInterval(refresh, 1000);
 </script></body></html>
@@ -189,8 +239,11 @@ class UIServer:
     def _route(self, handler: BaseHTTPRequestHandler) -> None:
         path = handler.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/metrics":
-            self._send(handler, REGISTRY.render(),
-                       "text/plain; version=0.0.4; charset=utf-8")
+            self._send(
+                handler,
+                REGISTRY.render(openmetrics=True, timestamp=time.time()),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            )
         elif path == "/api/jobs":
             jobs = self.ctx.metrics.jobs_snapshot()
             self._send_json(handler, [_job_summary(j) for j in jobs])
@@ -236,6 +289,40 @@ class UIServer:
             self._send_json(handler, [r.to_dict() for r in records])
         elif path == "/api/diagnostics":
             self._send_json(handler, self.ctx.diagnostics.snapshot())
+        elif path == "/api/timeseries":
+            store = getattr(self.ctx, "timeseries", None)
+            if store is None:
+                self._send_json(handler, {"enabled": False, "series": []})
+                return
+            query = handler.path.partition("?")[2]
+            params = dict(
+                part.split("=", 1) for part in query.split("&") if "=" in part
+            )
+            window = None
+            try:
+                if "window" in params:
+                    window = float(params["window"])
+            except ValueError:
+                window = None
+            if "name" in params:
+                series = store.query(params["name"])
+            else:
+                series = store.dump(window)
+            self._send_json(
+                handler,
+                {"enabled": True, "names": store.names(), "series": series},
+            )
+        elif path == "/api/alerts":
+            manager = getattr(self.ctx, "alerts", None)
+            if manager is None:
+                self._send_json(
+                    handler,
+                    {"enabled": False, "rules": [], "states": [], "history": []},
+                )
+                return
+            out = {"enabled": True}
+            out.update(manager.snapshot())
+            self._send_json(handler, out)
         elif path == "/":
             self._send(handler, _DASHBOARD, "text/html; charset=utf-8")
         else:

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -40,6 +42,29 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "shared_driver_state" in item.keywords:
             item.add_marker(skip)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_engine_threads():
+    """Every engine thread must be joined by the end of each test.
+
+    ``Context.stop()`` joins the heartbeat hub, UI server, and metrics
+    sampler with bounded timeouts; a test that leaks a ``repro-*`` thread
+    either forgot to stop its context or found a shutdown bug.  A short
+    grace poll absorbs threads mid-exit (pool workers finishing their
+    last task).
+    """
+    yield
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        leaked = [
+            t.name for t in threading.enumerate()
+            if t.is_alive() and t.name.startswith("repro-")
+        ]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    pytest.fail(f"leaked engine threads after test: {sorted(leaked)}")
 
 
 @pytest.fixture

@@ -9,9 +9,13 @@ import pytest
 from repro.core.replay import capture_job, replay
 from repro.engine.eventlog import (
     FORMAT_VERSION,
+    EventLogListener,
+    read_alerts,
     read_event_log,
     read_logs,
+    read_series,
     read_telemetry,
+    series_to_points,
     write_event_log,
 )
 
@@ -194,7 +198,7 @@ class TestVersionCompat:
         write_event_log(ctx.metrics.jobs, path)
         with open(path) as fh:
             data = json.loads(fh.readline())
-        assert data["version"] == FORMAT_VERSION == 4
+        assert data["version"] == FORMAT_VERSION == 5
         assert data["submit_time"] > 0.0
         assert data["stages"][0]["tasks"][0]["start_time"] > 0.0
 
@@ -325,3 +329,86 @@ class TestV4Logs:
             jobs = read_event_log(str(FIXTURES / "eventlog_truncated.jsonl"))
         assert len(jobs) == 1
         assert jobs[0].description == "sum at reduce"
+
+
+class TestV5Monitoring:
+    def test_committed_v4_fixture_still_loads(self):
+        """Regression: a real v4 log keeps loading whole -- jobs, telemetry,
+        and logs intact, with the v5 side channels reading as empty."""
+        path = str(FIXTURES / "eventlog_v4.jsonl")
+        (job,) = read_event_log(path)
+        assert job.stages and job.stages[0].tasks
+        telemetry = read_telemetry(path)
+        assert telemetry and all(t["event"] == "heartbeat" for t in telemetry)
+        records = read_logs(path)
+        assert any(r.message == "job finished" for r in records)
+        assert read_series(path) == []
+        assert read_alerts(path) == []
+
+    def test_series_lines_round_trip(self, tmp_path):
+        path = str(tmp_path / "v5.jsonl")
+        listener = EventLogListener(path)
+        listener.write_series(1.0, [("engine_jobs_total", {}, 3.0)])
+        listener.write_series(2.0, [
+            ("engine_jobs_total", {}, 4.0),
+            ("engine_executor_rss_bytes", {"executor": "exec-0"}, 1024.0),
+        ])
+        listener.close()
+        records = read_series(path)
+        assert [r["time"] for r in records] == [1.0, 2.0]
+        points = series_to_points(records)
+        assert points[("engine_jobs_total", ())] == [(1.0, 3.0), (2.0, 4.0)]
+        assert points[("engine_executor_rss_bytes", (("executor", "exec-0"),))] == [
+            (2.0, 1024.0)
+        ]
+
+    def test_alert_lines_round_trip(self, tmp_path):
+        path = str(tmp_path / "v5.jsonl")
+        listener = EventLogListener(path)
+        transition = {
+            "time": 5.0, "transition": "firing", "rule": "heartbeat_loss",
+            "severity": "critical", "metric": "engine_executor_heartbeats_total",
+            "labels": {"executor": "exec-1"}, "value": 2.5, "description": "d",
+        }
+        listener.write_alert(transition)
+        listener.close()
+        (loaded,) = read_alerts(path)
+        assert loaded["event"] == "alert"
+        assert loaded["version"] == FORMAT_VERSION
+        for key, value in transition.items():
+            assert loaded[key] == value
+
+    def test_side_channels_interleave_with_jobs(self, tmp_path, serial_config):
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "live.jsonl")
+        config = serial_config.copy(metrics_interval=0.02)
+        with Context(config, event_log_path=path) as ctx:
+            ctx.parallelize(range(20), 4).map(lambda x: x + 1).sum()
+            # wait for at least one sampler tick to observe the job counters
+            import time as _time
+
+            deadline = _time.monotonic() + 5.0
+            while ctx._event_log_listener.series_written == 0:
+                assert _time.monotonic() < deadline, "no series line landed"
+                _time.sleep(0.02)
+        assert len(read_event_log(path)) == 1
+        points = series_to_points(read_series(path))
+        names = {name for name, _ in points}
+        assert "engine_jobs_total" in names
+        # job readers and the other side channels ignore series lines
+        assert all(t["event"] == "heartbeat" for t in read_telemetry(path))
+
+    def test_torn_final_line_tolerated_by_side_channels(self, tmp_path):
+        """A writer killed mid-series-line must not poison any reader."""
+        path = str(tmp_path / "torn.jsonl")
+        listener = EventLogListener(path)
+        listener.write_series(1.0, [("engine_jobs_total", {}, 3.0)])
+        listener.write_alert({"time": 2.0, "transition": "firing", "rule": "r"})
+        listener.close()
+        with open(path, "a") as fh:
+            fh.write('{"event":"series","version":5,"time":3.0,"samp')  # torn
+        assert [r["time"] for r in read_series(path)] == [1.0]
+        assert [a["rule"] for a in read_alerts(path)] == ["r"]
+        with pytest.warns(UserWarning, match="truncated"):
+            assert read_event_log(path) == []  # no jobs, but no crash either

@@ -106,14 +106,19 @@ class TestParity:
         such as task-binary bytes)."""
         def names(run):
             # gauges (e.g. peak-RSS high-water marks) may legitimately not
-            # move on a later run, and GC-pause counters only move when the
-            # collector happens to fire inside a task; compare deterministic
-            # monotonic series only
+            # move on a later run, GC-pause counters only move when the
+            # collector happens to fire inside a task, and the diagnostics
+            # bridge counters (skew/stragglers/alerts) only move when the
+            # scheduler's timing happens to trip a detector; compare
+            # deterministic monotonic series only
+            nondeterministic = (
+                "gc_pause", "stage_skew", "stragglers", "alerts_fired",
+            )
             return {
                 k for k in run["delta"]
                 if k.startswith(("engine_", "repro_worker_"))
                 and k.split("{")[0].endswith(("_total", "_count", "_sum"))
-                and "gc_pause" not in k
+                and not any(tag in k for tag in nondeterministic)
             }
 
         base = names(runs["serial"])

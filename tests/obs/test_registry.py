@@ -159,3 +159,77 @@ class TestMetricsListener:
         bus, registry = self._bus()
         bus.post(JobEnd(job_id=0, job=JobMetrics(job_id=0)))
         assert registry.snapshot()["engine_jobs_total"] == 1
+
+
+class TestExposition:
+    def test_label_values_escaped(self):
+        registry = Registry()
+        c = registry.counter("esc_total", "t", labelnames=("path",))
+        c.labels(path='a\\b"c\nd').inc()
+        (sample,) = [
+            line for line in registry.render().splitlines()
+            if line.startswith("esc_total{")
+        ]
+        assert sample == 'esc_total{path="a\\\\b\\"c\\nd"} 1'
+
+    def test_help_text_escaped(self):
+        registry = Registry()
+        registry.counter("h_total", "line one\nline two \\ backslash")
+        rendered = registry.render()
+        assert "# HELP h_total line one\\nline two \\\\ backslash" in rendered
+        assert "\nline two" not in rendered.replace("\\n", "")
+
+    def test_stable_ordering_is_deterministic(self):
+        def build():
+            registry = Registry()
+            b = registry.counter("b_total", "b", labelnames=("x",))
+            a = registry.gauge("a_gauge", "a")
+            b.labels(x="2").inc(2)
+            b.labels(x="1").inc()
+            a.set(5)
+            return registry.render()
+
+        first, second = build(), build()
+        assert first == second
+        lines = [l for l in first.splitlines() if not l.startswith("#")]
+        assert lines == ["a_gauge 5", 'b_total{x="1"} 1', 'b_total{x="2"} 2']
+
+    def test_openmetrics_render_timestamps_and_eof(self):
+        registry = Registry()
+        registry.counter("om_total", "t").inc(3)
+        rendered = registry.render(openmetrics=True, timestamp=12.3456)
+        assert "om_total 3 12.346" in rendered
+        assert rendered.rstrip().endswith("# EOF")
+        # plain render stays timestamp- and EOF-free
+        plain = registry.render()
+        assert "om_total 3\n" in plain and "# EOF" not in plain
+
+    def test_openmetrics_histogram_series_timestamped(self):
+        registry = Registry()
+        registry.histogram("om_seconds", "t", buckets=(1.0, 2.0)).observe(1.5)
+        lines = registry.render(openmetrics=True, timestamp=7.0).splitlines()
+        assert 'om_seconds_bucket{le="2"} 1 7' in lines
+        assert "om_seconds_count 1 7" in lines
+
+    def test_monitoring_counters_bridge_from_bus(self):
+        from repro.engine.listener import (
+            AlertFired,
+            StageSkewDetected,
+            StragglerDetected,
+        )
+
+        registry = Registry()
+        bus = ListenerBus()
+        bus.add_listener(MetricsListener(registry))
+        bus.post(StageSkewDetected(stage_id=0, job_id=0, metric="duration",
+                                   max_over_median=20.0))
+        bus.post(StragglerDetected(stage_id=0, job_id=0, partition=3,
+                                   attempt=0, executor_id="e0",
+                                   duration_seconds=9.0, median_seconds=1.0))
+        bus.post(AlertFired(rule="r", severity="critical", metric="m",
+                            labels={}, value=1.0, description=""))
+        bus.stop()
+        snap = registry.snapshot()
+        assert snap["engine_stage_skew_total"] == 1
+        assert snap["engine_stragglers_total"] == 1
+        assert snap['engine_alerts_fired_total{severity="critical"}'] == 1

@@ -39,11 +39,11 @@ class TestEndpoints:
         assert ui_ctx.ui_url.startswith("http://127.0.0.1:")
         assert int(ui_ctx.ui_url.rsplit(":", 1)[1]) > 0
 
-    def test_metrics_prometheus_text(self, ui_ctx):
+    def test_metrics_openmetrics_text(self, ui_ctx):
         ui_ctx.parallelize(range(20), 4).sum()
         status, content_type, body = _get(ui_ctx.ui_url + "/metrics")
         assert status == 200
-        assert content_type.startswith("text/plain")
+        assert content_type.startswith("application/openmetrics-text")
         assert "# HELP engine_jobs_total" in body
         assert "# TYPE engine_jobs_total counter" in body
         # the registry is process-wide, so assert a sample exists rather
@@ -52,6 +52,7 @@ class TestEndpoints:
             line.startswith("engine_jobs_total ") for line in body.splitlines()
         )
         assert "repro_worker_task_seconds" in body
+        assert body.rstrip().endswith("# EOF")
 
     def test_api_jobs(self, ui_ctx):
         ui_ctx.parallelize(range(20), 4).map(lambda x: x + 1).sum()
@@ -170,3 +171,75 @@ class TestLiveProgress:
         final = _get_json(ui_ctx.ui_url + "/api/progress")
         assert final["jobs"][-1]["state"] == "succeeded"
         assert all(s["state"] == "complete" for s in final["stages"])
+
+
+class TestMonitoringEndpoints:
+    @pytest.fixture
+    def monitored_ctx(self):
+        config = EngineConfig(
+            backend="threads", num_executors=2, executor_cores=2,
+            default_parallelism=4, heartbeat_interval=0.05,
+            metrics_interval=0.02,
+        )
+        with Context(config, ui_port=0, alerts=True) as ctx:
+            yield ctx
+
+    def test_timeseries_disabled_without_sampler(self, ui_ctx):
+        payload = _get_json(ui_ctx.ui_url + "/api/timeseries")
+        assert payload == {"enabled": False, "series": []}
+
+    def test_alerts_disabled_without_manager(self, ui_ctx):
+        payload = _get_json(ui_ctx.ui_url + "/api/alerts")
+        assert payload == {"enabled": False, "rules": [], "states": [],
+                           "history": []}
+
+    def _wait_for_series(self, ctx, name="engine_jobs_total", timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while not ctx.timeseries.all_series(name):
+            assert time.monotonic() < deadline, f"{name} never sampled"
+            time.sleep(0.02)
+
+    def test_timeseries_payload(self, monitored_ctx):
+        monitored_ctx.parallelize(range(20), 4).sum()
+        self._wait_for_series(monitored_ctx)
+        payload = _get_json(monitored_ctx.ui_url + "/api/timeseries")
+        assert payload["enabled"] is True
+        assert "engine_jobs_total" in payload["names"]
+        by_name = {s["name"]: s for s in payload["series"]}
+        series = by_name["engine_jobs_total"]
+        assert series["samples"], "sampled series must carry points"
+        assert all(len(p) == 2 for p in series["samples"])
+
+    def test_timeseries_name_and_window_params(self, monitored_ctx):
+        monitored_ctx.parallelize(range(20), 4).sum()
+        self._wait_for_series(monitored_ctx)
+        one = _get_json(
+            monitored_ctx.ui_url + "/api/timeseries?name=engine_jobs_total"
+        )
+        assert {s["name"] for s in one["series"]} == {"engine_jobs_total"}
+        # let several more ticks land so the windows can actually differ
+        (series,) = monitored_ctx.timeseries.all_series("engine_jobs_total")
+        deadline = time.monotonic() + 5.0
+        while series.samples_recorded < 4:
+            assert time.monotonic() < deadline, "sampler stopped ticking"
+            time.sleep(0.02)
+        tiny = _get_json(monitored_ctx.ui_url + "/api/timeseries?window=0.0001")
+        wide = _get_json(monitored_ctx.ui_url + "/api/timeseries?window=3600")
+        n_tiny = sum(len(s["samples"]) for s in tiny["series"])
+        n_wide = sum(len(s["samples"]) for s in wide["series"])
+        assert n_tiny < n_wide
+
+    def test_alerts_payload(self, monitored_ctx):
+        monitored_ctx.parallelize(range(20), 4).sum()
+        payload = _get_json(monitored_ctx.ui_url + "/api/alerts")
+        assert payload["enabled"] is True
+        assert {r["name"] for r in payload["rules"]} >= {
+            "heartbeat_loss", "cache_thrash",
+        }
+        assert isinstance(payload["states"], list)
+        assert isinstance(payload["history"], list)
+
+    def test_dashboard_links_monitoring_endpoints(self, monitored_ctx):
+        _, _, body = _get(monitored_ctx.ui_url + "/")
+        assert "/api/timeseries" in body and "/api/alerts" in body
+        assert "sparklines" in body and "alertbanner" in body

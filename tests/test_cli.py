@@ -317,3 +317,119 @@ class TestDoctor:
         assert rc == 0
         out = capsys.readouterr().out
         assert "doctor: examined" in out
+
+
+class TestDoctorStrict:
+    FIXTURE = str(FIXTURES / "eventlog_skew.jsonl")
+
+    def test_default_floor_is_critical(self, capsys):
+        # the skew fixture produces warnings, not criticals: strict passes
+        rc = main(["doctor", self.FIXTURE, "--strict"])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_warning_floor_gates_the_skew_fixture(self, capsys):
+        rc = main(["doctor", self.FIXTURE, "--strict",
+                   "--strict-severity", "warning"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "strict mode" in err and "failing" in err
+
+    def test_info_floor_gates_any_finding(self, capsys):
+        rc = main(["doctor", self.FIXTURE, "--strict",
+                   "--strict-severity", "info"])
+        assert rc == 2
+        capsys.readouterr()
+
+
+class TestMonitoringFlags:
+    def test_analyze_with_monitoring_writes_series(self, dataset_dir, tmp_path, capsys):
+        log = tmp_path / "mon.jsonl"
+        rc = main(["analyze", dataset_dir, "--method", "monte-carlo",
+                   "--iterations", "32", "--engine", "distributed",
+                   "--backend", "serial", "--event-log", str(log),
+                   "--metrics-interval", "0.02", "--alerts",
+                   "--no-progress"])
+        assert rc == 0
+        capsys.readouterr()
+        from repro.engine.eventlog import read_series
+
+        assert read_series(str(log)), "sampler produced no v5 series lines"
+        rc = main(["history", str(log), "--series"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-- sampled series" in out
+        assert "engine_jobs_total" in out
+        assert "last" in out
+
+    def test_history_series_on_unsampled_log(self, dataset_dir, tmp_path, capsys):
+        log = tmp_path / "plain.jsonl"
+        main(["analyze", dataset_dir, "--method", "monte-carlo",
+              "--iterations", "32", "--engine", "distributed",
+              "--backend", "serial", "--event-log", str(log),
+              "--no-progress"])
+        capsys.readouterr()
+        rc = main(["history", str(log), "--series"])
+        assert rc == 0
+        assert "no sampled series" in capsys.readouterr().out
+
+    def test_monitoring_requires_distributed_engine(self, dataset_dir):
+        with pytest.raises(SystemExit, match="--engine distributed"):
+            main(["analyze", dataset_dir, "--method", "monte-carlo",
+                  "--iterations", "32", "--metrics-interval", "0.1"])
+
+
+class TestPostmortem:
+    @pytest.fixture
+    def bundle_dir(self, tmp_path_factory):
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+        from repro.engine.faults import FaultInjector, FaultPlan
+        from repro.engine.scheduler import JobFailedError
+
+        out = tmp_path_factory.mktemp("bundles")
+        config = EngineConfig(backend="serial", num_executors=2,
+                              executor_cores=2, default_parallelism=4,
+                              max_task_retries=0)
+        plan = FaultPlan(fail_partition_attempts={2: 99})
+        with Context(config, fault_injector=FaultInjector(plan),
+                     flight_recorder=str(out)) as ctx:
+            with pytest.raises(JobFailedError):
+                ctx.parallelize(range(16), 4).sum()
+        return str(out)
+
+    def test_renders_failing_task_and_timeline(self, bundle_dir, capsys):
+        rc = main(["postmortem", bundle_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "post-mortem bundle:" in out
+        assert "failing task: 0.2#0 on exec-" in out
+        assert "InjectedTaskFailure" in out
+        assert "event timeline" in out
+        assert "correlated logs" in out
+
+    def test_json_mode_dumps_the_bundle(self, bundle_dir, capsys):
+        import json
+
+        rc = main(["postmortem", bundle_dir, "--json"])
+        assert rc == 0
+        bundle = json.loads(capsys.readouterr().out)
+        assert bundle["kind"] == "sparkscore-postmortem"
+        assert bundle["failing_task"]["partition"] == 2
+
+    def test_missing_bundle_errors(self, tmp_path, capsys):
+        rc = main(["postmortem", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "no such bundle" in capsys.readouterr().err
+
+    def test_empty_directory_errors(self, tmp_path, capsys):
+        rc = main(["postmortem", str(tmp_path)])
+        assert rc == 1
+        assert "no *.json bundles" in capsys.readouterr().err
+
+    def test_foreign_json_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "not-a-bundle"}')
+        rc = main(["postmortem", str(bad)])
+        assert rc == 1
+        assert "sparkscore-postmortem" in capsys.readouterr().err

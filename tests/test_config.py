@@ -89,3 +89,61 @@ class TestEngineConfig:
         assert base.num_executors == 2
         derived.extra["x"] = 1
         assert "x" not in base.extra
+
+
+class TestMonitoringKnobs:
+    def test_defaults_off(self):
+        config = EngineConfig()
+        assert config.metrics_interval == 0.0
+        assert config.alerts_enabled is False
+        assert config.flight_recorder_dir == ""
+        assert config.metrics_retention == 512
+        assert config.metrics_downsample == 8
+        assert config.flight_recorder_window == 30.0
+
+    def test_spark_style_aliases(self):
+        config = EngineConfig()
+        config.set("spark.metrics.interval", "0.5")
+        config.set("spark.metrics.retention", "128")
+        config.set("spark.metrics.downsample", "4")
+        config.set("spark.alerts.enabled", "true")
+        config.set("spark.flightRecorder.dir", "/tmp/bundles")
+        config.set("spark.flightRecorder.window", "10")
+        assert config.metrics_interval == 0.5
+        assert config.metrics_retention == 128
+        assert config.metrics_downsample == 4
+        assert config.alerts_enabled is True
+        assert config.flight_recorder_dir == "/tmp/bundles"
+        assert config.flight_recorder_window == 10.0
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("true", True), ("1", True), ("yes", True), ("on", True),
+         ("false", False), ("0", False), ("no", False), ("off", False)],
+    )
+    def test_bool_fields_coerce_strings(self, text, expected):
+        config = EngineConfig()
+        config.set("spark.alerts.enabled", text)
+        assert config.alerts_enabled is expected
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"metrics_interval": -1.0},
+            {"metrics_retention": 1},
+            {"metrics_downsample": 0},
+            {"flight_recorder_window": 0.0},
+        ],
+    )
+    def test_invalid_monitoring_values(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_copy_carries_monitoring_fields(self):
+        config = EngineConfig().copy(
+            metrics_interval=0.25, alerts_enabled=True,
+            flight_recorder_dir="/tmp/fr",
+        )
+        assert config.metrics_interval == 0.25
+        assert config.alerts_enabled is True
+        assert config.flight_recorder_dir == "/tmp/fr"
