@@ -56,7 +56,11 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--batch-size", type=int, default=None,
                    help="replicates per engine pass (default: 64 monte-carlo, 16 permutation)")
     p.add_argument("--engine", choices=["local", "distributed"], default="local")
-    p.add_argument("--backend", choices=["serial", "threads", "processes"], default="threads")
+    p.add_argument("--backend", choices=["serial", "threads", "processes", "cluster"],
+                   default="threads")
+    p.add_argument("--cluster-address", default=None, metavar="HOST:PORT",
+                   help="attach to an externally started cluster head "
+                        "(sparkscore cluster start); implies --backend cluster")
     p.add_argument("--serializer", choices=["pickle", "numpy", "compressed"],
                    default="pickle",
                    help="data-plane serializer for shuffle blocks and shipped "
@@ -194,6 +198,30 @@ def _add_tune(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--cores", type=int, nargs="+", default=[2, 3, 6])
 
 
+def _add_cluster(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "cluster",
+        help="manage a persistent executor cluster (start / status / stop)",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    start = cluster_sub.add_parser(
+        "start", help="run a cluster head serving a persistent worker fleet"
+    )
+    start.add_argument("--executors", type=int, default=2)
+    start.add_argument("--cores", type=int, default=2)
+    start.add_argument("--host", default="127.0.0.1")
+    start.add_argument("--port", type=int, default=7077)
+    start.add_argument("--heartbeat-interval", type=float, default=0.5)
+    start.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="exit after this many seconds (default: serve until stopped)",
+    )
+    status = cluster_sub.add_parser("status", help="show executor lifecycle/warmth")
+    status.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
+    stop = cluster_sub.add_parser("stop", help="shut the head and its fleet down")
+    stop.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sparkscore",
@@ -208,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_history(sub)
     _add_doctor(sub)
     _add_postmortem(sub)
+    _add_cluster(sub)
     return parser
 
 
@@ -243,13 +272,18 @@ def _load_analysis(args: argparse.Namespace):
     if want_progress is None:  # default: bars only on an interactive terminal
         want_progress = sys.stdout.isatty()
     if args.engine == "distributed":
+        cluster_address = getattr(args, "cluster_address", None)
+        backend = args.backend
+        if cluster_address:
+            backend = "cluster"
         config = EngineConfig(
-            backend=args.backend,
+            backend=backend,
             num_executors=args.executors,
             executor_cores=args.cores,
             default_parallelism=args.executors * args.cores,
             profile_fraction=getattr(args, "profile_fraction", 0.0) or 0.0,
             serializer=getattr(args, "serializer", "pickle") or "pickle",
+            cluster_address=cluster_address or "",
         )
         kwargs["flavor"] = args.flavor
         event_log = getattr(args, "event_log", None)
@@ -689,6 +723,55 @@ def cmd_postmortem(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.engine.cluster_backend import (
+        ClusterHead,
+        cluster_shutdown,
+        cluster_status,
+    )
+
+    if args.cluster_command == "start":
+        head = ClusterHead(
+            num_executors=args.executors,
+            executor_cores=args.cores,
+            host=args.host,
+            port=args.port,
+            hb_interval=args.heartbeat_interval,
+        )
+        print(f"cluster head listening on {head.address} "
+              f"({args.executors} executors x {args.cores} cores)", flush=True)
+        try:
+            head.serve_forever(duration=args.duration)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            head.stop()
+        return 0
+
+    if args.cluster_command == "status":
+        try:
+            info = cluster_status(args.address)
+        except (ConnectionError, OSError) as exc:
+            print(f"no cluster head at {args.address}: {exc}", file=sys.stderr)
+            return 1
+        print(f"cluster at {args.address}: {len(info)} executor(s)")
+        for row in info:
+            print(f"  {row['executor_id']:<10} {row['state']:<8} "
+                  f"pid={row['pid']} slots={row['slots']} "
+                  f"inflight={row['inflight']} tasks_done={row['tasks_done']} "
+                  f"binaries_cached={row['binaries_cached']} "
+                  f"{'warm' if row['warm'] else 'cold'}")
+        return 0
+
+    try:
+        cluster_shutdown(args.address)
+    except (ConnectionError, OSError) as exc:
+        print(f"no cluster head at {args.address}: {exc}", file=sys.stderr)
+        return 1
+    print(f"cluster at {args.address} shutting down")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "analyze": cmd_analyze,
@@ -698,6 +781,7 @@ _COMMANDS = {
     "history": cmd_history,
     "doctor": cmd_doctor,
     "postmortem": cmd_postmortem,
+    "cluster": cmd_cluster,
 }
 
 

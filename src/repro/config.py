@@ -57,7 +57,8 @@ class EngineConfig:
     """
 
     app_name: str = "sparkscore"
-    #: execution backend: "serial", "threads", or "processes"
+    #: execution backend: "serial", "threads", "processes", or "cluster"
+    #: (persistent executor pool surviving across jobs and contexts)
     backend: str = "serial"
     #: number of executors (YARN containers); Experiment C varies this
     num_executors: int = 2
@@ -94,6 +95,14 @@ class EngineConfig:
     #: blobs at least this large travel by shared-memory/temp-file
     #: transport ref instead of through the worker pipe (processes backend)
     transport_min_bytes: int = 64 * 1024
+    #: out-of-band transport scheme: "auto" (probe shared memory, fall back
+    #: to temp files), "shm", "file", or "tcp" (socket blob server with
+    #: SHA-256 dedup offers -- required for executors on other hosts)
+    transport_scheme: str = "auto"
+    #: "host:port" of an externally started cluster head (``sparkscore
+    #: cluster start``); empty means the cluster backend spawns and owns a
+    #: process-local persistent worker pool
+    cluster_address: str = ""
     #: minimum level of structured log records the process log bus keeps
     #: ("debug", "info", "warning", "error"); shipped to worker processes
     #: so their capture filters at the same level
@@ -142,6 +151,8 @@ class EngineConfig:
         "spark.python.profile.fraction": "profile_fraction",
         "spark.serializer": "serializer",
         "spark.transport.minBytes": "transport_min_bytes",
+        "spark.transport.scheme": "transport_scheme",
+        "spark.cluster.address": "cluster_address",
         "spark.log.level": "log_level",
         "spark.speculation.multiplier": "straggler_multiplier",
         "spark.speculation.minTaskRuntime": "straggler_min_seconds",
@@ -160,8 +171,13 @@ class EngineConfig:
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on inconsistent settings."""
-        if self.backend not in ("serial", "threads", "processes"):
+        if self.backend not in ("serial", "threads", "processes", "cluster"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.transport_scheme not in ("auto", "shm", "file", "tcp"):
+            raise ValueError(
+                f"unknown transport_scheme {self.transport_scheme!r}; "
+                "choose from auto, shm, file, tcp"
+            )
         if self.num_executors < 1:
             raise ValueError("num_executors must be >= 1")
         if self.executor_cores < 1:

@@ -84,14 +84,24 @@ class ThreadBackend:
         self._pool.shutdown(wait=True)
 
 
-#: worker-side memo of deserialized task binaries, keyed by binary id.
-#: Binary ids are unique per driver context, and each context owns its own
-#: worker pool, so ids never collide within one worker process.
-_TASK_BINARY_CACHE: "OrderedDict[int, Any]" = OrderedDict()
+#: worker-side memo of deserialized task binaries, keyed by the binary's
+#: SHA-256 content hash.  Content keys (rather than per-context sequence
+#: ids) are what make *persistent* executors warm: a rerun of the same
+#: workload in a fresh Context produces byte-identical binaries, so the
+#: second job's tasks hit this cache without fetching or unpickling.
+_TASK_BINARY_CACHE: "OrderedDict[str, Any]" = OrderedDict()
 _TASK_BINARY_CACHE_MAX = 64
 
+#: executor id of the task currently running on this thread; labels the
+#: warm-cache counters so the dashboard can tell warm executors from cold
+_CURRENT_EXECUTOR = threading.local()
 
-def _load_task_binary(binary_id: int, blob: bytes | None, ref: Any = None) -> Any:
+
+def current_task_executor() -> str:
+    return getattr(_CURRENT_EXECUTOR, "executor_id", "driver")
+
+
+def _load_task_binary(binary_id: str, blob: bytes | None, ref: Any = None) -> Any:
     """Materialize a stage's task binary at most once per worker process.
 
     ``blob`` is the compressed binary framed by
@@ -100,10 +110,22 @@ def _load_task_binary(binary_id: int, blob: bytes | None, ref: Any = None) -> An
     :class:`~repro.engine.transport.TransportRef` to fetch it by -- the
     shared-memory path that keeps megabyte lineages out of the pool pipe.
     """
+    from repro.obs.registry import REGISTRY
+
     binary = _TASK_BINARY_CACHE.get(binary_id)
     if binary is not None:
         _TASK_BINARY_CACHE.move_to_end(binary_id)
+        REGISTRY.counter(
+            "task_binary_cache_hits_total",
+            "task binaries served from the worker-side warm cache",
+            labelnames=("executor",),
+        ).labels(executor=current_task_executor()).inc()
         return binary
+    REGISTRY.counter(
+        "task_binary_cache_misses_total",
+        "task binaries fetched and deserialized (cold path)",
+        labelnames=("executor",),
+    ).labels(executor=current_task_executor()).inc()
     from repro.engine.serializer import decompress_blob
     from repro.engine.transport import worker_transport
 
@@ -219,6 +241,7 @@ def _run_pickled_task(payload: bytes) -> bytes:
     task_start = time.perf_counter()
     registry_baseline = REGISTRY.state_snapshot()
     spec = pickle.loads(payload)
+    _CURRENT_EXECUTOR.executor_id = spec["executor_id"]
     transport = from_spec(spec["transport"]) if spec.get("transport") else None
     serializer = get_serializer(spec.get("serializer"))
     binary = _load_task_binary(spec["binary_id"], spec["binary"], spec.get("binary_ref"))
@@ -375,6 +398,50 @@ def unframe_result(frame: bytes, transport: Any) -> tuple[dict, float, float]:
     return pickle.loads(payload), serialize_seconds, serialize_offset
 
 
+# -- shared process pool ------------------------------------------------------
+#
+# One process-wide pool (plus the manager queue its workers heartbeat over)
+# survives Context teardown/rebuild: the first Context of a given shape
+# pays the fork cost, every later one reuses warm workers whose task-binary
+# and broadcast caches are already populated.  The pool is only recreated
+# when the requested shape (worker count / heartbeat wiring) changes.
+
+_SHARED_POOL_LOCK = threading.Lock()
+_SHARED_POOL: dict[str, Any] = {
+    "pool": None, "key": None, "manager": None, "queue": None, "interval": 0.5,
+}
+
+
+def _shared_heartbeat_queue(interval: float) -> Any:
+    """The process-wide manager queue worker processes heartbeat over.
+
+    Created once and kept for the life of the driver process so reused
+    pools keep a live queue (a per-context queue would die with its
+    context's Manager and silence every warm worker's heartbeats).
+    """
+    with _SHARED_POOL_LOCK:
+        if _SHARED_POOL["queue"] is None:
+            import multiprocessing
+
+            _SHARED_POOL["manager"] = multiprocessing.Manager()
+            _SHARED_POOL["queue"] = _SHARED_POOL["manager"].Queue()
+        _SHARED_POOL["interval"] = max(float(interval), 0.05)
+        return _SHARED_POOL["queue"]
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool + heartbeat manager (tests / interpreter exit)."""
+    with _SHARED_POOL_LOCK:
+        pool, _SHARED_POOL["pool"], _SHARED_POOL["key"] = _SHARED_POOL["pool"], None, None
+        manager = _SHARED_POOL["manager"]
+        _SHARED_POOL["manager"] = None
+        _SHARED_POOL["queue"] = None
+    if pool is not None:
+        pool.shutdown(wait=True)
+    if manager is not None:
+        manager.shutdown()
+
+
 class ProcessBackend:
     """Process pool running self-contained pickled tasks.
 
@@ -384,9 +451,10 @@ class ProcessBackend:
     driver and merges results via a completion callback -- the driver is
     never blocked inside a single task attempt.
 
-    The pool is created lazily on first submit so the heartbeat plane can
-    install its worker initializer (``configure_heartbeats``) after backend
-    construction but before any worker process forks.
+    The pool itself is process-wide and persistent: ``shutdown`` merely
+    detaches this backend, leaving warm workers (and their caches) for the
+    next Context with the same configuration.  Use
+    :func:`shutdown_shared_pool` to actually reap the workers.
     """
 
     name = "processes"
@@ -394,39 +462,53 @@ class ProcessBackend:
 
     def __init__(self, config: "EngineConfig") -> None:
         self.parallelism = max(1, config.total_cores)
-        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
-        self._hb_queue: Any = None
-        self._hb_interval = 0.5
+        self._hb_wanted = config.heartbeat_interval > 0
+        self._hb_interval = max(config.heartbeat_interval, 0.05)
+        self._detached = False
 
-    def configure_heartbeats(self, hb_queue: Any, interval: float) -> None:
-        """Arrange for worker processes to heartbeat over ``hb_queue``.
+    def heartbeat_queue(self, interval: float) -> Any:
+        """Queue the heartbeat hub should drain for worker liveness."""
+        self._hb_wanted = True
+        self._hb_interval = max(float(interval), 0.05)
+        return _shared_heartbeat_queue(interval)
 
-        Must be called before the first submit (the queue proxy travels in
-        the pool initializer); the context wires this during startup.
-        """
-        if self._pool is not None:
-            raise RuntimeError("worker pool already started; cannot add heartbeats")
-        self._hb_queue = hb_queue
-        self._hb_interval = interval
+    def _pool_key(self) -> tuple:
+        return (self.parallelism, self._hb_wanted)
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        if self._pool is None:
-            kwargs: dict[str, Any] = {}
-            if self._hb_queue is not None:
-                kwargs["initializer"] = _init_worker_heartbeats
-                kwargs["initargs"] = (self._hb_queue, self._hb_interval)
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.parallelism, **kwargs
-            )
-        return self._pool
+        key = self._pool_key()
+        with _SHARED_POOL_LOCK:
+            if _SHARED_POOL["pool"] is not None and _SHARED_POOL["key"] == key:
+                return _SHARED_POOL["pool"]
+            stale = _SHARED_POOL["pool"]
+            _SHARED_POOL["pool"] = None
+        if stale is not None:  # shape changed: retire the old fleet first
+            stale.shutdown(wait=True)
+        kwargs: dict[str, Any] = {}
+        if self._hb_wanted:
+            queue_proxy = _shared_heartbeat_queue(self._hb_interval)
+            kwargs["initializer"] = _init_worker_heartbeats
+            kwargs["initargs"] = (queue_proxy, self._hb_interval)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.parallelism, **kwargs
+        )
+        with _SHARED_POOL_LOCK:
+            _SHARED_POOL["pool"] = pool
+            _SHARED_POOL["key"] = key
+        return pool
 
-    def submit_pickled(self, payload: bytes) -> concurrent.futures.Future:
+    def submit_pickled(
+        self, payload: bytes, executor_id: str | None = None
+    ) -> concurrent.futures.Future:
+        # the pool places tasks on any idle worker; executor routing is a
+        # cluster-backend refinement (accepted here for interface parity)
+        if self._detached:
+            raise RuntimeError("backend is shut down")
         return self._ensure_pool().submit(_run_pickled_task, payload)
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Detach from the shared pool; warm workers stay for the next context."""
+        self._detached = True
 
 
 def make_backend(config: "EngineConfig"):
@@ -437,4 +519,8 @@ def make_backend(config: "EngineConfig"):
         return ThreadBackend(config)
     if config.backend == "processes":
         return ProcessBackend(config)
+    if config.backend == "cluster":
+        from repro.engine.cluster_backend import ClusterBackend
+
+        return ClusterBackend(config)
     raise ValueError(f"unknown backend {config.backend!r}")

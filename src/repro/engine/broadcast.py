@@ -27,8 +27,12 @@ T = TypeVar("T")
 #: broadcasts are cheaper inline than as a ref + segment attach
 _BROADCAST_TRANSPORT_MIN = 16 * 1024
 
-#: worker-side memo: broadcast id -> decoded value (read-only, safe to share)
-_WORKER_VALUES: dict[int, Any] = {}
+#: worker-side memo: transport ref identity -> decoded value (read-only,
+#: safe to share).  Keyed by (scheme, key) rather than broadcast id because
+#: persistent cluster workers outlive driver contexts, and every fresh
+#: context restarts broadcast ids at 0 -- id keys would collide across jobs
+#: while ref keys are content-addressed and never do.
+_WORKER_VALUES: dict[tuple[str, str], Any] = {}
 _WORKER_LOCK = threading.Lock()
 
 
@@ -65,9 +69,18 @@ class Broadcast(Generic[T]):
 
     def _fetch_remote(self) -> T:
         """Worker-side lazy load: attach the segment once per process."""
+        memo_key = (self._ref.scheme, self._ref.key)
         with _WORKER_LOCK:
-            if self.id in _WORKER_VALUES:
-                return _WORKER_VALUES[self.id]
+            if memo_key in _WORKER_VALUES:
+                from repro.engine.backends import current_task_executor
+                from repro.obs.registry import REGISTRY
+
+                REGISTRY.counter(
+                    "broadcast_memo_hits_total",
+                    "Broadcast values served from the worker's warm memo",
+                    labelnames=("executor",),
+                ).labels(executor=current_task_executor()).inc()
+                return _WORKER_VALUES[memo_key]
         from repro.engine.serializer import decompress_blob
         from repro.engine.transport import worker_transport
 
@@ -78,7 +91,7 @@ class Broadcast(Generic[T]):
             )
         value = pickle.loads(decompress_blob(transport.get(self._ref)))
         with _WORKER_LOCK:
-            _WORKER_VALUES[self.id] = value
+            _WORKER_VALUES[memo_key] = value
         return value
 
     def _publish(self) -> bytes | None:

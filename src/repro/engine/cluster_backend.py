@@ -1,0 +1,1044 @@
+"""Persistent executor cluster: long-lived workers, event-driven dispatch.
+
+The process backend pays its dominant cost over and over: every Context
+forks a fresh pool, re-pickles every stage closure, re-publishes every
+broadcast, and tears it all down at ``stop()``.  This module keeps the
+fleet alive instead.  A :class:`ClusterManager` owns one single-threaded
+worker *process per task slot* (``executor_cores`` slots form one logical
+executor) connected back to the driver over loopback TCP, and survives any
+number of Context attach/detach cycles.  The payoff is the warm second
+job: workers' task-binary caches (content-hash keyed, see
+:mod:`repro.engine.backends`), broadcast memos, and transport handles all
+hit, so a rerun ships refs instead of megabytes.
+
+Dispatch is a single event-driven thread multiplexing every worker socket
+through :mod:`selectors`: non-blocking accepts, incremental
+:class:`~repro.engine.frames.FrameParser` reads, per-worker output buffers
+flushed under ``EVENT_WRITE`` (backpressure never blocks the loop), and a
+wake socketpair so ``submit`` from the scheduler thread is a lock-free
+buffer append plus one byte.  Task launches pipeline: the scheduler keeps
+two attempts per slot in flight, so a worker finishing a task finds its
+next one already sitting in its socket buffer.
+
+Executor lifecycle is explicit -- *register* (worker connects and
+announces itself), *heartbeat* (socket frames feeding the ordinary
+:class:`~repro.engine.heartbeat.HeartbeatHub`), *drain* (finish in-flight,
+take nothing new), *decommission* (worker exits, driver announces it) --
+and surfaced as :class:`~repro.engine.listener.ExecutorRegistered` /
+:class:`~repro.engine.listener.ExecutorDecommissioned` bus events.
+
+Two deployment shapes share the protocol:
+
+- **in-process** (default): ``Context(backend="cluster")`` lazily builds a
+  process-wide :class:`ClusterManager` keyed by cluster shape; it persists
+  until :func:`stop_all_clusters`.
+- **external**: ``sparkscore cluster start`` runs a :class:`ClusterHead`
+  in its own process; drivers attach over TCP via :class:`ClusterClient`
+  (``cluster_address`` config), and blobs travel the socket transport.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import os
+import pickle
+import queue
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.engine import frames
+from repro.engine.executor import ExecutorLostError
+from repro.engine.listener import ExecutorDecommissioned, ExecutorRegistered
+from repro.engine.transport import create_transport, from_spec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import EngineConfig
+    from repro.engine.context import Context
+
+#: how long to wait for the fleet to register before declaring a dud start
+_REGISTER_TIMEOUT = 60.0
+
+
+# -- worker process -----------------------------------------------------------
+
+
+class _SocketHeartbeatSender:
+    """Duck-typed stand-in for the manager queue in ``_WORKER_HB``: the
+    worker heartbeat thread calls ``put(record)``, we frame it over the
+    driver connection instead."""
+
+    def __init__(self, sock: socket.socket, send_lock: threading.Lock) -> None:
+        self._sock = sock
+        self._send_lock = send_lock
+
+    def put(self, record: Any) -> None:
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._send_lock:
+            frames.send_frame(self._sock, frames.HEARTBEAT, payload)
+
+
+def _cluster_worker_main(
+    host: str, port: int, slot: int, executor_id: str, hb_interval: float
+) -> None:
+    """Worker process entry point: one task slot, one socket, one loop.
+
+    Single-threaded on purpose: tasks run serially per slot (parallelism
+    comes from the fleet), so the worker-side registry delta never
+    interleaves two tasks' increments, and DRAIN can exit at any frame
+    boundary knowing nothing is in flight.
+    """
+    from repro.engine.backends import _WORKER_HB, _run_pickled_task
+
+    try:
+        conn = socket.create_connection((host, port), timeout=30.0)
+    except OSError:
+        return
+    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    conn.settimeout(None)
+    send_lock = threading.Lock()
+    if hb_interval > 0:
+        # the existing worker heartbeat machinery (backends._WORKER_HB)
+        # drives a daemon thread that calls .put(record); substituting a
+        # socket sender reuses it wholesale
+        _WORKER_HB["queue"] = _SocketHeartbeatSender(conn, send_lock)
+        _WORKER_HB["interval"] = max(hb_interval, 0.05)
+    try:
+        with send_lock:
+            frames.send_frame(conn, frames.REGISTER, pickle.dumps(
+                {"slot": slot, "executor_id": executor_id, "pid": os.getpid()},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ))
+        while True:
+            received = frames.recv_frame(conn)
+            if received is None:
+                return
+            ftype, payload = received
+            if ftype == frames.TASK:
+                token, _eid, spec = frames.unpack_task(payload)
+                try:
+                    result = _run_pickled_task(spec)
+                except BaseException as exc:  # noqa: BLE001 - shipped to driver
+                    try:
+                        body = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+                    except Exception:
+                        body = pickle.dumps(
+                            RuntimeError(f"{type(exc).__name__}: {exc}"),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    with send_lock:
+                        frames.send_frame(
+                            conn, frames.TASK_ERROR, frames.pack_token(token, body)
+                        )
+                else:
+                    with send_lock:
+                        frames.send_frame(
+                            conn, frames.RESULT, frames.pack_token(token, result)
+                        )
+            elif ftype in (frames.DRAIN, frames.SHUTDOWN):
+                # single-threaded slot: at a frame boundary nothing is in
+                # flight, so drain and shutdown converge to a clean exit
+                return
+    except (ConnectionError, OSError):
+        return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- driver-side manager ------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Driver-side state for one worker slot."""
+
+    __slots__ = (
+        "slot", "executor_id", "process", "sock", "parser", "outbuf",
+        "inflight", "pid", "registered", "alive", "draining", "tasks_done",
+    )
+
+    def __init__(self, slot: int, executor_id: str) -> None:
+        self.slot = slot
+        self.executor_id = executor_id
+        self.process: Any = None
+        self.sock: socket.socket | None = None
+        self.parser = frames.FrameParser()
+        self.outbuf = bytearray()
+        #: token -> Future awaiting this slot's RESULT/TASK_ERROR
+        self.inflight: dict[int, concurrent.futures.Future] = {}
+        self.pid = 0
+        self.registered = threading.Event()
+        self.alive = False
+        self.draining = False
+        self.tasks_done = 0
+
+
+class ClusterManager:
+    """Owns a persistent worker fleet and its event-driven dispatch loop.
+
+    Lives independently of any Context: drivers :meth:`attach` (which
+    announces the executors, warm or cold, on their listener bus), submit
+    jobs, and :meth:`detach`; the workers -- and everything warm inside
+    them -- stay up for the next driver.  The manager also owns the blob
+    transport, for the same reason: worker-side transport handles memoize
+    by spec, so a transport that died with its context would strand them.
+    """
+
+    def __init__(
+        self,
+        num_executors: int,
+        executor_cores: int,
+        transport_scheme: str = "auto",
+        hb_interval: float = 0.5,
+    ) -> None:
+        self.num_executors = num_executors
+        self.executor_cores = executor_cores
+        self.hb_interval = hb_interval
+        self.transport = create_transport(
+            transport_scheme, thread_prefix="repro-cluster-transport"
+        )
+        self.hb_queue: "queue.Queue[Any]" = queue.Queue()
+        self.stopped = False
+        #: attach() calls so far; >0 means the fleet is warm for the next one
+        self.jobs_attached = 0
+        self._ctx: "Context | None" = None
+        self._tokens = itertools.count(1)
+        self._lock = threading.Lock()
+        self._cmds: deque = deque()
+        self._exec_state: dict[str, str] = {}
+        #: (executor_id, binary content hash) pairs already charged in the
+        #: task_binary_bytes accounting -- persists across contexts, which
+        #: is exactly what makes warm jobs report ~0 binary bytes
+        self._shipped: set[tuple[str, str]] = set()
+
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.setblocking(False)
+        self.address = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._stop_event = threading.Event()
+
+        self.workers = [
+            _WorkerHandle(slot, f"exec-{slot // executor_cores}")
+            for slot in range(num_executors * executor_cores)
+        ]
+        for eid in {h.executor_id for h in self.workers}:
+            self._exec_state[eid] = "starting"
+        self._spawn_workers()
+
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, "listen")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._dispatch = threading.Thread(
+            target=self._dispatch_loop, name="repro-cluster-dispatch", daemon=True
+        )
+        self._dispatch.start()
+        self._await_registration()
+
+    # -- startup ----------------------------------------------------------
+
+    def _spawn_workers(self) -> None:
+        import multiprocessing
+
+        host, _, port = self.address.rpartition(":")
+        for handle in self.workers:
+            proc = multiprocessing.Process(
+                target=_cluster_worker_main,
+                args=(host, int(port), handle.slot, handle.executor_id,
+                      self.hb_interval),
+                name=f"repro-cluster-{handle.executor_id}-s{handle.slot}",
+                daemon=True,
+            )
+            proc.start()
+            handle.process = proc
+
+    def _await_registration(self) -> None:
+        deadline = time.monotonic() + _REGISTER_TIMEOUT
+        for handle in self.workers:
+            if not handle.registered.wait(max(0.0, deadline - time.monotonic())):
+                self.stop()
+                raise RuntimeError(
+                    f"cluster worker slot {handle.slot} "
+                    f"({handle.executor_id}) never registered"
+                )
+        for eid in self._exec_state:
+            self._exec_state[eid] = "registered"
+
+    # -- backend interface -------------------------------------------------
+
+    def submit(self, payload: bytes, executor_id: str) -> concurrent.futures.Future:
+        """Queue one task on the named executor's least-loaded alive slot."""
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            if self.stopped:
+                future.set_exception(RuntimeError("cluster is stopped"))
+                return future
+            candidates = [
+                h for h in self.workers
+                if h.executor_id == executor_id and h.alive and not h.draining
+            ]
+            if not candidates:  # executor gone: any alive slot keeps the job going
+                candidates = [h for h in self.workers if h.alive and not h.draining]
+            if not candidates:
+                future.set_exception(ExecutorLostError(executor_id))
+                return future
+            handle = min(candidates, key=lambda h: len(h.inflight))
+            token = next(self._tokens)
+            handle.inflight[token] = future
+            self._cmds.append(("send", handle, frames.encode_frame(
+                frames.TASK, frames.pack_task(token, executor_id, payload)
+            )))
+        self._wake()
+        return future
+
+    def heartbeat_queue(self, interval: float) -> "queue.Queue[Any]":
+        return self.hb_queue
+
+    def note_binary_shipped(self, executor_id: str, binary_id: str) -> bool:
+        """True exactly once per (executor, binary content hash) -- ever."""
+        with self._lock:
+            key = (executor_id, binary_id)
+            if key in self._shipped:
+                return False
+            self._shipped.add(key)
+            return True
+
+    def attach(self, ctx: "Context") -> None:
+        """Announce the fleet on a (new) driver's listener bus."""
+        with self._lock:
+            warm = self.jobs_attached > 0
+            self.jobs_attached += 1
+            self._ctx = ctx
+        for info in self.executor_info():
+            ctx.listener_bus.post(ExecutorRegistered(
+                executor_id=info["executor_id"],
+                host="127.0.0.1",
+                pid=info["pid"],
+                slots=info["slots"],
+                warm=warm and info["state"] == "registered",
+            ))
+
+    def detach(self, ctx: "Context") -> None:
+        with self._lock:
+            if self._ctx is ctx:
+                self._ctx = None
+
+    def executor_info(self) -> list[dict]:
+        """Per-executor lifecycle/warmth snapshot (CLI status, /api/executors)."""
+        with self._lock:
+            grouped: dict[str, dict] = {}
+            for h in self.workers:
+                info = grouped.setdefault(h.executor_id, {
+                    "executor_id": h.executor_id,
+                    "state": self._exec_state.get(h.executor_id, "unknown"),
+                    "pid": 0,
+                    "slots": 0,
+                    "tasks_done": 0,
+                    "inflight": 0,
+                })
+                info["slots"] += 1
+                info["tasks_done"] += h.tasks_done
+                info["inflight"] += len(h.inflight)
+                if info["pid"] == 0:
+                    info["pid"] = h.pid
+            for info in grouped.values():
+                eid = info["executor_id"]
+                info["warm"] = info["tasks_done"] > 0
+                info["binaries_cached"] = sum(
+                    1 for (e, _) in self._shipped if e == eid
+                )
+            return [grouped[eid] for eid in sorted(grouped)]
+
+    def decommission(self, executor_id: str, reason: str = "drain") -> None:
+        """Drain one executor: finish in-flight work, then retire its slots."""
+        with self._lock:
+            targets = [
+                h for h in self.workers
+                if h.executor_id == executor_id and h.alive and not h.draining
+            ]
+            for handle in targets:
+                handle.draining = True
+                self._cmds.append(("send", handle, frames.encode_frame(frames.DRAIN)))
+            if targets:
+                self._exec_state[executor_id] = "draining"
+        self._wake()
+
+    # -- dispatch loop -----------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x01")
+        except (BlockingIOError, OSError):
+            pass  # a wake byte is already pending (or we are stopping)
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                events = self._selector.select(timeout=0.5)
+            except OSError:
+                return
+            for key, mask in events:
+                tag = key.data
+                try:
+                    if tag == "wake":
+                        while self._wake_r.recv(4096):
+                            pass
+                    elif tag == "listen":
+                        self._accept_pending()
+                    else:
+                        self._service_conn(key.fileobj, tag, mask)
+                except (BlockingIOError, OSError):
+                    pass
+                except Exception:
+                    # a poisoned frame must not kill the dispatch plane; the
+                    # offending connection is dropped, the loop lives on
+                    if isinstance(tag, _WorkerHandle) or isinstance(tag, dict):
+                        self._on_disconnect(key.fileobj, tag if isinstance(tag, _WorkerHandle) else None)
+            self._process_commands()
+
+    def _accept_pending(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            conn.setblocking(False)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # anonymous until its REGISTER frame arrives
+            self._selector.register(
+                conn, selectors.EVENT_READ, {"parser": frames.FrameParser()}
+            )
+
+    def _process_commands(self) -> None:
+        with self._lock:
+            cmds, self._cmds = self._cmds, deque()
+        for _op, handle, frame_bytes in cmds:
+            if handle.sock is None or not handle.alive:
+                continue
+            handle.outbuf.extend(frame_bytes)
+            self._want_write(handle)
+
+    def _want_write(self, handle: _WorkerHandle) -> None:
+        try:
+            self._selector.modify(
+                handle.sock, selectors.EVENT_READ | selectors.EVENT_WRITE, handle
+            )
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _service_conn(self, sock: socket.socket, tag: Any, mask: int) -> None:
+        handle = tag if isinstance(tag, _WorkerHandle) else None
+        if mask & selectors.EVENT_WRITE and handle is not None and handle.outbuf:
+            try:
+                sent = sock.send(handle.outbuf)
+                del handle.outbuf[:sent]
+            except (BlockingIOError, InterruptedError):
+                pass
+            except OSError:
+                self._on_disconnect(sock, handle)
+                return
+            if not handle.outbuf:
+                try:
+                    self._selector.modify(sock, selectors.EVENT_READ, handle)
+                except (KeyError, ValueError, OSError):
+                    pass
+        if not (mask & selectors.EVENT_READ):
+            return
+        try:
+            data = sock.recv(1 << 20)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._on_disconnect(sock, handle)
+            return
+        parser = handle.parser if handle is not None else tag["parser"]
+        try:
+            parsed = parser.feed(data)
+        except ConnectionError:
+            self._on_disconnect(sock, handle)
+            return
+        for ftype, payload in parsed:
+            if handle is None:
+                handle = self._on_register(sock, tag, ftype, payload)
+                if handle is None:
+                    return  # bogus first frame: connection dropped
+            else:
+                self._on_frame(handle, ftype, payload)
+
+    def _on_register(
+        self, sock: socket.socket, tag: dict, ftype: int, payload: bytes
+    ) -> _WorkerHandle | None:
+        if ftype != frames.REGISTER:
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            sock.close()
+            return None
+        info = pickle.loads(payload)
+        handle = self.workers[info["slot"]]
+        handle.sock = sock
+        handle.parser = tag["parser"]
+        handle.pid = info["pid"]
+        handle.alive = True
+        self._selector.modify(sock, selectors.EVENT_READ, handle)
+        handle.registered.set()
+        return handle
+
+    def _on_frame(self, handle: _WorkerHandle, ftype: int, payload: bytes) -> None:
+        if ftype in (frames.RESULT, frames.TASK_ERROR):
+            token, body = frames.unpack_token(payload)
+            with self._lock:
+                future = handle.inflight.pop(token, None)
+                handle.tasks_done += 1
+            if future is None or future.cancelled():
+                return  # attempt abandoned after a heartbeat timeout
+            try:
+                if ftype == frames.RESULT:
+                    future.set_result(body)
+                else:
+                    future.set_exception(pickle.loads(body))
+            except concurrent.futures.InvalidStateError:
+                pass
+        elif ftype == frames.HEARTBEAT:
+            self.hb_queue.put(pickle.loads(payload))
+
+    def _on_disconnect(self, sock: socket.socket, handle: _WorkerHandle | None) -> None:
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+        if handle is None:
+            return
+        with self._lock:
+            handle.alive = False
+            handle.sock = None
+            was_draining = handle.draining
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
+            peers_alive = any(
+                h.alive for h in self.workers if h.executor_id == handle.executor_id
+            )
+            ctx = self._ctx
+            tasks_run = sum(
+                h.tasks_done for h in self.workers
+                if h.executor_id == handle.executor_id
+            )
+            if not peers_alive:
+                self._exec_state[handle.executor_id] = (
+                    "decommissioned" if was_draining else "lost"
+                )
+        for future in orphans:
+            if future.cancelled():
+                continue
+            try:
+                future.set_exception(ExecutorLostError(handle.executor_id))
+            except concurrent.futures.InvalidStateError:
+                pass
+        if not peers_alive and was_draining and ctx is not None:
+            ctx.listener_bus.post(ExecutorDecommissioned(
+                executor_id=handle.executor_id, reason="drained",
+                tasks_run=tasks_run,
+            ))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Tear the fleet down for real (tests / CLI stop / interpreter exit)."""
+        with self._lock:
+            if self.stopped:
+                return
+            self.stopped = True
+            for handle in self.workers:
+                if handle.alive and handle.sock is not None:
+                    self._cmds.append(
+                        ("send", handle, frames.encode_frame(frames.SHUTDOWN))
+                    )
+        self._wake()
+        time.sleep(0.05)  # give the loop one pass to flush SHUTDOWN frames
+        self._stop_event.set()
+        self._wake()
+        if self._dispatch.is_alive():
+            self._dispatch.join(timeout=5.0)
+        for handle in self.workers:
+            proc = handle.process
+            if proc is not None and proc.is_alive():
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            handle.alive = False
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._listener, self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self.transport.close()
+
+
+# -- process-wide cluster registry --------------------------------------------
+
+_CLUSTERS: dict[tuple, Any] = {}
+_CLUSTERS_LOCK = threading.Lock()
+
+
+def get_cluster(config: "EngineConfig") -> ClusterManager:
+    """The process-wide persistent cluster for this shape (create on first use)."""
+    key = (config.num_executors, config.executor_cores, config.transport_scheme)
+    with _CLUSTERS_LOCK:
+        manager = _CLUSTERS.get(key)
+        if manager is None or manager.stopped:
+            manager = ClusterManager(
+                config.num_executors,
+                config.executor_cores,
+                config.transport_scheme,
+                config.heartbeat_interval,
+            )
+            _CLUSTERS[key] = manager
+        return manager
+
+
+def get_cluster_client(config: "EngineConfig") -> "ClusterClient":
+    """A persistent client to an externally started head (memoized by address)."""
+    key = ("external", config.cluster_address)
+    with _CLUSTERS_LOCK:
+        client = _CLUSTERS.get(key)
+        if client is None or client.stopped:
+            client = ClusterClient(config.cluster_address, config.heartbeat_interval)
+            _CLUSTERS[key] = client
+        return client
+
+
+def stop_all_clusters() -> None:
+    """Stop every persistent cluster/client this process started."""
+    with _CLUSTERS_LOCK:
+        managers = list(_CLUSTERS.values())
+        _CLUSTERS.clear()
+    for manager in managers:
+        manager.stop()
+
+
+class ClusterBackend:
+    """Backend facade over the persistent cluster (or an external head).
+
+    ``shutdown`` only detaches -- the cluster outlives the context by
+    design.  ``stable_placement`` pins partition -> executor across jobs so
+    warm caches actually get re-hit; ``persistent_executors`` makes the
+    scheduler publish every task binary by transport ref (size threshold
+    0), which is what turns job 2's publication into a dedup hit.
+    """
+
+    name = "cluster"
+    supports_shared_state = False
+    stable_placement = True
+    persistent_executors = True
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self.parallelism = max(1, config.total_cores)
+        if config.cluster_address:
+            self._manager: Any = get_cluster_client(config)
+        else:
+            self._manager = get_cluster(config)
+        self._detached = False
+
+    @property
+    def transport(self) -> Any:
+        return self._manager.transport
+
+    def heartbeat_queue(self, interval: float) -> Any:
+        return self._manager.heartbeat_queue(interval)
+
+    def submit_pickled(
+        self, payload: bytes, executor_id: str | None = None
+    ) -> concurrent.futures.Future:
+        if self._detached:
+            raise RuntimeError("backend is shut down")
+        return self._manager.submit(payload, executor_id or "exec-0")
+
+    def note_binary_shipped(self, executor_id: str, binary_id: str) -> bool:
+        return self._manager.note_binary_shipped(executor_id, binary_id)
+
+    def attach(self, ctx: "Context") -> None:
+        self._manager.attach(ctx)
+
+    def detach(self, ctx: "Context") -> None:
+        self._manager.detach(ctx)
+
+    def executor_info(self) -> list[dict]:
+        return self._manager.executor_info()
+
+    def decommission(self, executor_id: str, reason: str = "drain") -> None:
+        self._manager.decommission(executor_id, reason)
+
+    def shutdown(self) -> None:
+        """Detach only; the fleet stays warm for the next context."""
+        self._detached = True
+
+
+# -- external mode: head + client ---------------------------------------------
+
+
+class ClusterHead:
+    """Standalone cluster head: a :class:`ClusterManager` plus a public TCP
+    front door (``sparkscore cluster start``).
+
+    Connections self-identify by their first frame: REGISTER is an
+    (internal) worker, ATTACH an external driver, STATUS/SHUTDOWN the CLI.
+    Driver TASK frames are re-tokenized onto the manager and results routed
+    back with the driver's own token, so several drivers can share one
+    fleet without coordinating token spaces.
+    """
+
+    def __init__(
+        self,
+        num_executors: int,
+        executor_cores: int,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        hb_interval: float = 0.5,
+    ) -> None:
+        # blobs must be reachable from other processes, so the head always
+        # speaks the socket transport
+        self.manager = ClusterManager(
+            num_executors, executor_cores, "tcp", hb_interval
+        )
+        self._listener = socket.create_server((host, port))
+        self.address = "%s:%d" % (host, self._listener.getsockname()[1])
+        self._stopped = threading.Event()
+        self._drivers: list[tuple[socket.socket, threading.Lock]] = []
+        self._lock = threading.Lock()
+        self._accept = threading.Thread(
+            target=self._accept_loop, name="repro-cluster-head", daemon=True
+        )
+        self._accept.start()
+        self._hb_pump = threading.Thread(
+            target=self._pump_heartbeats, name="repro-cluster-head-hb", daemon=True
+        )
+        self._hb_pump.start()
+
+    def serve_forever(self, duration: float | None = None) -> None:
+        self._stopped.wait(timeout=duration)
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_conn, args=(conn,),
+                name="repro-cluster-head-conn", daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_lock = threading.Lock()
+        attached = False
+        try:
+            while True:
+                received = frames.recv_frame(conn)
+                if received is None:
+                    return
+                ftype, payload = received
+                if ftype == frames.ATTACH:
+                    with send_lock:
+                        frames.send_frame(conn, frames.ATTACH_REPLY, pickle.dumps({
+                            "num_executors": self.manager.num_executors,
+                            "executor_cores": self.manager.executor_cores,
+                            "executor_ids": sorted(
+                                {h.executor_id for h in self.manager.workers}
+                            ),
+                            "transport_spec": self.manager.transport.spec(),
+                            "warm": self.manager.jobs_attached > 0,
+                        }, protocol=pickle.HIGHEST_PROTOCOL))
+                    self.manager.jobs_attached += 1
+                    attached = True
+                    with self._lock:
+                        self._drivers.append((conn, send_lock))
+                elif ftype == frames.TASK:
+                    token, eid, spec = frames.unpack_task(payload)
+                    future = self.manager.submit(spec, eid)
+                    future.add_done_callback(
+                        self._result_forwarder(conn, send_lock, token)
+                    )
+                elif ftype == frames.BINARY_SHIPPED:
+                    eid, binary_id = pickle.loads(payload)
+                    self.manager.note_binary_shipped(eid, binary_id)
+                elif ftype == frames.STATUS:
+                    with send_lock:
+                        frames.send_frame(conn, frames.STATUS_REPLY, pickle.dumps(
+                            self.manager.executor_info(),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ))
+                    if not attached:
+                        return
+                elif ftype == frames.SHUTDOWN:
+                    with send_lock:
+                        frames.send_frame(conn, frames.STATUS_REPLY, b"")
+                    self.stop()
+                    return
+                else:
+                    return
+        except (ConnectionError, OSError):
+            return
+        finally:
+            with self._lock:
+                self._drivers = [d for d in self._drivers if d[0] is not conn]
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _result_forwarder(
+        self, conn: socket.socket, send_lock: threading.Lock, token: int
+    ):
+        def _forward(done: concurrent.futures.Future) -> None:
+            try:
+                exc = done.exception()
+                if exc is None:
+                    ftype, body = frames.RESULT, done.result()
+                else:
+                    try:
+                        body = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+                    except Exception:
+                        body = pickle.dumps(
+                            RuntimeError(f"{type(exc).__name__}: {exc}"),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    ftype = frames.TASK_ERROR
+                with send_lock:
+                    frames.send_frame(conn, ftype, frames.pack_token(token, body))
+            except (ConnectionError, OSError):
+                pass  # driver went away; the fleet keeps running
+
+        return _forward
+
+    def _pump_heartbeats(self) -> None:
+        """Forward worker heartbeats to every attached external driver."""
+        while not self._stopped.is_set():
+            try:
+                record = self.manager.hb_queue.get(timeout=0.5)
+            except queue.Empty:
+                continue
+            payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            with self._lock:
+                drivers = list(self._drivers)
+            for conn, send_lock in drivers:
+                try:
+                    with send_lock:
+                        frames.send_frame(conn, frames.HEARTBEAT, payload)
+                except (ConnectionError, OSError):
+                    pass
+
+    def stop(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.manager.stop()
+
+
+class ClusterClient:
+    """Driver-side handle to an external :class:`ClusterHead`.
+
+    Presents the same surface as :class:`ClusterManager` (submit /
+    heartbeat_queue / attach / note_binary_shipped / executor_info), so
+    :class:`ClusterBackend` cannot tell local from remote.  One persistent
+    connection; a reader thread resolves futures and feeds heartbeats.
+    """
+
+    def __init__(self, address: str, hb_interval: float = 0.5) -> None:
+        host, _, port = address.rpartition(":")
+        self.address = address
+        self.stopped = False
+        self._sock = socket.create_connection((host, int(port)), timeout=30.0)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        with self._send_lock:
+            frames.send_frame(self._sock, frames.ATTACH)
+        reply = frames.recv_frame(self._sock)
+        if reply is None or reply[0] != frames.ATTACH_REPLY:
+            raise ConnectionError(f"cluster head at {address} refused attach")
+        info = pickle.loads(reply[1])
+        self.num_executors = info["num_executors"]
+        self.executor_cores = info["executor_cores"]
+        self.executor_ids = list(info["executor_ids"])
+        self.warm = bool(info.get("warm"))
+        self.transport = from_spec(tuple(info["transport_spec"]))
+        self.hb_queue: "queue.Queue[Any]" = queue.Queue()
+        self.jobs_attached = 1 if self.warm else 0
+        self._tokens = itertools.count(1)
+        self._lock = threading.Lock()
+        self._futures: dict[int, concurrent.futures.Future] = {}
+        self._shipped: set[tuple[str, str]] = set()
+        self._ctx: "Context | None" = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-cluster-client", daemon=True
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                received = frames.recv_frame(self._sock)
+                if received is None:
+                    break
+                ftype, payload = received
+                if ftype in (frames.RESULT, frames.TASK_ERROR):
+                    token, body = frames.unpack_token(payload)
+                    with self._lock:
+                        future = self._futures.pop(token, None)
+                    if future is None or future.cancelled():
+                        continue
+                    try:
+                        if ftype == frames.RESULT:
+                            future.set_result(body)
+                        else:
+                            future.set_exception(pickle.loads(body))
+                    except concurrent.futures.InvalidStateError:
+                        pass
+                elif ftype == frames.HEARTBEAT:
+                    self.hb_queue.put(pickle.loads(payload))
+        except (ConnectionError, OSError):
+            pass
+        self.stopped = True
+        with self._lock:
+            orphans = list(self._futures.values())
+            self._futures.clear()
+        for future in orphans:
+            if not future.cancelled():
+                try:
+                    future.set_exception(ConnectionError("cluster head connection lost"))
+                except concurrent.futures.InvalidStateError:
+                    pass
+
+    # -- manager-compatible surface ---------------------------------------
+
+    def submit(self, payload: bytes, executor_id: str) -> concurrent.futures.Future:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        if self.stopped:
+            future.set_exception(ConnectionError("cluster head connection lost"))
+            return future
+        with self._lock:
+            token = next(self._tokens)
+            self._futures[token] = future
+        try:
+            with self._send_lock:
+                frames.send_frame(
+                    self._sock, frames.TASK,
+                    frames.pack_task(token, executor_id, payload),
+                )
+        except (ConnectionError, OSError) as exc:
+            with self._lock:
+                self._futures.pop(token, None)
+            future.set_exception(exc)
+        return future
+
+    def heartbeat_queue(self, interval: float) -> "queue.Queue[Any]":
+        return self.hb_queue
+
+    def note_binary_shipped(self, executor_id: str, binary_id: str) -> bool:
+        with self._lock:
+            key = (executor_id, binary_id)
+            if key in self._shipped:
+                return False
+            self._shipped.add(key)
+        # fire-and-forget: keep the head's shipped-binary index (and the
+        # binaries_cached column of ``cluster status``) truthful
+        try:
+            with self._send_lock:
+                frames.send_frame(
+                    self._sock, frames.BINARY_SHIPPED,
+                    pickle.dumps((executor_id, binary_id),
+                                 protocol=pickle.HIGHEST_PROTOCOL),
+                )
+        except (ConnectionError, OSError):
+            pass
+        return True
+
+    def attach(self, ctx: "Context") -> None:
+        with self._lock:
+            warm = self.jobs_attached > 0
+            self.jobs_attached += 1
+            self._ctx = ctx
+        for eid in self.executor_ids:
+            ctx.listener_bus.post(ExecutorRegistered(
+                executor_id=eid, host=self.address.rpartition(":")[0],
+                slots=self.executor_cores, warm=warm,
+            ))
+
+    def detach(self, ctx: "Context") -> None:
+        with self._lock:
+            if self._ctx is ctx:
+                self._ctx = None
+
+    def executor_info(self) -> list[dict]:
+        return cluster_status(self.address)
+
+    def decommission(self, executor_id: str, reason: str = "drain") -> None:
+        raise RuntimeError("decommission an external cluster from its head CLI")
+
+    def stop(self) -> None:
+        self.stopped = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._reader.is_alive():
+            self._reader.join(timeout=2.0)
+
+
+# -- CLI helpers ---------------------------------------------------------------
+
+
+def _head_request(address: str, ftype: int) -> bytes:
+    host, _, port = address.rpartition(":")
+    with socket.create_connection((host, int(port)), timeout=10.0) as conn:
+        frames.send_frame(conn, ftype)
+        reply = frames.recv_frame(conn)
+        if reply is None or reply[0] != frames.STATUS_REPLY:
+            raise ConnectionError(f"no reply from cluster head at {address}")
+        return reply[1]
+
+
+def cluster_status(address: str) -> list[dict]:
+    """Executor-info list from an external head (``sparkscore cluster status``)."""
+    return pickle.loads(_head_request(address, frames.STATUS))
+
+
+def cluster_shutdown(address: str) -> None:
+    """Stop an external head and its fleet (``sparkscore cluster stop``)."""
+    _head_request(address, frames.SHUTDOWN)
+
+
+__all__ = [
+    "ClusterManager",
+    "ClusterBackend",
+    "ClusterHead",
+    "ClusterClient",
+    "get_cluster",
+    "stop_all_clusters",
+    "cluster_status",
+    "cluster_shutdown",
+]

@@ -72,15 +72,20 @@ class Context:
         from repro.engine.serializer import get_serializer
 
         self.serializer = get_serializer(self.config.serializer)
-        #: out-of-band blob transport (shared memory with temp-file
-        #: fallback); only the process backend moves bytes across address
-        #: spaces, so shared-state backends skip the segment bookkeeping
-        self.transport = None
-        if self.config.backend == "processes":
-            from repro.engine.transport import Transport
-
-            self.transport = Transport.create()
         self.backend = make_backend(self.config)
+        #: out-of-band blob transport (shared memory / temp files / TCP);
+        #: only process-isolated backends move bytes across address spaces,
+        #: so shared-state backends skip the segment bookkeeping.  The
+        #: cluster backend *owns* its transport (it must outlive this
+        #: context so warm workers keep their handles); the process backend
+        #: gets a context-owned one
+        self.transport = getattr(self.backend, "transport", None)
+        self._owns_transport = False
+        if self.transport is None and self.config.backend == "processes":
+            from repro.engine.transport import create_transport
+
+            self.transport = create_transport(self.config.transport_scheme)
+            self._owns_transport = True
         self.executors = build_executors(
             self.config.num_executors,
             self.config.executor_cores,
@@ -220,6 +225,10 @@ class Context:
             self.heartbeats = HeartbeatHub(self)
             self.listener_bus.add_listener(self.heartbeats)
             self.heartbeats.start()
+        # persistent backends announce their (possibly pre-existing, warm)
+        # executors on this context's bus: ExecutorRegistered per executor
+        if hasattr(self.backend, "attach"):
+            self.backend.attach(self)
         if self.sampler is not None:
             # started after the heartbeat hub so the alert engine's busy
             # gate sees live in-flight state from its first tick
@@ -398,9 +407,11 @@ class Context:
                 self._log_file_sink.close()
                 self._log_file_sink = None
             LOG_BUS.set_level(self._previous_log_level)
+            if hasattr(self.backend, "detach"):
+                self.backend.detach(self)
             self.listener_bus.stop()
             self.backend.shutdown()
-            if self.transport is not None:
+            if self.transport is not None and self._owns_transport:
                 self.transport.close()
             self._stopped = True
 

@@ -90,7 +90,6 @@ class HeartbeatHub(Listener):
         self._announced: set[str] = set()
         self.records_received = 0
         self._worker_queue = None
-        self._manager = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -98,12 +97,12 @@ class HeartbeatHub(Listener):
 
     def start(self) -> None:
         backend = self.ctx.backend
-        if not backend.supports_shared_state and hasattr(backend, "configure_heartbeats"):
-            import multiprocessing
-
-            self._manager = multiprocessing.Manager()
-            self._worker_queue = self._manager.Queue()
-            backend.configure_heartbeats(self._worker_queue, self.interval)
+        if not backend.supports_shared_state and hasattr(backend, "heartbeat_queue"):
+            # the queue (and the Manager behind it, for the process backend)
+            # belongs to the backend, not the hub: persistent pools outlive
+            # this context, and a hub-owned queue dying with the context
+            # would permanently silence every warm worker's heartbeats
+            self._worker_queue = backend.heartbeat_queue(self.interval)
         self._thread = threading.Thread(
             target=self._run, name="repro-heartbeat-hub", daemon=True
         )
@@ -114,9 +113,7 @@ class HeartbeatHub(Listener):
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        if self._manager is not None:
-            self._manager.shutdown()
-            self._manager = None
+        self._worker_queue = None
 
     def close(self) -> None:  # bus stop() hook
         self.stop()

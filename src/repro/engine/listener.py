@@ -132,6 +132,30 @@ class ExecutorLost(EngineEvent):
 
 
 @dataclass
+class ExecutorRegistered(EngineEvent):
+    """An executor joined the cluster (or an already-running persistent
+    executor re-announced itself to a newly attached driver).
+
+    ``warm`` distinguishes a fresh cold worker from a long-lived one whose
+    task-binary / broadcast caches survived earlier jobs."""
+
+    executor_id: str
+    host: str = ""
+    pid: int = 0
+    slots: int = 0
+    warm: bool = False
+
+
+@dataclass
+class ExecutorDecommissioned(EngineEvent):
+    """An executor left the cluster after a drain (or a cluster stop)."""
+
+    executor_id: str
+    reason: str = ""
+    tasks_run: int = 0
+
+
+@dataclass
 class ExecutorHeartbeat(EngineEvent):
     """Periodic liveness/progress report from one executor.
 
@@ -342,6 +366,8 @@ __all__ = [
     "ShuffleWrite",
     "ShuffleFetch",
     "ExecutorLost",
+    "ExecutorRegistered",
+    "ExecutorDecommissioned",
     "ExecutorHeartbeat",
     "ExecutorTimedOut",
     "StageSkewDetected",

@@ -12,6 +12,7 @@ invalidation plus rescheduling.
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import itertools
 import pickle
 import threading
@@ -124,7 +125,10 @@ class _SerializedTaskBinary:
     binary and only the ref's bytes afterwards.
     """
 
-    binary_id: int
+    #: SHA-256 of ``blob``: content identity, not a per-context sequence
+    #: number, so persistent executors recognize a binary they already hold
+    #: even when it was built by an earlier (dead) Context
+    binary_id: str
     blob: bytes
     #: uncompressed pickled size, for compression accounting
     raw_len: int
@@ -144,7 +148,6 @@ class TaskScheduler:
         self.ctx = ctx
         self._round_robin = itertools.count()
         self._lock = threading.Lock()
-        self._binary_ids = itertools.count()
 
     # -- placement ------------------------------------------------------------
 
@@ -169,7 +172,12 @@ class TaskScheduler:
             for executor in alive:
                 if executor.executor_id in preferred or executor.host in preferred:
                     return executor
-        # 3) round robin
+        # 3) persistent backends get *stable* placement: partition -> same
+        # executor across jobs, so a rerun hits the executor whose caches
+        # already hold that partition's binary and broadcasts
+        if getattr(self.ctx.backend, "stable_placement", False):
+            return alive[task.partition % len(alive)]
+        # 4) round robin
         with self._lock:
             index = next(self._round_robin)
         return alive[index % len(alive)]
@@ -473,9 +481,20 @@ class TaskScheduler:
         # the lineage serialize by value (repro.engine.closure)
         raw = closure_dumps(binary)
         blob = compress_blob(raw)
-        tb = _SerializedTaskBinary(next(self._binary_ids), blob, len(raw), levels)
+        tb = _SerializedTaskBinary(
+            hashlib.sha256(blob).hexdigest(), blob, len(raw), levels
+        )
         transport = getattr(self.ctx, "transport", None)
-        if transport is not None and len(blob) >= self.ctx.config.transport_min_bytes:
+        # persistent backends publish every binary by ref regardless of
+        # size: workers that evicted the binary can re-fetch it from the
+        # long-lived transport, and the content-hash dedup makes job 2's
+        # publication a no-op (transport_dedup_hits instead of bytes)
+        threshold = (
+            0
+            if getattr(self.ctx.backend, "persistent_executors", False)
+            else self.ctx.config.transport_min_bytes
+        )
+        if transport is not None and len(blob) >= threshold:
             tb.ref = transport.put(blob, dedup=True)
             tb.ref_cost = len(pickle.dumps(tb.ref, protocol=pickle.HIGHEST_PROTOCOL))
         return tb
@@ -561,9 +580,14 @@ class TaskScheduler:
             return out_future
 
         start = time.perf_counter()
-        pool_future = self.ctx.backend.submit_pickled(payload)
+        pool_future = self.ctx.backend.submit_pickled(payload, executor.executor_id)
 
         def _finish(done: concurrent.futures.Future) -> None:
+            # the scheduler may have abandoned (cancelled) this attempt after
+            # a heartbeat timeout; a late worker result must not blow up the
+            # completion callback with InvalidStateError
+            if out_future.cancelled():
+                return
             try:
                 from repro.engine.backends import unframe_result
 
@@ -575,9 +599,15 @@ class TaskScheduler:
                     out, serialize_seconds, serialize_offset, start,
                 )
             except BaseException as exc:  # noqa: BLE001 - surface via the future
-                out_future.set_exception(exc)
+                try:
+                    out_future.set_exception(exc)
+                except concurrent.futures.InvalidStateError:
+                    pass
             else:
-                out_future.set_result((value, record))
+                try:
+                    out_future.set_result((value, record))
+                except concurrent.futures.InvalidStateError:
+                    pass
 
         pool_future.add_done_callback(_finish)
         return out_future
@@ -644,10 +674,17 @@ class TaskScheduler:
         # task-binary accounting with per-executor dedup: the compressed blob
         # is charged once per (binary, executor); subsequent tasks on the
         # same executor only pay the pickled TransportRef (the bytes that
-        # actually crossed the pipe once the blob is memoized worker-side)
-        with self._lock:
-            first_ship = executor.executor_id not in tb.shipped_executors
-            tb.shipped_executors.add(executor.executor_id)
+        # actually crossed the pipe once the blob is memoized worker-side).
+        # Persistent backends remember shipments *across contexts* -- a warm
+        # job re-running an identical stage charges only refs, which is the
+        # whole point of keeping the executors alive.
+        note = getattr(self.ctx.backend, "note_binary_shipped", None)
+        if note is not None:
+            first_ship = note(executor.executor_id, tb.binary_id)
+        else:
+            with self._lock:
+                first_ship = executor.executor_id not in tb.shipped_executors
+                tb.shipped_executors.add(executor.executor_id)
         if first_ship or tb.ref is None:
             out["metrics"].task_binary_bytes += len(tb.blob)
         else:

@@ -258,18 +258,51 @@ class UIServer:
                 e["executor_id"]: e
                 for e in self.ctx.progress.snapshot()["executors"]
             }
+            # persistent backends contribute lifecycle state + warmth;
+            # the registry contributes per-executor warm-cache hit counts
+            cluster = {}
+            info_fn = getattr(self.ctx.backend, "executor_info", None)
+            if info_fn is not None:
+                try:
+                    cluster = {c["executor_id"]: c for c in info_fn()}
+                except Exception:
+                    cluster = {}
+            def _labeled(counter_name: str) -> dict:
+                counter = REGISTRY.get(counter_name)
+                if counter is None:
+                    return {}
+                return {
+                    dict(key).get("executor", ""): child.value
+                    for key, child in counter.children().items()
+                }
+
+            binary_hits = _labeled("task_binary_cache_hits_total")
+            memo_hits = _labeled("broadcast_memo_hits_total")
             out = []
             for executor in self.ctx.executors:
+                eid = executor.executor_id
                 info = {
-                    "executor_id": executor.executor_id,
+                    "executor_id": eid,
                     "host": executor.host,
                     "cores": executor.cores,
                     "alive": executor.alive,
                     "tasks_run": executor.tasks_run,
                     "tasks_failed": executor.tasks_failed,
                     "cached_blocks": len(executor.block_manager.block_ids()),
+                    "task_binary_cache_hits": binary_hits.get(eid, 0),
+                    "broadcast_memo_hits": memo_hits.get(eid, 0),
                 }
-                info.update(live.get(executor.executor_id, {}))
+                extra = cluster.get(eid)
+                if extra is not None:
+                    info.update({
+                        "cluster_state": extra.get("state"),
+                        "warm": extra.get("warm"),
+                        "slots": extra.get("slots"),
+                        "worker_pid": extra.get("pid"),
+                        "binaries_cached": extra.get("binaries_cached"),
+                        "cluster_tasks_done": extra.get("tasks_done"),
+                    })
+                info.update(live.get(eid, {}))
                 out.append(info)
             self._send_json(handler, out)
         elif path == "/api/progress":

@@ -33,7 +33,7 @@ def pytest_configure(config):
 
 
 def pytest_collection_modifyitems(config, items):
-    if DEFAULT_BACKEND != "processes":
+    if DEFAULT_BACKEND not in ("processes", "cluster"):
         return
     skip = pytest.mark.skip(
         reason="closures ship to worker processes by value; driver-side "
@@ -44,6 +44,12 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(skip)
 
 
+#: threads that are *supposed* to outlive a context: the persistent
+#: cluster's dispatch loop and transport servers survive across contexts
+#: by design and are reaped once per session (see _reap_persistent_engine)
+_PERSISTENT_THREAD_PREFIXES = ("repro-cluster",)
+
+
 @pytest.fixture(autouse=True)
 def no_leaked_engine_threads():
     """Every engine thread must be joined by the end of each test.
@@ -52,7 +58,8 @@ def no_leaked_engine_threads():
     sampler with bounded timeouts; a test that leaks a ``repro-*`` thread
     either forgot to stop its context or found a shutdown bug.  A short
     grace poll absorbs threads mid-exit (pool workers finishing their
-    last task).
+    last task).  Persistent-cluster threads are exempt: they outlive
+    contexts on purpose.
     """
     yield
     deadline = time.monotonic() + 2.0
@@ -60,11 +67,24 @@ def no_leaked_engine_threads():
         leaked = [
             t.name for t in threading.enumerate()
             if t.is_alive() and t.name.startswith("repro-")
+            and not t.name.startswith(_PERSISTENT_THREAD_PREFIXES)
         ]
         if not leaked:
             return
         time.sleep(0.05)
     pytest.fail(f"leaked engine threads after test: {sorted(leaked)}")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _reap_persistent_engine():
+    """End-of-session teardown for intentionally persistent machinery:
+    the cluster fleet(s) and the shared process pool."""
+    yield
+    from repro.engine.backends import shutdown_shared_pool
+    from repro.engine.cluster_backend import stop_all_clusters
+
+    stop_all_clusters()
+    shutdown_shared_pool()
 
 
 @pytest.fixture
