@@ -61,6 +61,9 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--cluster-address", default=None, metavar="HOST:PORT",
                    help="attach to an externally started cluster head "
                         "(sparkscore cluster start); implies --backend cluster")
+    p.add_argument("--cluster-secret", default=None, metavar="TOKEN",
+                   help="auth secret of the external cluster head "
+                        "(default: $REPRO_CLUSTER_SECRET)")
     p.add_argument("--serializer", choices=["pickle", "numpy", "compressed"],
                    default="pickle",
                    help="data-plane serializer for shuffle blocks and shipped "
@@ -213,13 +216,23 @@ def _add_cluster(sub: argparse._SubParsersAction) -> None:
     start.add_argument("--port", type=int, default=7077)
     start.add_argument("--heartbeat-interval", type=float, default=0.5)
     start.add_argument(
+        "--secret", default=None, metavar="TOKEN",
+        help="shared auth secret drivers must present (default: "
+             "$REPRO_CLUSTER_SECRET, or an auto-generated token printed "
+             "at startup)",
+    )
+    start.add_argument(
         "--duration", type=float, default=None, metavar="SECONDS",
         help="exit after this many seconds (default: serve until stopped)",
     )
     status = cluster_sub.add_parser("status", help="show executor lifecycle/warmth")
     status.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
+    status.add_argument("--secret", default=None, metavar="TOKEN",
+                        help="head auth secret (default: $REPRO_CLUSTER_SECRET)")
     stop = cluster_sub.add_parser("stop", help="shut the head and its fleet down")
     stop.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
+    stop.add_argument("--secret", default=None, metavar="TOKEN",
+                      help="head auth secret (default: $REPRO_CLUSTER_SECRET)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,6 +297,7 @@ def _load_analysis(args: argparse.Namespace):
             profile_fraction=getattr(args, "profile_fraction", 0.0) or 0.0,
             serializer=getattr(args, "serializer", "pickle") or "pickle",
             cluster_address=cluster_address or "",
+            cluster_secret=getattr(args, "cluster_secret", None) or "",
         )
         kwargs["flavor"] = args.flavor
         event_log = getattr(args, "event_log", None)
@@ -731,15 +745,21 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     )
 
     if args.cluster_command == "start":
+        generated = args.secret is None and not os.environ.get("REPRO_CLUSTER_SECRET")
         head = ClusterHead(
             num_executors=args.executors,
             executor_cores=args.cores,
             host=args.host,
             port=args.port,
             hb_interval=args.heartbeat_interval,
+            secret=args.secret,
         )
         print(f"cluster head listening on {head.address} "
               f"({args.executors} executors x {args.cores} cores)", flush=True)
+        if generated:
+            print(f"cluster secret: {head.secret}\n"
+                  f"  drivers attach with spark.cluster.secret={head.secret} "
+                  f"or REPRO_CLUSTER_SECRET={head.secret}", flush=True)
         try:
             head.serve_forever(duration=args.duration)
         except KeyboardInterrupt:
@@ -750,7 +770,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.cluster_command == "status":
         try:
-            info = cluster_status(args.address)
+            info = cluster_status(args.address, args.secret)
         except (ConnectionError, OSError) as exc:
             print(f"no cluster head at {args.address}: {exc}", file=sys.stderr)
             return 1
@@ -764,7 +784,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        cluster_shutdown(args.address)
+        cluster_shutdown(args.address, args.secret)
     except (ConnectionError, OSError) as exc:
         print(f"no cluster head at {args.address}: {exc}", file=sys.stderr)
         return 1

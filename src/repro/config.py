@@ -103,6 +103,11 @@ class EngineConfig:
     #: cluster start``); empty means the cluster backend spawns and owns a
     #: process-local persistent worker pool
     cluster_address: str = ""
+    #: shared secret for the HMAC handshake an external cluster head
+    #: requires on every connection (``sparkscore cluster start`` prints
+    #: one when not given ``--secret``); empty falls back to the
+    #: ``REPRO_CLUSTER_SECRET`` environment variable at connect time
+    cluster_secret: str = ""
     #: minimum level of structured log records the process log bus keeps
     #: ("debug", "info", "warning", "error"); shipped to worker processes
     #: so their capture filters at the same level
@@ -153,6 +158,7 @@ class EngineConfig:
         "spark.transport.minBytes": "transport_min_bytes",
         "spark.transport.scheme": "transport_scheme",
         "spark.cluster.address": "cluster_address",
+        "spark.cluster.secret": "cluster_secret",
         "spark.log.level": "log_level",
         "spark.speculation.multiplier": "straggler_multiplier",
         "spark.speculation.minTaskRuntime": "straggler_min_seconds",

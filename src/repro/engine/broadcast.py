@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+from collections import OrderedDict
 from typing import Any, Generic, TypeVar
 
 T = TypeVar("T")
@@ -31,8 +32,11 @@ _BROADCAST_TRANSPORT_MIN = 16 * 1024
 #: safe to share).  Keyed by (scheme, key) rather than broadcast id because
 #: persistent cluster workers outlive driver contexts, and every fresh
 #: context restarts broadcast ids at 0 -- id keys would collide across jobs
-#: while ref keys are content-addressed and never do.
-_WORKER_VALUES: dict[tuple[str, str], Any] = {}
+#: while ref keys are content-addressed and never do.  LRU-capped like the
+#: task-binary cache: persistent executors would otherwise accumulate
+#: every broadcast value ever seen for the life of the fleet.
+_WORKER_VALUES: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+_WORKER_VALUES_MAX = 64
 _WORKER_LOCK = threading.Lock()
 
 
@@ -75,6 +79,7 @@ class Broadcast(Generic[T]):
                 from repro.engine.backends import current_task_executor
                 from repro.obs.registry import REGISTRY
 
+                _WORKER_VALUES.move_to_end(memo_key)
                 REGISTRY.counter(
                     "broadcast_memo_hits_total",
                     "Broadcast values served from the worker's warm memo",
@@ -92,6 +97,9 @@ class Broadcast(Generic[T]):
         value = pickle.loads(decompress_blob(transport.get(self._ref)))
         with _WORKER_LOCK:
             _WORKER_VALUES[memo_key] = value
+            _WORKER_VALUES.move_to_end(memo_key)
+            while len(_WORKER_VALUES) > _WORKER_VALUES_MAX:
+                _WORKER_VALUES.popitem(last=False)
         return value
 
     def _publish(self) -> bytes | None:

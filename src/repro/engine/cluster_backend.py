@@ -44,6 +44,7 @@ import itertools
 import os
 import pickle
 import queue
+import secrets
 import selectors
 import socket
 import threading
@@ -54,7 +55,7 @@ from typing import TYPE_CHECKING, Any
 from repro.engine import frames
 from repro.engine.executor import ExecutorLostError
 from repro.engine.listener import ExecutorDecommissioned, ExecutorRegistered
-from repro.engine.transport import create_transport, from_spec
+from repro.engine.transport import advertised_host, create_transport, from_spec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.config import EngineConfig
@@ -83,7 +84,8 @@ class _SocketHeartbeatSender:
 
 
 def _cluster_worker_main(
-    host: str, port: int, slot: int, executor_id: str, hb_interval: float
+    host: str, port: int, slot: int, executor_id: str, hb_interval: float,
+    secret_hex: str,
 ) -> None:
     """Worker process entry point: one task slot, one socket, one loop.
 
@@ -99,6 +101,13 @@ def _cluster_worker_main(
     except OSError:
         return
     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        # prove we hold the cluster secret (shipped via the spawn args,
+        # never over the wire) before the driver will read a frame from us
+        frames.answer_challenge(conn, bytes.fromhex(secret_hex))
+    except (ConnectionError, OSError):
+        conn.close()
+        return
     conn.settimeout(None)
     send_lock = threading.Lock()
     if hb_interval > 0:
@@ -196,12 +205,18 @@ class ClusterManager:
         executor_cores: int,
         transport_scheme: str = "auto",
         hb_interval: float = 0.5,
+        transport_host: str = "127.0.0.1",
     ) -> None:
         self.num_executors = num_executors
         self.executor_cores = executor_cores
         self.hb_interval = hb_interval
+        #: per-cluster authkey (multiprocessing-style): workers receive it
+        #: via their spawn args and must answer the listener's HMAC
+        #: challenge before any frame of theirs is deserialized
+        self.secret = secrets.token_bytes(32)
         self.transport = create_transport(
-            transport_scheme, thread_prefix="repro-cluster-transport"
+            transport_scheme, thread_prefix="repro-cluster-transport",
+            host=transport_host,
         )
         self.hb_queue: "queue.Queue[Any]" = queue.Queue()
         self.stopped = False
@@ -252,7 +267,7 @@ class ClusterManager:
             proc = multiprocessing.Process(
                 target=_cluster_worker_main,
                 args=(host, int(port), handle.slot, handle.executor_id,
-                      self.hb_interval),
+                      self.hb_interval, self.secret.hex()),
                 name=f"repro-cluster-{handle.executor_id}-s{handle.slot}",
                 daemon=True,
             )
@@ -310,11 +325,17 @@ class ClusterManager:
             self._shipped.add(key)
             return True
 
-    def attach(self, ctx: "Context") -> None:
-        """Announce the fleet on a (new) driver's listener bus."""
+    def mark_attached(self) -> bool:
+        """Count one more driver attach; True if the fleet was already warm."""
         with self._lock:
             warm = self.jobs_attached > 0
             self.jobs_attached += 1
+            return warm
+
+    def attach(self, ctx: "Context") -> None:
+        """Announce the fleet on a (new) driver's listener bus."""
+        warm = self.mark_attached()
+        with self._lock:
             self._ctx = ctx
         for info in self.executor_info():
             ctx.listener_bus.post(ExecutorRegistered(
@@ -411,9 +432,19 @@ class ClusterManager:
                 return
             conn.setblocking(False)
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            # anonymous until its REGISTER frame arrives
+            # challenge immediately; the 37-byte frame always fits a fresh
+            # socket buffer, so a blocking-would-occur here means the peer
+            # is already broken and we just drop it
+            nonce = secrets.token_bytes(frames.AUTH_NONCE_LEN)
+            try:
+                conn.send(frames.encode_frame(frames.CHALLENGE, nonce))
+            except OSError:
+                conn.close()
+                continue
+            # anonymous (and untrusted) until AUTH + REGISTER arrive
             self._selector.register(
-                conn, selectors.EVENT_READ, {"parser": frames.FrameParser()}
+                conn, selectors.EVENT_READ,
+                {"parser": frames.FrameParser(), "nonce": nonce, "authed": False},
             )
 
     def _process_commands(self) -> None:
@@ -468,21 +499,37 @@ class ClusterManager:
             return
         for ftype, payload in parsed:
             if handle is None:
+                if not tag["authed"]:
+                    # first frame must be a valid AUTH answer to our nonce;
+                    # anything else is dropped before any deserialization
+                    if ftype == frames.AUTH and frames.auth_ok(
+                        self.secret, tag["nonce"], payload
+                    ):
+                        tag["authed"] = True
+                        continue
+                    self._drop_conn(sock)
+                    return
                 handle = self._on_register(sock, tag, ftype, payload)
                 if handle is None:
-                    return  # bogus first frame: connection dropped
+                    return  # bogus post-auth frame: connection dropped
             else:
                 self._on_frame(handle, ftype, payload)
+
+    def _drop_conn(self, sock: socket.socket) -> None:
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     def _on_register(
         self, sock: socket.socket, tag: dict, ftype: int, payload: bytes
     ) -> _WorkerHandle | None:
         if ftype != frames.REGISTER:
-            try:
-                self._selector.unregister(sock)
-            except (KeyError, ValueError):
-                pass
-            sock.close()
+            self._drop_conn(sock)
             return None
         info = pickle.loads(payload)
         handle = self.workers[info["slot"]]
@@ -617,11 +664,14 @@ def get_cluster(config: "EngineConfig") -> ClusterManager:
 
 def get_cluster_client(config: "EngineConfig") -> "ClusterClient":
     """A persistent client to an externally started head (memoized by address)."""
-    key = ("external", config.cluster_address)
+    secret = getattr(config, "cluster_secret", "")
+    key = ("external", config.cluster_address, secret)
     with _CLUSTERS_LOCK:
         client = _CLUSTERS.get(key)
         if client is None or client.stopped:
-            client = ClusterClient(config.cluster_address, config.heartbeat_interval)
+            client = ClusterClient(
+                config.cluster_address, config.heartbeat_interval, secret=secret
+            )
             _CLUSTERS[key] = client
         return client
 
@@ -695,15 +745,71 @@ class ClusterBackend:
 # -- external mode: head + client ---------------------------------------------
 
 
+def _resolve_secret(secret: str | None) -> bytes:
+    """The shared secret an external head requires, as HMAC key bytes."""
+    value = secret or os.environ.get("REPRO_CLUSTER_SECRET", "")
+    if not value:
+        raise ConnectionError(
+            "no cluster secret configured: set cluster_secret "
+            "(spark.cluster.secret), pass --secret, or export "
+            "REPRO_CLUSTER_SECRET with the value the head printed at start"
+        )
+    return value.encode("utf-8")
+
+
+class _ConnWriter:
+    """Per-connection outbound queue + writer thread.
+
+    Every frame to an external driver goes through here instead of a
+    blocking ``sendall`` in whichever thread produced it -- in particular
+    the manager's dispatch thread, which runs result-future callbacks.  A
+    stalled driver (full socket buffer, not reading) therefore backs up
+    only its own queue; dispatch, results, and heartbeats for everyone
+    else keep flowing.
+    """
+
+    def __init__(self, conn: socket.socket, name: str) -> None:
+        self.conn = conn
+        self.queue: "queue.Queue[tuple[int, bytes] | None]" = queue.Queue()
+        self.failed = False
+        self.thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self.thread.start()
+
+    def send(self, ftype: int, payload: bytes = b"") -> None:
+        self.queue.put((ftype, payload))
+
+    def pending(self) -> int:
+        return self.queue.qsize()
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            try:
+                frames.send_frame(self.conn, item[0], item[1])
+            except (ConnectionError, OSError):
+                self.failed = True
+                return
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        """Ask the writer to flush and exit; callers close the socket after."""
+        self.queue.put(None)
+        if self.thread is not threading.current_thread():
+            self.thread.join(timeout=join_timeout)
+
+
 class ClusterHead:
     """Standalone cluster head: a :class:`ClusterManager` plus a public TCP
     front door (``sparkscore cluster start``).
 
-    Connections self-identify by their first frame: REGISTER is an
-    (internal) worker, ATTACH an external driver, STATUS/SHUTDOWN the CLI.
-    Driver TASK frames are re-tokenized onto the manager and results routed
-    back with the driver's own token, so several drivers can share one
-    fleet without coordinating token spaces.
+    Every connection must pass the HMAC challenge for the head's shared
+    secret (``--secret`` / ``REPRO_CLUSTER_SECRET``) before its first real
+    frame is read.  Authenticated connections then self-identify: ATTACH
+    is an external driver, STATUS/SHUTDOWN the CLI.  Driver TASK frames
+    are re-tokenized onto the manager and results routed back with the
+    driver's own token, so several drivers can share one fleet without
+    coordinating token spaces.
     """
 
     def __init__(
@@ -713,16 +819,28 @@ class ClusterHead:
         host: str = "127.0.0.1",
         port: int = 7077,
         hb_interval: float = 0.5,
+        secret: str | None = None,
     ) -> None:
-        # blobs must be reachable from other processes, so the head always
-        # speaks the socket transport
+        if secret is None:
+            secret = os.environ.get("REPRO_CLUSTER_SECRET") or secrets.token_hex(16)
+        #: shared secret external drivers and the CLI must present; shown
+        #: once by ``sparkscore cluster start`` when auto-generated
+        self.secret = secret
+        self._secret_bytes = secret.encode("utf-8")
+        # blobs must be reachable from other hosts, so the head always
+        # speaks the socket transport -- bound to the same interface as
+        # the front door, not loopback, or remote drivers would dial
+        # their own 127.0.0.1 for every blob
         self.manager = ClusterManager(
-            num_executors, executor_cores, "tcp", hb_interval
+            num_executors, executor_cores, "tcp", hb_interval,
+            transport_host=host,
         )
         self._listener = socket.create_server((host, port))
-        self.address = "%s:%d" % (host, self._listener.getsockname()[1])
+        self.address = "%s:%d" % (
+            advertised_host(host), self._listener.getsockname()[1]
+        )
         self._stopped = threading.Event()
-        self._drivers: list[tuple[socket.socket, threading.Lock]] = []
+        self._drivers: list[_ConnWriter] = []
         self._lock = threading.Lock()
         self._accept = threading.Thread(
             target=self._accept_loop, name="repro-cluster-head", daemon=True
@@ -749,49 +867,50 @@ class ClusterHead:
 
     def _serve_conn(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        send_lock = threading.Lock()
+        writer: _ConnWriter | None = None
         attached = False
         try:
+            # challenge-response before the first frame is even read:
+            # nothing below deserializes bytes from an unproven peer
+            frames.expect_auth(conn, self._secret_bytes)
+            writer = _ConnWriter(conn, "repro-cluster-head-writer")
             while True:
                 received = frames.recv_frame(conn)
                 if received is None:
                     return
                 ftype, payload = received
                 if ftype == frames.ATTACH:
-                    with send_lock:
-                        frames.send_frame(conn, frames.ATTACH_REPLY, pickle.dumps({
-                            "num_executors": self.manager.num_executors,
-                            "executor_cores": self.manager.executor_cores,
-                            "executor_ids": sorted(
-                                {h.executor_id for h in self.manager.workers}
-                            ),
-                            "transport_spec": self.manager.transport.spec(),
-                            "warm": self.manager.jobs_attached > 0,
-                        }, protocol=pickle.HIGHEST_PROTOCOL))
-                    self.manager.jobs_attached += 1
+                    warm = self.manager.mark_attached()
+                    writer.send(frames.ATTACH_REPLY, pickle.dumps({
+                        "num_executors": self.manager.num_executors,
+                        "executor_cores": self.manager.executor_cores,
+                        "executor_ids": sorted(
+                            {h.executor_id for h in self.manager.workers}
+                        ),
+                        "transport_spec": self.manager.transport.spec(),
+                        "warm": warm,
+                    }, protocol=pickle.HIGHEST_PROTOCOL))
                     attached = True
                     with self._lock:
-                        self._drivers.append((conn, send_lock))
+                        self._drivers.append(writer)
                 elif ftype == frames.TASK:
                     token, eid, spec = frames.unpack_task(payload)
                     future = self.manager.submit(spec, eid)
                     future.add_done_callback(
-                        self._result_forwarder(conn, send_lock, token)
+                        self._result_forwarder(writer, token)
                     )
                 elif ftype == frames.BINARY_SHIPPED:
                     eid, binary_id = pickle.loads(payload)
                     self.manager.note_binary_shipped(eid, binary_id)
                 elif ftype == frames.STATUS:
-                    with send_lock:
-                        frames.send_frame(conn, frames.STATUS_REPLY, pickle.dumps(
-                            self.manager.executor_info(),
-                            protocol=pickle.HIGHEST_PROTOCOL,
-                        ))
+                    writer.send(frames.STATUS_REPLY, pickle.dumps(
+                        self.manager.executor_info(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ))
                     if not attached:
                         return
                 elif ftype == frames.SHUTDOWN:
-                    with send_lock:
-                        frames.send_frame(conn, frames.STATUS_REPLY, b"")
+                    writer.send(frames.STATUS_REPLY, b"")
                     self.stop()
                     return
                 else:
@@ -799,34 +918,32 @@ class ClusterHead:
         except (ConnectionError, OSError):
             return
         finally:
-            with self._lock:
-                self._drivers = [d for d in self._drivers if d[0] is not conn]
+            if writer is not None:
+                with self._lock:
+                    self._drivers = [d for d in self._drivers if d is not writer]
+                writer.stop()
             try:
                 conn.close()
             except OSError:
                 pass
 
-    def _result_forwarder(
-        self, conn: socket.socket, send_lock: threading.Lock, token: int
-    ):
+    def _result_forwarder(self, writer: _ConnWriter, token: int):
+        # runs in the manager's dispatch thread (future callbacks fire
+        # where set_result happens): must never block, so it only enqueues
         def _forward(done: concurrent.futures.Future) -> None:
-            try:
-                exc = done.exception()
-                if exc is None:
-                    ftype, body = frames.RESULT, done.result()
-                else:
-                    try:
-                        body = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
-                    except Exception:
-                        body = pickle.dumps(
-                            RuntimeError(f"{type(exc).__name__}: {exc}"),
-                            protocol=pickle.HIGHEST_PROTOCOL,
-                        )
-                    ftype = frames.TASK_ERROR
-                with send_lock:
-                    frames.send_frame(conn, ftype, frames.pack_token(token, body))
-            except (ConnectionError, OSError):
-                pass  # driver went away; the fleet keeps running
+            exc = done.exception()
+            if exc is None:
+                ftype, body = frames.RESULT, done.result()
+            else:
+                try:
+                    body = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    body = pickle.dumps(
+                        RuntimeError(f"{type(exc).__name__}: {exc}"),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                ftype = frames.TASK_ERROR
+            writer.send(ftype, frames.pack_token(token, body))
 
         return _forward
 
@@ -840,12 +957,11 @@ class ClusterHead:
             payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
             with self._lock:
                 drivers = list(self._drivers)
-            for conn, send_lock in drivers:
-                try:
-                    with send_lock:
-                        frames.send_frame(conn, frames.HEARTBEAT, payload)
-                except (ConnectionError, OSError):
-                    pass
+            for writer in drivers:
+                # heartbeats are advisory: skip drivers whose queue is
+                # already backed up rather than growing it without bound
+                if not writer.failed and writer.pending() < 512:
+                    writer.send(frames.HEARTBEAT, payload)
 
     def stop(self) -> None:
         if self._stopped.is_set():
@@ -867,12 +983,16 @@ class ClusterClient:
     connection; a reader thread resolves futures and feeds heartbeats.
     """
 
-    def __init__(self, address: str, hb_interval: float = 0.5) -> None:
+    def __init__(
+        self, address: str, hb_interval: float = 0.5, secret: str = ""
+    ) -> None:
         host, _, port = address.rpartition(":")
         self.address = address
         self.stopped = False
+        self._secret = secret
         self._sock = socket.create_connection((host, int(port)), timeout=30.0)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        frames.answer_challenge(self._sock, _resolve_secret(secret))
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
         with self._send_lock:
@@ -994,7 +1114,7 @@ class ClusterClient:
                 self._ctx = None
 
     def executor_info(self) -> list[dict]:
-        return cluster_status(self.address)
+        return cluster_status(self.address, self._secret or None)
 
     def decommission(self, executor_id: str, reason: str = "drain") -> None:
         raise RuntimeError("decommission an external cluster from its head CLI")
@@ -1012,9 +1132,10 @@ class ClusterClient:
 # -- CLI helpers ---------------------------------------------------------------
 
 
-def _head_request(address: str, ftype: int) -> bytes:
+def _head_request(address: str, ftype: int, secret: str | None = None) -> bytes:
     host, _, port = address.rpartition(":")
     with socket.create_connection((host, int(port)), timeout=10.0) as conn:
+        frames.answer_challenge(conn, _resolve_secret(secret))
         frames.send_frame(conn, ftype)
         reply = frames.recv_frame(conn)
         if reply is None or reply[0] != frames.STATUS_REPLY:
@@ -1022,14 +1143,14 @@ def _head_request(address: str, ftype: int) -> bytes:
         return reply[1]
 
 
-def cluster_status(address: str) -> list[dict]:
+def cluster_status(address: str, secret: str | None = None) -> list[dict]:
     """Executor-info list from an external head (``sparkscore cluster status``)."""
-    return pickle.loads(_head_request(address, frames.STATUS))
+    return pickle.loads(_head_request(address, frames.STATUS, secret))
 
 
-def cluster_shutdown(address: str) -> None:
+def cluster_shutdown(address: str, secret: str | None = None) -> None:
     """Stop an external head and its fleet (``sparkscore cluster stop``)."""
-    _head_request(address, frames.SHUTDOWN)
+    _head_request(address, frames.SHUTDOWN, secret)
 
 
 __all__ = [

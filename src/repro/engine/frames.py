@@ -21,6 +21,9 @@ natural cadence.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import secrets
 import socket
 import struct
 
@@ -30,7 +33,9 @@ _HEADER = struct.Struct("!IB")
 MAX_FRAME = 1 << 31
 
 # -- control plane ------------------------------------------------------------
-#: worker -> driver: pickled dict {slot, executor_id, pid, secret}
+#: worker -> driver: pickled dict {slot, executor_id, pid}; only accepted
+#: after the CHALLENGE/AUTH handshake has proven the peer holds the
+#: cluster secret -- no pickle ever touches unauthenticated bytes
 REGISTER = 1
 #: driver -> worker (or driver -> head): ``!QH`` token, executor-id length,
 #: executor id utf-8, task spec bytes (the executor id routes head-side;
@@ -59,6 +64,13 @@ ATTACH_REPLY = 11
 #: binary_id) so the head's shipped-binary index (``cluster status``
 #: ``binaries_cached``) stays truthful across drivers
 BINARY_SHIPPED = 12
+#: server -> connecting peer, first frame on every cluster socket: a
+#: random nonce the peer must answer before anything else is processed
+CHALLENGE = 13
+#: peer -> server: HMAC-SHA256(secret, nonce).  Connections whose first
+#: frame is not a valid AUTH are dropped on the floor; everything that
+#: pickles (REGISTER, HEARTBEAT, RESULT, BLOB_OFFER, ...) sits behind it
+AUTH = 14
 
 # -- blob transport (socket variant of repro.engine.transport) ---------------
 #: utf-8 key
@@ -104,6 +116,47 @@ def pack_token(token: int, payload: bytes) -> bytes:
 def unpack_token(frame: bytes) -> tuple[int, bytes]:
     (token,) = _TOKEN.unpack_from(frame)
     return token, bytes(frame[_TOKEN.size:])
+
+
+# -- authentication -----------------------------------------------------------
+
+#: bytes of random nonce in a CHALLENGE frame
+AUTH_NONCE_LEN = 32
+
+
+def auth_digest(secret: bytes, nonce: bytes) -> bytes:
+    """The expected AUTH payload for a given CHALLENGE nonce."""
+    return hmac.new(secret, nonce, hashlib.sha256).digest()
+
+
+def auth_ok(secret: bytes, nonce: bytes, digest: bytes) -> bool:
+    """Constant-time check of an AUTH payload against the nonce we issued."""
+    return hmac.compare_digest(auth_digest(secret, nonce), digest)
+
+
+def answer_challenge(sock: socket.socket, secret: bytes) -> None:
+    """Blocking client half of the handshake: read CHALLENGE, send AUTH."""
+    received = recv_frame(sock)
+    if received is None or received[0] != CHALLENGE:
+        raise ConnectionError("peer did not issue an auth challenge")
+    send_frame(sock, AUTH, auth_digest(secret, received[1]))
+
+
+def expect_auth(sock: socket.socket, secret: bytes) -> None:
+    """Blocking server half: send CHALLENGE, require a valid AUTH reply.
+
+    Raises :class:`ConnectionError` on anything else; callers drop the
+    connection without ever deserializing a byte from it.
+    """
+    nonce = secrets.token_bytes(AUTH_NONCE_LEN)
+    send_frame(sock, CHALLENGE, nonce)
+    received = recv_frame(sock)
+    if (
+        received is None
+        or received[0] != AUTH
+        or not auth_ok(secret, nonce, received[1])
+    ):
+        raise ConnectionError("peer failed cluster auth handshake")
 
 
 def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
@@ -179,8 +232,10 @@ class FrameParser:
 __all__ = [
     "REGISTER", "TASK", "RESULT", "TASK_ERROR", "HEARTBEAT", "DRAIN",
     "SHUTDOWN", "STATUS", "STATUS_REPLY", "ATTACH", "ATTACH_REPLY",
+    "BINARY_SHIPPED", "CHALLENGE", "AUTH", "AUTH_NONCE_LEN",
     "BLOB_GET", "BLOB_DATA", "BLOB_MISSING", "BLOB_OFFER", "BLOB_HAVE",
     "BLOB_WANT", "BLOB_PUSH", "BLOB_OK", "BLOB_DELETE",
     "pack_task", "unpack_task", "pack_token", "unpack_token",
+    "auth_digest", "auth_ok", "answer_challenge", "expect_auth",
     "encode_frame", "send_frame", "recv_frame", "FrameParser", "MAX_FRAME",
 ]

@@ -10,6 +10,9 @@ shared memory is unavailable -- and ships only a tiny
 :class:`SocketTransport`, serves the same refs over TCP with SHA-256
 dedup offers ahead of every payload push, so executors on *other hosts*
 (the persistent cluster's remote workers) speak the identical protocol.
+Socket connections authenticate with an HMAC challenge before any frame
+is processed; the shared secret rides inside the transport spec, which
+itself only travels over authenticated cluster channels.
 
 Key properties:
 
@@ -40,6 +43,7 @@ import secrets
 import socket
 import tempfile
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
@@ -47,6 +51,7 @@ __all__ = [
     "TransportRef",
     "Transport",
     "SocketTransport",
+    "advertised_host",
     "create_transport",
     "from_spec",
     "worker_transport",
@@ -65,6 +70,37 @@ class TransportRef:
 
 def _sha256(blob: bytes) -> str:
     return hashlib.sha256(blob).hexdigest()
+
+
+#: default byte budget for a socket transport's dedup'd blob store; a
+#: persistent head otherwise keeps every task binary ever offered for the
+#: life of the fleet
+_STORE_BUDGET = int(
+    os.environ.get("REPRO_TRANSPORT_STORE_BUDGET", 256 * 1024 * 1024)
+)
+
+
+def advertised_host(bind_host: str) -> str:
+    """A host other machines can dial when we bound a wildcard address.
+
+    Binding ``0.0.0.0`` is fine, *advertising* it in a transport spec is
+    not -- a remote driver would dial its own loopback.  Resolve the
+    machine's outbound address instead; concrete hosts pass through.
+    """
+    if bind_host not in ("", "0.0.0.0", "::"):
+        return bind_host
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        # no packet is sent; connect() just selects the outbound interface
+        probe.connect(("10.255.255.255", 1))
+        return probe.getsockname()[0]
+    except OSError:
+        try:
+            return socket.gethostbyname(socket.gethostname())
+        except OSError:
+            return "127.0.0.1"
+    finally:
+        probe.close()
 
 
 def _shm_usable() -> bool:
@@ -117,12 +153,23 @@ def _attach_shm(name: str):
 class Transport:
     """Driver- or worker-side handle to the payload store."""
 
-    def __init__(self, scheme: str, root: str) -> None:
+    def __init__(self, scheme: str, root: str, namespace: str | None = None) -> None:
         if scheme not in ("shm", "file"):
             raise ValueError(f"unknown transport scheme {scheme!r}")
         self.scheme = scheme
         self.root = root
+        #: per-handle token mixed into every dedup'd segment name: content
+        #: addressing must be deterministic *within* one transport (refs
+        #: ride in task closures, so a warm job has to regenerate the same
+        #: bytes) but never collide *across* driver processes -- a shared
+        #: system-wide name would let one driver's close() unlink a segment
+        #: another driver still references
+        self.namespace = namespace if namespace is not None else secrets.token_hex(6)
         self._lock = threading.Lock()
+        #: serializes dedup'd creates so a second put of the same content
+        #: waits for the first to finish copying instead of handing out a
+        #: ref to a half-written segment
+        self._create_lock = threading.Lock()
         #: content hash -> ref, for dedup'd puts
         self._by_hash: dict[str, TransportRef] = {}
         #: every ref this handle created (unlinked on close)
@@ -148,20 +195,28 @@ class Transport:
     def put(self, blob: bytes, dedup: bool = False) -> TransportRef:
         """Store ``blob``; returns a ref.  ``dedup=True`` keys by content."""
         content_hash = _sha256(blob) if dedup else None
-        if content_hash is not None:
+        if content_hash is None:
+            ref = self._write(blob, None)
+            with self._lock:
+                self._created.append(ref)
+                self.bytes_published += len(blob)
+            return ref
+        # dedup'd creates run one at a time: a concurrent put of the same
+        # content must either see the finished ref in _by_hash or wait here
+        # until the first writer has copied every byte -- never observe a
+        # freshly created but still-zeroed segment
+        with self._create_lock:
             with self._lock:
                 existing = self._by_hash.get(content_hash)
-            if existing is not None:
-                with self._lock:
+                if existing is not None:
                     self.dedup_hits += 1
-                return existing
-        ref = self._write(blob, content_hash)
-        with self._lock:
-            self._created.append(ref)
-            self.bytes_published += len(blob)
-            if content_hash is not None:
+                    return existing
+            ref = self._write(blob, content_hash)
+            with self._lock:
+                self._created.append(ref)
+                self.bytes_published += len(blob)
                 self._by_hash[content_hash] = ref
-        return ref
+            return ref
 
     def _write(self, blob: bytes, content_hash: str | None) -> TransportRef:
         # dedup'd payloads get *content-addressed* names: a republication of
@@ -173,7 +228,10 @@ class Transport:
         if self.scheme == "shm":
             from multiprocessing import shared_memory
 
-            name = f"repro-{content_hash[:24]}" if content_hash else None
+            name = (
+                f"repro-{self.namespace}-{content_hash[:16]}"
+                if content_hash else None
+            )
             try:
                 # size 0 segments are invalid; clamp to 1.  _ATTACH_LOCK keeps
                 # a concurrent _attach_shm from suppressing this create's
@@ -183,8 +241,20 @@ class Transport:
                         create=True, size=max(len(blob), 1), name=name
                     )
             except FileExistsError:
-                # same content already materialized by a concurrent put;
-                # the existing segment is byte-identical by construction
+                # only reachable when an earlier delete() of this handle's
+                # own segment failed to unlink (names are namespaced per
+                # handle, so no other process can own it); the content is
+                # identical by hash, but re-copy anyway so a half-dead
+                # leftover can never be served with stale bytes
+                seg = _attach_shm(name)
+                try:
+                    if seg.size < len(blob):
+                        raise RuntimeError(
+                            f"shm segment {name} too small for its content"
+                        )
+                    seg.buf[: len(blob)] = blob
+                finally:
+                    seg.close()
                 return TransportRef("shm", name, len(blob), content_hash)
             try:
                 seg.buf[: len(blob)] = blob
@@ -272,16 +342,34 @@ class SocketTransport:
 
     scheme = "tcp"
 
-    def __init__(self, addr: str, serving: bool = False) -> None:
+    def __init__(
+        self,
+        addr: str,
+        serving: bool = False,
+        secret: bytes | None = None,
+        store_budget: int | None = None,
+    ) -> None:
         self.addr = addr
         self._serving = serving
+        #: shared HMAC secret: the server challenges every connection and
+        #: drops it before the first deserialize unless the reply checks out
+        self.secret = secret if secret is not None else secrets.token_bytes(32)
+        #: byte budget for dedup'd (``sha256-``) blobs; oldest-touched are
+        #: evicted past it.  ``tok-`` blobs (one-shot result bodies) are
+        #: exempt: they are deleted explicitly as soon as the driver merges
+        #: them, while evicted content blobs just cost a re-offer/re-push.
+        self.store_budget = (
+            store_budget if store_budget is not None else _STORE_BUDGET
+        )
         self._lock = threading.Lock()
-        #: key -> blob (server side only)
-        self._store: dict[str, bytes] = {}
+        #: key -> blob (server side only), LRU order: oldest-touched first
+        self._store: "OrderedDict[str, bytes]" = OrderedDict()
+        self._store_bytes = 0
         #: content hash -> ref (server side dedup index; client side memo)
         self._by_hash: dict[str, TransportRef] = {}
         self.bytes_published = 0
         self.dedup_hits = 0
+        self.evictions = 0
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conn: socket.socket | None = None  # client-mode connection
@@ -294,11 +382,14 @@ class SocketTransport:
     def serve(
         cls, host: str = "127.0.0.1", port: int = 0,
         thread_prefix: str = "repro-transport",
+        secret: bytes | None = None,
     ) -> "SocketTransport":
         """Start a serving transport; returns once the listener is bound."""
         listener = socket.create_server((host, port))
         bound_port = listener.getsockname()[1]
-        transport = cls(f"{host}:{bound_port}", serving=True)
+        transport = cls(
+            f"{advertised_host(host)}:{bound_port}", serving=True, secret=secret
+        )
         transport._listener = listener
         accept = threading.Thread(
             target=transport._accept_loop,
@@ -310,8 +401,11 @@ class SocketTransport:
         accept.start()
         return transport
 
-    def spec(self) -> tuple[str, str]:
-        return ("tcp", self.addr)
+    def spec(self) -> tuple[str, str, str]:
+        # the secret rides in the spec: specs only travel over already
+        # authenticated channels (task payloads on cluster sockets, the
+        # head's ATTACH_REPLY), so holding a spec is holding the key
+        return ("tcp", self.addr, self.secret.hex())
 
     # -- server side -------------------------------------------------------
 
@@ -340,6 +434,9 @@ class SocketTransport:
         try:
             # close() may reap this conn before the handler thread gets here
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # challenge first: nothing below -- in particular the pickled
+            # BLOB_OFFER body -- is reachable by an unauthenticated peer
+            frames.expect_auth(conn, self.secret)
             while True:
                 received = frames.recv_frame(conn)
                 if received is None:
@@ -349,6 +446,8 @@ class SocketTransport:
                     key = payload.decode("utf-8")
                     with self._lock:
                         blob = self._store.get(key)
+                        if blob is not None:
+                            self._store.move_to_end(key)
                     if blob is None:
                         frames.send_frame(conn, frames.BLOB_MISSING, payload)
                     else:
@@ -390,15 +489,41 @@ class SocketTransport:
             content_hash = key[len("sha256-"):]
         ref = TransportRef("tcp", key, len(blob), content_hash)
         with self._lock:
-            if key not in self._store:
+            old = self._store.pop(key, None)
+            if old is None:
                 self.bytes_published += len(blob)
+            else:
+                self._store_bytes -= len(old)
             self._store[key] = blob
+            self._store_bytes += len(blob)
             if content_hash is not None:
                 self._by_hash[content_hash] = ref
+            self._evict_locked(keep=key)
+
+    def _evict_locked(self, keep: str) -> None:
+        """Drop oldest-touched dedup'd blobs past the byte budget.
+
+        Only ``sha256-`` keys are candidates: their eviction is recoverable
+        (the next offer gets WANT and re-pushes), while ``tok-`` result
+        bodies must survive until the driver's explicit delete.  ``keep``
+        (the blob just stored) is never evicted, even when it alone
+        overflows the budget.
+        """
+        if self._store_bytes <= self.store_budget:
+            return
+        for key in [k for k in self._store if k != keep and k.startswith("sha256-")]:
+            if self._store_bytes <= self.store_budget:
+                return
+            blob = self._store.pop(key)
+            self._store_bytes -= len(blob)
+            self._by_hash.pop(key[len("sha256-"):], None)
+            self.evictions += 1
 
     def _delete_key(self, key: str) -> None:
         with self._lock:
             blob = self._store.pop(key, None)
+            if blob is not None:
+                self._store_bytes -= len(blob)
             if blob is not None and key.startswith("sha256-"):
                 self._by_hash.pop(key[len("sha256-"):], None)
 
@@ -471,6 +596,8 @@ class SocketTransport:
         if self._serving:
             with self._lock:
                 blob = self._store.get(ref.key)
+                if blob is not None:
+                    self._store.move_to_end(ref.key)
             if blob is None:
                 raise KeyError(f"transport blob {ref.key!r} not found")
             return blob
@@ -507,9 +634,17 @@ class SocketTransport:
 
     def _connect_locked(self) -> socket.socket:
         if self._conn is None:
+            from repro.engine import frames
+
             host, _, port = self.addr.rpartition(":")
-            self._conn = socket.create_connection((host, int(port)), timeout=30.0)
-            self._conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = socket.create_connection((host, int(port)), timeout=30.0)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                frames.answer_challenge(conn, self.secret)
+            except (ConnectionError, OSError):
+                conn.close()
+                raise
+            self._conn = conn
         return self._conn
 
     # -- lifecycle ---------------------------------------------------------
@@ -539,6 +674,7 @@ class SocketTransport:
             # unblock handler threads waiting in recv_frame on live clients
             conns, self._server_conns = self._server_conns, []
             self._store.clear()
+            self._store_bytes = 0
             self._by_hash.clear()
         for conn in conns:
             try:
@@ -556,13 +692,16 @@ class SocketTransport:
 
 
 def create_transport(
-    scheme: str = "auto", thread_prefix: str = "repro-transport"
+    scheme: str = "auto",
+    thread_prefix: str = "repro-transport",
+    host: str = "127.0.0.1",
 ) -> "Transport | SocketTransport":
     """Factory over the transport variants.
 
     ``auto`` probes shared memory and falls back to temp files; ``shm`` /
     ``file`` force one local scheme; ``tcp`` starts a serving socket
-    transport on loopback (executors on other hosts reach it by address).
+    transport bound to ``host`` (executors on other hosts reach it by the
+    advertised address in its spec).
     """
     if scheme == "auto":
         return Transport.create()
@@ -573,7 +712,7 @@ def create_transport(
     if scheme == "file":
         return Transport("file", tempfile.mkdtemp(prefix="repro-transport-"))
     if scheme == "tcp":
-        return SocketTransport.serve(thread_prefix=thread_prefix)
+        return SocketTransport.serve(host=host, thread_prefix=thread_prefix)
     raise ValueError(f"unknown transport scheme {scheme!r}")
 
 
@@ -583,13 +722,20 @@ _WORKER: dict[str, Any] = {"spec": None, "transport": None}
 _WORKER_LOCK = threading.Lock()
 
 
-def from_spec(spec: tuple[str, str]) -> "Transport | SocketTransport":
-    """Worker-side: rebuild (and memoize) a transport handle from its spec."""
+def from_spec(spec: tuple) -> "Transport | SocketTransport":
+    """Worker-side: rebuild (and memoize) a transport handle from its spec.
+
+    Specs are ``(scheme, root)`` for the local variants and
+    ``("tcp", addr, secret_hex)`` for the socket transport.
+    """
+    spec = tuple(spec)
     with _WORKER_LOCK:
         if _WORKER["spec"] != spec:
             _WORKER["spec"] = spec
             if spec[0] == "tcp":
-                _WORKER["transport"] = SocketTransport(spec[1])
+                _WORKER["transport"] = SocketTransport(
+                    spec[1], secret=bytes.fromhex(spec[2])
+                )
             else:
                 _WORKER["transport"] = Transport(spec[0], spec[1])
         return _WORKER["transport"]

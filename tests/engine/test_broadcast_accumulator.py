@@ -36,6 +36,27 @@ class TestBroadcast:
         b.destroy()
         assert "destroyed" in repr(b)
 
+    def test_worker_memo_is_lru_capped(self, monkeypatch):
+        # persistent executors hold the memo for the life of the fleet, so
+        # it must evict rather than accumulate every broadcast ever seen
+        from repro.engine import broadcast as bc
+        from repro.engine import transport as tp
+
+        t = tp.Transport.create()
+        monkeypatch.setattr(bc, "_WORKER_VALUES_MAX", 2)
+        monkeypatch.setattr(tp, "_WORKER", {"spec": t.spec(), "transport": t})
+        bc._WORKER_VALUES.clear()
+        try:
+            for i in range(4):
+                b = Broadcast(i, list(range(i, i + 2000)), transport=t,
+                              transport_min=0)
+                clone = pickle.loads(pickle.dumps(b))
+                assert clone.value[0] == i  # fetched by ref through the memo
+            assert len(bc._WORKER_VALUES) == 2
+        finally:
+            bc._WORKER_VALUES.clear()
+            t.close()
+
 
 class TestAccumulator:
     def test_task_side_adds_merge_at_driver(self, ctx):

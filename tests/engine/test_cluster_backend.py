@@ -268,26 +268,73 @@ class TestBitEquivalence:
         )
 
 
+class TestListenerAuth:
+    """The manager's worker listener drops peers that fail the handshake."""
+
+    def test_unauthenticated_peer_dropped(self):
+        import socket as socketlib
+
+        from repro.engine import frames as fr
+
+        manager = ClusterManager(num_executors=1, executor_cores=1)
+        try:
+            host, _, port = manager.address.rpartition(":")
+            with socketlib.create_connection((host, int(port)), timeout=5.0) as conn:
+                challenge = fr.recv_frame(conn)
+                assert challenge is not None and challenge[0] == fr.CHALLENGE
+                # wrong digest, then a REGISTER that must never be unpickled
+                fr.send_frame(conn, fr.AUTH, b"\x00" * 32)
+                fr.send_frame(conn, fr.REGISTER, b"crafted pickle payload")
+                conn.settimeout(5.0)
+                try:
+                    data = conn.recv(1)
+                except OSError:
+                    data = b""
+                assert data == b""  # dropped without a reply
+            # the real (authenticated) fleet is untouched
+            assert all(h.alive for h in manager.workers)
+        finally:
+            manager.stop()
+
+
 class TestExternalHead:
     def test_attach_run_status_stop(self):
         head = ClusterHead(num_executors=1, executor_cores=2, port=0)
         try:
             config = _cluster_config(
                 num_executors=1, cluster_address=head.address,
+                cluster_secret=head.secret,
             )
             with Context(config) as ctx:
                 got = ctx.parallelize(range(20), 4).map(_square).collect()
             assert got == [x * x for x in range(20)]
 
-            rows = cluster_status(head.address)
+            rows = cluster_status(head.address, head.secret)
             assert [r["executor_id"] for r in rows] == ["exec-0"]
             assert rows[0]["tasks_done"] >= 4
 
-            cluster_shutdown(head.address)
+            cluster_shutdown(head.address, head.secret)
             deadline = time.monotonic() + 5.0
             while time.monotonic() < deadline and not head.manager.stopped:
                 time.sleep(0.05)
             assert head.manager.stopped
+        finally:
+            head.stop()
+
+    def test_head_requires_secret(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_SECRET", raising=False)
+        head = ClusterHead(num_executors=1, executor_cores=1, port=0)
+        try:
+            # wrong secret: the head drops the connection at the handshake,
+            # before any frame of ours is deserialized
+            with pytest.raises((ConnectionError, OSError)):
+                cluster_status(head.address, "wrong-" + head.secret)
+            # missing secret (no env fallback): refused client-side
+            with pytest.raises(ConnectionError, match="secret"):
+                cluster_status(head.address, None)
+            # the right secret still works after the failed attempts
+            rows = cluster_status(head.address, head.secret)
+            assert [r["executor_id"] for r in rows] == ["exec-0"]
         finally:
             head.stop()
 

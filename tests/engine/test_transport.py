@@ -142,7 +142,7 @@ class TestRefEquality:
 def socket_pair():
     """A serving socket transport plus a client handle dialed into it."""
     server = SocketTransport.serve()
-    client = SocketTransport(server.addr)
+    client = SocketTransport(server.addr, secret=server.secret)
     yield server, client
     client.close()
     server.close()
@@ -183,7 +183,7 @@ class TestSocketTransport:
         published = client.bytes_published
         # a *different* client handle with a cold memo: only the offer
         # (hash + size) crosses the wire, the server answers BLOB_HAVE
-        fresh = SocketTransport(server.addr)
+        fresh = SocketTransport(server.addr, secret=server.secret)
         try:
             r2 = fresh.put(blob, dedup=True)
         finally:
@@ -216,7 +216,7 @@ class TestSocketTransport:
         blob = b"dedup reset" * 300
         ref = client.put(blob, dedup=True)
         client.delete(ref)
-        fresh = SocketTransport(server.addr)
+        fresh = SocketTransport(server.addr, secret=server.secret)
         try:
             again = fresh.put(blob, dedup=True)
         finally:
@@ -235,3 +235,82 @@ class TestSocketTransport:
         _, client = socket_pair
         ref = client.put(b"")
         assert client.get(ref) == b""
+
+
+class TestSocketAuth:
+    """Connections that cannot answer the HMAC challenge are dropped."""
+
+    def test_wrong_secret_rejected(self, socket_pair):
+        server, _ = socket_pair
+        intruder = SocketTransport(server.addr, secret=b"not the secret")
+        try:
+            with pytest.raises((ConnectionError, OSError)):
+                intruder.put(b"payload", dedup=True)
+        finally:
+            intruder.close()
+        # the fleet keeps serving authenticated peers afterwards
+        good = SocketTransport(server.addr, secret=server.secret)
+        try:
+            assert good.get(good.put(b"still alive")) == b"still alive"
+        finally:
+            good.close()
+
+    def test_spec_carries_secret(self, socket_pair):
+        server, _ = socket_pair
+        scheme, addr, secret_hex = server.spec()
+        assert scheme == "tcp" and addr == server.addr
+        assert bytes.fromhex(secret_hex) == server.secret
+
+
+class TestStoreEviction:
+    """The serving store keeps dedup'd blobs under a byte budget."""
+
+    def test_oldest_dedup_blob_evicted(self, socket_pair):
+        server, client = socket_pair
+        server.store_budget = 3000
+        first = client.put(b"a" * 2000, dedup=True)
+        second = client.put(b"b" * 2000, dedup=True)  # pushes store past budget
+        assert server.evictions == 1
+        with pytest.raises(KeyError):
+            server.get(first)
+        assert server.get(second) == b"b" * 2000
+        # the evicted hash left the dedup index: a re-offer re-pushes
+        fresh = SocketTransport(server.addr, secret=server.secret)
+        try:
+            again = fresh.put(b"a" * 2000, dedup=True)
+            assert fresh.bytes_published == 2000
+            assert server.get(again) == b"a" * 2000
+        finally:
+            fresh.close()
+
+    def test_result_blobs_never_evicted(self, socket_pair):
+        server, client = socket_pair
+        server.store_budget = 1000
+        result = client.put(b"r" * 5000)  # tok- key, exempt from eviction
+        client.put(b"c" * 5000, dedup=True)
+        assert server.get(result) == b"r" * 5000
+
+
+class TestShmNamespace:
+    """Dedup'd segment names are namespaced per transport handle."""
+
+    def test_two_handles_never_share_segments(self):
+        t1 = Transport.create()
+        t2 = Transport.create()
+        try:
+            blob = b"shared content" * 500
+            r1 = t1.put(blob, dedup=True)
+            r2 = t2.put(blob, dedup=True)
+            assert r1.key != r2.key  # no cross-handle unlink hazard
+            # closing one handle must not strand the other's ref
+            t1.close()
+            assert t2.get(r2) == blob
+        finally:
+            t2.close()
+
+    def test_namespace_stable_within_handle(self, transport):
+        blob = b"stable" * 400
+        r1 = transport.put(blob, dedup=True)
+        transport.delete(r1)
+        r2 = transport.put(blob, dedup=True)
+        assert r1.key == r2.key  # refs in task closures stay byte-identical
