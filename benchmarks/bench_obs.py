@@ -7,7 +7,11 @@ Three legs, one report (``BENCH_obs.json``):
    capture, log file, event log, diagnostics, the metrics sampler
    feeding the TSDB, and the alert engine evaluating the built-in
    rules every tick).  The whole observability plane must cost less
-   than ``--max-overhead-pct`` (default 10%) of wall-clock.
+   than ``--max-overhead-pct`` (default 10%) of wall-clock.  The leg
+   runs once per ``--overhead-backend`` (default: processes *and* the
+   persistent cluster, whose trace propagation and FleetStats fold
+   points ride in the task envelope and dispatch loop) and every
+   backend must hold the same budget.
 
 2. **Skew recovery** -- a heavy-tailed workload runs skewed, its event
    log is fed to the advisor (the same engine behind ``sparkscore
@@ -94,15 +98,18 @@ def _best_wall(ctx: Context, items: list[int], partitions: int, task,
     return min(walls)
 
 
-def bench_overhead(args, burn: _Burn) -> dict:
+def bench_overhead(args, burn: _Burn, backend: str) -> dict:
     """Balanced workload, bare vs fully-instrumented contexts.
 
     The two contexts stay open together and the repeats alternate between
     them, so slow load drift on the host hits both sides equally instead
-    of masquerading as (or masking) instrumentation cost.
+    of masquerading as (or masking) instrumentation cost.  On the cluster
+    backend both contexts share one persistent fleet, so the comparison
+    additionally prices the fleet's observability fold points (trace
+    context in every envelope, FleetStats sampling in the dispatch loop).
     """
     items = [1] * (args.partitions * 4)
-    config = _make_config(args, args.overhead_backend)
+    config = _make_config(args, backend)
 
     with tempfile.TemporaryDirectory() as tmp:
         with Context(config, log_level="warning") as bare_ctx, Context(
@@ -128,11 +135,12 @@ def bench_overhead(args, burn: _Burn) -> dict:
 
     overhead_pct = (loaded - bare) / bare * 100.0
     print(
-        f"  overhead: bare {bare:6.3f}s, instrumented {loaded:6.3f}s "
+        f"  overhead[{backend}]: bare {bare:6.3f}s, instrumented {loaded:6.3f}s "
         f"-> {overhead_pct:+.1f}% (budget {args.max_overhead_pct:.0f}%, "
         f"{sampler_ticks} sampler ticks, {alert_evaluations} alert passes)"
     )
     return {
+        "backend": backend,
         "bare_wall_seconds": bare,
         "instrumented_wall_seconds": loaded,
         "overhead_pct": overhead_pct,
@@ -233,10 +241,11 @@ def bench_postmortem_smoke(args) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--overhead-backend",
-                        choices=["serial", "threads", "processes"],
-                        default="processes",
-                        help="backend for the overhead leg (skew leg is threads)")
+    parser.add_argument("--overhead-backend", nargs="+",
+                        choices=["serial", "threads", "processes", "cluster"],
+                        default=["processes", "cluster"],
+                        help="backend(s) for the overhead leg, each gated on "
+                             "the same budget (skew leg is threads)")
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--executors", type=int, default=2)
     parser.add_argument("--cores", type=int, default=2)
@@ -255,8 +264,17 @@ def main(argv: list[str] | None = None) -> int:
 
     burn = _Burn(args.unit_iters)
 
-    print("observability overhead:")
-    overhead = bench_overhead(args, burn)
+    overhead_by_backend = {}
+    for backend in args.overhead_backend:
+        print(f"observability overhead ({backend}):")
+        overhead_by_backend[backend] = bench_overhead(args, burn, backend)
+    overhead = overhead_by_backend[args.overhead_backend[0]]
+    if "cluster" in overhead_by_backend:
+        # the overhead fleet served its purpose; later legs use their own
+        # backends and the report should not leak a running cluster
+        from repro.engine.cluster_backend import stop_all_clusters
+
+        stop_all_clusters()
 
     print("skew recovery:")
     recovery = bench_skew_recovery(args)
@@ -277,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "cpu_count": os.cpu_count(),
         "overhead": overhead,
+        "overhead_by_backend": overhead_by_backend,
         "skew_recovery": recovery,
         "postmortem_smoke": postmortem,
     }
@@ -284,10 +303,12 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, fh, indent=2)
     print(f"\nreport written to {args.output}")
 
-    assert overhead["within_budget"], (
-        f"observability overhead {overhead['overhead_pct']:.1f}% exceeds "
-        f"{args.max_overhead_pct:.0f}% budget"
-    )
+    for backend, leg in overhead_by_backend.items():
+        assert leg["within_budget"], (
+            f"observability overhead on {backend} "
+            f"{leg['overhead_pct']:.1f}% exceeds "
+            f"{args.max_overhead_pct:.0f}% budget"
+        )
     assert recovery["improvement_pct"] > 0, (
         "applying the doctor's repartition advice did not improve wall-clock"
     )

@@ -229,6 +229,16 @@ def _add_cluster(sub: argparse._SubParsersAction) -> None:
     status.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
     status.add_argument("--secret", default=None, metavar="TOKEN",
                         help="head auth secret (default: $REPRO_CLUSTER_SECRET)")
+    top = cluster_sub.add_parser(
+        "top", help="live per-executor occupancy/queue/warmth view of a fleet"
+    )
+    top.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
+    top.add_argument("--secret", default=None, metavar="TOKEN",
+                     help="head auth secret (default: $REPRO_CLUSTER_SECRET)")
+    top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                     help="refresh interval (default: 1.0)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="exit after N refreshes (default: run until ^C)")
     stop = cluster_sub.add_parser("stop", help="shut the head and its fleet down")
     stop.add_argument("--address", default="127.0.0.1:7077", metavar="HOST:PORT")
     stop.add_argument("--secret", default=None, metavar="TOKEN",
@@ -506,6 +516,22 @@ def cmd_history(args: argparse.Namespace) -> int:
                 t["executor_id"] for t in timeouts
             )
         print(line)
+    from repro.engine.eventlog import read_fleet
+
+    fleet = read_fleet(args.event_log)
+    if fleet:
+        snap = fleet[-1]
+        warm = snap.get("warm") or {}
+        drivers = snap.get("tasks_by_driver") or {}
+        line = (f"\n   fleet (v6 side channel): up "
+                f"{snap.get('uptime_seconds', 0.0):,.0f}s at log time, "
+                f"{snap.get('jobs_served', 0)} job(s) served across "
+                f"{len(drivers)} driver(s), "
+                f"{snap.get('tasks_completed', 0)} task(s)")
+        if warm.get("warm_bytes_saved"):
+            line += (f", {warm['warm_bytes_saved'] / (1 << 20):,.1f} MiB "
+                     f"warm-cache bytes saved")
+        print(line)
     if args.series:
         from repro.engine.eventlog import read_alerts, read_series, series_to_points
 
@@ -552,7 +578,7 @@ def _series_label(key: tuple) -> str:
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:
-    from repro.engine.eventlog import read_event_log, read_telemetry
+    from repro.engine.eventlog import read_event_log, read_fleet, read_telemetry
     from repro.obs.advisor import (
         cache_pressure_from_jobs,
         diagnose,
@@ -573,7 +599,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     else:
         paths = [args.path]
 
-    jobs, telemetry, read = [], [], []
+    jobs, telemetry, fleet, read = [], [], [], []
     for path in paths:
         try:
             jobs.extend(read_event_log(path))
@@ -586,6 +612,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                 return 1
             continue  # directories may hold other JSONL (log files, traces)
         telemetry.extend(read_telemetry(path))
+        fleet.extend(read_fleet(path))
         read.append(path)
     if scan_dir and not read:
         print(f"no readable event logs in {args.path}", file=sys.stderr)
@@ -602,7 +629,15 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     else:
         n_stages = sum(len(j.stages) for j in jobs)
         print(f"doctor: examined {len(jobs)} job(s), {n_stages} stage(s) "
-              f"from {len(read)} log(s)\n")
+              f"from {len(read)} log(s)")
+        if fleet:
+            snap = fleet[-1]
+            warm = snap.get("warm") or {}
+            print(f"fleet context: {snap.get('jobs_served', 0)} job(s) on a "
+                  f"persistent fleet, {snap.get('tasks_completed', 0)} "
+                  f"task(s), {warm.get('warm_bytes_saved', 0) / (1 << 20):,.1f} "
+                  f"MiB warm-cache bytes saved")
+        print()
         print(render_recommendations(recs), end="")
     if getattr(args, "strict", False):
         from repro.obs.advisor import SEVERITIES
@@ -737,11 +772,69 @@ def cmd_postmortem(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_series(snap: dict, name: str) -> "dict[str, list[float]]":
+    """Per-executor value lists for one fleet series name."""
+    out: dict[str, list[float]] = {}
+    for series in snap.get("series", ()):
+        if series.get("name") != name:
+            continue
+        eid = (series.get("labels") or {}).get("executor_id", "")
+        out[eid] = [v for _, v in series.get("samples", ())]
+    return out
+
+
+def _render_fleet_top(address: str, snap: dict) -> str:
+    """One ``cluster top`` frame: fleet totals + a per-executor table."""
+    warm = snap.get("warm") or {}
+    lines = [
+        f"fleet at {address}  up {snap.get('uptime_seconds', 0.0):,.0f}s  "
+        f"jobs {snap.get('jobs_served', 0)}  "
+        f"tasks {snap.get('tasks_completed', 0)} "
+        f"({snap.get('task_errors', 0)} err)  "
+        f"heartbeats {snap.get('heartbeats_received', 0)}",
+        f"warm cache: {warm.get('binaries_cached', 0)} binaries, "
+        f"{warm.get('warm_bytes_saved', 0) / (1 << 20):,.1f} MiB saved, "
+        f"dedup hit rate {warm.get('dedup_hit_rate', 0.0):.0%}  "
+        f"frames in/out {snap.get('frame_bytes_in', 0) / (1 << 20):,.1f}/"
+        f"{snap.get('frame_bytes_out', 0) / (1 << 20):,.1f} MiB",
+    ]
+    drivers = snap.get("tasks_by_driver") or {}
+    if drivers:
+        lines.append("drivers: " + "  ".join(
+            f"{d[:12]}={n}" for d, n in sorted(drivers.items())
+        ))
+    occupancy = _fleet_series(snap, "fleet_slot_occupancy")
+    depth = _fleet_series(snap, "fleet_queue_depth")
+    rss = _fleet_series(snap, "fleet_executor_rss_bytes")
+    lines.append("")
+    lines.append(f"  {'executor':<10} {'state':<12} {'occ':<5} {'queue':<5} "
+                 f"{'rss MiB':<8} {'done':<6} occupancy trend")
+    for row in snap.get("executors", ()):
+        eid = row.get("executor_id", "?")
+        occ = occupancy.get(eid, [])
+        lines.append(
+            f"  {eid:<10} {row.get('state', '?'):<12} "
+            f"{(occ[-1] if occ else 0.0):<5.0%} "
+            f"{int((depth.get(eid) or [0])[-1]):<5} "
+            f"{(rss.get(eid) or [0])[-1] / (1 << 20):<8,.0f} "
+            f"{row.get('tasks_done', 0):<6} "
+            f"{_sparkline(occ)}"
+        )
+    lifecycle = snap.get("lifecycle") or []
+    if lifecycle:
+        tail = lifecycle[-3:]
+        lines.append("recent lifecycle: " + "; ".join(
+            f"{eid} -> {state}" for _, eid, state in tail
+        ))
+    return "\n".join(lines)
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.engine.cluster_backend import (
         ClusterHead,
         cluster_shutdown,
         cluster_status,
+        fleet_status,
     )
 
     if args.cluster_command == "start":
@@ -781,7 +874,40 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                   f"inflight={row['inflight']} tasks_done={row['tasks_done']} "
                   f"binaries_cached={row['binaries_cached']} "
                   f"{'warm' if row['warm'] else 'cold'}")
+        try:
+            snap = fleet_status(args.address, args.secret)
+        except (ConnectionError, OSError):
+            snap = None  # pre-fleet head: the executor table stands alone
+        if snap is not None:
+            warm = snap.get("warm") or {}
+            print(f"fleet: up {snap.get('uptime_seconds', 0.0):,.0f}s, "
+                  f"{snap.get('jobs_served', 0)} job(s) served, "
+                  f"{snap.get('tasks_completed', 0)} task(s) completed, "
+                  f"{warm.get('warm_bytes_saved', 0) / (1 << 20):,.1f} MiB "
+                  f"warm-cache bytes saved")
         return 0
+
+    if args.cluster_command == "top":
+        import time as _time
+
+        shown = 0
+        try:
+            while True:
+                try:
+                    snap = fleet_status(args.address, args.secret)
+                except (ConnectionError, OSError) as exc:
+                    print(f"no cluster head at {args.address}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                if shown:
+                    print("\x1b[2J\x1b[H", end="")  # clear + home between frames
+                print(_render_fleet_top(args.address, snap), flush=True)
+                shown += 1
+                if args.iterations is not None and shown >= args.iterations:
+                    return 0
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
     try:
         cluster_shutdown(args.address, args.secret)

@@ -257,6 +257,8 @@ def _run_pickled_task(payload: bytes) -> bytes:
         block_manager=block_manager,
         block_master=None,
         accumulators=AccumulatorBuffer(binary.accumulators),
+        trace_id=spec.get("trace_id"),
+        parent_span_id=spec.get("parent_span_id"),
     )
     tc.prefetched_shuffle = spec["prefetched_shuffle"]
     for block_id, frame in spec["cached_blocks"].items():
@@ -327,6 +329,13 @@ def _run_pickled_task(payload: bytes) -> bytes:
         "registry_delta": REGISTRY.collect_delta(registry_baseline),
         "log_records": [r.to_dict() for r in log_records],
         "worker_pid": os.getpid(),
+        # echo the trace context so the driver can verify the worker ran
+        # under the expected trace (multi-driver fleets) and stamp it on
+        # the fragments' spans
+        "trace": {
+            "trace_id": spec.get("trace_id"),
+            "parent_span_id": spec.get("parent_span_id"),
+        },
     }
     serialize_start = time.perf_counter()
     body = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)

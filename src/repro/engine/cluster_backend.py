@@ -56,6 +56,7 @@ from repro.engine import frames
 from repro.engine.executor import ExecutorLostError
 from repro.engine.listener import ExecutorDecommissioned, ExecutorRegistered
 from repro.engine.transport import advertised_host, create_transport, from_spec
+from repro.obs.fleet import FleetStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.config import EngineConfig
@@ -222,8 +223,14 @@ class ClusterManager:
         self.stopped = False
         #: attach() calls so far; >0 means the fleet is warm for the next one
         self.jobs_attached = 0
+        #: cluster-resident observability plane: lives (and keeps its
+        #: series) as long as the manager, across every driver attach
+        self.fleet = FleetStats()
         self._ctx: "Context | None" = None
         self._tokens = itertools.count(1)
+        #: token -> submitting driver label, for per-driver throughput
+        self._token_driver: dict[int, str] = {}
+        self._last_fleet_sample = 0.0
         self._lock = threading.Lock()
         self._cmds: deque = deque()
         self._exec_state: dict[str, str] = {}
@@ -246,6 +253,7 @@ class ClusterManager:
         ]
         for eid in {h.executor_id for h in self.workers}:
             self._exec_state[eid] = "starting"
+            self.fleet.note_lifecycle(eid, "starting")
         self._spawn_workers()
 
         self._selector = selectors.DefaultSelector()
@@ -285,12 +293,22 @@ class ClusterManager:
                 )
         for eid in self._exec_state:
             self._exec_state[eid] = "registered"
+            self.fleet.note_lifecycle(eid, "registered")
 
     # -- backend interface -------------------------------------------------
 
-    def submit(self, payload: bytes, executor_id: str) -> concurrent.futures.Future:
-        """Queue one task on the named executor's least-loaded alive slot."""
+    def submit(
+        self, payload: bytes, executor_id: str, driver: str | None = None
+    ) -> concurrent.futures.Future:
+        """Queue one task on the named executor's least-loaded alive slot.
+
+        ``driver`` labels this submission for the fleet's per-driver
+        throughput series; the head passes its per-connection label, the
+        in-process path defaults to the attached context's trace id.
+        """
         future: concurrent.futures.Future = concurrent.futures.Future()
+        if driver is None:
+            driver = self.fleet.current_driver()
         with self._lock:
             if self.stopped:
                 future.set_exception(RuntimeError("cluster is stopped"))
@@ -307,6 +325,7 @@ class ClusterManager:
             handle = min(candidates, key=lambda h: len(h.inflight))
             token = next(self._tokens)
             handle.inflight[token] = future
+            self._token_driver[token] = driver
             self._cmds.append(("send", handle, frames.encode_frame(
                 frames.TASK, frames.pack_task(token, executor_id, payload)
             )))
@@ -335,6 +354,7 @@ class ClusterManager:
     def attach(self, ctx: "Context") -> None:
         """Announce the fleet on a (new) driver's listener bus."""
         warm = self.mark_attached()
+        self.fleet.note_attach(getattr(ctx, "trace_id", None))
         with self._lock:
             self._ctx = ctx
         for info in self.executor_info():
@@ -350,6 +370,11 @@ class ClusterManager:
         with self._lock:
             if self._ctx is ctx:
                 self._ctx = None
+        self.fleet.note_detach()
+
+    def fleet_snapshot(self, window: float | None = None) -> dict:
+        """The cluster-resident observability snapshot (``/api/fleet``)."""
+        return self.fleet.snapshot(self, window)
 
     def executor_info(self) -> list[dict]:
         """Per-executor lifecycle/warmth snapshot (CLI status, /api/executors)."""
@@ -389,6 +414,8 @@ class ClusterManager:
                 self._cmds.append(("send", handle, frames.encode_frame(frames.DRAIN)))
             if targets:
                 self._exec_state[executor_id] = "draining"
+        if targets:
+            self.fleet.note_lifecycle(executor_id, "draining")
         self._wake()
 
     # -- dispatch loop -----------------------------------------------------
@@ -423,6 +450,13 @@ class ClusterManager:
                     if isinstance(tag, _WorkerHandle) or isinstance(tag, dict):
                         self._on_disconnect(key.fileobj, tag if isinstance(tag, _WorkerHandle) else None)
             self._process_commands()
+            now = time.monotonic()
+            if now - self._last_fleet_sample >= 1.0:
+                self._last_fleet_sample = now
+                try:
+                    self.fleet.sample(self)
+                except Exception:
+                    pass  # observability must never stall dispatch
 
     def _accept_pending(self) -> None:
         while True:
@@ -470,6 +504,7 @@ class ClusterManager:
             try:
                 sent = sock.send(handle.outbuf)
                 del handle.outbuf[:sent]
+                self.fleet.note_frame_bytes(bytes_out=sent)
             except (BlockingIOError, InterruptedError):
                 pass
             except OSError:
@@ -491,6 +526,7 @@ class ClusterManager:
         if not data:
             self._on_disconnect(sock, handle)
             return
+        self.fleet.note_frame_bytes(bytes_in=len(data))
         parser = handle.parser if handle is not None else tag["parser"]
         try:
             parsed = parser.feed(data)
@@ -547,6 +583,10 @@ class ClusterManager:
             with self._lock:
                 future = handle.inflight.pop(token, None)
                 handle.tasks_done += 1
+                driver = self._token_driver.pop(token, None)
+            self.fleet.note_task_done(
+                handle.executor_id, driver, ok=ftype == frames.RESULT
+            )
             if future is None or future.cancelled():
                 return  # attempt abandoned after a heartbeat timeout
             try:
@@ -557,7 +597,9 @@ class ClusterManager:
             except concurrent.futures.InvalidStateError:
                 pass
         elif ftype == frames.HEARTBEAT:
-            self.hb_queue.put(pickle.loads(payload))
+            record = pickle.loads(payload)
+            self.fleet.note_heartbeat(record)
+            self.hb_queue.put(record)
 
     def _on_disconnect(self, sock: socket.socket, handle: _WorkerHandle | None) -> None:
         try:
@@ -588,6 +630,11 @@ class ClusterManager:
                 self._exec_state[handle.executor_id] = (
                     "decommissioned" if was_draining else "lost"
                 )
+        if not peers_alive:
+            self.fleet.note_lifecycle(
+                handle.executor_id,
+                "decommissioned" if was_draining else "lost",
+            )
         for future in orphans:
             if future.cancelled():
                 continue
@@ -734,6 +781,10 @@ class ClusterBackend:
     def executor_info(self) -> list[dict]:
         return self._manager.executor_info()
 
+    def fleet_snapshot(self, window: float | None = None) -> dict:
+        """Cluster-resident fleet stats (``/api/fleet``, flight recorder)."""
+        return self._manager.fleet_snapshot(window)
+
     def decommission(self, executor_id: str, reason: str = "drain") -> None:
         self._manager.decommission(executor_id, reason)
 
@@ -841,6 +892,8 @@ class ClusterHead:
         )
         self._stopped = threading.Event()
         self._drivers: list[_ConnWriter] = []
+        #: fallback per-connection driver labels (ATTACH may override)
+        self._conn_ids = itertools.count(1)
         self._lock = threading.Lock()
         self._accept = threading.Thread(
             target=self._accept_loop, name="repro-cluster-head", daemon=True
@@ -869,6 +922,10 @@ class ClusterHead:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         writer: _ConnWriter | None = None
         attached = False
+        # every connection gets its own driver label so a shared fleet's
+        # per-driver throughput stays distinguishable; ATTACH may replace
+        # it with the driver's self-declared identity (its pid label)
+        driver_label = f"conn-{next(self._conn_ids)}"
         try:
             # challenge-response before the first frame is even read:
             # nothing below deserializes bytes from an unproven peer
@@ -880,7 +937,15 @@ class ClusterHead:
                     return
                 ftype, payload = received
                 if ftype == frames.ATTACH:
+                    if payload:  # authed peer; older clients send none
+                        try:
+                            declared = pickle.loads(payload).get("driver")
+                            if declared:
+                                driver_label = str(declared)
+                        except Exception:
+                            pass
                     warm = self.manager.mark_attached()
+                    self.manager.fleet.note_attach(driver_label)
                     writer.send(frames.ATTACH_REPLY, pickle.dumps({
                         "num_executors": self.manager.num_executors,
                         "executor_cores": self.manager.executor_cores,
@@ -895,7 +960,7 @@ class ClusterHead:
                         self._drivers.append(writer)
                 elif ftype == frames.TASK:
                     token, eid, spec = frames.unpack_task(payload)
-                    future = self.manager.submit(spec, eid)
+                    future = self.manager.submit(spec, eid, driver=driver_label)
                     future.add_done_callback(
                         self._result_forwarder(writer, token)
                     )
@@ -905,6 +970,13 @@ class ClusterHead:
                 elif ftype == frames.STATUS:
                     writer.send(frames.STATUS_REPLY, pickle.dumps(
                         self.manager.executor_info(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ))
+                    if not attached:
+                        return
+                elif ftype == frames.FLEET:
+                    writer.send(frames.FLEET_REPLY, pickle.dumps(
+                        self.manager.fleet_snapshot(),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     ))
                     if not attached:
@@ -995,8 +1067,13 @@ class ClusterClient:
         frames.answer_challenge(self._sock, _resolve_secret(secret))
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
+        #: this client's driver label in the head's fleet stats (pid-keyed:
+        #: one label per driver process, distinct across a shared fleet)
+        self.driver_label = f"driver-{os.getpid()}"
         with self._send_lock:
-            frames.send_frame(self._sock, frames.ATTACH)
+            frames.send_frame(self._sock, frames.ATTACH, pickle.dumps(
+                {"driver": self.driver_label}, protocol=pickle.HIGHEST_PROTOCOL
+            ))
         reply = frames.recv_frame(self._sock)
         if reply is None or reply[0] != frames.ATTACH_REPLY:
             raise ConnectionError(f"cluster head at {address} refused attach")
@@ -1116,6 +1193,11 @@ class ClusterClient:
     def executor_info(self) -> list[dict]:
         return cluster_status(self.address, self._secret or None)
 
+    def fleet_snapshot(self, window: float | None = None) -> dict:
+        """Fetch the head-resident fleet snapshot (window applies head-side
+        retention only; the remote call always returns the full dump)."""
+        return fleet_status(self.address, self._secret or None)
+
     def decommission(self, executor_id: str, reason: str = "drain") -> None:
         raise RuntimeError("decommission an external cluster from its head CLI")
 
@@ -1132,13 +1214,16 @@ class ClusterClient:
 # -- CLI helpers ---------------------------------------------------------------
 
 
-def _head_request(address: str, ftype: int, secret: str | None = None) -> bytes:
+def _head_request(
+    address: str, ftype: int, secret: str | None = None,
+    expect: int = frames.STATUS_REPLY,
+) -> bytes:
     host, _, port = address.rpartition(":")
     with socket.create_connection((host, int(port)), timeout=10.0) as conn:
         frames.answer_challenge(conn, _resolve_secret(secret))
         frames.send_frame(conn, ftype)
         reply = frames.recv_frame(conn)
-        if reply is None or reply[0] != frames.STATUS_REPLY:
+        if reply is None or reply[0] != expect:
             raise ConnectionError(f"no reply from cluster head at {address}")
         return reply[1]
 
@@ -1146,6 +1231,13 @@ def _head_request(address: str, ftype: int, secret: str | None = None) -> bytes:
 def cluster_status(address: str, secret: str | None = None) -> list[dict]:
     """Executor-info list from an external head (``sparkscore cluster status``)."""
     return pickle.loads(_head_request(address, frames.STATUS, secret))
+
+
+def fleet_status(address: str, secret: str | None = None) -> dict:
+    """Fleet-stats snapshot from an external head (``cluster top`` / ``status``)."""
+    return pickle.loads(
+        _head_request(address, frames.FLEET, secret, expect=frames.FLEET_REPLY)
+    )
 
 
 def cluster_shutdown(address: str, secret: str | None = None) -> None:
@@ -1161,5 +1253,6 @@ __all__ = [
     "get_cluster",
     "stop_all_clusters",
     "cluster_status",
+    "fleet_status",
     "cluster_shutdown",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import secrets
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
@@ -66,6 +67,10 @@ class Context:
         #: when set, a span trace is written on stop() -- Chrome
         #: ``trace_event`` JSON, or span JSONL if the path ends in .jsonl
         self.trace_path = trace_path
+        #: W3C-traceparent-style trace id for this driver.  Stamped on every
+        #: span and shipped in every task envelope, so traces from multiple
+        #: drivers sharing one persistent fleet stay distinguishable
+        self.trace_id = secrets.token_hex(16)
         self.listener_bus = ListenerBus()
         #: the data-plane serializer (shuffle frames, shipped cache blocks,
         #: serialized storage levels); Spark's ``spark.serializer``
@@ -118,7 +123,7 @@ class Context:
         if trace_path is not None:
             from repro.obs.spans import TracingListener
 
-            self._tracer = TracingListener()
+            self._tracer = TracingListener(trace_id=self.trace_id)
             self.listener_bus.add_listener(self._tracer)
 
         # structured logging: the process log bus runs at this context's
@@ -407,6 +412,16 @@ class Context:
                 self._log_file_sink.close()
                 self._log_file_sink = None
             LOG_BUS.set_level(self._previous_log_level)
+            # freeze the cluster-resident fleet snapshot into this driver's
+            # event log (v6 side channel) before detaching: the fleet
+            # outlives us, but the log is how history/doctor see it later
+            if self._event_log_listener is not None:
+                fleet_fn = getattr(self.backend, "fleet_snapshot", None)
+                if fleet_fn is not None:
+                    try:
+                        self._event_log_listener.write_fleet(fleet_fn(None))
+                    except Exception:
+                        pass  # a dead head must not break context teardown
             if hasattr(self.backend, "detach"):
                 self.backend.detach(self)
             self.listener_bus.stop()

@@ -33,6 +33,13 @@ future fields can be added compatibly.  Version history:
   ``sparkscore history`` can replay metric evolution offline; ``alert``
   lines record alert-engine transitions (firing/resolved), recoverable
   via :func:`read_alerts`.  v4 and earlier logs still load unchanged.
+- **v6** -- fleet observability.  ``fleet`` lines carry one
+  cluster-resident fleet snapshot each (uptime, jobs served, per-driver
+  throughput, warm-cache economics, trailing per-executor series from
+  the fleet's own TSDB), written by the context at ``stop()`` when the
+  backend exposes one.  Recoverable via :func:`read_fleet`, so
+  ``sparkscore history`` and ``doctor`` can see cross-job fleet state
+  long after the cluster is gone.  v5 and earlier logs load unchanged.
 
 Since the listener-bus refactor the log is written *incrementally*: the
 context attaches an :class:`EventLogListener` to its bus and each job is
@@ -57,8 +64,8 @@ from repro.engine.listener import (
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
 from repro.obs.logging import LogRecord
 
-FORMAT_VERSION = 5
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+FORMAT_VERSION = 6
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 #: non-job record kinds introduced by v3 (telemetry side-channel)
 TELEMETRY_EVENTS = ("heartbeat", "executor_timed_out")
@@ -71,6 +78,7 @@ SIDE_CHANNEL_MIN_VERSION = {
     "log": 4,
     "series": 5,
     "alert": 5,
+    "fleet": 6,
 }
 
 
@@ -335,6 +343,34 @@ def series_to_points(records: list[dict]) -> dict[tuple, list[tuple[float, float
     return out
 
 
+def read_fleet(path_or_file: str | IO[str]) -> list[dict]:
+    """Load the v6 fleet-snapshot records from an event log.
+
+    Returns one snapshot dict per ``fleet`` line (uptime, jobs served,
+    per-driver throughput, warm-cache stats, trailing fleet series), in
+    file order; empty for v1-v5 logs.  Unparseable lines are skipped
+    (the side channel is best-effort).
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") == "fleet":
+                out.append(data.get("snapshot", {}))
+        return out
+    finally:
+        if own:
+            fh.close()
+
+
 def read_alerts(path_or_file: str | IO[str]) -> list[dict]:
     """Load the v5 alert-transition records from an event log.
 
@@ -384,6 +420,11 @@ class EventLogListener(Listener):
     (one ``series`` line per tick with a change) and :meth:`write_alert`
     as an alert-manager sink (one flushed ``alert`` line per transition --
     alerts are rare and forensic, so losing the tail is not acceptable).
+
+    The v6 fleet side channel is stop-time: on a persistent-cluster
+    backend the context calls :meth:`write_fleet` once as it stops,
+    freezing the cluster-resident snapshot into the log this driver
+    leaves behind.
     """
 
     def __init__(self, path: str) -> None:
@@ -394,6 +435,7 @@ class EventLogListener(Listener):
         self.logs_written = 0
         self.series_written = 0
         self.alerts_written = 0
+        self.fleet_written = 0
 
     def _file(self) -> IO[str]:
         if self._fh is None:
@@ -458,6 +500,19 @@ class EventLogListener(Listener):
         fh.write(json.dumps(data, separators=(",", ":")) + "\n")
         fh.flush()
         self.alerts_written += 1
+
+    def write_fleet(self, snapshot: dict) -> None:
+        """Context-stop sink: append one flushed v6 ``fleet`` line (rare
+        and forensic -- cross-job state the next driver cannot rebuild)."""
+        data = {
+            "event": "fleet",
+            "version": FORMAT_VERSION,
+            "snapshot": snapshot,
+        }
+        fh = self._file()
+        fh.write(json.dumps(data, separators=(",", ":")) + "\n")
+        fh.flush()
+        self.fleet_written += 1
 
     def close(self) -> None:
         if self._fh is not None:

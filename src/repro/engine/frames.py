@@ -71,6 +71,12 @@ CHALLENGE = 13
 #: frame is not a valid AUTH are dropped on the floor; everything that
 #: pickles (REGISTER, HEARTBEAT, RESULT, BLOB_OFFER, ...) sits behind it
 AUTH = 14
+#: CLI/driver -> head: request a pickled fleet-stats snapshot (the
+#: cluster-resident observability plane: per-executor series + totals)
+FLEET = 15
+#: head -> requester: pickled dict, see
+#: :meth:`repro.obs.fleet.FleetStats.snapshot`
+FLEET_REPLY = 16
 
 # -- blob transport (socket variant of repro.engine.transport) ---------------
 #: utf-8 key
@@ -232,7 +238,8 @@ class FrameParser:
 __all__ = [
     "REGISTER", "TASK", "RESULT", "TASK_ERROR", "HEARTBEAT", "DRAIN",
     "SHUTDOWN", "STATUS", "STATUS_REPLY", "ATTACH", "ATTACH_REPLY",
-    "BINARY_SHIPPED", "CHALLENGE", "AUTH", "AUTH_NONCE_LEN",
+    "BINARY_SHIPPED", "CHALLENGE", "AUTH", "FLEET", "FLEET_REPLY",
+    "AUTH_NONCE_LEN",
     "BLOB_GET", "BLOB_DATA", "BLOB_MISSING", "BLOB_OFFER", "BLOB_HAVE",
     "BLOB_WANT", "BLOB_PUSH", "BLOB_OK", "BLOB_DELETE",
     "pack_task", "unpack_task", "pack_token", "unpack_token",

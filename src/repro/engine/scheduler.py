@@ -242,7 +242,7 @@ class TaskScheduler:
                 try:
                     value, record = future.result()
                 except FetchFailedError as exc:
-                    executor.note_task(False)
+                    executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
                     job.num_task_failures += 1
                     self._post_failed_task(stage, task, attempt, executor, exc)
                     log.warning(
@@ -255,7 +255,7 @@ class TaskScheduler:
                     if fetch_failure is None:
                         fetch_failure = _FetchFailedSignal(exc.shuffle_id, exc.map_partition)
                 except ExecutorLostError as exc:
-                    executor.note_task(False)
+                    executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
                     job.num_task_failures += 1
                     self._post_failed_task(stage, task, attempt, executor, exc)
                     log.warning(
@@ -272,7 +272,7 @@ class TaskScheduler:
                         ) from exc
                     pending.append((task, attempt + 1, set()))
                 except Exception as exc:  # transient / injected task failure
-                    executor.note_task(False)
+                    executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
                     job.num_task_failures += 1
                     record = TaskRecord(
                         stage_id=stage.id,
@@ -301,7 +301,7 @@ class TaskScheduler:
                     tried = set(tried) | {executor.executor_id}
                     pending.append((task, attempt + 1, tried))
                 else:
-                    executor.note_task(True)
+                    executor.note_task(True, trace_id=getattr(self.ctx, "trace_id", None))
                     results[task.partition] = value
                     if isinstance(task, ResultTask):
                         record.metrics.driver_bytes_collected += estimate_size(value)
@@ -349,7 +349,7 @@ class TaskScheduler:
         for future in abandoned:
             task, attempt, executor = inflight.pop(future)
             future.cancel()  # no-op if already running; drops queued attempts
-            executor.note_task(False)
+            executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
             job.num_task_failures += 1
             exc = ExecutorLostError(executor_id)
             self._post_failed_task(stage, task, attempt, executor, exc)
@@ -572,6 +572,18 @@ class TaskScheduler:
                     # the driver's level and stamps these ids on its records
                     "job_id": job.job_id,
                     "log_level": self.ctx.config.log_level,
+                    # W3C-traceparent-style trace context: the driver's trace
+                    # id plus the open stage span the worker's task-phase
+                    # fragments will stitch under.  Travels inside the task
+                    # envelope across process and cluster-socket boundaries,
+                    # so one fleet serving many drivers can tell their task
+                    # streams apart
+                    "trace_id": getattr(self.ctx, "trace_id", None),
+                    "parent_span_id": (
+                        self.ctx._tracer.open_stage_span_id(stage.id)
+                        if getattr(self.ctx, "_tracer", None) is not None
+                        else None
+                    ),
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )

@@ -139,6 +139,8 @@ class TaskContext:
         block_master: "BlockManagerMaster | None" = None,
         accumulators: AccumulatorBuffer | None = None,
         fault_hook: Callable[["TaskContext"], None] | None = None,
+        trace_id: str | None = None,
+        parent_span_id: int | None = None,
     ) -> None:
         self.stage_id = stage_id
         self.partition = partition
@@ -150,6 +152,13 @@ class TaskContext:
         self.accumulators = accumulators or AccumulatorBuffer({})
         self.metrics = TaskMetrics()
         self._fault_hook = fault_hook
+        #: W3C-traceparent-style trace context carried in the task envelope:
+        #: the submitting driver's trace id and the stage span this attempt
+        #: stitches under.  ``current_task_context().trace_id`` gives user
+        #: code and worker-side instrumentation the driver identity without
+        #: plumbing -- the executor may be serving several drivers
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
         #: pre-fetched shuffle input for the process backend, keyed by
         #: (shuffle_id, reduce_partition)
         self.prefetched_shuffle: dict[tuple[int, int], list] = {}

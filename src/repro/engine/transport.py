@@ -176,6 +176,9 @@ class Transport:
         self._created: list[TransportRef] = []
         self.bytes_published = 0
         self.dedup_hits = 0
+        #: bytes a dedup hit kept off the wire/segment store -- the fleet
+        #: observability plane's "warm bytes saved" figure
+        self.dedup_bytes_saved = 0
 
     # -- construction -----------------------------------------------------
 
@@ -210,6 +213,7 @@ class Transport:
                 existing = self._by_hash.get(content_hash)
                 if existing is not None:
                     self.dedup_hits += 1
+                    self.dedup_bytes_saved += len(blob)
                     return existing
             ref = self._write(blob, content_hash)
             with self._lock:
@@ -369,6 +373,8 @@ class SocketTransport:
         self._by_hash: dict[str, TransportRef] = {}
         self.bytes_published = 0
         self.dedup_hits = 0
+        #: bytes dedup offers kept off the wire (fleet "warm bytes saved")
+        self.dedup_bytes_saved = 0
         self.evictions = 0
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
@@ -458,6 +464,7 @@ class SocketTransport:
                         existing = self._by_hash.get(content_hash)
                         if existing is not None:
                             self.dedup_hits += 1
+                            self.dedup_bytes_saved += int(size)
                     if existing is not None:
                         frames.send_frame(
                             conn, frames.BLOB_HAVE,
@@ -538,6 +545,7 @@ class SocketTransport:
                 if existing is not None:
                     with self._lock:
                         self.dedup_hits += 1
+                        self.dedup_bytes_saved += len(blob)
                     return existing
                 key = f"sha256-{content_hash}"
             else:
@@ -557,6 +565,7 @@ class SocketTransport:
             if memo is not None:
                 with self._lock:
                     self.dedup_hits += 1
+                    self.dedup_bytes_saved += len(blob)
                 return memo
             key = f"sha256-{content_hash}"
         else:
@@ -576,6 +585,7 @@ class SocketTransport:
                 if ftype == frames.BLOB_HAVE:
                     ref = pickle.loads(payload)
                     self.dedup_hits += 1
+                    self.dedup_bytes_saved += len(blob)
                     self._by_hash[content_hash] = ref
                     return ref
             key_bytes = key.encode("utf-8")

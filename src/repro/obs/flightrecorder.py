@@ -15,6 +15,8 @@ four different logs -- into one JSON **post-mortem bundle**:
 - spans still open at failure time (the work that never finished);
 - executor states (alive, suspended, task counts) and the effective
   engine config;
+- on persistent fleets, the cluster-resident fleet snapshot (executor
+  lifecycle history, warm-cache stats, queue depths) under ``fleet``;
 - the failed job's full stage/task tree, in event-log v5 ``job`` shape so
   offline tooling (advisor, span reconstruction) reuses the same readers.
 
@@ -235,6 +237,15 @@ class FlightRecorder(Listener):
                 bundle["open_spans"] = [
                     s.to_dict() for s in ctx._tracer.open_spans()
                 ]
+            # persistent fleets contribute the cluster-resident snapshot
+            # (executor lifecycle history, warm-cache economics, queue
+            # depths) -- the part of the story that predates this driver
+            fleet_fn = getattr(ctx.backend, "fleet_snapshot", None)
+            if fleet_fn is not None:
+                try:
+                    bundle["fleet"] = fleet_fn(self.window)
+                except Exception:
+                    pass  # a dead head must not sink the post-mortem
         os.makedirs(self.out_dir, exist_ok=True)
         self._seq += 1
         job_id = job.job_id if job is not None else "ctx"

@@ -122,9 +122,15 @@ def _fragment_children(ids, task_span: "Span", record, task_start: float) -> lis
 
 
 class TracingListener(Listener):
-    """Builds the span tree live from bus events.  Thread-safe."""
+    """Builds the span tree live from bus events.  Thread-safe.
 
-    def __init__(self) -> None:
+    When a ``trace_id`` is given (the context's per-driver W3C-style trace
+    id) every span is stamped with it, so traces from several drivers
+    sharing one fleet remain distinguishable after export.
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self.spans: list[Span] = []
@@ -133,9 +139,25 @@ class TracingListener(Listener):
         self._stage_jobs: dict[int, int] = {}  # stage_id -> owning job span id
 
     def _new_span(self, parent_id, name, category, start, end, attrs) -> Span:
+        if self.trace_id is not None:
+            attrs = {**attrs, "trace_id": self.trace_id}
         span = Span(next(self._ids), parent_id, name, category, start, end, attrs)
         self.spans.append(span)
         return span
+
+    def open_stage_span_id(self, stage_id: int) -> int | None:
+        """Span id of the newest open stage span for ``stage_id``.
+
+        This is the ``parent_span_id`` half of the trace context the
+        scheduler ships in every cluster/process task envelope: the worker's
+        task-phase fragments ultimately stitch under this span.
+        """
+        with self._lock:
+            span_id = None
+            for (sid, _), open_span in self._open_stages.items():
+                if sid == stage_id:
+                    span_id = open_span.span_id
+            return span_id
 
     def on_job_start(self, event: JobStart) -> None:
         with self._lock:
@@ -176,7 +198,11 @@ class TracingListener(Listener):
                 f"task {record.stage_id}.{record.partition}#{record.attempt}",
                 "task", start, start + record.duration_seconds, _task_attrs(record),
             )
-            self.spans.extend(_fragment_children(self._ids, task_span, record, start))
+            fragments = _fragment_children(self._ids, task_span, record, start)
+            if self.trace_id is not None:
+                for frag in fragments:
+                    frag.attrs["trace_id"] = self.trace_id
+            self.spans.extend(fragments)
 
     def on_stage_completed(self, event: StageCompleted) -> None:
         with self._lock:

@@ -22,6 +22,10 @@ Endpoints:
   seconds); empty unless the context runs a metrics sampler;
 - ``/api/alerts`` -- alert rules, live per-series states, and the
   transition history; empty unless alerting is enabled;
+- ``/api/fleet`` -- the cluster-resident fleet snapshot (uptime, jobs
+  served, per-driver throughput, per-executor series that survive
+  driver teardown); disabled unless the backend exposes
+  ``fleet_snapshot`` (cluster backend only);
 - ``/`` -- a minimal auto-refreshing HTML dashboard over the above, with
   sparkline panels for sampled series and a banner for firing alerts.
 
@@ -108,13 +112,15 @@ _DASHBOARD = """<!doctype html>
  <a href="/api/logs">/api/logs</a>
  <a href="/api/diagnostics">/api/diagnostics</a>
  <a href="/api/timeseries">/api/timeseries</a>
- <a href="/api/alerts">/api/alerts</a></p>
+ <a href="/api/alerts">/api/alerts</a>
+ <a href="/api/fleet">/api/fleet</a></p>
 <div id="alertbanner"></div>
 <h2>stages</h2><div id="stages">loading...</div>
 <h2>executors</h2><div id="executors"></div>
 <h2>completed jobs</h2><div id="jobs"></div>
 <h2>diagnostics</h2><div id="diagnostics"></div>
 <h2>metric sparklines</h2><div id="sparklines">sampler off</div>
+<h2>fleet</h2><div id="fleet">no persistent fleet</div>
 <h2>recent logs</h2><div id="logs"></div>
 <script>
 function row(cells, tag) {
@@ -174,6 +180,27 @@ async function refresh() {
     } else {
       banner.style.display = "none";
     }
+  }
+  const fleet = await (await fetch("/api/fleet?window=120")).json();
+  if (fleet.enabled) {
+    const occ = {}, depth = {};
+    (fleet.series || []).forEach(s => {
+      const eid = (s.labels || {}).executor_id;
+      if (!eid) return;
+      if (s.name === "fleet_slot_occupancy") occ[eid] = s.samples.map(p => p[1]);
+      if (s.name === "fleet_queue_depth") depth[eid] = s.samples.map(p => p[1]);
+    });
+    const eids = (fleet.executors || []).map(e => e.executor_id);
+    const warm = fleet.warm || {};
+    document.getElementById("fleet").innerHTML =
+      "uptime " + (fleet.uptime_seconds || 0).toFixed(0) + "s, " +
+      "jobs served " + (fleet.jobs_served || 0) + ", " +
+      "warm bytes saved " + ((warm.warm_bytes_saved || 0) / 1048576).toFixed(1) + " MB" +
+      "<table>" + row(["executor", "occupancy", "queue depth"], "th") +
+      eids.map(eid => row([eid,
+        '<span class="spark">' + sparkline(occ[eid] || []) + "</span>",
+        '<span class="spark">' + sparkline(depth[eid] || []) + "</span>",
+      ])).join("") + "</table>";
   }
   const ts = await (await fetch("/api/timeseries?window=60")).json();
   if (ts.enabled) {
@@ -239,9 +266,29 @@ class UIServer:
     def _route(self, handler: BaseHTTPRequestHandler) -> None:
         path = handler.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/metrics":
+            body = REGISTRY.render(openmetrics=True, timestamp=time.time())
+            # a persistent fleet contributes its own (executor_id/driver
+            # labeled) families, minus any name the registry already owns
+            snapshot_fn = getattr(self.ctx.backend, "fleet_snapshot", None)
+            if snapshot_fn is not None:
+                from repro.obs.fleet import render_fleet_families
+
+                try:
+                    extra = render_fleet_families(
+                        snapshot_fn(None),
+                        skip={i.name for i in REGISTRY.instruments()},
+                    )
+                except Exception:
+                    extra = []
+                if extra:
+                    body = (
+                        body[: body.rindex("# EOF")]
+                        + "\n".join(extra)
+                        + "\n# EOF\n"
+                    )
             self._send(
                 handler,
-                REGISTRY.render(openmetrics=True, timestamp=time.time()),
+                body,
                 "application/openmetrics-text; version=1.0.0; charset=utf-8",
             )
         elif path == "/api/jobs":
@@ -345,6 +392,29 @@ class UIServer:
                 handler,
                 {"enabled": True, "names": store.names(), "series": series},
             )
+        elif path == "/api/fleet":
+            snapshot_fn = getattr(self.ctx.backend, "fleet_snapshot", None)
+            if snapshot_fn is None:
+                self._send_json(handler, {"enabled": False})
+                return
+            query = handler.path.partition("?")[2]
+            params = dict(
+                part.split("=", 1) for part in query.split("&") if "=" in part
+            )
+            window = None
+            try:
+                if "window" in params:
+                    window = float(params["window"])
+            except ValueError:
+                window = None
+            try:
+                snapshot = snapshot_fn(window)
+            except Exception:
+                self._send_json(handler, {"enabled": False})
+                return
+            out = {"enabled": True}
+            out.update(snapshot)
+            self._send_json(handler, out)
         elif path == "/api/alerts":
             manager = getattr(self.ctx, "alerts", None)
             if manager is None:

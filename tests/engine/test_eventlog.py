@@ -12,6 +12,7 @@ from repro.engine.eventlog import (
     EventLogListener,
     read_alerts,
     read_event_log,
+    read_fleet,
     read_logs,
     read_series,
     read_telemetry,
@@ -198,7 +199,7 @@ class TestVersionCompat:
         write_event_log(ctx.metrics.jobs, path)
         with open(path) as fh:
             data = json.loads(fh.readline())
-        assert data["version"] == FORMAT_VERSION == 5
+        assert data["version"] == FORMAT_VERSION == 6
         assert data["submit_time"] > 0.0
         assert data["stages"][0]["tasks"][0]["start_time"] > 0.0
 
@@ -399,6 +400,21 @@ class TestV5Monitoring:
         # job readers and the other side channels ignore series lines
         assert all(t["event"] == "heartbeat" for t in read_telemetry(path))
 
+    def test_fleet_lines_round_trip(self, tmp_path):
+        path = str(tmp_path / "v6.jsonl")
+        listener = EventLogListener(path)
+        listener.write_fleet({"jobs_served": 3, "tasks_completed": 12,
+                              "tasks_by_driver": {"abc": 12}})
+        listener.close()
+        assert listener.fleet_written == 1
+        (snap,) = read_fleet(path)
+        assert snap["jobs_served"] == 3
+        assert snap["tasks_by_driver"] == {"abc": 12}
+        # job readers and the other side channels skip fleet lines
+        assert read_event_log(path) == []
+        assert read_telemetry(path) == []
+        assert read_series(path) == []
+
     def test_torn_final_line_tolerated_by_side_channels(self, tmp_path):
         """A writer killed mid-series-line must not poison any reader."""
         path = str(tmp_path / "torn.jsonl")
@@ -412,3 +428,56 @@ class TestV5Monitoring:
         assert [a["rule"] for a in read_alerts(path)] == ["r"]
         with pytest.warns(UserWarning, match="truncated"):
             assert read_event_log(path) == []  # no jobs, but no crash either
+
+
+class TestV6Fleet:
+    def test_cluster_context_writes_fleet_line_on_stop(self, tmp_path):
+        """A cluster-backed context appends one v6 ``fleet`` line at stop:
+        the cluster-resident snapshot the next driver cannot rebuild."""
+        from repro.config import EngineConfig
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "fleet.jsonl")
+        config = EngineConfig(
+            backend="cluster", num_executors=2, executor_cores=2,
+            default_parallelism=4,
+        )
+        with Context(config, event_log_path=path) as ctx:
+            ctx.parallelize(range(8), 4).map(_plus_two).sum()
+            trace_id = ctx.trace_id
+            assert read_fleet(path) == []  # written at stop, not before
+        (snap,) = read_fleet(path)
+        assert snap["jobs_served"] >= 1
+        assert snap["tasks_by_driver"].get(trace_id, 0) >= 4
+        assert "fleet_tasks_total" in snap["series_names"]
+        # the fleet line never confuses the job reader
+        assert len(read_event_log(path)) == 1
+
+    def test_serial_context_writes_no_fleet_line(self, tmp_path, serial_config):
+        from repro.engine.context import Context
+
+        path = str(tmp_path / "serial.jsonl")
+        with Context(serial_config, event_log_path=path) as ctx:
+            ctx.parallelize(range(8), 4).sum()
+        assert read_fleet(path) == []
+
+    def test_committed_v6_fixture_still_loads(self):
+        """Regression: a real v6 log keeps loading whole -- job, telemetry,
+        logs, and the fleet side channel all intact."""
+        path = str(FIXTURES / "eventlog_v6.jsonl")
+        (job,) = read_event_log(path)
+        assert job.stages and job.stages[0].tasks
+        assert read_telemetry(path), "expected heartbeat lines in the v6 log"
+        (snap,) = read_fleet(path)
+        assert snap["jobs_served"] == 1
+        assert snap["tasks_completed"] == 4
+        assert snap["warm"]["binaries_cached"] == 1
+        assert "fleet_slot_occupancy" in snap["series_names"]
+
+    def test_old_fixtures_have_no_fleet(self):
+        assert read_fleet(str(FIXTURES / "eventlog_v2.jsonl")) == []
+        assert read_fleet(str(FIXTURES / "eventlog_v4.jsonl")) == []
+
+
+def _plus_two(x):
+    return x + 2
