@@ -16,6 +16,13 @@ fresh Contexts over one persistent cluster: job 1 pays the fleet spawn and
 ships every task binary, warm jobs re-hit the workers' caches and publish
 nothing (``transport_dedup_hits`` instead of bytes).  CI gates on
 ``warm_wall <= 0.5 * cold_wall``.
+
+The adaptive (AQE) sweep runs a deliberately skewed shuffle -- one reduce
+bucket carrying ~11x the records, with fixed per-record work -- under a
+static plan and under the adaptive planner.  The planner splits the hot
+bucket along map boundaries at the stage boundary, so the tail spreads
+across all slots; results must stay bit-identical.  CI gates on
+``adaptive_wall <= 0.7 * static_wall``.
 """
 
 from __future__ import annotations
@@ -147,6 +154,68 @@ def cold_warm_sweep(dataset, args) -> dict:
     }
 
 
+def adaptive_sweep(args) -> dict:
+    """Skewed-shuffle drill: static plan vs adaptive query execution.
+
+    8 reduce buckets over 4 maps; bucket 3 holds 44 records, the rest 4
+    each, and every record costs ``--adaptive-unit-ms`` of wall time on
+    the reduce side.  Static makespan ~= the hot bucket (44 units on one
+    slot); the adaptive split re-cuts it into 4 map-aligned pieces, so
+    the ideal makespan drops toward total/slots (72/4 = 18 units).
+    """
+    unit = args.adaptive_unit_ms / 1000.0
+    # one record per key per map, plus 10 hot extras per map: bucket
+    # totals [4, 4, 4, 44, 4, 4, 4, 4] with the hot records spread evenly
+    # across maps so the split has boundaries to cut along
+    per_map = [
+        [(k, f"m{m}-{k}") for k in range(8)]
+        + [(3, f"m{m}-hot-{j}") for j in range(10)]
+        for m in range(4)
+    ]
+    data = [record for chunk in per_map for record in chunk]
+
+    def slow_value(v: str) -> str:
+        time.sleep(unit)
+        return v.upper()
+
+    def run(adaptive: bool) -> tuple[list, float, dict]:
+        config = EngineConfig(
+            backend="threads",
+            num_executors=2,
+            executor_cores=2,
+            default_parallelism=4,
+            adaptive_enabled=adaptive,
+        )
+        with Context(config) as ctx:
+            rdd = ctx.parallelize(data, 4).partition_by(8).map_values(slow_value)
+            start = time.perf_counter()
+            result = rdd.collect()
+            wall = time.perf_counter() - start
+            snap = ctx.adaptive.snapshot()
+        return result, wall, snap
+
+    static_result, static_wall, _ = run(adaptive=False)
+    adaptive_result, adaptive_wall, snap = run(adaptive=True)
+    identical = adaptive_result == static_result
+    assert identical, "adaptive plan diverged from the static plan"
+    assert snap["stages_rewritten"] >= 1, "planner never rewrote the hot stage"
+    ratio = adaptive_wall / static_wall if static_wall > 0 else float("inf")
+    print(f"{'static':>10}: {static_wall:8.2f}s  (hot bucket serialized on one slot)")
+    print(f"{'adaptive':>10}: {adaptive_wall:8.2f}s  "
+          f"({snap['stages_rewritten']} plan rewrite(s), ratio {ratio:.2f})")
+    return {
+        "records": len(data),
+        "unit_seconds": unit,
+        "bucket_totals": [4, 4, 4, 44, 4, 4, 4, 4],
+        "static_wall_seconds": static_wall,
+        "adaptive_wall_seconds": adaptive_wall,
+        "adaptive_over_static": ratio,
+        "stages_rewritten": snap["stages_rewritten"],
+        "decisions": snap["decisions"],
+        "bit_identical": identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--patients", type=int, default=200)
@@ -166,6 +235,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warm-jobs", type=int, default=2,
                         help="warm repetitions in the cluster cold/warm sweep "
                         "(0 skips the sweep)")
+    parser.add_argument("--skip-adaptive-sweep", action="store_true",
+                        help="skip the skewed-shuffle AQE static-vs-adaptive drill")
+    parser.add_argument("--adaptive-unit-ms", type=float, default=10.0,
+                        help="per-record reduce-side cost in the AQE drill "
+                        "(default: 10 ms)")
     parser.add_argument("--output", default="BENCH_backends.json")
     args = parser.parse_args(argv)
 
@@ -224,6 +298,11 @@ def main(argv: list[str] | None = None) -> int:
         print()
         cold_warm = cold_warm_sweep(dataset, args)
 
+    adaptive = None
+    if not args.skip_adaptive_sweep:
+        print()
+        adaptive = adaptive_sweep(args)
+
     serial_wall = rows[0]["wall_seconds"]
     report = {
         "workload": {
@@ -250,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
             for row in serializer_rows
         ],
         "cluster_cold_warm": cold_warm,
+        "adaptive_sweep": adaptive,
         "bit_identical_across_backends": True,
     }
     with open(args.output, "w") as fh:

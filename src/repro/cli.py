@@ -86,6 +86,16 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                           help="show Spark-style console stage progress bars "
                                "(default: on when stdout is a TTY)")
     progress.add_argument("--no-progress", dest="progress", action="store_false")
+    adaptive = p.add_mutually_exclusive_group()
+    adaptive.add_argument("--adaptive", dest="adaptive", action="store_true",
+                          default=None,
+                          help="enable adaptive query execution: runtime skew "
+                               "repartitioning, speculative task execution, and "
+                               "auto-tuned shuffle serialization (equivalent to "
+                               "spark.adaptive.enabled=true + "
+                               "spark.speculation=true; distributed only)")
+    adaptive.add_argument("--no-adaptive", dest="adaptive", action="store_false",
+                          help="force adaptive execution and speculation off")
     p.add_argument("--profile-fraction", type=float, default=0.0, metavar="F",
                    help="run this fraction of tasks under cProfile; hotspots "
                         "land in the event log and `sparkscore history`")
@@ -309,6 +319,12 @@ def _load_analysis(args: argparse.Namespace):
             cluster_address=cluster_address or "",
             cluster_secret=getattr(args, "cluster_secret", None) or "",
         )
+        want_adaptive = getattr(args, "adaptive", None)
+        if want_adaptive is not None:
+            config = config.copy(
+                adaptive_enabled=want_adaptive,
+                speculation_enabled=want_adaptive,
+            )
         kwargs["flavor"] = args.flavor
         event_log = getattr(args, "event_log", None)
         trace = getattr(args, "trace", None)
@@ -350,6 +366,8 @@ def _load_analysis(args: argparse.Namespace):
         raise SystemExit("--event-log/--trace require --engine distributed")
     elif getattr(args, "ui_port", None) is not None:
         raise SystemExit("--ui-port requires --engine distributed")
+    elif getattr(args, "adaptive", None):
+        raise SystemExit("--adaptive requires --engine distributed")
     elif getattr(args, "log_file", None) or getattr(args, "log_level", None):
         raise SystemExit("--log-file/--log-level require --engine distributed")
     elif (getattr(args, "metrics_interval", None) is not None
@@ -532,6 +550,28 @@ def cmd_history(args: argparse.Namespace) -> int:
             line += (f", {warm['warm_bytes_saved'] / (1 << 20):,.1f} MiB "
                      f"warm-cache bytes saved")
         print(line)
+    from repro.engine.eventlog import read_adaptive
+
+    adaptive = read_adaptive(args.event_log)
+    if adaptive:
+        plans = [a for a in adaptive if a.get("kind") != "speculation"]
+        spec = [a for a in adaptive if a.get("kind") == "speculation"]
+        line = (f"\n   adaptive (v7 side channel): "
+                f"{len(plans)} plan decision(s), "
+                f"{len(spec)} speculative launch(es)")
+        print(line)
+        for a in plans:
+            print(f"     [{a.get('kind')}] shuffle {a.get('shuffle_id')} "
+                  f"stage {a.get('stage_id')} job {a.get('job_id')}: "
+                  f"{a.get('old_partitions')} -> {a.get('new_partitions')} "
+                  f"partitions ({a.get('detail', '')})")
+        for a in spec:
+            print(f"     [speculation] stage {a.get('stage_id')} "
+                  f"p{a.get('partition')}: twin on "
+                  f"{a.get('speculative_executor')} vs "
+                  f"{a.get('original_executor')} after "
+                  f"{a.get('elapsed_seconds', 0.0):.2f}s "
+                  f"(median {a.get('median_seconds', 0.0):.2f}s)")
     if args.series:
         from repro.engine.eventlog import read_alerts, read_series, series_to_points
 
@@ -578,7 +618,12 @@ def _series_label(key: tuple) -> str:
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:
-    from repro.engine.eventlog import read_event_log, read_fleet, read_telemetry
+    from repro.engine.eventlog import (
+        read_adaptive,
+        read_event_log,
+        read_fleet,
+        read_telemetry,
+    )
     from repro.obs.advisor import (
         cache_pressure_from_jobs,
         diagnose,
@@ -599,7 +644,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     else:
         paths = [args.path]
 
-    jobs, telemetry, fleet, read = [], [], [], []
+    jobs, telemetry, fleet, adaptive, read = [], [], [], [], []
     for path in paths:
         try:
             jobs.extend(read_event_log(path))
@@ -613,16 +658,20 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             continue  # directories may hold other JSONL (log files, traces)
         telemetry.extend(read_telemetry(path))
         fleet.extend(read_fleet(path))
+        adaptive.extend(read_adaptive(path))
         read.append(path)
     if scan_dir and not read:
         print(f"no readable event logs in {args.path}", file=sys.stderr)
         return 1
+    # no adaptive side-channel records means AQE never acted (off, or a
+    # pre-v7 log) -- that's exactly when the enable-adaptive rule may fire
     recs = diagnose(
         jobs,
         telemetry=telemetry,
         cache=cache_pressure_from_jobs(jobs),
         skew_max_over_median=args.skew_ratio,
         straggler_multiplier=args.straggler_multiplier,
+        adaptive=bool(adaptive),
     )
     if args.json:
         print(recommendations_to_json(recs))
@@ -637,6 +686,10 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                   f"persistent fleet, {snap.get('tasks_completed', 0)} "
                   f"task(s), {warm.get('warm_bytes_saved', 0) / (1 << 20):,.1f} "
                   f"MiB warm-cache bytes saved")
+        if adaptive:
+            plans = sum(1 for a in adaptive if a.get("kind") != "speculation")
+            print(f"adaptive context: {plans} plan decision(s), "
+                  f"{len(adaptive) - plans} speculative launch(es) recorded")
         print()
         print(render_recommendations(recs), end="")
     if getattr(args, "strict", False):
@@ -758,6 +811,25 @@ def cmd_postmortem(args: argparse.Namespace) -> int:
     if open_spans:
         print(f"\nstill open at failure: "
               + ", ".join(s.get("name", "?") for s in open_spans))
+
+    aqe = bundle.get("adaptive")
+    if aqe and (aqe.get("stages_rewritten") or aqe.get("serializer_picks")
+                or aqe.get("speculative_launched")):
+        print(f"\nadaptive execution: {aqe.get('stages_rewritten', 0)} plan "
+              f"rewrite(s), {aqe.get('serializer_picks', 0)} serializer "
+              f"pick(s), speculative launched/won "
+              f"{aqe.get('speculative_launched', 0)}/"
+              f"{aqe.get('speculative_won', 0)}")
+        for d in (aqe.get("decisions") or [])[-5:]:
+            if d.get("kind") == "speculation":
+                print(f"  [speculation] stage {d.get('stage_id')} "
+                      f"p{d.get('partition')}: twin on "
+                      f"{d.get('speculative_executor')}")
+            else:
+                print(f"  [{d.get('kind')}] shuffle {d.get('shuffle_id')} "
+                      f"stage {d.get('stage_id')}: "
+                      f"{d.get('old_partitions')} -> "
+                      f"{d.get('new_partitions')} ({d.get('detail', '')})")
 
     job_dict = bundle.get("job")
     if job_dict is not None:

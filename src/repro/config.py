@@ -139,6 +139,30 @@ class EngineConfig:
     flight_recorder_dir: str = ""
     #: seconds of event/metric history captured in each post-mortem bundle
     flight_recorder_window: float = 30.0
+    #: adaptive query execution: rewrite reduce stages between stage
+    #: boundaries when the registered map-output statistics show skew
+    adaptive_enabled: bool = False
+    #: hard cap on how many pieces one oversized reduce bucket may be
+    #: split into (splits happen along map-output boundaries)
+    adaptive_max_splits: int = 8
+    #: buckets below this fraction of the median are coalesced with
+    #: adjacent small buckets
+    adaptive_coalesce_ratio: float = 0.25
+    #: probe the first map output of each shuffle and pick the cheapest
+    #: serializer (pickle/numpy/compressed) per shuffle (requires
+    #: ``adaptive_enabled``)
+    adaptive_serializer: bool = True
+    #: launch duplicate attempts of straggling tasks on warm executors;
+    #: first result wins, the loser is cancelled and ignored
+    speculation_enabled: bool = False
+    #: a running task becomes a speculation candidate once its elapsed
+    #: time reaches this multiple of the completed-task median
+    speculation_multiplier: float = 2.0
+    #: never speculate tasks that have run for less than this (seconds)
+    speculation_min_runtime: float = 0.1
+    #: fraction of a task set that must have completed before the median
+    #: is trusted and twins may launch
+    speculation_quantile: float = 0.75
     #: free-form extra options (string keyed, Spark style)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -160,8 +184,15 @@ class EngineConfig:
         "spark.cluster.address": "cluster_address",
         "spark.cluster.secret": "cluster_secret",
         "spark.log.level": "log_level",
-        "spark.speculation.multiplier": "straggler_multiplier",
-        "spark.speculation.minTaskRuntime": "straggler_min_seconds",
+        "spark.speculation": "speculation_enabled",
+        "spark.speculation.multiplier": "speculation_multiplier",
+        "spark.speculation.minTaskRuntime": "speculation_min_runtime",
+        "spark.speculation.quantile": "speculation_quantile",
+        "spark.adaptive.enabled": "adaptive_enabled",
+        "spark.sql.adaptive.enabled": "adaptive_enabled",
+        "spark.adaptive.maxSplits": "adaptive_max_splits",
+        "spark.adaptive.coalesceRatio": "adaptive_coalesce_ratio",
+        "spark.adaptive.serializer": "adaptive_serializer",
         "spark.diagnostics.skewRatio": "skew_max_over_median",
         "spark.diagnostics.minTasks": "diagnostics_min_tasks",
         "spark.metrics.interval": "metrics_interval",
@@ -234,6 +265,16 @@ class EngineConfig:
             raise ValueError("metrics_downsample must be >= 1")
         if self.flight_recorder_window <= 0:
             raise ValueError("flight_recorder_window must be > 0")
+        if self.adaptive_max_splits < 1:
+            raise ValueError("adaptive_max_splits must be >= 1")
+        if not 0.0 < self.adaptive_coalesce_ratio < 1.0:
+            raise ValueError("adaptive_coalesce_ratio must be in (0, 1)")
+        if self.speculation_multiplier < 1.0:
+            raise ValueError("speculation_multiplier must be >= 1")
+        if self.speculation_min_runtime < 0:
+            raise ValueError("speculation_min_runtime must be >= 0")
+        if not 0.0 < self.speculation_quantile <= 1.0:
+            raise ValueError("speculation_quantile must be in (0, 1]")
 
     # -- Spark-style string interface ------------------------------------
 

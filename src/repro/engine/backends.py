@@ -248,17 +248,23 @@ def _run_pickled_task(payload: bytes) -> bytes:
     task = binary.make_task(spec["partition"])
     block_manager = BlockManager(spec["executor_id"], memory_budget=1 << 62)
     block_manager.serializer = serializer
+    worker_shuffle = ShuffleManager(track_bytes=False, serializer=serializer)
+    # adaptive per-shuffle serializer picks made driver-side: the worker
+    # must frame its map output the way the driver will decode it
+    for sid, name in (spec.get("shuffle_serializers") or {}).items():
+        worker_shuffle.set_serializer_override(sid, name)
     tc = TaskContext(
         stage_id=task.stage_id,
         partition=task.partition,
         attempt=spec["attempt"],
         executor_id=spec["executor_id"],
-        shuffle_manager=ShuffleManager(track_bytes=False, serializer=serializer),
+        shuffle_manager=worker_shuffle,
         block_manager=block_manager,
         block_master=None,
         accumulators=AccumulatorBuffer(binary.accumulators),
         trace_id=spec.get("trace_id"),
         parent_span_id=spec.get("parent_span_id"),
+        speculative=spec.get("speculative", False),
     )
     tc.prefetched_shuffle = spec["prefetched_shuffle"]
     for block_id, frame in spec["cached_blocks"].items():

@@ -326,9 +326,11 @@ class ClusterManager:
             token = next(self._tokens)
             handle.inflight[token] = future
             self._token_driver[token] = driver
+            # the token rides along so the dispatch loop can drop the frame
+            # if the future is cancelled (speculation loser) before sending
             self._cmds.append(("send", handle, frames.encode_frame(
                 frames.TASK, frames.pack_task(token, executor_id, payload)
-            )))
+            ), token))
         self._wake()
         return future
 
@@ -484,7 +486,18 @@ class ClusterManager:
     def _process_commands(self) -> None:
         with self._lock:
             cmds, self._cmds = self._cmds, deque()
-        for _op, handle, frame_bytes in cmds:
+        for cmd in cmds:
+            _op, handle, frame_bytes = cmd[0], cmd[1], cmd[2]
+            if len(cmd) > 3:
+                # task frame: skip it entirely if the scheduler already
+                # cancelled the attempt (a queued speculation loser)
+                token = cmd[3]
+                with self._lock:
+                    future = handle.inflight.get(token)
+                    if future is None or future.cancelled():
+                        handle.inflight.pop(token, None)
+                        self._token_driver.pop(token, None)
+                        continue
             if handle.sock is None or not handle.alive:
                 continue
             handle.outbuf.extend(frame_bytes)

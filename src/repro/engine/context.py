@@ -105,6 +105,12 @@ class Context:
         self.shuffle_manager = ShuffleManager(serializer=self.serializer)
         self.shuffle_manager.bus = self.listener_bus
         self.metrics = MetricsRegistry()
+        # adaptive query execution: skew repartitioning + per-shuffle
+        # serializer selection + the speculation policy.  Always present so
+        # dashboards and flight-recorder bundles can report "disabled"
+        from repro.engine.adaptive import AdaptivePlanner
+
+        self.adaptive = AdaptivePlanner(self)
         self.fault_injector = fault_injector
         self.hdfs = hdfs
 

@@ -45,6 +45,17 @@ class Stage:
         """Shuffle ids this stage's tasks *read* (its input boundaries)."""
         return [dep.shuffle_id for dep in upstream_shuffle_deps(self.rdd)]
 
+    def refresh_num_tasks(self) -> int:
+        """Re-derive the task count after an adaptive plan mutation.
+
+        ``num_tasks`` is snapshotted at construction; when the adaptive
+        planner remaps the partitioner of a shuffle this stage reads, the
+        partition count propagates through the narrow chain and the stage
+        must be re-sized before its tasks are built.
+        """
+        self.num_tasks = self.rdd.num_partitions()
+        return self.num_tasks
+
     def __repr__(self) -> str:
         return f"Stage(id={self.id}, rdd={self.rdd.name}, shuffle_map={self.is_shuffle_map})"
 

@@ -40,6 +40,14 @@ future fields can be added compatibly.  Version history:
   backend exposes one.  Recoverable via :func:`read_fleet`, so
   ``sparkscore history`` and ``doctor`` can see cross-job fleet state
   long after the cluster is gone.  v5 and earlier logs load unchanged.
+- **v7** -- adaptive query execution.  Task records gain an optional
+  ``speculative`` flag (present only when a winning attempt was a
+  speculative twin), and a new ``adaptive`` side channel records every
+  planner decision: skew splits/coalesces, per-shuffle serializer picks,
+  and speculative launches.  Recoverable via :func:`read_adaptive` so
+  ``sparkscore history`` and post-mortem bundles can show *why* a job's
+  physical plan diverged from its static one.  v6 and earlier logs load
+  unchanged.
 
 Since the listener-bus refactor the log is written *incrementally*: the
 context attaches an :class:`EventLogListener` to its bus and each job is
@@ -56,16 +64,18 @@ from dataclasses import asdict
 from typing import IO, Iterable
 
 from repro.engine.listener import (
+    AdaptivePlanApplied,
     ExecutorHeartbeat,
     ExecutorTimedOut,
     JobEnd,
     Listener,
+    SpeculativeTaskLaunched,
 )
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
 from repro.obs.logging import LogRecord
 
-FORMAT_VERSION = 6
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
+FORMAT_VERSION = 7
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 #: non-job record kinds introduced by v3 (telemetry side-channel)
 TELEMETRY_EVENTS = ("heartbeat", "executor_timed_out")
@@ -79,6 +89,7 @@ SIDE_CHANNEL_MIN_VERSION = {
     "series": 5,
     "alert": 5,
     "fleet": 6,
+    "adaptive": 7,
 }
 
 
@@ -127,6 +138,8 @@ def _task_to_dict(rec: TaskRecord) -> dict:
         out["profile"] = rec.profile
     if rec.span_fragments:
         out["span_fragments"] = rec.span_fragments
+    if rec.speculative:
+        out["speculative"] = True
     return out
 
 
@@ -172,6 +185,7 @@ def _job_from_dict(data: dict) -> JobMetrics:
                     error=rec["error"],
                     profile=rec.get("profile"),
                     span_fragments=list(rec.get("span_fragments") or ()),
+                    speculative=bool(rec.get("speculative", False)),
                 )
             )
         job.stages.append(stage)
@@ -371,6 +385,34 @@ def read_fleet(path_or_file: str | IO[str]) -> list[dict]:
             fh.close()
 
 
+def read_adaptive(path_or_file: str | IO[str]) -> list[dict]:
+    """Load the v7 adaptive-decision records from an event log.
+
+    Returns raw decision dicts in file order -- ``kind`` is ``"split"``,
+    ``"coalesce"``, ``"rebalance"``, ``"serializer"``, or
+    ``"speculation"`` -- empty for v1-v6 logs.  Unparseable lines are
+    skipped (the side channel is best-effort).
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") == "adaptive":
+                out.append(data)
+        return out
+    finally:
+        if own:
+            fh.close()
+
+
 def read_alerts(path_or_file: str | IO[str]) -> list[dict]:
     """Load the v5 alert-transition records from an event log.
 
@@ -436,6 +478,7 @@ class EventLogListener(Listener):
         self.series_written = 0
         self.alerts_written = 0
         self.fleet_written = 0
+        self.adaptive_written = 0
 
     def _file(self) -> IO[str]:
         if self._fh is None:
@@ -472,6 +515,45 @@ class EventLogListener(Listener):
     def _write_telemetry(self, data: dict) -> None:
         self._file().write(json.dumps(data, separators=(",", ":")) + "\n")
         self.telemetry_written += 1
+
+    def on_adaptive_plan_applied(self, event: AdaptivePlanApplied) -> None:
+        """v7 ``adaptive`` line: one planner plan-rewrite decision (flushed
+        -- decisions are rare and explain result layouts, so losing the
+        tail is not acceptable)."""
+        self._write_adaptive({
+            "event": "adaptive",
+            "version": FORMAT_VERSION,
+            "time": event.time,
+            "kind": event.kind,
+            "shuffle_id": event.shuffle_id,
+            "stage_id": event.stage_id,
+            "job_id": event.job_id,
+            "old_partitions": event.old_partitions,
+            "new_partitions": event.new_partitions,
+            "detail": event.detail,
+        })
+
+    def on_speculative_task_launched(self, event: SpeculativeTaskLaunched) -> None:
+        """v7 ``adaptive`` line for a speculative twin launch."""
+        self._write_adaptive({
+            "event": "adaptive",
+            "version": FORMAT_VERSION,
+            "time": event.time,
+            "kind": "speculation",
+            "stage_id": event.stage_id,
+            "job_id": event.job_id,
+            "partition": event.partition,
+            "original_executor": event.original_executor,
+            "speculative_executor": event.speculative_executor,
+            "elapsed_seconds": event.elapsed_seconds,
+            "median_seconds": event.median_seconds,
+        })
+
+    def _write_adaptive(self, data: dict) -> None:
+        fh = self._file()
+        fh.write(json.dumps(data, separators=(",", ":")) + "\n")
+        fh.flush()
+        self.adaptive_written += 1
 
     def write_log(self, record: LogRecord) -> None:
         """Log-bus sink: append one v4 ``log`` record line (unflushed)."""

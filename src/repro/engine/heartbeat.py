@@ -159,6 +159,16 @@ class HeartbeatHub(Listener):
         with self._lock:
             return {eid: list(tasks) for eid, tasks in self._inflight.items()}
 
+    def idle_executors(self) -> set[str]:
+        """Alive executors with no tracked in-flight tasks (warm twin hosts)."""
+        with self._lock:
+            busy = {eid for eid, tasks in self._inflight.items() if tasks}
+        return {
+            e.executor_id
+            for e in self.ctx.executors
+            if e.alive and e.executor_id not in busy
+        }
+
     def last_heartbeat_age(self, executor_id: str) -> float | None:
         with self._lock:
             seen = self._last_seen.get(executor_id)

@@ -213,6 +213,41 @@ class StragglerDetected(EngineEvent):
 
 
 @dataclass
+class AdaptivePlanApplied(EngineEvent):
+    """The adaptive planner rewrote part of the physical plan at a stage
+    boundary.
+
+    ``kind`` is ``"split"``, ``"coalesce"``, ``"rebalance"`` (both at
+    once) or ``"serializer"``; for partition remaps ``old_partitions`` /
+    ``new_partitions`` describe the reduce layout change, for serializer
+    selections they carry the shuffle's map count and ``detail`` names the
+    chosen codec."""
+
+    shuffle_id: int
+    stage_id: int
+    job_id: int
+    kind: str
+    old_partitions: int
+    new_partitions: int
+    detail: str = ""
+
+
+@dataclass
+class SpeculativeTaskLaunched(EngineEvent):
+    """The scheduler launched a duplicate attempt of a straggling task.
+
+    First result wins; the loser is cancelled (or its result discarded)."""
+
+    stage_id: int
+    job_id: int
+    partition: int
+    original_executor: str
+    speculative_executor: str
+    elapsed_seconds: float
+    median_seconds: float
+
+
+@dataclass
 class AlertFired(EngineEvent):
     """An alerting rule crossed pending -> firing.
 
@@ -372,6 +407,8 @@ __all__ = [
     "ExecutorTimedOut",
     "StageSkewDetected",
     "StragglerDetected",
+    "AdaptivePlanApplied",
+    "SpeculativeTaskLaunched",
     "AlertFired",
     "AlertResolved",
     "Listener",

@@ -91,6 +91,9 @@ class TaskRecord:
     #: worker-side sub-phase spans ({name, start, end}, seconds relative to
     #: task start); shipped by the process backend, empty elsewhere
     span_fragments: list[dict] = field(default_factory=list)
+    #: True when this attempt was a speculative twin launched against a
+    #: straggling original (the record only exists if the twin won)
+    speculative: bool = False
 
 
 @dataclass

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 from typing import Any, Hashable, Sequence
 
 
@@ -79,3 +80,79 @@ class RangePartitioner(Partitioner):
 
     def __hash__(self) -> int:
         return hash(("RangePartitioner", tuple(self.bounds)))
+
+
+@dataclass(frozen=True)
+class ShuffleRemap:
+    """A rebalanced reduce layout for an already-written shuffle.
+
+    The map side wrote ``base_partitions`` reduce buckets; the adaptive
+    planner reads the registered per-bucket statistics and re-cuts them
+    into ``len(segments)`` new reduce partitions without rewriting a
+    byte.  Each new partition is an ordered list of slices of the old
+    layout: ``(old_reduce_idx, map_lo, map_hi)`` means "the blocks that
+    maps ``[map_lo, map_hi)`` wrote for old bucket ``old_reduce_idx``".
+
+    Two invariants keep results bit-identical to the static plan:
+
+    - segments walk old buckets in ascending order, and within one old
+      bucket the map ranges are ascending and contiguous, so the
+      concatenation of the new partitions replays the exact record
+      order of the old partitions;
+    - an old bucket is either kept whole (possibly merged with whole
+      neighbours) or split purely along map boundaries, so a coalesce
+      never interleaves and a split never reorders.
+    """
+
+    shuffle_id: int
+    base_partitions: int
+    segments: tuple[tuple[tuple[int, int, int], ...], ...]
+
+    @property
+    def new_partitions(self) -> int:
+        return len(self.segments)
+
+    def kind(self) -> str:
+        owners: dict[int, int] = {}
+        for segment in self.segments:
+            for old_idx, _lo, _hi in segment:
+                owners[old_idx] = owners.get(old_idx, 0) + 1
+        split = any(count > 1 for count in owners.values())
+        merged = any(
+            len({old for old, _lo, _hi in segment}) > 1 for segment in self.segments
+        )
+        if split and merged:
+            return "rebalance"
+        if merged:
+            return "coalesce"
+        return "split"
+
+
+class RemappedPartitioner(Partitioner):
+    """Routes keys through a base partitioner, then a :class:`ShuffleRemap`.
+
+    Installed on a ``ShuffledRDD`` after its map outputs are rebalanced:
+    downstream code sees the new partition count, and any key lands in
+    the first new partition that covers its old bucket.  Equality is
+    identity-only on purpose -- a remap is private to one shuffle's
+    runtime state, so co-partitioning optimizations (narrow cogroup,
+    combine_by_key reuse) must never match it structurally.
+    """
+
+    def __init__(self, base: Partitioner, remap: ShuffleRemap) -> None:
+        super().__init__(remap.new_partitions)
+        self.base = base
+        self.remap = remap
+        self._old_to_new = {}
+        for new_idx, segment in enumerate(remap.segments):
+            for old_idx, _lo, _hi in segment:
+                self._old_to_new.setdefault(old_idx, new_idx)
+
+    def partition(self, key: Any) -> int:
+        return self._old_to_new[self.base.partition(key)]
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)

@@ -400,17 +400,52 @@ class RDD:
             for dep in rdd.dependencies
             if isinstance(dep, ShuffleDependency)
         ]
+        planner = getattr(self.context, "adaptive", None)
+        manager = self.context.shuffle_manager
+        overrides = manager.serializer_overrides()
+        decided: dict[int, list[dict]] = {}
+        if planner is not None:
+            for d in planner.snapshot()["decisions"]:
+                sid = d.get("shuffle_id")
+                if sid is not None:
+                    decided.setdefault(sid, []).append(d)
         if shuffles:
             lines.append("")
             for dep in sorted(shuffles, key=lambda d: d.shuffle_id):
-                lines.append(
+                line = (
                     f"shuffle {dep.shuffle_id}: {dep.rdd.num_partitions()} map partition(s)"
                     f" -> {dep.partitioner.num_partitions} reduce partition(s)"
                     f" [{type(dep.partitioner).__name__}]"
                 )
+                notes = []
+                remap = manager.remap_for(dep.shuffle_id)
+                if remap is not None:
+                    notes.append(f"remapped to {remap.new_partitions} buckets")
+                if dep.shuffle_id in overrides:
+                    notes.append(f"serializer={overrides[dep.shuffle_id]}")
+                for d in decided.get(dep.shuffle_id, ()):
+                    notes.append(
+                        f"{d.get('kind')}: {d.get('old_partitions')}"
+                        f" -> {d.get('new_partitions')}"
+                    )
+                if notes:
+                    line += "  <adaptive: " + "; ".join(notes) + ">"
+                lines.append(line)
         else:
             lines.append("")
             lines.append("no shuffles: whole lineage runs as a single stage")
+        if planner is not None and (planner.enabled or planner.speculation is not None):
+            modes = []
+            if planner.enabled:
+                modes.append("skew repartitioning")
+                if planner.serializer_enabled:
+                    modes.append("serializer auto-tuning")
+            if planner.speculation is not None:
+                modes.append("speculative execution")
+            lines.append(
+                "adaptive execution: on (" + ", ".join(modes) + "); reduce "
+                "bucket counts above may be rewritten at stage boundaries"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -31,6 +31,7 @@ from repro.engine.listener import (
     ExecutorLost,
     JobEnd,
     JobStart,
+    SpeculativeTaskLaunched,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
@@ -69,6 +70,69 @@ class _FetchFailedSignal(Exception):
         super().__init__(f"fetch failed: shuffle {shuffle_id} map {map_partition}")
         self.shuffle_id = shuffle_id
         self.map_partition = map_partition
+
+
+class _SpeculationLost(Exception):
+    """Internal: this attempt lost the first-result-wins race.
+
+    Raised *before* any driver-side state was merged, so the attempt is
+    discarded without a retry, a failure count, or a TaskEnd."""
+
+    def __init__(self, partition: int, attempt: int) -> None:
+        super().__init__(f"partition {partition} attempt {attempt} lost the race")
+        self.partition = partition
+        self.attempt = attempt
+
+
+class _TaskSetCommits:
+    """First-result-wins commit claims for one task set.
+
+    Accumulator merges already dedup by (stage, partition), but registry
+    deltas, worker log replays, and telemetry observations do not -- so a
+    task attempt must win the claim for its partition *before* any of its
+    side effects are folded into driver state.  Exactly one attempt per
+    partition ever commits."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._claimed: dict[int, int] = {}
+
+    def try_claim(self, partition: int, attempt: int) -> bool:
+        with self._lock:
+            if partition in self._claimed:
+                return False
+            self._claimed[partition] = attempt
+            return True
+
+
+@dataclass
+class _Attempt:
+    """One in-flight task attempt as tracked by ``run_task_set``."""
+
+    task: "Task"
+    attempt: int
+    executor: Executor
+    launched: float
+    speculative: bool = False
+
+
+def _cancel_attempt(future: concurrent.futures.Future) -> None:
+    """Cancel a scheduler future and its chained backend future, if any."""
+    future.cancel()
+    pool_future = getattr(future, "_pool_future", None)
+    if pool_future is not None:
+        pool_future.cancel()
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
 def stage_shuffle_inputs(rdd: "RDD", split: int) -> set[tuple[int, int]]:
@@ -202,12 +266,26 @@ class TaskScheduler:
         # FIFO: partition 0 launches first, so locality/straggler traces
         # read in partition order
         pending: deque[tuple[Task, int, set[str]]] = deque((t, 0, set()) for t in tasks)
-        inflight: dict[concurrent.futures.Future, tuple[Task, int, Executor]] = {}
+        inflight: dict[concurrent.futures.Future, _Attempt] = {}
         max_inflight = max(1, backend.parallelism) * 2
         fetch_failure: _FetchFailedSignal | None = None
         task_binary: _SerializedTaskBinary | None = None
         if tasks and not backend.supports_shared_state:
             task_binary = self._build_task_binary(stage, tasks[0])
+
+        planner = getattr(self.ctx, "adaptive", None)
+        commits = _TaskSetCommits()
+        policy = planner.speculation if planner is not None else None
+        if policy is not None and (backend.parallelism <= 1 or len(tasks) < 2):
+            # a twin can't overlap its original without spare slots
+            policy = None
+        completed_durations: list[float] = []
+        speculated: set[int] = set()
+        # serializer probe: run the stage's first map task alone, pick a
+        # per-shuffle serializer from its registered frames, then open the
+        # gate for the rest
+        probe_gate = planner is not None and planner.wants_serializer_probe(stage)
+        launch_limit = 1 if probe_gate else max_inflight
 
         hub = getattr(self.ctx, "heartbeats", None)
         # with an active timeout monitor, wake up periodically to check for
@@ -215,16 +293,22 @@ class TaskScheduler:
         wait_timeout = None
         if hub is not None and hub.timeout > 0:
             wait_timeout = max(hub.interval, 0.01)
+        if policy is not None:
+            # straggler checks need a clock even when nothing completes
+            spec_tick = max(policy.min_runtime / 4, 0.01)
+            wait_timeout = spec_tick if wait_timeout is None else min(wait_timeout, spec_tick)
 
         while pending or inflight:
-            while pending and len(inflight) < max_inflight and fetch_failure is None:
+            while pending and len(inflight) < launch_limit and fetch_failure is None:
                 task, attempt, tried = pending.popleft()
                 executor = self._choose_executor(task, exclude=tried)
                 self.ctx.listener_bus.post(
                     TaskStart(stage.id, task.partition, attempt, executor.executor_id)
                 )
-                future = self._submit(stage, task, attempt, executor, task_binary, job)
-                inflight[future] = (task, attempt, executor)
+                future = self._submit(
+                    stage, task, attempt, executor, task_binary, job, commits
+                )
+                inflight[future] = _Attempt(task, attempt, executor, time.perf_counter())
             if not inflight:
                 break
             done, _ = concurrent.futures.wait(
@@ -235,12 +319,26 @@ class TaskScheduler:
             if hub is not None:
                 for executor_id in hub.take_timed_out():
                     self._reschedule_lost_executor(
-                        executor_id, stage, inflight, pending, done, job, config
+                        executor_id, stage, inflight, pending, done, results, job, config
                     )
             for future in done:
-                task, attempt, executor = inflight.pop(future)
+                att = inflight.pop(future, None)
+                if att is None:
+                    # a race winner already cancelled this sibling attempt
+                    continue
+                task, attempt, executor = att.task, att.attempt, att.executor
                 try:
                     value, record = future.result()
+                except (concurrent.futures.CancelledError, _SpeculationLost):
+                    # first-result-wins: this attempt lost its speculation
+                    # race (or was cancelled after the winner committed);
+                    # nothing was merged, so nothing needs retrying
+                    log.debug(
+                        "attempt lost speculation race; discarded",
+                        job_id=job.job_id, stage_id=stage.id,
+                        partition=task.partition, attempt=attempt,
+                        executor_id=executor.executor_id,
+                    )
                 except FetchFailedError as exc:
                     executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
                     job.num_task_failures += 1
@@ -265,6 +363,8 @@ class TaskScheduler:
                         executor_id=exc.executor_id,
                     )
                     self._handle_executor_loss(exc.executor_id, job)
+                    if self._partition_satisfied(task.partition, results, inflight):
+                        continue
                     if attempt + 1 > config.max_task_retries:
                         raise JobFailedError(
                             f"task (stage={stage.id}, partition={task.partition}) "
@@ -293,6 +393,8 @@ class TaskScheduler:
                         executor_id=executor.executor_id,
                         error=f"{type(exc).__name__}: {exc}",
                     )
+                    if self._partition_satisfied(task.partition, results, inflight):
+                        continue
                     if attempt + 1 > config.max_task_retries:
                         raise JobFailedError(
                             f"task (stage={stage.id}, partition={task.partition}) failed "
@@ -302,11 +404,27 @@ class TaskScheduler:
                     pending.append((task, attempt + 1, tried))
                 else:
                     executor.note_task(True, trace_id=getattr(self.ctx, "trace_id", None))
+                    if att.speculative:
+                        record.speculative = True
+                        if planner is not None:
+                            planner.note_speculation_won()
                     results[task.partition] = value
+                    completed_durations.append(record.duration_seconds)
+                    # first result won: cancel the losing sibling attempts
+                    for sib_future, sib in list(inflight.items()):
+                        if sib.task.partition == task.partition:
+                            del inflight[sib_future]
+                            _cancel_attempt(sib_future)
                     if isinstance(task, ResultTask):
                         record.metrics.driver_bytes_collected += estimate_size(value)
                     stage_metrics.tasks.append(record)
                     self.ctx.listener_bus.post(TaskEnd(record))
+                    if probe_gate:
+                        # the probe map output is registered; pick the
+                        # shuffle's serializer before the rest launch
+                        probe_gate = False
+                        launch_limit = max_inflight
+                        planner.choose_serializer(stage, job.job_id)
                     log.debug(
                         "task finished",
                         job_id=job.job_id, stage_id=stage.id,
@@ -314,9 +432,97 @@ class TaskScheduler:
                         executor_id=executor.executor_id,
                         duration_seconds=round(record.duration_seconds, 6),
                     )
+            if policy is not None and fetch_failure is None:
+                self._maybe_speculate(
+                    stage, job, inflight, results, speculated,
+                    completed_durations, len(tasks), policy, planner,
+                    task_binary, commits,
+                )
         if fetch_failure is not None:
             raise fetch_failure
         return results
+
+    @staticmethod
+    def _partition_satisfied(
+        partition: int, results: dict[int, Any], inflight: dict
+    ) -> bool:
+        """A failed attempt needs no retry if a sibling covers its partition."""
+        if partition in results:
+            return True
+        return any(att.task.partition == partition for att in inflight.values())
+
+    def _choose_speculative_executor(self, att: _Attempt) -> Executor:
+        """Warm placement for a twin: prefer an idle executor that is not
+        running the straggling original; fall back to any alive executor."""
+        original = att.executor.executor_id
+        alive = self._alive_executors()
+        if not alive:
+            raise JobFailedError("no alive executors remain")
+        others = [e for e in alive if e.executor_id != original]
+        hub = getattr(self.ctx, "heartbeats", None)
+        if hub is not None and others:
+            idle = hub.idle_executors()
+            warm = [e for e in others if e.executor_id in idle]
+            if warm:
+                return warm[att.task.partition % len(warm)]
+        if others:
+            return others[att.task.partition % len(others)]
+        return alive[0]
+
+    def _maybe_speculate(
+        self,
+        stage: Stage,
+        job: JobMetrics,
+        inflight: dict,
+        results: dict[int, Any],
+        speculated: set[int],
+        completed_durations: list[float],
+        total_tasks: int,
+        policy: Any,
+        planner: Any,
+        task_binary: "_SerializedTaskBinary | None",
+        commits: _TaskSetCommits,
+    ) -> None:
+        """Launch duplicate attempts for stragglers (first result wins)."""
+        if not policy.ready(len(completed_durations), total_tasks):
+            return
+        threshold = policy.threshold(completed_durations)
+        median = _median(completed_durations)
+        now = time.perf_counter()
+        for att in list(inflight.values()):
+            partition = att.task.partition
+            if att.speculative or partition in speculated or partition in results:
+                continue
+            elapsed = now - att.launched
+            if elapsed < threshold:
+                continue
+            twin_executor = self._choose_speculative_executor(att)
+            speculated.add(partition)
+            self.ctx.listener_bus.post(SpeculativeTaskLaunched(
+                stage.id, job.job_id, partition,
+                att.executor.executor_id, twin_executor.executor_id,
+                elapsed, median,
+            ))
+            self.ctx.listener_bus.post(TaskStart(
+                stage.id, partition, att.attempt + 1, twin_executor.executor_id
+            ))
+            if planner is not None:
+                planner.note_speculation_launched()
+            log.info(
+                "speculative attempt launched",
+                job_id=job.job_id, stage_id=stage.id, partition=partition,
+                original_executor=att.executor.executor_id,
+                speculative_executor=twin_executor.executor_id,
+                elapsed_seconds=round(elapsed, 6),
+                median_seconds=round(median, 6),
+            )
+            twin = self._submit(
+                stage, att.task, att.attempt + 1, twin_executor, task_binary,
+                job, commits, speculative=True,
+            )
+            inflight[twin] = _Attempt(
+                att.task, att.attempt + 1, twin_executor, now, speculative=True
+            )
 
     def _reschedule_lost_executor(
         self,
@@ -325,6 +531,7 @@ class TaskScheduler:
         inflight: dict,
         pending: deque,
         done: set,
+        results: dict[int, Any],
         job: JobMetrics,
         config: Any,
     ) -> None:
@@ -334,7 +541,9 @@ class TaskScheduler:
         futures are dropped from the wait set and any late result is
         discarded safely (accumulator merges dedup by (stage, partition);
         late shuffle/block merges are idempotent) -- and each task is
-        requeued on a healthy executor, excluding the lost one.
+        requeued on a healthy executor, excluding the lost one.  A lost
+        attempt whose partition is already covered by a completed result or
+        a surviving sibling attempt (speculation) is simply dropped.
         """
         self._handle_executor_loss(executor_id, job)
         log.warning(
@@ -343,23 +552,25 @@ class TaskScheduler:
         )
         abandoned = [
             future
-            for future, (_, _, executor) in inflight.items()
-            if executor.executor_id == executor_id and future not in done
+            for future, att in inflight.items()
+            if att.executor.executor_id == executor_id and future not in done
         ]
         for future in abandoned:
-            task, attempt, executor = inflight.pop(future)
-            future.cancel()  # no-op if already running; drops queued attempts
-            executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
+            att = inflight.pop(future)
+            _cancel_attempt(future)  # no-op if already running; drops queued attempts
+            att.executor.note_task(False, trace_id=getattr(self.ctx, "trace_id", None))
             job.num_task_failures += 1
             exc = ExecutorLostError(executor_id)
-            self._post_failed_task(stage, task, attempt, executor, exc)
-            if attempt + 1 > config.max_task_retries:
+            self._post_failed_task(stage, att.task, att.attempt, att.executor, exc)
+            if self._partition_satisfied(att.task.partition, results, inflight):
+                continue
+            if att.attempt + 1 > config.max_task_retries:
                 raise JobFailedError(
-                    f"task (stage={stage.id}, partition={task.partition}) "
+                    f"task (stage={stage.id}, partition={att.task.partition}) "
                     f"exceeded {config.max_task_retries} retries "
                     f"(executor {executor_id} heartbeat timeout)"
                 ) from exc
-            pending.append((task, attempt + 1, {executor_id}))
+            pending.append((att.task, att.attempt + 1, {executor_id}))
 
     def _post_failed_task(
         self, stage: Stage, task: Task, attempt: int, executor: Executor, exc: Exception
@@ -386,19 +597,31 @@ class TaskScheduler:
         executor: Executor,
         task_binary: _SerializedTaskBinary | None,
         job: JobMetrics,
+        commits: _TaskSetCommits | None = None,
+        speculative: bool = False,
     ) -> concurrent.futures.Future:
         backend = self.ctx.backend
         if backend.supports_shared_state:
             return backend.submit(
-                self._run_shared, stage, task, attempt, executor, job.job_id
+                self._run_shared, stage, task, attempt, executor, job.job_id,
+                commits, speculative,
             )
         assert task_binary is not None
-        return self._submit_process(stage, task, attempt, executor, task_binary, job)
+        return self._submit_process(
+            stage, task, attempt, executor, task_binary, job, commits, speculative
+        )
 
     # -- shared-state execution (serial / threads) -----------------------------
 
     def _run_shared(
-        self, stage: Stage, task: Task, attempt: int, executor: Executor, job_id: int
+        self,
+        stage: Stage,
+        task: Task,
+        attempt: int,
+        executor: Executor,
+        job_id: int,
+        commits: _TaskSetCommits | None = None,
+        speculative: bool = False,
     ) -> tuple[Any, TaskRecord]:
         if not executor.alive:
             raise ExecutorLostError(executor.executor_id)
@@ -413,6 +636,7 @@ class TaskScheduler:
             block_master=self.ctx.block_master,
             accumulators=AccumulatorBuffer(self.ctx._accumulators),
             fault_hook=injector.on_task_launch if injector is not None else None,
+            speculative=speculative,
         )
         hub = getattr(self.ctx, "heartbeats", None)
         if hub is not None:
@@ -437,6 +661,10 @@ class TaskScheduler:
             else:
                 value, hotspots = task.run(tc), None
         duration = time.perf_counter() - start
+        if commits is not None and not commits.try_claim(task.partition, attempt):
+            # a speculative sibling committed first; discard this attempt
+            # before any non-idempotent driver-state merge below
+            raise _SpeculationLost(task.partition, attempt)
         telemetry.record(tc.metrics)
         from repro.core.instrumentation import observe_worker_task
 
@@ -507,6 +735,8 @@ class TaskScheduler:
         executor: Executor,
         tb: _SerializedTaskBinary,
         job: JobMetrics,
+        commits: _TaskSetCommits | None = None,
+        speculative: bool = False,
     ) -> concurrent.futures.Future:
         """Dispatch one attempt to the process pool without blocking.
 
@@ -537,7 +767,8 @@ class TaskScheduler:
             for shuffle_id, reduce_part in stage_shuffle_inputs(task.rdd, task.partition):
                 blocks = self.ctx.shuffle_manager.fetch_blocks(shuffle_id, reduce_part)
                 prefetched[(shuffle_id, reduce_part)] = FrameBatch(
-                    [b.payload for b in blocks], serializer
+                    [b.payload for b in blocks],
+                    self.ctx.shuffle_manager.serializer_for(shuffle_id),
                 )
             cached_blocks: dict[tuple[int, int], bytes] = {}
             for block_id in stage_cached_rdd_blocks(task.rdd, task.partition):
@@ -557,9 +788,14 @@ class TaskScheduler:
                     "partition": task.partition,
                     "attempt": attempt,
                     "executor_id": executor.executor_id,
+                    "speculative": speculative,
                     "prefetched_shuffle": prefetched,
                     "cached_blocks": cached_blocks,
                     "serializer": serializer,
+                    # adaptive per-shuffle serializer picks: the worker's
+                    # private ShuffleManager must frame its map output the
+                    # same way the driver will decode it
+                    "shuffle_serializers": self.ctx.shuffle_manager.serializer_overrides(),
                     "transport": transport.spec() if transport is not None else None,
                     "result_transport_min": self.ctx.config.transport_min_bytes * 4,
                     # the driver decides sampling so the profiled subset is
@@ -606,6 +842,12 @@ class TaskScheduler:
                 out, serialize_seconds, serialize_offset = unframe_result(
                     done.result(), transport
                 )
+                if commits is not None and not commits.try_claim(
+                    task.partition, attempt
+                ):
+                    # a speculative sibling committed first: drop this
+                    # result before any driver-state merge
+                    raise _SpeculationLost(task.partition, attempt)
                 value, record = self._merge_process_result(
                     stage, task, attempt, executor, tb,
                     out, serialize_seconds, serialize_offset, start,
@@ -621,6 +863,9 @@ class TaskScheduler:
                 except concurrent.futures.InvalidStateError:
                     pass
 
+        # chain the backend future so _cancel_attempt can drop a queued
+        # speculation loser before a worker ever picks it up
+        out_future._pool_future = pool_future
         pool_future.add_done_callback(_finish)
         return out_future
 
@@ -745,6 +990,9 @@ class DAGScheduler:
         description: str = "",
     ) -> list[Any]:
         config = self.ctx.config
+        # an explicit partition subset pins the result layout; only a
+        # default all-partitions job may be adaptively re-partitioned
+        auto_partitions = partitions is None
         if partitions is None:
             partitions = list(range(rdd.num_partitions()))
         graph = StageGraph(rdd, self.ctx._stage_ids)
@@ -772,7 +1020,8 @@ class DAGScheduler:
             )
             try:
                 self._drive(
-                    graph, job, func, results, wanted, stage_attempts, config, description
+                    graph, job, func, results, partitions, wanted,
+                    auto_partitions, stage_attempts, config, description,
                 )
             except Exception as exc:
                 job.wall_seconds = time.perf_counter() - job_start
@@ -802,10 +1051,45 @@ class DAGScheduler:
         job: JobMetrics,
         func: Callable[[Iterator], Any],
         results: dict[int, Any],
+        partitions: list[int],
         wanted: set[int],
+        auto_partitions: bool,
         stage_attempts: dict[int, int],
         config: Any,
         description: str,
+    ) -> None:
+        bus = self.ctx.listener_bus
+        planner = getattr(self.ctx, "adaptive", None)
+        # remaps are job-scoped: shuffle storage keeps its original bucket
+        # layout, and the partitioner mutation must be undone so later jobs
+        # that reuse the same RDD chain see the committed static plan
+        applied_remaps: list = []
+        adapted: set[int] = set()
+        try:
+            self._drive_stages(
+                graph, job, func, results, partitions, wanted, auto_partitions,
+                stage_attempts, config, description, planner, applied_remaps,
+                adapted,
+            )
+        finally:
+            for applied in applied_remaps:
+                applied.revert()
+
+    def _drive_stages(
+        self,
+        graph: StageGraph,
+        job: JobMetrics,
+        func: Callable[[Iterator], Any],
+        results: dict[int, Any],
+        partitions: list[int],
+        wanted: set[int],
+        auto_partitions: bool,
+        stage_attempts: dict[int, int],
+        config: Any,
+        description: str,
+        planner: Any,
+        applied_remaps: list,
+        adapted: set[int],
     ) -> None:
         bus = self.ctx.listener_bus
         while True:
@@ -813,6 +1097,12 @@ class DAGScheduler:
             for stage in graph.all_stages():
                 if not self._parents_ready(stage):
                     continue
+                if planner is not None and stage.id not in adapted:
+                    adapted.add(stage.id)
+                    self._maybe_adapt_stage(
+                        stage, graph, job, planner, applied_remaps,
+                        partitions, wanted, auto_partitions, results,
+                    )
                 if stage.is_shuffle_map:
                     missing = sorted(
                         self.ctx.shuffle_manager.missing_maps(stage.shuffle_dep.shuffle_id)
@@ -894,6 +1184,53 @@ class DAGScheduler:
                     "scheduler made no progress; stage graph is stuck "
                     f"(job {job.job_id}, {description!r})"
                 )
+
+    def _maybe_adapt_stage(
+        self,
+        stage: Stage,
+        graph: StageGraph,
+        job: JobMetrics,
+        planner: Any,
+        applied_remaps: list,
+        partitions: list[int],
+        wanted: set[int],
+        auto_partitions: bool,
+        results: dict[int, Any],
+    ) -> None:
+        """Stage boundary: let the planner rewrite this stage's reduce layout.
+
+        Runs once per stage, after its parents' map outputs are complete and
+        before any of its own tasks launch.  A shuffle-map stage that already
+        produced output (stage resubmission) and a result stage with an
+        explicit partition subset or partial results are left alone.
+        """
+        manager = self.ctx.shuffle_manager
+        if stage.is_shuffle_map:
+            if manager.available_maps(stage.shuffle_dep.shuffle_id):
+                return
+        elif not auto_partitions or results:
+            return
+        applied = planner.maybe_rebalance(stage, graph, job.job_id)
+        if applied is None:
+            return
+        applied_remaps.append(applied)
+        new_count = stage.refresh_num_tasks()
+        if stage.is_shuffle_map:
+            # this stage now writes new_count map outputs downstream reads;
+            # the revert purges them so a later (static-plan) job recomputes
+            manager.register_shuffle(stage.shuffle_dep.shuffle_id, new_count)
+            applied.downstream_shuffle_id = stage.shuffle_dep.shuffle_id
+        else:
+            partitions[:] = list(range(new_count))
+            wanted.clear()
+            wanted.update(partitions)
+        log.info(
+            "adaptive plan applied",
+            job_id=job.job_id, stage_id=stage.id,
+            kind=applied.remap.kind(),
+            old_partitions=applied.remap.base_partitions,
+            new_partitions=applied.remap.new_partitions,
+        )
 
     def _parents_ready(self, stage: Stage) -> bool:
         for shuffle_id in stage.parent_shuffle_ids():

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.dependencies import ShuffleDependency
     from repro.engine.listener import ListenerBus
     from repro.engine.metrics import TaskMetrics
+    from repro.engine.partitioner import ShuffleRemap
 
 
 class FetchFailedError(RuntimeError):
@@ -92,7 +93,43 @@ class ShuffleManager:
         self._writers: dict[tuple[int, int], str] = {}
         # shuffle_id -> number of map partitions expected
         self._num_maps: dict[int, int] = {}
+        # shuffle_id -> adaptive reduce-side remap (storage stays in the
+        # original layout; fetch translates new reduce indices to old ones)
+        self._remaps: "dict[int, ShuffleRemap]" = {}
+        # shuffle_id -> adaptively chosen serializer (overrides self.serializer)
+        self._serializer_overrides: dict[int, Serializer] = {}
         self._track_bytes = track_bytes
+
+    # -- per-shuffle serializer ----------------------------------------------
+
+    def serializer_for(self, shuffle_id: int) -> Serializer:
+        """The serializer this shuffle's frames are encoded with."""
+        return self._serializer_overrides.get(shuffle_id, self.serializer)
+
+    def set_serializer_override(self, shuffle_id: int, which: "str | Serializer") -> None:
+        """Pin a serializer for one shuffle, re-encoding any frames already
+        written with the old one (the adaptive probe's first map output).
+
+        Must be called before reduce tasks read the shuffle; the scheduler
+        only switches while the probe gate holds back the remaining maps.
+        """
+        new = get_serializer(which)
+        old = self.serializer_for(shuffle_id)
+        with self._lock:
+            self._serializer_overrides[shuffle_id] = new
+            if new.name == old.name:
+                return
+            for (sid, _mp), blocks in self._outputs.items():
+                if sid != shuffle_id:
+                    continue
+                for reduce_idx, block in blocks.items():
+                    records = old.loads(block.payload)
+                    frame, serialized = new.encode_with_stats(records)
+                    blocks[reduce_idx] = ShuffleBlock(frame, serialized, block.num_records)
+
+    def serializer_overrides(self) -> dict[int, str]:
+        """Name map shipped to worker processes inside the task payload."""
+        return {sid: ser.name for sid, ser in self._serializer_overrides.items()}
 
     # -- registration --------------------------------------------------------
 
@@ -100,9 +137,10 @@ class ShuffleManager:
         with self._lock:
             self._num_maps[shuffle_id] = num_maps
 
-    def encode_bucket(self, records: list) -> ShuffleBlock:
+    def encode_bucket(self, records: list, serializer: Serializer | None = None) -> ShuffleBlock:
         """Serialize one reduce bucket into a frame."""
-        frame, serialized = self.serializer.encode_with_stats(records)
+        ser = serializer if serializer is not None else self.serializer
+        frame, serialized = ser.encode_with_stats(records)
         return ShuffleBlock(frame, serialized, len(records))
 
     def write_map_output(
@@ -132,8 +170,9 @@ class ShuffleManager:
                 buckets[partitioner.partition(key)].append((key, value))
 
         encode_start = time.perf_counter()
+        ser = self.serializer_for(dep.shuffle_id)
         blocks = {
-            reduce_idx: self.encode_bucket(bucket)
+            reduce_idx: self.encode_bucket(bucket, ser)
             for reduce_idx, bucket in buckets.items()
         }
         encode_seconds = time.perf_counter() - encode_start
@@ -169,13 +208,14 @@ class ShuffleManager:
         """
         partitioner = dep.partitioner
         encode_start = time.perf_counter()
+        ser = self.serializer_for(dep.shuffle_id)
         blocks: dict[int, ShuffleBlock] = {}
         for reduce_idx in range(partitioner.num_partitions):
             bucket = buckets.get(reduce_idx)
             if isinstance(bucket, ShuffleBlock):
                 blocks[reduce_idx] = bucket
             else:
-                blocks[reduce_idx] = self.encode_bucket(list(bucket or ()))
+                blocks[reduce_idx] = self.encode_bucket(list(bucket or ()), ser)
         encode_seconds = time.perf_counter() - encode_start
         return self._register(
             dep.shuffle_id,
@@ -225,6 +265,65 @@ class ShuffleManager:
             ))
         return status
 
+    # -- adaptive remaps -------------------------------------------------------
+
+    def set_remap(self, remap: "ShuffleRemap") -> None:
+        """Install an adaptive reduce-side remap for a fully-written shuffle.
+
+        Storage keeps the original bucket layout (recomputed map tasks
+        after an executor loss still write the old layout); every fetch of
+        a remapped shuffle translates new reduce indices into ordered
+        slices of the old buckets.
+        """
+        with self._lock:
+            self._remaps[remap.shuffle_id] = remap
+
+    def clear_remap(self, shuffle_id: int) -> None:
+        """Drop a remap at job end: remaps are plan state, not storage state,
+        and a later job over the same lineage must see the original layout."""
+        with self._lock:
+            self._remaps.pop(shuffle_id, None)
+
+    def remap_for(self, shuffle_id: int) -> "ShuffleRemap | None":
+        return self._remaps.get(shuffle_id)
+
+    def peek_map_output(self, shuffle_id: int, map_partition: int) -> dict[int, ShuffleBlock]:
+        """Copy of one map task's registered buckets (adaptive probing)."""
+        with self._lock:
+            return dict(self._outputs.get((shuffle_id, map_partition)) or {})
+
+    def bucket_stats(self, shuffle_id: int) -> list[list[tuple[int, int]]]:
+        """Per-old-reduce-bucket, per-map ``(num_records, serialized_bytes)``.
+
+        Requires every map output to be registered (the planner runs at a
+        stage boundary, after the map stage completed); raises
+        :class:`FetchFailedError` on the first missing map.
+        """
+        with self._lock:
+            num_maps = self._num_maps.get(shuffle_id)
+            if num_maps is None:
+                raise KeyError(f"shuffle {shuffle_id} was never registered")
+            outputs = []
+            num_reducers = 0
+            for map_partition in range(num_maps):
+                output = self._outputs.get((shuffle_id, map_partition))
+                if output is None:
+                    raise FetchFailedError(shuffle_id, map_partition)
+                outputs.append(output)
+                if output:
+                    num_reducers = max(num_reducers, max(output) + 1)
+            stats: list[list[tuple[int, int]]] = []
+            for reduce_idx in range(num_reducers):
+                row = []
+                for output in outputs:
+                    block = output.get(reduce_idx)
+                    if block is None:
+                        row.append((0, 0))
+                    else:
+                        row.append((block.num_records, block.serialized_bytes))
+                stats.append(row)
+            return stats
+
     # -- fetch ----------------------------------------------------------------
 
     def available_maps(self, shuffle_id: int) -> set[int]:
@@ -251,14 +350,27 @@ class ShuffleManager:
             num_maps = self._num_maps.get(shuffle_id)
             if num_maps is None:
                 raise KeyError(f"shuffle {shuffle_id} was never registered")
+            remap = self._remaps.get(shuffle_id)
             blocks: list[ShuffleBlock] = []
-            for map_partition in range(num_maps):
-                output = self._outputs.get((shuffle_id, map_partition))
-                if output is None:
-                    raise FetchFailedError(shuffle_id, map_partition)
-                block = output.get(reduce_partition)
-                if block is not None:
-                    blocks.append(block)
+            if remap is not None:
+                # translate the rebalanced reduce index into ordered slices
+                # of the original layout
+                for old_idx, map_lo, map_hi in remap.segments[reduce_partition]:
+                    for map_partition in range(map_lo, map_hi):
+                        output = self._outputs.get((shuffle_id, map_partition))
+                        if output is None:
+                            raise FetchFailedError(shuffle_id, map_partition)
+                        block = output.get(old_idx)
+                        if block is not None:
+                            blocks.append(block)
+            else:
+                for map_partition in range(num_maps):
+                    output = self._outputs.get((shuffle_id, map_partition))
+                    if output is None:
+                        raise FetchFailedError(shuffle_id, map_partition)
+                    block = output.get(reduce_partition)
+                    if block is not None:
+                        blocks.append(block)
         if self.bus is not None:
             from repro.engine.listener import ShuffleFetch
 
@@ -281,7 +393,7 @@ class ShuffleManager:
         first missing map output.
         """
         blocks = self.fetch_blocks(shuffle_id, reduce_partition)
-        serializer = self.serializer
+        serializer = self.serializer_for(shuffle_id)
         for block in blocks:
             if block.num_records == 0:
                 continue
@@ -313,6 +425,8 @@ class ShuffleManager:
     def unregister_shuffle(self, shuffle_id: int) -> None:
         with self._lock:
             self._num_maps.pop(shuffle_id, None)
+            self._remaps.pop(shuffle_id, None)
+            self._serializer_overrides.pop(shuffle_id, None)
             for key in [k for k in self._outputs if k[0] == shuffle_id]:
                 del self._outputs[key]
                 self._writers.pop(key, None)

@@ -141,11 +141,17 @@ class TaskContext:
         fault_hook: Callable[["TaskContext"], None] | None = None,
         trace_id: str | None = None,
         parent_span_id: int | None = None,
+        speculative: bool = False,
     ) -> None:
         self.stage_id = stage_id
         self.partition = partition
         self.attempt = attempt
         self.executor_id = executor_id
+        #: True when this attempt is a speculative twin racing a straggling
+        #: original; ``current_task_context().speculative`` lets user code
+        #: and fault hooks tell the racer from the first attempt (the
+        #: ``attempt`` counter alone cannot -- retries also increment it)
+        self.speculative = speculative
         self.shuffle_manager = shuffle_manager
         self.block_manager = block_manager
         self.block_master = block_master

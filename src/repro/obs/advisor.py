@@ -93,6 +93,9 @@ class DiagnosisInput:
     straggler_multiplier: float = 3.0
     straggler_min_seconds: float = 0.1
     min_tasks: int = 4
+    #: whether adaptive query execution was enabled for the run; ``None``
+    #: means unknown (e.g. a cold event log predating the field)
+    adaptive: bool | None = None
 
     def stages(self):
         for job in self.jobs:
@@ -177,8 +180,9 @@ def rule_stragglers(inp: DiagnosisInput) -> list[Recommendation]:
             )
             action = (
                 "suspect the executor, not the data: check its heartbeat RSS/GC "
-                "series; with speculative retry unavailable, reduce "
-                "executor_cores or exclude the host"
+                "series; enable speculative execution (spark.speculation=true) "
+                "so twin attempts on healthy peers outrun it, or reduce "
+                "executor_cores / exclude the host"
             )
         else:
             title = (
@@ -388,9 +392,65 @@ def rule_container_sizing(inp: DiagnosisInput) -> list[Recommendation]:
     ]
 
 
+def rule_enable_adaptive(inp: DiagnosisInput) -> list[Recommendation]:
+    """Skew or stragglers observed while AQE was off -> turn it on.
+
+    The adaptive planner fixes exactly these two pathologies at runtime
+    (bucket splits for skew, speculative twins for stragglers) without
+    touching the workload, so evidence of either while adaptivity is
+    disabled is a one-line config win.
+    """
+    if inp.adaptive is not False:
+        return []
+    skewed: list[int] = []
+    straggling: list[int] = []
+    for _, stage in inp.stages():
+        if detect_skew(
+            stage, max_over_median=inp.skew_max_over_median, min_tasks=inp.min_tasks
+        ):
+            skewed.append(stage.stage_id)
+        if detect_stragglers(
+            stage,
+            multiplier=inp.straggler_multiplier,
+            min_seconds=inp.straggler_min_seconds,
+            min_tasks=inp.min_tasks,
+        ):
+            straggling.append(stage.stage_id)
+    if not skewed and not straggling:
+        return []
+    what = []
+    if skewed:
+        what.append(f"skew in stage(s) {sorted(set(skewed))}")
+    if straggling:
+        what.append(f"straggler(s) in stage(s) {sorted(set(straggling))}")
+    return [
+        Recommendation(
+            rule="enable-adaptive-execution",
+            severity="warning",
+            title=(
+                "adaptive execution is off but the run shows "
+                + " and ".join(what)
+            ),
+            action=(
+                "set spark.adaptive.enabled=true (or pass --adaptive): the "
+                "planner splits oversized shuffle buckets and races "
+                "speculative twins against stragglers at runtime, with "
+                "bit-identical results"
+            ),
+            evidence={
+                "skewed_stages": sorted(set(skewed)),
+                "straggling_stages": sorted(set(straggling)),
+                "adaptive_enabled": False,
+            },
+            score=float(len(set(skewed)) + len(set(straggling))),
+        )
+    ]
+
+
 RULES = (
     rule_repartition_skew,
     rule_stragglers,
+    rule_enable_adaptive,
     rule_cache_thrash,
     rule_gc_pressure,
     rule_serializer,
@@ -409,6 +469,7 @@ def diagnose(
     straggler_multiplier: float = 3.0,
     straggler_min_seconds: float = 0.1,
     min_tasks: int = 4,
+    adaptive: bool | None = None,
 ) -> list[Recommendation]:
     """Run every rule; return recommendations ranked most-urgent first.
 
@@ -426,6 +487,7 @@ def diagnose(
         straggler_multiplier=straggler_multiplier,
         straggler_min_seconds=straggler_min_seconds,
         min_tasks=min_tasks,
+        adaptive=adaptive,
     )
     recs: list[Recommendation] = []
     for rule in RULES:
@@ -494,6 +556,7 @@ __all__ = [
     "recommendations_to_json",
     "rule_repartition_skew",
     "rule_stragglers",
+    "rule_enable_adaptive",
     "rule_cache_thrash",
     "rule_gc_pressure",
     "rule_serializer",

@@ -17,6 +17,8 @@ four different logs -- into one JSON **post-mortem bundle**:
   engine config;
 - on persistent fleets, the cluster-resident fleet snapshot (executor
   lifecycle history, warm-cache stats, queue depths) under ``fleet``;
+- the adaptive planner's decision ledger (plan rewrites, serializer
+  picks, speculation outcomes) under ``adaptive``;
 - the failed job's full stage/task tree, in event-log v5 ``job`` shape so
   offline tooling (advisor, span reconstruction) reuses the same readers.
 
@@ -237,6 +239,9 @@ class FlightRecorder(Listener):
                 bundle["open_spans"] = [
                     s.to_dict() for s in ctx._tracer.open_spans()
                 ]
+            planner = getattr(ctx, "adaptive", None)
+            if planner is not None:
+                bundle["adaptive"] = planner.snapshot()
             # persistent fleets contribute the cluster-resident snapshot
             # (executor lifecycle history, warm-cache economics, queue
             # depths) -- the part of the story that predates this driver

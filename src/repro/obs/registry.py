@@ -20,6 +20,7 @@ import threading
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine.listener import (
+    AdaptivePlanApplied,
     AlertFired,
     BlockCached,
     BlockEvicted,
@@ -32,6 +33,7 @@ from repro.engine.listener import (
     Listener,
     ShuffleFetch,
     ShuffleWrite,
+    SpeculativeTaskLaunched,
     StageSkewDetected,
     StragglerDetected,
     TaskEnd,
@@ -538,6 +540,20 @@ class MetricsListener(Listener):
             "engine_alerts_fired_total", "alert rules that crossed into firing",
             labelnames=("severity",),
         )
+        # -- adaptive query execution --------------------------------------
+        self.adaptive_plans = r.counter(
+            "engine_adaptive_plans_total",
+            "adaptive plan rewrites applied at stage boundaries",
+            labelnames=("kind",),
+        )
+        self.speculative_launched = r.counter(
+            "engine_speculative_tasks_launched_total",
+            "speculative twin attempts launched against stragglers",
+        )
+        self.speculative_won = r.counter(
+            "engine_speculative_tasks_won_total",
+            "speculative twin attempts that committed first",
+        )
 
     def on_event(self, event: EngineEvent) -> None:
         if isinstance(event, JobEnd):
@@ -559,6 +575,8 @@ class MetricsListener(Listener):
                     self.peak_rss.set(rec.metrics.peak_rss_bytes)
                 if rec.profile is not None:
                     self.tasks_profiled.inc()
+                if rec.speculative:
+                    self.speculative_won.inc()
         elif isinstance(event, ExecutorHeartbeat):
             self.heartbeats.labels(executor=event.executor_id).inc()
             if event.rss_bytes:
@@ -586,6 +604,10 @@ class MetricsListener(Listener):
             self.stage_skew.inc()
         elif isinstance(event, StragglerDetected):
             self.stragglers.inc()
+        elif isinstance(event, AdaptivePlanApplied):
+            self.adaptive_plans.labels(kind=event.kind).inc()
+        elif isinstance(event, SpeculativeTaskLaunched):
+            self.speculative_launched.inc()
         elif isinstance(event, AlertFired):
             self.alerts_fired.labels(severity=event.severity).inc()
 

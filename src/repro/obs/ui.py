@@ -26,6 +26,8 @@ Endpoints:
   served, per-driver throughput, per-executor series that survive
   driver teardown); disabled unless the backend exposes
   ``fleet_snapshot`` (cluster backend only);
+- ``/api/adaptive`` -- the adaptive planner's decision ledger (plan
+  rewrites, serializer picks, speculation wins) and enablement flags;
 - ``/`` -- a minimal auto-refreshing HTML dashboard over the above, with
   sparkline panels for sampled series and a banner for firing alerts.
 
@@ -113,12 +115,14 @@ _DASHBOARD = """<!doctype html>
  <a href="/api/diagnostics">/api/diagnostics</a>
  <a href="/api/timeseries">/api/timeseries</a>
  <a href="/api/alerts">/api/alerts</a>
- <a href="/api/fleet">/api/fleet</a></p>
+ <a href="/api/fleet">/api/fleet</a>
+ <a href="/api/adaptive">/api/adaptive</a></p>
 <div id="alertbanner"></div>
 <h2>stages</h2><div id="stages">loading...</div>
 <h2>executors</h2><div id="executors"></div>
 <h2>completed jobs</h2><div id="jobs"></div>
 <h2>diagnostics</h2><div id="diagnostics"></div>
+<h2>adaptive execution</h2><div id="adaptive">off</div>
 <h2>metric sparklines</h2><div id="sparklines">sampler off</div>
 <h2>fleet</h2><div id="fleet">no persistent fleet</div>
 <h2>recent logs</h2><div id="logs"></div>
@@ -163,6 +167,20 @@ async function refresh() {
     ? "<table>" + row(["kind", "where", "detail"], "th") +
       findings.map(f => row(f)).join("") + "</table>"
     : "no skew or stragglers detected";
+  const aqe = await (await fetch("/api/adaptive")).json();
+  if (aqe.enabled || aqe.speculation_enabled || (aqe.decisions || []).length) {
+    const summary = "plans " + aqe.stages_rewritten +
+      ", serializer picks " + aqe.serializer_picks +
+      ", speculative launched/won " + aqe.speculative_launched + "/" + aqe.speculative_won;
+    const decisions = (aqe.decisions || []).slice(-15).reverse();
+    document.getElementById("adaptive").innerHTML = summary +
+      (decisions.length
+        ? "<table>" + row(["kind", "shuffle", "stage", "job", "partitions", "detail"], "th") +
+          decisions.map(d => row([d.kind, d.shuffle_id ?? "", d.stage_id ?? "",
+            d.job_id ?? "", (d.old_partitions ?? "") + " → " + (d.new_partitions ?? ""),
+            d.detail ?? ""])).join("") + "</table>"
+        : "");
+  }
   const logs = await (await fetch("/api/logs?limit=25")).json();
   document.getElementById("logs").innerHTML = "<table>" +
     row(["level", "logger", "job", "stage", "part", "message"], "th") +
@@ -415,6 +433,12 @@ class UIServer:
             out = {"enabled": True}
             out.update(snapshot)
             self._send_json(handler, out)
+        elif path == "/api/adaptive":
+            planner = getattr(self.ctx, "adaptive", None)
+            if planner is None:
+                self._send_json(handler, {"enabled": False, "decisions": []})
+                return
+            self._send_json(handler, planner.snapshot())
         elif path == "/api/alerts":
             manager = getattr(self.ctx, "alerts", None)
             if manager is None:

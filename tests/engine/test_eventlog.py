@@ -199,7 +199,7 @@ class TestVersionCompat:
         write_event_log(ctx.metrics.jobs, path)
         with open(path) as fh:
             data = json.loads(fh.readline())
-        assert data["version"] == FORMAT_VERSION == 6
+        assert data["version"] == FORMAT_VERSION == 7
         assert data["submit_time"] > 0.0
         assert data["stages"][0]["tasks"][0]["start_time"] > 0.0
 
