@@ -1,6 +1,6 @@
 """Observability overhead and the doctor's skew-recovery loop.
 
-Three legs, one report (``BENCH_obs.json``):
+Four legs, one report (``BENCH_obs.json``):
 
 1. **Overhead** -- the same compute-bound job runs bare (warning-level
    logging, no sinks) and fully loaded (debug logging with worker-side
@@ -18,7 +18,13 @@ Three legs, one report (``BENCH_obs.json``):
    doctor``), and the resulting ``repartition(N)`` recommendation is
    applied verbatim.  The rerun must beat the skewed wall-clock.
 
-3. **Post-mortem smoke** -- a fault-injected job fails under the flight
+3. **Inference monitor** -- the same monte-carlo run executes bare, with
+   a passive convergence monitor, and with the early-stop policy.  The
+   monitor must price inside the same overhead budget; the early-stop
+   run reports its replicate savings and must keep alpha=0.05
+   significance calls identical to the full run.
+
+4. **Post-mortem smoke** -- a fault-injected job fails under the flight
    recorder; the bundle must land, load, and name the injected failing
    task (the ``sparkscore postmortem`` contract CI greps for).
 
@@ -198,6 +204,84 @@ def bench_skew_recovery(args) -> dict:
     }
 
 
+def bench_inference_monitor(args) -> dict:
+    """Convergence-monitor overhead and early-stop savings (local engine).
+
+    The same monte-carlo run executes bare, with a passive monitor (fold +
+    CI classification every batch, the always-on telemetry cost), and with
+    the early-stop policy attached.  The passive monitor must price inside
+    the same ``--max-overhead-pct`` budget as the rest of the plane; the
+    early-stop run reports the replicate savings and must keep the
+    alpha=0.05 significance calls identical to the full run.
+    """
+    from repro.core.local import LocalSparkScore
+    from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+    from repro.obs.inference import ConvergenceMonitor, EarlyStopPolicy
+
+    dataset = generate_dataset(SyntheticConfig(
+        n_patients=120, n_snps=400, n_snpsets=20, seed=29,
+    ))
+    analysis = LocalSparkScore(dataset)
+    iterations = args.inference_replicates
+
+    def run(policy=None, passive=False):
+        best, result, monitor = float("inf"), None, None
+        for _ in range(args.repeats):
+            mon = None
+            if passive or policy is not None:
+                mon = ConvergenceMonitor(
+                    n_sets=dataset.n_sets, method="monte_carlo",
+                    planned_replicates=iterations, policy=policy,
+                )
+            start = time.perf_counter()
+            result = analysis.monte_carlo(iterations, seed=7, monitor=mon)
+            wall = time.perf_counter() - start
+            if wall < best:
+                best, monitor = wall, mon
+        return best, result, monitor
+
+    bare_wall, bare_result, _ = run()
+    monitored_wall, monitored_result, _ = run(passive=True)
+    overhead_pct = (monitored_wall - bare_wall) / bare_wall * 100.0
+    assert np.array_equal(
+        bare_result.exceed_counts, monitored_result.exceed_counts
+    ), "passive monitoring must be bit-identical"
+
+    stopped_wall, stopped_result, monitor = run(
+        policy=EarlyStopPolicy(min_replicates=64)
+    )
+    used = stopped_result.n_resamples
+    saved = monitor.replicates_saved
+    savings_pct = saved / iterations * 100.0
+    calls_full = bare_result.pvalues() < 0.05
+    calls_stopped = monitor.pvalues("plugin") < 0.05
+    calls_identical = bool(np.array_equal(calls_full, calls_stopped))
+
+    print(
+        f"  monitor: bare {bare_wall:6.3f}s, monitored {monitored_wall:6.3f}s "
+        f"-> {overhead_pct:+.1f}% (budget {args.max_overhead_pct:.0f}%)"
+    )
+    print(
+        f"  early stop: {used}/{iterations} replicates "
+        f"({savings_pct:.0f}% saved), wall {stopped_wall:6.3f}s, "
+        f"alpha=0.05 calls identical: {calls_identical}"
+    )
+    return {
+        "replicates_planned": iterations,
+        "snpsets": dataset.n_sets,
+        "bare_wall_seconds": bare_wall,
+        "monitored_wall_seconds": monitored_wall,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": args.max_overhead_pct,
+        "within_budget": overhead_pct < args.max_overhead_pct,
+        "early_stop_wall_seconds": stopped_wall,
+        "replicates_used": used,
+        "replicates_saved": saved,
+        "savings_pct": savings_pct,
+        "alpha_calls_identical": calls_identical,
+    }
+
+
 def bench_postmortem_smoke(args) -> dict:
     """Fail one task on purpose; the flight recorder must name it."""
     from repro.engine.faults import FaultInjector, FaultPlan
@@ -258,6 +342,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--metrics-interval", type=float, default=0.1,
                         help="sampler interval for the instrumented legs")
+    parser.add_argument("--inference-replicates", type=int, default=2048,
+                        help="planned replicates for the convergence-monitor leg")
     parser.add_argument("--max-overhead-pct", type=float, default=10.0)
     parser.add_argument("--output", default="BENCH_obs.json")
     args = parser.parse_args(argv)
@@ -279,6 +365,9 @@ def main(argv: list[str] | None = None) -> int:
     print("skew recovery:")
     recovery = bench_skew_recovery(args)
 
+    print("inference convergence monitor:")
+    inference = bench_inference_monitor(args)
+
     print("post-mortem smoke:")
     postmortem = bench_postmortem_smoke(args)
 
@@ -297,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         "overhead": overhead,
         "overhead_by_backend": overhead_by_backend,
         "skew_recovery": recovery,
+        "inference_monitor": inference,
         "postmortem_smoke": postmortem,
     }
     with open(args.output, "w") as fh:
@@ -311,6 +401,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     assert recovery["improvement_pct"] > 0, (
         "applying the doctor's repartition advice did not improve wall-clock"
+    )
+    assert inference["within_budget"], (
+        f"convergence-monitor overhead {inference['overhead_pct']:.1f}% "
+        f"exceeds {args.max_overhead_pct:.0f}% budget"
+    )
+    assert inference["alpha_calls_identical"], (
+        "early stopping changed an alpha=0.05 significance call"
     )
     return 0
 

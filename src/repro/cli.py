@@ -96,6 +96,18 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                                "spark.speculation=true; distributed only)")
     adaptive.add_argument("--no-adaptive", dest="adaptive", action="store_false",
                           help="force adaptive execution and speculation off")
+    early = p.add_mutually_exclusive_group()
+    early.add_argument("--early-stop", dest="early_stop", action="store_true",
+                       default=None,
+                       help="stop resampling SNP-sets whose p-value confidence "
+                            "interval has settled on one side of alpha "
+                            "(equivalent to spark.inference.earlyStop=true; "
+                            "distributed only)")
+    early.add_argument("--no-early-stop", dest="early_stop", action="store_false",
+                       help="force sequential early stopping off")
+    p.add_argument("--alpha", type=float, default=None, metavar="A",
+                   help="significance threshold the convergence monitor "
+                        "classifies against (default: 0.05)")
     p.add_argument("--profile-fraction", type=float, default=0.0, metavar="F",
                    help="run this fraction of tasks under cProfile; hotspots "
                         "land in the event log and `sparkscore history`")
@@ -325,6 +337,12 @@ def _load_analysis(args: argparse.Namespace):
                 adaptive_enabled=want_adaptive,
                 speculation_enabled=want_adaptive,
             )
+        want_early_stop = getattr(args, "early_stop", None)
+        if want_early_stop is not None:
+            config = config.copy(inference_early_stop=want_early_stop)
+        alpha = getattr(args, "alpha", None)
+        if alpha is not None:
+            config = config.copy(inference_alpha=alpha)
         kwargs["flavor"] = args.flavor
         event_log = getattr(args, "event_log", None)
         trace = getattr(args, "trace", None)
@@ -368,6 +386,8 @@ def _load_analysis(args: argparse.Namespace):
         raise SystemExit("--ui-port requires --engine distributed")
     elif getattr(args, "adaptive", None):
         raise SystemExit("--adaptive requires --engine distributed")
+    elif getattr(args, "early_stop", None):
+        raise SystemExit("--early-stop requires --engine distributed")
     elif getattr(args, "log_file", None) or getattr(args, "log_level", None):
         raise SystemExit("--log-file/--log-level require --engine distributed")
     elif (getattr(args, "metrics_interval", None) is not None
@@ -402,6 +422,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         wall = result.info.get("wall_seconds")
         if wall is not None:
             print(f"\nwall time: {wall:.2f}s  (engine: {result.info.get('engine')})")
+        if result.info.get("early_stop"):
+            planned = result.info.get("replicates_planned", 0)
+            saved = result.info.get("replicates_saved", 0)
+            print(f"early stopping: {result.n_resamples} of {planned} "
+                  f"replicates run ({saved} saved), "
+                  f"{result.info.get('sets_converged', 0)}/{result.n_sets} "
+                  f"sets converged")
         if args.output:
             _write_results_tsv(result, args.output)
             print(f"full results written to {args.output}")
@@ -572,6 +599,32 @@ def cmd_history(args: argparse.Namespace) -> int:
                   f"{a.get('original_executor')} after "
                   f"{a.get('elapsed_seconds', 0.0):.2f}s "
                   f"(median {a.get('median_seconds', 0.0):.2f}s)")
+    from repro.engine.eventlog import read_inference
+
+    inference = read_inference(args.event_log)
+    if inference:
+        batches = [r for r in inference if r.get("kind") == "batch"]
+        converged = [r for r in inference if r.get("kind") == "converged"]
+        # final batch record per method carries the run's totals
+        finals: dict = {}
+        for rec in batches:
+            finals[rec.get("method")] = rec
+        print(f"\n   inference (v8 side channel): "
+              f"{len(batches)} batch(es), {len(converged)} set decision(s)")
+        for method, rec in sorted(finals.items()):
+            line = (f"     [{method}] {rec.get('replicates_total', 0)} of "
+                    f"{rec.get('planned_replicates', 0)} replicates, "
+                    f"{rec.get('sets_converged', 0)}/{rec.get('sets_total', 0)} "
+                    f"sets converged")
+            if rec.get("replicates_saved"):
+                line += (f", {rec['replicates_saved']} replicates saved "
+                         f"by early stopping")
+            print(line)
+        for rec in converged[-5:]:
+            print(f"     [{rec.get('method')}] {rec.get('set_name')}: "
+                  f"{rec.get('status')} at p={rec.get('pvalue', 0.0):.4g} "
+                  f"(CI {rec.get('ci_low', 0.0):.4g}..{rec.get('ci_high', 1.0):.4g}, "
+                  f"{rec.get('replicates', 0)} replicates)")
     if args.series:
         from repro.engine.eventlog import read_alerts, read_series, series_to_points
 
@@ -622,6 +675,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         read_adaptive,
         read_event_log,
         read_fleet,
+        read_inference,
         read_telemetry,
     )
     from repro.obs.advisor import (
@@ -644,7 +698,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     else:
         paths = [args.path]
 
-    jobs, telemetry, fleet, adaptive, read = [], [], [], [], []
+    jobs, telemetry, fleet, adaptive, inference, read = [], [], [], [], [], []
     for path in paths:
         try:
             jobs.extend(read_event_log(path))
@@ -659,6 +713,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         telemetry.extend(read_telemetry(path))
         fleet.extend(read_fleet(path))
         adaptive.extend(read_adaptive(path))
+        inference.extend(read_inference(path))
         read.append(path)
     if scan_dir and not read:
         print(f"no readable event logs in {args.path}", file=sys.stderr)
@@ -672,6 +727,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         skew_max_over_median=args.skew_ratio,
         straggler_multiplier=args.straggler_multiplier,
         adaptive=bool(adaptive),
+        inference=inference,
     )
     if args.json:
         print(recommendations_to_json(recs))
@@ -690,6 +746,11 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             plans = sum(1 for a in adaptive if a.get("kind") != "speculation")
             print(f"adaptive context: {plans} plan decision(s), "
                   f"{len(adaptive) - plans} speculative launch(es) recorded")
+        if inference:
+            batches = sum(1 for r in inference if r.get("kind") == "batch")
+            decided = sum(1 for r in inference if r.get("kind") == "converged")
+            print(f"inference context: {batches} replicate batch(es), "
+                  f"{decided} set decision(s) recorded")
         print()
         print(render_recommendations(recs), end="")
     if getattr(args, "strict", False):
@@ -831,6 +892,30 @@ def cmd_postmortem(args: argparse.Namespace) -> int:
                       f"{d.get('old_partitions')} -> "
                       f"{d.get('new_partitions')} ({d.get('detail', '')})")
 
+    inference = bundle.get("inference")
+    if inference and inference.get("runs"):
+        mode = "early stopping" if inference.get("enabled") else "monitor only"
+        print(f"\ninference convergence ({mode}, "
+              f"alpha={inference.get('alpha', 0.05):g}, "
+              f"{inference.get('ci', 'wilson')} intervals):")
+        for run in inference["runs"]:
+            line = (f"  [{run.get('method')}] "
+                    f"{run.get('replicates_total', 0)} of "
+                    f"{run.get('planned_replicates', 0)} replicates, "
+                    f"{run.get('sets_converged', 0)}/{run.get('sets_total', 0)} "
+                    f"sets converged")
+            if run.get("replicates_saved"):
+                line += f", {run['replicates_saved']} saved"
+            print(line)
+            undecided = [
+                s for s in run.get("sets", ()) if s.get("status") == "undecided"
+            ]
+            if undecided:
+                print("    still undecided at failure: " + ", ".join(
+                    f"{s.get('name')} (p^={s.get('pvalue', 1.0):.3g})"
+                    for s in undecided[:5]
+                ) + (" ..." if len(undecided) > 5 else ""))
+
     job_dict = bundle.get("job")
     if job_dict is not None:
         try:
@@ -875,6 +960,17 @@ def _render_fleet_top(address: str, snap: dict) -> str:
         lines.append("drivers: " + "  ".join(
             f"{d[:12]}={n}" for d, n in sorted(drivers.items())
         ))
+    inference = snap.get("inference_by_driver") or {}
+    for driver, info in sorted(inference.items()):
+        tag = "early-stop" if info.get("early_stop") else "monitor"
+        lines.append(
+            f"inference [{driver[:12]}] {info.get('method', '?')}: "
+            f"{info.get('replicates_total', 0)}/"
+            f"{info.get('planned_replicates', 0)} replicates @ "
+            f"{info.get('replicates_per_sec', 0.0):,.0f}r/s, "
+            f"{info.get('sets_converged', 0)}/{info.get('sets_total', 0)} "
+            f"sets converged ({tag})"
+        )
     occupancy = _fleet_series(snap, "fleet_slot_occupancy")
     depth = _fleet_series(snap, "fleet_queue_depth")
     rss = _fleet_series(snap, "fleet_executor_rss_bytes")

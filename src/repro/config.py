@@ -163,6 +163,18 @@ class EngineConfig:
     #: fraction of a task set that must have completed before the median
     #: is trusted and twins may launch
     speculation_quantile: float = 0.75
+    #: sequential early stopping: mask SNP-sets out of further resampling
+    #: batches once their p-value confidence interval excludes
+    #: ``inference_alpha`` (monitoring itself is always on; this enables
+    #: the action half of the loop)
+    inference_early_stop: bool = False
+    #: significance threshold the convergence monitor classifies against
+    inference_alpha: float = 0.05
+    #: binomial interval for the running p-value estimates: "wilson"
+    #: (score interval, fast) or "clopper-pearson" (exact, conservative)
+    inference_ci: str = "wilson"
+    #: replicates every set must see before any early-stop decision
+    inference_min_replicates: int = 64
     #: free-form extra options (string keyed, Spark style)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -201,6 +213,10 @@ class EngineConfig:
         "spark.alerts.enabled": "alerts_enabled",
         "spark.flightRecorder.dir": "flight_recorder_dir",
         "spark.flightRecorder.window": "flight_recorder_window",
+        "spark.inference.earlyStop": "inference_early_stop",
+        "spark.inference.alpha": "inference_alpha",
+        "spark.inference.ci": "inference_ci",
+        "spark.inference.minReplicates": "inference_min_replicates",
     }
 
     def __post_init__(self) -> None:
@@ -275,6 +291,15 @@ class EngineConfig:
             raise ValueError("speculation_min_runtime must be >= 0")
         if not 0.0 < self.speculation_quantile <= 1.0:
             raise ValueError("speculation_quantile must be in (0, 1]")
+        if not 0.0 < self.inference_alpha < 1.0:
+            raise ValueError("inference_alpha must be in (0, 1)")
+        if self.inference_ci not in ("wilson", "clopper-pearson"):
+            raise ValueError(
+                f"unknown inference_ci {self.inference_ci!r}; "
+                "choose from wilson, clopper-pearson"
+            )
+        if self.inference_min_replicates < 1:
+            raise ValueError("inference_min_replicates must be >= 1")
 
     # -- Spark-style string interface ------------------------------------
 

@@ -471,6 +471,8 @@ class DistributedSparkScore:
         observed_bc = self.ctx.broadcast(observed)
         u = self.contributions_rdd(cache_contributions)
         counts = np.zeros(self._K, dtype=np.int64)
+        monitor = self._new_monitor("monte_carlo", iterations)
+        used = 0
         n = self.dataset.n_patients
         for z_batch in mc_multiplier_batches(n, iterations, seed, batch_size):
             batch_start = time.perf_counter()
@@ -480,13 +482,20 @@ class DistributedSparkScore:
                 scored = u.map_values(_McRowInnersFn(z_bc))
             else:
                 scored = u.map(_McBlockPartialFn(z_bc))
-            counts += self._scores_to_counts(scored, width, observed_bc)
+            batch_counts = self._scores_to_counts(scored, width, observed_bc)
+            counts += monitor.fold(batch_counts, width)
+            used += width
             z_bc.destroy()
             instrumentation.observe_batch(
                 "monte_carlo", "distributed", time.perf_counter() - batch_start, width
             )
+            self.ctx.inference.publish(monitor)
+            if monitor.done:
+                break
+        monitor.finish()
+        self.ctx.inference.publish(monitor, force=True)
         observed_bc.destroy()
-        return self._result("monte_carlo", observed, counts, iterations, start)
+        return self._result("monte_carlo", observed, counts, used, start, monitor)
 
     # -- Algorithm 2: permutation ---------------------------------------------------------------
 
@@ -497,6 +506,8 @@ class DistributedSparkScore:
         observed = self.observed_statistics(cache_contributions=False)
         observed_bc = self.ctx.broadcast(observed)
         counts = np.zeros(self._K, dtype=np.int64)
+        monitor = self._new_monitor("permutation", iterations)
+        used = 0
         n = self.dataset.n_patients
         for perm_batch in permutation_batches(n, iterations, seed, batch_size):
             batch_start = time.perf_counter()
@@ -509,15 +520,28 @@ class DistributedSparkScore:
                 scored = self._gm_rdd.map_values(_PermutedRowInnersFn(models_bc))
             else:
                 scored = self._gm_rdd.map(_PermutedBlockPartialsFn(models_bc))
-            counts += self._scores_to_counts(scored, width, observed_bc)
+            batch_counts = self._scores_to_counts(scored, width, observed_bc)
+            counts += monitor.fold(batch_counts, width)
+            used += width
             models_bc.destroy()
             instrumentation.observe_batch(
                 "permutation", "distributed", time.perf_counter() - batch_start, width
             )
+            self.ctx.inference.publish(monitor)
+            if monitor.done:
+                break
+        monitor.finish()
+        self.ctx.inference.publish(monitor, force=True)
         observed_bc.destroy()
-        return self._result("permutation", observed, counts, iterations, start)
+        return self._result("permutation", observed, counts, used, start, monitor)
 
     # -- results -----------------------------------------------------------------------------------
+
+    def _new_monitor(self, method: str, planned: int):
+        """Mint a convergence monitor wired to this context's bus/policy."""
+        return self.ctx.inference.new_monitor(
+            self._K, method, planned, list(self.dataset.snpsets.names)
+        )
 
     def _result(
         self,
@@ -526,10 +550,34 @@ class DistributedSparkScore:
         counts: np.ndarray,
         iterations: int,
         start: float,
+        monitor=None,
     ) -> ResamplingResult:
         elapsed = time.perf_counter() - start
         jobs = self.ctx.metrics.jobs
         totals = [j.totals() for j in jobs]
+        info = {
+            "wall_seconds": elapsed,
+            "engine": "distributed",
+            "flavor": self.flavor,
+            "jobs_run": len(jobs),
+            "cache_hits": sum(t.cache_hits for t in totals),
+            "cache_misses": sum(t.cache_misses for t in totals),
+            "shuffle_bytes": sum(t.shuffle_bytes_written for t in totals),
+            "driver_bytes_collected": sum(t.driver_bytes_collected for t in totals),
+        }
+        explicit = None
+        if monitor is not None:
+            info["early_stop"] = monitor.policy is not None
+            info["replicates_planned"] = monitor.planned_replicates
+            info["replicates_saved"] = monitor.replicates_saved
+            info["sets_converged"] = monitor.sets_converged
+            if monitor.masking and not np.all(
+                monitor.denominators == monitor.replicates_total
+            ):
+                # masked sets froze at per-set denominators; the shared
+                # n_resamples would misprice them, so ship the monitor's
+                # per-set estimates explicitly
+                explicit = monitor.pvalues("plugin")
         return ResamplingResult(
             method=method,
             set_names=list(self.dataset.snpsets.names),
@@ -537,16 +585,8 @@ class DistributedSparkScore:
             observed=observed,
             exceed_counts=counts,
             n_resamples=iterations,
-            info={
-                "wall_seconds": elapsed,
-                "engine": "distributed",
-                "flavor": self.flavor,
-                "jobs_run": len(jobs),
-                "cache_hits": sum(t.cache_hits for t in totals),
-                "cache_misses": sum(t.cache_misses for t in totals),
-                "shuffle_bytes": sum(t.shuffle_bytes_written for t in totals),
-                "driver_bytes_collected": sum(t.driver_bytes_collected for t in totals),
-            },
+            explicit_pvalues=explicit,
+            info=info,
         )
 
 

@@ -72,48 +72,66 @@ class LocalSparkScore:
         seed: int = 0,
         batch_size: int = 64,
         cache_contributions: bool = True,
+        monitor=None,
     ) -> ResamplingResult:
+        """``monitor`` is an optional
+        :class:`~repro.obs.inference.ConvergenceMonitor` (the local engine
+        has no context to mint one, so callers wire their own)."""
         start = time.perf_counter()
+        used = iterations
         if cache_contributions:
             sampler = MonteCarloResampler(
                 self.contributions(), self._weights, self._set_ids, self._K
             )
-            outcome = sampler.run(iterations, seed, batch_size)
+            outcome = sampler.run(iterations, seed, batch_size, monitor=monitor)
             observed, counts = outcome.observed, outcome.exceed_counts
+            used = outcome.n_resamples
             instrumentation.observe_batch(
-                "monte_carlo", "local", time.perf_counter() - start, iterations
+                "monte_carlo", "local", time.perf_counter() - start, used
             )
         else:
             # no-cache arm: re-derive U from genotypes for every batch,
             # exactly what Spark does when the U RDD is not persisted
             observed = self.observed_statistics()
             counts = np.zeros(self._K, dtype=np.int64)
+            used = 0
             n = self.dataset.n_patients
             for z_batch in mc_multiplier_batches(n, iterations, seed, batch_size):
                 batch_start = time.perf_counter()
                 U = self.model.contributions(self._G)  # recomputed!
                 scores = z_batch @ U.T
                 stats = skat_statistics(scores, self._weights, self._set_ids, self._K)
-                counts += (stats >= observed[None, :]).sum(axis=0)
+                batch_counts = (stats >= observed[None, :]).sum(axis=0)
+                width = z_batch.shape[0]
+                used += width
                 instrumentation.observe_batch(
                     "monte_carlo_nocache", "local",
-                    time.perf_counter() - batch_start, z_batch.shape[0],
+                    time.perf_counter() - batch_start, width,
                 )
+                if monitor is None:
+                    counts += batch_counts
+                else:
+                    counts += monitor.fold(batch_counts, width)
+                    if monitor.done:
+                        break
+            if monitor is not None:
+                monitor.finish()
         elapsed = time.perf_counter() - start
-        return self._result("monte_carlo", observed, counts, iterations, elapsed)
+        return self._result("monte_carlo", observed, counts, used, elapsed, monitor)
 
     # -- Algorithm 2 (permutation) --------------------------------------------------
 
-    def permutation(self, iterations: int, seed: int = 0) -> ResamplingResult:
+    def permutation(self, iterations: int, seed: int = 0, monitor=None) -> ResamplingResult:
         start = time.perf_counter()
         sampler = PermutationResampler(
             self.model, self._G, self._weights, self._set_ids, self._K
         )
-        outcome = sampler.run(iterations, seed)
+        outcome = sampler.run(iterations, seed, monitor=monitor)
         elapsed = time.perf_counter() - start
-        instrumentation.observe_batch("permutation", "local", elapsed, iterations)
+        instrumentation.observe_batch("permutation", "local", elapsed, outcome.n_resamples)
         return self._result(
-            "permutation", outcome.observed, outcome.exceed_counts, iterations, elapsed
+            "permutation", outcome.observed, outcome.exceed_counts,
+            outcome.n_resamples, elapsed, monitor,
         )
 
     def permutation_statistics(self, iterations: int, seed: int = 0) -> np.ndarray:
@@ -148,7 +166,19 @@ class LocalSparkScore:
         counts: np.ndarray,
         iterations: int,
         elapsed: float,
+        monitor=None,
     ) -> ResamplingResult:
+        info = {"wall_seconds": elapsed, "engine": "local"}
+        explicit = None
+        if monitor is not None:
+            info["early_stop"] = monitor.policy is not None
+            info["replicates_planned"] = monitor.planned_replicates
+            info["replicates_saved"] = monitor.replicates_saved
+            info["sets_converged"] = monitor.sets_converged
+            if monitor.masking and not np.all(
+                monitor.denominators == monitor.replicates_total
+            ):
+                explicit = monitor.pvalues("plugin")
         return ResamplingResult(
             method=method,
             set_names=list(self.dataset.snpsets.names),
@@ -156,5 +186,6 @@ class LocalSparkScore:
             observed=observed,
             exceed_counts=counts,
             n_resamples=iterations,
-            info={"wall_seconds": elapsed, "engine": "local"},
+            explicit_pvalues=explicit,
+            info=info,
         )

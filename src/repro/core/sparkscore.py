@@ -108,21 +108,38 @@ class SparkScoreAnalysis:
         seed: int = 0,
         batch_size: int = 64,
         cache_contributions: bool = True,
+        monitor=None,
     ) -> ResamplingResult:
-        """Algorithm 3: Lin's Monte Carlo resampling (cached U by default)."""
+        """Algorithm 3: Lin's Monte Carlo resampling (cached U by default).
+
+        The distributed engine mints its own
+        :class:`~repro.obs.inference.ConvergenceMonitor` from the context
+        (telemetry is always on; early stopping obeys
+        ``inference_early_stop``); ``monitor`` lets local-engine callers
+        attach one by hand.
+        """
+        if isinstance(self._impl, LocalSparkScore):
+            return self._impl.monte_carlo(
+                iterations, seed, batch_size, cache_contributions, monitor=monitor
+            )
+        if monitor is not None:
+            raise TypeError("the distributed engine mints its own monitor")
         return self._impl.monte_carlo(iterations, seed, batch_size, cache_contributions)
 
     def permutation(
-        self, iterations: int, seed: int = 0, batch_size: int = 16
+        self, iterations: int, seed: int = 0, batch_size: int = 16, monitor=None
     ) -> ResamplingResult:
         """Algorithm 2: permutation resampling (full recompute per replicate).
 
         ``batch_size`` controls how many permuted phenotypes the distributed
         engine broadcasts per job (the local engine streams one at a time;
-        both consume the identical replicate sequence).
+        both consume the identical replicate sequence).  ``monitor`` follows
+        the :meth:`monte_carlo` contract.
         """
         if isinstance(self._impl, LocalSparkScore):
-            return self._impl.permutation(iterations, seed)
+            return self._impl.permutation(iterations, seed, monitor=monitor)
+        if monitor is not None:
+            raise TypeError("the distributed engine mints its own monitor")
         return self._impl.permutation(iterations, seed, batch_size)
 
     def asymptotic(self, method: str = "liu") -> ResamplingResult:
@@ -149,20 +166,34 @@ class SparkScoreAnalysis:
         """Per-SNP marginal scores U_j (variant-by-variant analysis)."""
         return self.model.scores(self.dataset.genotypes.matrix.astype(np.float64))
 
+    def _auto_monitor(self, method: str, planned: int, n_sets: int, set_names):
+        """A context-wired convergence monitor, or None on the local engine."""
+        if self.ctx is None:
+            return None
+        return self.ctx.inference.new_monitor(n_sets, method, planned, set_names)
+
     def skat_o(
         self,
         iterations: int,
         seed: int = 0,
         batch_size: int = 128,
         rho_grid: tuple[float, ...] | None = None,
+        monitor=None,
     ):
         """SKAT-O: per-set optimum over the SKAT/burden interpolation grid.
 
         Resampling-based with min-p calibration; returns a
-        :class:`~repro.stats.skato.SkatOResult`.
+        :class:`~repro.stats.skato.SkatOResult`.  With a distributed
+        context attached a convergence monitor is minted automatically
+        (per-set masking off -- min-p calibration needs the full tensor).
         """
         from repro.stats.skato import DEFAULT_RHO_GRID, skato_resampling
 
+        if monitor is None:
+            monitor = self._auto_monitor(
+                "skat_o", iterations, self.dataset.n_sets,
+                list(self.dataset.snpsets.names),
+            )
         U = self.model.contributions(self.dataset.genotypes.matrix.astype(np.float64))
         return skato_resampling(
             U,
@@ -173,21 +204,35 @@ class SparkScoreAnalysis:
             seed=seed,
             batch_size=batch_size,
             rho_grid=rho_grid or DEFAULT_RHO_GRID,
+            monitor=monitor,
         )
 
     def variant_maxt(
-        self, iterations: int, seed: int = 0, batch_size: int = 64, step_down: bool = True
+        self,
+        iterations: int,
+        seed: int = 0,
+        batch_size: int = 64,
+        step_down: bool = True,
+        monitor=None,
     ):
         """Variant-level Westfall-Young maxT inference (FWER-adjusted).
 
         Runs the single-SNP analysis the paper's introduction describes,
         with resampling-based multiplicity adjustment (paper ref. [40]).
         Returns a :class:`~repro.stats.resampling.multipletesting.MaxTResult`.
+        With a distributed context attached a convergence monitor is minted
+        automatically (one "set" per SNP, adjusted p-values; per-SNP
+        masking off -- step-down needs a common denominator).
         """
         from repro.stats.resampling.multipletesting import westfall_young_maxt
 
+        if monitor is None:
+            monitor = self._auto_monitor(
+                "variant_maxt", iterations, self.dataset.n_snps,
+                [str(s) for s in self.dataset.genotypes.snp_ids],
+            )
         U = self.model.contributions(self.dataset.genotypes.matrix.astype(np.float64))
-        return westfall_young_maxt(U, iterations, seed, batch_size, step_down)
+        return westfall_young_maxt(U, iterations, seed, batch_size, step_down, monitor=monitor)
 
     # -- lifecycle ------------------------------------------------------------------
 

@@ -346,6 +346,10 @@ class ClusterManager:
             self._shipped.add(key)
             return True
 
+    def note_inference(self, info: dict) -> None:
+        """Fold a driver's inference-convergence summary into fleet stats."""
+        self.fleet.note_inference(self.fleet.current_driver() or None, info)
+
     def mark_attached(self) -> bool:
         """Count one more driver attach; True if the fleet was already warm."""
         with self._lock:
@@ -785,6 +789,12 @@ class ClusterBackend:
     def note_binary_shipped(self, executor_id: str, binary_id: str) -> bool:
         return self._manager.note_binary_shipped(executor_id, binary_id)
 
+    def note_inference(self, info: dict) -> None:
+        """Best-effort inference-convergence telemetry for ``cluster top``."""
+        note = getattr(self._manager, "note_inference", None)
+        if note is not None:
+            note(info)
+
     def attach(self, ctx: "Context") -> None:
         self._manager.attach(ctx)
 
@@ -980,6 +990,14 @@ class ClusterHead:
                 elif ftype == frames.BINARY_SHIPPED:
                     eid, binary_id = pickle.loads(payload)
                     self.manager.note_binary_shipped(eid, binary_id)
+                elif ftype == frames.INFERENCE:
+                    # fire-and-forget convergence telemetry; no reply
+                    try:
+                        self.manager.fleet.note_inference(
+                            driver_label, pickle.loads(payload)
+                        )
+                    except Exception:
+                        pass
                 elif ftype == frames.STATUS:
                     writer.send(frames.STATUS_REPLY, pickle.dumps(
                         self.manager.executor_info(),
@@ -1186,6 +1204,17 @@ class ClusterClient:
         except (ConnectionError, OSError):
             pass
         return True
+
+    def note_inference(self, info: dict) -> None:
+        """Fire-and-forget convergence telemetry to the head (cluster top)."""
+        try:
+            with self._send_lock:
+                frames.send_frame(
+                    self._sock, frames.INFERENCE,
+                    pickle.dumps(info, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+        except (ConnectionError, OSError):
+            pass
 
     def attach(self, ctx: "Context") -> None:
         with self._lock:

@@ -111,6 +111,12 @@ class Context:
         from repro.engine.adaptive import AdaptivePlanner
 
         self.adaptive = AdaptivePlanner(self)
+        # inference observability: convergence monitors for resampling
+        # p-values.  Always present (same contract as the planner) so
+        # /api/inference and flight-recorder bundles report "disabled"
+        from repro.obs.inference import InferenceObservability
+
+        self.inference = InferenceObservability(self)
         self.fault_injector = fault_injector
         self.hdfs = hdfs
 

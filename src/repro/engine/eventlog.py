@@ -48,6 +48,15 @@ future fields can be added compatibly.  Version history:
   ``sparkscore history`` and post-mortem bundles can show *why* a job's
   physical plan diverged from its static one.  v6 and earlier logs load
   unchanged.
+- **v8** -- inference observability.  An ``inference`` side channel
+  records the convergence of resampling p-values: one ``batch`` line per
+  replicate batch folded into the convergence monitor (running replicate
+  totals, sets converged, smallest p-value estimate) and one flushed
+  ``converged`` line per SNP-set whose confidence interval became
+  decisive (status, p-value, CI bounds at decision time).  Recoverable
+  via :func:`read_inference` so ``sparkscore history``/``doctor`` can
+  audit early-stop decisions and recommend replicate budgets offline.
+  v7 and earlier logs load unchanged.
 
 Since the listener-bus refactor the log is written *incrementally*: the
 context attaches an :class:`EventLogListener` to its bus and each job is
@@ -67,15 +76,17 @@ from repro.engine.listener import (
     AdaptivePlanApplied,
     ExecutorHeartbeat,
     ExecutorTimedOut,
+    InferenceBatchCompleted,
     JobEnd,
     Listener,
+    SnpSetConverged,
     SpeculativeTaskLaunched,
 )
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics, TaskRecord
 from repro.obs.logging import LogRecord
 
-FORMAT_VERSION = 7
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
+FORMAT_VERSION = 8
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7, 8)
 
 #: non-job record kinds introduced by v3 (telemetry side-channel)
 TELEMETRY_EVENTS = ("heartbeat", "executor_timed_out")
@@ -90,6 +101,7 @@ SIDE_CHANNEL_MIN_VERSION = {
     "alert": 5,
     "fleet": 6,
     "adaptive": 7,
+    "inference": 8,
 }
 
 
@@ -413,6 +425,35 @@ def read_adaptive(path_or_file: str | IO[str]) -> list[dict]:
             fh.close()
 
 
+def read_inference(path_or_file: str | IO[str]) -> list[dict]:
+    """Load the v8 inference-convergence records from an event log.
+
+    Returns raw dicts in file order -- ``kind`` is ``"batch"`` (one
+    replicate batch folded: running replicate totals, sets converged,
+    smallest p-value estimate) or ``"converged"`` (one SNP-set decision
+    with its CI bounds at decision time) -- empty for v1-v7 logs.
+    Unparseable lines are skipped (the side channel is best-effort).
+    """
+    own = isinstance(path_or_file, str)
+    fh: IO[str] = open(path_or_file) if own else path_or_file  # type: ignore[assignment]
+    try:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("event") == "inference":
+                out.append(data)
+        return out
+    finally:
+        if own:
+            fh.close()
+
+
 def read_alerts(path_or_file: str | IO[str]) -> list[dict]:
     """Load the v5 alert-transition records from an event log.
 
@@ -479,6 +520,7 @@ class EventLogListener(Listener):
         self.alerts_written = 0
         self.fleet_written = 0
         self.adaptive_written = 0
+        self.inference_written = 0
 
     def _file(self) -> IO[str]:
         if self._fh is None:
@@ -554,6 +596,50 @@ class EventLogListener(Listener):
         fh.write(json.dumps(data, separators=(",", ":")) + "\n")
         fh.flush()
         self.adaptive_written += 1
+
+    def on_inference_batch_completed(self, event: InferenceBatchCompleted) -> None:
+        """v8 ``inference`` line for one folded replicate batch."""
+        self._write_inference({
+            "event": "inference",
+            "version": FORMAT_VERSION,
+            "time": event.time,
+            "kind": "batch",
+            "method": event.method,
+            "batch_width": event.batch_width,
+            "replicates_total": event.replicates_total,
+            "planned_replicates": event.planned_replicates,
+            "sets_total": event.sets_total,
+            "sets_converged": event.sets_converged,
+            "replicates_saved": event.replicates_saved,
+            "min_pvalue": event.min_pvalue,
+            "early_stop": event.early_stop,
+        })
+
+    def on_snp_set_converged(self, event: SnpSetConverged) -> None:
+        """v8 ``inference`` line for one SNP-set decision."""
+        self._write_inference({
+            "event": "inference",
+            "version": FORMAT_VERSION,
+            "time": event.time,
+            "kind": "converged",
+            "method": event.method,
+            "set_index": event.set_index,
+            "set_name": event.set_name,
+            "status": event.status,
+            "pvalue": event.pvalue,
+            "ci_low": event.ci_low,
+            "ci_high": event.ci_high,
+            "replicates": event.replicates,
+            "alpha": event.alpha,
+        })
+
+    def _write_inference(self, data: dict) -> None:
+        """Flushed: decisions and batch milestones explain the final
+        counts, so losing the tail is not acceptable."""
+        fh = self._file()
+        fh.write(json.dumps(data, separators=(",", ":")) + "\n")
+        fh.flush()
+        self.inference_written += 1
 
     def write_log(self, record: LogRecord) -> None:
         """Log-bus sink: append one v4 ``log`` record line (unflushed)."""

@@ -77,6 +77,9 @@ FLEET = 15
 #: head -> requester: pickled dict, see
 #: :meth:`repro.obs.fleet.FleetStats.snapshot`
 FLEET_REPLY = 16
+#: driver -> head, fire-and-forget: pickled inference-convergence summary
+#: (replicates done/planned, throughput, sets converged) for cluster top
+INFERENCE = 17
 
 # -- blob transport (socket variant of repro.engine.transport) ---------------
 #: utf-8 key
@@ -239,7 +242,7 @@ __all__ = [
     "REGISTER", "TASK", "RESULT", "TASK_ERROR", "HEARTBEAT", "DRAIN",
     "SHUTDOWN", "STATUS", "STATUS_REPLY", "ATTACH", "ATTACH_REPLY",
     "BINARY_SHIPPED", "CHALLENGE", "AUTH", "FLEET", "FLEET_REPLY",
-    "AUTH_NONCE_LEN",
+    "INFERENCE", "AUTH_NONCE_LEN",
     "BLOB_GET", "BLOB_DATA", "BLOB_MISSING", "BLOB_OFFER", "BLOB_HAVE",
     "BLOB_WANT", "BLOB_PUSH", "BLOB_OK", "BLOB_DELETE",
     "pack_task", "unpack_task", "pack_token", "unpack_token",

@@ -248,6 +248,47 @@ class SpeculativeTaskLaunched(EngineEvent):
 
 
 @dataclass
+class InferenceBatchCompleted(EngineEvent):
+    """One replicate batch folded into the convergence monitor.
+
+    Posted by :class:`repro.obs.inference.ConvergenceMonitor` after each
+    batch of resampling replicates is folded into the running p-value
+    estimates.  ``batch_width`` is zero for the final accounting event a
+    finished run posts (the only one with a nonzero ``replicates_saved``)."""
+
+    method: str
+    batch_width: int
+    replicates_total: int
+    planned_replicates: int
+    sets_total: int
+    sets_converged: int
+    replicates_saved: int = 0
+    #: smallest running p-value estimate across all sets (drives the
+    #: required_resamples advisor rule)
+    min_pvalue: float = 1.0
+    early_stop: bool = False
+
+
+@dataclass
+class SnpSetConverged(EngineEvent):
+    """A SNP-set's p-value confidence interval became decisive.
+
+    ``status`` is ``"decided_significant"`` (CI entirely below alpha) or
+    ``"decided_null"`` (CI entirely above alpha); the CI bounds are those
+    at decision time, so readers can audit the call."""
+
+    method: str
+    set_index: int
+    set_name: str
+    status: str
+    pvalue: float
+    ci_low: float
+    ci_high: float
+    replicates: int
+    alpha: float = 0.05
+
+
+@dataclass
 class AlertFired(EngineEvent):
     """An alerting rule crossed pending -> firing.
 
@@ -409,6 +450,8 @@ __all__ = [
     "StragglerDetected",
     "AdaptivePlanApplied",
     "SpeculativeTaskLaunched",
+    "InferenceBatchCompleted",
+    "SnpSetConverged",
     "AlertFired",
     "AlertResolved",
     "Listener",

@@ -96,11 +96,23 @@ class DiagnosisInput:
     #: whether adaptive query execution was enabled for the run; ``None``
     #: means unknown (e.g. a cold event log predating the field)
     adaptive: bool | None = None
+    #: inference side-channel records (v8 event logs / live monitors):
+    #: dicts with ``kind`` of ``"batch"`` or ``"converged"``
+    inference: list = field(default_factory=list)
 
     def stages(self):
         for job in self.jobs:
             for stage in job.stages:
                 yield job, stage
+
+    def inference_final_batches(self) -> dict:
+        """Last ``kind="batch"`` record per resampling method."""
+        final: dict[str, dict] = {}
+        for rec in self.inference:
+            if isinstance(rec, dict) and rec.get("kind") == "batch":
+                method = str(rec.get("method", "resampling"))
+                final[method] = rec
+        return final
 
 
 # -- individual rules ---------------------------------------------------------
@@ -447,10 +459,117 @@ def rule_enable_adaptive(inp: DiagnosisInput) -> list[Recommendation]:
     ]
 
 
+def rule_enable_early_stop(inp: DiagnosisInput) -> list[Recommendation]:
+    """Resampling ran past decisiveness while early stopping was off.
+
+    The convergence monitor records when every SNP-set's p-value CI became
+    decisive against alpha; replicates folded after that point refined
+    estimates nobody was waiting on.  When the decisive point arrived in
+    at most ~half the replicates actually run, ``--early-stop`` is close
+    to a 2x-or-better wall-clock win with CI-bounded agreement.
+    """
+    out = []
+    converged_at: dict[str, int] = {}
+    for rec in inp.inference:
+        if not isinstance(rec, dict) or rec.get("kind") != "batch":
+            continue
+        method = str(rec.get("method", "resampling"))
+        sets_total = int(rec.get("sets_total", 0) or 0)
+        if sets_total and rec.get("sets_converged") == sets_total:
+            converged_at.setdefault(method, int(rec.get("replicates_total", 0)))
+    for method, final in inp.inference_final_batches().items():
+        if final.get("early_stop"):
+            continue
+        total = int(final.get("replicates_total", 0) or 0)
+        decisive = converged_at.get(method)
+        if decisive is None or total <= 0 or decisive > total // 2:
+            continue
+        wasted = total - decisive
+        out.append(
+            Recommendation(
+                rule="enable-early-stop",
+                severity="warning",
+                title=(
+                    f"{method} resampling ran {total} replicates but every "
+                    f"SNP-set was statistically decided by replicate {decisive}"
+                ),
+                action=(
+                    "pass --early-stop (spark.inference.earlyStop=true): the "
+                    "convergence monitor stops once every set's p-value CI "
+                    "clears alpha, keeping significance calls identical within "
+                    "the CI guarantee"
+                ),
+                evidence={
+                    "method": method,
+                    "replicates_total": total,
+                    "decisive_at": decisive,
+                    "replicates_past_decisiveness": wasted,
+                    "sets_total": int(final.get("sets_total", 0) or 0),
+                },
+                score=wasted / max(total, 1),
+            )
+        )
+    return out
+
+
+def rule_insufficient_resamples(inp: DiagnosisInput) -> list[Recommendation]:
+    """n_resamples too small for the smallest observed p-value.
+
+    The paper ties p-value precision directly to B; the planning rule
+    (binomial coefficient of variation, see
+    :func:`repro.stats.resampling.pvalues.required_resamples`) gives the
+    concrete B needed to pin the smallest observed p within 10% relative
+    error.  Fires when the run used materially fewer.
+    """
+    from repro.stats.resampling.pvalues import required_resamples
+
+    out = []
+    for method, final in inp.inference_final_batches().items():
+        total = int(final.get("replicates_total", 0) or 0)
+        if total <= 0:
+            continue
+        min_p = float(final.get("min_pvalue", 1.0) or 1.0)
+        # the empirical floor: a zero-exceedance set reports p ~ 1/(B+1)
+        floor = 1.0 / (total + 1.0)
+        target = min(max(min_p, floor), 1.0 - 1e-12)
+        if target >= 1.0 - 1e-9:
+            continue
+        required = required_resamples(target)
+        if required <= total:
+            continue
+        out.append(
+            Recommendation(
+                rule="insufficient-resamples",
+                severity="warning" if required > 2 * total else "info",
+                title=(
+                    f"{method}: smallest observed p-value ~{target:.2e} needs "
+                    f"~{required} resamples for 10% relative error; run used "
+                    f"{total}"
+                ),
+                action=(
+                    f"raise n_resamples to >= {required} (sparkscore analyze "
+                    f"--iterations {required}), or accept the wider CI the "
+                    "convergence panel shows for the extreme sets"
+                ),
+                evidence={
+                    "method": method,
+                    "replicates_total": total,
+                    "min_pvalue": _round_evidence(target),
+                    "required_resamples": required,
+                    "relative_error": 0.1,
+                },
+                score=required / max(total, 1),
+            )
+        )
+    return out
+
+
 RULES = (
     rule_repartition_skew,
     rule_stragglers,
     rule_enable_adaptive,
+    rule_enable_early_stop,
+    rule_insufficient_resamples,
     rule_cache_thrash,
     rule_gc_pressure,
     rule_serializer,
@@ -470,6 +589,7 @@ def diagnose(
     straggler_min_seconds: float = 0.1,
     min_tasks: int = 4,
     adaptive: bool | None = None,
+    inference: Sequence[dict] | None = None,
 ) -> list[Recommendation]:
     """Run every rule; return recommendations ranked most-urgent first.
 
@@ -488,6 +608,7 @@ def diagnose(
         straggler_min_seconds=straggler_min_seconds,
         min_tasks=min_tasks,
         adaptive=adaptive,
+        inference=list(inference or ()),
     )
     recs: list[Recommendation] = []
     for rule in RULES:
@@ -557,6 +678,8 @@ __all__ = [
     "rule_repartition_skew",
     "rule_stragglers",
     "rule_enable_adaptive",
+    "rule_enable_early_stop",
+    "rule_insufficient_resamples",
     "rule_cache_thrash",
     "rule_gc_pressure",
     "rule_serializer",

@@ -63,6 +63,9 @@ class FleetStats:
         self.task_errors = 0
         #: driver label (trace id / connection label) -> completed tasks
         self.tasks_by_driver: dict[str, int] = {}
+        #: driver label -> latest inference-convergence summary (replicates
+        #: done/planned, throughput, sets converged) from INFERENCE frames
+        self.inference_by_driver: dict[str, dict] = {}
         self.heartbeats_received = 0
         self.frame_bytes_in = 0
         self.frame_bytes_out = 0
@@ -113,6 +116,21 @@ class FleetStats:
             "fleet_tasks_total",
             self.tasks_by_driver[label],
             labels={"executor_id": executor_id, "driver": label},
+            kind="counter",
+        )
+
+    def note_inference(self, driver: str | None, info: dict) -> None:
+        """Fold one inference-convergence summary from a driver."""
+        if not isinstance(info, dict):
+            return
+        label = driver or "unattributed"
+        with self._lock:
+            self.inference_by_driver[label] = dict(info)
+            self._drivers_seen.add(label)
+        self.store.record(
+            "fleet_replicates_total",
+            float(info.get("replicates_total", 0)),
+            labels={"driver": label},
             kind="counter",
         )
 
@@ -204,6 +222,9 @@ class FleetStats:
                 "tasks_completed": self.tasks_completed,
                 "task_errors": self.task_errors,
                 "tasks_by_driver": dict(self.tasks_by_driver),
+                "inference_by_driver": {
+                    d: dict(i) for d, i in self.inference_by_driver.items()
+                },
                 "drivers_seen": sorted(self._drivers_seen),
                 "heartbeats_received": self.heartbeats_received,
                 "frame_bytes_in": self.frame_bytes_in,

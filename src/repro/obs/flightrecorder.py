@@ -242,6 +242,9 @@ class FlightRecorder(Listener):
             planner = getattr(ctx, "adaptive", None)
             if planner is not None:
                 bundle["adaptive"] = planner.snapshot()
+            inference = getattr(ctx, "inference", None)
+            if inference is not None:
+                bundle["inference"] = inference.snapshot()
             # persistent fleets contribute the cluster-resident snapshot
             # (executor lifecycle history, warm-cache economics, queue
             # depths) -- the part of the story that predates this driver

@@ -23,9 +23,11 @@ from repro.engine.listener import (
     ExecutorHeartbeat,
     ExecutorLost,
     ExecutorTimedOut,
+    InferenceBatchCompleted,
     JobEnd,
     JobStart,
     Listener,
+    SnpSetConverged,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
@@ -44,6 +46,8 @@ class ProgressTracker(Listener):
         self.stages: dict[tuple[int, int], dict] = {}
         #: executor_id -> {heartbeats, records_read, rss_bytes, ...}
         self.executors: dict[str, dict] = {}
+        #: method -> {replicates_total, replicates_per_sec, sets_converged, ...}
+        self.inference: dict[str, dict] = {}
 
     # -- jobs / stages -----------------------------------------------------
 
@@ -144,6 +148,40 @@ class ProgressTracker(Listener):
             })
             info["state"] = "lost"
 
+    # -- inference convergence ---------------------------------------------
+
+    def on_inference_batch_completed(self, event: InferenceBatchCompleted) -> None:
+        with self._lock:
+            info = self.inference.setdefault(event.method, {
+                "method": event.method,
+                "started": event.time,
+                "sets_converged": 0,
+            })
+            info["replicates_total"] = event.replicates_total
+            info["planned_replicates"] = event.planned_replicates
+            info["sets_total"] = event.sets_total
+            info["sets_converged"] = event.sets_converged
+            info["replicates_saved"] = event.replicates_saved
+            info["early_stop"] = event.early_stop
+            elapsed = max(event.time - info["started"], 1e-9)
+            info["replicates_per_sec"] = event.replicates_total / elapsed
+
+    def on_snp_set_converged(self, event: SnpSetConverged) -> None:
+        with self._lock:
+            info = self.inference.setdefault(event.method, {
+                "method": event.method,
+                "started": event.time,
+                "sets_converged": 0,
+            })
+            decisions = info.setdefault("recent_decisions", [])
+            decisions.append({
+                "set_name": event.set_name,
+                "status": event.status,
+                "pvalue": event.pvalue,
+                "replicates": event.replicates,
+            })
+            del decisions[:-10]
+
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -153,6 +191,7 @@ class ProgressTracker(Listener):
                 "jobs": [dict(j) for j in self.jobs.values()],
                 "stages": [dict(s) for s in self.stages.values()],
                 "executors": [dict(e) for e in self.executors.values()],
+                "inference": [dict(i) for i in self.inference.values()],
             }
 
     def active_stages(self) -> list[dict]:
@@ -206,6 +245,24 @@ class ConsoleProgressListener(Listener):
             bar += ">" + " " * (self.width - filled - 1)
         return f"[Stage {stage['stage_id']}:{bar}({done}/{total})]"
 
+    def _inference_suffix(self) -> str:
+        """Replicate throughput trailer, e.g. ``[mc 1024r @ 3456r/s, 5/8 sets]``."""
+        parts = []
+        with self.tracker._lock:
+            runs = [dict(i) for i in self.tracker.inference.values()]
+        for info in runs:
+            if "replicates_total" not in info:
+                continue
+            label = {"monte_carlo": "mc", "permutation": "perm"}.get(
+                info["method"], info["method"]
+            )
+            parts.append(
+                f"[{label} {info['replicates_total']}r @ "
+                f"{info.get('replicates_per_sec', 0.0):.0f}r/s, "
+                f"{info.get('sets_converged', 0)}/{info.get('sets_total', '?')} sets]"
+            )
+        return "".join(parts)
+
     def _render(self, force: bool = False) -> None:
         with self._lock:
             now = time.perf_counter()
@@ -216,7 +273,7 @@ class ConsoleProgressListener(Listener):
             if not active:
                 self._clear_locked()
                 return
-            line = "".join(self._bar(s) for s in active)
+            line = "".join(self._bar(s) for s in active) + self._inference_suffix()
             pad = " " * max(0, self._last_len - len(line))
             try:
                 self.stream.write("\r" + line + pad)

@@ -29,10 +29,12 @@ from repro.engine.listener import (
     ExecutorHeartbeat,
     ExecutorLost,
     ExecutorTimedOut,
+    InferenceBatchCompleted,
     JobEnd,
     Listener,
     ShuffleFetch,
     ShuffleWrite,
+    SnpSetConverged,
     SpeculativeTaskLaunched,
     StageSkewDetected,
     StragglerDetected,
@@ -554,6 +556,21 @@ class MetricsListener(Listener):
             "engine_speculative_tasks_won_total",
             "speculative twin attempts that committed first",
         )
+        # -- inference convergence -----------------------------------------
+        self.inference_replicates = r.counter(
+            "engine_inference_replicates_total",
+            "resampling replicates folded into convergence monitors",
+            labelnames=("method",),
+        )
+        self.inference_sets_converged = r.counter(
+            "engine_inference_sets_converged_total",
+            "SNP-sets whose p-value confidence interval became decisive",
+            labelnames=("status",),
+        )
+        self.inference_replicates_saved = r.counter(
+            "engine_inference_replicates_saved_total",
+            "planned replicates skipped by sequential early stopping",
+        )
 
     def on_event(self, event: EngineEvent) -> None:
         if isinstance(event, JobEnd):
@@ -608,6 +625,15 @@ class MetricsListener(Listener):
             self.adaptive_plans.labels(kind=event.kind).inc()
         elif isinstance(event, SpeculativeTaskLaunched):
             self.speculative_launched.inc()
+        elif isinstance(event, InferenceBatchCompleted):
+            if event.batch_width:
+                self.inference_replicates.labels(method=event.method).inc(
+                    event.batch_width
+                )
+            if event.replicates_saved:
+                self.inference_replicates_saved.inc(event.replicates_saved)
+        elif isinstance(event, SnpSetConverged):
+            self.inference_sets_converged.labels(status=event.status).inc()
         elif isinstance(event, AlertFired):
             self.alerts_fired.labels(severity=event.severity).inc()
 

@@ -28,6 +28,10 @@ Endpoints:
   ``fleet_snapshot`` (cluster backend only);
 - ``/api/adaptive`` -- the adaptive planner's decision ledger (plan
   rewrites, serializer picks, speculation wins) and enablement flags;
+- ``/api/inference`` -- convergence telemetry for resampling runs:
+  per-set running p-values with CI bounds, decision status, replicate
+  throughput, and early-stop savings (always present; ``enabled``
+  reflects the ``inference_early_stop`` knob);
 - ``/`` -- a minimal auto-refreshing HTML dashboard over the above, with
   sparkline panels for sampled series and a banner for firing alerts.
 
@@ -116,13 +120,15 @@ _DASHBOARD = """<!doctype html>
  <a href="/api/timeseries">/api/timeseries</a>
  <a href="/api/alerts">/api/alerts</a>
  <a href="/api/fleet">/api/fleet</a>
- <a href="/api/adaptive">/api/adaptive</a></p>
+ <a href="/api/adaptive">/api/adaptive</a>
+ <a href="/api/inference">/api/inference</a></p>
 <div id="alertbanner"></div>
 <h2>stages</h2><div id="stages">loading...</div>
 <h2>executors</h2><div id="executors"></div>
 <h2>completed jobs</h2><div id="jobs"></div>
 <h2>diagnostics</h2><div id="diagnostics"></div>
 <h2>adaptive execution</h2><div id="adaptive">off</div>
+<h2>inference convergence</h2><div id="inference">no resampling runs yet</div>
 <h2>metric sparklines</h2><div id="sparklines">sampler off</div>
 <h2>fleet</h2><div id="fleet">no persistent fleet</div>
 <h2>recent logs</h2><div id="logs"></div>
@@ -180,6 +186,26 @@ async function refresh() {
             d.job_id ?? "", (d.old_partitions ?? "") + " → " + (d.new_partitions ?? ""),
             d.detail ?? ""])).join("") + "</table>"
         : "");
+  }
+  const inf = await (await fetch("/api/inference")).json();
+  if ((inf.runs || []).length) {
+    document.getElementById("inference").innerHTML = inf.runs.map(r => {
+      const pct = Math.round(100 * r.sets_converged / Math.max(1, r.sets_total));
+      const bar = '<span class="trough"><span class="bar" style="width:' + 2 * pct + 'px"></span></span>';
+      const head = r.method + ": " + r.replicates_total +
+        (r.planned_replicates ? "/" + r.planned_replicates : "") + " replicates @ " +
+        r.replicates_per_sec.toFixed(0) + "/s, converged " +
+        r.sets_converged + "/" + r.sets_total + " " + bar +
+        (r.replicates_saved ? ", saved " + r.replicates_saved : "") +
+        (r.early_stop ? " [early-stop]" : " [monitor only]");
+      const sets = r.sets.slice(0, 20).map(s => row([s.name, s.status,
+        s.pvalue.toFixed(4), s.ci_low.toFixed(4) + " – " + s.ci_high.toFixed(4),
+        s.replicates,
+        '<span class="spark">' + sparkline(s.trajectory.map(p => p[1])) + "</span>"]));
+      return head + "<table>" +
+        row(["set", "status", "p̂", "CI (99.9%)", "replicates", "trajectory"], "th") +
+        sets.join("") + "</table>";
+    }).join("<hr>");
   }
   const logs = await (await fetch("/api/logs?limit=25")).json();
   document.getElementById("logs").innerHTML = "<table>" +
@@ -439,6 +465,12 @@ class UIServer:
                 self._send_json(handler, {"enabled": False, "decisions": []})
                 return
             self._send_json(handler, planner.snapshot())
+        elif path == "/api/inference":
+            holder = getattr(self.ctx, "inference", None)
+            if holder is None:
+                self._send_json(handler, {"enabled": False, "runs": []})
+                return
+            self._send_json(handler, holder.snapshot())
         elif path == "/api/alerts":
             manager = getattr(self.ctx, "alerts", None)
             if manager is None:

@@ -61,14 +61,41 @@ class MonteCarloResampler:
         scores = Z @ self.U.T  # (b, J)
         return skat_statistics(scores, self.weights, self.set_ids, self.n_sets)
 
-    def run(self, n_resamples: int, seed: int, batch_size: int = 256) -> ResamplingOutcome:
+    def run(
+        self,
+        n_resamples: int,
+        seed: int,
+        batch_size: int = 256,
+        monitor=None,
+    ) -> ResamplingOutcome:
+        """Run B Monte Carlo replicates.
+
+        ``monitor`` is an optional
+        :class:`repro.obs.inference.ConvergenceMonitor`.  A passive monitor
+        only observes (accumulation stays bit-identical); one carrying an
+        early-stop policy may mask decided sets and end the loop early, in
+        which case per-set estimates should be read from
+        ``monitor.pvalues()`` (per-set denominators) rather than the
+        outcome's shared ``n_resamples``.
+        """
         from repro.stats.resampling.streams import mc_multiplier_batches
 
         counts = np.zeros(self.n_sets, dtype=np.int64)
+        used = 0
         for z_batch in mc_multiplier_batches(self.n, n_resamples, seed, batch_size):
             stats = self.replicate_batch(z_batch)
-            counts += (stats >= self.observed[None, :]).sum(axis=0)
-        return ResamplingOutcome(self.observed, counts, n_resamples)
+            batch_counts = (stats >= self.observed[None, :]).sum(axis=0)
+            width = stats.shape[0]
+            used += width
+            if monitor is None:
+                counts += batch_counts
+            else:
+                counts += monitor.fold(batch_counts, width)
+                if monitor.done:
+                    break
+        if monitor is not None:
+            monitor.finish()
+        return ResamplingOutcome(self.observed, counts, used)
 
 
 def monte_carlo_skat(
@@ -79,7 +106,8 @@ def monte_carlo_skat(
     n_resamples: int,
     seed: int = 0,
     batch_size: int = 256,
+    monitor=None,
 ) -> ResamplingOutcome:
     """One-shot convenience wrapper around :class:`MonteCarloResampler`."""
     sampler = MonteCarloResampler(contributions, weights, set_ids, n_sets)
-    return sampler.run(n_resamples, seed, batch_size)
+    return sampler.run(n_resamples, seed, batch_size, monitor=monitor)

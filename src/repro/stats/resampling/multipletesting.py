@@ -60,6 +60,7 @@ def westfall_young_maxt(
     seed: int = 0,
     batch_size: int = 64,
     step_down: bool = True,
+    monitor=None,
 ) -> MaxTResult:
     """Westfall-Young maxT adjustment via Monte Carlo replicates.
 
@@ -68,6 +69,13 @@ def westfall_young_maxt(
     running maximum over the *remaining* hypotheses, with monotonicity
     enforced.  ``step_down=False`` is the single-step variant (compare
     every SNP against the global maximum).
+
+    ``monitor`` is an optional
+    :class:`repro.obs.inference.ConvergenceMonitor` fed the *adjusted*
+    exceedance counts per batch.  Per-SNP masking is disabled here even
+    under an early-stop policy -- step-down adjustment needs one common
+    denominator across SNPs -- so the policy only stops the whole loop
+    once every SNP's adjusted p-value CI is decisive.
     """
     if n_resamples < 1:
         raise ValueError("n_resamples must be >= 1")
@@ -78,10 +86,13 @@ def westfall_young_maxt(
     sd = np.sqrt((U**2).sum(axis=1))
     safe_sd = np.where(sd > 0, sd, 1.0)
     observed = standardized_statistics(U)
+    if monitor is not None and monitor.policy is not None:
+        monitor.policy.mask_converged = False
 
     order = np.argsort(-observed, kind="stable")  # decreasing statistics
     raw_exceed = np.zeros(J, dtype=np.int64)
     adj_exceed = np.zeros(J, dtype=np.int64)
+    used = 0
 
     for z_batch in mc_multiplier_batches(n, n_resamples, seed, batch_size):
         replicates = np.abs(z_batch @ U.T) / safe_sd[None, :]  # (b, J)
@@ -91,13 +102,22 @@ def westfall_young_maxt(
             # successive maxima over the ordered tail: q_(j) = max over
             # hypotheses ranked j..J (computed right-to-left)
             tail_max = np.maximum.accumulate(replicates[:, order[::-1]], axis=1)[:, ::-1]
-            adj_exceed[order] += (tail_max >= observed[order][None, :]).sum(axis=0)
+            batch_adj = np.zeros(J, dtype=np.int64)
+            batch_adj[order] = (tail_max >= observed[order][None, :]).sum(axis=0)
         else:
             global_max = replicates.max(axis=1)
-            adj_exceed += (global_max[:, None] >= observed[None, :]).sum(axis=0)
+            batch_adj = (global_max[:, None] >= observed[None, :]).sum(axis=0)
+        adj_exceed += batch_adj
+        used += replicates.shape[0]
+        if monitor is not None:
+            monitor.fold(batch_adj, replicates.shape[0])
+            if monitor.done:
+                break
+    if monitor is not None:
+        monitor.finish()
 
-    raw = (raw_exceed + 1.0) / (n_resamples + 1.0)
-    adjusted = (adj_exceed + 1.0) / (n_resamples + 1.0)
+    raw = (raw_exceed + 1.0) / (used + 1.0)
+    adjusted = (adj_exceed + 1.0) / (used + 1.0)
     if step_down:
         # enforce monotonicity in the statistic ordering
         adjusted[order] = np.maximum.accumulate(adjusted[order])
@@ -105,7 +125,7 @@ def westfall_young_maxt(
         statistics=observed,
         raw_pvalues=raw,
         adjusted_pvalues=np.minimum(adjusted, 1.0),
-        n_resamples=n_resamples,
+        n_resamples=used,
         method="maxT step-down" if step_down else "maxT single-step",
     )
 

@@ -51,7 +51,12 @@ class PermutationResampler:
         return skat_statistics(scores, self.weights, self.set_ids, self.n_sets)
 
     def run(
-        self, n_resamples: int, seed: int, vectorized: str | bool = "auto", batch_size: int = 64
+        self,
+        n_resamples: int,
+        seed: int,
+        vectorized: str | bool = "auto",
+        batch_size: int = 64,
+        monitor=None,
     ) -> ResamplingOutcome:
         """Run B permutation replicates.
 
@@ -61,6 +66,12 @@ class PermutationResampler:
         it (raises otherwise), ``False`` forces the per-replicate
         recompute.  Both paths consume the same permutation stream, so
         results are interchangeable up to float summation order.
+
+        ``monitor`` is an optional
+        :class:`repro.obs.inference.ConvergenceMonitor`; see
+        :meth:`MonteCarloResampler.run` for the passive/early-stop
+        contract.  Both paths fold into it per batch (the per-replicate
+        path folds one replicate at a time).
         """
         from repro.stats.resampling.streams import permutation_stream
 
@@ -77,22 +88,43 @@ class PermutationResampler:
                 )
 
         counts = np.zeros(self.n_sets, dtype=np.int64)
+        used = 0
         stream = permutation_stream(self.n, n_resamples, seed)
         if parts is not None:
             G_adj, residuals = parts
             batch: list[np.ndarray] = []
+            stopped = False
             for perm in stream:
                 batch.append(residuals[perm])
                 if len(batch) == batch_size:
-                    counts += self._count_batch(G_adj, np.vstack(batch))
+                    used += len(batch)
+                    if self._fold(counts, self._count_batch(G_adj, np.vstack(batch)),
+                                  len(batch), monitor):
+                        stopped = True
+                        break
                     batch = []
-            if batch:
-                counts += self._count_batch(G_adj, np.vstack(batch))
+            if batch and not stopped:
+                used += len(batch)
+                self._fold(counts, self._count_batch(G_adj, np.vstack(batch)),
+                           len(batch), monitor)
         else:
             for perm in stream:
                 stats = self.replicate(perm)
-                counts += (stats >= self.observed).astype(np.int64)
-        return ResamplingOutcome(self.observed, counts, n_resamples)
+                used += 1
+                if self._fold(counts, (stats >= self.observed).astype(np.int64),
+                              1, monitor):
+                    break
+        if monitor is not None:
+            monitor.finish()
+        return ResamplingOutcome(self.observed, counts, used)
+
+    def _fold(self, counts, batch_counts, width, monitor) -> bool:
+        """Accumulate one batch; returns True when the monitor says stop."""
+        if monitor is None:
+            counts += batch_counts
+            return False
+        counts += monitor.fold(batch_counts, width)
+        return monitor.done
 
     def _count_batch(self, G_adj: np.ndarray, permuted_residuals: np.ndarray) -> np.ndarray:
         scores = permuted_residuals @ G_adj.T  # (b, J)
@@ -108,7 +140,8 @@ def permutation_skat(
     n_sets: int,
     n_resamples: int,
     seed: int = 0,
+    monitor=None,
 ) -> ResamplingOutcome:
     """One-shot convenience wrapper around :class:`PermutationResampler`."""
     sampler = PermutationResampler(model, genotypes, weights, set_ids, n_sets)
-    return sampler.run(n_resamples, seed)
+    return sampler.run(n_resamples, seed, monitor=monitor)

@@ -86,6 +86,7 @@ def skato_resampling(
     seed: int = 0,
     batch_size: int = 128,
     rho_grid: tuple[float, ...] = DEFAULT_RHO_GRID,
+    monitor=None,
 ) -> SkatOResult:
     """Monte Carlo SKAT-O over the rho grid with min-p calibration.
 
@@ -93,6 +94,15 @@ def skato_resampling(
     against each other; memory is ``B * K * R`` doubles (e.g. 1000 sets x
     6 rhos x 10000 replicates = 480 MB -- scale B or K accordingly, or
     fall back to per-rho inference via ``per_rho_pvalues``).
+
+    ``monitor`` is an optional
+    :class:`repro.obs.inference.ConvergenceMonitor` fed a per-set proxy
+    count per batch: the number of replicates where *any* rho exceeds the
+    observed Q_rho (a conservative stand-in for the min-p exceedance, so
+    the CI never declares convergence before the calibrated p-value has).
+    Per-set masking is disabled -- min-p calibration ranks replicates
+    against each other and needs the full common tensor -- so an
+    early-stop policy only truncates the whole replicate stream.
     """
     if n_resamples < 1:
         raise ValueError("n_resamples must be >= 1")
@@ -103,12 +113,22 @@ def skato_resampling(
     weights = np.asarray(weights, dtype=np.float64)
     ids = validate_set_ids(set_ids, n_sets, J)
     rho = tuple(float(r) for r in rho_grid)
+    if monitor is not None and monitor.policy is not None:
+        monitor.policy.mask_converged = False
 
     observed = skato_grid_statistics(U.sum(axis=1), weights, ids, n_sets, rho)  # (K, R)
     replicate_chunks = []
     for z_batch in mc_multiplier_batches(n, n_resamples, seed, batch_size):
         scores = z_batch @ U.T  # (b, J)
-        replicate_chunks.append(skato_grid_statistics(scores, weights, ids, n_sets, rho))
+        batch_grid = skato_grid_statistics(scores, weights, ids, n_sets, rho)
+        replicate_chunks.append(batch_grid)
+        if monitor is not None:
+            proxy = (batch_grid >= observed[None, :, :]).any(axis=2).sum(axis=0)
+            monitor.fold(proxy.astype(np.int64), batch_grid.shape[0])
+            if monitor.done:
+                break
+    if monitor is not None:
+        monitor.finish()
     replicates = np.concatenate(replicate_chunks, axis=0)  # (B, K, R)
     B = replicates.shape[0]
 

@@ -10,9 +10,11 @@ from repro.core.replay import capture_job, replay
 from repro.engine.eventlog import (
     FORMAT_VERSION,
     EventLogListener,
+    read_adaptive,
     read_alerts,
     read_event_log,
     read_fleet,
+    read_inference,
     read_logs,
     read_series,
     read_telemetry,
@@ -199,7 +201,7 @@ class TestVersionCompat:
         write_event_log(ctx.metrics.jobs, path)
         with open(path) as fh:
             data = json.loads(fh.readline())
-        assert data["version"] == FORMAT_VERSION == 7
+        assert data["version"] == FORMAT_VERSION == 8
         assert data["submit_time"] > 0.0
         assert data["stages"][0]["tasks"][0]["start_time"] > 0.0
 
@@ -477,6 +479,123 @@ class TestV6Fleet:
     def test_old_fixtures_have_no_fleet(self):
         assert read_fleet(str(FIXTURES / "eventlog_v2.jsonl")) == []
         assert read_fleet(str(FIXTURES / "eventlog_v4.jsonl")) == []
+
+
+class TestV7Adaptive:
+    def test_committed_v7_fixture_still_loads(self):
+        """Regression: a real v7 log keeps loading whole -- job, logs, and
+        the adaptive side channel intact, with v8 inference reading empty."""
+        path = str(FIXTURES / "eventlog_v7.jsonl")
+        (job,) = read_event_log(path)
+        assert job.stages and job.stages[0].tasks
+        assert any(r.message == "job finished" for r in read_logs(path))
+        (decision,) = read_adaptive(path)
+        assert decision["kind"] == "split"
+        assert decision["old_partitions"] == 4
+        assert decision["new_partitions"] == 6
+        assert read_inference(path) == []
+
+
+class TestV8Inference:
+    def test_inference_lines_round_trip(self, tmp_path):
+        """Listener hooks write flushed ``inference`` lines the reader
+        recovers verbatim."""
+        from repro.engine.listener import (
+            InferenceBatchCompleted,
+            SnpSetConverged,
+        )
+
+        path = str(tmp_path / "v8.jsonl")
+        listener = EventLogListener(path)
+        listener.on_inference_batch_completed(InferenceBatchCompleted(
+            method="monte_carlo", batch_width=64, replicates_total=64,
+            planned_replicates=512, sets_total=3, sets_converged=1,
+            min_pvalue=0.01,
+        ))
+        listener.on_snp_set_converged(SnpSetConverged(
+            method="monte_carlo", set_index=0, set_name="set0",
+            status="decided_significant", pvalue=0.01, ci_low=0.002,
+            ci_high=0.04, replicates=64,
+        ))
+        listener.close()
+        assert listener.inference_written == 2
+        batch, decision = read_inference(path)
+        assert batch["kind"] == "batch"
+        assert batch["replicates_total"] == 64
+        assert batch["planned_replicates"] == 512
+        assert decision["kind"] == "converged"
+        assert decision["set_name"] == "set0"
+        assert decision["status"] == "decided_significant"
+        assert decision["ci_low"] == pytest.approx(0.002)
+        # job readers and the other side channels skip inference lines
+        assert read_event_log(path) == []
+        assert read_adaptive(path) == []
+        assert read_telemetry(path) == []
+
+    def test_committed_v8_fixture_still_loads(self):
+        """Regression: a real v8 log (early-stopped monte-carlo run) keeps
+        loading whole -- jobs, logs, and the inference side channel."""
+        path = str(FIXTURES / "eventlog_v8.jsonl")
+        jobs = read_event_log(path)
+        assert jobs and all(j.stages for j in jobs)
+        records = read_inference(path)
+        batches = [r for r in records if r["kind"] == "batch"]
+        converged = [r for r in records if r["kind"] == "converged"]
+        assert batches and converged
+        final = batches[-1]
+        assert final["early_stop"] is True
+        assert final["sets_converged"] == final["sets_total"] == 6
+        assert final["replicates_total"] + final["replicates_saved"] == \
+            final["planned_replicates"]
+        assert all(r["status"] in ("decided_significant", "decided_null")
+                   for r in converged)
+        assert all(0.0 <= r["ci_low"] <= r["pvalue"] <= r["ci_high"] <= 1.0
+                   or r["ci_low"] <= r["ci_high"]
+                   for r in converged)
+
+    def test_live_run_writes_inference_lines(self, tmp_path, serial_config):
+        """An early-stopped analysis streams its convergence trail into the
+        context's event log."""
+        from repro.core.sparkscore import SparkScoreAnalysis
+        from repro.engine.context import Context
+        from repro.genomics.synthetic import SyntheticConfig, generate_dataset
+
+        dataset = generate_dataset(SyntheticConfig(
+            n_snps=30, n_patients=60, n_snpsets=3, seed=1,
+        ))
+        path = str(tmp_path / "live.jsonl")
+        config = serial_config.copy(inference_early_stop=True)
+        with Context(config, event_log_path=path) as ctx:
+            analysis = SparkScoreAnalysis(dataset, engine="distributed", ctx=ctx)
+            result = analysis.monte_carlo(256, seed=0, batch_size=64)
+        records = read_inference(path)
+        batches = [r for r in records if r["kind"] == "batch"]
+        assert batches, "expected inference batch lines in the v8 log"
+        assert batches[-1]["replicates_total"] == result.n_resamples
+        assert len(read_event_log(path)) >= 1  # jobs unharmed
+
+    def test_torn_final_inference_line_tolerated(self, tmp_path):
+        """A writer killed mid-inference-line must not poison any reader."""
+        from repro.engine.listener import InferenceBatchCompleted
+
+        path = str(tmp_path / "torn.jsonl")
+        listener = EventLogListener(path)
+        listener.on_inference_batch_completed(InferenceBatchCompleted(
+            method="permutation", batch_width=16, replicates_total=16,
+            planned_replicates=128, sets_total=2, sets_converged=0,
+        ))
+        listener.close()
+        with open(path, "a") as fh:
+            fh.write('{"event":"inference","version":8,"kind":"batc')  # torn
+        (batch,) = read_inference(path)
+        assert batch["replicates_total"] == 16
+        with pytest.warns(UserWarning, match="truncated"):
+            assert read_event_log(path) == []  # no jobs, but no crash either
+
+    def test_old_fixtures_have_no_inference(self):
+        assert read_inference(str(FIXTURES / "eventlog_v2.jsonl")) == []
+        assert read_inference(str(FIXTURES / "eventlog_v4.jsonl")) == []
+        assert read_inference(str(FIXTURES / "eventlog_v6.jsonl")) == []
 
 
 def _plus_two(x):
